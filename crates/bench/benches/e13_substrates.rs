@@ -1,0 +1,131 @@
+//! E13 (§II-B1 / §II-C2): substrate behaviour tables — YARN scheduler
+//! fairness/utilization under the three policies, and streaming delivery
+//! guarantees under consumer crashes. Measures scheduling and consumption
+//! throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f3, header, table};
+use sccompute::yarn::{AppId, Policy, Resource, ResourceManager};
+use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
+
+fn cluster(policy: Policy) -> ResourceManager {
+    let mut rm = ResourceManager::new(policy);
+    for _ in 0..4 {
+        rm.add_node(Resource::new(8192, 8));
+    }
+    rm
+}
+
+fn regenerate_figure() {
+    header(
+        "E13",
+        "§II-B1 / §II-C2",
+        "(a) YARN policies: allocation split between an early flood app and a late app",
+    );
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("fifo", Policy::Fifo),
+        ("fair", Policy::Fair),
+        (
+            "capacity(75/25)",
+            Policy::Capacity(vec![("prod".into(), 0.75), ("dev".into(), 0.25)]),
+        ),
+    ] {
+        let mut rm = cluster(policy);
+        // App 1 floods; app 2 arrives later with equal demand.
+        for _ in 0..32 {
+            rm.submit(AppId(1), "prod", Resource::new(1024, 1));
+        }
+        for _ in 0..32 {
+            rm.submit(AppId(2), "dev", Resource::new(1024, 1));
+        }
+        rm.schedule();
+        let u1 = rm.app_usage(AppId(1)).memory_mb / 1024;
+        let u2 = rm.app_usage(AppId(2)).memory_mb / 1024;
+        rows.push(vec![
+            name.to_string(),
+            u1.to_string(),
+            u2.to_string(),
+            f3(rm.utilization()),
+            rm.pending_count().to_string(),
+        ]);
+    }
+    table(&["policy", "app1_containers", "app2_containers", "utilization", "pending"], &rows);
+
+    println!("\n(b) streaming delivery under a consumer crash (at-least-once):");
+    let mut topic = Topic::new("events", 4);
+    for i in 0..1_000 {
+        topic.publish(Event::with_key(format!("k{i}"), vec![0]));
+    }
+    let mut group = ConsumerGroup::new("workers", 4);
+    group.join(ConsumerId(0));
+    // Consume 600, commit only 400, crash, rejoin, drain.
+    let batch = group.poll(ConsumerId(0), &topic, 600);
+    for (pid, off, _) in batch.iter().take(400) {
+        group.commit(*pid, *off);
+    }
+    let committed_before = group.total_committed();
+    group.leave(ConsumerId(0));
+    group.join(ConsumerId(1));
+    let mut redelivered = 0;
+    loop {
+        let b = group.poll(ConsumerId(1), &topic, 256);
+        if b.is_empty() {
+            break;
+        }
+        redelivered += b.len();
+        for (pid, off, _) in b {
+            group.commit(pid, off);
+        }
+    }
+    table(
+        &["quantity", "value"],
+        &[
+            vec!["published".into(), "1000".into()],
+            vec!["consumed pre-crash".into(), "600".into()],
+            vec!["committed pre-crash".into(), committed_before.to_string()],
+            vec!["delivered post-crash".into(), redelivered.to_string()],
+            vec!["final lag".into(), group.lag(&topic).to_string()],
+        ],
+    );
+    assert_eq!(group.lag(&topic), 0, "everything eventually delivered");
+    assert!(redelivered >= 600, "uncommitted work redelivered");
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    c.bench_function("e13/schedule_64_requests_fair", |b| {
+        b.iter(|| {
+            let mut rm = cluster(Policy::Fair);
+            for i in 0..64u32 {
+                rm.submit(AppId(i % 4), "q", Resource::new(512, 1));
+            }
+            rm.schedule()
+        })
+    });
+    c.bench_function("e13/publish_consume_1000", |b| {
+        b.iter(|| {
+            let mut topic = Topic::new("events", 4);
+            for i in 0..1_000 {
+                topic.publish(Event::with_key(format!("k{i}"), vec![0]));
+            }
+            let mut group = ConsumerGroup::new("workers", 4);
+            group.join(ConsumerId(0));
+            let mut total = 0;
+            loop {
+                let batch = group.poll(ConsumerId(0), &topic, 256);
+                if batch.is_empty() {
+                    break;
+                }
+                total += batch.len();
+                for (pid, off, _) in batch {
+                    group.commit(pid, off);
+                }
+            }
+            total
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E1 (Fig. 1 + Fig. 4): end-to-end pipeline — ingest → NoSQL → analysis →
+//! visualization. Regenerates the per-stage accounting rows and measures
+//! whole-pipeline throughput.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scbench::{f3, header, table};
+use scnosql::document::Collection;
+use scnosql::wide_column::Table;
+use scstream::Topic;
+use smartcity_core::pipeline::CityDataPipeline;
+use std::time::Instant;
+
+fn regenerate_figure() {
+    header(
+        "E1",
+        "Fig. 1 + Fig. 4",
+        "Per-stage pipeline accounting at increasing ingest volumes",
+    );
+    let mut rows = Vec::new();
+    for &records in &[200usize, 500, 1000, 2000] {
+        let pipeline = CityDataPipeline::new(1, records, records / 5);
+        let mut topic = Topic::new("raw", 4);
+        let mut store = Collection::new("incidents");
+        store.create_index("kind");
+        let mut annotations = Table::new("annotations", 4096);
+        let start = Instant::now();
+        let report = pipeline.run(&mut topic, &mut store, &mut annotations);
+        let secs = start.elapsed().as_secs_f64();
+        rows.push(vec![
+            records.to_string(),
+            report.ingested.to_string(),
+            report.stored.to_string(),
+            report.annotated.to_string(),
+            report.hotspots.len().to_string(),
+            f3(secs),
+            f3(report.ingested as f64 / secs / 1000.0),
+        ]);
+    }
+    table(
+        &["city_records", "ingested", "stored", "annotated", "hotspots", "secs", "kev/s"],
+        &rows,
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    c.bench_function("e1/pipeline_500_records", |b| {
+        b.iter_batched(
+            || {
+                let mut store = Collection::new("incidents");
+                store.create_index("kind");
+                (Topic::new("raw", 4), store, Table::new("annotations", 4096))
+            },
+            |(mut topic, mut store, mut annotations)| {
+                CityDataPipeline::new(1, 500, 100).run(&mut topic, &mut store, &mut annotations)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

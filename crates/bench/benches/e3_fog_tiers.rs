@@ -1,0 +1,76 @@
+//! E3 (Fig. 3, §II-B1): fog-placement comparison. Regenerates the
+//! latency/bandwidth/utilization table across the four placements and the
+//! escalation-rate series, then measures simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f3, header, table};
+use scfog::{FogSimulator, Placement, Tier, Topology, Workload};
+
+fn regenerate_figure() {
+    header(
+        "E3",
+        "Fig. 3 / §II-B1",
+        "Computation placement across the four tiers: latency vs upstream bytes",
+    );
+    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 3);
+    let mut rows = Vec::new();
+    for (name, placement) in [
+        ("all-edge", Placement::AllEdge),
+        ("server-only", Placement::ServerOnly),
+        ("all-cloud", Placement::AllCloud),
+        ("early-exit", Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 }),
+        ("fog-assisted", Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 }),
+    ] {
+        let r = sim.run(&workload, placement);
+        rows.push(vec![
+            name.to_string(),
+            f3(r.mean_latency_s),
+            f3(r.p95_latency_s),
+            f3(r.total_upstream_bytes() as f64 / 1e6),
+            f3(r.utilization_of(Tier::Edge)),
+            f3(r.utilization_of(Tier::Fog)),
+            f3(r.utilization_of(Tier::Server)),
+        ]);
+    }
+    table(
+        &["placement", "mean_s", "p95_s", "upstream_MB", "edge_util", "fog_util", "server_util"],
+        &rows,
+    );
+
+    println!("\nEarly-exit escalation-rate series (Fig. 3's adaptive division):");
+    let mut rows = Vec::new();
+    for esc in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let w = Workload::with_escalation(300, 100_000, 20.0, esc, 4);
+        let r = sim.run(
+            &w,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+        );
+        rows.push(vec![
+            format!("{esc:.2}"),
+            f3(r.mean_latency_s),
+            f3(r.fog_to_server_bytes as f64 / 1e6),
+        ]);
+    }
+    table(&["escalation", "mean_s", "fog_to_server_MB"], &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 3);
+    c.bench_function("e3/simulate_400_jobs_early_exit", |b| {
+        b.iter(|| {
+            sim.run(
+                std::hint::black_box(&workload),
+                Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            )
+        })
+    });
+    c.bench_function("e3/simulate_400_jobs_all_cloud", |b| {
+        b.iter(|| sim.run(std::hint::black_box(&workload), Placement::AllCloud))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E4 (Fig. 5, §IV-A1): the early-exit vehicle classifier's
+//! confidence-threshold sweep — fraction offloaded, accuracy, and the fog
+//! latency the measured escalation rate implies. Measures device-side and
+//! escalated inference latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f3, header, table};
+use scdata::vehicles::VehicleCatalog;
+use scdata::video::FrameGenerator;
+use scfog::{FogSimulator, Placement, Topology, Workload};
+use smartcity_core::apps::vehicle::VehicleClassifier;
+
+fn trained_classifier() -> (VehicleClassifier, Vec<scdata::video::Frame>, Vec<usize>) {
+    let classes = 6;
+    let catalog = VehicleCatalog::generate(classes, 4);
+    let mut gen = FrameGenerator::new(catalog.clone(), 16, 16, 5).noise(0.02);
+    let (frames, labels) = gen.dataset(classes, 15);
+    let mut clf = VehicleClassifier::new(classes, 16, 0.5, 6);
+    clf.train(&frames, &labels, 50, 0.01);
+    // Held-out evaluation set at a harder noise level: the tiny local head
+    // degrades more than the full server model, so the accuracy column
+    // rises with the threshold (Fig. 5's quality/efficiency trade-off).
+    let mut test_gen = FrameGenerator::new(catalog, 16, 16, 99).noise(0.10);
+    let (test_frames, test_labels) = test_gen.dataset(classes, 12);
+    (clf, test_frames, test_labels)
+}
+
+fn regenerate_figure(clf: &mut VehicleClassifier, frames: &[scdata::video::Frame], labels: &[usize]) {
+    header(
+        "E4",
+        "Fig. 5 / §IV-A1",
+        "Confidence-threshold sweep: offload fraction, accuracy, implied fog latency",
+    );
+    let sim = FogSimulator::new(Topology::four_tier(8, 2, 1));
+    let mut rows = Vec::new();
+    for &threshold in &[0.0f32, 0.3, 0.5, 0.7, 0.9, 0.99, 1.01] {
+        clf.set_threshold(threshold);
+        let (acc, offload) = clf.evaluate(frames, labels);
+        let w = Workload::with_escalation(200, 100_000, 20.0, offload, 7);
+        let fog = sim.run(
+            &w,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 6 * 8 * 8 * 4 },
+        );
+        rows.push(vec![
+            format!("{threshold:.2}"),
+            f3(offload),
+            f3(acc),
+            f3(fog.mean_latency_s),
+            f3(fog.fog_to_server_bytes as f64 / 1e6),
+        ]);
+    }
+    table(
+        &["threshold", "offload_frac", "accuracy", "fog_mean_s", "fog_to_srv_MB"],
+        &rows,
+    );
+    println!(
+        "local params: {}  server params: {}",
+        clf.network_mut().local_param_count(),
+        clf.network_mut().server_param_count()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let (mut clf, frames, labels) = trained_classifier();
+    regenerate_figure(&mut clf, &frames, &labels);
+
+    let batch: Vec<_> = frames.iter().take(16).cloned().collect();
+    clf.set_threshold(0.0); // all-local inference
+    c.bench_function("e4/infer_16_crops_local_only", |b| {
+        b.iter(|| clf.classify(std::hint::black_box(&batch)))
+    });
+    clf.set_threshold(1.01); // all escalated
+    c.bench_function("e4/infer_16_crops_full_model", |b| {
+        b.iter(|| clf.classify(std::hint::black_box(&batch)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

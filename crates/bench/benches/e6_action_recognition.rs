@@ -1,0 +1,61 @@
+//! E6 (Fig. 7, §IV-A2): the CNN+LSTM action recognizer's entropy-threshold
+//! sweep — exit-1 rate, accuracy, and feature-map bytes shipped to the
+//! server. Measures device-path and full-path clip inference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f3, header, table};
+use scdata::actions::ClipGenerator;
+use smartcity_core::apps::actions::ActionRecognizer;
+
+fn regenerate_figure() -> (ActionRecognizer, Vec<scdata::actions::Clip>, Vec<usize>) {
+    header(
+        "E6",
+        "Fig. 7 / §IV-A2",
+        "Entropy-threshold sweep over the two-exit CNN+LSTM recognizer",
+    );
+    let mut gen = ClipGenerator::new(16, 16, 8, 13);
+    let (clips, labels) = gen.dataset(6);
+    let mut rec = ActionRecognizer::new(16, 8, 6, 0.6, 14);
+    rec.train(&clips, &labels, 45);
+
+    let mut rows = Vec::new();
+    for &threshold in &[f32::INFINITY, 1.6, 1.45, 1.3, 1.15, 1.0, -1.0] {
+        rec.set_entropy_threshold(threshold);
+        let (acc, offload) = rec.evaluate(&clips, &labels);
+        let recs = rec.recognize(&clips);
+        let bytes: usize = recs.iter().map(|r| r.feature_bytes).sum();
+        rows.push(vec![
+            if threshold.is_infinite() { "inf".into() } else { format!("{threshold:.1}") },
+            f3(1.0 - offload),
+            f3(offload),
+            f3(acc),
+            (bytes / 1024).to_string(),
+        ]);
+    }
+    table(
+        &["entropy_thr", "exit1_rate", "offload", "accuracy", "feat_KB"],
+        &rows,
+    );
+    println!("device-side params: {}", rec.local_param_count());
+    (rec, clips, labels)
+}
+
+fn bench(c: &mut Criterion) {
+    let (mut rec, clips, _) = regenerate_figure();
+    let batch: Vec<_> = clips.iter().take(6).cloned().collect();
+    rec.set_entropy_threshold(f32::INFINITY); // exit 1 only
+    c.bench_function("e6/recognize_6_clips_device_path", |b| {
+        b.iter(|| rec.recognize(std::hint::black_box(&batch)))
+    });
+    rec.set_entropy_threshold(-1.0); // full path
+    c.bench_function("e6/recognize_6_clips_full_path", |b| {
+        b.iter(|| rec.recognize(std::hint::black_box(&batch)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! E8 (§IV-B): the gang-network statistics table (67 gangs / 982 members /
+//! mean 14 first-degree / ~200 second-degree) and the multi-modal narrowing
+//! reduction factor. Measures graph expansion and narrowing latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f1, header, table};
+use scdata::tweets::TweetGenerator;
+use scgeo::GeoPoint;
+use scsocial::narrowing::{person_handle, Incident, Narrower, NarrowingConfig};
+use scsocial::{GangNetwork, GangNetworkGenerator};
+use simclock::SimTime;
+
+fn corpus(network: &GangNetwork, incident: &Incident, guilty: usize) -> Vec<scdata::tweets::Tweet> {
+    let field = network.graph().second_degree(incident.seed_person);
+    let mut gen = TweetGenerator::new(21);
+    let mut tweets = Vec::new();
+    for &g in field.iter().take(guilty) {
+        tweets.push(gen.near_incident(
+            &person_handle(g),
+            incident.location,
+            400.0,
+            incident.time,
+            30 * 60 * 1_000_000,
+        ));
+    }
+    for (i, &p) in field.iter().enumerate() {
+        let far = incident.location.offset_m(10_000.0, i as f64 * 5.0);
+        tweets.push(gen.benign(&person_handle(p), far, SimTime::from_secs(1)));
+    }
+    tweets
+}
+
+fn regenerate_figure() {
+    header(
+        "E8",
+        "§IV-B",
+        "Gang network statistics and multi-modal narrowing (paper: 67 gangs, 982 members, ~14 first-degree, ~200 second-degree)",
+    );
+    let network = GangNetworkGenerator::baton_rouge(20).generate();
+    let stats = network.member_stats();
+    table(
+        &["quantity", "paper", "measured"],
+        &[
+            vec!["gangs".into(), "67".into(), network.gang_count().to_string()],
+            vec!["members".into(), "982".into(), network.member_count().to_string()],
+            vec!["mean first-degree".into(), "14".into(), f1(stats.mean_first_degree)],
+            vec!["mean second-degree field".into(), "~200".into(), f1(stats.mean_second_degree)],
+        ],
+    );
+
+    println!("\nNarrowing across incidents (3 guilty associates each):");
+    let mut rows = Vec::new();
+    for (i, &seed_person) in network.members().iter().step_by(200).take(5).enumerate() {
+        let incident = Incident {
+            location: GeoPoint::new(30.4515, -91.1871),
+            time: SimTime::from_secs(40_000),
+            seed_person,
+        };
+        let tweets = corpus(&network, &incident, 3);
+        let narrower = Narrower::new(&network, &tweets, NarrowingConfig::default());
+        let report = narrower.narrow(&incident);
+        rows.push(vec![
+            format!("incident-{i}"),
+            report.first_degree.to_string(),
+            report.field_of_interest.to_string(),
+            report.persons_of_interest.len().to_string(),
+            f1(report.reduction_factor),
+        ]);
+    }
+    table(&["case", "first_deg", "field", "poi", "reduction_x"], &rows);
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+    let network = GangNetworkGenerator::baton_rouge(20).generate();
+    let seed_person = network.members()[0];
+    let incident = Incident {
+        location: GeoPoint::new(30.4515, -91.1871),
+        time: SimTime::from_secs(40_000),
+        seed_person,
+    };
+    let tweets = corpus(&network, &incident, 3);
+
+    c.bench_function("e8/second_degree_expansion", |b| {
+        b.iter(|| network.graph().second_degree(std::hint::black_box(seed_person)))
+    });
+    c.bench_function("e8/full_narrowing", |b| {
+        let narrower = Narrower::new(&network, &tweets, NarrowingConfig::default());
+        b.iter(|| narrower.narrow(std::hint::black_box(&incident)))
+    });
+    c.bench_function("e8/generate_network", |b| {
+        b.iter(|| GangNetworkGenerator::baton_rouge(std::hint::black_box(20)).generate())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

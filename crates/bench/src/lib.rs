@@ -1,0 +1,67 @@
+//! Shared helpers for the experiment benches.
+//!
+//! Every bench in `benches/` follows the same pattern: print the
+//! paper-shaped table/series once (the "figure regeneration"), then let
+//! Criterion measure the representative kernel. The printed rows are what
+//! `EXPERIMENTS.md` records.
+
+/// Prints an experiment header.
+pub fn header(id: &str, anchor: &str, description: &str) {
+    println!("\n================================================================");
+    println!("{id} — {anchor}");
+    println!("{description}");
+    println!("================================================================");
+}
+
+/// Prints a table of rows with a column header line.
+pub fn table(columns: &[&str], rows: &[Vec<String>]) {
+    let widths: Vec<usize> = columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, String::len))
+                .chain(std::iter::once(c.len()))
+                .max()
+                .unwrap_or(c.len())
+        })
+        .collect();
+    let fmt_row = |cells: Vec<String>| {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!("{}", fmt_row(columns.iter().map(|s| s.to_string()).collect()));
+    for r in rows {
+        println!("{}", fmt_row(r.clone()));
+    }
+}
+
+/// Formats a float to 3 decimal places.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Formats a float to 1 decimal place.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.23456), "1.235");
+        assert_eq!(f1(1.26), "1.3");
+    }
+
+    #[test]
+    fn table_does_not_panic_on_ragged_rows() {
+        table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+    }
+}

@@ -1,0 +1,459 @@
+//! A Spark-like partitioned dataflow engine.
+//!
+//! A [`Dataset<T>`] is a list of partitions. *Narrow* transformations
+//! (map/filter/flat-map) run partition-parallel on scoped threads with no
+//! data movement; *wide* transformations (reduce-by-key, group-by-key, join)
+//! hash-partition records by key across a shuffle boundary, with the shuffled
+//! record volume accounted in shared [`ExecStats`].
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Execution counters shared along a lineage of datasets.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Narrow (pipelined, partition-local) stages executed.
+    pub narrow_stages: u64,
+    /// Wide (shuffle) stages executed.
+    pub shuffle_stages: u64,
+    /// Records moved across the shuffle boundary.
+    pub shuffled_records: u64,
+}
+
+#[derive(Debug, Default)]
+struct StatsCell(Mutex<ExecStats>);
+
+/// A partitioned, immutable dataset.
+///
+/// # Examples
+///
+/// ```
+/// use sccompute::dataflow::Dataset;
+///
+/// let words = Dataset::from_vec(
+///     vec!["a b", "b c", "a a"].into_iter().map(String::from).collect::<Vec<_>>(),
+///     2,
+/// );
+/// let counts = words
+///     .flat_map(|line| line.split(' ').map(String::from).collect::<Vec<_>>())
+///     .map(|w| (w.clone(), 1u64))
+///     .reduce_by_key(|a, b| a + b);
+/// let mut out = counts.collect();
+/// out.sort();
+/// let expect = vec![
+///     (String::from("a"), 3),
+///     (String::from("b"), 2),
+///     (String::from("c"), 1),
+/// ];
+/// assert_eq!(out, expect);
+/// ```
+#[derive(Debug)]
+pub struct Dataset<T> {
+    partitions: Vec<Vec<T>>,
+    stats: Arc<StatsCell>,
+}
+
+fn hash_key<K: Hash>(k: &K, parts: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    k.hash(&mut h);
+    (h.finish() % parts as u64) as usize
+}
+
+impl<T: Send + Sync + Clone> Dataset<T> {
+    /// Creates a dataset by splitting `data` into `partitions` roughly equal
+    /// chunks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn from_vec(data: Vec<T>, partitions: usize) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        let per = data.len().div_ceil(partitions).max(1);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(partitions);
+        let mut iter = data.into_iter();
+        for _ in 0..partitions {
+            parts.push(iter.by_ref().take(per).collect());
+        }
+        Dataset { partitions: parts, stats: Arc::new(StatsCell::default()) }
+    }
+
+    fn with_lineage<U>(&self, partitions: Vec<Vec<U>>) -> Dataset<U> {
+        Dataset { partitions, stats: Arc::clone(&self.stats) }
+    }
+
+    /// Number of partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Per-partition record counts.
+    pub fn partition_sizes(&self) -> Vec<usize> {
+        self.partitions.iter().map(Vec::len).collect()
+    }
+
+    /// Execution statistics accumulated along this lineage.
+    pub fn stats(&self) -> ExecStats {
+        *self.stats.0.lock()
+    }
+
+    /// Runs a closure on every partition in parallel, collecting outputs in
+    /// partition order — the engine's core primitive.
+    fn run_partitions<U, F>(&self, f: F) -> Vec<Vec<U>>
+    where
+        U: Send,
+        F: Fn(&[T]) -> Vec<U> + Send + Sync,
+    {
+        let mut out: Vec<Option<Vec<U>>> = (0..self.partitions.len()).map(|_| None).collect();
+        crossbeam::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, part) in self.partitions.iter().enumerate() {
+                let f = &f;
+                handles.push((i, s.spawn(move |_| f(part))));
+            }
+            for (i, h) in handles {
+                out[i] = Some(h.join().expect("partition task panicked"));
+            }
+        })
+        .expect("scope panicked");
+        out.into_iter().map(|o| o.expect("filled above")).collect()
+    }
+
+    /// Narrow: element-wise transformation.
+    pub fn map<U, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Send + Clone,
+        F: Fn(&T) -> U + Send + Sync,
+    {
+        self.stats.0.lock().narrow_stages += 1;
+        let parts = self.run_partitions(|p| p.iter().map(&f).collect());
+        self.with_lineage(parts)
+    }
+
+    /// Narrow: keep elements satisfying the predicate.
+    pub fn filter<F>(&self, f: F) -> Dataset<T>
+    where
+        F: Fn(&T) -> bool + Send + Sync,
+    {
+        self.stats.0.lock().narrow_stages += 1;
+        let parts = self.run_partitions(|p| p.iter().filter(|x| f(x)).cloned().collect());
+        self.with_lineage(parts)
+    }
+
+    /// Narrow: one-to-many transformation.
+    pub fn flat_map<U, F>(&self, f: F) -> Dataset<U>
+    where
+        U: Send + Clone,
+        F: Fn(&T) -> Vec<U> + Send + Sync,
+    {
+        self.stats.0.lock().narrow_stages += 1;
+        let parts = self.run_partitions(|p| p.iter().flat_map(&f).collect());
+        self.with_lineage(parts)
+    }
+
+    /// Action: fold all elements with a commutative, associative operator.
+    pub fn reduce<F>(&self, identity: T, f: F) -> T
+    where
+        F: Fn(T, T) -> T + Send + Sync,
+        T: 'static,
+    {
+        let partials = self.run_partitions(|p| {
+            vec![p.iter().cloned().fold(None::<T>, |acc, x| {
+                Some(match acc {
+                    None => x,
+                    Some(a) => f(a, x),
+                })
+            })]
+        });
+        partials
+            .into_iter()
+            .flatten()
+            .flatten()
+            .fold(identity, f)
+    }
+
+    /// Action: total element count.
+    pub fn count(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// Action: materialize all elements in partition order.
+    pub fn collect(&self) -> Vec<T> {
+        self.partitions.iter().flatten().cloned().collect()
+    }
+
+    /// Wide: redistribute into `parts` partitions by a key function.
+    pub fn repartition_by<K, F>(&self, parts: usize, key: F) -> Dataset<T>
+    where
+        K: Hash,
+        F: Fn(&T) -> K + Send + Sync,
+    {
+        assert!(parts > 0, "need at least one partition");
+        let mut buckets: Vec<Vec<T>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut moved = 0u64;
+        for p in &self.partitions {
+            for x in p {
+                buckets[hash_key(&key(x), parts)].push(x.clone());
+                moved += 1;
+            }
+        }
+        let mut stats = self.stats.0.lock();
+        stats.shuffle_stages += 1;
+        stats.shuffled_records += moved;
+        drop(stats);
+        self.with_lineage(buckets)
+    }
+}
+
+impl<K, V> Dataset<(K, V)>
+where
+    K: Send + Sync + Clone + Hash + Eq + Ord,
+    V: Send + Sync + Clone,
+{
+    /// Wide: merge values per key with a combiner. Performs map-side
+    /// combining before the shuffle (Spark's `reduceByKey`).
+    pub fn reduce_by_key<F>(&self, f: F) -> Dataset<(K, V)>
+    where
+        F: Fn(V, V) -> V + Send + Sync,
+    {
+        // Map-side combine within each partition.
+        let combined = self.run_partitions(|p| {
+            let mut local: HashMap<K, V> = HashMap::new();
+            for (k, v) in p {
+                match local.remove(k) {
+                    None => {
+                        local.insert(k.clone(), v.clone());
+                    }
+                    Some(acc) => {
+                        local.insert(k.clone(), f(acc, v.clone()));
+                    }
+                }
+            }
+            let mut out: Vec<(K, V)> = local.into_iter().collect();
+            out.sort_by(|a, b| a.0.cmp(&b.0));
+            out
+        });
+        // Shuffle combined records by key.
+        let parts = self.partitions.len();
+        let mut buckets: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut moved = 0u64;
+        for part in combined {
+            for (k, v) in part {
+                buckets[hash_key(&k, parts)].push((k, v));
+                moved += 1;
+            }
+        }
+        {
+            let mut stats = self.stats.0.lock();
+            stats.shuffle_stages += 1;
+            stats.shuffled_records += moved;
+        }
+        // Reduce-side merge.
+        let reduced: Vec<Vec<(K, V)>> = buckets
+            .into_iter()
+            .map(|bucket| {
+                let mut acc: HashMap<K, V> = HashMap::new();
+                for (k, v) in bucket {
+                    match acc.remove(&k) {
+                        None => {
+                            acc.insert(k, v);
+                        }
+                        Some(prev) => {
+                            acc.insert(k, f(prev, v));
+                        }
+                    }
+                }
+                let mut out: Vec<(K, V)> = acc.into_iter().collect();
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                out
+            })
+            .collect();
+        self.with_lineage(reduced)
+    }
+
+    /// Wide: collect all values per key.
+    pub fn group_by_key(&self) -> Dataset<(K, Vec<V>)> {
+        let mapped = self.map(|(k, v)| (k.clone(), vec![v.clone()]));
+        mapped.reduce_by_key(|mut a, mut b| {
+            a.append(&mut b);
+            a
+        })
+    }
+
+    /// Wide: inner join with another keyed dataset.
+    pub fn join<W>(&self, other: &Dataset<(K, W)>) -> Dataset<(K, (V, W))>
+    where
+        W: Send + Clone,
+    {
+        let parts = self.partitions.len().max(other.partitions.len());
+        let mut left: Vec<Vec<(K, V)>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut right: Vec<Vec<(K, W)>> = (0..parts).map(|_| Vec::new()).collect();
+        let mut moved = 0u64;
+        for p in &self.partitions {
+            for (k, v) in p {
+                left[hash_key(k, parts)].push((k.clone(), v.clone()));
+                moved += 1;
+            }
+        }
+        for p in &other.partitions {
+            for (k, w) in p {
+                right[hash_key(k, parts)].push((k.clone(), w.clone()));
+                moved += 1;
+            }
+        }
+        {
+            let mut stats = self.stats.0.lock();
+            stats.shuffle_stages += 1;
+            stats.shuffled_records += moved;
+        }
+        let joined: Vec<Vec<(K, (V, W))>> = left
+            .into_iter()
+            .zip(right)
+            .map(|(l, r)| {
+                let mut by_key: HashMap<&K, Vec<&W>> = HashMap::new();
+                for (k, w) in &r {
+                    by_key.entry(k).or_default().push(w);
+                }
+                let mut out = Vec::new();
+                for (k, v) in &l {
+                    if let Some(ws) = by_key.get(k) {
+                        for w in ws {
+                            out.push((k.clone(), (v.clone(), (*w).clone())));
+                        }
+                    }
+                }
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                out
+            })
+            .collect();
+        self.with_lineage(joined)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_partitioning() {
+        let ds = Dataset::from_vec((0..10).collect::<Vec<i32>>(), 3);
+        assert_eq!(ds.partition_count(), 3);
+        assert_eq!(ds.count(), 10);
+        assert_eq!(ds.collect(), (0..10).collect::<Vec<i32>>());
+    }
+
+    #[test]
+    fn map_filter_chain() {
+        let ds = Dataset::from_vec((1..=10).collect::<Vec<i32>>(), 4);
+        let out = ds.map(|x| x * x).filter(|x| x % 2 == 0).collect();
+        assert_eq!(out, vec![4, 16, 36, 64, 100]);
+        assert_eq!(ds.stats().narrow_stages, 2);
+        assert_eq!(ds.stats().shuffle_stages, 0);
+    }
+
+    #[test]
+    fn reduce_sums() {
+        let ds = Dataset::from_vec((1..=100).collect::<Vec<i64>>(), 7);
+        assert_eq!(ds.reduce(0, |a, b| a + b), 5050);
+    }
+
+    #[test]
+    fn reduce_empty_partitions() {
+        let ds = Dataset::from_vec(vec![5i64], 4); // 3 empty partitions
+        assert_eq!(ds.reduce(0, |a, b| a + b), 5);
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let ds = Dataset::from_vec(vec![1, 2, 3], 2);
+        let out = ds.flat_map(|&x| vec![x; x as usize]).collect();
+        assert_eq!(out, vec![1, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn word_count() {
+        let lines: Vec<String> =
+            vec!["the quick fox", "the lazy dog", "the fox"].into_iter().map(String::from).collect();
+        let ds = Dataset::from_vec(lines, 2);
+        let mut counts = ds
+            .flat_map(|l| l.split(' ').map(String::from).collect::<Vec<_>>())
+            .map(|w| (w.clone(), 1u64))
+            .reduce_by_key(|a, b| a + b)
+            .collect();
+        counts.sort();
+        assert_eq!(
+            counts,
+            vec![
+                ("dog".into(), 1),
+                ("fox".into(), 2),
+                ("lazy".into(), 1),
+                ("quick".into(), 1),
+                ("the".into(), 3)
+            ]
+        );
+    }
+
+    #[test]
+    fn reduce_by_key_counts_shuffle() {
+        let ds = Dataset::from_vec(
+            (0..100).map(|i| (i % 5, 1u64)).collect::<Vec<(i32, u64)>>(),
+            4,
+        );
+        let out = ds.reduce_by_key(|a, b| a + b);
+        assert_eq!(out.count(), 5);
+        let stats = ds.stats();
+        assert_eq!(stats.shuffle_stages, 1);
+        // Map-side combine: at most 5 keys per partition × 4 partitions.
+        assert!(stats.shuffled_records <= 20, "{stats:?}");
+    }
+
+    #[test]
+    fn group_by_key_collects_all() {
+        let ds = Dataset::from_vec(vec![(1, "a"), (2, "b"), (1, "c")], 2);
+        let grouped = ds.group_by_key().collect();
+        let ones = grouped.iter().find(|(k, _)| *k == 1).unwrap();
+        assert_eq!(ones.1.len(), 2);
+    }
+
+    #[test]
+    fn join_matches_keys() {
+        let left = Dataset::from_vec(vec![(1, "a"), (2, "b"), (3, "c")], 2);
+        let right = Dataset::from_vec(vec![(2, 20), (3, 30), (4, 40)], 3);
+        let mut joined = left.join(&right).collect();
+        joined.sort_by_key(|(k, _)| *k);
+        assert_eq!(joined, vec![(2, ("b", 20)), (3, ("c", 30))]);
+    }
+
+    #[test]
+    fn join_duplicates_cross_product() {
+        let left = Dataset::from_vec(vec![(1, "x"), (1, "y")], 1);
+        let right = Dataset::from_vec(vec![(1, 10), (1, 20)], 1);
+        assert_eq!(left.join(&right).count(), 4);
+    }
+
+    #[test]
+    fn repartition_preserves_elements() {
+        let ds = Dataset::from_vec((0..50).collect::<Vec<i32>>(), 2);
+        let rp = ds.repartition_by(5, |x| *x);
+        assert_eq!(rp.partition_count(), 5);
+        let mut all = rp.collect();
+        all.sort();
+        assert_eq!(all, (0..50).collect::<Vec<i32>>());
+        assert_eq!(ds.stats().shuffled_records, 50);
+    }
+
+    #[test]
+    fn narrow_ops_move_no_data() {
+        let ds = Dataset::from_vec((0..1000).collect::<Vec<i32>>(), 8);
+        let _ = ds.map(|x| x + 1).filter(|x| x % 3 == 0).map(|x| x * 2).collect();
+        assert_eq!(ds.stats().shuffled_records, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one partition")]
+    fn zero_partitions_panics() {
+        let _: Dataset<i32> = Dataset::from_vec(vec![], 0);
+    }
+}

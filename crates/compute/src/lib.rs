@@ -1,0 +1,34 @@
+//! # sccompute — distributed computation substrates
+//!
+//! The paper's software layer runs "Apache Hadoop YARN and Apache Spark as
+//! the resource scheduler and distributed data processing engine
+//! respectively", with "various distributed data mining tools including
+//! Apache Spark MLlib" (§II-C). This crate rebuilds all three:
+//!
+//! - [`yarn`]: a cluster resource scheduler — node managers with
+//!   memory/vcore capacities, applications requesting containers, and three
+//!   scheduling policies (FIFO, capacity queues, fair).
+//! - [`dataflow`]: a partitioned dataset engine — narrow transformations
+//!   (map/filter/flat-map) run partition-parallel on threads; wide
+//!   transformations (reduce-by-key, group-by-key, join) hash-shuffle across
+//!   partitions, with shuffle volume accounted.
+//! - [`graph`]: Pregel-style vertex-centric graph processing (the GraphX
+//!   analogue the paper cites): PageRank, connected components, shortest
+//!   paths.
+//! - [`mllib`]: data mining on top of the dataflow engine — k-means(++),
+//!   logistic/linear regression, Gaussian naive Bayes, scaling and splits.
+//!
+//! # Examples
+//!
+//! ```
+//! use sccompute::dataflow::Dataset;
+//!
+//! let ds = Dataset::from_vec((1..=100).collect::<Vec<i64>>(), 4);
+//! let total: i64 = ds.map(|x| x * 2).reduce(0, |a, b| a + b);
+//! assert_eq!(total, 10_100);
+//! ```
+
+pub mod dataflow;
+pub mod graph;
+pub mod mllib;
+pub mod yarn;

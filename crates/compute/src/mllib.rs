@@ -1,0 +1,505 @@
+//! Data mining on the dataflow engine — the Spark MLlib analogue (§II-C3).
+//!
+//! Algorithms run *through* [`Dataset`] map/reduce operations, so the k-means
+//! used by the crime hot-spot experiment (E10) genuinely exercises the
+//! distributed engine: assignment is a narrow map, centroid updates are a
+//! `reduce_by_key` shuffle.
+
+use simclock::SeededRng;
+
+use crate::dataflow::Dataset;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansModel {
+    /// Final centroids, one per cluster.
+    pub centroids: Vec<Vec<f64>>,
+    /// Within-cluster sum of squared distances.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansModel {
+    /// Index of the centroid nearest to `point`.
+    pub fn predict(&self, point: &[f64]) -> usize {
+        nearest(point, &self.centroids).0
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn nearest(p: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    centroids
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, sq_dist(p, c)))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("at least one centroid")
+}
+
+/// Distributed Lloyd's k-means with k-means++ initialization.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points, or if points have
+/// inconsistent dimensionality.
+///
+/// # Examples
+///
+/// ```
+/// use sccompute::dataflow::Dataset;
+/// use sccompute::mllib::kmeans;
+///
+/// let pts = vec![vec![0.0, 0.0], vec![0.1, 0.0], vec![5.0, 5.0], vec![5.1, 5.0]];
+/// let ds = Dataset::from_vec(pts, 2);
+/// let model = kmeans(&ds, 2, 10, 42);
+/// assert_eq!(model.centroids.len(), 2);
+/// assert!(model.inertia < 0.1);
+/// ```
+pub fn kmeans(data: &Dataset<Vec<f64>>, k: usize, max_iters: usize, seed: u64) -> KMeansModel {
+    let points = data.collect();
+    assert!(k > 0 && k <= points.len(), "k out of range");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    let mut rng = SeededRng::new(seed);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = vec![points[rng.index(points.len())].clone()];
+    while centroids.len() < k {
+        let weights: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
+        let total: f64 = weights.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.index(points.len())
+        } else {
+            rng.weighted_index(&weights)
+        };
+        centroids.push(points[idx].clone());
+    }
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let current = centroids.clone();
+        // Assignment (narrow) + centroid aggregation (shuffle).
+        let sums = data
+            .map(move |p| {
+                let (c, _) = nearest(p, &current);
+                (c, (p.clone(), 1u64))
+            })
+            .reduce_by_key(|(mut sa, ca), (sb, cb)| {
+                for (a, b) in sa.iter_mut().zip(&sb) {
+                    *a += b;
+                }
+                (sa, ca + cb)
+            })
+            .collect();
+        let mut next = centroids.clone();
+        for (c, (sum, count)) in sums {
+            if count > 0 {
+                next[c] = sum.iter().map(|s| s / count as f64).collect();
+            }
+        }
+        let moved: f64 = centroids.iter().zip(&next).map(|(a, b)| sq_dist(a, b)).sum();
+        centroids = next;
+        if moved < 1e-12 {
+            break;
+        }
+    }
+
+    let inertia = points.iter().map(|p| nearest(p, &centroids).1).sum();
+    KMeansModel { centroids, inertia, iterations }
+}
+
+/// A fitted logistic-regression model (binary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl LogisticModel {
+    /// P(y = 1 | x).
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z: f64 =
+            self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        1.0 / (1.0 + (-z).exp())
+    }
+
+    /// Hard 0/1 prediction at threshold 0.5.
+    pub fn predict(&self, x: &[f64]) -> u8 {
+        u8::from(self.predict_proba(x) >= 0.5)
+    }
+}
+
+/// Full-batch gradient-descent logistic regression over a distributed
+/// dataset of `(features, label)` pairs. Gradients are computed with a
+/// map + reduce per epoch.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or features are inconsistent.
+pub fn logistic_regression(
+    data: &Dataset<(Vec<f64>, u8)>,
+    lr: f64,
+    epochs: usize,
+) -> LogisticModel {
+    let n = data.count();
+    assert!(n > 0, "empty training set");
+    let dim = data.collect()[0].0.len();
+    let mut weights = vec![0.0f64; dim];
+    let mut bias = 0.0f64;
+    for _ in 0..epochs {
+        let w = weights.clone();
+        let b = bias;
+        // Each record contributes (gradient_w, gradient_b) — summed by reduce.
+        let (gw, gb) = data
+            .map(move |(x, y)| {
+                let z: f64 = b + w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let err = p - *y as f64;
+                let gw: Vec<f64> = x.iter().map(|v| err * v).collect();
+                (gw, err)
+            })
+            .reduce((vec![0.0; dim], 0.0), |(mut ga, ba), (gb, bb)| {
+                for (a, b) in ga.iter_mut().zip(&gb) {
+                    *a += b;
+                }
+                (ga, ba + bb)
+            });
+        for (w, g) in weights.iter_mut().zip(&gw) {
+            *w -= lr * g / n as f64;
+        }
+        bias -= lr * gb / n as f64;
+    }
+    LogisticModel { weights, bias }
+}
+
+/// A fitted ordinary-least-squares style linear model (via gradient descent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    /// Feature weights.
+    pub weights: Vec<f64>,
+    /// Intercept.
+    pub bias: f64,
+}
+
+impl LinearModel {
+    /// Predicted value.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
+    }
+}
+
+/// Gradient-descent linear regression over `(features, target)` pairs.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty.
+pub fn linear_regression(data: &Dataset<(Vec<f64>, f64)>, lr: f64, epochs: usize) -> LinearModel {
+    let n = data.count();
+    assert!(n > 0, "empty training set");
+    let dim = data.collect()[0].0.len();
+    let mut weights = vec![0.0f64; dim];
+    let mut bias = 0.0f64;
+    for _ in 0..epochs {
+        let w = weights.clone();
+        let b = bias;
+        let (gw, gb) = data
+            .map(move |(x, y)| {
+                let err = b + w.iter().zip(x).map(|(w, v)| w * v).sum::<f64>() - y;
+                let gw: Vec<f64> = x.iter().map(|v| err * v).collect();
+                (gw, err)
+            })
+            .reduce((vec![0.0; dim], 0.0), |(mut ga, ba), (gb, bb)| {
+                for (a, b) in ga.iter_mut().zip(&gb) {
+                    *a += b;
+                }
+                (ga, ba + bb)
+            });
+        for (w, g) in weights.iter_mut().zip(&gw) {
+            *w -= 2.0 * lr * g / n as f64;
+        }
+        bias -= 2.0 * lr * gb / n as f64;
+    }
+    LinearModel { weights, bias }
+}
+
+/// A fitted Gaussian naive-Bayes classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NaiveBayesModel {
+    /// Per-class prior probabilities.
+    pub priors: Vec<f64>,
+    /// Per-class, per-feature means.
+    pub means: Vec<Vec<f64>>,
+    /// Per-class, per-feature variances (floored for stability).
+    pub variances: Vec<Vec<f64>>,
+}
+
+impl NaiveBayesModel {
+    /// Most likely class for `x`.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        (0..self.priors.len())
+            .map(|c| {
+                let mut log_p = self.priors[c].max(1e-12).ln();
+                for (j, &v) in x.iter().enumerate() {
+                    let mean = self.means[c][j];
+                    let var = self.variances[c][j];
+                    log_p += -0.5 * ((v - mean) * (v - mean) / var + var.ln());
+                }
+                (c, log_p)
+            })
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(c, _)| c)
+            .expect("at least one class")
+    }
+}
+
+/// Fits Gaussian naive Bayes over `(features, class)` pairs with classes in
+/// `0..num_classes`, aggregating via the dataflow engine.
+///
+/// # Panics
+///
+/// Panics if the dataset is empty or `num_classes` is zero.
+pub fn naive_bayes(data: &Dataset<(Vec<f64>, usize)>, num_classes: usize) -> NaiveBayesModel {
+    let n = data.count();
+    assert!(n > 0 && num_classes > 0, "empty training set or no classes");
+    let dim = data.collect()[0].0.len();
+    // (class) -> (count, sum, sum_sq)
+    let per_class = data
+        .map(|(x, c)| {
+            let sq: Vec<f64> = x.iter().map(|v| v * v).collect();
+            (*c, (1u64, x.clone(), sq))
+        })
+        .reduce_by_key(|(ca, mut sa, mut qa), (cb, sb, qb)| {
+            for (a, b) in sa.iter_mut().zip(&sb) {
+                *a += b;
+            }
+            for (a, b) in qa.iter_mut().zip(&qb) {
+                *a += b;
+            }
+            (ca + cb, sa, qa)
+        })
+        .collect();
+
+    let mut priors = vec![0.0; num_classes];
+    let mut means = vec![vec![0.0; dim]; num_classes];
+    let mut variances = vec![vec![1.0; dim]; num_classes];
+    for (c, (count, sum, sum_sq)) in per_class {
+        assert!(c < num_classes, "class {c} out of range");
+        priors[c] = count as f64 / n as f64;
+        for j in 0..dim {
+            let mean = sum[j] / count as f64;
+            means[c][j] = mean;
+            variances[c][j] = (sum_sq[j] / count as f64 - mean * mean).max(1e-6);
+        }
+    }
+    NaiveBayesModel { priors, means, variances }
+}
+
+/// Per-feature standardization fitted on a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardScaler {
+    /// Feature means.
+    pub means: Vec<f64>,
+    /// Feature standard deviations (floored).
+    pub stds: Vec<f64>,
+}
+
+impl StandardScaler {
+    /// Fits on a dataset of feature vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(data: &Dataset<Vec<f64>>) -> Self {
+        let n = data.count();
+        assert!(n > 0, "empty dataset");
+        let dim = data.collect()[0].len();
+        let (sum, sum_sq) = data
+            .map(|x| {
+                let sq: Vec<f64> = x.iter().map(|v| v * v).collect();
+                (x.clone(), sq)
+            })
+            .reduce((vec![0.0; dim], vec![0.0; dim]), |(mut sa, mut qa), (sb, qb)| {
+                for (a, b) in sa.iter_mut().zip(&sb) {
+                    *a += b;
+                }
+                for (a, b) in qa.iter_mut().zip(&qb) {
+                    *a += b;
+                }
+                (sa, qa)
+            });
+        let means: Vec<f64> = sum.iter().map(|s| s / n as f64).collect();
+        let stds: Vec<f64> = sum_sq
+            .iter()
+            .zip(&means)
+            .map(|(q, m)| ((q / n as f64 - m * m).max(1e-12)).sqrt())
+            .collect();
+        StandardScaler { means, stds }
+    }
+
+    /// Standardizes one vector.
+    pub fn transform(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .zip(self.means.iter().zip(&self.stds))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+}
+
+/// Deterministic shuffled train/test split.
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1`.
+pub fn train_test_split<T: Clone>(
+    data: &[T],
+    test_fraction: f64,
+    seed: u64,
+) -> (Vec<T>, Vec<T>) {
+    assert!((0.0..1.0).contains(&test_fraction) && test_fraction > 0.0, "fraction in (0,1)");
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    SeededRng::new(seed).shuffle(&mut idx);
+    let test_n = ((data.len() as f64) * test_fraction).round() as usize;
+    let test: Vec<T> = idx[..test_n].iter().map(|&i| data[i].clone()).collect();
+    let train: Vec<T> = idx[test_n..].iter().map(|&i| data[i].clone()).collect();
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)], seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SeededRng::new(seed);
+        let mut out = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_per {
+                out.push(vec![rng.gaussian(cx, 0.3), rng.gaussian(cy, 0.3)]);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn kmeans_recovers_centers() {
+        let pts = blobs(50, &[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)], 1);
+        let ds = Dataset::from_vec(pts, 4);
+        let model = kmeans(&ds, 3, 50, 2);
+        // Every true center is close to a learned centroid.
+        for (cx, cy) in [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)] {
+            let min = model
+                .centroids
+                .iter()
+                .map(|c| sq_dist(c, &[cx, cy]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min < 0.25, "center ({cx},{cy}) missed: {min}");
+        }
+    }
+
+    #[test]
+    fn kmeans_inertia_decreases_with_k() {
+        let pts = blobs(40, &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0), (6.0, 6.0)], 3);
+        let ds = Dataset::from_vec(pts, 4);
+        let i1 = kmeans(&ds, 1, 30, 4).inertia;
+        let i2 = kmeans(&ds, 2, 30, 4).inertia;
+        let i4 = kmeans(&ds, 4, 30, 4).inertia;
+        assert!(i1 > i2 && i2 > i4, "{i1} > {i2} > {i4}");
+    }
+
+    #[test]
+    fn kmeans_predict_assigns_nearest() {
+        let pts = blobs(30, &[(0.0, 0.0), (10.0, 10.0)], 5);
+        let ds = Dataset::from_vec(pts, 2);
+        let model = kmeans(&ds, 2, 30, 6);
+        let a = model.predict(&[0.1, 0.1]);
+        let b = model.predict(&[9.9, 9.9]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn kmeans_uses_shuffles() {
+        let pts = blobs(20, &[(0.0, 0.0), (5.0, 5.0)], 7);
+        let ds = Dataset::from_vec(pts, 2);
+        let _ = kmeans(&ds, 2, 10, 8);
+        assert!(ds.stats().shuffle_stages > 0, "centroid updates shuffle");
+    }
+
+    #[test]
+    fn logistic_separates_blobs() {
+        let mut rng = SeededRng::new(9);
+        let mut data = Vec::new();
+        for _ in 0..100 {
+            data.push((vec![rng.gaussian(-2.0, 0.5), rng.gaussian(0.0, 0.5)], 0u8));
+            data.push((vec![rng.gaussian(2.0, 0.5), rng.gaussian(0.0, 0.5)], 1u8));
+        }
+        let ds = Dataset::from_vec(data.clone(), 4);
+        let model = logistic_regression(&ds, 0.5, 200);
+        let correct = data
+            .iter()
+            .filter(|(x, y)| model.predict(x) == *y)
+            .count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn linear_fits_line() {
+        // y = 3x + 1
+        let data: Vec<(Vec<f64>, f64)> =
+            (0..50).map(|i| (vec![i as f64 / 10.0], 3.0 * i as f64 / 10.0 + 1.0)).collect();
+        let ds = Dataset::from_vec(data, 3);
+        let model = linear_regression(&ds, 0.05, 2000);
+        assert!((model.weights[0] - 3.0).abs() < 0.1, "w {}", model.weights[0]);
+        assert!((model.bias - 1.0).abs() < 0.3, "b {}", model.bias);
+    }
+
+    #[test]
+    fn naive_bayes_classifies() {
+        let mut rng = SeededRng::new(10);
+        let mut data = Vec::new();
+        for _ in 0..200 {
+            data.push((vec![rng.gaussian(0.0, 1.0), rng.gaussian(0.0, 1.0)], 0usize));
+            data.push((vec![rng.gaussian(4.0, 1.0), rng.gaussian(4.0, 1.0)], 1usize));
+        }
+        let ds = Dataset::from_vec(data.clone(), 4);
+        let model = naive_bayes(&ds, 2);
+        assert!((model.priors[0] - 0.5).abs() < 0.01);
+        let correct = data.iter().filter(|(x, c)| model.predict(x) == *c).count();
+        assert!(correct as f64 / data.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn scaler_standardizes() {
+        let data = vec![vec![1.0, 100.0], vec![2.0, 200.0], vec![3.0, 300.0]];
+        let ds = Dataset::from_vec(data.clone(), 2);
+        let scaler = StandardScaler::fit(&ds);
+        let transformed: Vec<Vec<f64>> = data.iter().map(|x| scaler.transform(x)).collect();
+        for j in 0..2 {
+            let mean: f64 = transformed.iter().map(|x| x[j]).sum::<f64>() / 3.0;
+            assert!(mean.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn split_partitions_data() {
+        let data: Vec<u32> = (0..100).collect();
+        let (train, test) = train_test_split(&data, 0.2, 11);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+        let mut all: Vec<u32> = train.into_iter().chain(test).collect();
+        all.sort_unstable();
+        assert_eq!(all, data);
+    }
+
+    #[test]
+    #[should_panic(expected = "k out of range")]
+    fn kmeans_rejects_bad_k() {
+        let ds = Dataset::from_vec(vec![vec![0.0]], 1);
+        let _ = kmeans(&ds, 2, 5, 0);
+    }
+}

@@ -1,0 +1,6 @@
+//! The application layer (paper §IV and §V).
+
+pub mod actions;
+pub mod opioid;
+pub mod social;
+pub mod vehicle;

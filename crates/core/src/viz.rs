@@ -1,0 +1,260 @@
+//! Visualization exports (paper §II-C3).
+//!
+//! The paper visualizes raw and analyzed data with D3 on a web frontend; the
+//! cyberinfrastructure's job is to emit the artifacts that frontend consumes.
+//! This module produces GeoJSON feature collections, JSON dashboard
+//! documents, and self-contained SVG charts.
+
+use scgeo::GeoPoint;
+use serde_json::{json, Map, Value};
+
+/// A point feature destined for a map layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapFeature {
+    /// Location.
+    pub location: GeoPoint,
+    /// Display label.
+    pub label: String,
+    /// Category (drives marker styling downstream).
+    pub category: String,
+}
+
+/// Builds a GeoJSON `FeatureCollection` from point features.
+///
+/// # Examples
+///
+/// ```
+/// use scgeo::GeoPoint;
+/// use smartcity_core::viz::{geojson_points, MapFeature};
+///
+/// let features = vec![MapFeature {
+///     location: GeoPoint::new(30.45, -91.18),
+///     label: "cam-0001".into(),
+///     category: "camera".into(),
+/// }];
+/// let doc = geojson_points(&features);
+/// assert_eq!(doc["type"], "FeatureCollection");
+/// assert_eq!(doc["features"].as_array().unwrap().len(), 1);
+/// ```
+pub fn geojson_points(features: &[MapFeature]) -> Value {
+    let features: Vec<Value> = features
+        .iter()
+        .map(|f| {
+            json!({
+                "type": "Feature",
+                "geometry": {
+                    "type": "Point",
+                    // GeoJSON is [lon, lat].
+                    "coordinates": [f.location.lon(), f.location.lat()],
+                },
+                "properties": {
+                    "label": f.label,
+                    "category": f.category,
+                },
+            })
+        })
+        .collect();
+    json!({ "type": "FeatureCollection", "features": features })
+}
+
+/// A labelled numeric series for dashboards and charts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Series name.
+    pub name: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Builds a JSON dashboard document: named KPIs plus named series — the
+/// shape a D3 page would fetch.
+pub fn dashboard(kpis: &[(&str, f64)], series: &[Series]) -> Value {
+    let mut kpi_map = Map::new();
+    for (k, v) in kpis {
+        kpi_map.insert((*k).to_string(), json!(v));
+    }
+    json!({
+        "kpis": Value::Object(kpi_map),
+        "series": series.iter().map(|s| json!({
+            "name": s.name,
+            "points": s.points.iter().map(|(x, y)| json!([x, y])).collect::<Vec<_>>(),
+        })).collect::<Vec<_>>(),
+    })
+}
+
+/// Renders a simple SVG line chart of one or more series.
+///
+/// Returns a complete `<svg>` document string; panics never — empty series
+/// produce an empty plot area.
+pub fn svg_line_chart(title: &str, series: &[Series], width: u32, height: u32) -> String {
+    let (w, h) = (width.max(100) as f64, height.max(80) as f64);
+    let margin = 40.0;
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
+    let (y_min, y_max) = bounds(all.iter().map(|p| p.1));
+    let sx = |x: f64| margin + (x - x_min) / (x_max - x_min).max(1e-12) * (w - 2.0 * margin);
+    let sy = |y: f64| h - margin - (y - y_min) / (y_max - y_min).max(1e-12) * (h - 2.0 * margin);
+
+    let palette = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let mut body = String::new();
+    for (i, s) in series.iter().enumerate() {
+        if s.points.is_empty() {
+            continue;
+        }
+        let path: Vec<String> = s
+            .points
+            .iter()
+            .enumerate()
+            .map(|(j, (x, y))| {
+                format!("{}{:.2},{:.2}", if j == 0 { "M" } else { "L" }, sx(*x), sy(*y))
+            })
+            .collect();
+        let color = palette[i % palette.len()];
+        body.push_str(&format!(
+            "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"2\"/>\n",
+            path.join(" ")
+        ));
+        body.push_str(&format!(
+            "<text x=\"{:.0}\" y=\"{:.0}\" fill=\"{color}\" font-size=\"12\">{}</text>\n",
+            w - margin + 4.0,
+            sy(s.points.last().expect("non-empty").1),
+            escape(&s.name)
+        ));
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {w} {h}\">\n<text x=\"{:.0}\" y=\"20\" font-size=\"14\" \
+         font-weight=\"bold\">{}</text>\n<rect x=\"{margin}\" y=\"{margin}\" \
+         width=\"{:.0}\" height=\"{:.0}\" fill=\"none\" stroke=\"#ccc\"/>\n{body}</svg>",
+        margin,
+        escape(title),
+        w - 2.0 * margin,
+        h - 2.0 * margin,
+    )
+}
+
+/// Renders a simple SVG bar chart from labelled values.
+pub fn svg_bar_chart(title: &str, bars: &[(String, f64)], width: u32, height: u32) -> String {
+    let (w, h) = (width.max(100) as f64, height.max(80) as f64);
+    let margin = 40.0;
+    let max = bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-12);
+    let slot = (w - 2.0 * margin) / bars.len().max(1) as f64;
+    let mut body = String::new();
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let bh = (v / max) * (h - 2.0 * margin);
+        let x = margin + i as f64 * slot;
+        body.push_str(&format!(
+            "<rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" fill=\"#1f77b4\"/>\n",
+            x + slot * 0.1,
+            h - margin - bh,
+            slot * 0.8,
+            bh
+        ));
+        body.push_str(&format!(
+            "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"10\" text-anchor=\"middle\">{}</text>\n",
+            x + slot * 0.5,
+            h - margin + 12.0,
+            escape(label)
+        ));
+    }
+    format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" \
+         viewBox=\"0 0 {w} {h}\">\n<text x=\"{margin}\" y=\"20\" font-size=\"14\" \
+         font-weight=\"bold\">{}</text>\n{body}</svg>",
+        escape(title),
+    )
+}
+
+fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    for v in values {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if min > max {
+        (0.0, 1.0)
+    } else {
+        (min, max)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feature(lat: f64, lon: f64) -> MapFeature {
+        MapFeature {
+            location: GeoPoint::new(lat, lon),
+            label: "x".into(),
+            category: "incident".into(),
+        }
+    }
+
+    #[test]
+    fn geojson_structure() {
+        let doc = geojson_points(&[feature(30.0, -91.0), feature(31.0, -90.0)]);
+        assert_eq!(doc["type"], "FeatureCollection");
+        let feats = doc["features"].as_array().unwrap();
+        assert_eq!(feats.len(), 2);
+        // lon first per spec.
+        assert_eq!(feats[0]["geometry"]["coordinates"][0], -91.0);
+        assert_eq!(feats[0]["geometry"]["coordinates"][1], 30.0);
+    }
+
+    #[test]
+    fn dashboard_shape() {
+        let doc = dashboard(
+            &[("cameras", 240.0), ("incidents", 17.0)],
+            &[Series { name: "latency".into(), points: vec![(0.0, 1.0), (1.0, 0.5)] }],
+        );
+        assert_eq!(doc["kpis"]["cameras"], 240.0);
+        assert_eq!(doc["series"][0]["name"], "latency");
+        assert_eq!(doc["series"][0]["points"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn svg_line_chart_valid() {
+        let svg = svg_line_chart(
+            "Latency vs threshold",
+            &[Series { name: "p95".into(), points: vec![(0.0, 2.0), (0.5, 1.0), (1.0, 3.0)] }],
+            400,
+            300,
+        );
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("p95"));
+    }
+
+    #[test]
+    fn svg_bar_chart_valid() {
+        let svg = svg_bar_chart(
+            "Cameras per city",
+            &[("Baton Rouge".into(), 41.0), ("NOLA".into(), 36.0)],
+            400,
+            300,
+        );
+        assert!(svg.contains("<rect"));
+        assert!(svg.contains("Baton Rouge"));
+    }
+
+    #[test]
+    fn svg_escapes_labels() {
+        let svg = svg_bar_chart("a<b&c", &[("x<y".into(), 1.0)], 200, 100);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    fn empty_series_no_panic() {
+        let svg = svg_line_chart("empty", &[], 200, 100);
+        assert!(svg.starts_with("<svg"));
+        let svg = svg_bar_chart("empty", &[], 200, 100);
+        assert!(svg.starts_with("<svg"));
+    }
+}

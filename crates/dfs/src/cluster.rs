@@ -1,0 +1,494 @@
+//! The cluster facade: client API, placement, failures, re-replication.
+
+use bytes::Bytes;
+use simclock::{SeededRng, SimTime, VirtualClock};
+
+use crate::block::{Block, BlockId};
+use crate::datanode::{DataNode, NodeId};
+use crate::error::DfsError;
+use crate::namenode::{FileMeta, NameNode};
+
+/// Aggregate cluster statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Total datanodes.
+    pub nodes: usize,
+    /// Alive datanodes.
+    pub alive_nodes: usize,
+    /// Files in the namespace.
+    pub files: usize,
+    /// Distinct blocks tracked by the namenode.
+    pub blocks: usize,
+    /// Blocks with fewer alive replicas than the replication factor.
+    pub under_replicated: usize,
+    /// Blocks with zero alive replicas.
+    pub lost: usize,
+    /// Total replica bytes across alive nodes.
+    pub used_bytes: usize,
+}
+
+/// An HDFS-like cluster: one namenode plus `n` datanodes.
+///
+/// All operations are synchronous and deterministic under the construction
+/// seed. See the crate docs for a usage example.
+#[derive(Debug)]
+pub struct DfsCluster {
+    namenode: NameNode,
+    datanodes: Vec<DataNode>,
+    replication: usize,
+    block_size: usize,
+    clock: VirtualClock,
+    rng: SeededRng,
+}
+
+impl DfsCluster {
+    /// Creates a cluster of `nodes` datanodes with the given `replication`
+    /// factor and `block_size` in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::BadConfig`] if any parameter is zero or
+    /// `replication > nodes`.
+    pub fn new(
+        nodes: usize,
+        replication: usize,
+        block_size: usize,
+        seed: u64,
+    ) -> Result<Self, DfsError> {
+        if nodes == 0 || replication == 0 || block_size == 0 {
+            return Err(DfsError::BadConfig("nodes, replication, block_size must be positive".into()));
+        }
+        if replication > nodes {
+            return Err(DfsError::BadConfig(format!(
+                "replication {replication} exceeds node count {nodes}"
+            )));
+        }
+        Ok(DfsCluster {
+            namenode: NameNode::new(),
+            datanodes: (0..nodes).map(|i| DataNode::new(NodeId(i as u32))).collect(),
+            replication,
+            block_size,
+            clock: VirtualClock::new(),
+            rng: SeededRng::new(seed),
+        })
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The configured block size in bytes.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Read-only access to the namenode.
+    pub fn namenode(&self) -> &NameNode {
+        &self.namenode
+    }
+
+    /// Read-only access to a datanode.
+    pub fn datanode(&self, id: NodeId) -> Option<&DataNode> {
+        self.datanodes.get(id.0 as usize)
+    }
+
+    fn alive_ids(&self) -> Vec<NodeId> {
+        self.datanodes.iter().filter(|d| d.is_alive()).map(|d| d.id()).collect()
+    }
+
+    /// Chooses `k` distinct targets among alive nodes, preferring emptier
+    /// nodes (a simplification of HDFS's rack-aware spread) with random
+    /// tie-breaking.
+    fn choose_targets(&mut self, k: usize, exclude: &[NodeId]) -> Result<Vec<NodeId>, DfsError> {
+        let mut candidates: Vec<NodeId> = self
+            .alive_ids()
+            .into_iter()
+            .filter(|id| !exclude.contains(id))
+            .collect();
+        if candidates.len() < k {
+            return Err(DfsError::NotEnoughNodes { alive: candidates.len(), needed: k });
+        }
+        // Shuffle first so equal-load nodes tie-break randomly, then stable
+        // sort by load.
+        self.rng.shuffle(&mut candidates);
+        candidates.sort_by_key(|id| self.datanodes[id.0 as usize].used_bytes());
+        candidates.truncate(k);
+        Ok(candidates)
+    }
+
+    fn write_block(&mut self, data: &[u8]) -> Result<BlockId, DfsError> {
+        let id = self.namenode.allocate_block();
+        let targets = self.choose_targets(self.replication, &[])?;
+        // Pipelined write: each target stores the block, then acks.
+        for t in &targets {
+            let block = Block::new(id, Bytes::copy_from_slice(data));
+            self.datanodes[t.0 as usize].store(block)?;
+            self.namenode.add_location(id, *t);
+        }
+        Ok(id)
+    }
+
+    fn split_and_write(&mut self, data: &[u8]) -> Result<Vec<BlockId>, DfsError> {
+        if data.is_empty() {
+            return Ok(Vec::new());
+        }
+        data.chunks(self.block_size).map(|chunk| self.write_block(chunk)).collect()
+    }
+
+    /// Creates a file with the given contents, splitting into blocks and
+    /// replicating each.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::FileExists`] on a duplicate path;
+    /// [`DfsError::NotEnoughNodes`] if alive nodes < replication.
+    pub fn create(&mut self, path: &str, data: &[u8]) -> Result<(), DfsError> {
+        if self.namenode.exists(path) {
+            return Err(DfsError::FileExists(path.to_string()));
+        }
+        let blocks = self.split_and_write(data)?;
+        self.namenode.create_file(path, FileMeta { blocks, len: data.len() })
+    }
+
+    /// Appends to an existing file (new blocks; no partial-block fill, like
+    /// HDFS's append in spirit).
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::FileNotFound`] if the path is absent.
+    pub fn append(&mut self, path: &str, data: &[u8]) -> Result<(), DfsError> {
+        self.namenode.file(path)?; // existence check first
+        let blocks = self.split_and_write(data)?;
+        self.namenode.append_blocks(path, &blocks, data.len())
+    }
+
+    /// Reads a whole file, picking an alive, checksum-valid replica per block.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::FileNotFound`], or [`DfsError::BlockUnavailable`] if some
+    /// block has no healthy alive replica.
+    pub fn read(&self, path: &str) -> Result<Vec<u8>, DfsError> {
+        let meta = self.namenode.file(path)?;
+        let mut out = Vec::with_capacity(meta.len);
+        for &b in &meta.blocks {
+            out.extend_from_slice(&self.read_block(b)?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a single block from any healthy replica.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::BlockUnavailable`] if no alive replica passes its
+    /// checksum.
+    pub fn read_block(&self, block: BlockId) -> Result<Bytes, DfsError> {
+        for &node in self.namenode.locations(block) {
+            if let Some(dn) = self.datanode(node) {
+                if let Ok(data) = dn.read(block) {
+                    return Ok(data);
+                }
+            }
+        }
+        Err(DfsError::BlockUnavailable(block))
+    }
+
+    /// Deletes a file and reclaims its replicas.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::FileNotFound`] if absent.
+    pub fn delete(&mut self, path: &str) -> Result<(), DfsError> {
+        // Snapshot locations before the namenode forgets them.
+        let meta = self.namenode.file(path)?.clone();
+        let locs: Vec<(BlockId, Vec<NodeId>)> = meta
+            .blocks
+            .iter()
+            .map(|&b| (b, self.namenode.locations(b).to_vec()))
+            .collect();
+        self.namenode.remove_file(path)?;
+        for (b, nodes) in locs {
+            for n in nodes {
+                self.datanodes[n.0 as usize].remove(b);
+            }
+        }
+        Ok(())
+    }
+
+    /// Marks a datanode dead. Its replicas become unavailable until restore
+    /// or re-replication.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::UnknownNode`] for an out-of-range id.
+    pub fn kill_node(&mut self, node: u32) -> Result<(), DfsError> {
+        let dn = self
+            .datanodes
+            .get_mut(node as usize)
+            .ok_or(DfsError::UnknownNode(NodeId(node)))?;
+        dn.kill();
+        Ok(())
+    }
+
+    /// Restores a dead datanode; its surviving replicas re-register via a
+    /// block report.
+    ///
+    /// # Errors
+    ///
+    /// [`DfsError::UnknownNode`] for an out-of-range id.
+    pub fn restore_node(&mut self, node: u32) -> Result<(), DfsError> {
+        let dn = self
+            .datanodes
+            .get_mut(node as usize)
+            .ok_or(DfsError::UnknownNode(NodeId(node)))?;
+        dn.restore();
+        let id = dn.id();
+        for b in dn.block_report() {
+            self.namenode.add_location(b, id);
+        }
+        Ok(())
+    }
+
+    /// Advances the virtual clock and records heartbeats from alive nodes.
+    pub fn tick(&mut self, dt: simclock::SimDuration) -> SimTime {
+        let now = self.clock.advance(dt);
+        for dn in &mut self.datanodes {
+            if dn.is_alive() {
+                dn.heartbeat(now);
+            }
+        }
+        now
+    }
+
+    /// Scans for under-replicated blocks and copies them from a healthy
+    /// replica to fresh targets — HDFS's re-replication on datanode loss.
+    /// Returns the number of new replicas created.
+    pub fn re_replicate(&mut self) -> usize {
+        // Collect work first (borrow discipline).
+        let mut work: Vec<(BlockId, Vec<NodeId>, usize)> = Vec::new();
+        for (block, locs) in self.namenode.all_blocks() {
+            let alive: Vec<NodeId> = locs
+                .iter()
+                .copied()
+                .filter(|n| self.datanodes[n.0 as usize].is_alive())
+                .collect();
+            if !alive.is_empty() && alive.len() < self.replication {
+                let missing = self.replication - alive.len();
+                work.push((block, locs.to_vec(), missing));
+            }
+        }
+        let mut created = 0;
+        for (block, all_locs, missing) in work {
+            // Read from any healthy replica.
+            let Ok(data) = self.read_block(block) else { continue };
+            let Ok(targets) = self.choose_targets(missing, &all_locs) else { continue };
+            for t in targets {
+                let replica = Block::new(block, data.clone());
+                if self.datanodes[t.0 as usize].store(replica).is_ok() {
+                    self.namenode.add_location(block, t);
+                    created += 1;
+                }
+            }
+        }
+        created
+    }
+
+    /// Computes aggregate statistics (the namenode web-UI numbers).
+    pub fn stats(&self) -> ClusterStats {
+        let mut under = 0;
+        let mut lost = 0;
+        let mut blocks = 0;
+        for (_, locs) in self.namenode.all_blocks() {
+            blocks += 1;
+            let alive = locs
+                .iter()
+                .filter(|n| self.datanodes[n.0 as usize].is_alive())
+                .count();
+            if alive == 0 {
+                lost += 1;
+            } else if alive < self.replication {
+                under += 1;
+            }
+        }
+        ClusterStats {
+            nodes: self.datanodes.len(),
+            alive_nodes: self.alive_ids().len(),
+            files: self.namenode.file_count(),
+            blocks,
+            under_replicated: under,
+            lost,
+            used_bytes: self
+                .datanodes
+                .iter()
+                .filter(|d| d.is_alive())
+                .map(DataNode::used_bytes)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(n: usize, seed: u8) -> Vec<u8> {
+        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn create_read_roundtrip() {
+        let mut dfs = DfsCluster::new(4, 2, 1024, 1).unwrap();
+        let data = payload(5000, 3);
+        dfs.create("/f", &data).unwrap();
+        assert_eq!(dfs.read("/f").unwrap(), data);
+    }
+
+    #[test]
+    fn empty_file() {
+        let mut dfs = DfsCluster::new(3, 2, 1024, 2).unwrap();
+        dfs.create("/empty", &[]).unwrap();
+        assert_eq!(dfs.read("/empty").unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn block_splitting_counts() {
+        let mut dfs = DfsCluster::new(4, 2, 100, 3).unwrap();
+        dfs.create("/f", &payload(250, 0)).unwrap();
+        assert_eq!(dfs.namenode().file("/f").unwrap().blocks.len(), 3);
+    }
+
+    #[test]
+    fn replication_places_on_distinct_nodes() {
+        let mut dfs = DfsCluster::new(5, 3, 1024, 4).unwrap();
+        dfs.create("/f", &payload(10, 0)).unwrap();
+        let b = dfs.namenode().file("/f").unwrap().blocks[0];
+        let locs = dfs.namenode().locations(b);
+        assert_eq!(locs.len(), 3);
+        let mut uniq = locs.to_vec();
+        uniq.sort();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 3);
+    }
+
+    #[test]
+    fn survives_replication_minus_one_failures() {
+        let mut dfs = DfsCluster::new(6, 3, 512, 5).unwrap();
+        let data = payload(3000, 7);
+        dfs.create("/f", &data).unwrap();
+        dfs.kill_node(0).unwrap();
+        dfs.kill_node(1).unwrap();
+        assert_eq!(dfs.read("/f").unwrap(), data, "3-way replication survives 2 failures");
+    }
+
+    #[test]
+    fn data_lost_when_all_replicas_die() {
+        let mut dfs = DfsCluster::new(2, 2, 512, 6).unwrap();
+        dfs.create("/f", &payload(100, 1)).unwrap();
+        dfs.kill_node(0).unwrap();
+        dfs.kill_node(1).unwrap();
+        assert!(matches!(dfs.read("/f"), Err(DfsError::BlockUnavailable(_))));
+    }
+
+    #[test]
+    fn restore_brings_data_back() {
+        let mut dfs = DfsCluster::new(2, 2, 512, 7).unwrap();
+        let data = payload(100, 2);
+        dfs.create("/f", &data).unwrap();
+        dfs.kill_node(0).unwrap();
+        dfs.kill_node(1).unwrap();
+        dfs.restore_node(0).unwrap();
+        assert_eq!(dfs.read("/f").unwrap(), data);
+    }
+
+    #[test]
+    fn re_replication_restores_factor() {
+        let mut dfs = DfsCluster::new(6, 3, 512, 8).unwrap();
+        dfs.create("/f", &payload(2000, 3)).unwrap();
+        dfs.kill_node(0).unwrap();
+        let before = dfs.stats();
+        let created = dfs.re_replicate();
+        let after = dfs.stats();
+        assert_eq!(after.under_replicated, 0, "created {created}, before {before:?}");
+        // After re-replication, killing two *more* nodes still cannot lose data.
+        dfs.kill_node(1).unwrap();
+        dfs.kill_node(2).unwrap();
+        assert!(dfs.read("/f").is_ok());
+    }
+
+    #[test]
+    fn corrupt_replica_is_skipped() {
+        let mut dfs = DfsCluster::new(3, 2, 512, 9).unwrap();
+        let data = payload(100, 4);
+        dfs.create("/f", &data).unwrap();
+        let b = dfs.namenode().file("/f").unwrap().blocks[0];
+        let first = dfs.namenode().locations(b)[0];
+        dfs.datanodes[first.0 as usize].corrupt_block(b);
+        assert_eq!(dfs.read("/f").unwrap(), data, "falls through to the healthy replica");
+    }
+
+    #[test]
+    fn delete_reclaims_space() {
+        let mut dfs = DfsCluster::new(3, 2, 512, 10).unwrap();
+        dfs.create("/f", &payload(1000, 5)).unwrap();
+        assert!(dfs.stats().used_bytes > 0);
+        dfs.delete("/f").unwrap();
+        let s = dfs.stats();
+        assert_eq!(s.used_bytes, 0);
+        assert_eq!(s.files, 0);
+        assert_eq!(s.blocks, 0);
+        assert!(matches!(dfs.read("/f"), Err(DfsError::FileNotFound(_))));
+    }
+
+    #[test]
+    fn append_extends_file() {
+        let mut dfs = DfsCluster::new(3, 2, 100, 11).unwrap();
+        let a = payload(150, 6);
+        let b = payload(80, 7);
+        dfs.create("/f", &a).unwrap();
+        dfs.append("/f", &b).unwrap();
+        let mut expect = a;
+        expect.extend_from_slice(&b);
+        assert_eq!(dfs.read("/f").unwrap(), expect);
+    }
+
+    #[test]
+    fn write_fails_without_enough_alive_nodes() {
+        let mut dfs = DfsCluster::new(3, 3, 512, 12).unwrap();
+        dfs.kill_node(0).unwrap();
+        assert!(matches!(
+            dfs.create("/f", &payload(10, 0)),
+            Err(DfsError::NotEnoughNodes { alive: 2, needed: 3 })
+        ));
+    }
+
+    #[test]
+    fn bad_config_rejected() {
+        assert!(DfsCluster::new(0, 1, 512, 0).is_err());
+        assert!(DfsCluster::new(2, 3, 512, 0).is_err());
+        assert!(DfsCluster::new(2, 2, 0, 0).is_err());
+    }
+
+    #[test]
+    fn placement_balances_load() {
+        let mut dfs = DfsCluster::new(4, 1, 100, 13).unwrap();
+        for i in 0..40 {
+            dfs.create(&format!("/f{i}"), &payload(100, i as u8)).unwrap();
+        }
+        let counts: Vec<usize> =
+            dfs.datanodes.iter().map(DataNode::block_count).collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max - min <= 1, "least-loaded placement keeps balance, got {counts:?}");
+    }
+
+    #[test]
+    fn tick_heartbeats_alive_only() {
+        let mut dfs = DfsCluster::new(3, 2, 512, 14).unwrap();
+        dfs.kill_node(2).unwrap();
+        let now = dfs.tick(simclock::SimDuration::from_secs(3));
+        assert_eq!(dfs.datanode(NodeId(0)).unwrap().last_heartbeat(), now);
+        assert_eq!(dfs.datanode(NodeId(2)).unwrap().last_heartbeat(), SimTime::ZERO);
+    }
+}

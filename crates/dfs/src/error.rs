@@ -1,0 +1,59 @@
+//! DFS error types.
+
+use crate::block::BlockId;
+use crate::datanode::NodeId;
+
+/// Errors returned by the distributed file system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfsError {
+    /// The path does not exist in the namespace.
+    FileNotFound(String),
+    /// The path already exists (create is exclusive).
+    FileExists(String),
+    /// No alive replica holds this block.
+    BlockUnavailable(BlockId),
+    /// A replica's data failed its checksum.
+    CorruptBlock(BlockId, NodeId),
+    /// Fewer alive datanodes than the replication factor.
+    NotEnoughNodes {
+        /// Alive nodes available.
+        alive: usize,
+        /// Replicas required.
+        needed: usize,
+    },
+    /// The referenced datanode id does not exist.
+    UnknownNode(NodeId),
+    /// Invalid configuration (zero nodes, zero block size, ...).
+    BadConfig(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::FileNotFound(p) => write!(f, "file not found: {p}"),
+            DfsError::FileExists(p) => write!(f, "file already exists: {p}"),
+            DfsError::BlockUnavailable(b) => write!(f, "no alive replica for block {b}"),
+            DfsError::CorruptBlock(b, n) => write!(f, "corrupt replica of block {b} on node {n}"),
+            DfsError::NotEnoughNodes { alive, needed } => {
+                write!(f, "only {alive} alive nodes for replication factor {needed}")
+            }
+            DfsError::UnknownNode(n) => write!(f, "unknown datanode {n}"),
+            DfsError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DfsError::FileNotFound("/x".into());
+        assert!(e.to_string().contains("/x"));
+        let e = DfsError::NotEnoughNodes { alive: 1, needed: 3 };
+        assert!(e.to_string().contains('1') && e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,96 @@
+//! Property tests for DFS invariants.
+
+use proptest::prelude::*;
+use scdfs::DfsCluster;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any file written must read back identically, for arbitrary contents
+    /// and block sizes.
+    #[test]
+    fn roundtrip_any_payload(
+        data in proptest::collection::vec(any::<u8>(), 0..4096),
+        block_size in 1usize..512,
+        seed in any::<u64>(),
+    ) {
+        let mut dfs = DfsCluster::new(4, 2, block_size, seed).unwrap();
+        dfs.create("/p", &data).unwrap();
+        prop_assert_eq!(dfs.read("/p").unwrap(), data);
+    }
+
+    /// With replication factor r, any set of r-1 node failures leaves every
+    /// file readable.
+    #[test]
+    fn tolerates_r_minus_one_failures(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        kill in proptest::collection::hash_set(0u32..6, 0..=2),
+        seed in any::<u64>(),
+    ) {
+        let mut dfs = DfsCluster::new(6, 3, 256, seed).unwrap();
+        dfs.create("/p", &data).unwrap();
+        for k in kill {
+            dfs.kill_node(k).unwrap();
+        }
+        prop_assert_eq!(dfs.read("/p").unwrap(), data);
+    }
+
+    /// After killing one node and re-replicating, no block is
+    /// under-replicated and the cluster survives two further failures.
+    #[test]
+    fn re_replication_restores_fault_tolerance(
+        data in proptest::collection::vec(any::<u8>(), 1..2048),
+        first_kill in 0u32..6,
+        seed in any::<u64>(),
+    ) {
+        let mut dfs = DfsCluster::new(6, 3, 256, seed).unwrap();
+        dfs.create("/p", &data).unwrap();
+        dfs.kill_node(first_kill).unwrap();
+        dfs.re_replicate();
+        prop_assert_eq!(dfs.stats().under_replicated, 0);
+        // Kill two more distinct alive nodes.
+        let mut killed = 0;
+        for n in 0..6u32 {
+            if n != first_kill && killed < 2 {
+                dfs.kill_node(n).unwrap();
+                killed += 1;
+            }
+        }
+        prop_assert_eq!(dfs.read("/p").unwrap(), data);
+    }
+
+    /// Appends concatenate: read(create(a) + append(b)) == a ++ b.
+    #[test]
+    fn append_concatenates(
+        a in proptest::collection::vec(any::<u8>(), 0..1024),
+        b in proptest::collection::vec(any::<u8>(), 0..1024),
+        block_size in 1usize..300,
+    ) {
+        let mut dfs = DfsCluster::new(4, 2, block_size, 42).unwrap();
+        dfs.create("/p", &a).unwrap();
+        dfs.append("/p", &b).unwrap();
+        let mut expect = a;
+        expect.extend_from_slice(&b);
+        prop_assert_eq!(dfs.read("/p").unwrap(), expect);
+    }
+
+    /// Stats never report more under-replicated + lost blocks than total
+    /// blocks, and used bytes equal replication × payload while healthy.
+    #[test]
+    fn stats_are_consistent(
+        files in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..512), 1..6),
+        seed in any::<u64>(),
+    ) {
+        let mut dfs = DfsCluster::new(5, 2, 128, seed).unwrap();
+        let mut total = 0usize;
+        for (i, data) in files.iter().enumerate() {
+            dfs.create(&format!("/f{i}"), data).unwrap();
+            total += data.len();
+        }
+        let s = dfs.stats();
+        prop_assert_eq!(s.files, files.len());
+        prop_assert!(s.under_replicated + s.lost <= s.blocks);
+        prop_assert_eq!(s.under_replicated, 0);
+        prop_assert_eq!(s.used_bytes, total * 2);
+    }
+}

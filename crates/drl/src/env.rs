@@ -1,0 +1,108 @@
+//! The environment interface and episode runner.
+
+/// One experience tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State before the action.
+    pub state: Vec<f32>,
+    /// Action taken.
+    pub action: usize,
+    /// Immediate reward.
+    pub reward: f64,
+    /// State after the action.
+    pub next_state: Vec<f32>,
+    /// Whether the episode ended at `next_state`.
+    pub done: bool,
+}
+
+/// A reinforcement-learning environment with a discrete action space.
+pub trait Environment {
+    /// Dimensionality of the state vector.
+    fn state_dim(&self) -> usize;
+
+    /// Number of discrete actions.
+    fn num_actions(&self) -> usize;
+
+    /// Resets to an initial state, returning it.
+    fn reset(&mut self) -> Vec<f32>;
+
+    /// Applies `action`, returning `(next_state, reward, done)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `action >= num_actions()`.
+    fn step(&mut self, action: usize) -> (Vec<f32>, f64, bool);
+}
+
+/// Runs one full episode, letting the agent observe (and optionally learn
+/// from) each transition. Returns the undiscounted episode return.
+pub fn run_episode<E, A>(env: &mut E, agent: &mut A, learn: bool) -> f64
+where
+    E: Environment + ?Sized,
+    A: crate::agents::Agent + ?Sized,
+{
+    let mut state = env.reset();
+    let mut total = 0.0;
+    loop {
+        let action = agent.act(&state);
+        let (next, reward, done) = env.step(action);
+        total += reward;
+        if learn {
+            agent.observe(Transition {
+                state: state.clone(),
+                action,
+                reward,
+                next_state: next.clone(),
+                done,
+            });
+        }
+        state = next;
+        if done {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::RandomAgent;
+
+    /// A 1-D corridor: go right to the goal.
+    struct Corridor {
+        pos: i32,
+        steps: usize,
+    }
+
+    impl Environment for Corridor {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn num_actions(&self) -> usize {
+            2
+        }
+        fn reset(&mut self) -> Vec<f32> {
+            self.pos = 0;
+            self.steps = 0;
+            vec![0.0]
+        }
+        fn step(&mut self, action: usize) -> (Vec<f32>, f64, bool) {
+            assert!(action < 2);
+            self.pos += if action == 1 { 1 } else { -1 };
+            self.steps += 1;
+            let done = self.pos >= 5 || self.steps >= 50;
+            let reward = if self.pos >= 5 { 10.0 } else { -0.1 };
+            (vec![self.pos as f32 / 5.0], reward, done)
+        }
+    }
+
+    #[test]
+    fn episode_terminates_and_accumulates() {
+        let mut env = Corridor { pos: 0, steps: 0 };
+        let mut agent = RandomAgent::new(2, 3);
+        let r = run_episode(&mut env, &mut agent, false);
+        assert!(r.is_finite());
+        assert!(env.steps <= 50);
+    }
+}

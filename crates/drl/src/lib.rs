@@ -1,0 +1,35 @@
+//! # scdrl — deep reinforcement learning
+//!
+//! The paper's §III-D proposes DRL components "to develop various smart city
+//! applications, such as smart camera controls to automatically rotate and
+//! zoom in for traffic and crime incidents". This crate implements that
+//! stack:
+//!
+//! - [`Environment`]: the RL interface.
+//! - [`CameraControlEnv`]: a camera that pans/zooms over a scene to keep a
+//!   moving incident in view — reward for covering it, more when zoomed in.
+//! - [`DqnAgent`]: deep Q-learning on the [`scneural`] framework, with
+//!   experience replay and a periodically synced target network (the Mnih et
+//!   al. recipe the paper cites).
+//! - [`TabularQAgent`] and [`RandomAgent`]: baselines for experiment E11.
+//!
+//! # Examples
+//!
+//! ```
+//! use scdrl::{CameraControlEnv, Environment, RandomAgent, Agent, run_episode};
+//!
+//! let mut env = CameraControlEnv::new(12, 8, 30, 1);
+//! let mut agent = RandomAgent::new(env.num_actions(), 2);
+//! let reward = run_episode(&mut env, &mut agent, true);
+//! assert!(reward.is_finite());
+//! ```
+
+mod agents;
+mod camera;
+mod env;
+mod replay;
+
+pub use agents::{Agent, DqnAgent, DqnConfig, RandomAgent, TabularQAgent};
+pub use camera::CameraControlEnv;
+pub use env::{run_episode, Environment, Transition};
+pub use replay::ReplayBuffer;

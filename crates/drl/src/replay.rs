@@ -1,0 +1,111 @@
+//! Experience replay.
+
+use simclock::SeededRng;
+
+use crate::env::Transition;
+
+/// A fixed-capacity ring buffer of transitions with uniform sampling — the
+/// decorrelation trick at the heart of DQN.
+///
+/// # Examples
+///
+/// ```
+/// use scdrl::{ReplayBuffer, Transition};
+///
+/// let mut buf = ReplayBuffer::new(100, 1);
+/// buf.push(Transition {
+///     state: vec![0.0],
+///     action: 0,
+///     reward: 1.0,
+///     next_state: vec![1.0],
+///     done: false,
+/// });
+/// assert_eq!(buf.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    items: Vec<Transition>,
+    capacity: usize,
+    cursor: usize,
+    rng: SeededRng,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer of at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ReplayBuffer { items: Vec::with_capacity(capacity), capacity, cursor: 0, rng: SeededRng::new(seed) }
+    }
+
+    /// Appends a transition, evicting the oldest when full.
+    pub fn push(&mut self, t: Transition) {
+        if self.items.len() < self.capacity {
+            self.items.push(t);
+        } else {
+            self.items[self.cursor] = t;
+            self.cursor = (self.cursor + 1) % self.capacity;
+        }
+    }
+
+    /// Current number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Samples `n` transitions uniformly with replacement (empty if the
+    /// buffer is empty).
+    pub fn sample(&mut self, n: usize) -> Vec<Transition> {
+        if self.items.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| self.items[self.rng.index(self.items.len())].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: f32) -> Transition {
+        Transition { state: vec![v], action: 0, reward: 0.0, next_state: vec![v], done: false }
+    }
+
+    #[test]
+    fn ring_eviction() {
+        let mut buf = ReplayBuffer::new(3, 1);
+        for i in 0..5 {
+            buf.push(t(i as f32));
+        }
+        assert_eq!(buf.len(), 3);
+        // Items 0 and 1 were evicted.
+        let states: Vec<f32> = buf.items.iter().map(|t| t.state[0]).collect();
+        assert!(!states.contains(&0.0));
+        assert!(!states.contains(&1.0));
+    }
+
+    #[test]
+    fn sample_size_and_membership() {
+        let mut buf = ReplayBuffer::new(10, 2);
+        for i in 0..10 {
+            buf.push(t(i as f32));
+        }
+        let batch = buf.sample(32);
+        assert_eq!(batch.len(), 32);
+        assert!(batch.iter().all(|b| (0.0..10.0).contains(&b.state[0])));
+    }
+
+    #[test]
+    fn empty_sample() {
+        let mut buf = ReplayBuffer::new(4, 3);
+        assert!(buf.sample(5).is_empty());
+    }
+}

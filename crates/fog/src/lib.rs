@@ -1,0 +1,40 @@
+//! # scfog — four-tier fog computing simulator
+//!
+//! The paper's hardware layer (§II-B, Fig. 3) is "a fog computing model
+//! consisting of four tiers": edge devices (smartphones, Raspberry Pis), fog
+//! nodes (NVIDIA Jetson-class), analysis servers, and a federated cloud,
+//! interconnected by regional networks and Internet2. Computation is divided
+//! across the tiers so that confident local inferences send only annotations
+//! upstream, while uncertain ones escalate raw feature maps.
+//!
+//! This crate simulates that stack with discrete events:
+//!
+//! - [`Topology`]: tiered nodes (FLOPS capacities) and links
+//!   (latency + bandwidth), built by [`Topology::four_tier`].
+//! - [`Placement`]: where each video-analysis job runs — all-edge,
+//!   server-only, all-cloud, or the paper's early-exit split.
+//! - [`FogSimulator`]: executes a workload of jobs, producing per-job
+//!   latencies, upstream byte counts, and per-tier utilization — the
+//!   quantities behind experiments E3 and E4.
+//!
+//! # Examples
+//!
+//! ```
+//! use scfog::{FogSimulator, Placement, Topology, Workload};
+//!
+//! let topo = Topology::four_tier(8, 2, 1); // 8 edges per fog, 2 fogs per server
+//! let workload = Workload::uniform(50, 100_000, 5.0, 42);
+//! let report = FogSimulator::new(topo).run(&workload, Placement::EarlyExit {
+//!     local_fraction: 0.3,
+//!     feature_bytes: 20_000,
+//! });
+//! assert_eq!(report.jobs, 50);
+//! ```
+
+mod sim;
+mod topology;
+mod workload;
+
+pub use sim::{FogSimulator, SimReport, TierUtilization};
+pub use topology::{FogNodeId, Link, NodeSpec, Tier, Topology};
+pub use workload::{Job, Placement, Workload};

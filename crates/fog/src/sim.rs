@@ -1,0 +1,471 @@
+//! The discrete-event engine.
+
+use std::collections::HashMap;
+
+use simclock::{EventQueue, SimDuration, SimTime};
+
+use crate::topology::{FogNodeId, Tier, Topology};
+use crate::workload::{Job, Placement, Workload};
+
+/// One step of a job's execution plan.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Run `ops` operations on `node` (FIFO queueing on the node).
+    Compute { node: FogNodeId, ops: f64 },
+    /// Move `bytes` from `from` to `to` (FIFO queueing on the link).
+    Transfer { from: FogNodeId, to: FogNodeId, bytes: u64 },
+}
+
+/// Busy-time utilization of one tier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TierUtilization {
+    /// The tier.
+    pub tier: Tier,
+    /// Total busy seconds across the tier's nodes.
+    pub busy_secs: f64,
+    /// Busy / (nodes × makespan), in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Mean end-to-end latency (arrival → annotation at cloud) in seconds.
+    pub mean_latency_s: f64,
+    /// Median latency in seconds.
+    pub p50_latency_s: f64,
+    /// 95th-percentile latency in seconds.
+    pub p95_latency_s: f64,
+    /// Maximum latency in seconds.
+    pub max_latency_s: f64,
+    /// Bytes crossing edge→fog links.
+    pub edge_to_fog_bytes: u64,
+    /// Bytes crossing fog→server links.
+    pub fog_to_server_bytes: u64,
+    /// Bytes crossing server→cloud links.
+    pub server_to_cloud_bytes: u64,
+    /// Per-tier utilization.
+    pub tier_utilization: Vec<TierUtilization>,
+    /// Completion time of the last job (makespan).
+    pub makespan_s: f64,
+}
+
+impl SimReport {
+    /// Total bytes sent upstream across all tier boundaries.
+    pub fn total_upstream_bytes(&self) -> u64 {
+        self.edge_to_fog_bytes + self.fog_to_server_bytes + self.server_to_cloud_bytes
+    }
+
+    /// Utilization of one tier (0 if absent).
+    pub fn utilization_of(&self, tier: Tier) -> f64 {
+        self.tier_utilization
+            .iter()
+            .find(|u| u.tier == tier)
+            .map(|u| u.utilization)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The simulator: executes a [`Workload`] against a [`Topology`] under a
+/// [`Placement`] policy.
+#[derive(Debug)]
+pub struct FogSimulator {
+    topology: Topology,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Resource {
+    Node(FogNodeId),
+    LinkRes(FogNodeId, FogNodeId),
+}
+
+impl FogSimulator {
+    /// Creates a simulator over `topology`.
+    pub fn new(topology: Topology) -> Self {
+        FogSimulator { topology }
+    }
+
+    /// The topology being simulated.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    fn plan(&self, job: &Job, placement: Placement, edge: FogNodeId) -> Vec<Step> {
+        let topo = &self.topology;
+        let fog = topo.ancestor_at(edge, Tier::Fog).expect("edge has a fog parent");
+        let server = topo.ancestor_at(edge, Tier::Server).expect("fog has a server parent");
+        let cloud = topo.ancestor_at(edge, Tier::Cloud).expect("server has a cloud parent");
+        let ann = job.annotation_bytes;
+        match placement {
+            Placement::AllEdge => vec![
+                Step::Compute { node: edge, ops: job.total_ops },
+                Step::Transfer { from: edge, to: fog, bytes: ann },
+                Step::Transfer { from: fog, to: server, bytes: ann },
+                Step::Transfer { from: server, to: cloud, bytes: ann },
+            ],
+            Placement::ServerOnly => vec![
+                Step::Transfer { from: edge, to: fog, bytes: job.raw_bytes },
+                Step::Transfer { from: fog, to: server, bytes: job.raw_bytes },
+                Step::Compute { node: server, ops: job.total_ops },
+                Step::Transfer { from: server, to: cloud, bytes: ann },
+            ],
+            Placement::AllCloud => vec![
+                Step::Transfer { from: edge, to: fog, bytes: job.raw_bytes },
+                Step::Transfer { from: fog, to: server, bytes: job.raw_bytes },
+                Step::Transfer { from: server, to: cloud, bytes: job.raw_bytes },
+                Step::Compute { node: cloud, ops: job.total_ops },
+            ],
+            Placement::EarlyExit { local_fraction, feature_bytes } => {
+                let local = local_fraction.clamp(0.0, 1.0);
+                let mut steps = vec![Step::Compute { node: edge, ops: job.total_ops * local }];
+                if job.escalates {
+                    steps.push(Step::Transfer { from: edge, to: fog, bytes: feature_bytes });
+                    steps.push(Step::Transfer { from: fog, to: server, bytes: feature_bytes });
+                    steps.push(Step::Compute {
+                        node: server,
+                        ops: job.total_ops * (1.0 - local),
+                    });
+                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                } else {
+                    steps.push(Step::Transfer { from: edge, to: fog, bytes: ann });
+                    steps.push(Step::Transfer { from: fog, to: server, bytes: ann });
+                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                }
+                steps
+            }
+            Placement::FogAssisted { local_fraction, feature_bytes } => {
+                let local = local_fraction.clamp(0.0, 1.0);
+                let mut steps = vec![
+                    Step::Transfer { from: edge, to: fog, bytes: job.raw_bytes },
+                    Step::Compute { node: fog, ops: job.total_ops * local },
+                ];
+                if job.escalates {
+                    steps.push(Step::Transfer { from: fog, to: server, bytes: feature_bytes });
+                    steps.push(Step::Compute {
+                        node: server,
+                        ops: job.total_ops * (1.0 - local),
+                    });
+                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                } else {
+                    steps.push(Step::Transfer { from: fog, to: server, bytes: ann });
+                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                }
+                steps
+            }
+        }
+    }
+
+    /// Runs the workload to completion, returning aggregate metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty or the topology has no edge tier.
+    pub fn run(&self, workload: &Workload, placement: Placement) -> SimReport {
+        assert!(!workload.is_empty(), "empty workload");
+        let edges = self.topology.nodes_in_tier(Tier::Edge);
+        assert!(!edges.is_empty(), "topology has no edge nodes");
+
+        // Build plans.
+        let plans: Vec<Vec<Step>> = workload
+            .jobs()
+            .iter()
+            .map(|j| self.plan(j, placement, edges[j.edge_index % edges.len()]))
+            .collect();
+
+        let mut queue: EventQueue<(usize, usize)> = EventQueue::new();
+        for (ji, job) in workload.jobs().iter().enumerate() {
+            queue.schedule(job.arrival, (ji, 0));
+        }
+
+        let mut busy_until: HashMap<Resource, SimTime> = HashMap::new();
+        let mut busy_total: HashMap<Resource, f64> = HashMap::new();
+        let mut boundary_bytes: HashMap<(Tier, Tier), u64> = HashMap::new();
+        let mut completion: Vec<Option<SimTime>> = vec![None; plans.len()];
+
+        while let Some((now, (ji, si))) = queue.pop() {
+            let step = &plans[ji][si];
+            let (resource, duration) = match step {
+                Step::Compute { node, ops } => {
+                    let flops = self.topology.spec(*node).flops;
+                    (Resource::Node(*node), SimDuration::from_secs_f64(ops / flops))
+                }
+                Step::Transfer { from, to, bytes } => {
+                    let (_, link) = self
+                        .topology
+                        .parent(*from)
+                        .filter(|(p, _)| p == to)
+                        .expect("transfers follow uplinks");
+                    let tx = if link.bandwidth_bps.is_finite() {
+                        *bytes as f64 / link.bandwidth_bps
+                    } else {
+                        0.0
+                    };
+                    *boundary_bytes
+                        .entry((self.topology.tier(*from), self.topology.tier(*to)))
+                        .or_default() += bytes;
+                    (
+                        Resource::LinkRes(*from, *to),
+                        link.latency + SimDuration::from_secs_f64(tx),
+                    )
+                }
+            };
+            let free_at = busy_until.get(&resource).copied().unwrap_or(SimTime::ZERO);
+            let start = free_at.max(now);
+            let finish = start + duration;
+            busy_until.insert(resource, finish);
+            *busy_total.entry(resource).or_default() += duration.as_secs_f64();
+
+            if si + 1 < plans[ji].len() {
+                queue.schedule(finish, (ji, si + 1));
+            } else {
+                completion[ji] = Some(finish);
+            }
+        }
+
+        // Latencies.
+        let mut latencies: Vec<f64> = workload
+            .jobs()
+            .iter()
+            .zip(&completion)
+            .map(|(j, c)| (c.expect("job completed") - j.arrival).as_secs_f64())
+            .collect();
+        latencies.sort_by(f64::total_cmp);
+        let n = latencies.len();
+        let pct = |p: f64| latencies[((n as f64 * p) as usize).min(n - 1)];
+        let makespan = completion
+            .iter()
+            .map(|c| c.expect("job completed").as_secs_f64())
+            .fold(0.0f64, f64::max);
+
+        // Tier utilization.
+        let tier_utilization = Tier::ALL
+            .iter()
+            .map(|&tier| {
+                let nodes = self.topology.nodes_in_tier(tier);
+                let busy: f64 = nodes
+                    .iter()
+                    .map(|n| busy_total.get(&Resource::Node(*n)).copied().unwrap_or(0.0))
+                    .sum();
+                TierUtilization {
+                    tier,
+                    busy_secs: busy,
+                    utilization: if nodes.is_empty() || makespan <= 0.0 {
+                        0.0
+                    } else {
+                        (busy / (nodes.len() as f64 * makespan)).min(1.0)
+                    },
+                }
+            })
+            .collect();
+
+        SimReport {
+            jobs: n,
+            mean_latency_s: latencies.iter().sum::<f64>() / n as f64,
+            p50_latency_s: pct(0.50),
+            p95_latency_s: pct(0.95),
+            max_latency_s: latencies[n - 1],
+            edge_to_fog_bytes: *boundary_bytes.get(&(Tier::Edge, Tier::Fog)).unwrap_or(&0),
+            fog_to_server_bytes: *boundary_bytes
+                .get(&(Tier::Fog, Tier::Server))
+                .unwrap_or(&0),
+            server_to_cloud_bytes: *boundary_bytes
+                .get(&(Tier::Server, Tier::Cloud))
+                .unwrap_or(&0),
+            tier_utilization,
+            makespan_s: makespan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> FogSimulator {
+        FogSimulator::new(Topology::four_tier(4, 2, 1))
+    }
+
+    fn workload(n: usize, esc: f64) -> Workload {
+        Workload::with_escalation(n, 100_000, 5.0, esc, 7)
+    }
+
+    #[test]
+    fn all_placements_complete_all_jobs() {
+        let s = sim();
+        let w = workload(40, 0.3);
+        for placement in [
+            Placement::AllEdge,
+            Placement::ServerOnly,
+            Placement::AllCloud,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+        ] {
+            let r = s.run(&w, placement);
+            assert_eq!(r.jobs, 40, "{placement:?}");
+            assert!(r.mean_latency_s > 0.0);
+            assert!(r.makespan_s >= r.max_latency_s * 0.5);
+        }
+    }
+
+    #[test]
+    fn all_edge_ships_fewest_bytes() {
+        let s = sim();
+        let w = workload(40, 0.3);
+        let edge = s.run(&w, Placement::AllEdge);
+        let cloud = s.run(&w, Placement::AllCloud);
+        assert!(edge.total_upstream_bytes() < cloud.total_upstream_bytes() / 10);
+    }
+
+    #[test]
+    fn all_edge_is_slow_compute() {
+        // Edge FLOPS are 200x slower than the server: full models on the
+        // edge take far longer than shipping raw data to the server.
+        let s = sim();
+        let w = workload(20, 0.3);
+        let edge = s.run(&w, Placement::AllEdge);
+        let server = s.run(&w, Placement::ServerOnly);
+        assert!(
+            edge.mean_latency_s > server.mean_latency_s,
+            "edge {} vs server {}",
+            edge.mean_latency_s,
+            server.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn early_exit_bytes_scale_with_escalation() {
+        let s = sim();
+        let policy = Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 };
+        let low = s.run(&workload(100, 0.1), policy);
+        let high = s.run(&workload(100, 0.9), policy);
+        assert!(
+            high.fog_to_server_bytes > low.fog_to_server_bytes * 3,
+            "low {} vs high {}",
+            low.fog_to_server_bytes,
+            high.fog_to_server_bytes
+        );
+    }
+
+    #[test]
+    fn early_exit_beats_all_cloud_on_upstream_bytes() {
+        let s = sim();
+        let w = workload(60, 0.3);
+        let ee = s.run(&w, Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 });
+        let cloud = s.run(&w, Placement::AllCloud);
+        assert!(ee.total_upstream_bytes() < cloud.total_upstream_bytes());
+    }
+
+    #[test]
+    fn latency_percentiles_ordered() {
+        let s = sim();
+        let r = s.run(&workload(80, 0.3), Placement::ServerOnly);
+        assert!(r.p50_latency_s <= r.p95_latency_s);
+        assert!(r.p95_latency_s <= r.max_latency_s);
+        assert!(r.mean_latency_s <= r.max_latency_s);
+    }
+
+    #[test]
+    fn utilization_in_bounds() {
+        let s = sim();
+        let r = s.run(&workload(60, 0.5), Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        });
+        for u in &r.tier_utilization {
+            assert!((0.0..=1.0).contains(&u.utilization), "{u:?}");
+        }
+        // Early-exit keeps edges busy.
+        assert!(r.utilization_of(Tier::Edge) > 0.0);
+    }
+
+    #[test]
+    fn server_only_leaves_edges_idle() {
+        let s = sim();
+        let r = s.run(&workload(40, 0.3), Placement::ServerOnly);
+        assert_eq!(r.utilization_of(Tier::Edge), 0.0);
+        assert!(r.utilization_of(Tier::Server) > 0.0);
+    }
+
+    #[test]
+    fn queueing_grows_latency_under_load() {
+        let s = sim();
+        // Same jobs, 100x the arrival rate: queueing must raise p95.
+        let slow = Workload::with_escalation(60, 100_000, 0.5, 0.3, 9);
+        let fast = Workload::with_escalation(60, 100_000, 50.0, 0.3, 9);
+        let r_slow = s.run(&slow, Placement::AllEdge);
+        let r_fast = s.run(&fast, Placement::AllEdge);
+        assert!(
+            r_fast.p95_latency_s > r_slow.p95_latency_s,
+            "fast {} vs slow {}",
+            r_fast.p95_latency_s,
+            r_slow.p95_latency_s
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let s = sim();
+        let w = workload(30, 0.3);
+        let a = s.run(&w, Placement::AllCloud);
+        let b = s.run(&w, Placement::AllCloud);
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        assert_eq!(a.total_upstream_bytes(), b.total_upstream_bytes());
+    }
+}
+
+#[cfg(test)]
+mod fog_assisted_tests {
+    use super::*;
+
+    fn sim() -> FogSimulator {
+        FogSimulator::new(Topology::four_tier(4, 2, 1))
+    }
+
+    #[test]
+    fn fog_assisted_completes_and_uses_fog_tier() {
+        let s = sim();
+        let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 70);
+        let r = s.run(
+            &w,
+            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+        );
+        assert_eq!(r.jobs, 40);
+        assert!(r.utilization_of(Tier::Fog) > 0.0, "fog runs the tiny model");
+        assert_eq!(r.utilization_of(Tier::Edge), 0.0, "edges only forward");
+    }
+
+    #[test]
+    fn fog_assisted_is_faster_than_edge_early_exit() {
+        // The fog node has 10x the edge FLOPS, so running the tiny model
+        // there beats the edge even after the extra raw-frame hop.
+        let s = sim();
+        let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 71);
+        let edge = s.run(
+            &w,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+        );
+        let fog = s.run(
+            &w,
+            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+        );
+        assert!(
+            fog.mean_latency_s < edge.mean_latency_s,
+            "fog {} vs edge {}",
+            fog.mean_latency_s,
+            edge.mean_latency_s
+        );
+    }
+
+    #[test]
+    fn fog_assisted_ships_raw_on_first_hop_only() {
+        let s = sim();
+        let w = Workload::with_escalation(30, 100_000, 5.0, 0.0, 72); // no escalation
+        let r = s.run(
+            &w,
+            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+        );
+        assert_eq!(r.edge_to_fog_bytes, 30 * 100_000, "raw frames to the fog");
+        assert_eq!(r.fog_to_server_bytes, 30 * 256, "only annotations upstream");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the fog simulator's physical invariants.
+
+use proptest::prelude::*;
+use scfog::{FogSimulator, Placement, Tier, Topology, Workload};
+
+fn any_placement() -> impl Strategy<Value = Placement> {
+    prop_oneof![
+        Just(Placement::AllEdge),
+        Just(Placement::ServerOnly),
+        Just(Placement::AllCloud),
+        (0.0f64..1.0, 1_000u64..50_000).prop_map(|(f, b)| Placement::EarlyExit {
+            local_fraction: f,
+            feature_bytes: b,
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every job completes; latencies are positive and ordered
+    /// (p50 ≤ p95 ≤ max); utilizations lie in [0, 1].
+    #[test]
+    fn physical_invariants(
+        jobs in 1usize..80,
+        rate in 1.0f64..50.0,
+        esc in 0.0f64..1.0,
+        placement in any_placement(),
+        seed in any::<u64>(),
+    ) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 50_000, rate, esc, seed);
+        let r = sim.run(&w, placement);
+        prop_assert_eq!(r.jobs, jobs);
+        prop_assert!(r.mean_latency_s > 0.0);
+        prop_assert!(r.p50_latency_s <= r.p95_latency_s + 1e-12);
+        prop_assert!(r.p95_latency_s <= r.max_latency_s + 1e-12);
+        prop_assert!(r.makespan_s > 0.0);
+        for u in &r.tier_utilization {
+            prop_assert!((0.0..=1.0).contains(&u.utilization), "{u:?}");
+        }
+    }
+
+    /// All-cloud ships at least as many bytes as early-exit at any
+    /// escalation rate (feature maps are smaller than raw frames).
+    #[test]
+    fn cloud_ships_most_bytes(
+        jobs in 5usize..60,
+        esc in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 100_000, 10.0, esc, seed);
+        let cloud = sim.run(&w, Placement::AllCloud);
+        let early = sim.run(
+            &w,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+        );
+        prop_assert!(early.total_upstream_bytes() <= cloud.total_upstream_bytes());
+    }
+
+    /// All-edge never sends more than annotations upstream.
+    #[test]
+    fn all_edge_bytes_are_annotations_only(jobs in 1usize..60, seed in any::<u64>()) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 100_000, 10.0, 0.5, seed);
+        let r = sim.run(&w, Placement::AllEdge);
+        // 256 bytes per job per boundary, 3 boundaries.
+        prop_assert_eq!(r.total_upstream_bytes(), jobs as u64 * 256 * 3);
+    }
+
+    /// Determinism: identical inputs give identical reports.
+    #[test]
+    fn runs_are_deterministic(
+        jobs in 1usize..40,
+        esc in 0.0f64..1.0,
+        seed in any::<u64>(),
+        placement in any_placement(),
+    ) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 80_000, 15.0, esc, seed);
+        let a = sim.run(&w, placement);
+        let b = sim.run(&w, placement);
+        prop_assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        prop_assert_eq!(a.total_upstream_bytes(), b.total_upstream_bytes());
+        prop_assert_eq!(a.makespan_s, b.makespan_s);
+    }
+
+    /// Early-exit fog→server bytes are exactly
+    /// escalated_jobs × feature_bytes (annotations bypass that link only
+    /// for local exits).
+    #[test]
+    fn early_exit_byte_accounting(jobs in 1usize..60, seed in any::<u64>()) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 100_000, 10.0, 0.5, seed);
+        let escalated = w.jobs().iter().filter(|j| j.escalates).count() as u64;
+        let local = jobs as u64 - escalated;
+        let feature_bytes = 12_345u64;
+        let r = sim.run(
+            &w,
+            Placement::EarlyExit { local_fraction: 0.2, feature_bytes },
+        );
+        prop_assert_eq!(
+            r.fog_to_server_bytes,
+            escalated * feature_bytes + local * 256
+        );
+    }
+
+    /// Tier utilization: only the tiers a placement uses are busy.
+    #[test]
+    fn placement_utilization_profile(jobs in 5usize..40, seed in any::<u64>()) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 50_000, 10.0, 0.5, seed);
+        let edge = sim.run(&w, Placement::AllEdge);
+        prop_assert!(edge.utilization_of(Tier::Edge) > 0.0);
+        prop_assert_eq!(edge.utilization_of(Tier::Server), 0.0);
+        prop_assert_eq!(edge.utilization_of(Tier::Cloud), 0.0);
+        let cloud = sim.run(&w, Placement::AllCloud);
+        prop_assert_eq!(cloud.utilization_of(Tier::Edge), 0.0);
+        prop_assert!(cloud.utilization_of(Tier::Cloud) > 0.0);
+    }
+}

@@ -1,0 +1,621 @@
+//! Convolutional and pooling layers over `[batch, channels, height, width]`
+//! tensors, implemented via im2col.
+
+use simclock::SeededRng;
+
+use crate::init;
+use crate::layers::{Layer, Param};
+use crate::tensor::Tensor;
+
+fn conv_out_dim(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Lowers image patches into a `[n*oh*ow, c*kh*kw]` matrix.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    input: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let shape = input.shape();
+    let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    let mut cols = vec![0.0f32; n * oh * ow * c * kh * kw];
+    let row_len = c * kh * kw;
+    let data = input.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (b * oh + oy) * ow + ox;
+                let base = row * row_len;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue; // zero padding
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let src = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                            let dst = base + (ch * kh + ky) * kw + kx;
+                            cols[dst] = data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n * oh * ow, row_len], cols).expect("size computed above")
+}
+
+/// Scatters column gradients back into image space (adjoint of [`im2col`]).
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    cols: &Tensor,
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+) -> Tensor {
+    let mut out = vec![0.0f32; n * c * h * w];
+    let row_len = c * kh * kw;
+    let data = cols.data();
+    for b in 0..n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = (b * oh + oy) * ow + ox;
+                let base = row * row_len;
+                for ch in 0..c {
+                    for ky in 0..kh {
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        for kx in 0..kw {
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            let dst = ((b * c + ch) * h + iy as usize) * w + ix as usize;
+                            let src = base + (ch * kh + ky) * kw + kx;
+                            out[dst] += data[src];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(vec![n, c, h, w], out).expect("size computed above")
+}
+
+/// 2-D convolution.
+///
+/// Input `[n, in_channels, h, w]`, output `[n, out_channels, oh, ow]`.
+///
+/// # Examples
+///
+/// ```
+/// use scneural::layers::{Conv2d, Layer};
+/// use scneural::tensor::Tensor;
+///
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, 42); // 3→8 channels, 3x3, same-size
+/// let x = Tensor::zeros(vec![2, 3, 16, 16]);
+/// let y = conv.forward(&x, false);
+/// assert_eq!(y.shape(), &[2, 8, 16, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    weight: Param, // [c*kh*kw, f]
+    bias: Param,   // [1, f]
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    pad: usize,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    cols: Tensor,
+    input_shape: Vec<usize>,
+    oh: usize,
+    ow: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with a square `kernel`, `stride`, and `pad`,
+    /// He-initialized from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` or `stride` is zero.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        let mut rng = SeededRng::new(seed);
+        let fan_in = in_channels * kernel * kernel;
+        Conv2d {
+            weight: Param::new(init::he_uniform(vec![fan_in, out_channels], fan_in, &mut rng)),
+            bias: Param::new(Tensor::zeros(vec![1, out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            pad,
+            cache: None,
+        }
+    }
+
+    /// Output channel count.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Spatial output size for the given input size.
+    pub fn output_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        (
+            conv_out_dim(h, self.kernel, self.stride, self.pad),
+            conv_out_dim(w, self.kernel, self.stride, self.pad),
+        )
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert_eq!(shape.len(), 4, "Conv2d expects [n, c, h, w], got {shape:?}");
+        assert_eq!(shape[1], self.in_channels, "channel mismatch");
+        let (n, h, w) = (shape[0], shape[2], shape[3]);
+        let (oh, ow) = self.output_hw(h, w);
+        let cols = im2col(input, self.kernel, self.kernel, self.stride, self.pad, oh, ow);
+        // [n*oh*ow, f]
+        let out2d = cols
+            .matmul(&self.weight.value)
+            .expect("im2col width equals weight height")
+            .add_row_broadcast(&self.bias.value);
+        self.cache = Some(ConvCache { cols, input_shape: shape, oh, ow });
+        // Rearrange [n*oh*ow, f] to [n, f, oh, ow].
+        let f = self.out_channels;
+        let mut out = vec![0.0f32; n * f * oh * ow];
+        let src = out2d.data();
+        for b in 0..n {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let row = (b * oh + y) * ow + x;
+                    for ch in 0..f {
+                        out[((b * f + ch) * oh + y) * ow + x] = src[row * f + ch];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, f, oh, ow], out).expect("size computed above")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let [n, c, h, w] = cache.input_shape[..] else { unreachable!("shape checked") };
+        let (oh, ow) = (cache.oh, cache.ow);
+        let f = self.out_channels;
+        // Rearrange grad [n, f, oh, ow] into [n*oh*ow, f].
+        let mut g2d = vec![0.0f32; n * oh * ow * f];
+        let gd = grad_out.data();
+        for b in 0..n {
+            for ch in 0..f {
+                for y in 0..oh {
+                    for x in 0..ow {
+                        let row = (b * oh + y) * ow + x;
+                        g2d[row * f + ch] = gd[((b * f + ch) * oh + y) * ow + x];
+                    }
+                }
+            }
+        }
+        let g2d = Tensor::from_vec(vec![n * oh * ow, f], g2d).expect("size computed above");
+        let dw = cache.cols.transpose().matmul(&g2d).expect("shapes from forward");
+        self.weight.grad.add_assign(&dw);
+        self.bias.grad.add_assign(&g2d.sum_rows());
+        let dcols = g2d.matmul(&self.weight.value.transpose()).expect("shapes from forward");
+        col2im(&dcols, n, c, h, w, self.kernel, self.kernel, self.stride, self.pad, oh, ow)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+/// 2-D max pooling with a square window.
+#[derive(Debug)]
+pub struct MaxPool2d {
+    size: usize,
+    stride: usize,
+    cache: Option<(Vec<usize>, Vec<usize>)>, // (input shape, argmax flat indices)
+}
+
+impl MaxPool2d {
+    /// Creates a pool with the given window `size` and `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `stride` is zero.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "size and stride must be positive");
+        MaxPool2d { size, stride, cache: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert_eq!(shape.len(), 4, "MaxPool2d expects [n, c, h, w]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = conv_out_dim(h, self.size, self.stride, 0);
+        let ow = conv_out_dim(w, self.size, self.stride, 0);
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut arg = vec![0usize; n * c * oh * ow];
+        let data = input.data();
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let o_idx = ((b * c + ch) * oh + oy) * ow + ox;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                if iy < h && ix < w {
+                                    let i_idx = ((b * c + ch) * h + iy) * w + ix;
+                                    if data[i_idx] > out[o_idx] {
+                                        out[o_idx] = data[i_idx];
+                                        arg[o_idx] = i_idx;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.cache = Some((shape, arg));
+        Tensor::from_vec(vec![n, c, oh, ow], out).expect("size computed above")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (shape, arg) = self.cache.as_ref().expect("backward before forward");
+        let mut grad_in = Tensor::zeros(shape.clone());
+        let gi = grad_in.data_mut();
+        for (o_idx, &i_idx) in arg.iter().enumerate() {
+            gi[i_idx] += grad_out.data()[o_idx];
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// 2-D average pooling with a square window.
+#[derive(Debug)]
+pub struct AvgPool2d {
+    size: usize,
+    stride: usize,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates a pool with the given window `size` and `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` or `stride` is zero.
+    pub fn new(size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "size and stride must be positive");
+        AvgPool2d { size, stride, input_shape: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert_eq!(shape.len(), 4, "AvgPool2d expects [n, c, h, w]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let oh = conv_out_dim(h, self.size, self.stride, 0);
+        let ow = conv_out_dim(w, self.size, self.stride, 0);
+        let area = (self.size * self.size) as f32;
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        let data = input.data();
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut sum = 0.0;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                if iy < h && ix < w {
+                                    sum += data[((b * c + ch) * h + iy) * w + ix];
+                                }
+                            }
+                        }
+                        out[((b * c + ch) * oh + oy) * ow + ox] = sum / area;
+                    }
+                }
+            }
+        }
+        self.input_shape = Some(shape);
+        Tensor::from_vec(vec![n, c, oh, ow], out).expect("size computed above")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let gs = grad_out.shape().to_vec();
+        let (oh, ow) = (gs[2], gs[3]);
+        let area = (self.size * self.size) as f32;
+        let mut grad_in = Tensor::zeros(shape);
+        let gi = grad_in.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let g = grad_out.data()[((b * c + ch) * oh + oy) * ow + ox] / area;
+                        for ky in 0..self.size {
+                            for kx in 0..self.size {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                if iy < h && ix < w {
+                                    gi[((b * c + ch) * h + iy) * w + ix] += g;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+/// Global average pooling: `[n, c, h, w]` → `[n, c]`.
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert_eq!(shape.len(), 4, "GlobalAvgPool expects [n, c, h, w]");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let area = (h * w) as f32;
+        let mut out = vec![0.0f32; n * c];
+        for b in 0..n {
+            for ch in 0..c {
+                let start = ((b * c + ch) * h) * w;
+                out[b * c + ch] = input.data()[start..start + h * w].iter().sum::<f32>() / area;
+            }
+        }
+        self.input_shape = Some(shape);
+        Tensor::from_vec(vec![n, c], out).expect("size computed above")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("backward before forward");
+        let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+        let area = (h * w) as f32;
+        let mut grad_in = Tensor::zeros(shape);
+        let gi = grad_in.data_mut();
+        for b in 0..n {
+            for ch in 0..c {
+                let g = grad_out.data()[b * c + ch] / area;
+                let start = ((b * c + ch) * h) * w;
+                for v in &mut gi[start..start + h * w] {
+                    *v += g;
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_output_shape() {
+        let mut conv = Conv2d::new(1, 2, 3, 1, 0, 1);
+        let x = Tensor::ones(vec![1, 1, 5, 5]);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn conv_same_padding_preserves_size() {
+        let mut conv = Conv2d::new(3, 4, 3, 1, 1, 2);
+        let x = Tensor::ones(vec![2, 3, 8, 8]);
+        assert_eq!(conv.forward(&x, true).shape(), &[2, 4, 8, 8]);
+    }
+
+    #[test]
+    fn conv_stride_two_halves() {
+        let mut conv = Conv2d::new(1, 1, 3, 2, 1, 3);
+        let x = Tensor::ones(vec![1, 1, 8, 8]);
+        assert_eq!(conv.forward(&x, true).shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn conv_known_values() {
+        // 1x1 input channel, 2x2 kernel of ones, no padding: output = window sums.
+        let mut conv = Conv2d::new(1, 1, 2, 1, 0, 4);
+        conv.params_mut()[0].value = Tensor::ones(vec![4, 1]);
+        conv.params_mut()[1].value = Tensor::zeros(vec![1, 1]);
+        let x = Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
+        let y = conv.forward(&x, true);
+        assert_eq!(y.data(), &[12., 16., 24., 28.]);
+    }
+
+    #[test]
+    fn conv_gradient_check_input() {
+        let x0 = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            (0..16).map(|i| (i as f32 - 8.0) / 8.0).collect(),
+        )
+        .unwrap();
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, 5);
+        let y = conv.forward(&x0, true);
+        let grad_in = conv.backward(&Tensor::ones(y.shape().to_vec()));
+
+        let eps = 1e-2;
+        for idx in [0, 5, 10, 15] {
+            let mut cp = Conv2d::new(1, 2, 3, 1, 1, 5);
+            let mut xp = x0.clone();
+            xp.data_mut()[idx] += eps;
+            let fp = cp.forward(&xp, true).sum();
+            let mut cm = Conv2d::new(1, 2, 3, 1, 1, 5);
+            let mut xm = x0.clone();
+            xm.data_mut()[idx] -= eps;
+            let fm = cm.forward(&xm, true).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grad_in.data()[idx];
+            assert!((num - ana).abs() < 1e-2, "idx {idx}: numeric {num} analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn conv_gradient_check_weights() {
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            (0..16).map(|i| (i as f32) / 16.0).collect(),
+        )
+        .unwrap();
+        let mut conv = Conv2d::new(1, 1, 3, 1, 0, 6);
+        let y = conv.forward(&x, true);
+        conv.backward(&Tensor::ones(y.shape().to_vec()));
+        let analytic = conv.params()[0].grad.clone();
+
+        let eps = 1e-2;
+        for idx in 0..9 {
+            let mut cp = Conv2d::new(1, 1, 3, 1, 0, 6);
+            cp.params_mut()[0].value.data_mut()[idx] += eps;
+            let fp = cp.forward(&x, true).sum();
+            let mut cm = Conv2d::new(1, 1, 3, 1, 0, 6);
+            cm.params_mut()[0].value.data_mut()[idx] -= eps;
+            let fm = cm.forward(&x, true).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[idx]).abs() < 1e-2,
+                "w[{idx}]: numeric {num} analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn maxpool_picks_max_and_routes_gradient() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1, 1, 4, 4],
+            vec![
+                1., 2., 5., 3., //
+                4., 0., 1., 2., //
+                7., 1., 0., 0., //
+                2., 8., 1., 6.,
+            ],
+        )
+        .unwrap();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[4., 5., 8., 6.]);
+        let g = pool.backward(&Tensor::ones(vec![1, 1, 2, 2]));
+        // Gradient goes only to the max positions.
+        assert_eq!(g.data()[4], 1.0); // value 4
+        assert_eq!(g.data()[2], 1.0); // value 5
+        assert_eq!(g.data()[13], 1.0); // value 8
+        assert_eq!(g.data()[15], 1.0); // value 6
+        assert_eq!(g.sum(), 4.0);
+    }
+
+    #[test]
+    fn avgpool_averages() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1., 3., 5., 7.]).unwrap();
+        let y = pool.forward(&x, true);
+        assert_eq!(y.data(), &[4.0]);
+        let g = pool.backward(&Tensor::ones(vec![1, 1, 1, 1]));
+        assert_eq!(g.data(), &[0.25; 4]);
+    }
+
+    #[test]
+    fn global_avgpool_shape_and_grad() {
+        let mut pool = GlobalAvgPool::new();
+        let x = Tensor::ones(vec![2, 3, 4, 4]);
+        let y = pool.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 3]);
+        assert!((y.at(0, 0) - 1.0).abs() < 1e-6);
+        let g = pool.backward(&Tensor::ones(vec![2, 3]));
+        assert_eq!(g.shape(), &[2, 3, 4, 4]);
+        assert!((g.data()[0] - 1.0 / 16.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the adjoint property that makes
+        // conv backward correct.
+        let x = Tensor::from_vec(vec![1, 2, 3, 3], (0..18).map(|i| i as f32).collect()).unwrap();
+        let oh = conv_out_dim(3, 2, 1, 0);
+        let ow = oh;
+        let cols = im2col(&x, 2, 2, 1, 0, oh, ow);
+        let y = Tensor::from_vec(
+            cols.shape().to_vec(),
+            (0..cols.len()).map(|i| ((i * 7) % 5) as f32).collect(),
+        )
+        .unwrap();
+        let lhs: f32 = cols.mul(&y).unwrap().sum();
+        let back = col2im(&y, 1, 2, 3, 3, 2, 2, 1, 0, oh, ow);
+        let rhs: f32 = x.mul(&back).unwrap().sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

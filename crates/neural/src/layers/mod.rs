@@ -1,0 +1,153 @@
+//! Neural network layers with explicit forward/backward passes.
+
+mod conv;
+mod dense;
+
+pub use conv::{AvgPool2d, Conv2d, GlobalAvgPool, MaxPool2d};
+pub use dense::{BatchNorm1d, Dense, Dropout, Flatten, Relu, Sigmoid, Softmax, Tanh};
+
+use crate::tensor::Tensor;
+
+/// A trainable parameter: a value tensor and its accumulated gradient.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient of the loss with respect to `value`, filled by `backward`.
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient of the same shape.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Param { value, grad }
+    }
+
+    /// Resets the gradient to zero.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.data_mut() {
+            *g = 0.0;
+        }
+    }
+}
+
+/// A differentiable layer.
+///
+/// Layers are stateful: `forward` caches whatever activations `backward`
+/// needs, and `backward` must be called with the gradient of the loss with
+/// respect to the layer's most recent output. Trainable layers expose their
+/// parameters through [`Layer::params_mut`], which optimizers consume.
+///
+/// The trait is object-safe; networks are `Vec<Box<dyn Layer>>`.
+pub trait Layer: std::fmt::Debug + Send {
+    /// Computes the layer output for `input`. `train` enables training-only
+    /// behaviour (dropout masks, batch-norm statistics updates).
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Propagates `grad_out` (dL/d-output) backwards, accumulating parameter
+    /// gradients and returning dL/d-input.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before `forward`.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// Mutable access to trainable parameters (empty for stateless layers).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Shared access to trainable parameters (empty for stateless layers).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// A short human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+/// Row-wise numerically stable softmax (helper shared by the loss and the
+/// early-exit confidence policies).
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D.
+pub fn softmax_rows(logits: &Tensor) -> Tensor {
+    let (r, c) = (logits.rows(), logits.cols());
+    let mut out = logits.clone();
+    let data = out.data_mut();
+    for i in 0..r {
+        let row = &mut data[i * c..(i + 1) * c];
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+    out
+}
+
+/// Shannon entropy (nats) of each row of a probability tensor.
+///
+/// # Panics
+///
+/// Panics if `probs` is not 2-D.
+pub fn entropy_rows(probs: &Tensor) -> Vec<f32> {
+    let (r, c) = (probs.rows(), probs.cols());
+    (0..r)
+        .map(|i| {
+            let mut h = 0.0;
+            for j in 0..c {
+                let p = probs.at(i, j);
+                if p > 1e-12 {
+                    h -= p * p.ln();
+                }
+            }
+            h
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap();
+        let s = softmax_rows(&t);
+        for i in 0..2 {
+            let sum: f32 = (0..3).map(|j| s.at(i, j)).sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let t = Tensor::from_vec(vec![1, 2], vec![1000.0, 0.0]).unwrap();
+        let s = softmax_rows(&t);
+        assert!((s.at(0, 0) - 1.0).abs() < 1e-6);
+        assert!(s.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        let certain = Tensor::from_vec(vec![1, 4], vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(entropy_rows(&certain)[0] < 1e-6);
+        let uniform = Tensor::from_vec(vec![1, 4], vec![0.25; 4]).unwrap();
+        assert!((entropy_rows(&uniform)[0] - 4.0f32.ln()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new(Tensor::ones(vec![2, 2]));
+        p.grad = Tensor::ones(vec![2, 2]);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+#![allow(clippy::needless_range_loop)] // index loops are the clearer idiom in math kernels
+//! # scneural — deep learning framework
+//!
+//! The TensorFlow substitute for the smart-city cyberinfrastructure (paper
+//! §II-C1): a small but complete deep-learning framework with explicit
+//! backpropagation, written from scratch on top of a row-major [`Tensor`].
+//!
+//! It implements every methodology family of paper §III:
+//!
+//! - **Spatial analysis (§III-A)** — [`layers::Conv2d`], pooling, plus
+//!   [`blocks::ResidualBlock`] (Fig. 8, including the paper's conv-shortcut
+//!   variant) and [`blocks::InceptionBlock`] (GoogLeNet-style).
+//! - **Temporal analysis (§III-B)** — [`rnn::Lstm`] with full backpropagation
+//!   through time and [`rnn::sequence_classifier`].
+//! - **Multi-modal analysis (§III-C)** — [`autoencoder::Autoencoder`],
+//!   [`autoencoder::FusionAutoencoder`], and [`cca::Cca`] (canonical
+//!   correlation analysis).
+//! - **Early-exit inference (Figs. 5 & 7)** — [`early_exit::EarlyExitNet`]
+//!   splits a backbone between a local device and an analysis server, exiting
+//!   early when a confidence/entropy policy is satisfied.
+//!
+//! # Examples
+//!
+//! Train a tiny classifier:
+//!
+//! ```
+//! use scneural::layers::{Dense, Relu};
+//! use scneural::net::Sequential;
+//! use scneural::loss::SoftmaxCrossEntropy;
+//! use scneural::optim::Sgd;
+//! use scneural::tensor::Tensor;
+//!
+//! let mut net = Sequential::new()
+//!     .with(Dense::new(2, 8, 1))
+//!     .with(Relu::new())
+//!     .with(Dense::new(8, 2, 2));
+//! let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
+//! let y = vec![0usize, 1, 1, 0]; // XOR
+//! let mut opt = Sgd::new(0.5);
+//! let mut loss = SoftmaxCrossEntropy::new();
+//! for _ in 0..400 {
+//!     net.train_step(&x, &y, &mut loss, &mut opt);
+//! }
+//! let acc = net.accuracy(&x, &y);
+//! assert!(acc >= 0.75, "XOR accuracy {acc}");
+//! ```
+
+pub mod autoencoder;
+pub mod blocks;
+pub mod cca;
+pub mod early_exit;
+pub mod init;
+pub mod layers;
+pub mod linalg;
+pub mod loss;
+pub mod metrics;
+pub mod net;
+pub mod optim;
+pub mod rnn;
+pub mod serialize;
+pub mod tensor;
+
+pub use layers::{Layer, Param};
+pub use net::Sequential;
+pub use tensor::{Tensor, TensorError};

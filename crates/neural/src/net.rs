@@ -1,0 +1,274 @@
+//! Sequential networks and the training loop.
+
+use crate::layers::{softmax_rows, Layer, Param};
+use crate::loss::{Loss, LossTarget};
+use crate::optim::Optimizer;
+use crate::tensor::Tensor;
+
+/// A feed-forward stack of layers executed in order.
+///
+/// `Sequential` is itself a [`Layer`], so stacks nest (residual blocks hold
+/// sequentials for their branches; [`crate::early_exit::EarlyExitNet`] holds
+/// sequentials for its backbone segments).
+///
+/// # Examples
+///
+/// ```
+/// use scneural::layers::{Dense, Relu};
+/// use scneural::net::Sequential;
+/// use scneural::tensor::Tensor;
+///
+/// let mut net = Sequential::new()
+///     .with(Dense::new(4, 16, 0))
+///     .with(Relu::new())
+///     .with(Dense::new(16, 3, 1));
+/// let logits = net.predict(&Tensor::ones(vec![2, 4]));
+/// assert_eq!(logits.shape(), &[2, 3]);
+/// ```
+#[derive(Debug, Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer (builder style).
+    pub fn with(mut self, layer: impl Layer + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Whether the stack has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total number of trainable scalar parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().flat_map(|l| l.params()).map(|p| p.value.len()).sum()
+    }
+
+    /// Layer names in order, for summaries.
+    pub fn layer_names(&self) -> Vec<&'static str> {
+        self.layers.iter().map(|l| l.name()).collect()
+    }
+
+    /// Runs inference (no dropout, batch-norm in inference mode).
+    pub fn predict(&mut self, input: &Tensor) -> Tensor {
+        self.forward(input, false)
+    }
+
+    /// Runs inference and converts logits to row-wise probabilities.
+    pub fn predict_proba(&mut self, input: &Tensor) -> Tensor {
+        softmax_rows(&self.predict(input))
+    }
+
+    /// Runs inference and returns the argmax class per row.
+    pub fn predict_classes(&mut self, input: &Tensor) -> Vec<usize> {
+        self.predict(input).argmax_rows()
+    }
+
+    /// One optimization step on a batch of class-labelled data. Returns the
+    /// batch loss.
+    pub fn train_step(
+        &mut self,
+        input: &Tensor,
+        classes: &[usize],
+        loss: &mut dyn Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        let logits = self.forward(input, true);
+        let (l, grad) = loss.forward(&logits, &LossTarget::Classes(classes));
+        self.backward(&grad);
+        optimizer.step(self.params_mut());
+        l
+    }
+
+    /// One optimization step on a batch with dense regression targets.
+    pub fn train_step_values(
+        &mut self,
+        input: &Tensor,
+        targets: &Tensor,
+        loss: &mut dyn Loss,
+        optimizer: &mut dyn Optimizer,
+    ) -> f32 {
+        let out = self.forward(input, true);
+        let (l, grad) = loss.forward(&out, &LossTarget::Values(targets));
+        self.backward(&grad);
+        optimizer.step(self.params_mut());
+        l
+    }
+
+    /// Classification accuracy on a labelled set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes.len()` differs from the batch size.
+    pub fn accuracy(&mut self, input: &Tensor, classes: &[usize]) -> f64 {
+        let pred = self.predict_classes(input);
+        assert_eq!(pred.len(), classes.len(), "one label per row");
+        if classes.is_empty() {
+            return 0.0;
+        }
+        let correct = pred.iter().zip(classes).filter(|(a, b)| a == b).count();
+        correct as f64 / classes.len() as f64
+    }
+
+    /// Trains for `epochs` full-batch epochs, returning per-epoch losses.
+    pub fn fit(
+        &mut self,
+        input: &Tensor,
+        classes: &[usize],
+        loss: &mut dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        epochs: usize,
+    ) -> Vec<f32> {
+        (0..epochs).map(|_| self.train_step(input, classes, loss, optimizer)).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, train);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm1d, Dense, Dropout, Relu};
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::optim::{Adam, Sgd};
+    use simclock::SeededRng;
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        (
+            Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap(),
+            vec![0, 1, 1, 0],
+        )
+    }
+
+    #[test]
+    fn learns_xor() {
+        let (x, y) = xor_data();
+        let mut net = Sequential::new()
+            .with(Dense::new(2, 16, 1))
+            .with(Relu::new())
+            .with(Dense::new(16, 2, 2));
+        let mut loss = SoftmaxCrossEntropy::new();
+        let mut opt = Adam::new(0.05);
+        let losses = net.fit(&x, &y, &mut loss, &mut opt, 300);
+        assert!(losses.last().unwrap() < &0.05, "final loss {}", losses.last().unwrap());
+        assert_eq!(net.accuracy(&x, &y), 1.0);
+    }
+
+    #[test]
+    fn loss_decreases() {
+        let (x, y) = xor_data();
+        let mut net = Sequential::new()
+            .with(Dense::new(2, 8, 3))
+            .with(Relu::new())
+            .with(Dense::new(8, 2, 4));
+        let mut loss = SoftmaxCrossEntropy::new();
+        let mut opt = Sgd::new(0.5);
+        let losses = net.fit(&x, &y, &mut loss, &mut opt, 200);
+        assert!(losses.last().unwrap() < &losses[0]);
+    }
+
+    #[test]
+    fn learns_gaussian_blobs_with_regularizers() {
+        // Two separated gaussian clusters; a net with dropout + batch-norm
+        // should reach high train accuracy.
+        let mut rng = SeededRng::new(5);
+        let n = 60;
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let cls = i % 2;
+            let cx = if cls == 0 { -2.0 } else { 2.0 };
+            data.push((rng.gaussian(cx, 0.5)) as f32);
+            data.push((rng.gaussian(cx, 0.5)) as f32);
+            labels.push(cls);
+        }
+        let x = Tensor::from_vec(vec![n, 2], data).unwrap();
+        let mut net = Sequential::new()
+            .with(Dense::new(2, 16, 6))
+            .with(BatchNorm1d::new(16))
+            .with(Relu::new())
+            .with(Dropout::new(0.2, 7))
+            .with(Dense::new(16, 2, 8));
+        let mut loss = SoftmaxCrossEntropy::new();
+        let mut opt = Adam::new(0.02);
+        net.fit(&x, &labels, &mut loss, &mut opt, 150);
+        assert!(net.accuracy(&x, &labels) > 0.95);
+    }
+
+    #[test]
+    fn param_count_matches_architecture() {
+        let net = Sequential::new().with(Dense::new(3, 4, 0)).with(Dense::new(4, 2, 1));
+        // (3*4 + 4) + (4*2 + 2) = 16 + 10
+        assert_eq!(net.param_count(), 26);
+    }
+
+    #[test]
+    fn predict_proba_rows_sum_to_one() {
+        let mut net = Sequential::new().with(Dense::new(2, 3, 0));
+        let p = net.predict_proba(&Tensor::ones(vec![5, 2]));
+        for i in 0..5 {
+            let s: f32 = (0..3).map(|j| p.at(i, j)).sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn layer_names_in_order() {
+        let net = Sequential::new().with(Dense::new(1, 1, 0)).with(Relu::new());
+        assert_eq!(net.layer_names(), vec!["Dense", "Relu"]);
+    }
+
+    #[test]
+    fn empty_network_is_identity() {
+        let mut net = Sequential::new();
+        let x = Tensor::ones(vec![2, 2]);
+        assert_eq!(net.predict(&x), x);
+        assert!(net.is_empty());
+    }
+}

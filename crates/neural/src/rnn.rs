@@ -1,0 +1,445 @@
+//! Recurrent layers for temporal analysis (paper §III-B).
+//!
+//! The paper's temporal methodology is a collection of RNN modules, in
+//! particular LSTM networks whose "capability of discovering long-range
+//! correlations is particularly useful for time series". [`Lstm`] implements
+//! a full LSTM layer with backpropagation through time; stacking several and
+//! finishing with [`LastStep`] + dense layers yields the Fig. 7 classifier
+//! head.
+
+use simclock::SeededRng;
+
+use crate::init;
+use crate::layers::{Layer, Param};
+use crate::net::Sequential;
+use crate::tensor::Tensor;
+
+/// A single-layer LSTM over `[batch, time, features]` input, producing the
+/// full hidden sequence `[batch, time, hidden]`.
+///
+/// Gate order inside the packed weight matrices is `i, f, g, o`. The forget
+/// gate bias is initialized to 1, the standard trick for gradient flow early
+/// in training.
+///
+/// # Examples
+///
+/// ```
+/// use scneural::rnn::Lstm;
+/// use scneural::layers::Layer;
+/// use scneural::tensor::Tensor;
+///
+/// let mut lstm = Lstm::new(4, 8, 7);
+/// let x = Tensor::zeros(vec![2, 5, 4]); // batch 2, 5 steps, 4 features
+/// let h = lstm.forward(&x, true);
+/// assert_eq!(h.shape(), &[2, 5, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Lstm {
+    wx: Param, // [input, 4*hidden]
+    wh: Param, // [hidden, 4*hidden]
+    b: Param,  // [1, 4*hidden]
+    input_size: usize,
+    hidden: usize,
+    cache: Option<LstmCache>,
+}
+
+#[derive(Debug)]
+struct LstmCache {
+    // Per-timestep saved values, each [n, *].
+    xs: Vec<Tensor>,
+    hs: Vec<Tensor>, // h_0 .. h_T (T+1 entries, h_0 = zeros)
+    cs: Vec<Tensor>, // c_0 .. c_T
+    gates: Vec<(Tensor, Tensor, Tensor, Tensor)>, // (i, f, g, o) post-activation
+    n: usize,
+    t: usize,
+}
+
+impl Lstm {
+    /// Creates an LSTM mapping `input_size` features to `hidden` units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new(input_size: usize, hidden: usize, seed: u64) -> Self {
+        assert!(input_size > 0 && hidden > 0, "sizes must be positive");
+        let mut rng = SeededRng::new(seed);
+        let wx = init::xavier_uniform(
+            vec![input_size, 4 * hidden],
+            input_size,
+            hidden,
+            &mut rng,
+        );
+        let wh = init::xavier_uniform(vec![hidden, 4 * hidden], hidden, hidden, &mut rng);
+        let mut b = Tensor::zeros(vec![1, 4 * hidden]);
+        // Forget-gate bias = 1.
+        for j in hidden..2 * hidden {
+            b.data_mut()[j] = 1.0;
+        }
+        Lstm {
+            wx: Param::new(wx),
+            wh: Param::new(wh),
+            b: Param::new(b),
+            input_size,
+            hidden,
+            cache: None,
+        }
+    }
+
+    /// Hidden state width.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden
+    }
+
+    fn slice_step(&self, input: &Tensor, n: usize, t_len: usize, t: usize) -> Tensor {
+        let d = self.input_size;
+        let mut data = Vec::with_capacity(n * d);
+        for b in 0..n {
+            let start = (b * t_len + t) * d;
+            data.extend_from_slice(&input.data()[start..start + d]);
+        }
+        Tensor::from_vec(vec![n, d], data).expect("size computed above")
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "Lstm expects [batch, time, features], got {shape:?}");
+        assert_eq!(shape[2], self.input_size, "feature size mismatch");
+        let (n, t_len) = (shape[0], shape[1]);
+        let h = self.hidden;
+
+        let mut hs = vec![Tensor::zeros(vec![n, h])];
+        let mut cs = vec![Tensor::zeros(vec![n, h])];
+        let mut xs = Vec::with_capacity(t_len);
+        let mut gates = Vec::with_capacity(t_len);
+        let mut out = vec![0.0f32; n * t_len * h];
+
+        for t in 0..t_len {
+            let x_t = self.slice_step(input, n, t_len, t);
+            let h_prev = hs.last().expect("seeded with h0").clone();
+            let c_prev = cs.last().expect("seeded with c0").clone();
+            // z = x Wx + h Wh + b : [n, 4h]
+            let z = x_t
+                .matmul(&self.wx.value)
+                .expect("input width checked")
+                .add(&h_prev.matmul(&self.wh.value).expect("hidden width fixed"))
+                .expect("same shape")
+                .add_row_broadcast(&self.b.value);
+            let mut i_g = Tensor::zeros(vec![n, h]);
+            let mut f_g = Tensor::zeros(vec![n, h]);
+            let mut g_g = Tensor::zeros(vec![n, h]);
+            let mut o_g = Tensor::zeros(vec![n, h]);
+            let mut c_t = Tensor::zeros(vec![n, h]);
+            let mut h_t = Tensor::zeros(vec![n, h]);
+            for b in 0..n {
+                for j in 0..h {
+                    let i_v = sigmoid(z.at(b, j));
+                    let f_v = sigmoid(z.at(b, h + j));
+                    let g_v = z.at(b, 2 * h + j).tanh();
+                    let o_v = sigmoid(z.at(b, 3 * h + j));
+                    let c_v = f_v * c_prev.at(b, j) + i_v * g_v;
+                    let h_v = o_v * c_v.tanh();
+                    i_g.set(b, j, i_v);
+                    f_g.set(b, j, f_v);
+                    g_g.set(b, j, g_v);
+                    o_g.set(b, j, o_v);
+                    c_t.set(b, j, c_v);
+                    h_t.set(b, j, h_v);
+                    out[(b * t_len + t) * h + j] = h_v;
+                }
+            }
+            xs.push(x_t);
+            gates.push((i_g, f_g, g_g, o_g));
+            hs.push(h_t);
+            cs.push(c_t);
+        }
+        self.cache = Some(LstmCache { xs, hs, cs, gates, n, t: t_len });
+        Tensor::from_vec(vec![n, t_len, h], out).expect("size computed above")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("backward before forward");
+        let (n, t_len, h) = (cache.n, cache.t, self.hidden);
+        assert_eq!(grad_out.shape(), &[n, t_len, h], "gradient shape mismatch");
+
+        let mut dh_next = Tensor::zeros(vec![n, h]);
+        let mut dc_next = Tensor::zeros(vec![n, h]);
+        let mut grad_in = vec![0.0f32; n * t_len * self.input_size];
+
+        for t in (0..t_len).rev() {
+            let (i_g, f_g, g_g, o_g) = &cache.gates[t];
+            let c_t = &cache.cs[t + 1];
+            let c_prev = &cache.cs[t];
+            let h_prev = &cache.hs[t];
+            let x_t = &cache.xs[t];
+
+            // dh = upstream grad at step t + carried dh_next.
+            let mut dh = dh_next.clone();
+            for b in 0..n {
+                for j in 0..h {
+                    let g = grad_out.data()[(b * t_len + t) * h + j];
+                    dh.set(b, j, dh.at(b, j) + g);
+                }
+            }
+
+            // Through h = o * tanh(c).
+            let mut dz = Tensor::zeros(vec![n, 4 * h]); // pre-activation grads
+            let mut dc = dc_next.clone();
+            for b in 0..n {
+                for j in 0..h {
+                    let tanh_c = c_t.at(b, j).tanh();
+                    let dh_v = dh.at(b, j);
+                    let o_v = o_g.at(b, j);
+                    // dc += dh * o * (1 - tanh(c)^2)
+                    dc.set(b, j, dc.at(b, j) + dh_v * o_v * (1.0 - tanh_c * tanh_c));
+                    // do (pre-sigmoid)
+                    dz.set(b, 3 * h + j, dh_v * tanh_c * o_v * (1.0 - o_v));
+                }
+            }
+            for b in 0..n {
+                for j in 0..h {
+                    let dc_v = dc.at(b, j);
+                    let i_v = i_g.at(b, j);
+                    let f_v = f_g.at(b, j);
+                    let g_v = g_g.at(b, j);
+                    dz.set(b, j, dc_v * g_v * i_v * (1.0 - i_v)); // di
+                    dz.set(b, h + j, dc_v * c_prev.at(b, j) * f_v * (1.0 - f_v)); // df
+                    dz.set(b, 2 * h + j, dc_v * i_v * (1.0 - g_v * g_v)); // dg
+                }
+            }
+
+            // Parameter gradients.
+            self.wx.grad.add_assign(&x_t.transpose().matmul(&dz).expect("shapes fixed"));
+            self.wh.grad.add_assign(&h_prev.transpose().matmul(&dz).expect("shapes fixed"));
+            self.b.grad.add_assign(&dz.sum_rows());
+
+            // Input and recurrent gradients.
+            let dx = dz.matmul(&self.wx.value.transpose()).expect("shapes fixed");
+            for b in 0..n {
+                for d in 0..self.input_size {
+                    grad_in[(b * t_len + t) * self.input_size + d] += dx.at(b, d);
+                }
+            }
+            dh_next = dz.matmul(&self.wh.value.transpose()).expect("shapes fixed");
+            // dc flows to previous step through the forget gate.
+            dc_next = Tensor::zeros(vec![n, h]);
+            for b in 0..n {
+                for j in 0..h {
+                    dc_next.set(b, j, dc.at(b, j) * f_g.at(b, j));
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, t_len, self.input_size], grad_in).expect("size computed above")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.wx, &mut self.wh, &mut self.b]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wx, &self.wh, &self.b]
+    }
+
+    fn name(&self) -> &'static str {
+        "Lstm"
+    }
+}
+
+/// Extracts the last timestep: `[batch, time, features]` → `[batch, features]`.
+#[derive(Debug, Default)]
+pub struct LastStep {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl LastStep {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for LastStep {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let shape = input.shape().to_vec();
+        assert_eq!(shape.len(), 3, "LastStep expects [batch, time, features]");
+        let (n, t, d) = (shape[0], shape[1], shape[2]);
+        let mut out = Vec::with_capacity(n * d);
+        for b in 0..n {
+            let start = (b * t + (t - 1)) * d;
+            out.extend_from_slice(&input.data()[start..start + d]);
+        }
+        self.input_shape = Some(shape);
+        Tensor::from_vec(vec![n, d], out).expect("size computed above")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self.input_shape.clone().expect("backward before forward");
+        let (n, t, d) = (shape[0], shape[1], shape[2]);
+        let mut grad_in = Tensor::zeros(shape);
+        for b in 0..n {
+            let start = (b * t + (t - 1)) * d;
+            for j in 0..d {
+                grad_in.data_mut()[start + j] = grad_out.at(b, j);
+            }
+        }
+        grad_in
+    }
+
+    fn name(&self) -> &'static str {
+        "LastStep"
+    }
+}
+
+/// Builds the standard sequence classifier of Fig. 7's RNN half: stacked
+/// LSTMs, last-step extraction, and a dense softmax head.
+///
+/// # Panics
+///
+/// Panics if `hidden_sizes` is empty.
+pub fn sequence_classifier(
+    input_size: usize,
+    hidden_sizes: &[usize],
+    classes: usize,
+    seed: u64,
+) -> Sequential {
+    assert!(!hidden_sizes.is_empty(), "need at least one LSTM layer");
+    let mut net = Sequential::new();
+    let mut in_size = input_size;
+    for (i, &h) in hidden_sizes.iter().enumerate() {
+        net.push(Box::new(Lstm::new(in_size, h, seed.wrapping_add(i as u64))));
+        in_size = h;
+    }
+    net.push(Box::new(LastStep::new()));
+    net.push(Box::new(crate::layers::Dense::new(
+        in_size,
+        classes,
+        seed.wrapping_add(1000),
+    )));
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::optim::Adam;
+
+    #[test]
+    fn lstm_output_shape() {
+        let mut lstm = Lstm::new(3, 5, 1);
+        let x = Tensor::zeros(vec![2, 7, 3]);
+        assert_eq!(lstm.forward(&x, true).shape(), &[2, 7, 5]);
+    }
+
+    #[test]
+    fn lstm_zero_input_nonzero_bias_flows() {
+        // With forget bias 1 and zero input, hidden stays near zero but the
+        // computation must be finite and deterministic.
+        let mut lstm = Lstm::new(2, 4, 2);
+        let x = Tensor::zeros(vec![1, 3, 2]);
+        let h = lstm.forward(&x, true);
+        assert!(h.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn lstm_gradient_check_input() {
+        let mut lstm = Lstm::new(2, 3, 3);
+        let x = Tensor::from_vec(
+            vec![1, 3, 2],
+            vec![0.5, -0.2, 0.1, 0.8, -0.4, 0.3],
+        )
+        .unwrap();
+        let y = lstm.forward(&x, true);
+        let grad_in = lstm.backward(&Tensor::ones(y.shape().to_vec()));
+
+        let eps = 1e-2;
+        for idx in 0..6 {
+            let mut l2 = Lstm::new(2, 3, 3);
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let fp = l2.forward(&xp, true).sum();
+            let mut l3 = Lstm::new(2, 3, 3);
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fm = l3.forward(&xm, true).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            let ana = grad_in.data()[idx];
+            assert!((num - ana).abs() < 2e-2, "idx {idx}: numeric {num} analytic {ana}");
+        }
+    }
+
+    #[test]
+    fn lstm_gradient_check_weights() {
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![0.4, -0.6, 0.2, 0.9]).unwrap();
+        let mut lstm = Lstm::new(2, 2, 4);
+        let y = lstm.forward(&x, true);
+        lstm.backward(&Tensor::ones(y.shape().to_vec()));
+        let analytic = lstm.params()[0].grad.clone();
+
+        let eps = 1e-2;
+        for idx in [0, 3, 7, 11, 15] {
+            let mut lp = Lstm::new(2, 2, 4);
+            lp.params_mut()[0].value.data_mut()[idx] += eps;
+            let fp = lp.forward(&x, true).sum();
+            let mut lm = Lstm::new(2, 2, 4);
+            lm.params_mut()[0].value.data_mut()[idx] -= eps;
+            let fm = lm.forward(&x, true).sum();
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - analytic.data()[idx]).abs() < 2e-2,
+                "wx[{idx}]: numeric {num} analytic {}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn last_step_extracts_and_routes() {
+        let mut ls = LastStep::new();
+        let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let y = ls.forward(&x, true);
+        assert_eq!(y.data(), &[3., 4.]);
+        let g = ls.backward(&Tensor::ones(vec![1, 2]));
+        assert_eq!(g.data(), &[0., 0., 1., 1.]);
+    }
+
+    #[test]
+    fn learns_sequence_parity() {
+        // Classify whether a ±1 sequence ends with the same sign it started
+        // with — requires remembering the first element.
+        let mut rng = simclock::SeededRng::new(5);
+        let (n, t) = (40, 6);
+        let mut data = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..n {
+            let mut seq = Vec::with_capacity(t);
+            for _ in 0..t {
+                seq.push(if rng.chance(0.5) { 1.0f32 } else { -1.0 });
+            }
+            labels.push(usize::from(seq[0] == seq[t - 1]));
+            data.extend(seq);
+        }
+        let x = Tensor::from_vec(vec![n, t, 1], data).unwrap();
+        let mut net = sequence_classifier(1, &[12], 2, 6);
+        let mut loss = SoftmaxCrossEntropy::new();
+        let mut opt = Adam::new(0.02);
+        for _ in 0..250 {
+            net.train_step(&x, &labels, &mut loss, &mut opt);
+        }
+        let acc = net.accuracy(&x, &labels);
+        assert!(acc >= 0.9, "sequence accuracy {acc}");
+    }
+
+    #[test]
+    fn stacked_lstm_shapes() {
+        let mut net = sequence_classifier(3, &[8, 4], 5, 7);
+        let x = Tensor::zeros(vec![2, 4, 3]);
+        let out = net.predict(&x);
+        assert_eq!(out.shape(), &[2, 5]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests for the deep-learning framework's core invariants.
+
+use proptest::prelude::*;
+use scneural::layers::{softmax_rows, Conv2d, Dense, Layer, Relu};
+use scneural::tensor::Tensor;
+
+fn small_tensor(rows: usize, cols: usize) -> impl Strategy<Value = Tensor> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |data| Tensor::from_vec(vec![rows, cols], data).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (Aᵀ)ᵀ = A for any matrix.
+    #[test]
+    fn transpose_involution(t in small_tensor(3, 5)) {
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_law(a in small_tensor(3, 4), b in small_tensor(4, 2)) {
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    /// A(B + C) = AB + AC (distributivity).
+    #[test]
+    fn matmul_distributes(
+        a in small_tensor(2, 3),
+        b in small_tensor(3, 2),
+        c in small_tensor(3, 2),
+    ) {
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-2, "{x} vs {y}");
+        }
+    }
+
+    /// Softmax rows always sum to 1 and lie in (0, 1].
+    #[test]
+    fn softmax_is_distribution(t in small_tensor(4, 6)) {
+        let s = softmax_rows(&t);
+        for i in 0..4 {
+            let row_sum: f32 = (0..6).map(|j| s.at(i, j)).sum();
+            prop_assert!((row_sum - 1.0).abs() < 1e-4);
+            for j in 0..6 {
+                prop_assert!(s.at(i, j) > 0.0 && s.at(i, j) <= 1.0);
+            }
+        }
+    }
+
+    /// Softmax is shift-invariant: softmax(x + c) = softmax(x).
+    #[test]
+    fn softmax_shift_invariant(t in small_tensor(2, 4), shift in -5.0f32..5.0) {
+        let a = softmax_rows(&t);
+        let b = softmax_rows(&t.map(|v| v + shift));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    /// Dense layers are linear: f(x + y) = f(x) + f(y) - f(0).
+    #[test]
+    fn dense_is_affine(x in small_tensor(1, 4), y in small_tensor(1, 4), seed in any::<u64>()) {
+        let mut layer = Dense::new(4, 3, seed);
+        let f0 = layer.forward(&Tensor::zeros(vec![1, 4]), false);
+        let fx = layer.forward(&x, false);
+        let fy = layer.forward(&y, false);
+        let fxy = layer.forward(&x.add(&y).unwrap(), false);
+        let rhs = fx.add(&fy).unwrap().sub(&f0).unwrap();
+        for (a, b) in fxy.data().iter().zip(rhs.data()) {
+            prop_assert!((a - b).abs() < 1e-2, "{a} vs {b}");
+        }
+    }
+
+    /// ReLU output is non-negative and idempotent.
+    #[test]
+    fn relu_properties(x in small_tensor(2, 8)) {
+        let mut r = Relu::new();
+        let y = r.forward(&x, false);
+        prop_assert!(y.data().iter().all(|&v| v >= 0.0));
+        let mut r2 = Relu::new();
+        prop_assert_eq!(r2.forward(&y, false), y);
+    }
+
+    /// Convolution commutes with input scaling when bias is zero:
+    /// conv(kx) = k·conv(x).
+    #[test]
+    fn conv_is_homogeneous(
+        data in proptest::collection::vec(-1.0f32..1.0, 36),
+        k in 0.1f32..3.0,
+        seed in any::<u64>(),
+    ) {
+        let x = Tensor::from_vec(vec![1, 1, 6, 6], data).unwrap();
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, seed);
+        conv.params_mut()[1].value = Tensor::zeros(vec![1, 2]); // zero bias
+        let y1 = conv.forward(&x.scale(k), false);
+        let mut conv2 = Conv2d::new(1, 2, 3, 1, 1, seed);
+        conv2.params_mut()[1].value = Tensor::zeros(vec![1, 2]);
+        let y2 = conv2.forward(&x, false).scale(k);
+        for (a, b) in y1.data().iter().zip(y2.data()) {
+            prop_assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    /// hstack then hsplit round-trips.
+    #[test]
+    fn hstack_hsplit_roundtrip(a in small_tensor(3, 2), b in small_tensor(3, 4)) {
+        let joined = Tensor::hstack(&[a.clone(), b.clone()]).unwrap();
+        let (left, right) = joined.hsplit(2);
+        prop_assert_eq!(left, a);
+        prop_assert_eq!(right, b);
+    }
+
+    /// Gradient accumulation: two backward passes double parameter grads.
+    #[test]
+    fn gradients_accumulate(x in small_tensor(2, 3), seed in any::<u64>()) {
+        let mut layer = Dense::new(3, 2, seed);
+        let y = layer.forward(&x, true);
+        let g = Tensor::ones(y.shape().to_vec());
+        layer.backward(&g);
+        let once = layer.params()[0].grad.clone();
+        layer.forward(&x, true);
+        layer.backward(&g);
+        let twice = layer.params()[0].grad.clone();
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-3 + a.abs() * 1e-3, "{a} vs {b}");
+        }
+    }
+}

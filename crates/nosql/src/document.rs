@@ -1,0 +1,575 @@
+//! An indexed document store in the spirit of MongoDB.
+//!
+//! Documents are JSON-like trees ([`Doc`]); a [`Collection`] assigns ids,
+//! maintains secondary indexes (hash for equality, ordered for ranges), and
+//! answers [`Filter`] queries — using an index when one covers the filter,
+//! falling back to a scan otherwise.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-like document value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Doc {
+    /// Null.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    I64(i64),
+    /// 64-bit float.
+    F64(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Ordered array.
+    Array(Vec<Doc>),
+    /// String-keyed object.
+    Object(BTreeMap<String, Doc>),
+}
+
+impl Doc {
+    /// Builds an object from `(key, value)` pairs.
+    pub fn object<I, K>(fields: I) -> Doc
+    where
+        I: IntoIterator<Item = (K, Doc)>,
+        K: Into<String>,
+    {
+        Doc::Object(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Navigates a dotted path (`"geo.lat"`), returning the sub-document.
+    pub fn path(&self, path: &str) -> Option<&Doc> {
+        let mut cur = self;
+        for part in path.split('.') {
+            match cur {
+                Doc::Object(map) => cur = map.get(part)?,
+                _ => return None,
+            }
+        }
+        Some(cur)
+    }
+
+    /// Numeric view (`I64` and `F64` unify for comparisons).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Doc::I64(v) => Some(*v as f64),
+            Doc::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Doc::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A total-order comparison key so values can live in ordered indexes.
+    /// Cross-type comparisons order by type tag; numbers unify.
+    fn order_key(&self) -> OrderKey {
+        match self {
+            Doc::Null => OrderKey::Null,
+            Doc::Bool(b) => OrderKey::Bool(*b),
+            Doc::I64(v) => OrderKey::Num(ordered_f64(*v as f64)),
+            Doc::F64(v) => OrderKey::Num(ordered_f64(*v)),
+            Doc::Str(s) => OrderKey::Str(s.clone()),
+            Doc::Array(_) | Doc::Object(_) => OrderKey::Composite(format!("{self:?}")),
+        }
+    }
+}
+
+fn ordered_f64(v: f64) -> u64 {
+    // Total-order bijection for non-NaN floats.
+    let bits = v.to_bits();
+    if bits >> 63 == 0 {
+        bits | (1 << 63)
+    } else {
+        !bits
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum OrderKey {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Composite(String),
+}
+
+/// Document identifier assigned by the collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u64);
+
+impl std::fmt::Display for DocId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "doc-{}", self.0)
+    }
+}
+
+/// A query filter over document fields (dotted paths).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Field equals value.
+    Eq(String, Doc),
+    /// Numeric field within `[min, max]` (inclusive).
+    Range(String, f64, f64),
+    /// Field exists.
+    Exists(String),
+    /// All sub-filters hold.
+    And(Vec<Filter>),
+    /// Any sub-filter holds.
+    Or(Vec<Filter>),
+    /// Geo proximity: object field with `lat`/`lon` within `radius_m` meters
+    /// of the given point (equirectangular approximation — city scale).
+    Near {
+        /// Path to an object holding `lat` and `lon` fields.
+        path: String,
+        /// Center latitude.
+        lat: f64,
+        /// Center longitude.
+        lon: f64,
+        /// Radius in meters.
+        radius_m: f64,
+    },
+}
+
+impl Filter {
+    /// Whether `doc` satisfies this filter.
+    pub fn matches(&self, doc: &Doc) -> bool {
+        match self {
+            Filter::Eq(path, v) => doc.path(path) == Some(v),
+            Filter::Range(path, lo, hi) => doc
+                .path(path)
+                .and_then(Doc::as_f64)
+                .is_some_and(|x| x >= *lo && x <= *hi),
+            Filter::Exists(path) => doc.path(path).is_some(),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
+            Filter::Near { path, lat, lon, radius_m } => {
+                let Some(obj) = doc.path(path) else { return false };
+                let (Some(dlat), Some(dlon)) = (
+                    obj.path("lat").and_then(Doc::as_f64),
+                    obj.path("lon").and_then(Doc::as_f64),
+                ) else {
+                    return false;
+                };
+                let m_per_deg = 111_320.0;
+                let dy = (dlat - lat) * m_per_deg;
+                let dx = (dlon - lon) * m_per_deg * lat.to_radians().cos();
+                (dx * dx + dy * dy).sqrt() <= *radius_m
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct FieldIndex {
+    // Ordered index doubles as the equality index.
+    by_value: BTreeMap<OrderKey, Vec<DocId>>,
+}
+
+/// A collection of documents with optional secondary indexes.
+///
+/// # Examples
+///
+/// ```
+/// use scnosql::document::{Collection, Doc, Filter};
+///
+/// let mut tweets = Collection::new("tweets");
+/// tweets.create_index("user");
+/// tweets.insert(Doc::object([
+///     ("user", Doc::Str("amber_watch".into())),
+///     ("text", Doc::Str("silver sedan heading east".into())),
+/// ]));
+/// let hits = tweets.find(&Filter::Eq("user".into(), Doc::Str("amber_watch".into())));
+/// assert_eq!(hits.len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct Collection {
+    name: String,
+    docs: BTreeMap<DocId, Doc>,
+    indexes: HashMap<String, FieldIndex>,
+    next_id: u64,
+    scans: std::cell::Cell<u64>,
+    index_hits: std::cell::Cell<u64>,
+}
+
+impl Collection {
+    /// Creates an empty collection.
+    pub fn new(name: impl Into<String>) -> Self {
+        Collection { name: name.into(), ..Default::default() }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Builds a secondary index on a dotted field path (covers existing
+    /// documents immediately).
+    pub fn create_index(&mut self, path: &str) {
+        let mut index = FieldIndex::default();
+        for (&id, doc) in &self.docs {
+            if let Some(v) = doc.path(path) {
+                index.by_value.entry(v.order_key()).or_default().push(id);
+            }
+        }
+        self.indexes.insert(path.to_string(), index);
+    }
+
+    /// Whether a field is indexed.
+    pub fn has_index(&self, path: &str) -> bool {
+        self.indexes.contains_key(path)
+    }
+
+    /// Inserts a document, returning its id.
+    pub fn insert(&mut self, doc: Doc) -> DocId {
+        let id = DocId(self.next_id);
+        self.next_id += 1;
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = doc.path(path) {
+                index.by_value.entry(v.order_key()).or_default().push(id);
+            }
+        }
+        self.docs.insert(id, doc);
+        id
+    }
+
+    /// Fetches a document by id.
+    pub fn get(&self, id: DocId) -> Option<&Doc> {
+        self.docs.get(&id)
+    }
+
+    /// Replaces a document in place, keeping its id and updating indexes.
+    /// Returns the previous document, or `None` (no insert) if the id is
+    /// unknown.
+    pub fn update(&mut self, id: DocId, doc: Doc) -> Option<Doc> {
+        if !self.docs.contains_key(&id) {
+            return None;
+        }
+        let old = self.remove(id).expect("checked above");
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = doc.path(path) {
+                index.by_value.entry(v.order_key()).or_default().push(id);
+            }
+        }
+        self.docs.insert(id, doc);
+        Some(old)
+    }
+
+    /// Removes every document matching `filter`, returning how many were
+    /// deleted (a retention sweep's primitive).
+    pub fn remove_where(&mut self, filter: &Filter) -> usize {
+        let ids: Vec<DocId> = self.find(filter).into_iter().map(|(id, _)| id).collect();
+        for id in &ids {
+            self.remove(*id);
+        }
+        ids.len()
+    }
+
+    /// Removes a document by id, returning it.
+    pub fn remove(&mut self, id: DocId) -> Option<Doc> {
+        let doc = self.docs.remove(&id)?;
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = doc.path(path) {
+                if let Some(ids) = index.by_value.get_mut(&v.order_key()) {
+                    ids.retain(|&d| d != id);
+                }
+            }
+        }
+        Some(doc)
+    }
+
+    /// Runs a query, returning matching `(id, document)` pairs in id order.
+    ///
+    /// Uses an index when the filter (or the first arm of an `And`) is an
+    /// indexed `Eq`/`Range`; otherwise scans.
+    pub fn find(&self, filter: &Filter) -> Vec<(DocId, &Doc)> {
+        let candidates = self.candidates(filter);
+        match candidates {
+            Some(ids) => {
+                self.index_hits.set(self.index_hits.get() + 1);
+                let mut hits: Vec<(DocId, &Doc)> = ids
+                    .into_iter()
+                    .filter_map(|id| self.docs.get(&id).map(|d| (id, d)))
+                    .filter(|(_, d)| filter.matches(d))
+                    .collect();
+                hits.sort_by_key(|(id, _)| *id);
+                hits.dedup_by_key(|(id, _)| *id);
+                hits
+            }
+            None => {
+                self.scans.set(self.scans.get() + 1);
+                self.docs
+                    .iter()
+                    .filter(|(_, d)| filter.matches(d))
+                    .map(|(&id, d)| (id, d))
+                    .collect()
+            }
+        }
+    }
+
+    /// Count of matching documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.find(filter).len()
+    }
+
+    /// `(full_scans, index_assisted)` query counters — used by E9-style
+    /// experiments to verify indexes are actually exercised.
+    pub fn query_stats(&self) -> (u64, u64) {
+        (self.scans.get(), self.index_hits.get())
+    }
+
+    /// Candidate ids from an index, or `None` if no index applies.
+    fn candidates(&self, filter: &Filter) -> Option<Vec<DocId>> {
+        match filter {
+            Filter::Eq(path, v) => {
+                let index = self.indexes.get(path)?;
+                Some(index.by_value.get(&v.order_key()).cloned().unwrap_or_default())
+            }
+            Filter::Range(path, lo, hi) => {
+                let index = self.indexes.get(path)?;
+                let lo_k = OrderKey::Num(ordered_f64(*lo));
+                let hi_k = OrderKey::Num(ordered_f64(*hi));
+                Some(
+                    index
+                        .by_value
+                        .range(lo_k..=hi_k)
+                        .flat_map(|(_, ids)| ids.iter().copied())
+                        .collect(),
+                )
+            }
+            Filter::And(fs) => fs.iter().find_map(|f| self.candidates(f)),
+            _ => None,
+        }
+    }
+
+    /// Iterates all documents in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (DocId, &Doc)> {
+        self.docs.iter().map(|(&id, d)| (id, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn incident(kind: &str, district: i64, lat: f64, lon: f64) -> Doc {
+        Doc::object([
+            ("kind", Doc::Str(kind.into())),
+            ("district", Doc::I64(district)),
+            (
+                "geo",
+                Doc::object([("lat", Doc::F64(lat)), ("lon", Doc::F64(lon))]),
+            ),
+        ])
+    }
+
+    fn seeded() -> Collection {
+        let mut c = Collection::new("incidents");
+        c.insert(incident("robbery", 1, 30.45, -91.18));
+        c.insert(incident("assault", 2, 30.46, -91.17));
+        c.insert(incident("robbery", 2, 30.50, -91.10));
+        c.insert(incident("homicide", 3, 29.95, -90.07));
+        c
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut c = Collection::new("t");
+        let id = c.insert(Doc::object([("a", Doc::I64(1))]));
+        assert!(c.get(id).is_some());
+        assert_eq!(c.len(), 1);
+        let doc = c.remove(id).unwrap();
+        assert_eq!(doc.path("a"), Some(&Doc::I64(1)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn path_navigation() {
+        let d = incident("robbery", 1, 30.0, -91.0);
+        assert_eq!(d.path("geo.lat").and_then(Doc::as_f64), Some(30.0));
+        assert_eq!(d.path("geo.alt"), None);
+        assert_eq!(d.path("kind").and_then(Doc::as_str), Some("robbery"));
+    }
+
+    #[test]
+    fn eq_filter_scan() {
+        let c = seeded();
+        let hits = c.find(&Filter::Eq("kind".into(), Doc::Str("robbery".into())));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn eq_filter_uses_index() {
+        let mut c = seeded();
+        c.create_index("kind");
+        let hits = c.find(&Filter::Eq("kind".into(), Doc::Str("robbery".into())));
+        assert_eq!(hits.len(), 2);
+        let (scans, indexed) = c.query_stats();
+        assert_eq!(scans, 0);
+        assert_eq!(indexed, 1);
+    }
+
+    #[test]
+    fn index_covers_preexisting_docs() {
+        let mut c = seeded();
+        c.create_index("district");
+        let hits = c.find(&Filter::Eq("district".into(), Doc::I64(2)));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn range_filter_with_index() {
+        let mut c = seeded();
+        c.create_index("district");
+        let hits = c.find(&Filter::Range("district".into(), 2.0, 3.0));
+        assert_eq!(hits.len(), 3);
+        assert_eq!(c.query_stats().1, 1);
+    }
+
+    #[test]
+    fn range_mixes_int_and_float() {
+        let mut c = Collection::new("t");
+        c.insert(Doc::object([("x", Doc::I64(5))]));
+        c.insert(Doc::object([("x", Doc::F64(5.5))]));
+        c.insert(Doc::object([("x", Doc::F64(-1.0))]));
+        c.create_index("x");
+        assert_eq!(c.count(&Filter::Range("x".into(), 0.0, 10.0)), 2);
+        assert_eq!(c.count(&Filter::Range("x".into(), -2.0, 0.0)), 1);
+    }
+
+    #[test]
+    fn and_or_compose() {
+        let c = seeded();
+        let f = Filter::And(vec![
+            Filter::Eq("kind".into(), Doc::Str("robbery".into())),
+            Filter::Eq("district".into(), Doc::I64(2)),
+        ]);
+        assert_eq!(c.count(&f), 1);
+        let f = Filter::Or(vec![
+            Filter::Eq("district".into(), Doc::I64(1)),
+            Filter::Eq("district".into(), Doc::I64(3)),
+        ]);
+        assert_eq!(c.count(&f), 2);
+    }
+
+    #[test]
+    fn and_with_indexed_arm_prefilters() {
+        let mut c = seeded();
+        c.create_index("kind");
+        let f = Filter::And(vec![
+            Filter::Eq("kind".into(), Doc::Str("robbery".into())),
+            Filter::Range("geo.lat".into(), 30.48, 31.0),
+        ]);
+        let hits = c.find(&f);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(c.query_stats(), (0, 1));
+    }
+
+    #[test]
+    fn near_filter() {
+        let c = seeded();
+        // Within 2km of downtown Baton Rouge: the two close incidents.
+        let f = Filter::Near { path: "geo".into(), lat: 30.455, lon: -91.175, radius_m: 2000.0 };
+        assert_eq!(c.count(&f), 2);
+        // New Orleans incident is ~120 km away.
+        let f = Filter::Near { path: "geo".into(), lat: 29.95, lon: -90.07, radius_m: 1000.0 };
+        assert_eq!(c.count(&f), 1);
+    }
+
+    #[test]
+    fn exists_filter() {
+        let mut c = seeded();
+        c.insert(Doc::object([("kind", Doc::Str("pothole".into()))])); // no geo
+        assert_eq!(c.count(&Filter::Exists("geo".into())), 4);
+        assert_eq!(c.count(&Filter::Exists("nope".into())), 0);
+    }
+
+    #[test]
+    fn remove_updates_index() {
+        let mut c = seeded();
+        c.create_index("kind");
+        let id = c
+            .find(&Filter::Eq("kind".into(), Doc::Str("homicide".into())))[0]
+            .0;
+        c.remove(id);
+        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("homicide".into()))), 0);
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        let mut with_idx = seeded();
+        with_idx.create_index("district");
+        let without_idx = seeded();
+        let f = Filter::Range("district".into(), 1.0, 2.0);
+        let a: Vec<DocId> = with_idx.find(&f).into_iter().map(|(id, _)| id).collect();
+        let b: Vec<DocId> = without_idx.find(&f).into_iter().map(|(id, _)| id).collect();
+        assert_eq!(a, b);
+    }
+}
+
+#[cfg(test)]
+mod update_tests {
+    use super::*;
+
+    fn doc(kind: &str, v: i64) -> Doc {
+        Doc::object([("kind", Doc::Str(kind.into())), ("v", Doc::I64(v))])
+    }
+
+    #[test]
+    fn update_replaces_and_reindexes() {
+        let mut c = Collection::new("t");
+        c.create_index("kind");
+        let id = c.insert(doc("a", 1));
+        let old = c.update(id, doc("b", 2)).unwrap();
+        assert_eq!(old.path("kind").and_then(Doc::as_str), Some("a"));
+        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("a".into()))), 0);
+        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("b".into()))), 1);
+        assert_eq!(c.len(), 1, "same id, no growth");
+    }
+
+    #[test]
+    fn update_unknown_id_is_noop() {
+        let mut c = Collection::new("t");
+        assert!(c.update(DocId(99), doc("a", 1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn remove_where_deletes_matching() {
+        let mut c = Collection::new("t");
+        c.create_index("kind");
+        for i in 0..10 {
+            c.insert(doc(if i % 2 == 0 { "keep" } else { "purge" }, i));
+        }
+        let removed = c.remove_where(&Filter::Eq("kind".into(), Doc::Str("purge".into())));
+        assert_eq!(removed, 5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("purge".into()))), 0);
+        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("keep".into()))), 5);
+    }
+
+    #[test]
+    fn remove_where_range() {
+        let mut c = Collection::new("t");
+        for i in 0..10 {
+            c.insert(doc("x", i));
+        }
+        let removed = c.remove_where(&Filter::Range("v".into(), 0.0, 4.0));
+        assert_eq!(removed, 5);
+        assert_eq!(c.len(), 5);
+    }
+}

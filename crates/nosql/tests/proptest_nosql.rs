@@ -1,0 +1,108 @@
+//! Property tests: the LSM table must behave exactly like a model BTreeMap
+//! under any operation sequence, and document queries must agree with a
+//! brute-force scan.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use scnosql::document::{Collection, Doc, Filter};
+use scnosql::wide_column::Table;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u8, Vec<u8>),
+    Delete(u8),
+    Flush,
+    Compact,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..8))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => any::<u8>().prop_map(Op::Delete),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// LSM table ≡ BTreeMap model under arbitrary put/delete/flush/compact
+    /// sequences: every get and every scan agrees.
+    #[test]
+    fn lsm_matches_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut table = Table::new("t", 5); // tiny budget → frequent flushes
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Put(k, v) => {
+                    let key = format!("k{k:03}");
+                    table.put(&key, "f", "q", v.clone());
+                    model.insert(key, v);
+                }
+                Op::Delete(k) => {
+                    let key = format!("k{k:03}");
+                    table.delete(&key, "f", "q");
+                    model.remove(&key);
+                }
+                Op::Flush => table.flush(),
+                Op::Compact => table.compact(),
+            }
+        }
+        // Point reads agree.
+        for k in 0u16..=255 {
+            let key = format!("k{k:03}");
+            prop_assert_eq!(table.get(&key, "f", "q"), model.get(&key).cloned());
+        }
+        // Full scan agrees (ordered).
+        let scanned: Vec<(String, Vec<u8>)> =
+            table.scan_rows("", "\u{10FFFF}").map(|(k, v)| (k.row, v)).collect();
+        let expected: Vec<(String, Vec<u8>)> =
+            model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(scanned, expected);
+    }
+
+    /// Indexed and unindexed queries return identical results for any data.
+    #[test]
+    fn document_index_matches_scan(
+        values in proptest::collection::vec((0i64..20, 0i64..5), 1..40),
+        query_val in 0i64..20,
+        range in (0i64..10, 10i64..20),
+    ) {
+        let mut indexed = Collection::new("a");
+        indexed.create_index("x");
+        let mut plain = Collection::new("b");
+        for (x, y) in &values {
+            let doc = Doc::object([("x", Doc::I64(*x)), ("y", Doc::I64(*y))]);
+            indexed.insert(doc.clone());
+            plain.insert(doc);
+        }
+        let eq = Filter::Eq("x".into(), Doc::I64(query_val));
+        prop_assert_eq!(indexed.count(&eq), plain.count(&eq));
+
+        let rf = Filter::Range("x".into(), range.0 as f64, range.1 as f64);
+        prop_assert_eq!(indexed.count(&rf), plain.count(&rf));
+    }
+
+    /// WAL recovery loses nothing: state after crash+replay equals state
+    /// before the crash.
+    #[test]
+    fn wal_recovery_is_lossless(
+        kvs in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..30),
+    ) {
+        let mut table = Table::new("t", 1000); // never auto-flush
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for (k, v) in kvs {
+            let key = format!("k{k}");
+            table.put(&key, "f", "q", vec![v]);
+            model.insert(key, vec![v]);
+        }
+        let recovered = table.recover_from();
+        for (k, v) in &model {
+            let got = recovered.get(k, "f", "q");
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+    }
+}

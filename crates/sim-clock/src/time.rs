@@ -1,0 +1,286 @@
+//! Virtual time primitives.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in virtual simulation time, measured in microseconds since the
+/// start of the simulation.
+///
+/// `SimTime` is totally ordered and cheap to copy. Use [`SimDuration`] for
+/// differences between instants.
+///
+/// # Examples
+///
+/// ```
+/// use simclock::{SimTime, SimDuration};
+/// let t = SimTime::from_millis(3) + SimDuration::from_micros(500);
+/// assert_eq!(t.as_micros(), 3_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates a time from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates a time from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Raw microseconds since simulation start.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time in microseconds.
+///
+/// # Examples
+///
+/// ```
+/// use simclock::SimDuration;
+/// let d = SimDuration::from_millis(2) + SimDuration::from_micros(5);
+/// assert_eq!(d.as_micros(), 2_005);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to microseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "duration must be finite and non-negative");
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Scales the duration by a non-negative factor, rounding to microseconds.
+    pub fn mul_f64(self, factor: f64) -> Self {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimTime subtraction underflow"))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+/// A monotonically advancing virtual clock.
+///
+/// The clock only moves forward; [`VirtualClock::advance_to`] ignores
+/// timestamps earlier than the current time.
+///
+/// # Examples
+///
+/// ```
+/// use simclock::{VirtualClock, SimTime, SimDuration};
+/// let mut clock = VirtualClock::new();
+/// clock.advance(SimDuration::from_millis(10));
+/// assert_eq!(clock.now(), SimTime::from_millis(10));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: SimTime,
+}
+
+impl VirtualClock {
+    /// Creates a clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Moves the clock forward by `d`.
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.now
+    }
+
+    /// Moves the clock to `t` if `t` is in the future; otherwise leaves it
+    /// unchanged. Returns the (possibly unchanged) current time.
+    pub fn advance_to(&mut self, t: SimTime) -> SimTime {
+        if t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimTime::from_millis(1500).as_millis(), 1500);
+        assert!((SimTime::from_millis(2500).as_secs_f64() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let d = SimDuration::from_millis(2) + SimDuration::from_micros(5);
+        assert_eq!(d.as_micros(), 2005);
+        assert_eq!(d.mul_f64(2.0).as_micros(), 4010);
+    }
+
+    #[test]
+    fn time_sub_gives_duration() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!(a - b, SimDuration::from_millis(6));
+        assert_eq!(b.saturating_since(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = SimTime::from_millis(1) - SimTime::from_millis(2);
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let mut c = VirtualClock::new();
+        c.advance(SimDuration::from_secs(1));
+        let t = c.now();
+        c.advance_to(SimTime::ZERO);
+        assert_eq!(c.now(), t, "advance_to must never move backwards");
+        c.advance_to(SimTime::from_secs(5));
+        assert_eq!(c.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn duration_sum() {
+        let total: SimDuration = (1..=4).map(SimDuration::from_millis).sum();
+        assert_eq!(total, SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_millis(1500).to_string(), "1.500000s");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.000250s");
+    }
+
+    #[test]
+    fn from_secs_f64_rounds() {
+        assert_eq!(SimDuration::from_secs_f64(0.0000015).as_micros(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn from_secs_f64_rejects_negative() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+}

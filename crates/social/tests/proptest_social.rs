@@ -1,0 +1,105 @@
+//! Property tests for social-graph invariants.
+
+use proptest::prelude::*;
+use scsocial::{PersonId, SocialGraph};
+use std::collections::HashSet;
+
+fn random_graph(edges: &[(u8, u8)]) -> SocialGraph {
+    let mut g = SocialGraph::new();
+    for &(a, b) in edges {
+        g.add_edge(PersonId(a as u32), PersonId(b as u32));
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Symmetry: b ∈ N(a) ⟺ a ∈ N(b).
+    #[test]
+    fn adjacency_is_symmetric(edges in proptest::collection::vec((0u8..40, 0u8..40), 0..80)) {
+        let g = random_graph(&edges);
+        for &(a, b) in &edges {
+            let (a, b) = (PersonId(a as u32), PersonId(b as u32));
+            if a != b {
+                prop_assert!(g.has_edge(a, b));
+                prop_assert!(g.has_edge(b, a));
+            }
+        }
+    }
+
+    /// First- and second-degree sets are disjoint and exclude the seed.
+    #[test]
+    fn degree_sets_disjoint(
+        edges in proptest::collection::vec((0u8..30, 0u8..30), 1..80),
+        seed in 0u8..30,
+    ) {
+        let g = random_graph(&edges);
+        let p = PersonId(seed as u32);
+        let first: HashSet<PersonId> = g.first_degree(p).into_iter().collect();
+        let second: HashSet<PersonId> = g.second_degree(p).into_iter().collect();
+        prop_assert!(first.is_disjoint(&second));
+        prop_assert!(!first.contains(&p));
+        prop_assert!(!second.contains(&p));
+    }
+
+    /// within_degree(p, 2) = first ∪ second, for any graph.
+    #[test]
+    fn within_two_is_union(
+        edges in proptest::collection::vec((0u8..25, 0u8..25), 1..70),
+        seed in 0u8..25,
+    ) {
+        let g = random_graph(&edges);
+        let p = PersonId(seed as u32);
+        let mut union: Vec<PersonId> = g.first_degree(p);
+        union.extend(g.second_degree(p));
+        union.sort_unstable();
+        prop_assert_eq!(g.within_degree(p, 2), union);
+    }
+
+    /// within_degree is monotone in k.
+    #[test]
+    fn within_degree_monotone(
+        edges in proptest::collection::vec((0u8..25, 0u8..25), 1..70),
+        seed in 0u8..25,
+    ) {
+        let g = random_graph(&edges);
+        let p = PersonId(seed as u32);
+        let mut last = 0usize;
+        for k in 1..=4 {
+            let n = g.within_degree(p, k).len();
+            prop_assert!(n >= last, "k={k}");
+            last = n;
+        }
+    }
+
+    /// Sum of degrees = 2 × edges (handshake lemma).
+    #[test]
+    fn handshake_lemma(edges in proptest::collection::vec((0u8..40, 0u8..40), 0..100)) {
+        let g = random_graph(&edges);
+        let degree_sum: usize = (0..40u32).map(|i| g.degree(PersonId(i))).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    /// Second-degree via BFS matches brute-force distance computation.
+    #[test]
+    fn second_degree_matches_brute_force(
+        edges in proptest::collection::vec((0u8..15, 0u8..15), 1..40),
+        seed in 0u8..15,
+    ) {
+        let g = random_graph(&edges);
+        let p = PersonId(seed as u32);
+        // Brute force: distance-2 = reachable in exactly 2 steps.
+        let first: HashSet<PersonId> = g.first_degree(p).into_iter().collect();
+        let mut brute: HashSet<PersonId> = HashSet::new();
+        for f in &first {
+            for n in g.first_degree(*f) {
+                if n != p && !first.contains(&n) {
+                    brute.insert(n);
+                }
+            }
+        }
+        let got: HashSet<PersonId> = g.second_degree(p).into_iter().collect();
+        prop_assert_eq!(got, brute);
+    }
+}

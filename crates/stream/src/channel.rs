@@ -1,0 +1,155 @@
+//! Bounded in-memory channels with backpressure (the Flume channel).
+
+use std::collections::VecDeque;
+
+use crate::event::Event;
+
+/// Errors from channel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChannelError {
+    /// The channel is at capacity; the producer must retry (backpressure).
+    Full,
+}
+
+impl std::fmt::Display for ChannelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChannelError::Full => write!(f, "channel is full"),
+        }
+    }
+}
+
+impl std::error::Error for ChannelError {}
+
+/// A bounded FIFO buffer between a source and a sink.
+///
+/// Like Flume's memory channel, a full channel pushes backpressure to the
+/// producer rather than dropping data.
+///
+/// # Examples
+///
+/// ```
+/// use scstream::{Event, MemoryChannel, ChannelError};
+///
+/// let mut ch = MemoryChannel::new(2);
+/// ch.put(Event::new(b"a".to_vec()))?;
+/// ch.put(Event::new(b"b".to_vec()))?;
+/// assert_eq!(ch.put(Event::new(b"c".to_vec())), Err(ChannelError::Full));
+/// assert_eq!(ch.take().unwrap().payload(), b"a");
+/// # Ok::<(), ChannelError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct MemoryChannel {
+    queue: VecDeque<Event>,
+    capacity: usize,
+    total_in: u64,
+    total_out: u64,
+    rejected: u64,
+}
+
+impl MemoryChannel {
+    /// Creates a channel holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        MemoryChannel { queue: VecDeque::with_capacity(capacity), capacity, ..Default::default() }
+    }
+
+    /// Enqueues an event.
+    ///
+    /// # Errors
+    ///
+    /// [`ChannelError::Full`] at capacity — the caller should retry later.
+    pub fn put(&mut self, event: Event) -> Result<(), ChannelError> {
+        if self.queue.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(ChannelError::Full);
+        }
+        self.queue.push_back(event);
+        self.total_in += 1;
+        Ok(())
+    }
+
+    /// Dequeues the oldest event, if any.
+    pub fn take(&mut self) -> Option<Event> {
+        let e = self.queue.pop_front();
+        if e.is_some() {
+            self.total_out += 1;
+        }
+        e
+    }
+
+    /// Dequeues up to `max` events.
+    pub fn take_batch(&mut self, max: usize) -> Vec<Event> {
+        let n = max.min(self.queue.len());
+        (0..n).filter_map(|_| self.take()).collect()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether the buffer is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.queue.len() >= self.capacity
+    }
+
+    /// `(accepted, delivered, rejected)` lifetime counters.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.total_in, self.total_out, self.rejected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut ch = MemoryChannel::new(10);
+        for i in 0..5u8 {
+            ch.put(Event::new(vec![i])).unwrap();
+        }
+        for i in 0..5u8 {
+            assert_eq!(ch.take().unwrap().payload(), &[i]);
+        }
+        assert!(ch.take().is_none());
+    }
+
+    #[test]
+    fn backpressure_then_drain() {
+        let mut ch = MemoryChannel::new(1);
+        ch.put(Event::new(vec![1])).unwrap();
+        assert!(ch.is_full());
+        assert_eq!(ch.put(Event::new(vec![2])), Err(ChannelError::Full));
+        ch.take().unwrap();
+        assert!(ch.put(Event::new(vec![2])).is_ok());
+        assert_eq!(ch.counters(), (2, 1, 1));
+    }
+
+    #[test]
+    fn take_batch_respects_max() {
+        let mut ch = MemoryChannel::new(10);
+        for i in 0..7u8 {
+            ch.put(Event::new(vec![i])).unwrap();
+        }
+        assert_eq!(ch.take_batch(3).len(), 3);
+        assert_eq!(ch.take_batch(100).len(), 4);
+        assert!(ch.take_batch(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = MemoryChannel::new(0);
+    }
+}

@@ -1,0 +1,250 @@
+//! Consumer groups: partition assignment, committed offsets, redelivery.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::topic::{Offset, PartitionId, Topic};
+
+/// Identifier of a consumer within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConsumerId(pub u32);
+
+/// A consumer group over one topic: partitions are divided among members,
+/// each partition tracks a *committed* offset, and polling hands out events
+/// past the committed offset.
+///
+/// Delivery is **at-least-once**: events delivered by [`ConsumerGroup::poll`]
+/// are re-delivered after a crash unless [`ConsumerGroup::commit`] recorded
+/// them first.
+///
+/// # Examples
+///
+/// ```
+/// use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
+///
+/// let mut topic = Topic::new("t", 2);
+/// topic.publish(Event::with_key("a", b"1".to_vec()));
+///
+/// let mut group = ConsumerGroup::new("analytics", 2);
+/// group.join(ConsumerId(0));
+/// let events = group.poll(ConsumerId(0), &topic, 10);
+/// assert_eq!(events.len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ConsumerGroup {
+    name: String,
+    partitions: u32,
+    members: Vec<ConsumerId>,
+    committed: BTreeMap<PartitionId, Offset>,
+    // Offsets handed out but not yet committed, per partition.
+    in_flight: BTreeMap<PartitionId, Offset>,
+}
+
+impl ConsumerGroup {
+    /// Creates a group consuming a topic with `partitions` partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `partitions` is zero.
+    pub fn new(name: impl Into<String>, partitions: u32) -> Self {
+        assert!(partitions > 0, "need at least one partition");
+        ConsumerGroup {
+            name: name.into(),
+            partitions,
+            members: Vec::new(),
+            committed: BTreeMap::new(),
+            in_flight: BTreeMap::new(),
+        }
+    }
+
+    /// Group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current members in join order.
+    pub fn members(&self) -> &[ConsumerId] {
+        &self.members
+    }
+
+    /// Adds a member, triggering a rebalance.
+    pub fn join(&mut self, consumer: ConsumerId) {
+        if !self.members.contains(&consumer) {
+            self.members.push(consumer);
+            self.rebalance();
+        }
+    }
+
+    /// Removes a member (crash or clean leave), triggering a rebalance.
+    /// Uncommitted in-flight events on its partitions become eligible for
+    /// redelivery.
+    pub fn leave(&mut self, consumer: ConsumerId) {
+        self.members.retain(|&c| c != consumer);
+        self.rebalance();
+    }
+
+    fn rebalance(&mut self) {
+        // Reset in-flight positions to committed: anything uncommitted will
+        // be redelivered to the partition's (possibly new) owner.
+        self.in_flight.clear();
+    }
+
+    /// The partitions assigned to `consumer` (range assignment).
+    pub fn assignment(&self, consumer: ConsumerId) -> Vec<PartitionId> {
+        let Some(idx) = self.members.iter().position(|&c| c == consumer) else {
+            return Vec::new();
+        };
+        (0..self.partitions)
+            .filter(|p| (*p as usize) % self.members.len() == idx)
+            .map(PartitionId)
+            .collect()
+    }
+
+    /// Polls up to `max` events for `consumer` from its assigned partitions,
+    /// starting from each partition's in-flight position (≥ committed).
+    pub fn poll(&mut self, consumer: ConsumerId, topic: &Topic, max: usize) -> Vec<(PartitionId, Offset, Event)> {
+        let mut out = Vec::new();
+        for pid in self.assignment(consumer) {
+            if out.len() >= max {
+                break;
+            }
+            let committed = self.committed.get(&pid).copied().unwrap_or_default();
+            let from = self.in_flight.get(&pid).copied().unwrap_or(committed).max(committed);
+            let events = topic.read(pid, from, max - out.len());
+            for (i, e) in events.iter().enumerate() {
+                out.push((pid, Offset(from.0 + i as u64), e.clone()));
+            }
+            if !events.is_empty() {
+                self.in_flight.insert(pid, Offset(from.0 + events.len() as u64));
+            }
+        }
+        out
+    }
+
+    /// Commits all offsets up to and including `offset` on `partition`.
+    pub fn commit(&mut self, partition: PartitionId, offset: Offset) {
+        let next = offset.next();
+        let entry = self.committed.entry(partition).or_default();
+        if next > *entry {
+            *entry = next;
+        }
+    }
+
+    /// The committed position of a partition (next offset to deliver after a
+    /// restart).
+    pub fn committed(&self, partition: PartitionId) -> Offset {
+        self.committed.get(&partition).copied().unwrap_or_default()
+    }
+
+    /// Total committed events across partitions.
+    pub fn total_committed(&self) -> u64 {
+        self.committed.values().map(|o| o.0).sum()
+    }
+
+    /// Lag: events in the topic not yet committed by this group.
+    pub fn lag(&self, topic: &Topic) -> u64 {
+        (0..self.partitions)
+            .map(PartitionId)
+            .map(|p| topic.end_offset(p).0.saturating_sub(self.committed(p).0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic_with(n: usize, partitions: u32) -> Topic {
+        let mut t = Topic::new("t", partitions);
+        for i in 0..n {
+            t.publish(Event::with_key(format!("k{i}"), vec![i as u8]));
+        }
+        t
+    }
+
+    #[test]
+    fn single_consumer_gets_all_partitions() {
+        let mut g = ConsumerGroup::new("g", 4);
+        g.join(ConsumerId(0));
+        assert_eq!(g.assignment(ConsumerId(0)).len(), 4);
+    }
+
+    #[test]
+    fn two_consumers_split_partitions() {
+        let mut g = ConsumerGroup::new("g", 4);
+        g.join(ConsumerId(0));
+        g.join(ConsumerId(1));
+        let a = g.assignment(ConsumerId(0));
+        let b = g.assignment(ConsumerId(1));
+        assert_eq!(a.len() + b.len(), 4);
+        assert!(a.iter().all(|p| !b.contains(p)));
+    }
+
+    #[test]
+    fn poll_then_commit_advances() {
+        let topic = topic_with(6, 2);
+        let mut g = ConsumerGroup::new("g", 2);
+        g.join(ConsumerId(0));
+        let events = g.poll(ConsumerId(0), &topic, 100);
+        assert_eq!(events.len(), 6);
+        for (pid, off, _) in &events {
+            g.commit(*pid, *off);
+        }
+        assert_eq!(g.lag(&topic), 0);
+        assert!(g.poll(ConsumerId(0), &topic, 100).is_empty(), "nothing left after commit");
+    }
+
+    #[test]
+    fn uncommitted_events_redelivered_after_crash() {
+        let topic = topic_with(6, 2);
+        let mut g = ConsumerGroup::new("g", 2);
+        g.join(ConsumerId(0));
+        let first = g.poll(ConsumerId(0), &topic, 100);
+        assert_eq!(first.len(), 6);
+        // Consumer crashes without committing.
+        g.leave(ConsumerId(0));
+        g.join(ConsumerId(1));
+        let second = g.poll(ConsumerId(1), &topic, 100);
+        assert_eq!(second.len(), 6, "at-least-once: all redelivered");
+    }
+
+    #[test]
+    fn partial_commit_redelivers_remainder() {
+        let mut topic = Topic::new("t", 1);
+        for i in 0..5u8 {
+            topic.publish(Event::new(vec![i]));
+        }
+        let mut g = ConsumerGroup::new("g", 1);
+        g.join(ConsumerId(0));
+        let events = g.poll(ConsumerId(0), &topic, 100);
+        // Commit only the first two.
+        g.commit(events[1].0, events[1].1);
+        g.leave(ConsumerId(0));
+        g.join(ConsumerId(0));
+        let redelivered = g.poll(ConsumerId(0), &topic, 100);
+        assert_eq!(redelivered.len(), 3);
+        assert_eq!(redelivered[0].2.payload(), &[2]);
+    }
+
+    #[test]
+    fn poll_without_membership_is_empty() {
+        let topic = topic_with(3, 1);
+        let mut g = ConsumerGroup::new("g", 1);
+        assert!(g.poll(ConsumerId(9), &topic, 10).is_empty());
+    }
+
+    #[test]
+    fn commit_is_monotone() {
+        let mut g = ConsumerGroup::new("g", 1);
+        g.commit(PartitionId(0), Offset(5));
+        g.commit(PartitionId(0), Offset(2)); // stale commit ignored
+        assert_eq!(g.committed(PartitionId(0)), Offset(6));
+    }
+
+    #[test]
+    fn lag_counts_unconsumed() {
+        let topic = topic_with(10, 2);
+        let g = ConsumerGroup::new("g", 2);
+        assert_eq!(g.lag(&topic), 10);
+    }
+}

@@ -1,0 +1,121 @@
+//! Stream events.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use simclock::SimTime;
+
+/// A single ingested record: payload, optional partitioning key, headers,
+/// and an event timestamp.
+///
+/// # Examples
+///
+/// ```
+/// use scstream::Event;
+///
+/// let e = Event::with_key("cam-0007", b"frame bytes".to_vec())
+///     .header("source", "dotd")
+///     .header("city", "Baton Rouge");
+/// assert_eq!(e.key(), Some("cam-0007"));
+/// assert_eq!(e.header_value("source"), Some("dotd"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    payload: Bytes,
+    key: Option<String>,
+    headers: BTreeMap<String, String>,
+    timestamp: SimTime,
+}
+
+impl Event {
+    /// Creates an event with no key.
+    pub fn new(payload: Vec<u8>) -> Self {
+        Event {
+            payload: Bytes::from(payload),
+            key: None,
+            headers: BTreeMap::new(),
+            timestamp: SimTime::ZERO,
+        }
+    }
+
+    /// Creates an event with a partitioning key (events with the same key
+    /// land in the same partition and stay ordered).
+    pub fn with_key(key: impl Into<String>, payload: Vec<u8>) -> Self {
+        let mut e = Event::new(payload);
+        e.key = Some(key.into());
+        e
+    }
+
+    /// Adds a header (builder style).
+    pub fn header(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.headers.insert(k.into(), v.into());
+        self
+    }
+
+    /// Sets the event timestamp (builder style).
+    pub fn at(mut self, t: SimTime) -> Self {
+        self.timestamp = t;
+        self
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The partitioning key, if any.
+    pub fn key(&self) -> Option<&str> {
+        self.key.as_deref()
+    }
+
+    /// Looks up a header.
+    pub fn header_value(&self, k: &str) -> Option<&str> {
+        self.headers.get(k).map(String::as_str)
+    }
+
+    /// All headers in key order.
+    pub fn headers(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.headers.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+
+    /// Event timestamp.
+    pub fn timestamp(&self) -> SimTime {
+        self.timestamp
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payload.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let e = Event::with_key("k", b"p".to_vec())
+            .header("a", "1")
+            .header("b", "2")
+            .at(SimTime::from_secs(5));
+        assert_eq!(e.key(), Some("k"));
+        assert_eq!(e.payload(), b"p");
+        assert_eq!(e.headers().count(), 2);
+        assert_eq!(e.timestamp(), SimTime::from_secs(5));
+        assert_eq!(e.len(), 1);
+    }
+
+    #[test]
+    fn keyless_event() {
+        let e = Event::new(vec![]);
+        assert_eq!(e.key(), None);
+        assert!(e.is_empty());
+        assert_eq!(e.header_value("missing"), None);
+    }
+}

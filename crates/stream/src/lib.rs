@@ -1,0 +1,42 @@
+//! # scstream — real-time data ingestion
+//!
+//! The paper's software layer uses Apache Flume "for real-time data transfers
+//! from various information sources" (§II-C2), feeding video annotations,
+//! tweets, and Waze reports into NoSQL stores (Fig. 4). This crate rebuilds
+//! that ingestion path as a deterministic substrate:
+//!
+//! - [`Event`]: a timestamped payload with headers and an optional
+//!   partitioning key.
+//! - [`MemoryChannel`]: a bounded buffer between source and sink with
+//!   backpressure (Flume's channel).
+//! - [`Topic`]: a partitioned, offset-addressed append-only log
+//!   (Kafka-style), consumed by [`ConsumerGroup`]s with committed offsets and
+//!   rebalancing — giving at-least-once delivery under consumer crashes.
+//! - [`Pipeline`]: wires a [`Source`] through a channel to a [`Sink`] with
+//!   ack-after-delivery semantics.
+//!
+//! # Examples
+//!
+//! ```
+//! use scstream::{Event, Topic};
+//!
+//! let mut topic = Topic::new("tweets", 4);
+//! topic.publish(Event::with_key("gang-a", b"tweet text".to_vec()));
+//! assert_eq!(topic.total_events(), 1);
+//! ```
+
+mod channel;
+mod consumer;
+mod event;
+mod pipeline;
+mod topic;
+pub mod windows;
+
+pub use channel::{ChannelError, MemoryChannel};
+pub use consumer::{ConsumerGroup, ConsumerId};
+pub use event::Event;
+pub use pipeline::{
+    CollectingSink, FilterInterceptor, HeaderInterceptor, Interceptor, Pipeline, PipelineStats,
+    Sink, Source, VecSource,
+};
+pub use topic::{Offset, PartitionId, Topic};

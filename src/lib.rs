@@ -1,0 +1,42 @@
+//! # smartcity — distributed cyberinfrastructure for smart cities
+//!
+//! Facade crate re-exporting every subsystem of the reproduction of
+//! *"Towards Distributed Cyberinfrastructure for Smart Cities using Big Data
+//! and Deep Learning Technologies"* (ICDCS 2018).
+//!
+//! The paper's four-layer architecture maps onto these crates:
+//!
+//! - **Data layer** — [`data`] (synthetic videos, tweets, Waze, city & crime
+//!   records), [`geo`] (camera registry, spatial index).
+//! - **Hardware layer** — [`fog`] (four-tier edge/fog/server/cloud
+//!   discrete-event simulator), [`simclock`].
+//! - **Software layer** — [`dfs`] (HDFS-like), [`nosql`] (HBase-like
+//!   wide-column + MongoDB-like document store), [`stream`] (Flume/Kafka-like
+//!   ingestion), [`compute`] (YARN-like scheduler + Spark-like dataflow +
+//!   MLlib-lite), [`neural`] (TensorFlow-substitute DL framework),
+//!   [`drl`] (deep reinforcement learning).
+//! - **Application layer** — [`core`] (vehicle detection, action recognition,
+//!   social-network narrowing, visualization export), [`social`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smartcity::core::infrastructure::Cyberinfrastructure;
+//!
+//! let infra = Cyberinfrastructure::builder().seed(7).build();
+//! let report = infra.health_report();
+//! assert!(report.layers >= 4);
+//! ```
+
+pub use scdata as data;
+pub use scdfs as dfs;
+pub use scdrl as drl;
+pub use scfog as fog;
+pub use scgeo as geo;
+pub use scneural as neural;
+pub use scnosql as nosql;
+pub use scsocial as social;
+pub use scstream as stream;
+pub use sccompute as compute;
+pub use simclock;
+pub use smartcity_core as core;

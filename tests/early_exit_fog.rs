@@ -1,0 +1,71 @@
+//! Integration: the E4 linkage — a *real* trained early-exit model's offload
+//! fraction drives the fog simulator, reproducing Fig. 5's system behaviour
+//! (threshold ↑ ⇒ escalations ↑ ⇒ upstream bytes ↑ and accuracy ↑).
+
+use scdata::vehicles::VehicleCatalog;
+use scdata::video::FrameGenerator;
+use smartcity::core::apps::vehicle::VehicleClassifier;
+use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
+
+#[test]
+fn trained_offload_fraction_drives_fog_costs() {
+    // Train a small early-exit classifier.
+    let classes = 4;
+    let catalog = VehicleCatalog::generate(classes, 1);
+    let mut gen = FrameGenerator::new(catalog, 16, 16, 2).noise(0.02);
+    let (frames, labels) = gen.dataset(classes, 12);
+    let mut clf = VehicleClassifier::new(classes, 16, 0.5, 3);
+    clf.train(&frames, &labels, 40, 0.01);
+
+    // Sweep the confidence threshold; collect (offload, accuracy).
+    let mut rows = Vec::new();
+    for &threshold in &[0.3f32, 0.6, 0.9, 0.99] {
+        clf.set_threshold(threshold);
+        let (acc, offload) = clf.evaluate(&frames, &labels);
+        rows.push((threshold, acc, offload));
+    }
+
+    // Offload fraction must be monotone in the threshold.
+    for pair in rows.windows(2) {
+        assert!(
+            pair[1].2 >= pair[0].2,
+            "offload must not decrease: {rows:?}"
+        );
+    }
+    // The loosest threshold keeps (nearly) everything local; the tightest
+    // escalates a strict majority or more.
+    assert!(rows[0].2 < 0.5, "threshold 0.3 mostly local: {rows:?}");
+    assert!(rows[3].2 > rows[0].2, "threshold 0.99 escalates more: {rows:?}");
+
+    // Feed measured offload fractions into the fog simulator: upstream bytes
+    // must grow with the measured escalation rate.
+    let sim = FogSimulator::new(Topology::four_tier(4, 2, 1));
+    let mut last_bytes = 0u64;
+    for &(_, _, offload) in &rows {
+        let workload = Workload::with_escalation(100, 100_000, 10.0, offload, 4);
+        let report = sim.run(
+            &workload,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 6 * 8 * 8 * 4 },
+        );
+        assert!(
+            report.fog_to_server_bytes >= last_bytes,
+            "upstream bytes track offload"
+        );
+        last_bytes = report.fog_to_server_bytes;
+    }
+}
+
+#[test]
+fn early_exit_dominates_extremes_in_fog_costs() {
+    let sim = FogSimulator::new(Topology::four_tier(4, 2, 1));
+    let workload = Workload::with_escalation(150, 100_000, 10.0, 0.3, 5);
+    let early =
+        sim.run(&workload, Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 });
+    let all_edge = sim.run(&workload, Placement::AllEdge);
+    let all_cloud = sim.run(&workload, Placement::AllCloud);
+
+    // The paper's design goal: far less upstream traffic than cloud
+    // processing, far lower latency than running everything on the edge.
+    assert!(early.total_upstream_bytes() * 5 < all_cloud.total_upstream_bytes());
+    assert!(early.mean_latency_s * 2.0 < all_edge.mean_latency_s);
+}
