@@ -15,7 +15,10 @@ fn crime_points(n: usize, seed: u64) -> Vec<Vec<f64>> {
     gen.stream(n)
         .into_iter()
         .filter(|r| {
-            matches!(r.kind, OpenRecordKind::CrimeIncident | OpenRecordKind::EmergencyCall)
+            matches!(
+                r.kind,
+                OpenRecordKind::CrimeIncident | OpenRecordKind::EmergencyCall
+            )
         })
         .map(|r| vec![r.location.lat(), r.location.lon()])
         .collect()
@@ -48,14 +51,22 @@ fn regenerate_figure() {
         ]);
     }
     table(
-        &["partitions", "ms", "inertia", "iters", "shuffles", "shuffled_recs"],
+        &[
+            "partitions",
+            "ms",
+            "inertia",
+            "iters",
+            "shuffles",
+            "shuffled_recs",
+        ],
         &rows,
     );
 
     // Elbow series: inertia vs k (the chart the dashboard would draw).
     let ds = Dataset::from_vec(points.clone(), 4);
-    let elbow: Vec<(f64, f64)> =
-        (1..=6).map(|k| (k as f64, kmeans(&ds, k, 25, 33).inertia)).collect();
+    let elbow: Vec<(f64, f64)> = (1..=6)
+        .map(|k| (k as f64, kmeans(&ds, k, 25, 33).inertia))
+        .collect();
     println!("\nelbow series (k, inertia): {elbow:?}");
 
     // Exports.
@@ -73,7 +84,10 @@ fn regenerate_figure() {
     let geo = geojson_points(&features);
     let dash = dashboard(
         &[("points", points.len() as f64), ("hotspots", 3.0)],
-        &[Series { name: "elbow".into(), points: elbow }],
+        &[Series {
+            name: "elbow".into(),
+            points: elbow,
+        }],
     );
     let svg = svg_bar_chart(
         "Cluster sizes",
@@ -82,8 +96,7 @@ fn regenerate_figure() {
             .iter()
             .enumerate()
             .map(|(i, _)| {
-                let size =
-                    points.iter().filter(|p| model.predict(p) == i).count() as f64;
+                let size = points.iter().filter(|p| model.predict(p) == i).count() as f64;
                 (format!("hotspot-{i}"), size)
             })
             .collect::<Vec<_>>(),

@@ -10,7 +10,10 @@ use scdrl::{
 };
 
 fn evaluate<A: Agent>(env: &mut CameraControlEnv, agent: &mut A, episodes: usize) -> f64 {
-    (0..episodes).map(|_| run_episode(env, agent, false)).sum::<f64>() / episodes as f64
+    (0..episodes)
+        .map(|_| run_episode(env, agent, false))
+        .sum::<f64>()
+        / episodes as f64
 }
 
 fn regenerate_figure() -> DqnAgent {
@@ -31,13 +34,20 @@ fn regenerate_figure() -> DqnAgent {
     let mut dqn = DqnAgent::new(
         sd,
         na,
-        DqnConfig { epsilon_decay: 0.995, ..DqnConfig::default() },
+        DqnConfig {
+            epsilon_decay: 0.995,
+            ..DqnConfig::default()
+        },
         41,
     );
     let mut ddqn = DqnAgent::new(
         sd,
         na,
-        DqnConfig { epsilon_decay: 0.995, double_dqn: true, ..DqnConfig::default() },
+        DqnConfig {
+            epsilon_decay: 0.995,
+            double_dqn: true,
+            ..DqnConfig::default()
+        },
         41,
     );
     let mut tabular = TabularQAgent::new(na, 4, 42);
@@ -46,14 +56,22 @@ fn regenerate_figure() -> DqnAgent {
     println!("training curves (mean return per 20-episode block):");
     let mut rows = Vec::new();
     for block in 0..5 {
-        let dqn_mean: f64 =
-            (0..20).map(|_| run_episode(&mut env_dqn, &mut dqn, true)).sum::<f64>() / 20.0;
-        let ddqn_mean: f64 =
-            (0..20).map(|_| run_episode(&mut env_ddqn, &mut ddqn, true)).sum::<f64>() / 20.0;
-        let tab_mean: f64 =
-            (0..20).map(|_| run_episode(&mut env_tab, &mut tabular, true)).sum::<f64>() / 20.0;
-        let rnd_mean: f64 =
-            (0..20).map(|_| run_episode(&mut env_rnd, &mut random, false)).sum::<f64>() / 20.0;
+        let dqn_mean: f64 = (0..20)
+            .map(|_| run_episode(&mut env_dqn, &mut dqn, true))
+            .sum::<f64>()
+            / 20.0;
+        let ddqn_mean: f64 = (0..20)
+            .map(|_| run_episode(&mut env_ddqn, &mut ddqn, true))
+            .sum::<f64>()
+            / 20.0;
+        let tab_mean: f64 = (0..20)
+            .map(|_| run_episode(&mut env_tab, &mut tabular, true))
+            .sum::<f64>()
+            / 20.0;
+        let rnd_mean: f64 = (0..20)
+            .map(|_| run_episode(&mut env_rnd, &mut random, false))
+            .sum::<f64>()
+            / 20.0;
         rows.push(vec![
             format!("{}-{}", block * 20, block * 20 + 19),
             f1(dqn_mean),
@@ -62,7 +80,10 @@ fn regenerate_figure() -> DqnAgent {
             f1(rnd_mean),
         ]);
     }
-    table(&["episodes", "dqn", "double_dqn", "tabular_q", "random"], &rows);
+    table(
+        &["episodes", "dqn", "double_dqn", "tabular_q", "random"],
+        &rows,
+    );
 
     // Greedy evaluation.
     let dqn_eval = evaluate(&mut env_dqn, &mut dqn, 20);

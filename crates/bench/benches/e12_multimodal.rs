@@ -23,7 +23,11 @@ fn gunshot_data(n: usize, noise: f64, seed: u64) -> (Tensor, Tensor, Vec<usize>)
     let mut labels = Vec::new();
     for i in 0..n {
         let shot = i % 2 == 0;
-        let z: f64 = if shot { rng.range_f64(0.65, 1.0) } else { rng.range_f64(0.0, 0.35) };
+        let z: f64 = if shot {
+            rng.range_f64(0.65, 1.0)
+        } else {
+            rng.range_f64(0.0, 0.35)
+        };
         for j in 0..da {
             let base = if j < 2 { z } else { 0.25 };
             audio.push((base + rng.gaussian(0.0, noise)).clamp(0.0, 1.0) as f32);
@@ -61,7 +65,11 @@ fn centroid_accuracy(z: &Tensor, labels: &[usize]) -> f64 {
         .iter()
         .enumerate()
         .filter(|(i, &l)| {
-            let d = |c: &[f64]| (0..k).map(|j| (z.at(*i, j) as f64 - c[j]).powi(2)).sum::<f64>();
+            let d = |c: &[f64]| {
+                (0..k)
+                    .map(|j| (z.at(*i, j) as f64 - c[j]).powi(2))
+                    .sum::<f64>()
+            };
             usize::from(d(&centroids[1]) < d(&centroids[0])) == l
         })
         .count();
@@ -100,7 +108,11 @@ fn regenerate_figure() -> (FusionAutoencoder, Tensor, Tensor) {
             vec!["audio-only AE".into(), "2".into(), f3(acc_audio)],
             vec!["video-only AE".into(), "2".into(), f3(acc_video)],
             vec!["fused AE (paper)".into(), "3".into(), f3(acc_fused)],
-            vec!["fused AE, audio only at test".into(), "3".into(), f3(acc_audio_only_fused)],
+            vec![
+                "fused AE, audio only at test".into(),
+                "3".into(),
+                f3(acc_audio_only_fused),
+            ],
         ],
     );
 
@@ -110,7 +122,11 @@ fn regenerate_figure() -> (FusionAutoencoder, Tensor, Tensor) {
     for &nz in &[0.05, 0.15, 0.3, 0.5] {
         let (a, v, _) = gunshot_data(300, nz, 54);
         let cca = Cca::fit(&a, &v, 2, 1e-5).unwrap();
-        rows.push(vec![f3(nz), f3(cca.correlations()[0]), f3(cca.correlations()[1])]);
+        rows.push(vec![
+            f3(nz),
+            f3(cca.correlations()[0]),
+            f3(cca.correlations()[1]),
+        ]);
     }
     table(&["noise", "rho_1", "rho_2"], &rows);
     (fused, audio, video)

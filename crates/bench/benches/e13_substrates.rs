@@ -50,7 +50,16 @@ fn regenerate_figure() {
             rm.pending_count().to_string(),
         ]);
     }
-    table(&["policy", "app1_containers", "app2_containers", "utilization", "pending"], &rows);
+    table(
+        &[
+            "policy",
+            "app1_containers",
+            "app2_containers",
+            "utilization",
+            "pending",
+        ],
+        &rows,
+    );
 
     println!("\n(b) streaming delivery under a consumer crash (at-least-once):");
     let mut topic = Topic::new("events", 4);

@@ -1,0 +1,140 @@
+//! E14 (observability): telemetry overhead. Instrumentation is compiled in
+//! unconditionally across the stack, so the cost that matters is the
+//! disabled-handle path — one `Option` check per call site. This bench pins
+//! that down against both a true no-telemetry baseline and the enabled
+//! recorder, at the single-metric level and for a whole fog-simulator run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f3, header, table};
+use scfog::{FogSimulator, Placement, Topology, Workload};
+use sctelemetry::{Telemetry, TelemetryHandle};
+
+const OPS: usize = 10_000;
+
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // One warm-up pass, then a timed pass.
+    f();
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_nanos() as f64 / OPS as f64
+}
+
+fn regenerate_figure() {
+    header(
+        "E14",
+        "observability",
+        "Telemetry overhead: disabled-handle no-op vs enabled recording",
+    );
+
+    let disabled = TelemetryHandle::disabled();
+    let telemetry = Telemetry::shared();
+    let enabled = telemetry.handle();
+
+    let rows = vec![
+        vec![
+            "counter_add".to_string(),
+            f3(time_ns(|| {
+                for i in 0..OPS {
+                    disabled.counter_add("e14_ops_total", "ops", std::hint::black_box(i as u64));
+                }
+            })),
+            f3(time_ns(|| {
+                for i in 0..OPS {
+                    enabled.counter_add("e14_ops_total", "ops", std::hint::black_box(i as u64));
+                }
+            })),
+        ],
+        vec![
+            "observe".to_string(),
+            f3(time_ns(|| {
+                for i in 0..OPS {
+                    disabled.observe(
+                        "e14_latency_seconds",
+                        "latency",
+                        std::hint::black_box(i as f64),
+                    );
+                }
+            })),
+            f3(time_ns(|| {
+                for i in 0..OPS {
+                    enabled.observe(
+                        "e14_latency_seconds",
+                        "latency",
+                        std::hint::black_box(i as f64),
+                    );
+                }
+            })),
+        ],
+    ];
+    table(&["op", "disabled_ns_per_op", "enabled_ns_per_op"], &rows);
+
+    // Whole-subsystem view: a fog run with no recorder attached vs one
+    // recording every job, span, and tier metric.
+    let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 14);
+    let baseline_sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    let placement = Placement::EarlyExit {
+        local_fraction: 0.3,
+        feature_bytes: 20_000,
+    };
+    let start = std::time::Instant::now();
+    let r = baseline_sim.run(&workload, placement);
+    let base_us = start.elapsed().as_micros();
+
+    let recorder = Telemetry::shared();
+    let recorded_sim =
+        FogSimulator::new(Topology::four_tier(8, 4, 2)).with_telemetry(recorder.handle());
+    let start = std::time::Instant::now();
+    let rr = recorded_sim.run(&workload, placement);
+    let rec_us = start.elapsed().as_micros();
+    assert_eq!(r.jobs, rr.jobs, "telemetry must not change results");
+
+    println!(
+        "\nfog run (400 jobs): baseline {base_us} us, recorded {rec_us} us, {} spans, {} metrics",
+        recorder.trace_len(),
+        recorder.registry().len(),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 14);
+    let placement = Placement::EarlyExit {
+        local_fraction: 0.3,
+        feature_bytes: 20_000,
+    };
+
+    let baseline = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    c.bench_function("e14/fog_run_no_telemetry", |b| {
+        b.iter(|| baseline.run(std::hint::black_box(&workload), placement))
+    });
+
+    let recorder = Telemetry::shared();
+    let recorded =
+        FogSimulator::new(Topology::four_tier(8, 4, 2)).with_telemetry(recorder.handle());
+    c.bench_function("e14/fog_run_recording", |b| {
+        b.iter(|| recorded.run(std::hint::black_box(&workload), placement))
+    });
+
+    let disabled = TelemetryHandle::disabled();
+    c.bench_function("e14/disabled_counter_add_10k", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                disabled.counter_add("e14_ops_total", "ops", std::hint::black_box(i as u64));
+            }
+        })
+    });
+
+    let telemetry = Telemetry::shared();
+    let enabled = telemetry.handle();
+    c.bench_function("e14/enabled_counter_add_10k", |b| {
+        b.iter(|| {
+            for i in 0..OPS {
+                enabled.counter_add("e14_ops_total", "ops", std::hint::black_box(i as u64));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

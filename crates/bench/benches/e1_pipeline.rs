@@ -37,7 +37,15 @@ fn regenerate_figure() {
         ]);
     }
     table(
-        &["city_records", "ingested", "stored", "annotated", "hotspots", "secs", "kev/s"],
+        &[
+            "city_records",
+            "ingested",
+            "stored",
+            "annotated",
+            "hotspots",
+            "secs",
+            "kev/s",
+        ],
         &rows,
     );
 }

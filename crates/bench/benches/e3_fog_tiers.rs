@@ -19,14 +19,27 @@ fn regenerate_figure() {
         ("all-edge", Placement::AllEdge),
         ("server-only", Placement::ServerOnly),
         ("all-cloud", Placement::AllCloud),
-        ("early-exit", Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 }),
-        ("fog-assisted", Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 }),
+        (
+            "early-exit",
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        ),
+        (
+            "fog-assisted",
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        ),
     ] {
         let r = sim.run(&workload, placement);
         rows.push(vec![
             name.to_string(),
             f3(r.mean_latency_s),
             f3(r.p95_latency_s),
+            f3(r.p99_latency_s),
             f3(r.total_upstream_bytes() as f64 / 1e6),
             f3(r.utilization_of(Tier::Edge)),
             f3(r.utilization_of(Tier::Fog)),
@@ -34,7 +47,16 @@ fn regenerate_figure() {
         ]);
     }
     table(
-        &["placement", "mean_s", "p95_s", "upstream_MB", "edge_util", "fog_util", "server_util"],
+        &[
+            "placement",
+            "mean_s",
+            "p95_s",
+            "p99_s",
+            "upstream_MB",
+            "edge_util",
+            "fog_util",
+            "server_util",
+        ],
         &rows,
     );
 
@@ -44,7 +66,10 @@ fn regenerate_figure() {
         let w = Workload::with_escalation(300, 100_000, 20.0, esc, 4);
         let r = sim.run(
             &w,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         );
         rows.push(vec![
             format!("{esc:.2}"),
@@ -63,7 +88,10 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             sim.run(
                 std::hint::black_box(&workload),
-                Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+                Placement::EarlyExit {
+                    local_fraction: 0.3,
+                    feature_bytes: 20_000,
+                },
             )
         })
     });

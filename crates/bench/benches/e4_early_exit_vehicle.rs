@@ -25,7 +25,11 @@ fn trained_classifier() -> (VehicleClassifier, Vec<scdata::video::Frame>, Vec<us
     (clf, test_frames, test_labels)
 }
 
-fn regenerate_figure(clf: &mut VehicleClassifier, frames: &[scdata::video::Frame], labels: &[usize]) {
+fn regenerate_figure(
+    clf: &mut VehicleClassifier,
+    frames: &[scdata::video::Frame],
+    labels: &[usize],
+) {
     header(
         "E4",
         "Fig. 5 / §IV-A1",
@@ -39,7 +43,10 @@ fn regenerate_figure(clf: &mut VehicleClassifier, frames: &[scdata::video::Frame
         let w = Workload::with_escalation(200, 100_000, 20.0, offload, 7);
         let fog = sim.run(
             &w,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 6 * 8 * 8 * 4 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 6 * 8 * 8 * 4,
+            },
         );
         rows.push(vec![
             format!("{threshold:.2}"),
@@ -50,7 +57,13 @@ fn regenerate_figure(clf: &mut VehicleClassifier, frames: &[scdata::video::Frame
         ]);
     }
     table(
-        &["threshold", "offload_frac", "accuracy", "fog_mean_s", "fog_to_srv_MB"],
+        &[
+            "threshold",
+            "offload_frac",
+            "accuracy",
+            "fog_mean_s",
+            "fog_to_srv_MB",
+        ],
         &rows,
     );
     println!(

@@ -20,9 +20,7 @@ fn regenerate_figure() -> SceneDetector {
     let full = std::env::var("SMARTCITY_FULL").is_ok();
     let classes = if full { 400 } else { 8 };
     let per_class = if full { 80 } else { 15 };
-    println!(
-        "catalog: {classes} classes x {per_class} crops (paper: 400 classes, 32,000 images)"
-    );
+    println!("catalog: {classes} classes x {per_class} crops (paper: 400 classes, 32,000 images)");
     let catalog = VehicleCatalog::generate(classes, 8);
     let train_classes = classes.min(8); // train a tractable classifier head
     let mut gen = FrameGenerator::new(catalog.clone(), 16, 16, 9).noise(0.02);

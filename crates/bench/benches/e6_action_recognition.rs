@@ -25,7 +25,11 @@ fn regenerate_figure() -> (ActionRecognizer, Vec<scdata::actions::Clip>, Vec<usi
         let recs = rec.recognize(&clips);
         let bytes: usize = recs.iter().map(|r| r.feature_bytes).sum();
         rows.push(vec![
-            if threshold.is_infinite() { "inf".into() } else { format!("{threshold:.1}") },
+            if threshold.is_infinite() {
+                "inf".into()
+            } else {
+                format!("{threshold:.1}")
+            },
             f3(1.0 - offload),
             f3(offload),
             f3(acc),
@@ -33,7 +37,13 @@ fn regenerate_figure() -> (ActionRecognizer, Vec<scdata::actions::Clip>, Vec<usi
         ]);
     }
     table(
-        &["entropy_thr", "exit1_rate", "offload", "accuracy", "feat_KB"],
+        &[
+            "entropy_thr",
+            "exit1_rate",
+            "offload",
+            "accuracy",
+            "feat_KB",
+        ],
         &rows,
     );
     println!("device-side params: {}", rec.local_param_count());

@@ -77,7 +77,10 @@ fn regenerate_figure() {
         let losses = net.fit(&x, &y, &mut loss, &mut opt, 60);
         let acc = net.accuracy(&x, &y);
         // Epochs to reach loss < 0.5 (convergence speed proxy).
-        let converge = losses.iter().position(|&l| l < 0.5).map_or("-".into(), |e| e.to_string());
+        let converge = losses
+            .iter()
+            .position(|&l| l < 0.5)
+            .map_or("-".into(), |e| e.to_string());
         rows.push(vec![
             name.to_string(),
             net.param_count().to_string(),
@@ -88,7 +91,14 @@ fn regenerate_figure() {
         ]);
     }
     table(
-        &["shortcut", "params", "loss_e0", "loss_final", "epochs_to_0.5", "accuracy"],
+        &[
+            "shortcut",
+            "params",
+            "loss_e0",
+            "loss_final",
+            "epochs_to_0.5",
+            "accuracy",
+        ],
         &rows,
     );
 }

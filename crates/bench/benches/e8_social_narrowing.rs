@@ -41,10 +41,26 @@ fn regenerate_figure() {
     table(
         &["quantity", "paper", "measured"],
         &[
-            vec!["gangs".into(), "67".into(), network.gang_count().to_string()],
-            vec!["members".into(), "982".into(), network.member_count().to_string()],
-            vec!["mean first-degree".into(), "14".into(), f1(stats.mean_first_degree)],
-            vec!["mean second-degree field".into(), "~200".into(), f1(stats.mean_second_degree)],
+            vec![
+                "gangs".into(),
+                "67".into(),
+                network.gang_count().to_string(),
+            ],
+            vec![
+                "members".into(),
+                "982".into(),
+                network.member_count().to_string(),
+            ],
+            vec![
+                "mean first-degree".into(),
+                "14".into(),
+                f1(stats.mean_first_degree),
+            ],
+            vec![
+                "mean second-degree field".into(),
+                "~200".into(),
+                f1(stats.mean_second_degree),
+            ],
         ],
     );
 
@@ -82,7 +98,11 @@ fn bench(c: &mut Criterion) {
     let tweets = corpus(&network, &incident, 3);
 
     c.bench_function("e8/second_degree_expansion", |b| {
-        b.iter(|| network.graph().second_degree(std::hint::black_box(seed_person)))
+        b.iter(|| {
+            network
+                .graph()
+                .second_degree(std::hint::black_box(seed_person))
+        })
     });
     c.bench_function("e8/full_narrowing", |b| {
         let narrower = Narrower::new(&network, &tweets, NarrowingConfig::default());

@@ -17,7 +17,12 @@ fn seeded_stores() -> (Table, DfsCluster) {
     let mut batch = Vec::new();
     for i in 0..N {
         let record = format!("incident-{i:06},ROBBERY,district-4");
-        table.put(&format!("row-{i:06}"), "f", "v", record.clone().into_bytes());
+        table.put(
+            &format!("row-{i:06}"),
+            "f",
+            "v",
+            record.clone().into_bytes(),
+        );
         batch.extend_from_slice(record.as_bytes());
         batch.push(b'\n');
     }
@@ -34,7 +39,9 @@ fn regenerate_figure() {
     let (table_store, dfs) = seeded_stores();
 
     // (a) 100 random point reads.
-    let keys: Vec<String> = (0..100).map(|i| format!("row-{:06}", (i * 97) % N)).collect();
+    let keys: Vec<String> = (0..100)
+        .map(|i| format!("row-{:06}", (i * 97) % N))
+        .collect();
     let start = Instant::now();
     for k in &keys {
         assert!(table_store.get(k, "f", "v").is_some());
@@ -64,13 +71,21 @@ fn regenerate_figure() {
                 "100 random point reads (ms)".into(),
                 f1(wc_time * 1e3),
                 f1(dfs_time * 1e3),
-                if wc_time < dfs_time { "wide-column".into() } else { "dfs".into() },
+                if wc_time < dfs_time {
+                    "wide-column".into()
+                } else {
+                    "dfs".into()
+                },
             ],
             vec![
                 "full batch scan (ms)".into(),
                 f1(scan_time * 1e3),
                 f1(batch_time * 1e3),
-                if batch_time < scan_time { "dfs".into() } else { "wide-column".into() },
+                if batch_time < scan_time {
+                    "dfs".into()
+                } else {
+                    "wide-column".into()
+                },
             ],
         ],
     );
@@ -100,7 +115,13 @@ fn regenerate_figure() {
         ]);
     }
     table(
-        &["failures", "readable", "re_replicated", "under_repl_after", "lost"],
+        &[
+            "failures",
+            "readable",
+            "re_replicated",
+            "under_repl_after",
+            "lost",
+        ],
         &rows,
     );
 }

@@ -34,7 +34,10 @@ pub fn table(columns: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(columns.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(columns.iter().map(|s| s.to_string()).collect())
+    );
     for r in rows {
         println!("{}", fmt_row(r.clone()));
     }
@@ -62,6 +65,9 @@ mod tests {
 
     #[test]
     fn table_does_not_panic_on_ragged_rows() {
-        table(&["a", "b"], &[vec!["1".into()], vec!["22".into(), "333".into()]]);
+        table(
+            &["a", "b"],
+            &[vec!["1".into()], vec!["22".into(), "333".into()]],
+        );
     }
 }

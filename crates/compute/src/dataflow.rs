@@ -11,6 +11,16 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
+use sctelemetry::TelemetryHandle;
+
+/// Metric name of the per-stage wall-clock histogram (narrow and wide).
+pub const METRIC_STAGE_SECONDS: &str = "sccompute_dataflow_stage_seconds";
+/// Metric name of the narrow-stages counter.
+pub const METRIC_NARROW_STAGES: &str = "sccompute_dataflow_narrow_stages_total";
+/// Metric name of the shuffle-stages counter.
+pub const METRIC_SHUFFLE_STAGES: &str = "sccompute_dataflow_shuffle_stages_total";
+/// Metric name of the shuffled-records counter.
+pub const METRIC_SHUFFLED_RECORDS: &str = "sccompute_dataflow_shuffled_records_total";
 
 /// Execution counters shared along a lineage of datasets.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +64,7 @@ struct StatsCell(Mutex<ExecStats>);
 pub struct Dataset<T> {
     partitions: Vec<Vec<T>>,
     stats: Arc<StatsCell>,
+    telemetry: TelemetryHandle,
 }
 
 fn hash_key<K: Hash>(k: &K, parts: usize) -> usize {
@@ -77,11 +88,46 @@ impl<T: Send + Sync + Clone> Dataset<T> {
         for _ in 0..partitions {
             parts.push(iter.by_ref().take(per).collect());
         }
-        Dataset { partitions: parts, stats: Arc::new(StatsCell::default()) }
+        Dataset {
+            partitions: parts,
+            stats: Arc::new(StatsCell::default()),
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches telemetry; stages executed on this dataset and its lineage
+    /// descendants count into the `sccompute_dataflow_*` metrics.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     fn with_lineage<U>(&self, partitions: Vec<Vec<U>>) -> Dataset<U> {
-        Dataset { partitions, stats: Arc::clone(&self.stats) }
+        Dataset {
+            partitions,
+            stats: Arc::clone(&self.stats),
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
+    fn record_narrow_stage(&self) {
+        self.stats.0.lock().narrow_stages += 1;
+        self.telemetry
+            .counter_inc(METRIC_NARROW_STAGES, "narrow (partition-local) stages run");
+    }
+
+    fn record_shuffle(&self, moved: u64) {
+        let mut stats = self.stats.0.lock();
+        stats.shuffle_stages += 1;
+        stats.shuffled_records += moved;
+        drop(stats);
+        self.telemetry
+            .counter_inc(METRIC_SHUFFLE_STAGES, "wide (shuffle) stages run");
+        self.telemetry.counter_add(
+            METRIC_SHUFFLED_RECORDS,
+            "records moved across shuffle boundaries",
+            moved,
+        );
     }
 
     /// Number of partitions.
@@ -127,7 +173,10 @@ impl<T: Send + Sync + Clone> Dataset<T> {
         U: Send + Clone,
         F: Fn(&T) -> U + Send + Sync,
     {
-        self.stats.0.lock().narrow_stages += 1;
+        self.record_narrow_stage();
+        let _timer = self
+            .telemetry
+            .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
         let parts = self.run_partitions(|p| p.iter().map(&f).collect());
         self.with_lineage(parts)
     }
@@ -137,7 +186,10 @@ impl<T: Send + Sync + Clone> Dataset<T> {
     where
         F: Fn(&T) -> bool + Send + Sync,
     {
-        self.stats.0.lock().narrow_stages += 1;
+        self.record_narrow_stage();
+        let _timer = self
+            .telemetry
+            .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
         let parts = self.run_partitions(|p| p.iter().filter(|x| f(x)).cloned().collect());
         self.with_lineage(parts)
     }
@@ -148,7 +200,10 @@ impl<T: Send + Sync + Clone> Dataset<T> {
         U: Send + Clone,
         F: Fn(&T) -> Vec<U> + Send + Sync,
     {
-        self.stats.0.lock().narrow_stages += 1;
+        self.record_narrow_stage();
+        let _timer = self
+            .telemetry
+            .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
         let parts = self.run_partitions(|p| p.iter().flat_map(&f).collect());
         self.with_lineage(parts)
     }
@@ -167,11 +222,7 @@ impl<T: Send + Sync + Clone> Dataset<T> {
                 })
             })]
         });
-        partials
-            .into_iter()
-            .flatten()
-            .flatten()
-            .fold(identity, f)
+        partials.into_iter().flatten().flatten().fold(identity, f)
     }
 
     /// Action: total element count.
@@ -199,10 +250,7 @@ impl<T: Send + Sync + Clone> Dataset<T> {
                 moved += 1;
             }
         }
-        let mut stats = self.stats.0.lock();
-        stats.shuffle_stages += 1;
-        stats.shuffled_records += moved;
-        drop(stats);
+        self.record_shuffle(moved);
         self.with_lineage(buckets)
     }
 }
@@ -218,6 +266,9 @@ where
     where
         F: Fn(V, V) -> V + Send + Sync,
     {
+        let _timer = self
+            .telemetry
+            .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
         // Map-side combine within each partition.
         let combined = self.run_partitions(|p| {
             let mut local: HashMap<K, V> = HashMap::new();
@@ -245,11 +296,7 @@ where
                 moved += 1;
             }
         }
-        {
-            let mut stats = self.stats.0.lock();
-            stats.shuffle_stages += 1;
-            stats.shuffled_records += moved;
-        }
+        self.record_shuffle(moved);
         // Reduce-side merge.
         let reduced: Vec<Vec<(K, V)>> = buckets
             .into_iter()
@@ -303,11 +350,7 @@ where
                 moved += 1;
             }
         }
-        {
-            let mut stats = self.stats.0.lock();
-            stats.shuffle_stages += 1;
-            stats.shuffled_records += moved;
-        }
+        self.record_shuffle(moved);
         let joined: Vec<Vec<(K, (V, W))>> = left
             .into_iter()
             .zip(right)
@@ -374,8 +417,10 @@ mod tests {
 
     #[test]
     fn word_count() {
-        let lines: Vec<String> =
-            vec!["the quick fox", "the lazy dog", "the fox"].into_iter().map(String::from).collect();
+        let lines: Vec<String> = vec!["the quick fox", "the lazy dog", "the fox"]
+            .into_iter()
+            .map(String::from)
+            .collect();
         let ds = Dataset::from_vec(lines, 2);
         let mut counts = ds
             .flat_map(|l| l.split(' ').map(String::from).collect::<Vec<_>>())
@@ -447,7 +492,11 @@ mod tests {
     #[test]
     fn narrow_ops_move_no_data() {
         let ds = Dataset::from_vec((0..1000).collect::<Vec<i32>>(), 8);
-        let _ = ds.map(|x| x + 1).filter(|x| x % 3 == 0).map(|x| x * 2).collect();
+        let _ = ds
+            .map(|x| x + 1)
+            .filter(|x| x % 3 == 0)
+            .map(|x| x * 2)
+            .collect();
         assert_eq!(ds.stats().shuffled_records, 0);
     }
 
@@ -455,5 +504,29 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_panics() {
         let _: Dataset<i32> = Dataset::from_vec(vec![], 0);
+    }
+
+    #[test]
+    fn telemetry_mirrors_exec_stats() {
+        let t = sctelemetry::Telemetry::shared();
+        let ds = Dataset::from_vec((0..40).collect::<Vec<i32>>(), 4).with_telemetry(t.handle());
+        let _ = ds
+            .map(|x| (*x % 4, 1u64))
+            .reduce_by_key(|a, b| a + b)
+            .collect();
+        let stats = ds.stats();
+
+        let reg = t.registry();
+        let counter = |n: &str| reg.get(n).unwrap().as_counter().unwrap().get();
+        assert_eq!(counter(METRIC_NARROW_STAGES), stats.narrow_stages);
+        assert_eq!(counter(METRIC_SHUFFLE_STAGES), stats.shuffle_stages);
+        assert_eq!(counter(METRIC_SHUFFLED_RECORDS), stats.shuffled_records);
+        let stages = reg
+            .get(METRIC_STAGE_SECONDS)
+            .unwrap()
+            .as_histogram()
+            .unwrap()
+            .snapshot();
+        assert_eq!(stages.count, stats.narrow_stages + stats.shuffle_stages);
     }
 }

@@ -22,7 +22,11 @@ pub struct PropertyGraph<V> {
 impl<V> PropertyGraph<V> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        PropertyGraph { vertices: HashMap::new(), edges: HashMap::new(), edge_count: 0 }
+        PropertyGraph {
+            vertices: HashMap::new(),
+            edges: HashMap::new(),
+            edge_count: 0,
+        }
     }
 
     /// Adds (or replaces) a vertex.
@@ -36,8 +40,14 @@ impl<V> PropertyGraph<V> {
     ///
     /// Panics if either endpoint is missing.
     pub fn add_edge(&mut self, src: u64, dst: u64, weight: f64) {
-        assert!(self.vertices.contains_key(&src), "unknown source vertex {src}");
-        assert!(self.vertices.contains_key(&dst), "unknown destination vertex {dst}");
+        assert!(
+            self.vertices.contains_key(&src),
+            "unknown source vertex {src}"
+        );
+        assert!(
+            self.vertices.contains_key(&dst),
+            "unknown destination vertex {dst}"
+        );
         self.edges.entry(src).or_default().push((dst, weight));
         self.edge_count += 1;
     }
@@ -132,8 +142,11 @@ where
     I: Fn(u64, &V) -> S,
     P: FnMut(&PropertyGraph<V>, &mut VertexContext<'_, S, M>),
 {
-    let mut states: HashMap<u64, S> =
-        graph.vertices.iter().map(|(&id, v)| (id, init(id, v))).collect();
+    let mut states: HashMap<u64, S> = graph
+        .vertices
+        .iter()
+        .map(|(&id, v)| (id, init(id, v)))
+        .collect();
     let mut halted: HashMap<u64, bool> = graph.vertex_ids().map(|id| (id, false)).collect();
     let mut inbox: HashMap<u64, Vec<M>> = HashMap::new();
 
@@ -202,8 +215,7 @@ pub fn pagerank<V>(graph: &PropertyGraph<V>, iterations: usize) -> HashMap<u64, 
                 let degree = g.out_degree(ctx.id);
                 if degree > 0 {
                     let share = ctx.state.0 / degree as f64;
-                    let targets: Vec<u64> =
-                        g.out_edges(ctx.id).iter().map(|&(d, _)| d).collect();
+                    let targets: Vec<u64> = g.out_edges(ctx.id).iter().map(|&(d, _)| d).collect();
                     for dst in targets {
                         ctx.send(dst, share);
                     }
@@ -259,11 +271,7 @@ pub fn shortest_paths<V>(graph: &PropertyGraph<V>, source: u64) -> HashMap<u64, 
         graph,
         |id, _| Dist(if id == source { 0.0 } else { f64::INFINITY }),
         |g, ctx| {
-            let incoming = ctx
-                .messages
-                .iter()
-                .copied()
-                .fold(f64::INFINITY, f64::min);
+            let incoming = ctx.messages.iter().copied().fold(f64::INFINITY, f64::min);
             let seeded = ctx.superstep == 0 && ctx.id == source;
             let improved = incoming < ctx.state.0;
             if improved {
@@ -405,12 +413,8 @@ mod tests {
     #[test]
     fn pregel_terminates_when_all_halt() {
         let g = line_graph(3);
-        let (_, steps) = pregel::<(), u32, (), _, _>(
-            &g,
-            |_, _| 0,
-            |_, ctx| ctx.vote_to_halt(),
-            100,
-        );
+        let (_, steps) =
+            pregel::<(), u32, (), _, _>(&g, |_, _| 0, |_, ctx| ctx.vote_to_halt(), 100);
         assert!(steps <= 1, "all halt in the first superstep, took {steps}");
     }
 }

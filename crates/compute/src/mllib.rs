@@ -63,7 +63,10 @@ pub fn kmeans(data: &Dataset<Vec<f64>>, k: usize, max_iters: usize, seed: u64) -
     let points = data.collect();
     assert!(k > 0 && k <= points.len(), "k out of range");
     let dim = points[0].len();
-    assert!(points.iter().all(|p| p.len() == dim), "inconsistent dimensions");
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensions"
+    );
     let mut rng = SeededRng::new(seed);
 
     // k-means++ seeding.
@@ -102,7 +105,11 @@ pub fn kmeans(data: &Dataset<Vec<f64>>, k: usize, max_iters: usize, seed: u64) -
                 next[c] = sum.iter().map(|s| s / count as f64).collect();
             }
         }
-        let moved: f64 = centroids.iter().zip(&next).map(|(a, b)| sq_dist(a, b)).sum();
+        let moved: f64 = centroids
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| sq_dist(a, b))
+            .sum();
         centroids = next;
         if moved < 1e-12 {
             break;
@@ -110,7 +117,11 @@ pub fn kmeans(data: &Dataset<Vec<f64>>, k: usize, max_iters: usize, seed: u64) -
     }
 
     let inertia = points.iter().map(|p| nearest(p, &centroids).1).sum();
-    KMeansModel { centroids, inertia, iterations }
+    KMeansModel {
+        centroids,
+        inertia,
+        iterations,
+    }
 }
 
 /// A fitted logistic-regression model (binary).
@@ -125,8 +136,7 @@ pub struct LogisticModel {
 impl LogisticModel {
     /// P(y = 1 | x).
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
-        let z: f64 =
-            self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
+        let z: f64 = self.bias + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         1.0 / (1.0 + (-z).exp())
     }
 
@@ -298,7 +308,11 @@ pub fn naive_bayes(data: &Dataset<(Vec<f64>, usize)>, num_classes: usize) -> Nai
             variances[c][j] = (sum_sq[j] / count as f64 - mean * mean).max(1e-6);
         }
     }
-    NaiveBayesModel { priors, means, variances }
+    NaiveBayesModel {
+        priors,
+        means,
+        variances,
+    }
 }
 
 /// Per-feature standardization fitted on a dataset.
@@ -325,15 +339,18 @@ impl StandardScaler {
                 let sq: Vec<f64> = x.iter().map(|v| v * v).collect();
                 (x.clone(), sq)
             })
-            .reduce((vec![0.0; dim], vec![0.0; dim]), |(mut sa, mut qa), (sb, qb)| {
-                for (a, b) in sa.iter_mut().zip(&sb) {
-                    *a += b;
-                }
-                for (a, b) in qa.iter_mut().zip(&qb) {
-                    *a += b;
-                }
-                (sa, qa)
-            });
+            .reduce(
+                (vec![0.0; dim], vec![0.0; dim]),
+                |(mut sa, mut qa), (sb, qb)| {
+                    for (a, b) in sa.iter_mut().zip(&sb) {
+                        *a += b;
+                    }
+                    for (a, b) in qa.iter_mut().zip(&qb) {
+                        *a += b;
+                    }
+                    (sa, qa)
+                },
+            );
         let means: Vec<f64> = sum.iter().map(|s| s / n as f64).collect();
         let stds: Vec<f64> = sum_sq
             .iter()
@@ -357,12 +374,11 @@ impl StandardScaler {
 /// # Panics
 ///
 /// Panics unless `0 < test_fraction < 1`.
-pub fn train_test_split<T: Clone>(
-    data: &[T],
-    test_fraction: f64,
-    seed: u64,
-) -> (Vec<T>, Vec<T>) {
-    assert!((0.0..1.0).contains(&test_fraction) && test_fraction > 0.0, "fraction in (0,1)");
+pub fn train_test_split<T: Clone>(data: &[T], test_fraction: f64, seed: u64) -> (Vec<T>, Vec<T>) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "fraction in (0,1)"
+    );
     let mut idx: Vec<usize> = (0..data.len()).collect();
     SeededRng::new(seed).shuffle(&mut idx);
     let test_n = ((data.len() as f64) * test_fraction).round() as usize;
@@ -440,21 +456,23 @@ mod tests {
         }
         let ds = Dataset::from_vec(data.clone(), 4);
         let model = logistic_regression(&ds, 0.5, 200);
-        let correct = data
-            .iter()
-            .filter(|(x, y)| model.predict(x) == *y)
-            .count();
+        let correct = data.iter().filter(|(x, y)| model.predict(x) == *y).count();
         assert!(correct as f64 / data.len() as f64 > 0.95);
     }
 
     #[test]
     fn linear_fits_line() {
         // y = 3x + 1
-        let data: Vec<(Vec<f64>, f64)> =
-            (0..50).map(|i| (vec![i as f64 / 10.0], 3.0 * i as f64 / 10.0 + 1.0)).collect();
+        let data: Vec<(Vec<f64>, f64)> = (0..50)
+            .map(|i| (vec![i as f64 / 10.0], 3.0 * i as f64 / 10.0 + 1.0))
+            .collect();
         let ds = Dataset::from_vec(data, 3);
         let model = linear_regression(&ds, 0.05, 2000);
-        assert!((model.weights[0] - 3.0).abs() < 0.1, "w {}", model.weights[0]);
+        assert!(
+            (model.weights[0] - 3.0).abs() < 0.1,
+            "w {}",
+            model.weights[0]
+        );
         assert!((model.bias - 1.0).abs() < 0.3, "b {}", model.bias);
     }
 

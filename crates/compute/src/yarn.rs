@@ -7,6 +7,15 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use sctelemetry::TelemetryHandle;
+
+/// Metric name of the scheduling-pass wall-clock histogram.
+pub const METRIC_SCHEDULE_SECONDS: &str = "sccompute_yarn_schedule_seconds";
+/// Metric name of the allocated-containers counter.
+pub const METRIC_CONTAINERS: &str = "sccompute_yarn_containers_total";
+/// Metric name of the pending-requests gauge (refreshed per pass).
+pub const METRIC_PENDING: &str = "sccompute_yarn_pending_requests";
+
 /// A resource vector: memory and virtual cores.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct Resource {
@@ -107,6 +116,7 @@ pub struct ResourceManager {
     queue_usage: BTreeMap<String, u64>, // memory per queue
     next_container: u64,
     next_seq: u64,
+    telemetry: TelemetryHandle,
 }
 
 impl ResourceManager {
@@ -121,7 +131,16 @@ impl ResourceManager {
             queue_usage: BTreeMap::new(),
             next_container: 0,
             next_seq: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches telemetry: scheduling passes time into
+    /// [`METRIC_SCHEDULE_SECONDS`], allocations count into
+    /// [`METRIC_CONTAINERS`], and [`METRIC_PENDING`] tracks the queue depth.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Registers a node manager, returning its id.
@@ -174,7 +193,11 @@ impl ResourceManager {
             Policy::Fifo => (0, req.seq),
             Policy::Fair => {
                 // Least current memory usage first; FIFO tiebreak.
-                let used = self.app_usage.get(&req.app).map(|r| r.memory_mb).unwrap_or(0);
+                let used = self
+                    .app_usage
+                    .get(&req.app)
+                    .map(|r| r.memory_mb)
+                    .unwrap_or(0);
                 (used, req.seq)
             }
             Policy::Capacity(queues) => {
@@ -195,6 +218,10 @@ impl ResourceManager {
     /// Runs one scheduling pass: allocates as many pending requests as fit,
     /// in policy order. Returns the containers allocated this pass.
     pub fn schedule(&mut self) -> Vec<Container> {
+        let _timer = self.telemetry.wall_timer(
+            METRIC_SCHEDULE_SECONDS,
+            "wall-clock time of one scheduling pass",
+        );
         let mut allocated = Vec::new();
         loop {
             // Pick the highest-priority schedulable request.
@@ -204,14 +231,11 @@ impl ResourceManager {
             for idx in order {
                 let req = self.pending[idx].clone();
                 // First node with room (lowest id — deterministic).
-                let node = self
-                    .nodes
-                    .iter()
-                    .position(|(_, cap, used)| {
-                        let mut free = *cap;
-                        free.sub(used);
-                        free.fits(&req.resource)
-                    });
+                let node = self.nodes.iter().position(|(_, cap, used)| {
+                    let mut free = *cap;
+                    free.sub(used);
+                    free.fits(&req.resource)
+                });
                 if let Some(n) = node {
                     self.nodes[n].2.add(&req.resource);
                     let id = ContainerId(self.next_container);
@@ -223,7 +247,10 @@ impl ResourceManager {
                         resource: req.resource,
                     };
                     self.containers.insert(id, container.clone());
-                    self.app_usage.entry(req.app).or_default().add(&req.resource);
+                    self.app_usage
+                        .entry(req.app)
+                        .or_default()
+                        .add(&req.resource);
                     *self.queue_usage.entry(req.queue.clone()).or_default() +=
                         req.resource.memory_mb;
                     self.pending.remove(idx);
@@ -236,6 +263,16 @@ impl ResourceManager {
                 break;
             }
         }
+        self.telemetry.counter_add(
+            METRIC_CONTAINERS,
+            "containers allocated by the resource manager",
+            allocated.len() as u64,
+        );
+        self.telemetry.gauge_set(
+            METRIC_PENDING,
+            "container requests still waiting for resources",
+            self.pending.len() as i64,
+        );
         allocated
     }
 
@@ -243,7 +280,9 @@ impl ResourceManager {
     ///
     /// Returns `false` if the container was unknown.
     pub fn release(&mut self, id: ContainerId) -> bool {
-        let Some(c) = self.containers.remove(&id) else { return false };
+        let Some(c) = self.containers.remove(&id) else {
+            return false;
+        };
         if let Some((_, _, used)) = self.nodes.iter_mut().find(|(n, _, _)| *n == c.node) {
             used.sub(&c.resource);
         }
@@ -335,7 +374,11 @@ mod tests {
         }
         rm.schedule();
         assert_eq!(rm.app_usage(AppId(1)).memory_mb, 8192);
-        assert_eq!(rm.app_usage(AppId(2)).memory_mb, 0, "FIFO starves the latecomer");
+        assert_eq!(
+            rm.app_usage(AppId(2)).memory_mb,
+            0,
+            "FIFO starves the latecomer"
+        );
     }
 
     #[test]
@@ -367,5 +410,36 @@ mod tests {
     fn empty_cluster_utilization_zero() {
         let rm = ResourceManager::new(Policy::Fifo);
         assert_eq!(rm.utilization(), 0.0);
+    }
+
+    #[test]
+    fn telemetry_tracks_scheduling() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut rm = small_cluster(Policy::Fifo).with_telemetry(t.handle());
+        for _ in 0..10 {
+            rm.submit(AppId(1), "q", Resource::new(1024, 1));
+        }
+        let out = rm.schedule();
+
+        let reg = t.registry();
+        assert_eq!(
+            reg.get(METRIC_CONTAINERS)
+                .unwrap()
+                .as_counter()
+                .unwrap()
+                .get(),
+            out.len() as u64
+        );
+        assert_eq!(
+            reg.get(METRIC_PENDING).unwrap().as_gauge().unwrap().get(),
+            rm.pending_count() as i64
+        );
+        let sched = reg
+            .get(METRIC_SCHEDULE_SECONDS)
+            .unwrap()
+            .as_histogram()
+            .unwrap()
+            .snapshot();
+        assert_eq!(sched.count, 1, "one timed scheduling pass");
     }
 }

@@ -96,7 +96,10 @@ impl ActionRecognizer {
         entropy_threshold: f32,
         seed: u64,
     ) -> Self {
-        assert!(side >= 8 && side.is_multiple_of(4), "side must be a multiple of 4, at least 8");
+        assert!(
+            side >= 8 && side.is_multiple_of(4),
+            "side must be a multiple of 4, at least 8"
+        );
         let (c1, c2, h1, h2) = (4, 8, 16, 16);
         ActionRecognizer {
             // The paper's block uses a conv shortcut (Fig. 8).
@@ -131,13 +134,29 @@ impl ActionRecognizer {
 
     /// Parameters that live on the local device (block 1 + LSTM 1 + FC 1).
     pub fn local_param_count(&self) -> usize {
-        self.block1.params().iter().map(|p| p.value.len()).sum::<usize>()
-            + self.lstm1.params().iter().map(|p| p.value.len()).sum::<usize>()
-            + self.fc1.params().iter().map(|p| p.value.len()).sum::<usize>()
+        self.block1
+            .params()
+            .iter()
+            .map(|p| p.value.len())
+            .sum::<usize>()
+            + self
+                .lstm1
+                .params()
+                .iter()
+                .map(|p| p.value.len())
+                .sum::<usize>()
+            + self
+                .fc1
+                .params()
+                .iter()
+                .map(|p| p.value.len())
+                .sum::<usize>()
     }
 
     fn seq_reshape(&self, pooled: &Tensor, n: usize, c: usize) -> Tensor {
-        pooled.reshape(vec![n, self.frames_per_clip, c]).expect("row-major layout matches")
+        pooled
+            .reshape(vec![n, self.frames_per_clip, c])
+            .expect("row-major layout matches")
     }
 
     /// Local path: frames → block1 → (feature map, Output-1 logits).
@@ -210,7 +229,9 @@ impl ActionRecognizer {
 
     /// Trains for `epochs` full-batch epochs.
     pub fn train(&mut self, clips: &[Clip], labels: &[usize], epochs: usize) -> Vec<(f32, f32)> {
-        (0..epochs).map(|_| self.train_step(clips, labels)).collect()
+        (0..epochs)
+            .map(|_| self.train_step(clips, labels))
+            .collect()
     }
 
     /// Selects the frame-rows of the given clips from an `[n*t, ...]`
@@ -271,7 +292,10 @@ impl ActionRecognizer {
                 });
             }
         }
-        results.into_iter().map(|r| r.expect("every clip decided")).collect()
+        results
+            .into_iter()
+            .map(|r| r.expect("every clip decided"))
+            .collect()
     }
 
     /// Accuracy + offload fraction on labelled clips under the current gate.
@@ -330,7 +354,10 @@ mod tests {
         let (clips, labels) = dataset(4, 4);
         let mut rec = ActionRecognizer::new(16, 8, 6, f32::INFINITY, 5); // all local
         let losses = rec.train(&clips, &labels, 60);
-        assert!(losses.last().unwrap().0 < losses[0].0, "local loss decreases");
+        assert!(
+            losses.last().unwrap().0 < losses[0].0,
+            "local loss decreases"
+        );
         let (acc, _) = rec.evaluate(&clips, &labels);
         assert!(acc > 0.5, "train accuracy {acc} (chance is 0.17)");
     }
@@ -358,7 +385,7 @@ mod tests {
             let (_, offload) = rec.evaluate(&clips, &labels);
             assert!((0.0..=1.0).contains(&offload));
             assert!(offload >= -1e-9 && last >= offload - 1.0); // sanity
-            // Tighter (smaller) threshold must not decrease offload.
+                                                                // Tighter (smaller) threshold must not decrease offload.
             if last <= 1.0 {
                 assert!(offload >= last - 1e-9, "offload {offload} after {last}");
             }
@@ -376,7 +403,10 @@ mod tests {
             feature_bytes: 0,
         };
         assert!(r.raises_alert());
-        let r = Recognition { class: ActionClass::Walking, ..r };
+        let r = Recognition {
+            class: ActionClass::Walking,
+            ..r
+        };
         assert!(!r.raises_alert());
     }
 

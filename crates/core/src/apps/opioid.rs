@@ -87,7 +87,8 @@ pub struct FactorAnalysis {
 impl FactorAnalysis {
     /// Predicted overdose rate for a district.
     pub fn predict(&self, record: &DistrictRecord) -> f64 {
-        self.model.predict(&self.scaler.transform(&record.features()))
+        self.model
+            .predict(&self.scaler.transform(&record.features()))
     }
 
     /// Factors ranked by absolute standardized weight, strongest first.
@@ -121,10 +122,11 @@ pub fn analyze(records: &[DistrictRecord]) -> FactorAnalysis {
     let model = linear_regression(&ds, 0.05, 3000);
 
     // R² on training data.
-    let mean_y: f64 =
-        records.iter().map(|r| r.overdose_rate).sum::<f64>() / records.len() as f64;
-    let ss_tot: f64 =
-        records.iter().map(|r| (r.overdose_rate - mean_y).powi(2)).sum();
+    let mean_y: f64 = records.iter().map(|r| r.overdose_rate).sum::<f64>() / records.len() as f64;
+    let ss_tot: f64 = records
+        .iter()
+        .map(|r| (r.overdose_rate - mean_y).powi(2))
+        .sum();
     let ss_res: f64 = records
         .iter()
         .map(|r| {
@@ -135,8 +137,17 @@ pub fn analyze(records: &[DistrictRecord]) -> FactorAnalysis {
     FactorAnalysis {
         model,
         scaler,
-        r_squared: if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 0.0 },
-        factor_names: ["prescriptions_per_1k", "emergency_calls", "drug_arrests", "traffic_volume_k"],
+        r_squared: if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            0.0
+        },
+        factor_names: [
+            "prescriptions_per_1k",
+            "emergency_calls",
+            "drug_arrests",
+            "traffic_volume_k",
+        ],
     }
 }
 
@@ -146,7 +157,10 @@ mod tests {
 
     #[test]
     fn generator_is_deterministic() {
-        assert_eq!(generate_districts(10, 1.0, 1), generate_districts(10, 1.0, 1));
+        assert_eq!(
+            generate_districts(10, 1.0, 1),
+            generate_districts(10, 1.0, 1)
+        );
     }
 
     #[test]
@@ -162,7 +176,10 @@ mod tests {
         let analysis = analyze(&records);
         let ranked = analysis.ranked_factors();
         assert_eq!(ranked[0].0, "prescriptions_per_1k", "{ranked:?}");
-        assert_eq!(ranked[3].0, "traffic_volume_k", "decoy ranks last: {ranked:?}");
+        assert_eq!(
+            ranked[3].0, "traffic_volume_k",
+            "decoy ranks last: {ranked:?}"
+        );
     }
 
     #[test]

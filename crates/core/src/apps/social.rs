@@ -25,7 +25,12 @@ impl InvestigationService {
     pub fn new(network: GangNetwork, tweets: Vec<Tweet>, config: NarrowingConfig) -> Self {
         let mut reports = Collection::new("investigation_reports");
         reports.create_index("seed_person");
-        InvestigationService { network, tweets, config, reports }
+        InvestigationService {
+            network,
+            tweets,
+            config,
+            reports,
+        }
     }
 
     /// The gang network under investigation.
@@ -51,7 +56,10 @@ impl InvestigationService {
         let doc = Doc::object([
             ("seed_person", Doc::I64(incident.seed_person.0 as i64)),
             ("first_degree", Doc::I64(report.first_degree as i64)),
-            ("field_of_interest", Doc::I64(report.field_of_interest as i64)),
+            (
+                "field_of_interest",
+                Doc::I64(report.field_of_interest as i64),
+            ),
             (
                 "persons_of_interest",
                 Doc::Array(
@@ -71,7 +79,10 @@ impl InvestigationService {
     /// All stored reports for a seed person (index-assisted).
     pub fn reports_for(&self, seed_person: u32) -> Vec<DocId> {
         self.reports
-            .find(&Filter::Eq("seed_person".into(), Doc::I64(seed_person as i64)))
+            .find(&Filter::Eq(
+                "seed_person".into(),
+                Doc::I64(seed_person as i64),
+            ))
             .into_iter()
             .map(|(id, _)| id)
             .collect()
@@ -141,7 +152,11 @@ mod tests {
         let (mut svc, incident) = service(3);
         let before = svc.tweet_count();
         let mut gen = TweetGenerator::new(9);
-        svc.ingest_tweets(vec![gen.benign("someone", incident.location, incident.time)]);
+        svc.ingest_tweets(vec![gen.benign(
+            "someone",
+            incident.location,
+            incident.time,
+        )]);
         assert_eq!(svc.tweet_count(), before + 1);
     }
 }

@@ -49,7 +49,10 @@ impl VehicleClassifier {
     ///
     /// Panics if `side < 8` or `classes == 0`.
     pub fn new(classes: usize, side: usize, threshold: f32, seed: u64) -> Self {
-        assert!(side >= 8 && side.is_multiple_of(4), "side must be a multiple of 4, at least 8");
+        assert!(
+            side >= 8 && side.is_multiple_of(4),
+            "side must be a multiple of 4, at least 8"
+        );
         assert!(classes > 0, "need at least one class");
         let half = side / 2;
         let quarter = side / 4;
@@ -58,18 +61,22 @@ impl VehicleClassifier {
             .with(Conv2d::new(1, 6, 3, 2, 1, seed))
             .with(Relu::new());
         // Tiny head: direct classification from early features.
-        let exit_head = Sequential::new()
-            .with(Flatten::new())
-            .with(Dense::new(6 * half * half, classes, seed.wrapping_add(1)));
+        let exit_head = Sequential::new().with(Flatten::new()).with(Dense::new(
+            6 * half * half,
+            classes,
+            seed.wrapping_add(1),
+        ));
         // Server part: two more convs = the "full" backbone.
         let rest = Sequential::new()
             .with(Conv2d::new(6, 12, 3, 2, 1, seed.wrapping_add(2)))
             .with(Relu::new())
             .with(Conv2d::new(12, 12, 3, 1, 1, seed.wrapping_add(3)))
             .with(Relu::new());
-        let final_head = Sequential::new()
-            .with(Flatten::new())
-            .with(Dense::new(12 * quarter * quarter, classes, seed.wrapping_add(4)));
+        let final_head = Sequential::new().with(Flatten::new()).with(Dense::new(
+            12 * quarter * quarter,
+            classes,
+            seed.wrapping_add(4),
+        ));
         VehicleClassifier {
             net: EarlyExitNet::new(
                 front,
@@ -187,7 +194,12 @@ impl SceneDetector {
     /// bright (non-road) pixels for a window to become a proposal.
     pub fn new(classifier: VehicleClassifier, objectness: f32) -> Self {
         let stride = (classifier.side() / 2).max(1);
-        SceneDetector { classifier, stride, objectness, nms_iou: 0.3 }
+        SceneDetector {
+            classifier,
+            stride,
+            objectness,
+            nms_iou: 0.3,
+        }
     }
 
     /// The wrapped classifier.
@@ -251,8 +263,10 @@ impl SceneDetector {
         if proposals.is_empty() {
             return Vec::new();
         }
-        let crops: Vec<Frame> =
-            proposals.iter().map(|b| Self::crop(scene, b.x0, b.y0, side)).collect();
+        let crops: Vec<Frame> = proposals
+            .iter()
+            .map(|b| Self::crop(scene, b.x0, b.y0, side))
+            .collect();
         let decisions = self.classifier.classify(&crops);
 
         let mut detections: Vec<Detection> = proposals
@@ -349,9 +363,9 @@ mod tests {
         let detections = detector.detect(&scene);
         assert!(!detections.is_empty(), "should propose something");
         // At least one truth is matched by IoU > 0.1.
-        let matched = truths.iter().any(|t| {
-            detections.iter().any(|d| d.bbox.iou(&t.bbox) > 0.1)
-        });
+        let matched = truths
+            .iter()
+            .any(|t| detections.iter().any(|d| d.bbox.iou(&t.bbox) > 0.1));
         assert!(matched, "detections {detections:?} vs truths {truths:?}");
     }
 

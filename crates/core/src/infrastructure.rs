@@ -197,7 +197,11 @@ impl Cyberinfrastructure {
     /// Disjoint mutable borrows of the three stores the Fig. 4 pipeline
     /// writes: `(raw topic, incident collection, annotation table)`.
     pub fn pipeline_stores(&mut self) -> (&mut Topic, &mut Collection, &mut Table) {
-        (&mut self.raw_topic, &mut self.incidents, &mut self.annotations)
+        (
+            &mut self.raw_topic,
+            &mut self.incidents,
+            &mut self.annotations,
+        )
     }
 
     /// Archives a camera's video segment into the DFS under

@@ -15,9 +15,20 @@ use scgeo::GeoPoint;
 use scnosql::document::{Collection, Doc, Filter};
 use scnosql::wide_column::Table;
 use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
+use sctelemetry::{Telemetry, TelemetryHandle};
 use serde_json::Value;
+use simclock::SimTime;
 
-use crate::viz::{dashboard, geojson_points, MapFeature, Series};
+use crate::viz::{dashboard, geojson_points, telemetry_panel, MapFeature, Series};
+
+/// Metric name of the events-ingested counter.
+pub const METRIC_INGESTED: &str = "smartcity_pipeline_ingested_total";
+/// Metric name of the documents-stored counter.
+pub const METRIC_STORED: &str = "smartcity_pipeline_stored_total";
+/// Metric name of the annotation-cells counter.
+pub const METRIC_ANNOTATED: &str = "smartcity_pipeline_annotated_total";
+/// Metric name of the hot-spots gauge.
+pub const METRIC_HOTSPOTS: &str = "smartcity_pipeline_hotspots";
 
 /// End-of-run accounting for one pipeline execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,7 +61,11 @@ impl CityDataPipeline {
     /// Creates a pipeline generating `records` open-city records and
     /// `waze_reports` Waze reports from `seed`.
     pub fn new(seed: u64, records: usize, waze_reports: usize) -> Self {
-        CityDataPipeline { seed, records, waze_reports }
+        CityDataPipeline {
+            seed,
+            records,
+            waze_reports,
+        }
     }
 
     fn record_event(r: &OpenRecord) -> Event {
@@ -93,7 +108,10 @@ impl CityDataPipeline {
                     ("lon", Doc::F64(obj.get("lon")?.as_f64()?)),
                 ]),
             ),
-            ("time_us", Doc::I64(obj.get("time_us")?.as_i64().unwrap_or(0))),
+            (
+                "time_us",
+                Doc::I64(obj.get("time_us")?.as_i64().unwrap_or(0)),
+            ),
         ]))
     }
 
@@ -106,6 +124,53 @@ impl CityDataPipeline {
         store: &mut Collection,
         annotations: &mut Table,
     ) -> PipelineReport {
+        self.run_with(topic, store, annotations, &TelemetryHandle::disabled())
+    }
+
+    /// [`CityDataPipeline::run`] with a recorder attached: per-stage counters
+    /// and sim-time spans land in `telemetry`, and the returned dashboard
+    /// gains a `"telemetry"` panel (see [`telemetry_panel`]) built from the
+    /// recorder's registry.
+    pub fn run_recorded(
+        &self,
+        topic: &mut Topic,
+        store: &mut Collection,
+        annotations: &mut Table,
+        telemetry: &std::sync::Arc<Telemetry>,
+    ) -> PipelineReport {
+        let mut report = self.run_with(topic, store, annotations, &telemetry.handle());
+        if let Value::Object(dash) = &mut report.dashboard {
+            dash.insert(
+                "telemetry".to_string(),
+                telemetry_panel(telemetry.registry()),
+            );
+        }
+        report
+    }
+
+    /// Pipeline body shared by [`CityDataPipeline::run`] (disabled handle)
+    /// and [`CityDataPipeline::run_recorded`]. Stage spans use a simulated
+    /// clock advancing one microsecond per item handled, so identical seeds
+    /// yield identical traces.
+    fn run_with(
+        &self,
+        topic: &mut Topic,
+        store: &mut Collection,
+        annotations: &mut Table,
+        telemetry: &TelemetryHandle,
+    ) -> PipelineReport {
+        let mut sim_cursor: u64 = 0;
+        let stage_span = |name: &str, items: usize, cursor: &mut u64| {
+            let start = *cursor;
+            *cursor += items as u64 + 1;
+            telemetry.span(
+                "smartcity",
+                name,
+                SimTime::from_micros(start),
+                SimTime::from_micros(*cursor),
+            );
+        };
+
         // 1. Collection: raw sources → topic.
         let mut city_gen = OpenCityGenerator::new(self.seed);
         let city_records = city_gen.stream(self.records);
@@ -121,11 +186,18 @@ impl CityDataPipeline {
             topic.publish(Self::waze_event(&r));
         }
         let ingested = topic.total_events();
+        telemetry.counter_add(
+            METRIC_INGESTED,
+            "events published into the raw topic",
+            ingested as u64,
+        );
+        stage_span("pipeline/ingest", ingested, &mut sim_cursor);
 
         // 2. Storage: consumer group drains the topic into the document
         //    store with committed offsets (at-least-once; dedup by id is the
         //    store's natural upsert semantics — here keys are unique).
-        let mut group = ConsumerGroup::new("storage-writers", topic.partition_count());
+        let mut group = ConsumerGroup::new("storage-writers", topic.partition_count())
+            .with_telemetry(telemetry.clone());
         group.join(ConsumerId(0));
         loop {
             let batch = group.poll(ConsumerId(0), topic, 256);
@@ -140,6 +212,12 @@ impl CityDataPipeline {
             }
         }
         let stored = store.len();
+        telemetry.counter_add(
+            METRIC_STORED,
+            "documents persisted in the document store",
+            stored as u64,
+        );
+        stage_span("pipeline/store", stored, &mut sim_cursor);
 
         // 3. Analysis: mine crime hot-spots with distributed k-means over
         //    the stored crime/911 documents, and annotate per-kind counts.
@@ -156,6 +234,7 @@ impl CityDataPipeline {
                 ])
             })
             .collect();
+        let mined_items = crime_points.len();
         let hotspots: Vec<GeoPoint> = if crime_points.len() >= 3 {
             let model = kmeans(&Dataset::from_vec(crime_points, 4), 3, 25, self.seed);
             model
@@ -166,6 +245,12 @@ impl CityDataPipeline {
         } else {
             Vec::new()
         };
+        telemetry.gauge_set(
+            METRIC_HOTSPOTS,
+            "crime hot-spot centroids mined",
+            hotspots.len() as i64,
+        );
+        stage_span("pipeline/mine", mined_items, &mut sim_cursor);
 
         let mut annotated = 0;
         let mut kind_counts: Vec<(String, f64)> = Vec::new();
@@ -190,6 +275,12 @@ impl CityDataPipeline {
             );
             annotated += 1;
         }
+        telemetry.counter_add(
+            METRIC_ANNOTATED,
+            "cells written to the annotation table",
+            annotated as u64,
+        );
+        stage_span("pipeline/annotate", annotated, &mut sim_cursor);
 
         // 4. Visualization: dashboard JSON + incident GeoJSON.
         let features: Vec<MapFeature> = store
@@ -221,8 +312,16 @@ impl CityDataPipeline {
                     .collect(),
             }],
         );
+        stage_span("pipeline/visualize", features.len(), &mut sim_cursor);
 
-        PipelineReport { ingested, stored, annotated, hotspots, dashboard: dash, geojson }
+        PipelineReport {
+            ingested,
+            stored,
+            annotated,
+            hotspots,
+            dashboard: dash,
+            geojson,
+        }
     }
 }
 
@@ -235,11 +334,8 @@ mod tests {
         let mut store = Collection::new("incidents");
         store.create_index("kind");
         let mut annotations = Table::new("annotations", 1024);
-        let report = CityDataPipeline::new(11, records, waze).run(
-            &mut topic,
-            &mut store,
-            &mut annotations,
-        );
+        let report =
+            CityDataPipeline::new(11, records, waze).run(&mut topic, &mut store, &mut annotations);
         (report, store, annotations)
     }
 
@@ -275,10 +371,7 @@ mod tests {
     fn dashboard_and_geojson_populated() {
         let (report, _, _) = run_pipeline(100, 10);
         assert_eq!(report.dashboard["kpis"]["ingested"], 110.0);
-        assert_eq!(
-            report.geojson["features"].as_array().unwrap().len(),
-            110
-        );
+        assert_eq!(report.geojson["features"].as_array().unwrap().len(), 110);
     }
 
     #[test]
@@ -290,6 +383,58 @@ mod tests {
             .sum();
         assert_eq!(total, 140);
         assert_eq!(report.annotated, 7 + report.hotspots.len());
+    }
+
+    #[test]
+    fn recorded_run_mirrors_report_and_adds_panel() {
+        let t = Telemetry::shared();
+        let mut topic = Topic::new("raw", 4);
+        let mut store = Collection::new("incidents");
+        store.create_index("kind");
+        let mut annotations = Table::new("annotations", 1024);
+        let report = CityDataPipeline::new(11, 200, 50).run_recorded(
+            &mut topic,
+            &mut store,
+            &mut annotations,
+            &t,
+        );
+
+        let reg = t.registry();
+        let counter = |n: &str| reg.get(n).unwrap().as_counter().unwrap().get();
+        assert_eq!(counter(METRIC_INGESTED) as usize, report.ingested);
+        assert_eq!(counter(METRIC_STORED) as usize, report.stored);
+        assert_eq!(counter(METRIC_ANNOTATED) as usize, report.annotated);
+        assert_eq!(
+            reg.get(METRIC_HOTSPOTS).unwrap().as_gauge().unwrap().get() as usize,
+            report.hotspots.len()
+        );
+        // The storage consumer group reports through the same recorder.
+        assert_eq!(counter(scstream::METRIC_COMMITS) as usize, report.ingested);
+
+        // Plain KPIs unchanged; the dashboard gains the telemetry panel.
+        assert_eq!(report.dashboard["kpis"]["ingested"], 250.0);
+        let rows = report.dashboard["telemetry"]["metrics"].as_array().unwrap();
+        assert!(rows.len() >= 5, "panel covers the pipeline metrics");
+
+        // Five ordered stage spans with a deterministic sim-time clock.
+        let trace = t.trace();
+        let spans: Vec<_> = trace
+            .iter()
+            .filter_map(|r| match r {
+                sctelemetry::TraceRecord::Span(s) => Some(s.name.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spans,
+            vec![
+                "pipeline/ingest",
+                "pipeline/store",
+                "pipeline/mine",
+                "pipeline/annotate",
+                "pipeline/visualize"
+            ]
+        );
     }
 
     #[test]

@@ -33,14 +33,23 @@ pub struct SecureCrimeServer {
 impl SecureCrimeServer {
     /// Creates an empty server.
     pub fn new() -> Self {
-        SecureCrimeServer { uploads: Vec::new(), purged: 0 }
+        SecureCrimeServer {
+            uploads: Vec::new(),
+            purged: 0,
+        }
     }
 
     /// The unique URL path an agency uploads month `month` to.
     pub fn upload_path(agency: &str, month: u32) -> String {
         let slug: String = agency
             .chars()
-            .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
             .collect();
         format!("/secure/uploads/{slug}/month-{month:04}.csv")
     }
@@ -70,7 +79,10 @@ impl SecureCrimeServer {
             ));
         }
         dfs.create(&path, csv.as_bytes())?;
-        self.uploads.push(Upload { path: path.clone(), uploaded_at: batch.uploaded_at });
+        self.uploads.push(Upload {
+            path: path.clone(),
+            uploaded_at: batch.uploaded_at,
+        });
         Ok(path)
     }
 
@@ -126,7 +138,9 @@ mod tests {
     fn upload_lands_in_dfs() {
         let (mut server, mut dfs, mut gen) = setup();
         let batch = gen.monthly_batch(0, 25);
-        let path = server.accept_upload("Baton Rouge PD", &batch, &mut dfs).unwrap();
+        let path = server
+            .accept_upload("Baton Rouge PD", &batch, &mut dfs)
+            .unwrap();
         let content = String::from_utf8(dfs.read(&path).unwrap()).unwrap();
         assert_eq!(content.lines().count(), 26, "header + 25 records");
         assert!(content.contains("La. R.S."));
@@ -159,7 +173,10 @@ mod tests {
         let now = old.uploaded_at + SimDuration::from_secs(91 * 24 * 3600);
         let removed = server.purge_expired(now, &mut dfs);
         assert_eq!(removed, vec![old_path.clone()]);
-        assert!(dfs.read(&old_path).is_err(), "expired file deleted from DFS");
+        assert!(
+            dfs.read(&old_path).is_err(),
+            "expired file deleted from DFS"
+        );
         assert!(dfs.read(&recent_path).is_ok(), "recent file retained");
         assert_eq!(server.live_uploads(), 1);
         assert_eq!(server.purged_count(), 1);

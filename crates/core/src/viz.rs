@@ -6,6 +6,7 @@
 //! documents, and self-contained SVG charts.
 
 use scgeo::GeoPoint;
+use sctelemetry::{Metric, MetricsRegistry};
 use serde_json::{json, Map, Value};
 
 /// A point feature destined for a map layer.
@@ -82,6 +83,45 @@ pub fn dashboard(kpis: &[(&str, f64)], series: &[Series]) -> Value {
     })
 }
 
+/// Builds the dashboard's "telemetry" panel from a live metrics registry:
+/// one row per metric, counters/gauges as plain values and histograms as
+/// `count/mean/p50/p95/p99` summaries. Registry iteration is name-ordered,
+/// so the panel is deterministic for a deterministic run.
+pub fn telemetry_panel(registry: &MetricsRegistry) -> Value {
+    let mut rows: Vec<Value> = Vec::new();
+    registry.for_each(|name, entry| {
+        let row = match &entry.metric {
+            Metric::Counter(c) => json!({
+                "name": name,
+                "kind": "counter",
+                "help": entry.help,
+                "value": c.get(),
+            }),
+            Metric::Gauge(g) => json!({
+                "name": name,
+                "kind": "gauge",
+                "help": entry.help,
+                "value": g.get(),
+            }),
+            Metric::Histogram(h) => {
+                let s = h.snapshot();
+                json!({
+                    "name": name,
+                    "kind": "histogram",
+                    "help": entry.help,
+                    "count": s.count,
+                    "mean": s.mean(),
+                    "p50": s.percentile(0.50),
+                    "p95": s.percentile(0.95),
+                    "p99": s.percentile(0.99),
+                })
+            }
+        };
+        rows.push(row);
+    });
+    json!({ "metrics": rows })
+}
+
 /// Renders a simple SVG line chart of one or more series.
 ///
 /// Returns a complete `<svg>` document string; panics never — empty series
@@ -89,13 +129,18 @@ pub fn dashboard(kpis: &[(&str, f64)], series: &[Series]) -> Value {
 pub fn svg_line_chart(title: &str, series: &[Series], width: u32, height: u32) -> String {
     let (w, h) = (width.max(100) as f64, height.max(80) as f64);
     let margin = 40.0;
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     let (x_min, x_max) = bounds(all.iter().map(|p| p.0));
     let (y_min, y_max) = bounds(all.iter().map(|p| p.1));
     let sx = |x: f64| margin + (x - x_min) / (x_max - x_min).max(1e-12) * (w - 2.0 * margin);
     let sy = |y: f64| h - margin - (y - y_min) / (y_max - y_min).max(1e-12) * (h - 2.0 * margin);
 
-    let palette = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+    let palette = [
+        "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+    ];
     let mut body = String::new();
     for (i, s) in series.iter().enumerate() {
         if s.points.is_empty() {
@@ -106,7 +151,12 @@ pub fn svg_line_chart(title: &str, series: &[Series], width: u32, height: u32) -
             .iter()
             .enumerate()
             .map(|(j, (x, y))| {
-                format!("{}{:.2},{:.2}", if j == 0 { "M" } else { "L" }, sx(*x), sy(*y))
+                format!(
+                    "{}{:.2},{:.2}",
+                    if j == 0 { "M" } else { "L" },
+                    sx(*x),
+                    sy(*y)
+                )
             })
             .collect();
         let color = palette[i % palette.len()];
@@ -137,7 +187,11 @@ pub fn svg_line_chart(title: &str, series: &[Series], width: u32, height: u32) -
 pub fn svg_bar_chart(title: &str, bars: &[(String, f64)], width: u32, height: u32) -> String {
     let (w, h) = (width.max(100) as f64, height.max(80) as f64);
     let margin = 40.0;
-    let max = bars.iter().map(|(_, v)| *v).fold(0.0f64, f64::max).max(1e-12);
+    let max = bars
+        .iter()
+        .map(|(_, v)| *v)
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
     let slot = (w - 2.0 * margin) / bars.len().max(1) as f64;
     let mut body = String::new();
     for (i, (label, v)) in bars.iter().enumerate() {
@@ -180,7 +234,9 @@ fn bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -210,7 +266,10 @@ mod tests {
     fn dashboard_shape() {
         let doc = dashboard(
             &[("cameras", 240.0), ("incidents", 17.0)],
-            &[Series { name: "latency".into(), points: vec![(0.0, 1.0), (1.0, 0.5)] }],
+            &[Series {
+                name: "latency".into(),
+                points: vec![(0.0, 1.0), (1.0, 0.5)],
+            }],
         );
         assert_eq!(doc["kpis"]["cameras"], 240.0);
         assert_eq!(doc["series"][0]["name"], "latency");
@@ -218,10 +277,42 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_panel_renders_all_metric_kinds() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "events")
+            .as_counter()
+            .unwrap()
+            .add(3);
+        reg.gauge("b_items", "queue depth")
+            .as_gauge()
+            .unwrap()
+            .set(-2);
+        let h = reg.exact_histogram("c_seconds", "latency");
+        let h = h.as_histogram().unwrap();
+        h.observe(1.0);
+        h.observe(3.0);
+
+        let panel = telemetry_panel(&reg);
+        let rows = panel["metrics"].as_array().unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0]["kind"], "counter");
+        assert_eq!(rows[0]["value"], 3.0);
+        assert_eq!(rows[1]["kind"], "gauge");
+        assert_eq!(rows[1]["value"], -2.0);
+        assert_eq!(rows[2]["kind"], "histogram");
+        assert_eq!(rows[2]["count"], 2.0);
+        assert_eq!(rows[2]["mean"], 2.0);
+        assert_eq!(rows[2]["p99"], 3.0);
+    }
+
+    #[test]
     fn svg_line_chart_valid() {
         let svg = svg_line_chart(
             "Latency vs threshold",
-            &[Series { name: "p95".into(), points: vec![(0.0, 2.0), (0.5, 1.0), (1.0, 3.0)] }],
+            &[Series {
+                name: "p95".into(),
+                points: vec![(0.0, 2.0), (0.5, 1.0), (1.0, 3.0)],
+            }],
             400,
             300,
         );

@@ -44,7 +44,10 @@ impl ActionClass {
 
     /// The class's stable index (0..6).
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("class in ALL")
+        Self::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("class in ALL")
     }
 
     /// Whether the paper's application would raise an operator alert.
@@ -119,7 +122,12 @@ impl ClipGenerator {
     pub fn new(width: usize, height: usize, frames_per_clip: usize, seed: u64) -> Self {
         assert!(width >= 8 && height >= 8, "frames must be at least 8x8");
         assert!(frames_per_clip >= 2, "clips need at least two frames");
-        ClipGenerator { width, height, frames_per_clip, rng: SeededRng::new(seed) }
+        ClipGenerator {
+            width,
+            height,
+            frames_per_clip,
+            rng: SeededRng::new(seed),
+        }
     }
 
     fn blank(&self) -> Frame {
@@ -279,13 +287,20 @@ mod tests {
                     }
                 }
             }
-            if mass > 0.0 { sx / mass } else { 0.0 }
+            if mass > 0.0 {
+                sx / mass
+            } else {
+                0.0
+            }
         };
         let walk = g.clip(ActionClass::Walking);
         let run = g.clip(ActionClass::Running);
         let walk_d = centroid(walk.frames.last().unwrap()) - centroid(&walk.frames[0]);
         let run_d = centroid(run.frames.last().unwrap()) - centroid(&run.frames[0]);
-        assert!(run_d > walk_d + 2.0, "running moves farther: {run_d} vs {walk_d}");
+        assert!(
+            run_d > walk_d + 2.0,
+            "running moves farther: {run_d} vs {walk_d}"
+        );
     }
 
     #[test]
@@ -295,9 +310,10 @@ mod tests {
         // Actor (intensity ~0.9) appears inside the road band in some frame.
         let road_top = 16 / 3;
         let road_bot = 2 * 16 / 3;
-        let in_road = clip.frames.iter().any(|f| {
-            (road_top..road_bot).any(|y| (0..16).any(|x| f.get(x, y) > 0.8))
-        });
+        let in_road = clip
+            .frames
+            .iter()
+            .any(|f| (road_top..road_bot).any(|y| (0..16).any(|x| f.get(x, y) > 0.8)));
         assert!(in_road);
     }
 

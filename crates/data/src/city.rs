@@ -201,15 +201,15 @@ impl CrimeBatchGenerator {
             address: format!(
                 "{} {} St",
                 100 + self.rng.index(9900),
-                ["Government", "Florida", "Plank", "Airline", "Nicholson"]
-                    [self.rng.index(5)]
+                ["Government", "Florida", "Plank", "Airline", "Nicholson"][self.rng.index(5)]
             ),
             district: 1 + self.rng.index(12) as u8,
             time: t,
             agency: "Baton Rouge PD".to_string(),
-            location: self
-                .anchor
-                .offset_m(self.rng.range_f64(-8000.0, 8000.0), self.rng.range_f64(-8000.0, 8000.0)),
+            location: self.anchor.offset_m(
+                self.rng.range_f64(-8000.0, 8000.0),
+                self.rng.range_f64(-8000.0, 8000.0),
+            ),
             persons,
         }
     }
@@ -446,6 +446,9 @@ mod tests {
             })
             .sum::<f64>()
             / crimes.len() as f64;
-        assert!(mean_min < 1200.0, "clustered around hot spots, got {mean_min}");
+        assert!(
+            mean_min < 1200.0,
+            "clustered around hot spots, got {mean_min}"
+        );
     }
 }

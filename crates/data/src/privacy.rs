@@ -50,8 +50,7 @@ pub struct Anonymizer {
 }
 
 /// The age bands used for generalization.
-pub const AGE_BANDS: [&str; 7] =
-    ["0-17", "18-24", "25-34", "35-44", "45-54", "55-64", "65+"];
+pub const AGE_BANDS: [&str; 7] = ["0-17", "18-24", "25-34", "35-44", "45-54", "55-64", "65+"];
 
 /// Maps an age to its band.
 pub fn age_band(age: u8) -> &'static str {
@@ -189,7 +188,11 @@ mod tests {
         let p2 = GeoPoint::new(30.45002, -91.18002);
         assert_eq!(a.coarsen_location(p1), a.coarsen_location(p2), "same cell");
         let far = GeoPoint::new(30.47, -91.18001);
-        assert_ne!(a.coarsen_location(p1), a.coarsen_location(far), "different cell");
+        assert_ne!(
+            a.coarsen_location(p1),
+            a.coarsen_location(far),
+            "different cell"
+        );
         // Coarsened point is within half a cell diagonal of the original.
         let d = p1.haversine_m(a.coarsen_location(p1));
         assert!(d < 1000.0, "displacement {d}");

@@ -33,8 +33,8 @@ impl Tweet {
 }
 
 const BENIGN_WORDS: &[&str] = &[
-    "game", "lunch", "traffic", "weather", "music", "school", "work", "weekend", "tiger",
-    "river", "festival", "crawfish", "coffee", "rain",
+    "game", "lunch", "traffic", "weather", "music", "school", "work", "weekend", "tiger", "river",
+    "festival", "crawfish", "coffee", "rain",
 ];
 
 /// Vocabulary correlated with violent incidents — what the paper's NLP
@@ -66,7 +66,10 @@ pub struct TweetGenerator {
 impl TweetGenerator {
     /// Creates a generator.
     pub fn new(seed: u64) -> Self {
-        TweetGenerator { rng: SeededRng::new(seed), next_id: 0 }
+        TweetGenerator {
+            rng: SeededRng::new(seed),
+            next_id: 0,
+        }
     }
 
     fn compose(&mut self, vocab: &[&str], words: usize) -> String {
@@ -86,7 +89,13 @@ impl TweetGenerator {
     pub fn benign(&mut self, user: &str, location: GeoPoint, time: SimTime) -> Tweet {
         let words = 4 + self.rng.index(5);
         let text = self.compose(BENIGN_WORDS, words);
-        Tweet { id: self.next_id(), user: user.to_string(), text, time, location }
+        Tweet {
+            id: self.next_id(),
+            user: user.to_string(),
+            text,
+            time,
+            location,
+        }
     }
 
     /// A tweet with elevated risk vocabulary (affiliate chatter around an
@@ -123,9 +132,7 @@ impl TweetGenerator {
         let dn = self.rng.range_f64(-radius_m, radius_m) * 0.7;
         let de = self.rng.range_f64(-radius_m, radius_m) * 0.7;
         let dt = self.rng.range_u64(0, (2 * window_us).max(1));
-        let time = SimTime::from_micros(
-            incident_time.as_micros().saturating_sub(window_us) + dt,
-        );
+        let time = SimTime::from_micros(incident_time.as_micros().saturating_sub(window_us) + dt);
         self.risky(user, center.offset_m(dn, de), time)
     }
 }
@@ -277,7 +284,13 @@ mod collector_tests {
     }
 
     fn tweet(text: &str, loc: GeoPoint) -> Tweet {
-        Tweet { id: 0, user: "u".into(), text: text.into(), time: SimTime::ZERO, location: loc }
+        Tweet {
+            id: 0,
+            user: "u".into(),
+            text: text.into(),
+            time: SimTime::ZERO,
+            location: loc,
+        }
     }
 
     #[test]
@@ -308,8 +321,14 @@ mod collector_tests {
         c.add_keyword("flood");
         c.add_region(br(), 500.0);
         let far = br().offset_m(50_000.0, 0.0);
-        assert!(c.matches(&tweet("flood warning", far)), "keyword matches far away");
-        assert!(c.matches(&tweet("no keywords", br())), "region matches without keyword");
+        assert!(
+            c.matches(&tweet("flood warning", far)),
+            "keyword matches far away"
+        );
+        assert!(
+            c.matches(&tweet("no keywords", br())),
+            "region matches without keyword"
+        );
     }
 
     #[test]

@@ -34,12 +34,30 @@ pub struct VehicleClass {
 }
 
 const MAKES: &[&str] = &[
-    "Ford", "Chevrolet", "Toyota", "Honda", "Nissan", "Dodge", "GMC", "Hyundai", "Kia", "Jeep",
+    "Ford",
+    "Chevrolet",
+    "Toyota",
+    "Honda",
+    "Nissan",
+    "Dodge",
+    "GMC",
+    "Hyundai",
+    "Kia",
+    "Jeep",
 ];
 const MODELS: &[&str] = &[
-    "Sedan", "Coupe", "Pickup", "SUV", "Hatchback", "Van", "Crossover", "Wagon",
+    "Sedan",
+    "Coupe",
+    "Pickup",
+    "SUV",
+    "Hatchback",
+    "Van",
+    "Crossover",
+    "Wagon",
 ];
-const COLORS: &[&str] = &["black", "white", "silver", "red", "blue", "gray", "green", "gold"];
+const COLORS: &[&str] = &[
+    "black", "white", "silver", "red", "blue", "gray", "green", "gold",
+];
 
 /// A catalog of vehicle classes with deterministic, distinguishable
 /// appearances.
@@ -82,7 +100,8 @@ impl VehicleCatalog {
                     color: color.to_string(),
                     // Appearance varies systematically with the class index so
                     // every class is separable, with a dash of seeded jitter.
-                    intensity: 0.25 + 0.7 * (i as f32 / n as f32)
+                    intensity: 0.25
+                        + 0.7 * (i as f32 / n as f32)
                         + rng.range_f64(-0.02, 0.02) as f32,
                     aspect: 1.2 + (i % 5) as f32 * 0.3,
                     stripe_period: 1 + (i % 4) as u8,
@@ -139,8 +158,9 @@ mod tests {
     #[test]
     fn classes_have_distinct_identities() {
         let c = VehicleCatalog::generate(400, 3);
-        let mut labels: Vec<String> =
-            (0..400).map(|i| c.label(VehicleClassId(i)).unwrap()).collect();
+        let mut labels: Vec<String> = (0..400)
+            .map(|i| c.label(VehicleClassId(i)).unwrap())
+            .collect();
         labels.sort();
         labels.dedup();
         assert_eq!(labels.len(), 400, "all labels unique");

@@ -26,7 +26,11 @@ impl Frame {
     /// Panics if either dimension is zero.
     pub fn new(width: usize, height: usize) -> Self {
         assert!(width > 0 && height > 0, "dimensions must be positive");
-        Frame { width, height, pixels: vec![0.0; width * height] }
+        Frame {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
     }
 
     /// Frame width in pixels.
@@ -149,7 +153,13 @@ pub struct FrameGenerator {
 impl FrameGenerator {
     /// Creates a generator for `width`×`height` frames.
     pub fn new(catalog: VehicleCatalog, width: usize, height: usize, seed: u64) -> Self {
-        FrameGenerator { catalog, width, height, rng: SeededRng::new(seed), noise: 0.03 }
+        FrameGenerator {
+            catalog,
+            width,
+            height,
+            rng: SeededRng::new(seed),
+            noise: 0.03,
+        }
     }
 
     /// Sets the additive pixel-noise level (builder style).
@@ -175,7 +185,13 @@ impl FrameGenerator {
         f
     }
 
-    fn render_vehicle(&mut self, frame: &mut Frame, class: VehicleClassId, cx: usize, cy: usize) -> BoxPx {
+    fn render_vehicle(
+        &mut self,
+        frame: &mut Frame,
+        class: VehicleClassId,
+        cx: usize,
+        cy: usize,
+    ) -> BoxPx {
         let spec = self.catalog.class(class).expect("class in catalog").clone();
         // Body size from the aspect ratio; height ~ 1/4 of frame.
         let bh = (self.height / 4).max(3);
@@ -336,9 +352,24 @@ mod tests {
 
     #[test]
     fn iou_properties() {
-        let a = BoxPx { x0: 0, y0: 0, x1: 10, y1: 10 };
-        let b = BoxPx { x0: 5, y0: 5, x1: 15, y1: 15 };
-        let c = BoxPx { x0: 20, y0: 20, x1: 30, y1: 30 };
+        let a = BoxPx {
+            x0: 0,
+            y0: 0,
+            x1: 10,
+            y1: 10,
+        };
+        let b = BoxPx {
+            x0: 5,
+            y0: 5,
+            x1: 15,
+            y1: 15,
+        };
+        let c = BoxPx {
+            x0: 20,
+            y0: 20,
+            x1: 30,
+            y1: 30,
+        };
         assert!((a.iou(&a) - 1.0).abs() < 1e-12);
         assert!((a.iou(&b) - 25.0 / 175.0).abs() < 1e-9);
         assert_eq!(a.iou(&c), 0.0);

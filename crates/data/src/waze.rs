@@ -21,8 +21,12 @@ pub enum ReportKind {
 
 impl ReportKind {
     /// All kinds in stable order.
-    pub const ALL: [ReportKind; 4] =
-        [ReportKind::Jam, ReportKind::Accident, ReportKind::Hazard, ReportKind::RoadClosed];
+    pub const ALL: [ReportKind; 4] = [
+        ReportKind::Jam,
+        ReportKind::Accident,
+        ReportKind::Hazard,
+        ReportKind::RoadClosed,
+    ];
 }
 
 /// One crowd-sourced traffic report.
@@ -69,15 +73,15 @@ pub struct WazeGenerator {
 impl WazeGenerator {
     /// Creates a generator.
     pub fn new(seed: u64) -> Self {
-        WazeGenerator { rng: SeededRng::new(seed), next_id: 0 }
+        WazeGenerator {
+            rng: SeededRng::new(seed),
+            next_id: 0,
+        }
     }
 
     /// One report at a random milepost of `corridor` at time `t`.
     pub fn report(&mut self, corridor: &Corridor, t: SimTime) -> WazeReport {
-        let kind = *self
-            .rng
-            .choose(&ReportKind::ALL)
-            .expect("non-empty kinds");
+        let kind = *self.rng.choose(&ReportKind::ALL).expect("non-empty kinds");
         let pos = corridor.point_at(self.rng.range_f64(0.0, corridor.length_m()));
         let id = self.next_id;
         self.next_id += 1;

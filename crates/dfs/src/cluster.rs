@@ -1,12 +1,22 @@
 //! The cluster facade: client API, placement, failures, re-replication.
 
 use bytes::Bytes;
+use sctelemetry::TelemetryHandle;
 use simclock::{SeededRng, SimTime, VirtualClock};
 
 use crate::block::{Block, BlockId};
 use crate::datanode::{DataNode, NodeId};
 use crate::error::DfsError;
 use crate::namenode::{FileMeta, NameNode};
+
+/// Metric name of the block-writes counter (one per logical block).
+pub const METRIC_BLOCK_WRITES: &str = "scdfs_block_writes_total";
+/// Metric name of the replica-bytes-written counter.
+pub const METRIC_WRITE_BYTES: &str = "scdfs_block_write_bytes_total";
+/// Metric name of the successful block-reads counter.
+pub const METRIC_BLOCK_READS: &str = "scdfs_block_reads_total";
+/// Metric name of the replicas-created-by-repair counter.
+pub const METRIC_REPLICATIONS: &str = "scdfs_replication_replicas_total";
 
 /// Aggregate cluster statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,6 +49,7 @@ pub struct DfsCluster {
     block_size: usize,
     clock: VirtualClock,
     rng: SeededRng,
+    telemetry: TelemetryHandle,
 }
 
 impl DfsCluster {
@@ -56,7 +67,9 @@ impl DfsCluster {
         seed: u64,
     ) -> Result<Self, DfsError> {
         if nodes == 0 || replication == 0 || block_size == 0 {
-            return Err(DfsError::BadConfig("nodes, replication, block_size must be positive".into()));
+            return Err(DfsError::BadConfig(
+                "nodes, replication, block_size must be positive".into(),
+            ));
         }
         if replication > nodes {
             return Err(DfsError::BadConfig(format!(
@@ -65,12 +78,22 @@ impl DfsCluster {
         }
         Ok(DfsCluster {
             namenode: NameNode::new(),
-            datanodes: (0..nodes).map(|i| DataNode::new(NodeId(i as u32))).collect(),
+            datanodes: (0..nodes)
+                .map(|i| DataNode::new(NodeId(i as u32)))
+                .collect(),
             replication,
             block_size,
             clock: VirtualClock::new(),
             rng: SeededRng::new(seed),
+            telemetry: TelemetryHandle::disabled(),
         })
+    }
+
+    /// Attaches telemetry: block reads/writes count into the `scdfs_*`
+    /// metrics and node failures / re-replication emit sim-time events.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// The configured replication factor.
@@ -94,7 +117,11 @@ impl DfsCluster {
     }
 
     fn alive_ids(&self) -> Vec<NodeId> {
-        self.datanodes.iter().filter(|d| d.is_alive()).map(|d| d.id()).collect()
+        self.datanodes
+            .iter()
+            .filter(|d| d.is_alive())
+            .map(|d| d.id())
+            .collect()
     }
 
     /// Chooses `k` distinct targets among alive nodes, preferring emptier
@@ -107,7 +134,10 @@ impl DfsCluster {
             .filter(|id| !exclude.contains(id))
             .collect();
         if candidates.len() < k {
-            return Err(DfsError::NotEnoughNodes { alive: candidates.len(), needed: k });
+            return Err(DfsError::NotEnoughNodes {
+                alive: candidates.len(),
+                needed: k,
+            });
         }
         // Shuffle first so equal-load nodes tie-break randomly, then stable
         // sort by load.
@@ -126,6 +156,13 @@ impl DfsCluster {
             self.datanodes[t.0 as usize].store(block)?;
             self.namenode.add_location(id, *t);
         }
+        self.telemetry
+            .counter_inc(METRIC_BLOCK_WRITES, "logical blocks written");
+        self.telemetry.counter_add(
+            METRIC_WRITE_BYTES,
+            "replica bytes written (block size x replication)",
+            (data.len() * targets.len()) as u64,
+        );
         Ok(id)
     }
 
@@ -133,7 +170,9 @@ impl DfsCluster {
         if data.is_empty() {
             return Ok(Vec::new());
         }
-        data.chunks(self.block_size).map(|chunk| self.write_block(chunk)).collect()
+        data.chunks(self.block_size)
+            .map(|chunk| self.write_block(chunk))
+            .collect()
     }
 
     /// Creates a file with the given contents, splitting into blocks and
@@ -148,7 +187,13 @@ impl DfsCluster {
             return Err(DfsError::FileExists(path.to_string()));
         }
         let blocks = self.split_and_write(data)?;
-        self.namenode.create_file(path, FileMeta { blocks, len: data.len() })
+        self.namenode.create_file(
+            path,
+            FileMeta {
+                blocks,
+                len: data.len(),
+            },
+        )
     }
 
     /// Appends to an existing file (new blocks; no partial-block fill, like
@@ -188,6 +233,8 @@ impl DfsCluster {
         for &node in self.namenode.locations(block) {
             if let Some(dn) = self.datanode(node) {
                 if let Ok(data) = dn.read(block) {
+                    self.telemetry
+                        .counter_inc(METRIC_BLOCK_READS, "successful block reads");
                     return Ok(data);
                 }
             }
@@ -229,6 +276,12 @@ impl DfsCluster {
             .get_mut(node as usize)
             .ok_or(DfsError::UnknownNode(NodeId(node)))?;
         dn.kill();
+        self.telemetry.event(
+            "scdfs",
+            "node/kill",
+            self.clock.now(),
+            &format!("node {node}"),
+        );
         Ok(())
     }
 
@@ -248,6 +301,12 @@ impl DfsCluster {
         for b in dn.block_report() {
             self.namenode.add_location(b, id);
         }
+        self.telemetry.event(
+            "scdfs",
+            "node/restore",
+            self.clock.now(),
+            &format!("node {node}"),
+        );
         Ok(())
     }
 
@@ -282,8 +341,12 @@ impl DfsCluster {
         let mut created = 0;
         for (block, all_locs, missing) in work {
             // Read from any healthy replica.
-            let Ok(data) = self.read_block(block) else { continue };
-            let Ok(targets) = self.choose_targets(missing, &all_locs) else { continue };
+            let Ok(data) = self.read_block(block) else {
+                continue;
+            };
+            let Ok(targets) = self.choose_targets(missing, &all_locs) else {
+                continue;
+            };
             for t in targets {
                 let replica = Block::new(block, data.clone());
                 if self.datanodes[t.0 as usize].store(replica).is_ok() {
@@ -291,6 +354,19 @@ impl DfsCluster {
                     created += 1;
                 }
             }
+        }
+        if created > 0 {
+            self.telemetry.counter_add(
+                METRIC_REPLICATIONS,
+                "replicas created by re-replication",
+                created as u64,
+            );
+            self.telemetry.event(
+                "scdfs",
+                "re_replicate",
+                self.clock.now(),
+                &format!("{created} replicas restored"),
+            );
         }
         created
     }
@@ -334,7 +410,9 @@ mod tests {
     use super::*;
 
     fn payload(n: usize, seed: u8) -> Vec<u8> {
-        (0..n).map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed)).collect()
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
     }
 
     #[test]
@@ -379,7 +457,11 @@ mod tests {
         dfs.create("/f", &data).unwrap();
         dfs.kill_node(0).unwrap();
         dfs.kill_node(1).unwrap();
-        assert_eq!(dfs.read("/f").unwrap(), data, "3-way replication survives 2 failures");
+        assert_eq!(
+            dfs.read("/f").unwrap(),
+            data,
+            "3-way replication survives 2 failures"
+        );
     }
 
     #[test]
@@ -410,7 +492,10 @@ mod tests {
         let before = dfs.stats();
         let created = dfs.re_replicate();
         let after = dfs.stats();
-        assert_eq!(after.under_replicated, 0, "created {created}, before {before:?}");
+        assert_eq!(
+            after.under_replicated, 0,
+            "created {created}, before {before:?}"
+        );
         // After re-replication, killing two *more* nodes still cannot lose data.
         dfs.kill_node(1).unwrap();
         dfs.kill_node(2).unwrap();
@@ -425,7 +510,11 @@ mod tests {
         let b = dfs.namenode().file("/f").unwrap().blocks[0];
         let first = dfs.namenode().locations(b)[0];
         dfs.datanodes[first.0 as usize].corrupt_block(b);
-        assert_eq!(dfs.read("/f").unwrap(), data, "falls through to the healthy replica");
+        assert_eq!(
+            dfs.read("/f").unwrap(),
+            data,
+            "falls through to the healthy replica"
+        );
     }
 
     #[test]
@@ -459,7 +548,10 @@ mod tests {
         dfs.kill_node(0).unwrap();
         assert!(matches!(
             dfs.create("/f", &payload(10, 0)),
-            Err(DfsError::NotEnoughNodes { alive: 2, needed: 3 })
+            Err(DfsError::NotEnoughNodes {
+                alive: 2,
+                needed: 3
+            })
         ));
     }
 
@@ -474,13 +566,36 @@ mod tests {
     fn placement_balances_load() {
         let mut dfs = DfsCluster::new(4, 1, 100, 13).unwrap();
         for i in 0..40 {
-            dfs.create(&format!("/f{i}"), &payload(100, i as u8)).unwrap();
+            dfs.create(&format!("/f{i}"), &payload(100, i as u8))
+                .unwrap();
         }
-        let counts: Vec<usize> =
-            dfs.datanodes.iter().map(DataNode::block_count).collect();
+        let counts: Vec<usize> = dfs.datanodes.iter().map(DataNode::block_count).collect();
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max - min <= 1, "least-loaded placement keeps balance, got {counts:?}");
+        assert!(
+            max - min <= 1,
+            "least-loaded placement keeps balance, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn telemetry_counts_io_and_replication() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut dfs = DfsCluster::new(6, 3, 512, 8)
+            .unwrap()
+            .with_telemetry(t.handle());
+        dfs.create("/f", &payload(2000, 3)).unwrap(); // 4 blocks
+        dfs.read("/f").unwrap();
+        dfs.kill_node(0).unwrap();
+        let created = dfs.re_replicate();
+
+        let reg = t.registry();
+        let counter = |n: &str| reg.get(n).unwrap().as_counter().unwrap().get();
+        assert_eq!(counter(METRIC_BLOCK_WRITES), 4);
+        assert_eq!(counter(METRIC_WRITE_BYTES), 2000 * 3);
+        assert!(counter(METRIC_BLOCK_READS) >= 4);
+        assert_eq!(counter(METRIC_REPLICATIONS), created as u64);
+        assert!(t.trace_len() >= 2, "kill + re_replicate events recorded");
     }
 
     #[test]
@@ -489,6 +604,9 @@ mod tests {
         dfs.kill_node(2).unwrap();
         let now = dfs.tick(simclock::SimDuration::from_secs(3));
         assert_eq!(dfs.datanode(NodeId(0)).unwrap().last_heartbeat(), now);
-        assert_eq!(dfs.datanode(NodeId(2)).unwrap().last_heartbeat(), SimTime::ZERO);
+        assert_eq!(
+            dfs.datanode(NodeId(2)).unwrap().last_heartbeat(),
+            SimTime::ZERO
+        );
     }
 }

@@ -30,7 +30,12 @@ pub struct DataNode {
 impl DataNode {
     /// Creates an empty, alive node.
     pub fn new(id: NodeId) -> Self {
-        DataNode { id, blocks: HashMap::new(), alive: true, last_heartbeat: SimTime::ZERO }
+        DataNode {
+            id,
+            blocks: HashMap::new(),
+            alive: true,
+            last_heartbeat: SimTime::ZERO,
+        }
     }
 
     /// Node identifier.
@@ -158,7 +163,10 @@ mod tests {
     #[test]
     fn read_missing_block() {
         let dn = DataNode::new(NodeId(0));
-        assert_eq!(dn.read(BlockId(9)), Err(DfsError::BlockUnavailable(BlockId(9))));
+        assert_eq!(
+            dn.read(BlockId(9)),
+            Err(DfsError::BlockUnavailable(BlockId(9)))
+        );
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl std::fmt::Display for DfsError {
             DfsError::BlockUnavailable(b) => write!(f, "no alive replica for block {b}"),
             DfsError::CorruptBlock(b, n) => write!(f, "corrupt replica of block {b} on node {n}"),
             DfsError::NotEnoughNodes { alive, needed } => {
-                write!(f, "only {alive} alive nodes for replication factor {needed}")
+                write!(
+                    f,
+                    "only {alive} alive nodes for replication factor {needed}"
+                )
             }
             DfsError::UnknownNode(n) => write!(f, "unknown datanode {n}"),
             DfsError::BadConfig(m) => write!(f, "bad configuration: {m}"),
@@ -53,7 +56,10 @@ mod tests {
     fn display_is_informative() {
         let e = DfsError::FileNotFound("/x".into());
         assert!(e.to_string().contains("/x"));
-        let e = DfsError::NotEnoughNodes { alive: 1, needed: 3 };
+        let e = DfsError::NotEnoughNodes {
+            alive: 1,
+            needed: 3,
+        };
         assert!(e.to_string().contains('1') && e.to_string().contains('3'));
     }
 }

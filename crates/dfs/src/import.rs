@@ -29,7 +29,11 @@ impl RelationalTable {
     /// Panics if `columns` is empty.
     pub fn new(name: impl Into<String>, columns: Vec<String>) -> Self {
         assert!(!columns.is_empty(), "a table needs at least one column");
-        RelationalTable { name: name.into(), columns, rows: Vec::new() }
+        RelationalTable {
+            name: name.into(),
+            columns,
+            rows: Vec::new(),
+        }
     }
 
     /// Table name.
@@ -123,7 +127,9 @@ impl BulkImporter {
             .collect();
         let (min, max) = values
             .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
         let width = ((max - min) / self.mappers as f64).max(f64::MIN_POSITIVE);
 
         // Partition rows into mapper buckets, keyed for deterministic order.
@@ -154,7 +160,11 @@ impl BulkImporter {
             bytes += csv.len();
             files.push(path);
         }
-        Ok(ImportReport { rows: table.len(), files, bytes })
+        Ok(ImportReport {
+            rows: table.len(),
+            files,
+            bytes,
+        })
     }
 }
 
@@ -170,7 +180,11 @@ mod tests {
         for i in 0..n {
             t.insert(vec![
                 i.to_string(),
-                if i % 2 == 0 { "ROBBERY".into() } else { "ASSAULT".into() },
+                if i % 2 == 0 {
+                    "ROBBERY".into()
+                } else {
+                    "ASSAULT".into()
+                },
                 (1 + i % 12).to_string(),
             ]);
         }
@@ -255,7 +269,9 @@ mod tests {
     fn empty_table_imports_headers_only() {
         let table = RelationalTable::new("empty", vec!["a".into()]);
         let mut dfs = DfsCluster::new(3, 2, 512, 6).unwrap();
-        let report = BulkImporter::new(2).import(&table, "a", &mut dfs, "/w").unwrap();
+        let report = BulkImporter::new(2)
+            .import(&table, "a", &mut dfs, "/w")
+            .unwrap();
         assert_eq!(report.rows, 0);
         assert_eq!(report.files.len(), 2);
     }

@@ -59,7 +59,9 @@ impl NameNode {
     ///
     /// [`DfsError::FileNotFound`] if absent.
     pub fn file(&self, path: &str) -> Result<&FileMeta, DfsError> {
-        self.namespace.get(path).ok_or_else(|| DfsError::FileNotFound(path.to_string()))
+        self.namespace
+            .get(path)
+            .ok_or_else(|| DfsError::FileNotFound(path.to_string()))
     }
 
     /// Whether a path exists.
@@ -152,7 +154,14 @@ mod tests {
     fn create_and_lookup() {
         let mut nn = NameNode::new();
         let b = nn.allocate_block();
-        nn.create_file("/a", FileMeta { blocks: vec![b], len: 10 }).unwrap();
+        nn.create_file(
+            "/a",
+            FileMeta {
+                blocks: vec![b],
+                len: 10,
+            },
+        )
+        .unwrap();
         assert_eq!(nn.file("/a").unwrap().len, 10);
         assert!(nn.exists("/a"));
         assert!(!nn.exists("/b"));
@@ -161,9 +170,22 @@ mod tests {
     #[test]
     fn duplicate_create_fails() {
         let mut nn = NameNode::new();
-        nn.create_file("/a", FileMeta { blocks: vec![], len: 0 }).unwrap();
+        nn.create_file(
+            "/a",
+            FileMeta {
+                blocks: vec![],
+                len: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(
-            nn.create_file("/a", FileMeta { blocks: vec![], len: 0 }),
+            nn.create_file(
+                "/a",
+                FileMeta {
+                    blocks: vec![],
+                    len: 0
+                }
+            ),
             Err(DfsError::FileExists("/a".into()))
         );
     }
@@ -180,7 +202,14 @@ mod tests {
     fn remove_clears_locations() {
         let mut nn = NameNode::new();
         let b = nn.allocate_block();
-        nn.create_file("/f", FileMeta { blocks: vec![b], len: 1 }).unwrap();
+        nn.create_file(
+            "/f",
+            FileMeta {
+                blocks: vec![b],
+                len: 1,
+            },
+        )
+        .unwrap();
         nn.add_location(b, NodeId(0));
         nn.remove_file("/f").unwrap();
         assert!(nn.locations(b).is_empty());
@@ -191,7 +220,14 @@ mod tests {
     fn list_by_prefix() {
         let mut nn = NameNode::new();
         for p in ["/videos/a", "/videos/b", "/tweets/x"] {
-            nn.create_file(p, FileMeta { blocks: vec![], len: 0 }).unwrap();
+            nn.create_file(
+                p,
+                FileMeta {
+                    blocks: vec![],
+                    len: 0,
+                },
+            )
+            .unwrap();
         }
         assert_eq!(nn.list("/videos/"), vec!["/videos/a", "/videos/b"]);
         assert_eq!(nn.list("/z"), Vec::<&str>::new());
@@ -213,7 +249,14 @@ mod tests {
     fn append_blocks_extends() {
         let mut nn = NameNode::new();
         let b0 = nn.allocate_block();
-        nn.create_file("/f", FileMeta { blocks: vec![b0], len: 4 }).unwrap();
+        nn.create_file(
+            "/f",
+            FileMeta {
+                blocks: vec![b0],
+                len: 4,
+            },
+        )
+        .unwrap();
         let b1 = nn.allocate_block();
         nn.append_blocks("/f", &[b1], 6).unwrap();
         let meta = nn.file("/f").unwrap();

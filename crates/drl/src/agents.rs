@@ -35,7 +35,10 @@ impl RandomAgent {
     /// Panics if `actions` is zero.
     pub fn new(actions: usize, seed: u64) -> Self {
         assert!(actions > 0, "need at least one action");
-        RandomAgent { actions, rng: SeededRng::new(seed) }
+        RandomAgent {
+            actions,
+            rng: SeededRng::new(seed),
+        }
     }
 }
 
@@ -66,7 +69,10 @@ impl TabularQAgent {
     ///
     /// Panics if `actions` or `buckets` is zero.
     pub fn new(actions: usize, buckets: u8, seed: u64) -> Self {
-        assert!(actions > 0 && buckets > 0, "actions and buckets must be positive");
+        assert!(
+            actions > 0 && buckets > 0,
+            "actions and buckets must be positive"
+        );
         TabularQAgent {
             q: std::collections::HashMap::new(),
             actions,
@@ -117,7 +123,11 @@ impl Agent for TabularQAgent {
             .iter()
             .copied()
             .fold(f64::NEG_INFINITY, f64::max);
-        let target = if t.done { t.reward } else { t.reward + self.gamma * next_max };
+        let target = if t.done {
+            t.reward
+        } else {
+            t.reward + self.gamma * next_max
+        };
         let key = self.key(&t.state);
         let alpha = self.alpha;
         let row = self.q_row(key);
@@ -277,13 +287,13 @@ impl DqnAgent {
             targets.set(i, t.action, y);
         }
         let mut loss = MeanSquaredError::new();
-        self.online.train_step_values(&states, &targets, &mut loss, &mut self.optimizer);
+        self.online
+            .train_step_values(&states, &targets, &mut loss, &mut self.optimizer);
 
         self.steps += 1;
         self.epsilon = (self.epsilon * self.config.epsilon_decay).max(self.config.epsilon_end);
         if self.steps.is_multiple_of(self.config.target_sync) {
-            load_params(&mut self.target, &save_params(&self.online))
-                .expect("same architecture");
+            load_params(&mut self.target, &save_params(&self.online)).expect("same architecture");
         }
     }
 }
@@ -392,7 +402,10 @@ mod tests {
         let mut dqn = DqnAgent::new(
             env.state_dim(),
             env.num_actions(),
-            DqnConfig { epsilon_decay: 0.99, ..DqnConfig::default() },
+            DqnConfig {
+                epsilon_decay: 0.99,
+                ..DqnConfig::default()
+            },
             8,
         );
         for _ in 0..60 {
@@ -400,11 +413,15 @@ mod tests {
         }
         // Evaluate greedily over several episodes.
         dqn.epsilon = 0.0;
-        let dqn_score: f64 =
-            (0..10).map(|_| run_episode(&mut env, &mut dqn, false)).sum::<f64>() / 10.0;
+        let dqn_score: f64 = (0..10)
+            .map(|_| run_episode(&mut env, &mut dqn, false))
+            .sum::<f64>()
+            / 10.0;
         let mut random = RandomAgent::new(env.num_actions(), 9);
-        let rand_score: f64 =
-            (0..10).map(|_| run_episode(&mut env, &mut random, false)).sum::<f64>() / 10.0;
+        let rand_score: f64 = (0..10)
+            .map(|_| run_episode(&mut env, &mut random, false))
+            .sum::<f64>()
+            / 10.0;
         assert!(
             dqn_score > rand_score,
             "dqn {dqn_score} should beat random {rand_score}"
@@ -416,8 +433,8 @@ mod tests {
 mod double_dqn_tests {
     use super::*;
     use crate::camera::CameraControlEnv;
-    use scneural::Layer;
     use crate::env::{run_episode, Environment};
+    use scneural::Layer;
 
     #[test]
     fn double_dqn_trains_and_beats_random() {
@@ -425,19 +442,30 @@ mod double_dqn_tests {
         let mut agent = DqnAgent::new(
             env.state_dim(),
             env.num_actions(),
-            DqnConfig { double_dqn: true, epsilon_decay: 0.99, ..DqnConfig::default() },
+            DqnConfig {
+                double_dqn: true,
+                epsilon_decay: 0.99,
+                ..DqnConfig::default()
+            },
             22,
         );
         for _ in 0..60 {
             run_episode(&mut env, &mut agent, true);
         }
         agent.epsilon = 0.0;
-        let score: f64 =
-            (0..10).map(|_| run_episode(&mut env, &mut agent, false)).sum::<f64>() / 10.0;
+        let score: f64 = (0..10)
+            .map(|_| run_episode(&mut env, &mut agent, false))
+            .sum::<f64>()
+            / 10.0;
         let mut random = RandomAgent::new(env.num_actions(), 23);
-        let rand_score: f64 =
-            (0..10).map(|_| run_episode(&mut env, &mut random, false)).sum::<f64>() / 10.0;
-        assert!(score > rand_score, "double-dqn {score} vs random {rand_score}");
+        let rand_score: f64 = (0..10)
+            .map(|_| run_episode(&mut env, &mut random, false))
+            .sum::<f64>()
+            / 10.0;
+        assert!(
+            score > rand_score,
+            "double-dqn {score} vs random {rand_score}"
+        );
     }
 
     #[test]
@@ -476,10 +504,16 @@ mod double_dqn_tests {
             }
             let mut online_params = agent.online.params_mut();
             let last = online_params.len() - 1;
-            online_params[last].value.data_mut().copy_from_slice(&[0.0, 1.0, 0.0]);
+            online_params[last]
+                .value
+                .data_mut()
+                .copy_from_slice(&[0.0, 1.0, 0.0]);
             let mut target_params = agent.target.params_mut();
             let last = target_params.len() - 1;
-            target_params[last].value.data_mut().copy_from_slice(&[0.0, 0.0, 2.0]);
+            target_params[last]
+                .value
+                .data_mut()
+                .copy_from_slice(&[0.0, 0.0, 2.0]);
 
             for i in 0..8 {
                 agent.replay.push(Transition {

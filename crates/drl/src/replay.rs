@@ -38,7 +38,12 @@ impl ReplayBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize, seed: u64) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        ReplayBuffer { items: Vec::with_capacity(capacity), capacity, cursor: 0, rng: SeededRng::new(seed) }
+        ReplayBuffer {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            cursor: 0,
+            rng: SeededRng::new(seed),
+        }
     }
 
     /// Appends a transition, evicting the oldest when full.
@@ -67,7 +72,9 @@ impl ReplayBuffer {
         if self.items.is_empty() {
             return Vec::new();
         }
-        (0..n).map(|_| self.items[self.rng.index(self.items.len())].clone()).collect()
+        (0..n)
+            .map(|_| self.items[self.rng.index(self.items.len())].clone())
+            .collect()
     }
 }
 
@@ -76,7 +83,13 @@ mod tests {
     use super::*;
 
     fn t(v: f32) -> Transition {
-        Transition { state: vec![v], action: 0, reward: 0.0, next_state: vec![v], done: false }
+        Transition {
+            state: vec![v],
+            action: 0,
+            reward: 0.0,
+            next_state: vec![v],
+            done: false,
+        }
     }
 
     #[test]

@@ -2,10 +2,30 @@
 
 use std::collections::HashMap;
 
+use sctelemetry::{MetricsRegistry, SampleSummary, TelemetryHandle};
 use simclock::{EventQueue, SimDuration, SimTime};
 
 use crate::topology::{FogNodeId, Tier, Topology};
 use crate::workload::{Job, Placement, Workload};
+
+/// Metric name of the exact per-job latency histogram.
+pub const METRIC_JOB_LATENCY: &str = "scfog_sim_job_latency_seconds";
+/// Metric name of the completed-jobs counter.
+pub const METRIC_JOBS: &str = "scfog_sim_jobs_total";
+/// Metric name of the exact makespan record (single observation per run).
+pub const METRIC_MAKESPAN: &str = "scfog_sim_makespan_seconds";
+
+fn link_bytes_metric(from: Tier, to: Tier) -> String {
+    format!("scfog_link_{}_to_{}_bytes_total", from.name(), to.name())
+}
+
+fn busy_metric(tier: Tier) -> String {
+    format!("scfog_sim_busy_{}_seconds", tier.name())
+}
+
+fn nodes_metric(tier: Tier) -> String {
+    format!("scfog_topology_{}_nodes", tier.name())
+}
 
 /// One step of a job's execution plan.
 #[derive(Debug, Clone)]
@@ -13,7 +33,11 @@ enum Step {
     /// Run `ops` operations on `node` (FIFO queueing on the node).
     Compute { node: FogNodeId, ops: f64 },
     /// Move `bytes` from `from` to `to` (FIFO queueing on the link).
-    Transfer { from: FogNodeId, to: FogNodeId, bytes: u64 },
+    Transfer {
+        from: FogNodeId,
+        to: FogNodeId,
+        bytes: u64,
+    },
 }
 
 /// Busy-time utilization of one tier.
@@ -38,6 +62,8 @@ pub struct SimReport {
     pub p50_latency_s: f64,
     /// 95th-percentile latency in seconds.
     pub p95_latency_s: f64,
+    /// 99th-percentile latency in seconds.
+    pub p99_latency_s: f64,
     /// Maximum latency in seconds.
     pub max_latency_s: f64,
     /// Bytes crossing edge→fog links.
@@ -66,6 +92,62 @@ impl SimReport {
             .map(|u| u.utilization)
             .unwrap_or(0.0)
     }
+
+    /// Rebuilds the report from a telemetry registry populated by a
+    /// [`FogSimulator`] run — the report is a *view* over the registry, not
+    /// a separate source of truth. Returns `None` if the registry has no
+    /// fog-run metrics (e.g. the simulator ran with telemetry disabled).
+    pub fn from_registry(registry: &MetricsRegistry) -> Option<SimReport> {
+        let latency = registry.get(METRIC_JOB_LATENCY)?.as_histogram()?.snapshot();
+        if latency.count == 0 {
+            return None;
+        }
+        let makespan = registry
+            .get(METRIC_MAKESPAN)
+            .and_then(|e| e.as_histogram().map(|h| h.snapshot().max))
+            .unwrap_or(0.0);
+        let counter = |name: &str| {
+            registry
+                .get(name)
+                .and_then(|e| e.as_counter().map(|c| c.get()))
+                .unwrap_or(0)
+        };
+        let tier_utilization = Tier::ALL
+            .iter()
+            .map(|&tier| {
+                let busy = registry
+                    .get(&busy_metric(tier))
+                    .and_then(|e| e.as_histogram().map(|h| h.snapshot().sum))
+                    .unwrap_or(0.0);
+                let nodes = registry
+                    .get(&nodes_metric(tier))
+                    .and_then(|e| e.as_gauge().map(|g| g.get()))
+                    .unwrap_or(0);
+                TierUtilization {
+                    tier,
+                    busy_secs: busy,
+                    utilization: if nodes == 0 || makespan <= 0.0 {
+                        0.0
+                    } else {
+                        (busy / (nodes as f64 * makespan)).min(1.0)
+                    },
+                }
+            })
+            .collect();
+        Some(SimReport {
+            jobs: latency.count as usize,
+            mean_latency_s: latency.mean().unwrap_or(0.0),
+            p50_latency_s: latency.percentile(0.50).unwrap_or(0.0),
+            p95_latency_s: latency.percentile(0.95).unwrap_or(0.0),
+            p99_latency_s: latency.percentile(0.99).unwrap_or(0.0),
+            max_latency_s: latency.max,
+            edge_to_fog_bytes: counter(&link_bytes_metric(Tier::Edge, Tier::Fog)),
+            fog_to_server_bytes: counter(&link_bytes_metric(Tier::Fog, Tier::Server)),
+            server_to_cloud_bytes: counter(&link_bytes_metric(Tier::Server, Tier::Cloud)),
+            tier_utilization,
+            makespan_s: makespan,
+        })
+    }
 }
 
 /// The simulator: executes a [`Workload`] against a [`Topology`] under a
@@ -73,6 +155,7 @@ impl SimReport {
 #[derive(Debug)]
 pub struct FogSimulator {
     topology: Topology,
+    telemetry: TelemetryHandle,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,9 +165,25 @@ enum Resource {
 }
 
 impl FogSimulator {
-    /// Creates a simulator over `topology`.
+    /// Creates a simulator over `topology` with telemetry disabled.
     pub fn new(topology: Topology) -> Self {
-        FogSimulator { topology }
+        FogSimulator {
+            topology,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle; subsequent [`FogSimulator::run`] calls
+    /// emit per-tier queue-wait/busy histograms, per-link byte counters,
+    /// per-job spans, and an exact latency histogram through it.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the telemetry handle in place.
+    pub fn set_telemetry(&mut self, telemetry: TelemetryHandle) {
+        self.telemetry = telemetry;
     }
 
     /// The topology being simulated.
@@ -94,63 +193,170 @@ impl FogSimulator {
 
     fn plan(&self, job: &Job, placement: Placement, edge: FogNodeId) -> Vec<Step> {
         let topo = &self.topology;
-        let fog = topo.ancestor_at(edge, Tier::Fog).expect("edge has a fog parent");
-        let server = topo.ancestor_at(edge, Tier::Server).expect("fog has a server parent");
-        let cloud = topo.ancestor_at(edge, Tier::Cloud).expect("server has a cloud parent");
+        let fog = topo
+            .ancestor_at(edge, Tier::Fog)
+            .expect("edge has a fog parent");
+        let server = topo
+            .ancestor_at(edge, Tier::Server)
+            .expect("fog has a server parent");
+        let cloud = topo
+            .ancestor_at(edge, Tier::Cloud)
+            .expect("server has a cloud parent");
         let ann = job.annotation_bytes;
         match placement {
             Placement::AllEdge => vec![
-                Step::Compute { node: edge, ops: job.total_ops },
-                Step::Transfer { from: edge, to: fog, bytes: ann },
-                Step::Transfer { from: fog, to: server, bytes: ann },
-                Step::Transfer { from: server, to: cloud, bytes: ann },
+                Step::Compute {
+                    node: edge,
+                    ops: job.total_ops,
+                },
+                Step::Transfer {
+                    from: edge,
+                    to: fog,
+                    bytes: ann,
+                },
+                Step::Transfer {
+                    from: fog,
+                    to: server,
+                    bytes: ann,
+                },
+                Step::Transfer {
+                    from: server,
+                    to: cloud,
+                    bytes: ann,
+                },
             ],
             Placement::ServerOnly => vec![
-                Step::Transfer { from: edge, to: fog, bytes: job.raw_bytes },
-                Step::Transfer { from: fog, to: server, bytes: job.raw_bytes },
-                Step::Compute { node: server, ops: job.total_ops },
-                Step::Transfer { from: server, to: cloud, bytes: ann },
+                Step::Transfer {
+                    from: edge,
+                    to: fog,
+                    bytes: job.raw_bytes,
+                },
+                Step::Transfer {
+                    from: fog,
+                    to: server,
+                    bytes: job.raw_bytes,
+                },
+                Step::Compute {
+                    node: server,
+                    ops: job.total_ops,
+                },
+                Step::Transfer {
+                    from: server,
+                    to: cloud,
+                    bytes: ann,
+                },
             ],
             Placement::AllCloud => vec![
-                Step::Transfer { from: edge, to: fog, bytes: job.raw_bytes },
-                Step::Transfer { from: fog, to: server, bytes: job.raw_bytes },
-                Step::Transfer { from: server, to: cloud, bytes: job.raw_bytes },
-                Step::Compute { node: cloud, ops: job.total_ops },
+                Step::Transfer {
+                    from: edge,
+                    to: fog,
+                    bytes: job.raw_bytes,
+                },
+                Step::Transfer {
+                    from: fog,
+                    to: server,
+                    bytes: job.raw_bytes,
+                },
+                Step::Transfer {
+                    from: server,
+                    to: cloud,
+                    bytes: job.raw_bytes,
+                },
+                Step::Compute {
+                    node: cloud,
+                    ops: job.total_ops,
+                },
             ],
-            Placement::EarlyExit { local_fraction, feature_bytes } => {
+            Placement::EarlyExit {
+                local_fraction,
+                feature_bytes,
+            } => {
                 let local = local_fraction.clamp(0.0, 1.0);
-                let mut steps = vec![Step::Compute { node: edge, ops: job.total_ops * local }];
+                let mut steps = vec![Step::Compute {
+                    node: edge,
+                    ops: job.total_ops * local,
+                }];
                 if job.escalates {
-                    steps.push(Step::Transfer { from: edge, to: fog, bytes: feature_bytes });
-                    steps.push(Step::Transfer { from: fog, to: server, bytes: feature_bytes });
+                    steps.push(Step::Transfer {
+                        from: edge,
+                        to: fog,
+                        bytes: feature_bytes,
+                    });
+                    steps.push(Step::Transfer {
+                        from: fog,
+                        to: server,
+                        bytes: feature_bytes,
+                    });
                     steps.push(Step::Compute {
                         node: server,
                         ops: job.total_ops * (1.0 - local),
                     });
-                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                    steps.push(Step::Transfer {
+                        from: server,
+                        to: cloud,
+                        bytes: ann,
+                    });
                 } else {
-                    steps.push(Step::Transfer { from: edge, to: fog, bytes: ann });
-                    steps.push(Step::Transfer { from: fog, to: server, bytes: ann });
-                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                    steps.push(Step::Transfer {
+                        from: edge,
+                        to: fog,
+                        bytes: ann,
+                    });
+                    steps.push(Step::Transfer {
+                        from: fog,
+                        to: server,
+                        bytes: ann,
+                    });
+                    steps.push(Step::Transfer {
+                        from: server,
+                        to: cloud,
+                        bytes: ann,
+                    });
                 }
                 steps
             }
-            Placement::FogAssisted { local_fraction, feature_bytes } => {
+            Placement::FogAssisted {
+                local_fraction,
+                feature_bytes,
+            } => {
                 let local = local_fraction.clamp(0.0, 1.0);
                 let mut steps = vec![
-                    Step::Transfer { from: edge, to: fog, bytes: job.raw_bytes },
-                    Step::Compute { node: fog, ops: job.total_ops * local },
+                    Step::Transfer {
+                        from: edge,
+                        to: fog,
+                        bytes: job.raw_bytes,
+                    },
+                    Step::Compute {
+                        node: fog,
+                        ops: job.total_ops * local,
+                    },
                 ];
                 if job.escalates {
-                    steps.push(Step::Transfer { from: fog, to: server, bytes: feature_bytes });
+                    steps.push(Step::Transfer {
+                        from: fog,
+                        to: server,
+                        bytes: feature_bytes,
+                    });
                     steps.push(Step::Compute {
                         node: server,
                         ops: job.total_ops * (1.0 - local),
                     });
-                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                    steps.push(Step::Transfer {
+                        from: server,
+                        to: cloud,
+                        bytes: ann,
+                    });
                 } else {
-                    steps.push(Step::Transfer { from: fog, to: server, bytes: ann });
-                    steps.push(Step::Transfer { from: server, to: cloud, bytes: ann });
+                    steps.push(Step::Transfer {
+                        from: fog,
+                        to: server,
+                        bytes: ann,
+                    });
+                    steps.push(Step::Transfer {
+                        from: server,
+                        to: cloud,
+                        bytes: ann,
+                    });
                 }
                 steps
             }
@@ -184,12 +390,23 @@ impl FogSimulator {
         let mut boundary_bytes: HashMap<(Tier, Tier), u64> = HashMap::new();
         let mut completion: Vec<Option<SimTime>> = vec![None; plans.len()];
 
+        // Per-tier metric names, formatted once (the event loop is hot).
+        let recording = self.telemetry.is_enabled();
+        let queue_wait_names: Vec<String> = Tier::ALL
+            .iter()
+            .map(|t| format!("scfog_sim_queue_wait_{}_seconds", t.name()))
+            .collect();
+        let tier_idx = |t: Tier| Tier::ALL.iter().position(|&x| x == t).expect("known tier");
+
         while let Some((now, (ji, si))) = queue.pop() {
             let step = &plans[ji][si];
             let (resource, duration) = match step {
                 Step::Compute { node, ops } => {
                     let flops = self.topology.spec(*node).flops;
-                    (Resource::Node(*node), SimDuration::from_secs_f64(ops / flops))
+                    (
+                        Resource::Node(*node),
+                        SimDuration::from_secs_f64(ops / flops),
+                    )
                 }
                 Step::Transfer { from, to, bytes } => {
                     let (_, link) = self
@@ -217,6 +434,18 @@ impl FogSimulator {
             busy_until.insert(resource, finish);
             *busy_total.entry(resource).or_default() += duration.as_secs_f64();
 
+            if recording {
+                let tier = match step {
+                    Step::Compute { node, .. } => self.topology.tier(*node),
+                    Step::Transfer { from, .. } => self.topology.tier(*from),
+                };
+                self.telemetry.observe(
+                    &queue_wait_names[tier_idx(tier)],
+                    "time each step waited for its node or link, by tier",
+                    start.saturating_since(now).as_secs_f64(),
+                );
+            }
+
             if si + 1 < plans[ji].len() {
                 queue.schedule(finish, (ji, si + 1));
             } else {
@@ -224,23 +453,21 @@ impl FogSimulator {
             }
         }
 
-        // Latencies.
-        let mut latencies: Vec<f64> = workload
+        // Latencies, summarized by the workspace-wide nearest-rank helper.
+        let latencies: Vec<f64> = workload
             .jobs()
             .iter()
             .zip(&completion)
             .map(|(j, c)| (c.expect("job completed") - j.arrival).as_secs_f64())
             .collect();
-        latencies.sort_by(f64::total_cmp);
-        let n = latencies.len();
-        let pct = |p: f64| latencies[((n as f64 * p) as usize).min(n - 1)];
+        let stats = SampleSummary::from_sample(&latencies).expect("non-empty workload");
         let makespan = completion
             .iter()
             .map(|c| c.expect("job completed").as_secs_f64())
             .fold(0.0f64, f64::max);
 
         // Tier utilization.
-        let tier_utilization = Tier::ALL
+        let tier_utilization: Vec<TierUtilization> = Tier::ALL
             .iter()
             .map(|&tier| {
                 let nodes = self.topology.nodes_in_tier(tier);
@@ -260,21 +487,86 @@ impl FogSimulator {
             })
             .collect();
 
+        if recording {
+            self.record_run(
+                workload,
+                &completion,
+                &latencies,
+                makespan,
+                &tier_utilization,
+                &boundary_bytes,
+            );
+        }
+
         SimReport {
-            jobs: n,
-            mean_latency_s: latencies.iter().sum::<f64>() / n as f64,
-            p50_latency_s: pct(0.50),
-            p95_latency_s: pct(0.95),
-            max_latency_s: latencies[n - 1],
+            jobs: stats.count,
+            mean_latency_s: stats.mean(),
+            p50_latency_s: stats.p50,
+            p95_latency_s: stats.p95,
+            p99_latency_s: stats.p99,
+            max_latency_s: stats.max,
             edge_to_fog_bytes: *boundary_bytes.get(&(Tier::Edge, Tier::Fog)).unwrap_or(&0),
-            fog_to_server_bytes: *boundary_bytes
-                .get(&(Tier::Fog, Tier::Server))
-                .unwrap_or(&0),
+            fog_to_server_bytes: *boundary_bytes.get(&(Tier::Fog, Tier::Server)).unwrap_or(&0),
             server_to_cloud_bytes: *boundary_bytes
                 .get(&(Tier::Server, Tier::Cloud))
                 .unwrap_or(&0),
             tier_utilization,
             makespan_s: makespan,
+        }
+    }
+
+    /// Emits end-of-run aggregates so [`SimReport::from_registry`] can
+    /// reconstruct the report as a pure view over the registry.
+    #[allow(clippy::too_many_arguments)]
+    fn record_run(
+        &self,
+        workload: &Workload,
+        completion: &[Option<SimTime>],
+        latencies: &[f64],
+        makespan: f64,
+        tier_utilization: &[TierUtilization],
+        boundary_bytes: &HashMap<(Tier, Tier), u64>,
+    ) {
+        let t = &self.telemetry;
+        t.counter_add(
+            METRIC_JOBS,
+            "jobs completed by the fog simulator",
+            latencies.len() as u64,
+        );
+        for &l in latencies {
+            t.observe_exact(METRIC_JOB_LATENCY, "end-to-end job latency (exact)", l);
+        }
+        t.observe_exact(METRIC_MAKESPAN, "completion time of the last job", makespan);
+        for (ji, (job, done)) in workload.jobs().iter().zip(completion).enumerate() {
+            t.span(
+                "scfog",
+                &format!("job/{ji}"),
+                job.arrival,
+                done.expect("job completed"),
+            );
+        }
+        for u in tier_utilization {
+            t.observe_exact(
+                &busy_metric(u.tier),
+                "total busy seconds across the tier's nodes",
+                u.busy_secs,
+            );
+            t.gauge_set(
+                &nodes_metric(u.tier),
+                "nodes in the tier",
+                self.topology.nodes_in_tier(u.tier).len() as i64,
+            );
+        }
+        for (from, to) in [
+            (Tier::Edge, Tier::Fog),
+            (Tier::Fog, Tier::Server),
+            (Tier::Server, Tier::Cloud),
+        ] {
+            t.counter_add(
+                &link_bytes_metric(from, to),
+                "bytes shipped across the tier boundary",
+                *boundary_bytes.get(&(from, to)).unwrap_or(&0),
+            );
         }
     }
 }
@@ -299,7 +591,10 @@ mod tests {
             Placement::AllEdge,
             Placement::ServerOnly,
             Placement::AllCloud,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         ] {
             let r = s.run(&w, placement);
             assert_eq!(r.jobs, 40, "{placement:?}");
@@ -336,7 +631,10 @@ mod tests {
     #[test]
     fn early_exit_bytes_scale_with_escalation() {
         let s = sim();
-        let policy = Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 };
+        let policy = Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        };
         let low = s.run(&workload(100, 0.1), policy);
         let high = s.run(&workload(100, 0.9), policy);
         assert!(
@@ -351,7 +649,13 @@ mod tests {
     fn early_exit_beats_all_cloud_on_upstream_bytes() {
         let s = sim();
         let w = workload(60, 0.3);
-        let ee = s.run(&w, Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 });
+        let ee = s.run(
+            &w,
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        );
         let cloud = s.run(&w, Placement::AllCloud);
         assert!(ee.total_upstream_bytes() < cloud.total_upstream_bytes());
     }
@@ -368,10 +672,13 @@ mod tests {
     #[test]
     fn utilization_in_bounds() {
         let s = sim();
-        let r = s.run(&workload(60, 0.5), Placement::EarlyExit {
-            local_fraction: 0.3,
-            feature_bytes: 20_000,
-        });
+        let r = s.run(
+            &workload(60, 0.5),
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        );
         for u in &r.tier_utilization {
             assert!((0.0..=1.0).contains(&u.utilization), "{u:?}");
         }
@@ -428,7 +735,10 @@ mod fog_assisted_tests {
         let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 70);
         let r = s.run(
             &w,
-            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         );
         assert_eq!(r.jobs, 40);
         assert!(r.utilization_of(Tier::Fog) > 0.0, "fog runs the tiny model");
@@ -443,11 +753,17 @@ mod fog_assisted_tests {
         let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 71);
         let edge = s.run(
             &w,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         );
         let fog = s.run(
             &w,
-            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         );
         assert!(
             fog.mean_latency_s < edge.mean_latency_s,
@@ -463,7 +779,10 @@ mod fog_assisted_tests {
         let w = Workload::with_escalation(30, 100_000, 5.0, 0.0, 72); // no escalation
         let r = s.run(
             &w,
-            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         );
         assert_eq!(r.edge_to_fog_bytes, 30 * 100_000, "raw frames to the fog");
         assert_eq!(r.fog_to_server_bytes, 30 * 256, "only annotations upstream");

@@ -22,6 +22,17 @@ impl Tier {
     /// All tiers bottom-up.
     pub const ALL: [Tier; 4] = [Tier::Edge, Tier::Fog, Tier::Server, Tier::Cloud];
 
+    /// Lowercase tier name, used in metric names
+    /// (e.g. `scfog_sim_queue_wait_edge_seconds`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Tier::Edge => "edge",
+            Tier::Fog => "fog",
+            Tier::Server => "server",
+            Tier::Cloud => "cloud",
+        }
+    }
+
     /// The tier above, if any.
     pub fn upstream(self) -> Option<Tier> {
         match self {
@@ -60,19 +71,43 @@ pub struct Link {
 /// slow cellular/WiFi; server→cloud rides Internet2).
 fn default_spec(tier: Tier) -> NodeSpec {
     match tier {
-        Tier::Edge => NodeSpec { flops: 5e8, memory_mb: 1_024 },
-        Tier::Fog => NodeSpec { flops: 5e9, memory_mb: 8_192 },
-        Tier::Server => NodeSpec { flops: 1e11, memory_mb: 131_072 },
-        Tier::Cloud => NodeSpec { flops: 1e12, memory_mb: 1_048_576 },
+        Tier::Edge => NodeSpec {
+            flops: 5e8,
+            memory_mb: 1_024,
+        },
+        Tier::Fog => NodeSpec {
+            flops: 5e9,
+            memory_mb: 8_192,
+        },
+        Tier::Server => NodeSpec {
+            flops: 1e11,
+            memory_mb: 131_072,
+        },
+        Tier::Cloud => NodeSpec {
+            flops: 1e12,
+            memory_mb: 1_048_576,
+        },
     }
 }
 
 fn default_uplink(tier: Tier) -> Link {
     match tier {
-        Tier::Edge => Link { latency: SimDuration::from_millis(5), bandwidth_bps: 2e6 },
-        Tier::Fog => Link { latency: SimDuration::from_millis(10), bandwidth_bps: 2e7 },
-        Tier::Server => Link { latency: SimDuration::from_millis(20), bandwidth_bps: 1.25e9 },
-        Tier::Cloud => Link { latency: SimDuration::ZERO, bandwidth_bps: f64::INFINITY },
+        Tier::Edge => Link {
+            latency: SimDuration::from_millis(5),
+            bandwidth_bps: 2e6,
+        },
+        Tier::Fog => Link {
+            latency: SimDuration::from_millis(10),
+            bandwidth_bps: 2e7,
+        },
+        Tier::Server => Link {
+            latency: SimDuration::from_millis(20),
+            bandwidth_bps: 1.25e9,
+        },
+        Tier::Cloud => Link {
+            latency: SimDuration::ZERO,
+            bandwidth_bps: f64::INFINITY,
+        },
     }
 }
 
@@ -96,7 +131,10 @@ impl Topology {
             edges_per_fog > 0 && fogs_per_server > 0 && servers > 0,
             "fan-outs must be positive"
         );
-        let mut topo = Topology { nodes: Vec::new(), parents: HashMap::new() };
+        let mut topo = Topology {
+            nodes: Vec::new(),
+            parents: HashMap::new(),
+        };
         let cloud = topo.add_node(Tier::Cloud, default_spec(Tier::Cloud));
         for _ in 0..servers {
             let server = topo.add_node(Tier::Server, default_spec(Tier::Server));
@@ -160,7 +198,11 @@ impl Topology {
 
     /// All nodes of a tier.
     pub fn nodes_in_tier(&self, tier: Tier) -> Vec<FogNodeId> {
-        self.nodes.iter().filter(|(_, t, _)| *t == tier).map(|(id, _, _)| *id).collect()
+        self.nodes
+            .iter()
+            .filter(|(_, t, _)| *t == tier)
+            .map(|(id, _, _)| *id)
+            .collect()
     }
 
     /// The upstream chain from `id` (exclusive) to the root (inclusive).

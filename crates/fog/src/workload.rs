@@ -52,7 +52,10 @@ impl Workload {
         escalation_rate: f64,
         seed: u64,
     ) -> Self {
-        assert!((0.0..=1.0).contains(&escalation_rate), "escalation rate in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&escalation_rate),
+            "escalation rate in [0,1]"
+        );
         assert!(rate_hz > 0.0, "arrival rate must be positive");
         let mut rng = SeededRng::new(seed);
         let mut t = SimTime::ZERO;
@@ -70,7 +73,10 @@ impl Workload {
                 }
             })
             .collect();
-        Workload { jobs, escalation_rate }
+        Workload {
+            jobs,
+            escalation_rate,
+        }
     }
 
     /// The jobs in arrival order.

@@ -81,13 +81,33 @@ pub struct CityCoverage {
 fn louisiana_cities() -> Vec<(&'static str, GeoPoint, &'static str, f64)> {
     // (city, anchor, corridor name, corridor length in km)
     vec![
-        ("New Orleans", GeoPoint::new(29.9511, -90.0715), "I-10", 40.0),
-        ("Baton Rouge", GeoPoint::new(30.4515, -91.1871), "I-10/I-110", 45.0),
+        (
+            "New Orleans",
+            GeoPoint::new(29.9511, -90.0715),
+            "I-10",
+            40.0,
+        ),
+        (
+            "Baton Rouge",
+            GeoPoint::new(30.4515, -91.1871),
+            "I-10/I-110",
+            45.0,
+        ),
         ("Houma", GeoPoint::new(29.5958, -90.7195), "US-90", 20.0),
         ("Shreveport", GeoPoint::new(32.5252, -93.7502), "I-20", 35.0),
         ("Lafayette", GeoPoint::new(30.2241, -92.0198), "I-10", 30.0),
-        ("North Shore", GeoPoint::new(30.4755, -90.1009), "I-12", 30.0),
-        ("Lake Charles", GeoPoint::new(30.2266, -93.2174), "I-10", 25.0),
+        (
+            "North Shore",
+            GeoPoint::new(30.4755, -90.1009),
+            "I-12",
+            30.0,
+        ),
+        (
+            "Lake Charles",
+            GeoPoint::new(30.2266, -93.2174),
+            "I-10",
+            25.0,
+        ),
         ("Monroe", GeoPoint::new(32.5093, -92.1193), "I-20", 22.0),
         ("Alexandria", GeoPoint::new(31.3113, -92.4451), "I-49", 20.0),
     ]
@@ -181,8 +201,7 @@ impl CameraNetwork {
         self.cities
             .iter()
             .map(|city| {
-                let cams: Vec<&Camera> =
-                    self.cameras.iter().filter(|c| &c.city == city).collect();
+                let cams: Vec<&Camera> = self.cameras.iter().filter(|c| &c.city == city).collect();
                 let mut positions: Vec<GeoPoint> = cams.iter().map(|c| c.position).collect();
                 // Consecutive spacing along the corridor: order by the axis
                 // the corridor actually spans (its dominant extent).
@@ -192,20 +211,31 @@ impl CameraNetwork {
                 });
                 positions.sort_by(|a, b| {
                     if lon_major {
-                        a.lon().total_cmp(&b.lon()).then(a.lat().total_cmp(&b.lat()))
+                        a.lon()
+                            .total_cmp(&b.lon())
+                            .then(a.lat().total_cmp(&b.lat()))
                     } else {
-                        a.lat().total_cmp(&b.lat()).then(a.lon().total_cmp(&b.lon()))
+                        a.lat()
+                            .total_cmp(&b.lat())
+                            .then(a.lon().total_cmp(&b.lon()))
                     }
                 });
-                let spacing: Vec<f64> =
-                    positions.windows(2).map(|w| w[0].haversine_m(w[1])).collect();
+                let spacing: Vec<f64> = positions
+                    .windows(2)
+                    .map(|w| w[0].haversine_m(w[1]))
+                    .collect();
                 let corridor_km = spacing.iter().sum::<f64>() / 1000.0;
                 let mean_spacing_m = if spacing.is_empty() {
                     0.0
                 } else {
                     spacing.iter().sum::<f64>() / spacing.len() as f64
                 };
-                CityCoverage { city: city.clone(), cameras: cams.len(), corridor_km, mean_spacing_m }
+                CityCoverage {
+                    city: city.clone(),
+                    cameras: cams.len(),
+                    corridor_km,
+                    mean_spacing_m,
+                }
             })
             .collect()
     }
@@ -278,7 +308,11 @@ impl CameraNetworkBuilder {
         for cam in &self.cameras {
             index.insert(cam.position, cam.id);
         }
-        CameraNetwork { cameras: self.cameras, index, cities: self.cities }
+        CameraNetwork {
+            cameras: self.cameras,
+            index,
+            cities: self.cities,
+        }
     }
 }
 
@@ -289,7 +323,11 @@ mod tests {
     #[test]
     fn default_network_exceeds_200_cameras() {
         let net = CameraNetwork::louisiana_default(1);
-        assert!(net.len() > 200, "paper claims >200 cameras, got {}", net.len());
+        assert!(
+            net.len() > 200,
+            "paper claims >200 cameras, got {}",
+            net.len()
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ impl Corridor {
     ///
     /// Panics if fewer than two waypoints are given.
     pub fn new(name: impl Into<String>, waypoints: Vec<GeoPoint>) -> Self {
-        assert!(waypoints.len() >= 2, "a corridor needs at least two waypoints");
+        assert!(
+            waypoints.len() >= 2,
+            "a corridor needs at least two waypoints"
+        );
         let mut cumulative_m = Vec::with_capacity(waypoints.len());
         let mut total = 0.0;
         cumulative_m.push(0.0);
@@ -47,7 +50,11 @@ impl Corridor {
             total += w[0].haversine_m(w[1]);
             cumulative_m.push(total);
         }
-        Corridor { name: name.into(), waypoints, cumulative_m }
+        Corridor {
+            name: name.into(),
+            waypoints,
+            cumulative_m,
+        }
     }
 
     /// The corridor's name.
@@ -75,7 +82,11 @@ impl Corridor {
         };
         let seg_start = self.cumulative_m[seg];
         let seg_len = self.cumulative_m[seg + 1] - seg_start;
-        let t = if seg_len > 0.0 { (d - seg_start) / seg_len } else { 0.0 };
+        let t = if seg_len > 0.0 {
+            (d - seg_start) / seg_len
+        } else {
+            0.0
+        };
         self.waypoints[seg].lerp(self.waypoints[seg + 1], t)
     }
 
@@ -118,7 +129,10 @@ mod tests {
     fn point_at_clamps() {
         let c = i10_stub();
         assert_eq!(c.point_at(-100.0), c.waypoints()[0]);
-        assert_eq!(c.point_at(c.length_m() + 100.0), *c.waypoints().last().unwrap());
+        assert_eq!(
+            c.point_at(c.length_m() + 100.0),
+            *c.waypoints().last().unwrap()
+        );
     }
 
     #[test]

@@ -53,7 +53,10 @@ impl Geofence {
     ///
     /// Panics if fewer than three vertices are given.
     pub fn polygon(vertices: Vec<GeoPoint>) -> Self {
-        assert!(vertices.len() >= 3, "a polygon needs at least three vertices");
+        assert!(
+            vertices.len() >= 3,
+            "a polygon needs at least three vertices"
+        );
         Geofence::Polygon { vertices }
     }
 

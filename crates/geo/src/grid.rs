@@ -40,11 +40,18 @@ impl<T> GridIndex<T> {
     pub fn new(cell_m: f64) -> Self {
         assert!(cell_m > 0.0, "cell size must be positive");
         // 1 degree of latitude ≈ 111.32 km.
-        GridIndex { cell_deg: cell_m / 111_320.0, cells: HashMap::new(), items: Vec::new() }
+        GridIndex {
+            cell_deg: cell_m / 111_320.0,
+            cells: HashMap::new(),
+            items: Vec::new(),
+        }
     }
 
     fn cell_of(&self, p: GeoPoint) -> (i32, i32) {
-        ((p.lat() / self.cell_deg).floor() as i32, (p.lon() / self.cell_deg).floor() as i32)
+        (
+            (p.lat() / self.cell_deg).floor() as i32,
+            (p.lon() / self.cell_deg).floor() as i32,
+        )
     }
 
     /// Inserts an item at `pos`.
@@ -87,7 +94,9 @@ impl<T> GridIndex<T> {
             }
         }
         hits.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        hits.into_iter().map(|(_, i)| (self.items[i].0, &self.items[i].1)).collect()
+        hits.into_iter()
+            .map(|(_, i)| (self.items[i].0, &self.items[i].1))
+            .collect()
     }
 
     /// All items whose position lies inside `bbox`.
@@ -208,10 +217,7 @@ mod tests {
     fn bbox_query() {
         let g = grid_with_line(10);
         let base = GeoPoint::new(30.45, -91.18);
-        let bbox = BoundingBox::new(
-            base.offset_m(-100.0, -100.0),
-            base.offset_m(100.0, 3_500.0),
-        );
+        let bbox = BoundingBox::new(base.offset_m(-100.0, -100.0), base.offset_m(100.0, 3_500.0));
         let ids: Vec<usize> = g.within_bbox(&bbox).iter().map(|(_, &i)| i).collect();
         assert_eq!(ids.len(), 4); // items 0..=3
         for id in 0..4 {

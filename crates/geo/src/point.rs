@@ -31,8 +31,14 @@ impl GeoPoint {
     /// Panics if the latitude is outside `[-90, 90]` or the longitude is
     /// outside `[-180, 180]`.
     pub fn new(lat: f64, lon: f64) -> Self {
-        assert!((-90.0..=90.0).contains(&lat), "latitude out of range: {lat}");
-        assert!((-180.0..=180.0).contains(&lon), "longitude out of range: {lon}");
+        assert!(
+            (-90.0..=90.0).contains(&lat),
+            "latitude out of range: {lat}"
+        );
+        assert!(
+            (-180.0..=180.0).contains(&lon),
+            "longitude out of range: {lon}"
+        );
         GeoPoint { lat, lon }
     }
 
@@ -71,9 +77,12 @@ impl GeoPoint {
     /// approximation, fine for city scales).
     pub fn offset_m(&self, north_m: f64, east_m: f64) -> GeoPoint {
         let dlat = north_m / EARTH_RADIUS_M * 180.0 / std::f64::consts::PI;
-        let dlon = east_m / (EARTH_RADIUS_M * self.lat.to_radians().cos()) * 180.0
-            / std::f64::consts::PI;
-        GeoPoint::new((self.lat + dlat).clamp(-90.0, 90.0), (self.lon + dlon).clamp(-180.0, 180.0))
+        let dlon =
+            east_m / (EARTH_RADIUS_M * self.lat.to_radians().cos()) * 180.0 / std::f64::consts::PI;
+        GeoPoint::new(
+            (self.lat + dlat).clamp(-90.0, 90.0),
+            (self.lon + dlon).clamp(-180.0, 180.0),
+        )
     }
 }
 
@@ -129,7 +138,10 @@ impl BoundingBox {
             min_lon = min_lon.min(p.lon());
             max_lon = max_lon.max(p.lon());
         }
-        Some(BoundingBox::new(GeoPoint::new(min_lat, min_lon), GeoPoint::new(max_lat, max_lon)))
+        Some(BoundingBox::new(
+            GeoPoint::new(min_lat, min_lon),
+            GeoPoint::new(max_lat, max_lon),
+        ))
     }
 
     /// South-west corner.
@@ -152,7 +164,10 @@ impl BoundingBox {
 
     /// Expands the box by roughly `margin_m` meters on every side.
     pub fn expanded_m(&self, margin_m: f64) -> BoundingBox {
-        BoundingBox::new(self.min.offset_m(-margin_m, -margin_m), self.max.offset_m(margin_m, margin_m))
+        BoundingBox::new(
+            self.min.offset_m(-margin_m, -margin_m),
+            self.max.offset_m(margin_m, margin_m),
+        )
     }
 
     /// Center of the box.

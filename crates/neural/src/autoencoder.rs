@@ -43,7 +43,11 @@ impl Autoencoder {
         dims.extend_from_slice(hidden);
         dims.push(latent);
         for (i, w) in dims.windows(2).enumerate() {
-            encoder.push(Box::new(Dense::new(w[0], w[1], seed.wrapping_add(i as u64))));
+            encoder.push(Box::new(Dense::new(
+                w[0],
+                w[1],
+                seed.wrapping_add(i as u64),
+            )));
             if i + 2 < dims.len() {
                 encoder.push(Box::new(Relu::new()));
             }
@@ -62,7 +66,11 @@ impl Autoencoder {
                 decoder.push(Box::new(Sigmoid::new()));
             }
         }
-        Autoencoder { encoder, decoder, latent }
+        Autoencoder {
+            encoder,
+            decoder,
+            latent,
+        }
     }
 
     /// Latent code width.
@@ -133,7 +141,9 @@ impl FusionAutoencoder {
         seed: u64,
     ) -> Self {
         let enc = |d_in: usize, d_out: usize, s: u64| {
-            Sequential::new().with(Dense::new(d_in, d_out, s)).with(Relu::new())
+            Sequential::new()
+                .with(Dense::new(d_in, d_out, s))
+                .with(Relu::new())
         };
         FusionAutoencoder {
             encoder_a: enc(dim_a, code_a, seed),

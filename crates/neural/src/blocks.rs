@@ -40,7 +40,11 @@ fn concat_channels(parts: &[Tensor]) -> Tensor {
 fn split_channels(t: &Tensor, sizes: &[usize]) -> Vec<Tensor> {
     let s = t.shape();
     let (n, c, h, w) = (s[0], s[1], s[2], s[3]);
-    assert_eq!(sizes.iter().sum::<usize>(), c, "split sizes must cover all channels");
+    assert_eq!(
+        sizes.iter().sum::<usize>(),
+        c,
+        "split sizes must cover all channels"
+    );
     let plane = h * w;
     let mut out = Vec::with_capacity(sizes.len());
     let mut c_off = 0;
@@ -114,7 +118,10 @@ impl ResidualBlock {
         shortcut: Shortcut,
         seed: u64,
     ) -> Self {
-        assert!(in_channels > 0 && out_channels > 0 && stride > 0, "sizes must be positive");
+        assert!(
+            in_channels > 0 && out_channels > 0 && stride > 0,
+            "sizes must be positive"
+        );
         if shortcut == Shortcut::Identity {
             assert!(
                 in_channels == out_channels && stride == 1,
@@ -128,10 +135,17 @@ impl ResidualBlock {
             );
         }
         let shortcut_conv = (shortcut == Shortcut::Conv).then(|| {
-            Conv2d::new(in_channels, out_channels, 1, stride, 0, seed.wrapping_add(91))
+            Conv2d::new(
+                in_channels,
+                out_channels,
+                1,
+                stride,
+                0,
+                seed.wrapping_add(91),
+            )
         });
-        let shortcut_pool = (shortcut == Shortcut::MaxPool && stride > 1)
-            .then(|| MaxPool2d::new(stride, stride));
+        let shortcut_pool =
+            (shortcut == Shortcut::MaxPool && stride > 1).then(|| MaxPool2d::new(stride, stride));
         ResidualBlock {
             conv1: Conv2d::new(in_channels, out_channels, 3, stride, 1, seed),
             relu1: Relu::new(),
@@ -173,12 +187,8 @@ impl ResidualBlock {
                     pooled
                 } else {
                     let s = pooled.shape();
-                    let zeros = Tensor::zeros(vec![
-                        s[0],
-                        self.out_channels - self.in_channels,
-                        s[2],
-                        s[3],
-                    ]);
+                    let zeros =
+                        Tensor::zeros(vec![s[0], self.out_channels - self.in_channels, s[2], s[3]]);
                     concat_channels(&[pooled, zeros])
                 }
             }
@@ -188,15 +198,20 @@ impl ResidualBlock {
     fn shortcut_backward(&mut self, grad: &Tensor) -> Tensor {
         match self.shortcut {
             Shortcut::Identity => grad.clone(),
-            Shortcut::Conv => {
-                self.shortcut_conv.as_mut().expect("set in constructor").backward(grad)
-            }
+            Shortcut::Conv => self
+                .shortcut_conv
+                .as_mut()
+                .expect("set in constructor")
+                .backward(grad),
             Shortcut::MaxPool => {
                 let g = if self.out_channels == self.in_channels {
                     grad.clone()
                 } else {
-                    split_channels(grad, &[self.in_channels, self.out_channels - self.in_channels])
-                        .swap_remove(0)
+                    split_channels(
+                        grad,
+                        &[self.in_channels, self.out_channels - self.in_channels],
+                    )
+                    .swap_remove(0)
                 };
                 match self.shortcut_pool.as_mut() {
                     Some(pool) => pool.backward(&g),
@@ -280,13 +295,13 @@ impl Layer for ResidualBlock {
 /// ```
 #[derive(Debug)]
 pub struct InceptionBlock {
-    b1: Conv2d,            // 1x1
-    b2a: Conv2d,           // 1x1 reduce
-    b2b: Conv2d,           // 3x3
-    b3a: Conv2d,           // 1x1 reduce
-    b3b: Conv2d,           // 5x5
-    b4pool: MaxPool2d,     // 3x3 stride 1 (same padding emulated below)
-    b4conv: Conv2d,        // 1x1 after pool
+    b1: Conv2d,        // 1x1
+    b2a: Conv2d,       // 1x1 reduce
+    b2b: Conv2d,       // 3x3
+    b3a: Conv2d,       // 1x1 reduce
+    b3b: Conv2d,       // 5x5
+    b4pool: MaxPool2d, // 3x3 stride 1 (same padding emulated below)
+    b4conv: Conv2d,    // 1x1 after pool
     relus: Vec<Relu>,
     branch_channels: [usize; 4],
 }
@@ -450,7 +465,10 @@ mod tests {
             let fm = bm.forward(&xm, true).sum();
             let num = (fp - fm) / (2.0 * eps);
             let ana = grad_in.data()[idx];
-            assert!((num - ana).abs() < 5e-2, "idx {idx}: numeric {num} analytic {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2,
+                "idx {idx}: numeric {num} analytic {ana}"
+            );
         }
     }
 

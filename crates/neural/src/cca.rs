@@ -122,7 +122,13 @@ impl Cca {
         }
         let wy = syy_inv_sqrt.matmul(&v_k);
 
-        Ok(Cca { correlations, wx, wy, mean_x, mean_y })
+        Ok(Cca {
+            correlations,
+            wx,
+            wy,
+            mean_x,
+            mean_y,
+        })
     }
 
     /// The canonical correlations, strongest first, each in `[0, 1]`.
@@ -218,8 +224,16 @@ mod tests {
     fn recovers_shared_signal() {
         let (x, y) = correlated_views(400, 1, 0.1);
         let cca = Cca::fit(&x, &y, 2, 1e-6).unwrap();
-        assert!(cca.correlations()[0] > 0.9, "top correlation {}", cca.correlations()[0]);
-        assert!(cca.correlations()[1] < 0.4, "second correlation {}", cca.correlations()[1]);
+        assert!(
+            cca.correlations()[0] > 0.9,
+            "top correlation {}",
+            cca.correlations()[0]
+        );
+        assert!(
+            cca.correlations()[1] < 0.4,
+            "second correlation {}",
+            cca.correlations()[1]
+        );
     }
 
     #[test]
@@ -256,7 +270,11 @@ mod tests {
         )
         .unwrap();
         let cca = Cca::fit(&x, &y, 1, 1e-4).unwrap();
-        assert!(cca.correlations()[0] < 0.35, "got {}", cca.correlations()[0]);
+        assert!(
+            cca.correlations()[0] < 0.35,
+            "got {}",
+            cca.correlations()[0]
+        );
     }
 
     #[test]

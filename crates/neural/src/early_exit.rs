@@ -9,11 +9,22 @@
 //! shape for any backbone, with both the confidence policy of Fig. 5 and the
 //! entropy policy of Fig. 7.
 
+use sctelemetry::TelemetryHandle;
+
 use crate::layers::{entropy_rows, softmax_rows, Layer};
 use crate::loss::{Loss, LossTarget};
 use crate::net::Sequential;
 use crate::optim::Optimizer;
 use crate::tensor::Tensor;
+
+/// Metric name of the locally-answered samples counter.
+pub const METRIC_LOCAL_EXITS: &str = "scneural_early_exit_local_total";
+/// Metric name of the server-escalated samples counter.
+pub const METRIC_OFFLOADS: &str = "scneural_early_exit_offload_total";
+/// Metric name of the feature-map bytes shipped upstream.
+pub const METRIC_OFFLOAD_BYTES: &str = "scneural_early_exit_offload_bytes_total";
+/// Metric name of the per-batch local take-rate histogram (exact).
+pub const METRIC_TAKE_RATE: &str = "scneural_early_exit_take_rate_ratio";
 
 /// When to accept the local exit.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +93,7 @@ pub struct EarlyExitNet {
     rest: Sequential,
     final_head: Sequential,
     policy: ExitPolicy,
+    telemetry: TelemetryHandle,
 }
 
 /// Extracts the rows (batch entries) at `indices` from a batched tensor of
@@ -108,7 +120,23 @@ impl EarlyExitNet {
         final_head: Sequential,
         policy: ExitPolicy,
     ) -> Self {
-        EarlyExitNet { front, exit_head, rest, final_head, policy }
+        EarlyExitNet {
+            front,
+            exit_head,
+            rest,
+            final_head,
+            policy,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches telemetry: [`EarlyExitNet::infer`] counts local exits and
+    /// offloads ([`METRIC_LOCAL_EXITS`], [`METRIC_OFFLOADS`]), accumulates
+    /// shipped feature bytes ([`METRIC_OFFLOAD_BYTES`]), and observes the
+    /// per-batch local take-rate into [`METRIC_TAKE_RATE`].
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Replaces the exit policy (e.g. for a threshold sweep).
@@ -146,8 +174,7 @@ impl EarlyExitNet {
         let local_probs = softmax_rows(&self.exit_head.predict(&features));
         let entropies = entropy_rows(&local_probs);
         let n = input.shape()[0];
-        let per_sample_bytes =
-            features.len() / n * std::mem::size_of::<f32>();
+        let per_sample_bytes = features.len() / n * std::mem::size_of::<f32>();
 
         let mut escalate: Vec<usize> = Vec::new();
         let mut decisions: Vec<Option<ExitDecision>> = Vec::with_capacity(n);
@@ -186,7 +213,35 @@ impl EarlyExitNet {
                 });
             }
         }
-        decisions.into_iter().map(|d| d.expect("every sample decided")).collect()
+
+        if self.telemetry.is_enabled() && n > 0 {
+            let offloaded = escalate.len();
+            let local = n - offloaded;
+            self.telemetry.counter_add(
+                METRIC_LOCAL_EXITS,
+                "samples answered at the local exit head",
+                local as u64,
+            );
+            self.telemetry.counter_add(
+                METRIC_OFFLOADS,
+                "samples escalated to the analysis server",
+                offloaded as u64,
+            );
+            self.telemetry.counter_add(
+                METRIC_OFFLOAD_BYTES,
+                "feature-map bytes shipped to the analysis server",
+                (offloaded * per_sample_bytes) as u64,
+            );
+            self.telemetry.observe_exact(
+                METRIC_TAKE_RATE,
+                "fraction of a batch answered locally",
+                local as f64 / n as f64,
+            );
+        }
+        decisions
+            .into_iter()
+            .map(|d| d.expect("every sample decided"))
+            .collect()
     }
 
     /// Jointly trains both exits: `loss = w_local * L(exit) + w_server *
@@ -212,7 +267,9 @@ impl EarlyExitNet {
         let g_feat_local = self.exit_head.backward(&g_local.scale(local_weight));
         let g_deep = self.final_head.backward(&g_server);
         let g_feat_server = self.rest.backward(&g_deep);
-        let g_feat = g_feat_local.add(&g_feat_server).expect("both feature-shaped");
+        let g_feat = g_feat_local
+            .add(&g_feat_server)
+            .expect("both feature-shaped");
         self.front.backward(&g_feat);
 
         let mut params = self.front.params_mut();
@@ -230,8 +287,11 @@ impl EarlyExitNet {
         if classes.is_empty() {
             return 0.0;
         }
-        let correct =
-            decisions.iter().zip(classes).filter(|(d, &c)| d.class == c).count();
+        let correct = decisions
+            .iter()
+            .zip(classes)
+            .filter(|(d, &c)| d.class == c)
+            .count();
         correct as f64 / classes.len() as f64
     }
 
@@ -241,7 +301,10 @@ impl EarlyExitNet {
         if decisions.is_empty() {
             return 0.0;
         }
-        let up = decisions.iter().filter(|d| d.exit == ExitPoint::Server).count();
+        let up = decisions
+            .iter()
+            .filter(|d| d.exit == ExitPoint::Server)
+            .count();
         up as f64 / decisions.len() as f64
     }
 }
@@ -256,9 +319,13 @@ mod tests {
 
     fn toy_net(policy: ExitPolicy) -> EarlyExitNet {
         EarlyExitNet::new(
-            Sequential::new().with(Dense::new(2, 12, 0)).with(Relu::new()),
+            Sequential::new()
+                .with(Dense::new(2, 12, 0))
+                .with(Relu::new()),
             Sequential::new().with(Dense::new(12, 2, 1)),
-            Sequential::new().with(Dense::new(12, 12, 2)).with(Relu::new()),
+            Sequential::new()
+                .with(Dense::new(12, 12, 2))
+                .with(Relu::new()),
             Sequential::new().with(Dense::new(12, 2, 3)),
             policy,
         )
@@ -357,6 +424,43 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_counts_exits_and_take_rate() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut net = toy_net(ExitPolicy::Confidence(1.01)).with_telemetry(t.handle());
+        let (x, _) = blobs(10, 2.0, 7);
+        let d = net.infer(&x);
+        assert!(d.iter().all(|d| d.exit == ExitPoint::Server));
+
+        let reg = t.registry();
+        let counter = |n: &str| reg.get(n).unwrap().as_counter().unwrap().get();
+        assert_eq!(counter(METRIC_LOCAL_EXITS), 0);
+        assert_eq!(counter(METRIC_OFFLOADS), 10);
+        assert_eq!(
+            counter(METRIC_OFFLOAD_BYTES) as usize,
+            10 * d[0].feature_bytes
+        );
+        let rate = reg
+            .get(METRIC_TAKE_RATE)
+            .unwrap()
+            .as_histogram()
+            .unwrap()
+            .snapshot();
+        assert_eq!(rate.count, 1);
+        assert_eq!(rate.max, 0.0, "all escalated → take rate 0");
+
+        net.set_policy(ExitPolicy::Confidence(0.0));
+        net.infer(&x);
+        assert_eq!(counter(METRIC_LOCAL_EXITS), 10);
+        let rate = reg
+            .get(METRIC_TAKE_RATE)
+            .unwrap()
+            .as_histogram()
+            .unwrap()
+            .snapshot();
+        assert_eq!(rate.max, 1.0, "all local → take rate 1");
+    }
+
+    #[test]
     fn decisions_report_policy_quantities() {
         let mut net = toy_net(ExitPolicy::Confidence(0.9));
         let (x, _) = blobs(5, 1.0, 6);
@@ -398,9 +502,8 @@ impl EarlyExitNet {
         // Layout: [first][u32 len][second(len)]
         // Walk back: we need len == remaining-after-field.
         for split in (0..bytes.len().saturating_sub(4)).rev() {
-            let len = u32::from_le_bytes(
-                bytes[split..split + 4].try_into().expect("4 bytes"),
-            ) as usize;
+            let len =
+                u32::from_le_bytes(bytes[split..split + 4].try_into().expect("4 bytes")) as usize;
             if split + 4 + len == bytes.len() && bytes[split + 4..].starts_with(b"SCNN") {
                 return Ok((&bytes[..split], &bytes[split + 4..]));
             }
@@ -443,9 +546,13 @@ mod deploy_tests {
 
     fn net(seed: u64) -> EarlyExitNet {
         EarlyExitNet::new(
-            Sequential::new().with(Dense::new(3, 6, seed)).with(Relu::new()),
+            Sequential::new()
+                .with(Dense::new(3, 6, seed))
+                .with(Relu::new()),
             Sequential::new().with(Dense::new(6, 2, seed + 1)),
-            Sequential::new().with(Dense::new(6, 6, seed + 2)).with(Relu::new()),
+            Sequential::new()
+                .with(Dense::new(6, 6, seed + 2))
+                .with(Relu::new()),
             Sequential::new().with(Dense::new(6, 2, seed + 3)),
             ExitPolicy::Confidence(0.5),
         )

@@ -6,7 +6,12 @@ use crate::tensor::Tensor;
 
 /// Xavier/Glorot uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`. Suits tanh/sigmoid layers.
-pub fn xavier_uniform(shape: Vec<usize>, fan_in: usize, fan_out: usize, rng: &mut SeededRng) -> Tensor {
+pub fn xavier_uniform(
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+    rng: &mut SeededRng,
+) -> Tensor {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt();
     random_uniform(shape, -a, a, rng)
 }
@@ -28,7 +33,9 @@ pub fn random_uniform(shape: Vec<usize>, lo: f64, hi: f64, rng: &mut SeededRng) 
 /// Standard normal initialization scaled by `std_dev`.
 pub fn random_normal(shape: Vec<usize>, std_dev: f64, rng: &mut SeededRng) -> Tensor {
     let n: usize = shape.iter().product();
-    let data = (0..n).map(|_| (rng.next_gaussian() * std_dev) as f32).collect();
+    let data = (0..n)
+        .map(|_| (rng.next_gaussian() * std_dev) as f32)
+        .collect();
     Tensor::from_vec(shape, data).expect("length matches by construction")
 }
 
@@ -50,7 +57,10 @@ mod tests {
         let he = he_uniform(vec![1000], 64, &mut rng);
         let he_max = he.data().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
         let a = (6.0f64 / 64.0).sqrt() as f32;
-        assert!(he_max < a && he_max > a * 0.8, "should nearly fill the range");
+        assert!(
+            he_max < a && he_max > a * 0.8,
+            "should nearly fill the range"
+        );
     }
 
     #[test]
@@ -64,6 +74,9 @@ mod tests {
     fn deterministic_under_seed() {
         let mut a = SeededRng::new(4);
         let mut b = SeededRng::new(4);
-        assert_eq!(he_uniform(vec![8, 8], 8, &mut a), he_uniform(vec![8, 8], 8, &mut b));
+        assert_eq!(
+            he_uniform(vec![8, 8], 8, &mut a),
+            he_uniform(vec![8, 8], 8, &mut b)
+        );
     }
 }

@@ -151,11 +151,18 @@ impl Conv2d {
         pad: usize,
         seed: u64,
     ) -> Self {
-        assert!(kernel > 0 && stride > 0, "kernel and stride must be positive");
+        assert!(
+            kernel > 0 && stride > 0,
+            "kernel and stride must be positive"
+        );
         let mut rng = SeededRng::new(seed);
         let fan_in = in_channels * kernel * kernel;
         Conv2d {
-            weight: Param::new(init::he_uniform(vec![fan_in, out_channels], fan_in, &mut rng)),
+            weight: Param::new(init::he_uniform(
+                vec![fan_in, out_channels],
+                fan_in,
+                &mut rng,
+            )),
             bias: Param::new(Tensor::zeros(vec![1, out_channels])),
             in_channels,
             out_channels,
@@ -187,13 +194,26 @@ impl Layer for Conv2d {
         assert_eq!(shape[1], self.in_channels, "channel mismatch");
         let (n, h, w) = (shape[0], shape[2], shape[3]);
         let (oh, ow) = self.output_hw(h, w);
-        let cols = im2col(input, self.kernel, self.kernel, self.stride, self.pad, oh, ow);
+        let cols = im2col(
+            input,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.pad,
+            oh,
+            ow,
+        );
         // [n*oh*ow, f]
         let out2d = cols
             .matmul(&self.weight.value)
             .expect("im2col width equals weight height")
             .add_row_broadcast(&self.bias.value);
-        self.cache = Some(ConvCache { cols, input_shape: shape, oh, ow });
+        self.cache = Some(ConvCache {
+            cols,
+            input_shape: shape,
+            oh,
+            ow,
+        });
         // Rearrange [n*oh*ow, f] to [n, f, oh, ow].
         let f = self.out_channels;
         let mut out = vec![0.0f32; n * f * oh * ow];
@@ -213,7 +233,9 @@ impl Layer for Conv2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let cache = self.cache.as_ref().expect("backward before forward");
-        let [n, c, h, w] = cache.input_shape[..] else { unreachable!("shape checked") };
+        let [n, c, h, w] = cache.input_shape[..] else {
+            unreachable!("shape checked")
+        };
         let (oh, ow) = (cache.oh, cache.ow);
         let f = self.out_channels;
         // Rearrange grad [n, f, oh, ow] into [n*oh*ow, f].
@@ -230,11 +252,29 @@ impl Layer for Conv2d {
             }
         }
         let g2d = Tensor::from_vec(vec![n * oh * ow, f], g2d).expect("size computed above");
-        let dw = cache.cols.transpose().matmul(&g2d).expect("shapes from forward");
+        let dw = cache
+            .cols
+            .transpose()
+            .matmul(&g2d)
+            .expect("shapes from forward");
         self.weight.grad.add_assign(&dw);
         self.bias.grad.add_assign(&g2d.sum_rows());
-        let dcols = g2d.matmul(&self.weight.value.transpose()).expect("shapes from forward");
-        col2im(&dcols, n, c, h, w, self.kernel, self.kernel, self.stride, self.pad, oh, ow)
+        let dcols = g2d
+            .matmul(&self.weight.value.transpose())
+            .expect("shapes from forward");
+        col2im(
+            &dcols,
+            n,
+            c,
+            h,
+            w,
+            self.kernel,
+            self.kernel,
+            self.stride,
+            self.pad,
+            oh,
+            ow,
+        )
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -266,7 +306,11 @@ impl MaxPool2d {
     /// Panics if `size` or `stride` is zero.
     pub fn new(size: usize, stride: usize) -> Self {
         assert!(size > 0 && stride > 0, "size and stride must be positive");
-        MaxPool2d { size, stride, cache: None }
+        MaxPool2d {
+            size,
+            stride,
+            cache: None,
+        }
     }
 }
 
@@ -337,7 +381,11 @@ impl AvgPool2d {
     /// Panics if `size` or `stride` is zero.
     pub fn new(size: usize, stride: usize) -> Self {
         assert!(size > 0 && stride > 0, "size and stride must be positive");
-        AvgPool2d { size, stride, input_shape: None }
+        AvgPool2d {
+            size,
+            stride,
+            input_shape: None,
+        }
     }
 }
 
@@ -493,7 +541,8 @@ mod tests {
         let mut conv = Conv2d::new(1, 1, 2, 1, 0, 4);
         conv.params_mut()[0].value = Tensor::ones(vec![4, 1]);
         conv.params_mut()[1].value = Tensor::zeros(vec![1, 1]);
-        let x = Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
+        let x =
+            Tensor::from_vec(vec![1, 1, 3, 3], vec![1., 2., 3., 4., 5., 6., 7., 8., 9.]).unwrap();
         let y = conv.forward(&x, true);
         assert_eq!(y.data(), &[12., 16., 24., 28.]);
     }
@@ -521,7 +570,10 @@ mod tests {
             let fm = cm.forward(&xm, true).sum();
             let num = (fp - fm) / (2.0 * eps);
             let ana = grad_in.data()[idx];
-            assert!((num - ana).abs() < 1e-2, "idx {idx}: numeric {num} analytic {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "idx {idx}: numeric {num} analytic {ana}"
+            );
         }
     }
 

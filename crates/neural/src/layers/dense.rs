@@ -65,10 +65,15 @@ impl Layer for Dense {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
-        let dw = input.transpose().matmul(grad_out).expect("shape checked in forward");
+        let dw = input
+            .transpose()
+            .matmul(grad_out)
+            .expect("shape checked in forward");
         self.weight.grad.add_assign(&dw);
         self.bias.grad.add_assign(&grad_out.sum_rows());
-        grad_out.matmul(&self.weight.value.transpose()).expect("shape checked in forward")
+        grad_out
+            .matmul(&self.weight.value.transpose())
+            .expect("shape checked in forward")
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -245,7 +250,9 @@ impl Layer for Flatten {
         let batch = shape[0];
         let features: usize = shape[1..].iter().product();
         self.input_shape = Some(shape);
-        input.reshape(vec![batch, features]).expect("same element count")
+        input
+            .reshape(vec![batch, features])
+            .expect("same element count")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -274,8 +281,15 @@ impl Dropout {
     ///
     /// Panics unless `0 <= p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
-        Dropout { p, rng: SeededRng::new(seed), mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            p,
+            rng: SeededRng::new(seed),
+            mask: None,
+        }
     }
 }
 
@@ -287,9 +301,20 @@ impl Layer for Dropout {
         }
         let keep = 1.0 - self.p;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.chance(self.p as f64) { 0.0 } else { 1.0 / keep })
+            .map(|_| {
+                if self.rng.chance(self.p as f64) {
+                    0.0
+                } else {
+                    1.0 / keep
+                }
+            })
             .collect();
-        let data = input.data().iter().zip(&mask).map(|(&x, &m)| x * m).collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&x, &m)| x * m)
+            .collect();
         self.mask = Some(mask);
         Tensor::from_vec(input.shape().to_vec(), data).expect("same length")
     }
@@ -298,8 +323,12 @@ impl Layer for Dropout {
         match &self.mask {
             None => grad_out.clone(),
             Some(mask) => {
-                let data =
-                    grad_out.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                let data = grad_out
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
                 Tensor::from_vec(grad_out.shape().to_vec(), data).expect("same length")
             }
         }
@@ -370,7 +399,11 @@ impl Layer for BatchNorm1d {
                 for j in 0..d {
                     let xn = (input.at(i, j) - mean[j]) * std_inv[j];
                     normalized.set(i, j, xn);
-                    out.set(i, j, self.gamma.value.at(0, j) * xn + self.beta.value.at(0, j));
+                    out.set(
+                        i,
+                        j,
+                        self.gamma.value.at(0, j) * xn + self.beta.value.at(0, j),
+                    );
                 }
             }
             for j in 0..d {
@@ -379,13 +412,20 @@ impl Layer for BatchNorm1d {
                 self.running_var[j] =
                     (1.0 - self.momentum) * self.running_var[j] + self.momentum * var[j];
             }
-            self.cache = Some(BnCache { normalized, std_inv });
+            self.cache = Some(BnCache {
+                normalized,
+                std_inv,
+            });
         } else {
             for i in 0..n {
                 for j in 0..d {
                     let xn = (input.at(i, j) - self.running_mean[j])
                         / (self.running_var[j] + self.eps).sqrt();
-                    out.set(i, j, self.gamma.value.at(0, j) * xn + self.beta.value.at(0, j));
+                    out.set(
+                        i,
+                        j,
+                        self.gamma.value.at(0, j) * xn + self.beta.value.at(0, j),
+                    );
                 }
             }
             self.cache = None;
@@ -394,7 +434,10 @@ impl Layer for BatchNorm1d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("backward requires a training forward pass");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("backward requires a training forward pass");
         let (n, d) = (grad_out.rows(), grad_out.cols());
         let nf = n as f32;
         let mut grad_in = Tensor::zeros(vec![n, d]);
@@ -458,7 +501,10 @@ mod tests {
             let fm = l2.forward(&xm, true).sum();
             let num = (fp - fm) / (2.0 * eps);
             let ana = grad_in.data()[idx];
-            assert!((num - ana).abs() < 1e-2, "idx {idx}: numeric {num} vs analytic {ana}");
+            assert!(
+                (num - ana).abs() < 1e-2,
+                "idx {idx}: numeric {num} vs analytic {ana}"
+            );
         }
     }
 

@@ -24,7 +24,11 @@ impl Mat {
 
     /// A zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// The identity matrix.
@@ -81,7 +85,11 @@ impl Mat {
 
     /// Scales every element.
     pub fn scale(&self, s: f64) -> Mat {
-        Mat { rows: self.rows, cols: self.cols, data: self.data.iter().map(|x| x * s).collect() }
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
     }
 
     /// Adds `eps` to the diagonal (ridge regularization).
@@ -135,7 +143,10 @@ impl std::ops::IndexMut<(usize, usize)> for Mat {
 ///
 /// Panics if `a` is not square.
 pub fn jacobi_eigen(a: &Mat) -> (Vec<f64>, Mat) {
-    assert_eq!(a.rows, a.cols, "eigendecomposition requires a square matrix");
+    assert_eq!(
+        a.rows, a.cols,
+        "eigendecomposition requires a square matrix"
+    );
     let n = a.rows;
     if n == 0 {
         return (Vec::new(), Mat::zeros(0, 0));

@@ -78,7 +78,9 @@ impl Loss for MeanSquaredError {
         let LossTarget::Values(target) = targets else {
             panic!("MeanSquaredError requires value targets");
         };
-        let diff = predictions.sub(target).expect("prediction/target shape mismatch");
+        let diff = predictions
+            .sub(target)
+            .expect("prediction/target shape mismatch");
         let n = predictions.len() as f32;
         let loss = diff.norm_sq() / n;
         (loss, diff.scale(2.0 / n))

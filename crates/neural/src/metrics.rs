@@ -28,7 +28,10 @@ impl ConfusionMatrix {
     /// Panics if `k == 0`.
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "need at least one class");
-        ConfusionMatrix { k, counts: vec![0; k * k] }
+        ConfusionMatrix {
+            k,
+            counts: vec![0; k * k],
+        }
     }
 
     /// Builds a matrix from parallel actual/predicted label slices.

@@ -1,9 +1,15 @@
 //! Sequential networks and the training loop.
 
+use sctelemetry::TelemetryHandle;
+
 use crate::layers::{softmax_rows, Layer, Param};
 use crate::loss::{Loss, LossTarget};
 use crate::optim::Optimizer;
 use crate::tensor::Tensor;
+
+/// Prefix of the per-layer forward-time histograms: layer `i` with name `n`
+/// observes into `scneural_net_forward_<i>_<n>_seconds` (wall clock).
+pub const METRIC_FORWARD_PREFIX: &str = "scneural_net_forward_";
 
 /// A feed-forward stack of layers executed in order.
 ///
@@ -28,12 +34,21 @@ use crate::tensor::Tensor;
 #[derive(Debug, Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    telemetry: TelemetryHandle,
 }
 
 impl Sequential {
     /// Creates an empty stack.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches telemetry: every forward pass observes per-layer wall-clock
+    /// time into `scneural_net_forward_<index>_<layer>_seconds` histograms
+    /// (see [`METRIC_FORWARD_PREFIX`]).
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Appends a layer (builder style).
@@ -59,7 +74,11 @@ impl Sequential {
 
     /// Total number of trainable scalar parameters.
     pub fn param_count(&self) -> usize {
-        self.layers.iter().flat_map(|l| l.params()).map(|p| p.value.len()).sum()
+        self.layers
+            .iter()
+            .flat_map(|l| l.params())
+            .map(|p| p.value.len())
+            .sum()
     }
 
     /// Layer names in order, for summaries.
@@ -137,15 +156,35 @@ impl Sequential {
         optimizer: &mut dyn Optimizer,
         epochs: usize,
     ) -> Vec<f32> {
-        (0..epochs).map(|_| self.train_step(input, classes, loss, optimizer)).collect()
+        (0..epochs)
+            .map(|_| self.train_step(input, classes, loss, optimizer))
+            .collect()
     }
 }
 
 impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor {
         let mut x = input.clone();
-        for layer in &mut self.layers {
-            x = layer.forward(&x, train);
+        if self.telemetry.is_enabled() {
+            for (i, layer) in self.layers.iter_mut().enumerate() {
+                let metric = format!(
+                    "{}{}_{}_seconds",
+                    METRIC_FORWARD_PREFIX,
+                    i,
+                    layer.name().to_ascii_lowercase()
+                );
+                let start = std::time::Instant::now();
+                x = layer.forward(&x, train);
+                self.telemetry.observe(
+                    &metric,
+                    "wall-clock forward time of one layer",
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+        } else {
+            for layer in &mut self.layers {
+                x = layer.forward(&x, train);
+            }
         }
         x
     }
@@ -159,7 +198,10 @@ impl Layer for Sequential {
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn params(&self) -> Vec<&Param> {
@@ -196,7 +238,11 @@ mod tests {
         let mut loss = SoftmaxCrossEntropy::new();
         let mut opt = Adam::new(0.05);
         let losses = net.fit(&x, &y, &mut loss, &mut opt, 300);
-        assert!(losses.last().unwrap() < &0.05, "final loss {}", losses.last().unwrap());
+        assert!(
+            losses.last().unwrap() < &0.05,
+            "final loss {}",
+            losses.last().unwrap()
+        );
         assert_eq!(net.accuracy(&x, &y), 1.0);
     }
 
@@ -243,7 +289,9 @@ mod tests {
 
     #[test]
     fn param_count_matches_architecture() {
-        let net = Sequential::new().with(Dense::new(3, 4, 0)).with(Dense::new(4, 2, 1));
+        let net = Sequential::new()
+            .with(Dense::new(3, 4, 0))
+            .with(Dense::new(4, 2, 1));
         // (3*4 + 4) + (4*2 + 2) = 16 + 10
         assert_eq!(net.param_count(), 26);
     }
@@ -260,8 +308,34 @@ mod tests {
 
     #[test]
     fn layer_names_in_order() {
-        let net = Sequential::new().with(Dense::new(1, 1, 0)).with(Relu::new());
+        let net = Sequential::new()
+            .with(Dense::new(1, 1, 0))
+            .with(Relu::new());
         assert_eq!(net.layer_names(), vec!["Dense", "Relu"]);
+    }
+
+    #[test]
+    fn telemetry_times_every_layer() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut net = Sequential::new()
+            .with(Dense::new(2, 4, 0))
+            .with(Relu::new())
+            .with(Dense::new(4, 2, 1))
+            .with_telemetry(t.handle());
+        net.predict(&Tensor::ones(vec![3, 2]));
+        net.predict(&Tensor::ones(vec![3, 2]));
+
+        let reg = t.registry();
+        for name in [
+            "scneural_net_forward_0_dense_seconds",
+            "scneural_net_forward_1_relu_seconds",
+            "scneural_net_forward_2_dense_seconds",
+        ] {
+            let h = reg.get(name).unwrap_or_else(|| panic!("missing {name}"));
+            let snap = h.as_histogram().unwrap().snapshot();
+            assert_eq!(snap.count, 2, "{name} observed once per forward");
+            assert!(snap.min >= 0.0);
+        }
     }
 
     #[test]

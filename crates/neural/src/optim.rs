@@ -48,7 +48,11 @@ impl Sgd {
     /// Panics if `lr` is not positive.
     pub fn new(lr: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
-        Sgd { lr, clip: None, decay: 1.0 }
+        Sgd {
+            lr,
+            clip: None,
+            decay: 1.0,
+        }
     }
 
     /// Enables global-norm gradient clipping (builder style).
@@ -113,7 +117,11 @@ impl Momentum {
     pub fn new(lr: f32, mu: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&mu), "momentum must be in [0, 1)");
-        Momentum { lr, mu, velocity: Vec::new() }
+        Momentum {
+            lr,
+            mu,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -126,8 +134,11 @@ impl Optimizer for Momentum {
         }
         for (i, p) in params.into_iter().enumerate() {
             let v = &mut self.velocity[i];
-            for ((v, &g), w) in
-                v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data().to_vec())
+            for ((v, &g), w) in v
+                .data_mut()
+                .iter_mut()
+                .zip(p.grad.data())
+                .zip(p.value.data().to_vec())
             {
                 *v = self.mu * *v + g;
                 let _ = w;
@@ -299,8 +310,7 @@ mod clip_tests {
         let mut refs = vec![&mut a, &mut b];
         let pre = clip_global_norm(&mut refs, 1.0);
         assert!((pre - 68.0f32.sqrt()).abs() < 1e-4);
-        let post: f32 =
-            (a.grad.norm_sq() + b.grad.norm_sq()).sqrt();
+        let post: f32 = (a.grad.norm_sq() + b.grad.norm_sq()).sqrt();
         assert!((post - 1.0).abs() < 1e-5, "post-clip norm {post}");
     }
 

@@ -63,12 +63,7 @@ impl Lstm {
     pub fn new(input_size: usize, hidden: usize, seed: u64) -> Self {
         assert!(input_size > 0 && hidden > 0, "sizes must be positive");
         let mut rng = SeededRng::new(seed);
-        let wx = init::xavier_uniform(
-            vec![input_size, 4 * hidden],
-            input_size,
-            hidden,
-            &mut rng,
-        );
+        let wx = init::xavier_uniform(vec![input_size, 4 * hidden], input_size, hidden, &mut rng);
         let wh = init::xavier_uniform(vec![hidden, 4 * hidden], hidden, hidden, &mut rng);
         let mut b = Tensor::zeros(vec![1, 4 * hidden]);
         // Forget-gate bias = 1.
@@ -108,7 +103,11 @@ fn sigmoid(x: f32) -> f32 {
 impl Layer for Lstm {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         let shape = input.shape();
-        assert_eq!(shape.len(), 3, "Lstm expects [batch, time, features], got {shape:?}");
+        assert_eq!(
+            shape.len(),
+            3,
+            "Lstm expects [batch, time, features], got {shape:?}"
+        );
         assert_eq!(shape[2], self.input_size, "feature size mismatch");
         let (n, t_len) = (shape[0], shape[1]);
         let h = self.hidden;
@@ -158,7 +157,14 @@ impl Layer for Lstm {
             hs.push(h_t);
             cs.push(c_t);
         }
-        self.cache = Some(LstmCache { xs, hs, cs, gates, n, t: t_len });
+        self.cache = Some(LstmCache {
+            xs,
+            hs,
+            cs,
+            gates,
+            n,
+            t: t_len,
+        });
         Tensor::from_vec(vec![n, t_len, h], out).expect("size computed above")
     }
 
@@ -214,8 +220,12 @@ impl Layer for Lstm {
             }
 
             // Parameter gradients.
-            self.wx.grad.add_assign(&x_t.transpose().matmul(&dz).expect("shapes fixed"));
-            self.wh.grad.add_assign(&h_prev.transpose().matmul(&dz).expect("shapes fixed"));
+            self.wx
+                .grad
+                .add_assign(&x_t.transpose().matmul(&dz).expect("shapes fixed"));
+            self.wh
+                .grad
+                .add_assign(&h_prev.transpose().matmul(&dz).expect("shapes fixed"));
             self.b.grad.add_assign(&dz.sum_rows());
 
             // Input and recurrent gradients.
@@ -349,11 +359,7 @@ mod tests {
     #[test]
     fn lstm_gradient_check_input() {
         let mut lstm = Lstm::new(2, 3, 3);
-        let x = Tensor::from_vec(
-            vec![1, 3, 2],
-            vec![0.5, -0.2, 0.1, 0.8, -0.4, 0.3],
-        )
-        .unwrap();
+        let x = Tensor::from_vec(vec![1, 3, 2], vec![0.5, -0.2, 0.1, 0.8, -0.4, 0.3]).unwrap();
         let y = lstm.forward(&x, true);
         let grad_in = lstm.backward(&Tensor::ones(y.shape().to_vec()));
 
@@ -369,7 +375,10 @@ mod tests {
             let fm = l3.forward(&xm, true).sum();
             let num = (fp - fm) / (2.0 * eps);
             let ana = grad_in.data()[idx];
-            assert!((num - ana).abs() < 2e-2, "idx {idx}: numeric {num} analytic {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "idx {idx}: numeric {num} analytic {ana}"
+            );
         }
     }
 

@@ -87,8 +87,7 @@ pub fn load_params(layer: &mut dyn Layer, bytes: &[u8]) -> Result<(), LoadError>
         )));
     }
     for p in params.iter_mut() {
-        let rank =
-            u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
+        let rank = u32::from_le_bytes(take(&mut cursor, 4)?.try_into().expect("4 bytes")) as usize;
         let mut shape = Vec::with_capacity(rank);
         for _ in 0..rank {
             shape.push(
@@ -150,7 +149,10 @@ mod tests {
         let original = net(2);
         let blob = save_params(&original);
         let mut n = net(2);
-        assert_eq!(load_params(&mut n, &blob[..blob.len() - 3]), Err(LoadError::Truncated));
+        assert_eq!(
+            load_params(&mut n, &blob[..blob.len() - 3]),
+            Err(LoadError::Truncated)
+        );
     }
 
     #[test]
@@ -167,7 +169,9 @@ mod tests {
     fn rejects_shape_mismatch() {
         let blob = save_params(&net(4));
         // Same param count (4), different shapes.
-        let mut other = Sequential::new().with(Dense::new(5, 3, 0)).with(Dense::new(3, 2, 1));
+        let mut other = Sequential::new()
+            .with(Dense::new(5, 3, 0))
+            .with(Dense::new(3, 2, 1));
         assert!(matches!(
             load_params(&mut other, &blob),
             Err(LoadError::ArchitectureMismatch(_))

@@ -32,7 +32,11 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeDataMismatch { shape, len } => {
-                write!(f, "shape {shape:?} requires {} elements, got {len}", shape.iter().product::<usize>())
+                write!(
+                    f,
+                    "shape {shape:?} requires {} elements, got {len}",
+                    shape.iter().product::<usize>()
+                )
             }
             TensorError::ShapeMismatch { left, right } => {
                 write!(f, "incompatible shapes {left:?} and {right:?}")
@@ -79,7 +83,10 @@ impl Tensor {
     pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
         let expected: usize = shape.iter().product();
         if expected != data.len() {
-            return Err(TensorError::ShapeDataMismatch { shape, len: data.len() });
+            return Err(TensorError::ShapeDataMismatch {
+                shape,
+                len: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -87,19 +94,28 @@ impl Tensor {
     /// A tensor of zeros.
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// A tensor of ones.
     pub fn ones(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![1.0; n] }
+        Tensor {
+            shape,
+            data: vec![1.0; n],
+        }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// The `n`×`n` identity matrix.
@@ -147,7 +163,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn rows(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "rows() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "rows() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         self.shape[0]
     }
 
@@ -157,7 +178,12 @@ impl Tensor {
     ///
     /// Panics if the tensor is not 2-D.
     pub fn cols(&self) -> usize {
-        assert_eq!(self.shape.len(), 2, "cols() requires a 2-D tensor, got {:?}", self.shape);
+        assert_eq!(
+            self.shape.len(),
+            2,
+            "cols() requires a 2-D tensor, got {:?}",
+            self.shape
+        );
         self.shape[1]
     }
 
@@ -189,9 +215,15 @@ impl Tensor {
     pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, TensorError> {
         let n: usize = shape.iter().product();
         if n != self.data.len() {
-            return Err(TensorError::BadReshape { from: self.shape.clone(), to: shape });
+            return Err(TensorError::BadReshape {
+                from: self.shape.clone(),
+                to: shape,
+            });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Matrix multiplication of two 2-D tensors.
@@ -223,7 +255,10 @@ impl Tensor {
                 }
             }
         }
-        Ok(Tensor { shape: vec![m, n], data: out })
+        Ok(Tensor {
+            shape: vec![m, n],
+            data: out,
+        })
     }
 
     /// Transpose of a 2-D tensor.
@@ -239,7 +274,10 @@ impl Tensor {
                 out[j * r + i] = self.data[i * c + j];
             }
         }
-        Tensor { shape: vec![c, r], data: out }
+        Tensor {
+            shape: vec![c, r],
+            data: out,
+        }
     }
 
     /// Element-wise addition.
@@ -276,8 +314,16 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
-        let data = self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect();
-        Ok(Tensor { shape: self.shape.clone(), data })
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data,
+        })
     }
 
     /// Adds `other` into `self` in place.
@@ -294,12 +340,18 @@ impl Tensor {
 
     /// Multiplies every element by `s`, returning a new tensor.
     pub fn scale(&self, s: f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| x * s).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| x * s).collect(),
+        }
     }
 
     /// Applies `f` element-wise, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Sum of all elements.
@@ -343,7 +395,10 @@ impl Tensor {
     /// Panics if out of bounds or not 2-D.
     pub fn row(&self, i: usize) -> Tensor {
         let c = self.cols();
-        Tensor { shape: vec![1, c], data: self.data[i * c..(i + 1) * c].to_vec() }
+        Tensor {
+            shape: vec![1, c],
+            data: self.data[i * c..(i + 1) * c].to_vec(),
+        }
     }
 
     /// Stacks 2-D tensors with identical column counts vertically.
@@ -370,7 +425,10 @@ impl Tensor {
             rows += p.rows();
             data.extend_from_slice(&p.data);
         }
-        Ok(Tensor { shape: vec![rows, cols], data })
+        Ok(Tensor {
+            shape: vec![rows, cols],
+            data,
+        })
     }
 
     /// Concatenates 2-D tensors with identical row counts horizontally.
@@ -401,7 +459,10 @@ impl Tensor {
                 data.extend_from_slice(&p.data[r * c..(r + 1) * c]);
             }
         }
-        Ok(Tensor { shape: vec![rows, total_cols], data })
+        Ok(Tensor {
+            shape: vec![rows, total_cols],
+            data,
+        })
     }
 
     /// Splits a 2-D tensor horizontally at column `at`, returning
@@ -420,8 +481,14 @@ impl Tensor {
             right.extend_from_slice(&self.data[i * c + at..(i + 1) * c]);
         }
         (
-            Tensor { shape: vec![r, at], data: left },
-            Tensor { shape: vec![r, c - at], data: right },
+            Tensor {
+                shape: vec![r, at],
+                data: left,
+            },
+            Tensor {
+                shape: vec![r, c - at],
+                data: right,
+            },
         )
     }
 
@@ -438,7 +505,10 @@ impl Tensor {
                 out[j] += self.data[i * c + j];
             }
         }
-        Tensor { shape: vec![1, c], data: out }
+        Tensor {
+            shape: vec![1, c],
+            data: out,
+        }
     }
 
     /// Adds a `[1, cols]` bias row to every row of a 2-D tensor.
@@ -455,7 +525,10 @@ impl Tensor {
                 data[i * c + j] += bias.data[j];
             }
         }
-        Tensor { shape: self.shape.clone(), data }
+        Tensor {
+            shape: self.shape.clone(),
+            data,
+        }
     }
 
     /// Squared Frobenius norm.
@@ -509,7 +582,10 @@ mod tests {
     fn matmul_shape_error() {
         let a = t22();
         let b = Tensor::zeros(vec![3, 2]);
-        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -590,7 +666,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = TensorError::BadReshape { from: vec![2], to: vec![3] };
+        let e = TensorError::BadReshape {
+            from: vec![2],
+            to: vec![3],
+        };
         assert!(e.to_string().contains("reshape"));
     }
 }

@@ -147,8 +147,15 @@ impl Filter {
             Filter::Exists(path) => doc.path(path).is_some(),
             Filter::And(fs) => fs.iter().all(|f| f.matches(doc)),
             Filter::Or(fs) => fs.iter().any(|f| f.matches(doc)),
-            Filter::Near { path, lat, lon, radius_m } => {
-                let Some(obj) = doc.path(path) else { return false };
+            Filter::Near {
+                path,
+                lat,
+                lon,
+                radius_m,
+            } => {
+                let Some(obj) = doc.path(path) else {
+                    return false;
+                };
                 let (Some(dlat), Some(dlon)) = (
                     obj.path("lat").and_then(Doc::as_f64),
                     obj.path("lon").and_then(Doc::as_f64),
@@ -199,7 +206,10 @@ pub struct Collection {
 impl Collection {
     /// Creates an empty collection.
     pub fn new(name: impl Into<String>) -> Self {
-        Collection { name: name.into(), ..Default::default() }
+        Collection {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Collection name.
@@ -337,7 +347,13 @@ impl Collection {
         match filter {
             Filter::Eq(path, v) => {
                 let index = self.indexes.get(path)?;
-                Some(index.by_value.get(&v.order_key()).cloned().unwrap_or_default())
+                Some(
+                    index
+                        .by_value
+                        .get(&v.order_key())
+                        .cloned()
+                        .unwrap_or_default(),
+                )
             }
             Filter::Range(path, lo, hi) => {
                 let index = self.indexes.get(path)?;
@@ -483,10 +499,20 @@ mod tests {
     fn near_filter() {
         let c = seeded();
         // Within 2km of downtown Baton Rouge: the two close incidents.
-        let f = Filter::Near { path: "geo".into(), lat: 30.455, lon: -91.175, radius_m: 2000.0 };
+        let f = Filter::Near {
+            path: "geo".into(),
+            lat: 30.455,
+            lon: -91.175,
+            radius_m: 2000.0,
+        };
         assert_eq!(c.count(&f), 2);
         // New Orleans incident is ~120 km away.
-        let f = Filter::Near { path: "geo".into(), lat: 29.95, lon: -90.07, radius_m: 1000.0 };
+        let f = Filter::Near {
+            path: "geo".into(),
+            lat: 29.95,
+            lon: -90.07,
+            radius_m: 1000.0,
+        };
         assert_eq!(c.count(&f), 1);
     }
 
@@ -502,11 +528,12 @@ mod tests {
     fn remove_updates_index() {
         let mut c = seeded();
         c.create_index("kind");
-        let id = c
-            .find(&Filter::Eq("kind".into(), Doc::Str("homicide".into())))[0]
-            .0;
+        let id = c.find(&Filter::Eq("kind".into(), Doc::Str("homicide".into())))[0].0;
         c.remove(id);
-        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("homicide".into()))), 0);
+        assert_eq!(
+            c.count(&Filter::Eq("kind".into(), Doc::Str("homicide".into()))),
+            0
+        );
     }
 
     #[test]
@@ -558,8 +585,14 @@ mod update_tests {
         let removed = c.remove_where(&Filter::Eq("kind".into(), Doc::Str("purge".into())));
         assert_eq!(removed, 5);
         assert_eq!(c.len(), 5);
-        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("purge".into()))), 0);
-        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("keep".into()))), 5);
+        assert_eq!(
+            c.count(&Filter::Eq("kind".into(), Doc::Str("purge".into()))),
+            0
+        );
+        assert_eq!(
+            c.count(&Filter::Eq("kind".into(), Doc::Str("keep".into()))),
+            5
+        );
     }
 
     #[test]

@@ -27,7 +27,11 @@ impl CellKey {
         family: impl Into<String>,
         qualifier: impl Into<String>,
     ) -> Self {
-        CellKey { row: row.into(), family: family.into(), qualifier: qualifier.into() }
+        CellKey {
+            row: row.into(),
+            family: family.into(),
+            qualifier: qualifier.into(),
+        }
     }
 }
 
@@ -140,7 +144,11 @@ impl Table {
 
     fn log_and_apply(&mut self, key: CellKey, value: Option<Vec<u8>>) {
         self.seq += 1;
-        self.wal.push(WalEntry { seq: self.seq, key: key.clone(), value: value.clone() });
+        self.wal.push(WalEntry {
+            seq: self.seq,
+            key: key.clone(),
+            value: value.clone(),
+        });
         self.memtable.insert(key, (self.seq, value));
         if self.memtable.len() >= self.memtable_budget {
             self.flush();
@@ -213,7 +221,9 @@ impl Table {
                 }
             }
         }
-        newest.into_iter().filter_map(|(k, (_, v))| v.map(|val| (k, val)))
+        newest
+            .into_iter()
+            .filter_map(|(k, (_, v))| v.map(|val| (k, val)))
     }
 
     /// Forces the memtable into a new immutable run and truncates the WAL.
@@ -249,8 +259,10 @@ impl Table {
                 }
             }
         }
-        let entries: Vec<(CellKey, Versioned)> =
-            newest.into_iter().filter(|(_, (_, v))| v.is_some()).collect();
+        let entries: Vec<(CellKey, Versioned)> = newest
+            .into_iter()
+            .filter(|(_, (_, v))| v.is_some())
+            .collect();
         self.runs = vec![SortedRun { entries }];
         self.compactions += 1;
     }
@@ -373,8 +385,7 @@ mod tests {
         t.put("c", "f", "q", v("1"));
         t.delete("b", "f", "q");
         t.flush();
-        let rows: Vec<(String, Vec<u8>)> =
-            t.scan_rows("a", "z").map(|(k, v)| (k.row, v)).collect();
+        let rows: Vec<(String, Vec<u8>)> = t.scan_rows("a", "z").map(|(k, v)| (k.row, v)).collect();
         assert_eq!(rows, vec![("a".into(), v("2")), ("c".into(), v("1"))]);
     }
 

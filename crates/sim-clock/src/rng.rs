@@ -31,7 +31,9 @@ impl SeededRng {
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
         z ^= z >> 31;
-        SeededRng { state: if z == 0 { 0xDEAD_BEEF_CAFE_F00D } else { z } }
+        SeededRng {
+            state: if z == 0 { 0xDEAD_BEEF_CAFE_F00D } else { z },
+        }
     }
 
     /// Derives an independent child generator; used to give each subsystem
@@ -170,7 +172,10 @@ impl SeededRng {
     /// Panics if `weights` is empty or sums to zero.
     pub fn weighted_index(&mut self, weights: &[f64]) -> usize {
         let total: f64 = weights.iter().sum();
-        assert!(!weights.is_empty() && total > 0.0, "weights must be non-empty with positive sum");
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be non-empty with positive sum"
+        );
         let mut target = self.next_f64() * total;
         for (i, w) in weights.iter().enumerate() {
             target -= w;
@@ -277,7 +282,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, (0..50).collect::<Vec<_>>(), "50 elements should not shuffle to identity");
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "50 elements should not shuffle to identity"
+        );
     }
 
     #[test]

@@ -102,8 +102,17 @@ impl GangNetworkGenerator {
     /// # Panics
     ///
     /// Panics if gangs or members are zero, or members < gangs.
-    pub fn custom(gangs: usize, members: usize, civilians: usize, mean_degree: f64, seed: u64) -> Self {
-        assert!(gangs > 0 && members >= gangs, "need at least one member per gang");
+    pub fn custom(
+        gangs: usize,
+        members: usize,
+        civilians: usize,
+        mean_degree: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(
+            gangs > 0 && members >= gangs,
+            "need at least one member per gang"
+        );
         GangNetworkGenerator {
             gangs,
             members,
@@ -166,7 +175,12 @@ impl GangNetworkGenerator {
             }
         }
 
-        GangNetwork { graph, gangs, gang_of, population }
+        GangNetwork {
+            graph,
+            gangs,
+            gang_of,
+            population,
+        }
     }
 }
 
@@ -224,8 +238,12 @@ mod tests {
 
     #[test]
     fn intra_gang_clustering_increases_same_gang_edges() {
-        let low = GangNetworkGenerator::baton_rouge(6).intra_gang_fraction(0.0).generate();
-        let high = GangNetworkGenerator::baton_rouge(6).intra_gang_fraction(0.8).generate();
+        let low = GangNetworkGenerator::baton_rouge(6)
+            .intra_gang_fraction(0.0)
+            .generate();
+        let high = GangNetworkGenerator::baton_rouge(6)
+            .intra_gang_fraction(0.8)
+            .generate();
         let same_gang_edges = |net: &GangNetwork| {
             let members = net.members();
             members

@@ -90,8 +90,11 @@ impl SocialGraph {
 
     /// First-degree associates, sorted.
     pub fn first_degree(&self, p: PersonId) -> Vec<PersonId> {
-        let mut out: Vec<PersonId> =
-            self.adjacency.get(&p).map(|n| n.iter().copied().collect()).unwrap_or_default();
+        let mut out: Vec<PersonId> = self
+            .adjacency
+            .get(&p)
+            .map(|n| n.iter().copied().collect())
+            .unwrap_or_default();
         out.sort_unstable();
         out
     }
@@ -99,8 +102,7 @@ impl SocialGraph {
     /// People at exactly graph distance 2 (second-degree affiliates — "a
     /// relationship connection through a shared co-offender"), sorted.
     pub fn second_degree(&self, p: PersonId) -> Vec<PersonId> {
-        let first: HashSet<PersonId> =
-            self.adjacency.get(&p).cloned().unwrap_or_default();
+        let first: HashSet<PersonId> = self.adjacency.get(&p).cloned().unwrap_or_default();
         let mut second: HashSet<PersonId> = HashSet::new();
         for f in &first {
             if let Some(nn) = self.adjacency.get(f) {
@@ -145,8 +147,11 @@ impl SocialGraph {
     pub fn stats_over(&self, subset: &[PersonId]) -> NetworkStats {
         let n = subset.len().max(1) as f64;
         let first: f64 = subset.iter().map(|&p| self.degree(p) as f64).sum::<f64>() / n;
-        let second: f64 =
-            subset.iter().map(|&p| self.second_degree(p).len() as f64).sum::<f64>() / n;
+        let second: f64 = subset
+            .iter()
+            .map(|&p| self.second_degree(p).len() as f64)
+            .sum::<f64>()
+            / n;
         NetworkStats {
             people: self.person_count(),
             edges: self.edge_count(),

@@ -15,9 +15,15 @@
 use std::collections::HashMap;
 
 use sccompute::graph::{connected_components, pagerank, PropertyGraph};
+use sctelemetry::{SampleSummary, TelemetryHandle};
 
 use crate::generator::GangNetwork;
 use crate::graph::PersonId;
+
+/// Metric name of the people-ranked counter.
+pub const METRIC_RANKED: &str = "scsocial_influence_ranked_total";
+/// Metric name of the exact PageRank-score histogram.
+pub const METRIC_SCORE: &str = "scsocial_influence_score_ratio";
 
 /// Builds the graph-processing view of the full relationship graph.
 pub fn to_property_graph(network: &GangNetwork) -> PropertyGraph<()> {
@@ -75,6 +81,33 @@ pub fn influence_ranking(
         .take(top_k)
         .map(|(p, r)| (p, r, network.gang_of(p)))
         .collect()
+}
+
+/// Distribution of PageRank influence across the whole population, using the
+/// shared nearest-rank percentile convention from [`sctelemetry::stats`].
+/// When `telemetry` is attached, every score is also observed into the
+/// [`METRIC_SCORE`] exact histogram and the population counted into
+/// [`METRIC_RANKED`], so the returned summary is reproducible from a
+/// registry snapshot. Returns `None` for an empty population.
+pub fn influence_summary(
+    network: &GangNetwork,
+    iterations: usize,
+    telemetry: &TelemetryHandle,
+) -> Option<SampleSummary> {
+    let g = to_property_graph(network);
+    let ranks = pagerank(&g, iterations);
+    let scores: Vec<f64> = ranks.into_values().collect();
+    if telemetry.is_enabled() {
+        telemetry.counter_add(
+            METRIC_RANKED,
+            "people ranked by influence",
+            scores.len() as u64,
+        );
+        for &s in &scores {
+            telemetry.observe_exact(METRIC_SCORE, "PageRank influence score", s);
+        }
+    }
+    SampleSummary::from_sample(&scores)
 }
 
 /// Discovered crews: connected components of the member-only subgraph, as
@@ -151,9 +184,37 @@ mod tests {
         // High-degree members should outrank average civilians: the top
         // entry's degree is above the population mean.
         let top_degree = net.graph().degree(top[0].0);
-        let mean_degree =
-            2.0 * net.graph().edge_count() as f64 / net.population() as f64;
-        assert!(top_degree as f64 > mean_degree, "{top_degree} vs {mean_degree}");
+        let mean_degree = 2.0 * net.graph().edge_count() as f64 / net.population() as f64;
+        assert!(
+            top_degree as f64 > mean_degree,
+            "{top_degree} vs {mean_degree}"
+        );
+    }
+
+    #[test]
+    fn influence_summary_matches_registry_view() {
+        let net = clustered_network(2);
+        let t = sctelemetry::Telemetry::shared();
+        let summary = influence_summary(&net, 15, &t.handle()).expect("non-empty population");
+        assert_eq!(summary.count as u32, net.population());
+        assert!(summary.p50 <= summary.p95 && summary.p95 <= summary.p99);
+        assert!(summary.p99 <= summary.max);
+
+        let reg = t.registry();
+        let ranked = reg.get(METRIC_RANKED).unwrap().as_counter().unwrap().get();
+        assert_eq!(ranked, summary.count as u64);
+        let snap = reg
+            .get(METRIC_SCORE)
+            .unwrap()
+            .as_histogram()
+            .unwrap()
+            .snapshot();
+        assert_eq!(snap.count, summary.count as u64);
+        assert_eq!(
+            snap.max, summary.max,
+            "exact histogram reproduces the summary"
+        );
+        assert_eq!(snap.percentile(0.95), Some(summary.p95));
     }
 
     #[test]
@@ -180,7 +241,10 @@ mod tests {
     fn bridge_edges_merge_components() {
         // A single inter-gang co-offense merges crews — exactly why the
         // paper layers tweet evidence on top of raw graph expansion.
-        let p95 = crew_purity(&clustered_network(4), &discover_crews(&clustered_network(4)));
+        let p95 = crew_purity(
+            &clustered_network(4),
+            &discover_crews(&clustered_network(4)),
+        );
         assert!(p95 <= 1.0);
     }
 

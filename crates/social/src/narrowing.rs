@@ -8,7 +8,7 @@
 //! expansion × geofence × time window × risk-vocabulary score.
 
 use scdata::tweets::{Tweet, RISK_WORDS};
-use scgeo::{Geofence, GeoPoint};
+use scgeo::{GeoPoint, Geofence};
 use simclock::{SimDuration, SimTime};
 
 use crate::generator::GangNetwork;
@@ -78,13 +78,20 @@ pub fn person_handle(p: PersonId) -> String {
 
 /// Parses a handle back to a person id.
 pub fn handle_to_person(handle: &str) -> Option<PersonId> {
-    handle.strip_prefix("user_").and_then(|s| s.parse().ok()).map(PersonId)
+    handle
+        .strip_prefix("user_")
+        .and_then(|s| s.parse().ok())
+        .map(PersonId)
 }
 
 impl<'a> Narrower<'a> {
     /// Creates a narrower over a network and corpus.
     pub fn new(network: &'a GangNetwork, tweets: &'a [Tweet], config: NarrowingConfig) -> Self {
-        Narrower { network, tweets, config }
+        Narrower {
+            network,
+            tweets,
+            config,
+        }
     }
 
     /// Whether a tweet falls inside the incident's space-time-risk envelope.
@@ -167,7 +174,12 @@ mod tests {
         }
         // Distractors: second-degree associates tweeting far away / long ago.
         let far = GeoPoint::new(30.60, -91.00);
-        for &p in net.graph().second_degree(incident.seed_person).iter().take(50) {
+        for &p in net
+            .graph()
+            .second_degree(incident.seed_person)
+            .iter()
+            .take(50)
+        {
             tweets.push(gen.benign(&person_handle(p), far, SimTime::from_secs(500_000)));
         }
         tweets
@@ -189,7 +201,11 @@ mod tests {
             g.sort_unstable();
             g
         });
-        assert!(report.reduction_factor > 10.0, "factor {}", report.reduction_factor);
+        assert!(
+            report.reduction_factor > 10.0,
+            "factor {}",
+            report.reduction_factor
+        );
     }
 
     #[test]
@@ -245,8 +261,7 @@ mod tests {
         let field = net.graph().second_degree(incident.seed_person);
         let mut gen = TweetGenerator::new(17);
         // Right place, right time, harmless vocabulary.
-        let tweets =
-            vec![gen.benign(&person_handle(field[0]), incident.location, incident.time)];
+        let tweets = vec![gen.benign(&person_handle(field[0]), incident.location, incident.time)];
         let narrower = Narrower::new(&net, &tweets, NarrowingConfig::default());
         assert!(narrower.narrow(&incident).persons_of_interest.is_empty());
     }

@@ -55,7 +55,11 @@ impl MemoryChannel {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        MemoryChannel { queue: VecDeque::with_capacity(capacity), capacity, ..Default::default() }
+        MemoryChannel {
+            queue: VecDeque::with_capacity(capacity),
+            capacity,
+            ..Default::default()
+        }
     }
 
     /// Enqueues an event.

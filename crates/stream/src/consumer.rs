@@ -2,8 +2,16 @@
 
 use std::collections::BTreeMap;
 
+use sctelemetry::TelemetryHandle;
+
 use crate::event::Event;
 use crate::topic::{Offset, PartitionId, Topic};
+
+/// Metric name of the committed-events counter.
+pub const METRIC_COMMITS: &str = "scstream_consumer_commits_total";
+/// Metric name of the consumer-group lag gauge (events published but not
+/// yet committed), refreshed on every [`ConsumerGroup::lag`] call.
+pub const METRIC_LAG: &str = "scstream_consumer_lag_events";
 
 /// Identifier of a consumer within a group.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,6 +46,7 @@ pub struct ConsumerGroup {
     committed: BTreeMap<PartitionId, Offset>,
     // Offsets handed out but not yet committed, per partition.
     in_flight: BTreeMap<PartitionId, Offset>,
+    telemetry: TelemetryHandle,
 }
 
 impl ConsumerGroup {
@@ -54,7 +63,15 @@ impl ConsumerGroup {
             members: Vec::new(),
             committed: BTreeMap::new(),
             in_flight: BTreeMap::new(),
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches telemetry: commits count into [`METRIC_COMMITS`] and
+    /// [`ConsumerGroup::lag`] refreshes the [`METRIC_LAG`] gauge.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Group name.
@@ -102,20 +119,31 @@ impl ConsumerGroup {
 
     /// Polls up to `max` events for `consumer` from its assigned partitions,
     /// starting from each partition's in-flight position (≥ committed).
-    pub fn poll(&mut self, consumer: ConsumerId, topic: &Topic, max: usize) -> Vec<(PartitionId, Offset, Event)> {
+    pub fn poll(
+        &mut self,
+        consumer: ConsumerId,
+        topic: &Topic,
+        max: usize,
+    ) -> Vec<(PartitionId, Offset, Event)> {
         let mut out = Vec::new();
         for pid in self.assignment(consumer) {
             if out.len() >= max {
                 break;
             }
             let committed = self.committed.get(&pid).copied().unwrap_or_default();
-            let from = self.in_flight.get(&pid).copied().unwrap_or(committed).max(committed);
+            let from = self
+                .in_flight
+                .get(&pid)
+                .copied()
+                .unwrap_or(committed)
+                .max(committed);
             let events = topic.read(pid, from, max - out.len());
             for (i, e) in events.iter().enumerate() {
                 out.push((pid, Offset(from.0 + i as u64), e.clone()));
             }
             if !events.is_empty() {
-                self.in_flight.insert(pid, Offset(from.0 + events.len() as u64));
+                self.in_flight
+                    .insert(pid, Offset(from.0 + events.len() as u64));
             }
         }
         out
@@ -126,6 +154,11 @@ impl ConsumerGroup {
         let next = offset.next();
         let entry = self.committed.entry(partition).or_default();
         if next > *entry {
+            self.telemetry.counter_add(
+                METRIC_COMMITS,
+                "events committed by consumer groups",
+                next.0 - entry.0,
+            );
             *entry = next;
         }
     }
@@ -141,12 +174,19 @@ impl ConsumerGroup {
         self.committed.values().map(|o| o.0).sum()
     }
 
-    /// Lag: events in the topic not yet committed by this group.
+    /// Lag: events in the topic not yet committed by this group. Also
+    /// refreshes the [`METRIC_LAG`] gauge when telemetry is attached.
     pub fn lag(&self, topic: &Topic) -> u64 {
-        (0..self.partitions)
+        let lag: u64 = (0..self.partitions)
             .map(PartitionId)
             .map(|p| topic.end_offset(p).0.saturating_sub(self.committed(p).0))
-            .sum()
+            .sum();
+        self.telemetry.gauge_set(
+            METRIC_LAG,
+            "events published but not yet committed by the group",
+            lag as i64,
+        );
+        lag
     }
 }
 
@@ -191,7 +231,10 @@ mod tests {
             g.commit(*pid, *off);
         }
         assert_eq!(g.lag(&topic), 0);
-        assert!(g.poll(ConsumerId(0), &topic, 100).is_empty(), "nothing left after commit");
+        assert!(
+            g.poll(ConsumerId(0), &topic, 100).is_empty(),
+            "nothing left after commit"
+        );
     }
 
     #[test]
@@ -246,5 +289,31 @@ mod tests {
         let topic = topic_with(10, 2);
         let g = ConsumerGroup::new("g", 2);
         assert_eq!(g.lag(&topic), 10);
+    }
+
+    #[test]
+    fn telemetry_tracks_publish_consume_and_lag() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut topic = Topic::new("t", 2).with_telemetry(t.handle());
+        for i in 0..6 {
+            topic.publish(Event::with_key(format!("k{i}"), vec![i as u8]));
+        }
+        let mut g = ConsumerGroup::new("g", 2).with_telemetry(t.handle());
+        g.join(ConsumerId(0));
+        let events = g.poll(ConsumerId(0), &topic, 100);
+        for (pid, off, _) in &events[..4] {
+            g.commit(*pid, *off);
+        }
+        let lag = g.lag(&topic);
+
+        let reg = t.registry();
+        let counter = |n: &str| reg.get(n).unwrap().as_counter().unwrap().get();
+        assert_eq!(counter(crate::topic::METRIC_PUBLISH), 6);
+        assert_eq!(counter(crate::topic::METRIC_CONSUME), 6);
+        assert!(counter(METRIC_COMMITS) >= 2, "commit counter advances");
+        assert_eq!(
+            reg.get(METRIC_LAG).unwrap().as_gauge().unwrap().get() as u64,
+            lag
+        );
     }
 }

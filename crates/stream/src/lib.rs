@@ -33,10 +33,10 @@ mod topic;
 pub mod windows;
 
 pub use channel::{ChannelError, MemoryChannel};
-pub use consumer::{ConsumerGroup, ConsumerId};
+pub use consumer::{ConsumerGroup, ConsumerId, METRIC_COMMITS, METRIC_LAG};
 pub use event::Event;
 pub use pipeline::{
     CollectingSink, FilterInterceptor, HeaderInterceptor, Interceptor, Pipeline, PipelineStats,
     Sink, Source, VecSource,
 };
-pub use topic::{Offset, PartitionId, Topic};
+pub use topic::{Offset, PartitionId, Topic, METRIC_CONSUME, METRIC_PUBLISH};

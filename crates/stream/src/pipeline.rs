@@ -43,7 +43,10 @@ pub struct HeaderInterceptor {
 impl HeaderInterceptor {
     /// Creates an interceptor stamping `key: value`.
     pub fn new(key: impl Into<String>, value: impl Into<String>) -> Self {
-        HeaderInterceptor { key: key.into(), value: value.into() }
+        HeaderInterceptor {
+            key: key.into(),
+            value: value.into(),
+        }
     }
 }
 
@@ -75,7 +78,10 @@ impl VecSource {
     /// Panics if `batch` is zero.
     pub fn new(events: Vec<Event>, batch: usize) -> Self {
         assert!(batch > 0, "batch must be positive");
-        VecSource { events: events.into_iter(), batch }
+        VecSource {
+            events: events.into_iter(),
+            batch,
+        }
     }
 }
 
@@ -104,7 +110,10 @@ impl CollectingSink {
 
     /// Creates a sink failing its first `n` delivery attempts.
     pub fn failing_first(n: usize) -> Self {
-        CollectingSink { fail_first: n, ..Default::default() }
+        CollectingSink {
+            fail_first: n,
+            ..Default::default()
+        }
     }
 
     /// Total delivery attempts observed.
@@ -225,7 +234,9 @@ impl Pipeline {
             }
         }
         while !self.channel.is_full() {
-            let Some(event) = self.backlog.pop_front() else { break };
+            let Some(event) = self.backlog.pop_front() else {
+                break;
+            };
             worked = true;
             match self.channel.put(event) {
                 Ok(()) => {}
@@ -365,7 +376,9 @@ mod interceptor_tests {
     use super::*;
 
     fn keyed_events(n: u8) -> Vec<Event> {
-        (0..n).map(|i| Event::with_key(format!("k{i}"), vec![i])).collect()
+        (0..n)
+            .map(|i| Event::with_key(format!("k{i}"), vec![i]))
+            .collect()
     }
 
     #[test]
@@ -375,7 +388,9 @@ mod interceptor_tests {
             16,
             Box::new(CollectingSink::new()),
         )
-        .intercept(FilterInterceptor(|e: &Event| e.payload()[0] % 2 == 0));
+        .intercept(FilterInterceptor(|e: &Event| {
+            e.payload()[0].is_multiple_of(2)
+        }));
         let stats = p.run_to_completion(100);
         assert_eq!(stats.delivered, 5, "odd payloads filtered");
         assert_eq!(p.dropped_by_interceptors(), 5);

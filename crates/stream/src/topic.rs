@@ -1,6 +1,13 @@
 //! Partitioned, offset-addressed topics.
 
+use sctelemetry::TelemetryHandle;
+
 use crate::event::Event;
+
+/// Metric name of the published-events counter.
+pub const METRIC_PUBLISH: &str = "scstream_topic_publish_total";
+/// Metric name of the consumed-events counter (events handed out by reads).
+pub const METRIC_CONSUME: &str = "scstream_topic_consume_total";
 
 /// Partition index within a topic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -36,6 +43,7 @@ pub struct Topic {
     name: String,
     partitions: Vec<Vec<Event>>,
     round_robin: u32,
+    telemetry: TelemetryHandle,
 }
 
 impl Topic {
@@ -50,7 +58,15 @@ impl Topic {
             name: name.into(),
             partitions: (0..partitions).map(|_| Vec::new()).collect(),
             round_robin: 0,
+            telemetry: TelemetryHandle::disabled(),
         }
+    }
+
+    /// Attaches telemetry: publishes and reads count into
+    /// [`METRIC_PUBLISH`] / [`METRIC_CONSUME`].
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Topic name.
@@ -87,6 +103,8 @@ impl Topic {
         let log = &mut self.partitions[pid.0 as usize];
         let offset = Offset(log.len() as u64);
         log.push(event);
+        self.telemetry
+            .counter_inc(METRIC_PUBLISH, "events published to topics");
         (pid, offset)
     }
 
@@ -99,6 +117,13 @@ impl Topic {
         let log = &self.partitions[partition.0 as usize];
         let start = (from.0 as usize).min(log.len());
         let end = (start + max).min(log.len());
+        if end > start {
+            self.telemetry.counter_add(
+                METRIC_CONSUME,
+                "events handed out by topic reads",
+                (end - start) as u64,
+            );
+        }
         &log[start..end]
     }
 
@@ -175,7 +200,10 @@ mod tests {
             t.publish(Event::with_key(format!("key-{i}"), b"x".to_vec()));
         }
         let sizes = t.partition_sizes();
-        assert!(sizes.iter().all(|&s| s > 0), "every partition gets traffic: {sizes:?}");
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "every partition gets traffic: {sizes:?}"
+        );
     }
 
     #[test]

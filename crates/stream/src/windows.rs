@@ -7,9 +7,13 @@
 
 use std::collections::BTreeMap;
 
+use sctelemetry::TelemetryHandle;
 use simclock::{SimDuration, SimTime};
 
 use crate::event::Event;
+
+/// Metric name of the flushed-windows counter.
+pub const METRIC_WINDOW_FLUSHES: &str = "scstream_windows_flush_total";
 
 /// One aggregated window.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,8 +62,16 @@ pub fn tumbling(events: &[Event], width: SimDuration) -> Vec<WindowAggregate> {
         return Vec::new();
     }
     let w = width.as_micros();
-    let min_t = events.iter().map(|e| e.timestamp().as_micros()).min().expect("non-empty");
-    let max_t = events.iter().map(|e| e.timestamp().as_micros()).max().expect("non-empty");
+    let min_t = events
+        .iter()
+        .map(|e| e.timestamp().as_micros())
+        .min()
+        .expect("non-empty");
+    let max_t = events
+        .iter()
+        .map(|e| e.timestamp().as_micros())
+        .max()
+        .expect("non-empty");
     let first = min_t / w;
     let last = max_t / w;
     let mut windows: Vec<WindowAggregate> = (first..=last)
@@ -85,8 +97,14 @@ pub fn tumbling(events: &[Event], width: SimDuration) -> Vec<WindowAggregate> {
 ///
 /// Panics if `width` or `slide` is zero, or `slide > width`.
 pub fn sliding(events: &[Event], width: SimDuration, slide: SimDuration) -> Vec<WindowAggregate> {
-    assert!(width.as_micros() > 0 && slide.as_micros() > 0, "width and slide must be positive");
-    assert!(slide.as_micros() <= width.as_micros(), "slide must not exceed width");
+    assert!(
+        width.as_micros() > 0 && slide.as_micros() > 0,
+        "width and slide must be positive"
+    );
+    assert!(
+        slide.as_micros() <= width.as_micros(),
+        "slide must not exceed width"
+    );
     if events.is_empty() {
         return Vec::new();
     }
@@ -110,6 +128,39 @@ pub fn sliding(events: &[Event], width: SimDuration, slide: SimDuration) -> Vec<
         }
     }
     windows.into_values().collect()
+}
+
+/// [`tumbling`] plus telemetry: counts every emitted window into
+/// [`METRIC_WINDOW_FLUSHES`].
+pub fn tumbling_recorded(
+    events: &[Event],
+    width: SimDuration,
+    telemetry: &TelemetryHandle,
+) -> Vec<WindowAggregate> {
+    let wins = tumbling(events, width);
+    telemetry.counter_add(
+        METRIC_WINDOW_FLUSHES,
+        "windows flushed by aggregations",
+        wins.len() as u64,
+    );
+    wins
+}
+
+/// [`sliding`] plus telemetry: counts every emitted window into
+/// [`METRIC_WINDOW_FLUSHES`].
+pub fn sliding_recorded(
+    events: &[Event],
+    width: SimDuration,
+    slide: SimDuration,
+    telemetry: &TelemetryHandle,
+) -> Vec<WindowAggregate> {
+    let wins = sliding(events, width, slide);
+    telemetry.counter_add(
+        METRIC_WINDOW_FLUSHES,
+        "windows flushed by aggregations",
+        wins.len() as u64,
+    );
+    wins
 }
 
 #[cfg(test)]
@@ -159,7 +210,11 @@ mod tests {
     fn sliding_overlap_counts_twice() {
         // width 60, slide 30: an event at t=45 is in windows [0,60) and [30,90).
         let events = vec![at("a", 45)];
-        let wins = sliding(&events, SimDuration::from_secs(60), SimDuration::from_secs(30));
+        let wins = sliding(
+            &events,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(30),
+        );
         assert_eq!(wins.len(), 2);
         assert!(wins.iter().all(|w| w.counts["a"] == 1));
     }
@@ -168,7 +223,11 @@ mod tests {
     fn sliding_equals_tumbling_when_slide_is_width() {
         let events = vec![at("a", 5), at("b", 65), at("a", 70)];
         let t = tumbling(&events, SimDuration::from_secs(60));
-        let s = sliding(&events, SimDuration::from_secs(60), SimDuration::from_secs(60));
+        let s = sliding(
+            &events,
+            SimDuration::from_secs(60),
+            SimDuration::from_secs(60),
+        );
         // Sliding omits empty windows; here none are empty.
         assert_eq!(t.len(), s.len());
         for (a, b) in t.iter().zip(&s) {
@@ -182,7 +241,11 @@ mod tests {
         // Event at 100 with width 50, slide 10: windows starting at
         // 60, 70, 80, 90, 100 → 5 windows.
         let events = vec![at("a", 100)];
-        let wins = sliding(&events, SimDuration::from_secs(50), SimDuration::from_secs(10));
+        let wins = sliding(
+            &events,
+            SimDuration::from_secs(50),
+            SimDuration::from_secs(10),
+        );
         assert_eq!(wins.len(), 5);
         assert_eq!(wins[0].start, SimTime::from_secs(60));
         assert_eq!(wins.last().unwrap().start, SimTime::from_secs(100));

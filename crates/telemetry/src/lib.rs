@@ -1,0 +1,53 @@
+//! # sctelemetry — sim-time-aware observability for the smart-city stack
+//!
+//! The paper's four-layer cyberinfrastructure is defined by latencies, queue
+//! depths, and cross-tier byte flows; this crate is the layer that makes
+//! those visible. It provides:
+//!
+//! - a [`MetricsRegistry`] of [`Counter`]s, [`Gauge`]s, and [`Histogram`]s
+//!   (log-scaled buckets for unbounded volumes, exact samples for
+//!   report-grade order statistics),
+//! - sim-time-aware [`trace::SpanRecord`]s and [`trace::EventRecord`]s whose
+//!   timestamps are `simclock::SimTime`, so traces are **deterministic**:
+//!   the same seed produces byte-identical exports,
+//! - exporters: a deterministic JSON snapshot ([`json_snapshot`]) and a
+//!   Prometheus text-format dump ([`prometheus_text`]).
+//!
+//! Instrumented code holds a [`TelemetryHandle`]; the disabled default costs
+//! one `Option` check per call site (a few nanoseconds, no allocation), so
+//! instrumentation stays unconditionally compiled in. Attach a full
+//! [`Telemetry`] recorder to collect, or any custom [`Recorder`].
+//!
+//! Metric names follow `<crate>_<subsystem>_<thing>_<unit>`
+//! (e.g. `scfog_sim_queue_wait_edge_seconds`); counters end in `_total`.
+//!
+//! # Examples
+//!
+//! ```
+//! use sctelemetry::{Telemetry, prometheus_text};
+//! use simclock::SimTime;
+//!
+//! let t = Telemetry::shared();
+//! let h = t.handle();
+//! h.counter_inc("demo_jobs_total", "jobs processed");
+//! h.observe("demo_latency_seconds", "job latency", 0.012);
+//! h.span("demo", "job", SimTime::ZERO, SimTime::from_millis(12));
+//! let text = prometheus_text(t.registry());
+//! assert!(text.contains("# TYPE demo_jobs_total counter"));
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod stats;
+pub mod trace;
+
+pub use export::{json_snapshot, prometheus_text, trace_json};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramMode, HistogramSnapshot, Metric, MetricEntry,
+    MetricsRegistry,
+};
+pub use stats::{mean, percentile, percentile_sorted, SampleSummary};
+pub use trace::{
+    EventRecord, NoopRecorder, Recorder, SpanRecord, Telemetry, TelemetryHandle, TraceRecord,
+    WallTimer,
+};

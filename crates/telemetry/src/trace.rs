@@ -1,0 +1,414 @@
+//! Sim-time-aware spans and events, the [`Recorder`] sink trait, and the
+//! cheap [`TelemetryHandle`] that instrumented code holds.
+//!
+//! Simulated subsystems do not share a wall clock — their notion of "when"
+//! is `simclock::SimTime`. Spans therefore carry explicit start/end sim
+//! times supplied by the caller, which makes traces **deterministic**: the
+//! same seed produces byte-identical trace output. Wall-clock timing (for
+//! benches and real pipelines) goes through [`TelemetryHandle::wall_timer`],
+//! which feeds a histogram instead of the trace.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use simclock::SimTime;
+
+/// A completed span: a named interval of simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Subsystem that produced the span (e.g. `"scfog"`, `"pipeline"`).
+    pub target: String,
+    /// Operation name (e.g. `"ingest"`, `"stage/annotate"`).
+    pub name: String,
+    /// When the operation began, in simulated time.
+    pub start: SimTime,
+    /// When it finished, in simulated time.
+    pub end: SimTime,
+}
+
+impl SpanRecord {
+    /// Span duration in (simulated) seconds.
+    pub fn duration_s(&self) -> f64 {
+        self.end.saturating_since(self.start).as_secs_f64()
+    }
+}
+
+/// A point-in-time annotation on the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Subsystem that produced the event.
+    pub target: String,
+    /// Event name (e.g. `"replication/start"`).
+    pub name: String,
+    /// When it happened, in simulated time.
+    pub at: SimTime,
+    /// Free-form detail (kept short; exported verbatim).
+    pub detail: String,
+}
+
+/// Ordered trace entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// See [`SpanRecord`].
+    Span(SpanRecord),
+    /// See [`EventRecord`].
+    Event(EventRecord),
+}
+
+impl TraceRecord {
+    /// Sort key: the record's (start) sim time.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceRecord::Span(s) => s.start,
+            TraceRecord::Event(e) => e.at,
+        }
+    }
+}
+
+/// Sink for telemetry signals. All methods default to no-ops so a recorder
+/// may implement only what it cares about; [`NoopRecorder`] implements
+/// nothing at all.
+pub trait Recorder: Send + Sync {
+    /// Adds to a named counter.
+    fn add_to_counter(&self, name: &str, help: &str, n: u64) {
+        let _ = (name, help, n);
+    }
+
+    /// Sets a named gauge.
+    fn set_gauge(&self, name: &str, help: &str, v: i64) {
+        let _ = (name, help, v);
+    }
+
+    /// Records one observation into a named (bucketed) histogram.
+    fn observe(&self, name: &str, help: &str, v: f64) {
+        let _ = (name, help, v);
+    }
+
+    /// Records one observation into a named **exact** histogram (every
+    /// sample retained; percentiles are exact order statistics). For
+    /// bounded, report-grade samples only.
+    fn observe_exact(&self, name: &str, help: &str, v: f64) {
+        let _ = (name, help, v);
+    }
+
+    /// Appends a completed span to the trace.
+    fn record_span(&self, span: SpanRecord) {
+        let _ = span;
+    }
+
+    /// Appends an event to the trace.
+    fn record_event(&self, event: EventRecord) {
+        let _ = event;
+    }
+}
+
+/// Recorder that drops everything (the disabled default).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// Cheap, cloneable handle held by instrumented code.
+///
+/// Disabled handles (the default) cost one `Option` check per call site —
+/// a few nanoseconds, no allocation, no locking — so instrumentation can
+/// stay unconditionally compiled in. Strings for spans/events are only
+/// materialized when a recorder is attached.
+#[derive(Clone, Default)]
+pub struct TelemetryHandle {
+    inner: Option<Arc<dyn Recorder>>,
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetryHandle")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl TelemetryHandle {
+    /// The disabled handle; every operation is a no-op.
+    pub fn disabled() -> Self {
+        TelemetryHandle { inner: None }
+    }
+
+    /// A handle routing to `recorder`.
+    pub fn new(recorder: Arc<dyn Recorder>) -> Self {
+        TelemetryHandle {
+            inner: Some(recorder),
+        }
+    }
+
+    /// Whether signals are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `n` to counter `name`.
+    #[inline]
+    pub fn counter_add(&self, name: &str, help: &str, n: u64) {
+        if let Some(r) = &self.inner {
+            r.add_to_counter(name, help, n);
+        }
+    }
+
+    /// Adds one to counter `name`.
+    #[inline]
+    pub fn counter_inc(&self, name: &str, help: &str) {
+        self.counter_add(name, help, 1);
+    }
+
+    /// Sets gauge `name` to `v`.
+    #[inline]
+    pub fn gauge_set(&self, name: &str, help: &str, v: i64) {
+        if let Some(r) = &self.inner {
+            r.set_gauge(name, help, v);
+        }
+    }
+
+    /// Observes `v` into bucketed histogram `name`.
+    #[inline]
+    pub fn observe(&self, name: &str, help: &str, v: f64) {
+        if let Some(r) = &self.inner {
+            r.observe(name, help, v);
+        }
+    }
+
+    /// Observes `v` into exact histogram `name` (every sample kept).
+    #[inline]
+    pub fn observe_exact(&self, name: &str, help: &str, v: f64) {
+        if let Some(r) = &self.inner {
+            r.observe_exact(name, help, v);
+        }
+    }
+
+    /// Records a completed sim-time span.
+    #[inline]
+    pub fn span(&self, target: &str, name: &str, start: SimTime, end: SimTime) {
+        if let Some(r) = &self.inner {
+            r.record_span(SpanRecord {
+                target: target.to_string(),
+                name: name.to_string(),
+                start,
+                end,
+            });
+        }
+    }
+
+    /// Records a sim-time event. `detail` is only materialized when enabled.
+    #[inline]
+    pub fn event(&self, target: &str, name: &str, at: SimTime, detail: &str) {
+        if let Some(r) = &self.inner {
+            r.record_event(EventRecord {
+                target: target.to_string(),
+                name: name.to_string(),
+                at,
+                detail: detail.to_string(),
+            });
+        }
+    }
+
+    /// Starts a wall-clock timer that, on drop, observes elapsed seconds
+    /// into histogram `name`. For benches and real (non-simulated) paths.
+    pub fn wall_timer<'a>(&'a self, name: &'a str, help: &'a str) -> WallTimer<'a> {
+        WallTimer {
+            handle: self,
+            name,
+            help,
+            start: if self.is_enabled() {
+                Some(Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+/// Guard returned by [`TelemetryHandle::wall_timer`].
+pub struct WallTimer<'a> {
+    handle: &'a TelemetryHandle,
+    name: &'a str,
+    help: &'a str,
+    start: Option<Instant>,
+}
+
+impl Drop for WallTimer<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            self.handle
+                .observe(self.name, self.help, start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// The standard full recorder: a [`crate::MetricsRegistry`] plus an ordered
+/// trace buffer. Construct once per run, hand out [`TelemetryHandle`]s, and
+/// export at the end.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    registry: crate::MetricsRegistry,
+    trace: Mutex<Vec<TraceRecord>>,
+}
+
+impl Telemetry {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a recorder wrapped in `Arc`, ready for handles.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// A handle routing to this recorder.
+    pub fn handle(self: &Arc<Self>) -> TelemetryHandle {
+        TelemetryHandle::new(self.clone() as Arc<dyn Recorder>)
+    }
+
+    /// The metric store.
+    pub fn registry(&self) -> &crate::MetricsRegistry {
+        &self.registry
+    }
+
+    /// Copy of the trace, ordered by sim time (stable for equal times).
+    pub fn trace(&self) -> Vec<TraceRecord> {
+        let mut t = self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone();
+        t.sort_by_key(|r| r.at());
+        t
+    }
+
+    /// Number of trace records.
+    pub fn trace_len(&self) -> usize {
+        self.trace.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+}
+
+impl Recorder for Telemetry {
+    fn add_to_counter(&self, name: &str, help: &str, n: u64) {
+        self.registry
+            .counter(name, help)
+            .as_counter()
+            .expect("counter")
+            .add(n);
+    }
+
+    fn set_gauge(&self, name: &str, help: &str, v: i64) {
+        self.registry
+            .gauge(name, help)
+            .as_gauge()
+            .expect("gauge")
+            .set(v);
+    }
+
+    fn observe(&self, name: &str, help: &str, v: f64) {
+        self.registry
+            .histogram(name, help)
+            .as_histogram()
+            .expect("histogram")
+            .observe(v);
+    }
+
+    fn observe_exact(&self, name: &str, help: &str, v: f64) {
+        self.registry
+            .exact_histogram(name, help)
+            .as_histogram()
+            .expect("histogram")
+            .observe(v);
+    }
+
+    fn record_span(&self, span: SpanRecord) {
+        self.trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(TraceRecord::Span(span));
+    }
+
+    fn record_event(&self, event: EventRecord) {
+        self.trace
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(TraceRecord::Event(event));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let h = TelemetryHandle::disabled();
+        assert!(!h.is_enabled());
+        h.counter_inc("x_total", "x");
+        h.observe("y_seconds", "y", 1.0);
+        h.span("t", "s", SimTime::from_secs(0), SimTime::from_secs(1));
+        drop(h.wall_timer("w_seconds", "w"));
+    }
+
+    #[test]
+    fn telemetry_records_everything() {
+        let t = Telemetry::shared();
+        let h = t.handle();
+        assert!(h.is_enabled());
+        h.counter_add("jobs_total", "jobs", 5);
+        h.gauge_set("lag", "lag", 3);
+        h.observe("latency_seconds", "lat", 0.25);
+        h.observe_exact("exact_seconds", "exact lat", 0.5);
+        h.span(
+            "sim",
+            "job",
+            SimTime::from_millis(10),
+            SimTime::from_millis(30),
+        );
+        h.event("sim", "done", SimTime::from_millis(30), "ok");
+
+        assert_eq!(
+            t.registry()
+                .get("jobs_total")
+                .unwrap()
+                .as_counter()
+                .unwrap()
+                .get(),
+            5
+        );
+        assert_eq!(
+            t.registry().get("lag").unwrap().as_gauge().unwrap().get(),
+            3
+        );
+        let exact = t.registry().get("exact_seconds").unwrap();
+        assert_eq!(
+            exact.as_histogram().unwrap().mode(),
+            crate::HistogramMode::Exact
+        );
+        let trace = t.trace();
+        assert_eq!(trace.len(), 2);
+        match &trace[0] {
+            TraceRecord::Span(s) => assert!((s.duration_s() - 0.020).abs() < 1e-12),
+            other => panic!("expected span first, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_sorts_by_sim_time() {
+        let t = Telemetry::shared();
+        let h = t.handle();
+        h.event("a", "late", SimTime::from_secs(9), "");
+        h.event("a", "early", SimTime::from_secs(1), "");
+        let trace = t.trace();
+        assert_eq!(trace[0].at(), SimTime::from_secs(1));
+        assert_eq!(trace[1].at(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn dynamic_metric_names_work() {
+        let t = Telemetry::shared();
+        let h = t.handle();
+        for tier in ["edge", "fog"] {
+            h.observe(&format!("scfog_sim_busy_{tier}_seconds"), "busy", 0.1);
+        }
+        assert!(t.registry().get("scfog_sim_busy_edge_seconds").is_some());
+        assert!(t.registry().get("scfog_sim_busy_fog_seconds").is_some());
+    }
+}

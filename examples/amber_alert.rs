@@ -32,7 +32,10 @@ fn main() {
     let mut gen = FrameGenerator::new(catalog.clone(), 16, 16, 8).noise(0.01);
     let (frames, labels) = gen.dataset(classes, 20);
     let mut clf = VehicleClassifier::new(classes, 16, 0.80, 9);
-    println!("training early-exit classifier on {} crops ...", frames.len());
+    println!(
+        "training early-exit classifier on {} crops ...",
+        frames.len()
+    );
     clf.train(&frames, &labels, 60, 0.01);
     let (acc, offload) = clf.evaluate(&frames, &labels);
     println!("train accuracy {acc:.3}, offload fraction {offload:.3}");

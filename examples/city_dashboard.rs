@@ -1,8 +1,9 @@
 //! City dashboard export (paper §II-C3).
 //!
-//! Runs the mining pipeline and writes the actual artifacts a D3 web
-//! frontend would consume — GeoJSON incident layer, dashboard JSON, and
-//! rendered SVG charts — into `target/dashboard/`.
+//! Runs the mining pipeline with telemetry attached and writes the actual
+//! artifacts a D3 web frontend would consume — GeoJSON incident layer,
+//! dashboard JSON (including the telemetry panel), a Prometheus metrics
+//! snapshot, and rendered SVG charts — into `target/dashboard/`.
 //!
 //! ```sh
 //! cargo run --release --example city_dashboard
@@ -14,16 +15,19 @@ use std::fs;
 use smartcity::core::infrastructure::Cyberinfrastructure;
 use smartcity::core::pipeline::CityDataPipeline;
 use smartcity::core::viz::{svg_bar_chart, svg_line_chart, Series};
+use smartcity::telemetry::{prometheus_text, Telemetry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::path::Path::new("target/dashboard");
     fs::create_dir_all(out_dir)?;
 
-    // Run the pipeline.
+    // Run the pipeline with a recorder attached: stage spans, counters, and
+    // the storage consumer group's metrics all land in one registry.
+    let telemetry = Telemetry::shared();
     let mut infra = Cyberinfrastructure::builder().seed(77).build();
     let pipeline = CityDataPipeline::new(77, 800, 160);
     let (topic, store, annotations) = infra.pipeline_stores();
-    let report = pipeline.run(topic, store, annotations);
+    let report = pipeline.run_recorded(topic, store, annotations, &telemetry);
     println!(
         "pipeline: {} events stored, {} hotspots",
         report.stored,
@@ -44,8 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 3. Camera coverage bar chart (the Fig. 2 companion).
     let coverage = infra.cameras().coverage_report();
-    let bars: Vec<(String, f64)> =
-        coverage.iter().map(|c| (c.city.clone(), c.cameras as f64)).collect();
+    let bars: Vec<(String, f64)> = coverage
+        .iter()
+        .map(|c| (c.city.clone(), c.cameras as f64))
+        .collect();
     fs::write(
         out_dir.join("coverage.svg"),
         svg_bar_chart("DOTD cameras per city", &bars, 640, 360),
@@ -56,8 +62,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
     let mut latency_series = Vec::new();
     for (name, placement) in [
-        ("early-exit", Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 }),
-        ("fog-assisted", Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 }),
+        (
+            "early-exit",
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        ),
+        (
+            "fog-assisted",
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        ),
     ] {
         let points: Vec<(f64, f64)> = [0.0, 0.25, 0.5, 0.75, 1.0]
             .iter()
@@ -66,14 +84,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (esc, sim.run(&w, placement).mean_latency_s)
             })
             .collect();
-        latency_series.push(Series { name: name.into(), points });
+        latency_series.push(Series {
+            name: name.into(),
+            points,
+        });
     }
     fs::write(
         out_dir.join("fog_latency.svg"),
         svg_line_chart("Mean latency vs escalation rate", &latency_series, 640, 360),
     )?;
 
-    for f in ["incidents.geojson", "dashboard.json", "coverage.svg", "fog_latency.svg"] {
+    // 5. Prometheus scrape snapshot of the whole pipeline run.
+    let prom = prometheus_text(telemetry.registry());
+    fs::write(out_dir.join("metrics.prom"), &prom)?;
+    println!("\npipeline telemetry (Prometheus text format):");
+    for line in prom.lines().filter(|l| !l.starts_with('#')).take(8) {
+        println!("  {line}");
+    }
+    println!("  ... ({} lines total)", prom.lines().count());
+
+    for f in [
+        "incidents.geojson",
+        "dashboard.json",
+        "coverage.svg",
+        "fog_latency.svg",
+        "metrics.prom",
+    ] {
         let size = fs::metadata(out_dir.join(f))?.len();
         println!("wrote target/dashboard/{f} ({size} bytes)");
     }

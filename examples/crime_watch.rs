@@ -13,16 +13,19 @@
 
 use scdata::actions::ClipGenerator;
 use scneural::early_exit::ExitPoint;
+use simclock::{SimDuration, SimTime};
 use smartcity::core::apps::actions::ActionRecognizer;
 use smartcity::core::infrastructure::Cyberinfrastructure;
-use simclock::{SimDuration, SimTime};
 
 fn main() {
     // Train the two-exit recognizer.
     let mut gen = ClipGenerator::new(16, 16, 8, 21);
     let (train_clips, train_labels) = gen.dataset(8);
     let mut recognizer = ActionRecognizer::new(16, 8, 6, 0.6, 22);
-    println!("training CNN+LSTM recognizer on {} clips ...", train_clips.len());
+    println!(
+        "training CNN+LSTM recognizer on {} clips ...",
+        train_clips.len()
+    );
     recognizer.train(&train_clips, &train_labels, 60);
     let (acc, offload) = recognizer.evaluate(&train_clips, &train_labels);
     println!("train accuracy {acc:.3}, server-offload fraction {offload:.3}");

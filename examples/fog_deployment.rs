@@ -10,9 +10,11 @@
 //! ```
 
 use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
+use smartcity::telemetry::{prometheus_text, Telemetry};
 
 fn main() {
-    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    let telemetry = Telemetry::shared();
+    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2)).with_telemetry(telemetry.handle());
     let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 51);
     println!(
         "workload: {} frames, 100 KB each, 30% escalation rate\n",
@@ -28,11 +30,17 @@ fn main() {
         ("all-cloud (ship raw to cloud)", Placement::AllCloud),
         (
             "early-exit (paper, 30% local ops)",
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         ),
         (
             "fog-assisted (tiny model on fog)",
-            Placement::FogAssisted { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         ),
     ] {
         let r = sim.run(&workload, placement);
@@ -52,7 +60,10 @@ fn main() {
         let w = Workload::with_escalation(300, 100_000, 20.0, esc, 52);
         let r = sim.run(
             &w,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
         );
         println!(
             "{esc:>6.1} {:>10.3} {:>14.2}",
@@ -60,4 +71,16 @@ fn main() {
             r.fog_to_server_bytes as f64 / 1e6
         );
     }
+
+    // Every run above recorded into the same registry; dump the aggregate
+    // scrape a Prometheus server would collect from this node.
+    println!("\naggregate telemetry across all runs (Prometheus text format):");
+    let prom = prometheus_text(telemetry.registry());
+    for line in prom
+        .lines()
+        .filter(|l| l.starts_with("scfog_sim_jobs") || l.contains("_sum") || l.contains("_count"))
+    {
+        println!("  {line}");
+    }
+    println!("  ({} spans traced)", telemetry.trace_len());
 }

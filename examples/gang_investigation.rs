@@ -22,7 +22,10 @@ fn main() {
     println!("== Baton Rouge network (synthetic, calibrated to §IV-B) ==");
     println!("gangs: {}", network.gang_count());
     println!("members: {}", network.member_count());
-    println!("mean first-degree associates: {:.1}", stats.mean_first_degree);
+    println!(
+        "mean first-degree associates: {:.1}",
+        stats.mean_first_degree
+    );
     println!("mean second-degree field: {:.0}", stats.mean_second_degree);
 
     // A robbery at a known corner, with a known member involved.
@@ -60,7 +63,10 @@ fn main() {
     let (report_id, report) = service.investigate(&incident);
     println!("\n== narrowing report ({report_id}) ==");
     println!("first-degree associates: {}", report.first_degree);
-    println!("field of interest (second-degree): {}", report.field_of_interest);
+    println!(
+        "field of interest (second-degree): {}",
+        report.field_of_interest
+    );
     println!(
         "persons of interest after geo × time × text filter: {}",
         report.persons_of_interest.len()

@@ -1,0 +1,82 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only `crossbeam::thread::scope` is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which made the crossbeam
+//! version largely redundant). The API mirrors crossbeam's: spawn closures
+//! receive a `&Scope` argument and `scope` returns a `Result` that is `Err`
+//! when any spawned thread panicked.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// A handle to a scope in which threads can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// A handle to a scoped thread, joinable before the scope ends.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. As in crossbeam, the closure receives the
+        /// scope so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || f(&Scope { inner: inner_scope })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowed threads.
+    ///
+    /// Returns `Ok` with the closure's result when every spawned thread was
+    /// joined (explicitly or at scope exit) without panicking. Panics from
+    /// unjoined threads propagate out of `std::thread::scope` itself, so in
+    /// practice joined-and-propagated errors surface through `join()`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow() {
+        let data = vec![1, 2, 3];
+        let sums = super::thread::scope(|s| {
+            let h1 = s.spawn(|_| data.iter().sum::<i32>());
+            let h2 = s.spawn(|_| data.len());
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+        .unwrap();
+        assert_eq!(sums, (6, 3));
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let r = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom")).join().map(|_: ()| ()).is_err()
+        });
+        assert!(r.unwrap());
+    }
+}

@@ -1,0 +1,17 @@
+//! Collection strategies (`proptest::collection::{vec, hash_set}`).
+
+use crate::{HashSetStrategy, SizeRange, Strategy, VecStrategy};
+use std::hash::Hash;
+
+/// Vectors of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    crate::vec_strategy(element, size)
+}
+
+/// Hash sets of up to `size` elements drawn from `element`.
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    crate::hash_set_strategy(element, size)
+}

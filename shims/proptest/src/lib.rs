@@ -1,0 +1,523 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset this workspace uses: the [`Strategy`] trait with
+//! `prop_map`/`boxed`, range and tuple strategies, [`Just`], [`any`],
+//! `collection::vec`/`collection::hash_set`, weighted [`prop_oneof!`], and
+//! the [`proptest!`] test macro. Case generation is **deterministic**: the
+//! RNG seed is derived from the test's module path, name, and case index,
+//! so every run explores the same inputs. There is no shrinking — a failing
+//! case panics with the ordinary assert message.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod prelude;
+
+/// Deterministic RNG used for sampling (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator from a test identifier and case index so each
+    /// case gets an independent, reproducible stream.
+    pub fn deterministic(test_id: &str, case: u32) -> Self {
+        // FNV-1a over the id, then fold in the case number.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_id.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15)) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A source of random values of one type.
+///
+/// Object safe: the generic combinators are `Self: Sized`, so
+/// `Box<dyn Strategy<Value = T>>` works (see [`BoxedStrategy`]).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy, as produced by [`Strategy::boxed`].
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Weighted choice between boxed alternatives ([`prop_oneof!`]).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; at least one arm, all weights nonzero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total_weight > 0, "prop_oneof! weights sum to zero");
+        Union { arms, total_weight }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.below(self.total_weight);
+        for (weight, strat) in &self.arms {
+            let w = u64::from(*weight);
+            if pick < w {
+                return strat.sample(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weight bookkeeping is exhaustive")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                // Wrapping difference handles ranges spanning negatives.
+                let span = (self.end as i128 - self.start as i128) as u128 as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u128 as u64;
+                if span == 0 {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let frac = rng.unit_f64() as $t;
+                self.start + frac * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only; keeps property bodies free of NaN handling.
+        (rng.unit_f64() - 0.5) * 2.0e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`'s full domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Number of element counts a collection strategy may produce (inclusive).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi {
+            return self.lo;
+        }
+        self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { lo: r.start, hi: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Runtime configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategy structs for `Vec` and `HashSet`; see [`collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// See [`collection::hash_set`].
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Eq + Hash,
+{
+    type Value = HashSet<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> HashSet<S::Value> {
+        let target = self.size.pick(rng);
+        let mut out = HashSet::with_capacity(target);
+        // Duplicates shrink the set; bounded retries keep this total even
+        // when the element domain is smaller than the target size.
+        let mut attempts = 0;
+        while out.len() < target && attempts < 10 * (target + 1) {
+            out.insert(self.element.sample(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+pub(crate) fn vec_strategy<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+pub(crate) fn hash_set_strategy<S: Strategy>(
+    element: S,
+    size: impl Into<SizeRange>,
+) -> HashSetStrategy<S> {
+    HashSetStrategy { element, size: size.into() }
+}
+
+/// Alternation over strategies, optionally weighted (`N => strat`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Property assertion; panics (fails the case) like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property equality assertion; panics like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property inequality assertion; panics like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a test that runs the body over `config.cases` sampled inputs.
+///
+/// Attributes (including `#[test]` and doc comments) pass through verbatim;
+/// the repo's tests all write `#[test]` explicitly.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not use directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (($config:expr)) => {};
+    (($config:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut case_rng = $crate::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    case,
+                );
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut case_rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_items!{ ($config) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges", 0);
+        for _ in 0..1000 {
+            let v = (-100i64..100).sample(&mut rng);
+            assert!((-100..100).contains(&v));
+            let f = (-10.0f32..10.0).sample(&mut rng);
+            assert!((-10.0..10.0).contains(&f));
+            let u = (1usize..80).sample(&mut rng);
+            assert!((1..80).contains(&u));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let sample = |case| {
+            let mut rng = TestRng::deterministic("det", case);
+            collection::vec(0u32..1000, 5..20).sample(&mut rng)
+        };
+        assert_eq!(sample(3), sample(3));
+        assert_ne!(sample(3), sample(4));
+    }
+
+    #[test]
+    fn oneof_weights_and_map() {
+        #[derive(Debug, PartialEq)]
+        enum E {
+            A,
+            B(u8),
+        }
+        let strat = prop_oneof![
+            3 => Just(E::A),
+            1 => (0u8..10).prop_map(E::B),
+        ];
+        let mut rng = TestRng::deterministic("oneof", 0);
+        let mut saw_a = 0;
+        for _ in 0..200 {
+            if strat.sample(&mut rng) == E::A {
+                saw_a += 1;
+            }
+        }
+        assert!(saw_a > 100, "weighted arm under-selected: {saw_a}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_end_to_end(
+            xs in collection::vec(0u8..50, 0..30),
+            flag in any::<bool>(),
+            s in collection::hash_set(0u32..6, 0..=2),
+        ) {
+            prop_assert!(xs.len() < 30);
+            prop_assert!(xs.iter().all(|&x| x < 50));
+            prop_assert!(s.len() <= 2);
+            let _ = flag;
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The usual `use proptest::prelude::*` import surface.
+
+pub use crate::{
+    any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Any, Arbitrary,
+    BoxedStrategy, Just, ProptestConfig, SizeRange, Strategy, TestRng,
+};

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde`.
+//!
+//! Defines the `Serialize`/`Deserialize` trait *names* so `use
+//! serde::{Serialize, Deserialize}` resolves, and re-exports the no-op
+//! derives under the `derive` feature. The traits are deliberately empty:
+//! this workspace never drives serde's visitor machinery — JSON flows
+//! through `serde_json::Value` exclusively.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}

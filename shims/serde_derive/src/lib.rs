@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]`; nothing consumes the generated impls through serde's
+//! trait machinery (all JSON values are built with `serde_json::json!` and
+//! read back as dynamic `Value`s). These derives therefore accept the syntax
+//! and expand to nothing, keeping the annotations compiling without pulling
+//! in syn/quote or the real serde data model.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Implements the dynamic side of the real crate that this workspace uses:
+//! [`Value`], [`Map`], the [`json!`] macro, compact/pretty serialization,
+//! and a recursive-descent parser for [`from_str`]/[`from_slice`]. The
+//! serde trait machinery is intentionally absent — conversion into `Value`
+//! goes through the [`ToJson`] trait instead, which the `json!` macro uses
+//! for interpolated expressions.
+//!
+//! Object keys are kept in a `BTreeMap`, matching real serde_json's default
+//! (sorted keys), so serialized output is deterministic.
+
+mod de;
+mod macros;
+mod ser;
+mod value;
+
+pub use de::{from_slice, from_str};
+pub use ser::{to_string, to_string_pretty, to_vec};
+pub use value::{Map, Number, ToJson, Value};
+
+use std::fmt;
+
+/// Error produced by parsing or serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching the real crate.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,164 @@
+//! The `json!` construction macro.
+//!
+//! A token-tree muncher in the style of the real crate: object and array
+//! literals are walked token by token so nested `{...}`/`[...]` JSON forms
+//! (which are not valid Rust expressions) recurse into `json!` itself, while
+//! anything else falls through to an `expr` capture converted via
+//! [`crate::ToJson`].
+
+/// Builds a [`crate::Value`] from JSON-like syntax with expression
+/// interpolation.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => {
+        $crate::json_internal!($($tt)+)
+    };
+}
+
+/// Implementation detail of [`json!`]; do not use directly.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    // ---- terminals -----------------------------------------------------
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+
+    // ---- arrays --------------------------------------------------------
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+
+    // ---- objects -------------------------------------------------------
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut object = $crate::Map::new();
+        $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+        $crate::Value::Object(object)
+    }};
+
+    // ---- interpolated expression --------------------------------------
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+
+    // ==== @array: accumulate elements into a vec ========================
+    // Done: emit the vec.
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    // Done with trailing element (no comma).
+    (@array [$($elems:expr,)*] $last:expr) => {
+        ::std::vec![$($elems,)* $crate::json_internal!($last)]
+    };
+    // Next element is a JSON special form (must win over the expr capture).
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] @skipcomma $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(true),] @skipcomma $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Bool(false),] @skipcomma $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [ $($inner:tt)* ] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([ $($inner)* ]),] @skipcomma $($rest)*)
+    };
+    (@array [$($elems:expr,)*] { $($inner:tt)* } $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({ $($inner)* }),] @skipcomma $($rest)*)
+    };
+    // Comma skipper after a special form.
+    (@array [$($elems:expr,)*] @skipcomma , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] @skipcomma) => {
+        $crate::json_internal!(@array [$($elems,)*])
+    };
+    // Plain expression element followed by more elements.
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+
+    // ==== @object: munch `"key": value` pairs ===========================
+    // Done.
+    (@object $object:ident () () ()) => {};
+    // `"key": <special form>` — JSON literals that are not Rust exprs.
+    (@object $object:ident () ($key:literal : null $($rest:tt)*) $copy:tt) => {
+        $object.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_internal!(@object $object () (@skipcomma $($rest)*) (@skipcomma $($rest)*));
+    };
+    (@object $object:ident () ($key:literal : [ $($inner:tt)* ] $($rest:tt)*) $copy:tt) => {
+        $object.insert(($key).to_string(), $crate::json_internal!([ $($inner)* ]));
+        $crate::json_internal!(@object $object () (@skipcomma $($rest)*) (@skipcomma $($rest)*));
+    };
+    (@object $object:ident () ($key:literal : { $($inner:tt)* } $($rest:tt)*) $copy:tt) => {
+        $object.insert(($key).to_string(), $crate::json_internal!({ $($inner)* }));
+        $crate::json_internal!(@object $object () (@skipcomma $($rest)*) (@skipcomma $($rest)*));
+    };
+    // Comma skipper between pairs.
+    (@object $object:ident () (@skipcomma , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident () (@skipcomma) $copy:tt) => {};
+    // `"key": expr, ...` — expression value followed by more pairs.
+    (@object $object:ident () ($key:literal : $value:expr, $($rest:tt)*) $copy:tt) => {
+        $object.insert(($key).to_string(), $crate::json_internal!($value));
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    // `"key": expr` — final pair.
+    (@object $object:ident () ($key:literal : $value:expr) $copy:tt) => {
+        $object.insert(($key).to_string(), $crate::json_internal!($value));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Value;
+
+    #[test]
+    fn literals_and_nesting() {
+        let v = json!({
+            "s": "str",
+            "n": 3,
+            "f": 2.5,
+            "b": true,
+            "z": null,
+            "arr": [1, 2.0, "three", null, [4], {"five": 5}],
+            "obj": { "inner": [true, false] },
+        });
+        assert_eq!(v["s"], "str");
+        assert_eq!(v["n"], 3);
+        assert_eq!(v["f"], 2.5);
+        assert_eq!(v["b"], true);
+        assert!(v["z"].is_null());
+        assert_eq!(v["arr"].as_array().unwrap().len(), 6);
+        assert_eq!(v["arr"][5]["five"], 5);
+        assert_eq!(v["obj"]["inner"][1], false);
+    }
+
+    #[test]
+    fn interpolation() {
+        let name = String::from("fog");
+        let xs = vec![1.0f64, 2.0];
+        let pairs: Vec<Value> = xs.iter().map(|x| json!([x, 1.0])).collect();
+        let v = json!({
+            "name": name,
+            "count": xs.len(),
+            "values": xs,
+            "pairs": pairs,
+            "formatted": format!("{}-{}", 1, 2),
+        });
+        assert_eq!(v["name"], "fog");
+        assert_eq!(v["count"], 2);
+        assert_eq!(v["values"][1], 2.0);
+        assert_eq!(v["pairs"][0][0], 1.0);
+        assert_eq!(v["formatted"], "1-2");
+    }
+
+    #[test]
+    fn bare_values() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(7), 7);
+        assert_eq!(json!([1, 2]), json!([1, 2]));
+        assert_eq!(json!({}), Value::Object(crate::Map::new()));
+    }
+}

@@ -17,6 +17,8 @@
 //!   [`drl`] (deep reinforcement learning).
 //! - **Application layer** — [`core`] (vehicle detection, action recognition,
 //!   social-network narrowing, visualization export), [`social`].
+//! - **Observability** — [`telemetry`] (metrics registry, sim-time-aware
+//!   tracing, JSON / Prometheus exporters used by every layer above).
 //!
 //! # Quickstart
 //!
@@ -28,6 +30,7 @@
 //! assert!(report.layers >= 4);
 //! ```
 
+pub use sccompute as compute;
 pub use scdata as data;
 pub use scdfs as dfs;
 pub use scdrl as drl;
@@ -37,6 +40,6 @@ pub use scneural as neural;
 pub use scnosql as nosql;
 pub use scsocial as social;
 pub use scstream as stream;
-pub use sccompute as compute;
+pub use sctelemetry as telemetry;
 pub use simclock;
 pub use smartcity_core as core;

@@ -35,7 +35,10 @@ fn trained_offload_fraction_drives_fog_costs() {
     // The loosest threshold keeps (nearly) everything local; the tightest
     // escalates a strict majority or more.
     assert!(rows[0].2 < 0.5, "threshold 0.3 mostly local: {rows:?}");
-    assert!(rows[3].2 > rows[0].2, "threshold 0.99 escalates more: {rows:?}");
+    assert!(
+        rows[3].2 > rows[0].2,
+        "threshold 0.99 escalates more: {rows:?}"
+    );
 
     // Feed measured offload fractions into the fog simulator: upstream bytes
     // must grow with the measured escalation rate.
@@ -45,7 +48,10 @@ fn trained_offload_fraction_drives_fog_costs() {
         let workload = Workload::with_escalation(100, 100_000, 10.0, offload, 4);
         let report = sim.run(
             &workload,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 6 * 8 * 8 * 4 },
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 6 * 8 * 8 * 4,
+            },
         );
         assert!(
             report.fog_to_server_bytes >= last_bytes,
@@ -59,8 +65,13 @@ fn trained_offload_fraction_drives_fog_costs() {
 fn early_exit_dominates_extremes_in_fog_costs() {
     let sim = FogSimulator::new(Topology::four_tier(4, 2, 1));
     let workload = Workload::with_escalation(150, 100_000, 10.0, 0.3, 5);
-    let early =
-        sim.run(&workload, Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 });
+    let early = sim.run(
+        &workload,
+        Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        },
+    );
     let all_edge = sim.run(&workload, Placement::AllEdge);
     let all_cloud = sim.run(&workload, Placement::AllCloud);
 

@@ -16,7 +16,12 @@ fn four_layer_flow_end_to_end() {
 
     // Hardware layer: archive video from the three cameras nearest downtown.
     let downtown = GeoPoint::new(30.4515, -91.1871);
-    let cams: Vec<_> = infra.cameras().nearest(downtown, 3).iter().map(|c| c.id).collect();
+    let cams: Vec<_> = infra
+        .cameras()
+        .nearest(downtown, 3)
+        .iter()
+        .map(|c| c.id)
+        .collect();
     for (i, cam) in cams.iter().enumerate() {
         infra
             .archive_video_segment(*cam, i as u64, &vec![i as u8; 100_000])

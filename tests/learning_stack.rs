@@ -10,10 +10,10 @@ use scdata::video::FrameGenerator;
 use simclock::SeededRng;
 use smartcity::core::apps::actions::ActionRecognizer;
 use smartcity::core::apps::vehicle::VehicleClassifier;
-use smartcity::neural::cca::Cca;
 use smartcity::neural::autoencoder::FusionAutoencoder;
-use smartcity::neural::tensor::Tensor;
+use smartcity::neural::cca::Cca;
 use smartcity::neural::optim::Adam;
+use smartcity::neural::tensor::Tensor;
 
 #[test]
 fn spatial_cnn_learns_vehicle_classes() {
@@ -24,7 +24,11 @@ fn spatial_cnn_learns_vehicle_classes() {
     let mut clf = VehicleClassifier::new(classes, 16, 0.0, 13); // all-local
     clf.train(&frames, &labels, 50, 0.01);
     let (acc, _) = clf.evaluate(&frames, &labels);
-    assert!(acc > 0.6, "accuracy {acc} (chance {})", 1.0 / classes as f64);
+    assert!(
+        acc > 0.6,
+        "accuracy {acc} (chance {})",
+        1.0 / classes as f64
+    );
 }
 
 #[test]
@@ -48,7 +52,11 @@ fn gunshot_modalities(n: usize, seed: u64) -> (Tensor, Tensor, Vec<usize>) {
     let mut labels = Vec::new();
     for i in 0..n {
         let is_gunshot = i % 2 == 0;
-        let intensity: f64 = if is_gunshot { rng.range_f64(0.7, 1.0) } else { rng.range_f64(0.0, 0.3) };
+        let intensity: f64 = if is_gunshot {
+            rng.range_f64(0.7, 1.0)
+        } else {
+            rng.range_f64(0.0, 0.3)
+        };
         for j in 0..da {
             let base = if j < 2 { intensity } else { 0.2 };
             audio.push((base + rng.gaussian(0.0, 0.05)).clamp(0.0, 1.0) as f32);
@@ -113,9 +121,7 @@ fn fusion_autoencoder_latent_separates_events() {
     // Nearest-centroid classification in the fused space beats chance well.
     let mut correct = 0;
     for (i, &l) in labels.iter().enumerate() {
-        let dist = |c: &[f64]| -> f64 {
-            (0..k).map(|j| (z.at(i, j) as f64 - c[j]).powi(2)).sum()
-        };
+        let dist = |c: &[f64]| -> f64 { (0..k).map(|j| (z.at(i, j) as f64 - c[j]).powi(2)).sum() };
         let pred = usize::from(dist(&centroids[1]) < dist(&centroids[0]));
         if pred == l {
             correct += 1;

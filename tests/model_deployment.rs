@@ -23,7 +23,9 @@ fn trained_model_deploys_to_fresh_device() {
     let server_blob = server_side.export_server_model();
     let mut deployed = VehicleClassifier::new(classes, 16, 0.8, 999);
     assert_ne!(deployed.classify(&frames), expected, "fresh init differs");
-    deployed.import_models(&device_blob, &server_blob).expect("same architecture");
+    deployed
+        .import_models(&device_blob, &server_blob)
+        .expect("same architecture");
     assert_eq!(deployed.classify(&frames), expected, "deployment is exact");
 
     // The device blob is the smaller artifact (fits the edge).
@@ -34,5 +36,7 @@ fn trained_model_deploys_to_fresh_device() {
 fn deployment_rejects_wrong_architecture() {
     let a = VehicleClassifier::new(4, 16, 0.8, 1);
     let mut b = VehicleClassifier::new(6, 16, 0.8, 2); // different class count
-    assert!(b.import_models(&a.export_device_model(), &a.export_server_model()).is_err());
+    assert!(b
+        .import_models(&a.export_device_model(), &a.export_server_model())
+        .is_err());
 }

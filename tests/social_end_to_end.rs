@@ -17,7 +17,10 @@ fn paper_statistics_and_narrowing_hold_together() {
     assert_eq!(network.member_count(), 982);
     let stats = network.member_stats();
     assert!((stats.mean_first_degree - 14.0).abs() < 1.5, "{stats:?}");
-    assert!((150.0..260.0).contains(&stats.mean_second_degree), "{stats:?}");
+    assert!(
+        (150.0..260.0).contains(&stats.mean_second_degree),
+        "{stats:?}"
+    );
 
     // Incident seeded on a member with a decent field.
     let seed_person = network.members()[10];

@@ -28,7 +28,9 @@ fn stream_into_wide_column_store() {
         .map(|i| Event::with_key(format!("evt-{i:04}"), vec![i as u8]))
         .collect();
     let source = VecSource::new(events, 16);
-    let sink = TableSink { table: Table::new("raw_events", 64) };
+    let sink = TableSink {
+        table: Table::new("raw_events", 64),
+    };
     let mut pipeline = Pipeline::new(Box::new(source), 32, Box::new(sink)).sink_batch(8);
     let stats = pipeline.run_to_completion(1000);
     assert_eq!(stats.delivered, 200);
@@ -52,7 +54,9 @@ fn wide_column_random_access_vs_dfs_batch() {
 
     // Random point reads: the wide-column store answers each key directly.
     for i in (0..n).step_by(29) {
-        let v = table.get(&format!("row-{i:05}"), "f", "v").expect("present");
+        let v = table
+            .get(&format!("row-{i:05}"), "f", "v")
+            .expect("present");
         assert_eq!(v, format!("incident-{i}").into_bytes());
     }
 
@@ -60,7 +64,10 @@ fn wide_column_random_access_vs_dfs_batch() {
     // read the blocks.
     let blob = dfs.read("/incidents/batch.dat").unwrap();
     assert_eq!(blob.len(), batch.len());
-    let lines: Vec<&[u8]> = blob.split(|&b| b == b'\n').filter(|l| !l.is_empty()).collect();
+    let lines: Vec<&[u8]> = blob
+        .split(|&b| b == b'\n')
+        .filter(|l| !l.is_empty())
+        .collect();
     assert_eq!(lines.len(), n);
 
     // Ordered scans: the wide-column store returns sorted row ranges.
@@ -94,6 +101,10 @@ fn lsm_flush_plus_dfs_archival() {
         archive.push(b';');
     }
     let mut dfs = DfsCluster::new(3, 2, 1024, 10).unwrap();
-    dfs.create("/archive/annotations-2026-07.bin", &archive).unwrap();
-    assert_eq!(dfs.read("/archive/annotations-2026-07.bin").unwrap(), archive);
+    dfs.create("/archive/annotations-2026-07.bin", &archive)
+        .unwrap();
+    assert_eq!(
+        dfs.read("/archive/annotations-2026-07.bin").unwrap(),
+        archive
+    );
 }
