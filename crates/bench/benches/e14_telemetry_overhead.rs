@@ -77,14 +77,14 @@ fn regenerate_figure() {
         feature_bytes: 20_000,
     };
     let start = std::time::Instant::now();
-    let r = baseline_sim.run(&workload, placement);
+    let r = baseline_sim.runner(&workload).placement(placement).run();
     let base_us = start.elapsed().as_micros();
 
     let recorder = Telemetry::shared();
     let recorded_sim =
         FogSimulator::new(Topology::four_tier(8, 4, 2)).with_telemetry(recorder.handle());
     let start = std::time::Instant::now();
-    let rr = recorded_sim.run(&workload, placement);
+    let rr = recorded_sim.runner(&workload).placement(placement).run();
     let rec_us = start.elapsed().as_micros();
     assert_eq!(r.jobs, rr.jobs, "telemetry must not change results");
 
@@ -106,14 +106,24 @@ fn bench(c: &mut Criterion) {
 
     let baseline = FogSimulator::new(Topology::four_tier(8, 4, 2));
     c.bench_function("e14/fog_run_no_telemetry", |b| {
-        b.iter(|| baseline.run(std::hint::black_box(&workload), placement))
+        b.iter(|| {
+            baseline
+                .runner(std::hint::black_box(&workload))
+                .placement(placement)
+                .run()
+        })
     });
 
     let recorder = Telemetry::shared();
     let recorded =
         FogSimulator::new(Topology::four_tier(8, 4, 2)).with_telemetry(recorder.handle());
     c.bench_function("e14/fog_run_recording", |b| {
-        b.iter(|| recorded.run(std::hint::black_box(&workload), placement))
+        b.iter(|| {
+            recorded
+                .runner(std::hint::black_box(&workload))
+                .placement(placement)
+                .run()
+        })
     });
 
     let disabled = TelemetryHandle::disabled();

@@ -1,0 +1,202 @@
+//! E15 (runtime): scpar parallel scaling. The deterministic worker pool
+//! promises identical results at any thread count; this bench measures what
+//! the extra threads buy. It regenerates a speedup table (1/2/4/8 workers)
+//! for the four parallelised kernels — blocked matmul, batched inference,
+//! fog placement sweeps, and the E1 pipeline — then measures the serial and
+//! 4-thread variants under Criterion.
+//!
+//! Speedups depend on host cores: on a single-core runner every row is ~1.0
+//! by construction (the pool degrades to the serial path). Set `E15_QUICK=1`
+//! to shrink problem sizes for CI smoke runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f3, header, table};
+use scfog::{FogSimulator, Placement, Topology, Workload};
+use scneural::layers::{Dense, Relu};
+use scneural::linalg::Mat;
+use scneural::net::Sequential;
+use scneural::tensor::Tensor;
+use scnosql::document::Collection;
+use scnosql::wide_column::Table;
+use scpar::ScparConfig;
+use scstream::Topic;
+use smartcity_core::pipeline::CityDataPipeline;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn quick() -> bool {
+    std::env::var_os("E15_QUICK").is_some()
+}
+
+fn time_ms(mut f: impl FnMut()) -> f64 {
+    f(); // warm-up (first run spawns the pool)
+    let start = std::time::Instant::now();
+    f();
+    start.elapsed().as_secs_f64() * 1e3
+}
+
+fn splitmix_f64(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64
+        })
+        .collect()
+}
+
+fn matmul_row(n: usize) -> Vec<f64> {
+    let a = Mat::from_vec(n, n, splitmix_f64(15, n * n));
+    let b = Mat::from_vec(n, n, splitmix_f64(16, n * n));
+    THREADS
+        .iter()
+        .map(|&t| {
+            time_ms(|| {
+                std::hint::black_box(a.matmul_with(&b, &ScparConfig::with_threads(t)));
+            })
+        })
+        .collect()
+}
+
+fn inference_row(rows: usize) -> Vec<f64> {
+    let net = Sequential::new()
+        .with(Dense::new(64, 128, 15))
+        .with(Relu::new())
+        .with(Dense::new(128, 64, 16))
+        .with(Relu::new())
+        .with(Dense::new(64, 8, 17));
+    let data: Vec<f32> = splitmix_f64(17, rows * 64)
+        .iter()
+        .map(|v| *v as f32)
+        .collect();
+    let input = Tensor::from_vec(vec![rows, 64], data).expect("shape matches data");
+    THREADS
+        .iter()
+        .map(|&t| {
+            time_ms(|| {
+                std::hint::black_box(net.predict_with(&input, &ScparConfig::with_threads(t)));
+            })
+        })
+        .collect()
+}
+
+fn sweep_placements() -> Vec<Placement> {
+    (0..8)
+        .map(|i| Placement::EarlyExit {
+            local_fraction: 0.1 * (i + 1) as f64,
+            feature_bytes: 20_000,
+        })
+        .collect()
+}
+
+fn fog_sweep_row(jobs: usize) -> Vec<f64> {
+    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    let workload = Workload::with_escalation(jobs, 100_000, 20.0, 0.3, 15);
+    let placements = sweep_placements();
+    THREADS
+        .iter()
+        .map(|&t| {
+            time_ms(|| {
+                std::hint::black_box(sim.runner(&workload).threads(t).sweep(&placements));
+            })
+        })
+        .collect()
+}
+
+fn pipeline_run(records: usize, waze: usize, threads: usize) {
+    let mut topic = Topic::new("raw", 4);
+    let mut store = Collection::new("incidents");
+    store.create_index("kind");
+    let mut annotations = Table::new("annotations", 1024);
+    let report = CityDataPipeline::new(15, records, waze)
+        .runner(&mut topic, &mut store, &mut annotations)
+        .threads(threads)
+        .run()
+        .expect("generated pipeline data is always valid");
+    std::hint::black_box(report);
+}
+
+fn pipeline_row(records: usize, waze: usize) -> Vec<f64> {
+    THREADS
+        .iter()
+        .map(|&t| time_ms(|| pipeline_run(records, waze, t)))
+        .collect()
+}
+
+fn regenerate_figure() {
+    header(
+        "E15",
+        "runtime",
+        "scpar parallel scaling: wall time by worker count (identical outputs)",
+    );
+
+    let (mat_n, inf_rows, sweep_jobs, recs, waze) = if quick() {
+        (192, 256, 100, 300, 60)
+    } else {
+        (512, 2048, 400, 2000, 400)
+    };
+
+    let kernels: Vec<(String, Vec<f64>)> = vec![
+        (format!("matmul_{mat_n}x{mat_n}"), matmul_row(mat_n)),
+        (
+            format!("batch_inference_{inf_rows}"),
+            inference_row(inf_rows),
+        ),
+        (
+            format!("fog_sweep_8x{sweep_jobs}_jobs"),
+            fog_sweep_row(sweep_jobs),
+        ),
+        (
+            format!("e1_pipeline_{recs}_records"),
+            pipeline_row(recs, waze),
+        ),
+    ];
+
+    let rows: Vec<Vec<String>> = kernels
+        .iter()
+        .map(|(name, times)| {
+            let mut row = vec![name.clone()];
+            row.extend(times.iter().map(|&ms| f3(ms)));
+            row.push(f3(times[0] / times[2])); // serial / 4-thread
+            row
+        })
+        .collect();
+    table(
+        &["kernel", "t1_ms", "t2_ms", "t4_ms", "t8_ms", "speedup_4t"],
+        &rows,
+    );
+    println!(
+        "\nhost parallelism: {} (speedups require multi-core hosts; outputs are identical regardless)",
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    let n = if quick() { 192 } else { 512 };
+    let a = Mat::from_vec(n, n, splitmix_f64(15, n * n));
+    let b = Mat::from_vec(n, n, splitmix_f64(16, n * n));
+    let serial = ScparConfig::serial();
+    let four = ScparConfig::with_threads(4);
+    c.bench_function("e15/matmul_serial", |bch| {
+        bch.iter(|| a.matmul_with(std::hint::black_box(&b), &serial))
+    });
+    c.bench_function("e15/matmul_4_threads", |bch| {
+        bch.iter(|| a.matmul_with(std::hint::black_box(&b), &four))
+    });
+
+    let (recs, waze) = if quick() { (300, 60) } else { (1000, 200) };
+    c.bench_function("e15/pipeline_serial", |bch| {
+        bch.iter(|| pipeline_run(std::hint::black_box(recs), waze, 1))
+    });
+    c.bench_function("e15/pipeline_4_threads", |bch| {
+        bch.iter(|| pipeline_run(std::hint::black_box(recs), waze, 4))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

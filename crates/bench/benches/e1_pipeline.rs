@@ -24,7 +24,10 @@ fn regenerate_figure() {
         store.create_index("kind");
         let mut annotations = Table::new("annotations", 4096);
         let start = Instant::now();
-        let report = pipeline.run(&mut topic, &mut store, &mut annotations);
+        let report = pipeline
+            .runner(&mut topic, &mut store, &mut annotations)
+            .run()
+            .expect("generated pipeline data is always valid");
         let secs = start.elapsed().as_secs_f64();
         rows.push(vec![
             records.to_string(),
@@ -60,7 +63,10 @@ fn bench(c: &mut Criterion) {
                 (Topic::new("raw", 4), store, Table::new("annotations", 4096))
             },
             |(mut topic, mut store, mut annotations)| {
-                CityDataPipeline::new(1, 500, 100).run(&mut topic, &mut store, &mut annotations)
+                CityDataPipeline::new(1, 500, 100)
+                    .runner(&mut topic, &mut store, &mut annotations)
+                    .run()
+                    .expect("generated pipeline data is always valid")
             },
             BatchSize::LargeInput,
         )

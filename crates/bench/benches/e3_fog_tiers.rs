@@ -34,7 +34,7 @@ fn regenerate_figure() {
             },
         ),
     ] {
-        let r = sim.run(&workload, placement);
+        let r = sim.runner(&workload).placement(placement).run();
         rows.push(vec![
             name.to_string(),
             f3(r.mean_latency_s),
@@ -64,13 +64,13 @@ fn regenerate_figure() {
     let mut rows = Vec::new();
     for esc in [0.0, 0.25, 0.5, 0.75, 1.0] {
         let w = Workload::with_escalation(300, 100_000, 20.0, esc, 4);
-        let r = sim.run(
-            &w,
-            Placement::EarlyExit {
+        let r = sim
+            .runner(&w)
+            .placement(Placement::EarlyExit {
                 local_fraction: 0.3,
                 feature_bytes: 20_000,
-            },
-        );
+            })
+            .run();
         rows.push(vec![
             format!("{esc:.2}"),
             f3(r.mean_latency_s),
@@ -86,17 +86,20 @@ fn bench(c: &mut Criterion) {
     let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 3);
     c.bench_function("e3/simulate_400_jobs_early_exit", |b| {
         b.iter(|| {
-            sim.run(
-                std::hint::black_box(&workload),
-                Placement::EarlyExit {
+            sim.runner(std::hint::black_box(&workload))
+                .placement(Placement::EarlyExit {
                     local_fraction: 0.3,
                     feature_bytes: 20_000,
-                },
-            )
+                })
+                .run()
         })
     });
     c.bench_function("e3/simulate_400_jobs_all_cloud", |b| {
-        b.iter(|| sim.run(std::hint::black_box(&workload), Placement::AllCloud))
+        b.iter(|| {
+            sim.runner(std::hint::black_box(&workload))
+                .placement(Placement::AllCloud)
+                .run()
+        })
     });
 }
 

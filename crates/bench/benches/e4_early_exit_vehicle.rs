@@ -41,13 +41,13 @@ fn regenerate_figure(
         clf.set_threshold(threshold);
         let (acc, offload) = clf.evaluate(frames, labels);
         let w = Workload::with_escalation(200, 100_000, 20.0, offload, 7);
-        let fog = sim.run(
-            &w,
-            Placement::EarlyExit {
+        let fog = sim
+            .runner(&w)
+            .placement(Placement::EarlyExit {
                 local_fraction: 0.3,
                 feature_bytes: 6 * 8 * 8 * 4,
-            },
-        );
+            })
+            .run();
         rows.push(vec![
             format!("{threshold:.2}"),
             f3(offload),

@@ -17,12 +17,14 @@ fn seeded_stores() -> (Table, DfsCluster) {
     let mut batch = Vec::new();
     for i in 0..N {
         let record = format!("incident-{i:06},ROBBERY,district-4");
-        table.put(
-            &format!("row-{i:06}"),
-            "f",
-            "v",
-            record.clone().into_bytes(),
-        );
+        table
+            .put(
+                &format!("row-{i:06}"),
+                "f",
+                "v",
+                record.clone().into_bytes(),
+            )
+            .unwrap();
         batch.extend_from_slice(record.as_bytes());
         batch.push(b'\n');
     }

@@ -5,6 +5,7 @@
 //! distributed engine: assignment is a narrow map, centroid updates are a
 //! `reduce_by_key` shuffle.
 
+use scpar::ScparConfig;
 use simclock::SeededRng;
 
 use crate::dataflow::Dataset;
@@ -117,6 +118,110 @@ pub fn kmeans(data: &Dataset<Vec<f64>>, k: usize, max_iters: usize, seed: u64) -
     }
 
     let inertia = points.iter().map(|p| nearest(p, &centroids).1).sum();
+    KMeansModel {
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+/// Points per assignment chunk in [`kmeans_par`]. Fixed (a function of the
+/// input only, never of the thread count) so partial sums fold identically
+/// for any pool size.
+pub const KMEANS_CHUNK_POINTS: usize = 256;
+
+/// Shared-memory Lloyd's k-means with the assignment step fanned out over
+/// the `scpar` worker pool.
+///
+/// Unlike [`kmeans`], which runs *through* the dataflow engine (and is the
+/// variant that exercises shuffles), this operates on an in-memory slice:
+/// each iteration splits the points into fixed [`KMEANS_CHUNK_POINTS`]-sized
+/// chunks, computes per-chunk centroid sums in parallel, and folds the
+/// partials in chunk order — so centroids are bit-identical for any thread
+/// count, including serial. Seeding (k-means++) matches [`kmeans`] exactly.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points, or if points have
+/// inconsistent dimensionality.
+pub fn kmeans_par(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    cfg: &ScparConfig,
+) -> KMeansModel {
+    assert!(k > 0 && k <= points.len(), "k out of range");
+    let dim = points[0].len();
+    assert!(
+        points.iter().all(|p| p.len() == dim),
+        "inconsistent dimensions"
+    );
+    let mut rng = SeededRng::new(seed);
+
+    // k-means++ seeding, identical to the dataflow variant.
+    let mut centroids: Vec<Vec<f64>> = vec![points[rng.index(points.len())].clone()];
+    while centroids.len() < k {
+        let weights: Vec<f64> = points.iter().map(|p| nearest(p, &centroids).1).collect();
+        let total: f64 = weights.iter().sum();
+        let idx = if total <= 0.0 {
+            rng.index(points.len())
+        } else {
+            rng.weighted_index(&weights)
+        };
+        centroids.push(points[idx].clone());
+    }
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let current = &centroids;
+        let partials = scpar::par_map_chunks(cfg, points, KMEANS_CHUNK_POINTS, |_ci, chunk| {
+            let mut sums = vec![vec![0.0f64; dim]; k];
+            let mut counts = vec![0u64; k];
+            for p in chunk {
+                let (c, _) = nearest(p, current);
+                for (a, b) in sums[c].iter_mut().zip(p) {
+                    *a += b;
+                }
+                counts[c] += 1;
+            }
+            (sums, counts)
+        });
+        let mut sums = vec![vec![0.0f64; dim]; k];
+        let mut counts = vec![0u64; k];
+        for (ps, pc) in partials {
+            for (acc, part) in sums.iter_mut().zip(&ps) {
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a += b;
+                }
+            }
+            for (a, b) in counts.iter_mut().zip(&pc) {
+                *a += b;
+            }
+        }
+        let mut next = centroids.clone();
+        for c in 0..k {
+            if counts[c] > 0 {
+                next[c] = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            }
+        }
+        let moved: f64 = centroids
+            .iter()
+            .zip(&next)
+            .map(|(a, b)| sq_dist(a, b))
+            .sum();
+        centroids = next;
+        if moved < 1e-12 {
+            break;
+        }
+    }
+
+    let inertia = scpar::par_map_chunks(cfg, points, KMEANS_CHUNK_POINTS, |_ci, chunk| {
+        chunk.iter().map(|p| nearest(p, &centroids).1).sum::<f64>()
+    })
+    .into_iter()
+    .sum();
     KMeansModel {
         centroids,
         inertia,
@@ -444,6 +549,36 @@ mod tests {
         let ds = Dataset::from_vec(pts, 2);
         let _ = kmeans(&ds, 2, 10, 8);
         assert!(ds.stats().shuffle_stages > 0, "centroid updates shuffle");
+    }
+
+    #[test]
+    fn kmeans_par_recovers_centers() {
+        let pts = blobs(50, &[(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)], 1);
+        let model = kmeans_par(&pts, 3, 50, 2, &ScparConfig::with_threads(4));
+        for (cx, cy) in [(0.0, 0.0), (5.0, 5.0), (0.0, 5.0)] {
+            let min = model
+                .centroids
+                .iter()
+                .map(|c| sq_dist(c, &[cx, cy]))
+                .fold(f64::INFINITY, f64::min);
+            assert!(min < 0.25, "center ({cx},{cy}) missed: {min}");
+        }
+    }
+
+    #[test]
+    fn kmeans_par_is_thread_count_independent() {
+        let pts = blobs(200, &[(0.0, 0.0), (6.0, 0.0), (0.0, 6.0)], 13);
+        let serial = kmeans_par(&pts, 3, 40, 14, &ScparConfig::serial());
+        for threads in [2, 8] {
+            let par = kmeans_par(&pts, 3, 40, 14, &ScparConfig::with_threads(threads));
+            assert_eq!(par.iterations, serial.iterations);
+            assert_eq!(par.inertia.to_bits(), serial.inertia.to_bits());
+            for (a, b) in serial.centroids.iter().zip(&par.centroids) {
+                for (x, y) in a.iter().zip(b) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{threads} threads");
+                }
+            }
+        }
     }
 
     #[test]

@@ -72,7 +72,10 @@ impl InvestigationService {
             ),
             ("reduction_factor", Doc::F64(report.reduction_factor)),
         ]);
-        let id = self.reports.insert(doc);
+        let id = self
+            .reports
+            .insert(doc)
+            .expect("narrowing reports hold only finite numbers");
         (id, report)
     }
 
@@ -83,6 +86,7 @@ impl InvestigationService {
                 "seed_person".into(),
                 Doc::I64(seed_person as i64),
             ))
+            .expect("equality filters are always valid")
             .into_iter()
             .map(|(id, _)| id)
             .collect()

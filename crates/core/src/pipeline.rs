@@ -6,16 +6,17 @@
 //! different deep learning model\[s\] for inference and the result of inference
 //! will be sent to the web server to be visualized on our website."
 
-use sccompute::dataflow::Dataset;
-use sccompute::mllib::kmeans;
+use sccompute::mllib::kmeans_par;
 use scdata::city::{OpenCityGenerator, OpenRecord, OpenRecordKind};
 use scdata::waze::{WazeGenerator, WazeReport};
 use scgeo::corridor::Corridor;
 use scgeo::GeoPoint;
 use scnosql::document::{Collection, Doc, Filter};
 use scnosql::wide_column::Table;
+use scnosql::NosqlError;
+use scpar::ScparConfig;
 use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
-use sctelemetry::{Telemetry, TelemetryHandle};
+use sctelemetry::{Report, Telemetry, TelemetryHandle};
 use serde_json::Value;
 use simclock::SimTime;
 
@@ -45,6 +46,17 @@ pub struct PipelineReport {
     pub dashboard: Value,
     /// The incident GeoJSON layer.
     pub geojson: Value,
+}
+
+impl Report for PipelineReport {
+    fn kv(&self) -> Vec<(String, f64)> {
+        vec![
+            ("ingested".to_string(), self.ingested as f64),
+            ("stored".to_string(), self.stored as f64),
+            ("annotated".to_string(), self.annotated as f64),
+            ("hotspots".to_string(), self.hotspots.len() as f64),
+        ]
+    }
 }
 
 /// The city data pipeline over a raw topic, document store, and annotation
@@ -115,22 +127,54 @@ impl CityDataPipeline {
         ]))
     }
 
+    /// Starts building a configured pipeline run over the given substrates.
+    ///
+    /// Defaults: telemetry disabled, no dashboard panel, and the ambient
+    /// [`ScparConfig`] (`SCPAR_THREADS` / available parallelism) for the
+    /// fanned-out stages.
+    pub fn runner<'a>(
+        &'a self,
+        topic: &'a mut Topic,
+        store: &'a mut Collection,
+        annotations: &'a mut Table,
+    ) -> RunOptions<'a> {
+        RunOptions {
+            pipeline: self,
+            topic,
+            store,
+            annotations,
+            telemetry: TelemetryHandle::disabled(),
+            panel: None,
+            par: ScparConfig::from_env(),
+        }
+    }
+
     /// Runs the full pipeline: generate raw data, publish to `topic`, drain
     /// via a consumer group into `store`, run the analysis/mining stage, and
     /// write annotations into `annotations`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `runner(topic, store, annotations).run()` instead"
+    )]
     pub fn run(
         &self,
         topic: &mut Topic,
         store: &mut Collection,
         annotations: &mut Table,
     ) -> PipelineReport {
-        self.run_with(topic, store, annotations, &TelemetryHandle::disabled())
+        self.runner(topic, store, annotations)
+            .run()
+            .expect("generated pipeline data is always valid")
     }
 
-    /// [`CityDataPipeline::run`] with a recorder attached: per-stage counters
-    /// and sim-time spans land in `telemetry`, and the returned dashboard
-    /// gains a `"telemetry"` panel (see [`telemetry_panel`]) built from the
-    /// recorder's registry.
+    /// [`CityDataPipeline::runner`] with a recorder attached: per-stage
+    /// counters and sim-time spans land in `telemetry`, and the returned
+    /// dashboard gains a `"telemetry"` panel (see [`telemetry_panel`]) built
+    /// from the recorder's registry.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `runner(topic, store, annotations).recorder(&telemetry).run()` instead"
+    )]
     pub fn run_recorded(
         &self,
         topic: &mut Topic,
@@ -138,27 +182,24 @@ impl CityDataPipeline {
         annotations: &mut Table,
         telemetry: &std::sync::Arc<Telemetry>,
     ) -> PipelineReport {
-        let mut report = self.run_with(topic, store, annotations, &telemetry.handle());
-        if let Value::Object(dash) = &mut report.dashboard {
-            dash.insert(
-                "telemetry".to_string(),
-                telemetry_panel(telemetry.registry()),
-            );
-        }
-        report
+        self.runner(topic, store, annotations)
+            .recorder(telemetry)
+            .run()
+            .expect("generated pipeline data is always valid")
     }
 
-    /// Pipeline body shared by [`CityDataPipeline::run`] (disabled handle)
-    /// and [`CityDataPipeline::run_recorded`]. Stage spans use a simulated
+    /// Pipeline body behind [`RunOptions::run`]. Stage spans use a simulated
     /// clock advancing one microsecond per item handled, so identical seeds
-    /// yield identical traces.
+    /// yield identical traces; the fanned-out stages chunk independently of
+    /// the thread count, so reports and telemetry are too.
     fn run_with(
         &self,
         topic: &mut Topic,
         store: &mut Collection,
         annotations: &mut Table,
         telemetry: &TelemetryHandle,
-    ) -> PipelineReport {
+        par: &ScparConfig,
+    ) -> Result<PipelineReport, NosqlError> {
         let mut sim_cursor: u64 = 0;
         let stage_span = |name: &str, items: usize, cursor: &mut u64| {
             let start = *cursor;
@@ -171,19 +212,21 @@ impl CityDataPipeline {
             );
         };
 
-        // 1. Collection: raw sources → topic.
+        // 1. Collection: raw sources → topic. Event construction (JSON
+        //    serialization) fans out; publication stays serial and ordered.
         let mut city_gen = OpenCityGenerator::new(self.seed);
         let city_records = city_gen.stream(self.records);
-        for r in &city_records {
-            topic.publish(Self::record_event(r));
+        for event in scpar::par_map(par, &city_records, Self::record_event) {
+            topic.publish(event);
         }
         let i10 = Corridor::new(
             "I-10",
             vec![GeoPoint::new(30.40, -91.30), GeoPoint::new(30.47, -91.00)],
         );
         let mut waze_gen = WazeGenerator::new(self.seed.wrapping_add(1));
-        for r in waze_gen.stream(&i10, self.waze_reports) {
-            topic.publish(Self::waze_event(&r));
+        let waze_reports = waze_gen.stream(&i10, self.waze_reports);
+        for event in scpar::par_map(par, &waze_reports, Self::waze_event) {
+            topic.publish(event);
         }
         let ingested = topic.total_events();
         telemetry.counter_add(
@@ -206,7 +249,7 @@ impl CityDataPipeline {
             }
             for (pid, offset, event) in batch {
                 if let Some(doc) = Self::event_to_doc(&event) {
-                    store.insert(doc);
+                    store.insert(doc)?;
                 }
                 group.commit(pid, offset);
             }
@@ -219,13 +262,14 @@ impl CityDataPipeline {
         );
         stage_span("pipeline/store", stored, &mut sim_cursor);
 
-        // 3. Analysis: mine crime hot-spots with distributed k-means over
-        //    the stored crime/911 documents, and annotate per-kind counts.
+        // 3. Analysis: mine crime hot-spots with parallel-assignment k-means
+        //    over the stored crime/911 documents, and annotate per-kind
+        //    counts.
         let crime_points: Vec<Vec<f64>> = store
             .find(&Filter::Or(vec![
                 Filter::Eq("kind".into(), Doc::Str("CrimeIncident".into())),
                 Filter::Eq("kind".into(), Doc::Str("EmergencyCall".into())),
-            ]))
+            ]))?
             .iter()
             .filter_map(|(_, d)| {
                 Some(vec![
@@ -236,7 +280,7 @@ impl CityDataPipeline {
             .collect();
         let mined_items = crime_points.len();
         let hotspots: Vec<GeoPoint> = if crime_points.len() >= 3 {
-            let model = kmeans(&Dataset::from_vec(crime_points, 4), 3, 25, self.seed);
+            let model = kmeans_par(&crime_points, 3, 25, self.seed, par);
             model
                 .centroids
                 .iter()
@@ -252,17 +296,24 @@ impl CityDataPipeline {
         );
         stage_span("pipeline/mine", mined_items, &mut sim_cursor);
 
+        // Per-kind counts fan out as parallel index reads over the shared
+        // store (`&Collection` queries are thread-safe); the cell writes
+        // stay serial and ordered.
         let mut annotated = 0;
-        let mut kind_counts: Vec<(String, f64)> = Vec::new();
-        for kind in OpenRecordKind::ALL {
+        let counts = scpar::par_map(par, &OpenRecordKind::ALL, |kind| {
             let kind_name = format!("{kind:?}");
             let count = store.count(&Filter::Eq("kind".into(), Doc::Str(kind_name.clone())));
+            (kind_name, count)
+        });
+        let mut kind_counts: Vec<(String, f64)> = Vec::new();
+        for (kind_name, count) in counts {
+            let count = count?;
             annotations.put(
                 &format!("counts#{kind_name}"),
                 "stats",
                 "count",
                 count.to_string().into_bytes(),
-            );
+            )?;
             annotated += 1;
             kind_counts.push((kind_name, count as f64));
         }
@@ -272,7 +323,7 @@ impl CityDataPipeline {
                 "geo",
                 "latlon",
                 format!("{:.5},{:.5}", h.lat(), h.lon()).into_bytes(),
-            );
+            )?;
             annotated += 1;
         }
         telemetry.counter_add(
@@ -314,14 +365,82 @@ impl CityDataPipeline {
         );
         stage_span("pipeline/visualize", features.len(), &mut sim_cursor);
 
-        PipelineReport {
+        Ok(PipelineReport {
             ingested,
             stored,
             annotated,
             hotspots,
             dashboard: dash,
             geojson,
+        })
+    }
+}
+
+/// Builder for configured pipeline runs — the redesigned run API.
+///
+/// Obtained from [`CityDataPipeline::runner`]. Mirrors the `scfog`
+/// `SimRunner` pattern: chain options, then [`RunOptions::run`].
+#[derive(Debug)]
+pub struct RunOptions<'a> {
+    pipeline: &'a CityDataPipeline,
+    topic: &'a mut Topic,
+    store: &'a mut Collection,
+    annotations: &'a mut Table,
+    telemetry: TelemetryHandle,
+    panel: Option<&'a std::sync::Arc<Telemetry>>,
+    par: ScparConfig,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Routes per-stage counters and sim-time spans to `telemetry`.
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Records into `recorder` *and* embeds a `"telemetry"` dashboard panel
+    /// built from its registry (the old `run_recorded` behaviour).
+    pub fn recorder(mut self, recorder: &'a std::sync::Arc<Telemetry>) -> Self {
+        self.telemetry = recorder.handle();
+        self.panel = Some(recorder);
+        self
+    }
+
+    /// Caps the worker pool used by the fanned-out stages at `threads`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.par = ScparConfig::with_threads(threads);
+        self
+    }
+
+    /// Supplies a full parallelism config.
+    pub fn par_config(mut self, par: ScparConfig) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Executes the pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NosqlError`] from the storage and annotation stages
+    /// (e.g. a malformed document rejected by the store).
+    pub fn run(self) -> Result<PipelineReport, NosqlError> {
+        let mut report = self.pipeline.run_with(
+            self.topic,
+            self.store,
+            self.annotations,
+            &self.telemetry,
+            &self.par,
+        )?;
+        if let Some(recorder) = self.panel {
+            if let Value::Object(dash) = &mut report.dashboard {
+                dash.insert(
+                    "telemetry".to_string(),
+                    telemetry_panel(recorder.registry()),
+                );
+            }
         }
+        Ok(report)
     }
 }
 
@@ -334,8 +453,10 @@ mod tests {
         let mut store = Collection::new("incidents");
         store.create_index("kind");
         let mut annotations = Table::new("annotations", 1024);
-        let report =
-            CityDataPipeline::new(11, records, waze).run(&mut topic, &mut store, &mut annotations);
+        let report = CityDataPipeline::new(11, records, waze)
+            .runner(&mut topic, &mut store, &mut annotations)
+            .run()
+            .unwrap();
         (report, store, annotations)
     }
 
@@ -379,7 +500,11 @@ mod tests {
         let (report, store, _) = run_pipeline(140, 0);
         let total: usize = OpenRecordKind::ALL
             .iter()
-            .map(|k| store.count(&Filter::Eq("kind".into(), Doc::Str(format!("{k:?}")))))
+            .map(|k| {
+                store
+                    .count(&Filter::Eq("kind".into(), Doc::Str(format!("{k:?}"))))
+                    .unwrap()
+            })
             .sum();
         assert_eq!(total, 140);
         assert_eq!(report.annotated, 7 + report.hotspots.len());
@@ -392,12 +517,11 @@ mod tests {
         let mut store = Collection::new("incidents");
         store.create_index("kind");
         let mut annotations = Table::new("annotations", 1024);
-        let report = CityDataPipeline::new(11, 200, 50).run_recorded(
-            &mut topic,
-            &mut store,
-            &mut annotations,
-            &t,
-        );
+        let report = CityDataPipeline::new(11, 200, 50)
+            .runner(&mut topic, &mut store, &mut annotations)
+            .recorder(&t)
+            .run()
+            .unwrap();
 
         let reg = t.registry();
         let counter = |n: &str| reg.get(n).unwrap().as_counter().unwrap().get();
@@ -443,5 +567,60 @@ mod tests {
         let (b, _, _) = run_pipeline(100, 20);
         assert_eq!(a.hotspots, b.hotspots);
         assert_eq!(a.stored, b.stored);
+    }
+
+    fn run_with_threads(threads: usize) -> (PipelineReport, String) {
+        let t = Telemetry::shared();
+        let mut topic = Topic::new("raw", 4);
+        let mut store = Collection::new("incidents");
+        store.create_index("kind");
+        let mut annotations = Table::new("annotations", 1024);
+        let report = CityDataPipeline::new(11, 300, 60)
+            .runner(&mut topic, &mut store, &mut annotations)
+            .telemetry(t.handle())
+            .threads(threads)
+            .run()
+            .unwrap();
+        (report, sctelemetry::prometheus_text(t.registry()))
+    }
+
+    #[test]
+    fn report_and_telemetry_are_thread_count_independent() {
+        let (serial, serial_snap) = run_with_threads(1);
+        for threads in [2, 8] {
+            let (par, par_snap) = run_with_threads(threads);
+            assert_eq!(serial, par, "{threads}-thread report differs");
+            assert_eq!(serial_snap, par_snap, "{threads}-thread snapshot differs");
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_matches_runner() {
+        let mut topic = Topic::new("raw", 4);
+        let mut store = Collection::new("incidents");
+        store.create_index("kind");
+        let mut annotations = Table::new("annotations", 1024);
+        let old = CityDataPipeline::new(11, 120, 30).run(&mut topic, &mut store, &mut annotations);
+        let (new, _, _) = {
+            let mut topic = Topic::new("raw", 4);
+            let mut store = Collection::new("incidents");
+            store.create_index("kind");
+            let mut annotations = Table::new("annotations", 1024);
+            let report = CityDataPipeline::new(11, 120, 30)
+                .runner(&mut topic, &mut store, &mut annotations)
+                .run()
+                .unwrap();
+            (report, store, annotations)
+        };
+        assert_eq!(old, new);
+    }
+
+    #[test]
+    fn report_trait_mirrors_fields() {
+        let (report, _, _) = run_pipeline(100, 10);
+        let kv = report.kv();
+        assert_eq!(kv[0], ("ingested".to_string(), 110.0));
+        assert_eq!(report.to_json()["hotspots"], report.hotspots.len() as f64);
     }
 }

@@ -6,7 +6,7 @@
 //! documents, and self-contained SVG charts.
 
 use scgeo::GeoPoint;
-use sctelemetry::{Metric, MetricsRegistry};
+use sctelemetry::{Metric, MetricsRegistry, Report};
 use serde_json::{json, Map, Value};
 
 /// A point feature destined for a map layer.
@@ -81,6 +81,27 @@ pub fn dashboard(kpis: &[(&str, f64)], series: &[Series]) -> Value {
             "points": s.points.iter().map(|(x, y)| json!([x, y])).collect::<Vec<_>>(),
         })).collect::<Vec<_>>(),
     })
+}
+
+/// Builds a JSON dashboard from any set of layer reports via the shared
+/// [`sctelemetry::Report`] trait: each report's [`Report::kv`] pairs become
+/// a named panel alongside the explicit KPIs and series, so a fog
+/// `SimReport`, a pipeline `PipelineReport`, and a DFS `ClusterStats` all
+/// render through the same code path.
+pub fn dashboard_with_reports(
+    kpis: &[(&str, f64)],
+    series: &[Series],
+    reports: &[(&str, &dyn Report)],
+) -> Value {
+    let mut doc = dashboard(kpis, series);
+    let mut panels = Map::new();
+    for (name, report) in reports {
+        panels.insert((*name).to_string(), report.to_json());
+    }
+    if let Value::Object(map) = &mut doc {
+        map.insert("reports".to_string(), Value::Object(panels));
+    }
+    doc
 }
 
 /// Builds the dashboard's "telemetry" panel from a live metrics registry:
@@ -274,6 +295,20 @@ mod tests {
         assert_eq!(doc["kpis"]["cameras"], 240.0);
         assert_eq!(doc["series"][0]["name"], "latency");
         assert_eq!(doc["series"][0]["points"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn dashboard_with_reports_embeds_report_panels() {
+        struct Stub;
+        impl Report for Stub {
+            fn kv(&self) -> Vec<(String, f64)> {
+                vec![("jobs".to_string(), 42.0)]
+            }
+        }
+        let doc =
+            dashboard_with_reports(&[("cameras", 240.0)], &[], &[("fog", &Stub as &dyn Report)]);
+        assert_eq!(doc["kpis"]["cameras"], 240.0);
+        assert_eq!(doc["reports"]["fog"]["jobs"], 42.0);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! The cluster facade: client API, placement, failures, re-replication.
 
 use bytes::Bytes;
-use sctelemetry::TelemetryHandle;
+use sctelemetry::{Report, TelemetryHandle};
 use simclock::{SeededRng, SimTime, VirtualClock};
 
 use crate::block::{Block, BlockId};
@@ -35,6 +35,20 @@ pub struct ClusterStats {
     pub lost: usize,
     /// Total replica bytes across alive nodes.
     pub used_bytes: usize,
+}
+
+impl Report for ClusterStats {
+    fn kv(&self) -> Vec<(String, f64)> {
+        vec![
+            ("nodes".to_string(), self.nodes as f64),
+            ("alive_nodes".to_string(), self.alive_nodes as f64),
+            ("files".to_string(), self.files as f64),
+            ("blocks".to_string(), self.blocks as f64),
+            ("under_replicated".to_string(), self.under_replicated as f64),
+            ("lost".to_string(), self.lost as f64),
+            ("used_bytes".to_string(), self.used_bytes as f64),
+        ]
+    }
 }
 
 /// An HDFS-like cluster: one namenode plus `n` datanodes.

@@ -24,17 +24,25 @@
 //!
 //! let topo = Topology::four_tier(8, 2, 1); // 8 edges per fog, 2 fogs per server
 //! let workload = Workload::uniform(50, 100_000, 5.0, 42);
-//! let report = FogSimulator::new(topo).run(&workload, Placement::EarlyExit {
-//!     local_fraction: 0.3,
-//!     feature_bytes: 20_000,
-//! });
+//! let sim = FogSimulator::new(topo);
+//! let report = sim
+//!     .runner(&workload)
+//!     .placement(Placement::EarlyExit {
+//!         local_fraction: 0.3,
+//!         feature_bytes: 20_000,
+//!     })
+//!     .run();
 //! assert_eq!(report.jobs, 50);
 //! ```
+//!
+//! Placement sweeps fan out across the [`scpar`] worker pool
+//! (`SimRunner::sweep`); each individual run stays serial and
+//! deterministic, so sweep results are identical for any thread count.
 
 mod sim;
 mod topology;
 mod workload;
 
-pub use sim::{FogSimulator, SimReport, TierUtilization};
+pub use sim::{FogSimulator, SimReport, SimRunner, TierUtilization};
 pub use topology::{FogNodeId, Link, NodeSpec, Tier, Topology};
 pub use workload::{Job, Placement, Workload};

@@ -2,7 +2,10 @@
 
 use std::collections::HashMap;
 
-use sctelemetry::{MetricsRegistry, SampleSummary, TelemetryHandle};
+use scpar::ScparConfig;
+use sctelemetry::{
+    prometheus_text, MetricsRegistry, Report, SampleSummary, Telemetry, TelemetryHandle,
+};
 use simclock::{EventQueue, SimDuration, SimTime};
 
 use crate::topology::{FogNodeId, Tier, Topology};
@@ -150,6 +153,39 @@ impl SimReport {
     }
 }
 
+impl Report for SimReport {
+    fn kv(&self) -> Vec<(String, f64)> {
+        let mut kv = vec![
+            ("jobs".to_string(), self.jobs as f64),
+            ("mean_latency_s".to_string(), self.mean_latency_s),
+            ("p50_latency_s".to_string(), self.p50_latency_s),
+            ("p95_latency_s".to_string(), self.p95_latency_s),
+            ("p99_latency_s".to_string(), self.p99_latency_s),
+            ("max_latency_s".to_string(), self.max_latency_s),
+            (
+                "edge_to_fog_bytes".to_string(),
+                self.edge_to_fog_bytes as f64,
+            ),
+            (
+                "fog_to_server_bytes".to_string(),
+                self.fog_to_server_bytes as f64,
+            ),
+            (
+                "server_to_cloud_bytes".to_string(),
+                self.server_to_cloud_bytes as f64,
+            ),
+            ("makespan_s".to_string(), self.makespan_s),
+        ];
+        for u in &self.tier_utilization {
+            kv.push((
+                format!("utilization_{:?}", u.tier).to_lowercase(),
+                u.utilization,
+            ));
+        }
+        kv
+    }
+}
+
 /// The simulator: executes a [`Workload`] against a [`Topology`] under a
 /// [`Placement`] policy.
 #[derive(Debug)]
@@ -173,9 +209,10 @@ impl FogSimulator {
         }
     }
 
-    /// Attaches a telemetry handle; subsequent [`FogSimulator::run`] calls
-    /// emit per-tier queue-wait/busy histograms, per-link byte counters,
-    /// per-job spans, and an exact latency histogram through it.
+    /// Attaches a telemetry handle; subsequent runs emit per-tier
+    /// queue-wait/busy histograms, per-link byte counters, per-job spans,
+    /// and an exact latency histogram through it (unless a
+    /// [`SimRunner::telemetry`] override routes them elsewhere).
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
         self
@@ -363,12 +400,52 @@ impl FogSimulator {
         }
     }
 
+    /// Starts building a configured run of `workload` on this simulator.
+    ///
+    /// The runner defaults to [`Placement::AllCloud`] (the paper's baseline),
+    /// the simulator's own telemetry handle, and the ambient
+    /// [`ScparConfig`] (`SCPAR_THREADS` / available parallelism) for sweeps.
+    ///
+    /// ```
+    /// # use scfog::{FogSimulator, Placement, Topology, Workload};
+    /// let sim = FogSimulator::new(Topology::four_tier(4, 2, 1));
+    /// let w = Workload::uniform(20, 100_000, 5.0, 42);
+    /// let report = sim
+    ///     .runner(&w)
+    ///     .placement(Placement::ServerOnly)
+    ///     .run();
+    /// assert_eq!(report.jobs, 20);
+    /// ```
+    pub fn runner<'a>(&'a self, workload: &'a Workload) -> SimRunner<'a> {
+        SimRunner {
+            sim: self,
+            workload,
+            placement: Placement::AllCloud,
+            telemetry: None,
+            par: ScparConfig::from_env(),
+        }
+    }
+
     /// Runs the workload to completion, returning aggregate metrics.
     ///
     /// # Panics
     ///
     /// Panics if the workload is empty or the topology has no edge tier.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `runner(&workload).placement(p).run()` instead"
+    )]
     pub fn run(&self, workload: &Workload, placement: Placement) -> SimReport {
+        self.run_with(workload, placement, &self.telemetry)
+    }
+
+    /// The engine: one serial discrete-event run recording into `telemetry`.
+    fn run_with(
+        &self,
+        workload: &Workload,
+        placement: Placement,
+        telemetry: &TelemetryHandle,
+    ) -> SimReport {
         assert!(!workload.is_empty(), "empty workload");
         let edges = self.topology.nodes_in_tier(Tier::Edge);
         assert!(!edges.is_empty(), "topology has no edge nodes");
@@ -391,7 +468,7 @@ impl FogSimulator {
         let mut completion: Vec<Option<SimTime>> = vec![None; plans.len()];
 
         // Per-tier metric names, formatted once (the event loop is hot).
-        let recording = self.telemetry.is_enabled();
+        let recording = telemetry.is_enabled();
         let queue_wait_names: Vec<String> = Tier::ALL
             .iter()
             .map(|t| format!("scfog_sim_queue_wait_{}_seconds", t.name()))
@@ -439,7 +516,7 @@ impl FogSimulator {
                     Step::Compute { node, .. } => self.topology.tier(*node),
                     Step::Transfer { from, .. } => self.topology.tier(*from),
                 };
-                self.telemetry.observe(
+                telemetry.observe(
                     &queue_wait_names[tier_idx(tier)],
                     "time each step waited for its node or link, by tier",
                     start.saturating_since(now).as_secs_f64(),
@@ -489,6 +566,7 @@ impl FogSimulator {
 
         if recording {
             self.record_run(
+                telemetry,
                 workload,
                 &completion,
                 &latencies,
@@ -520,6 +598,7 @@ impl FogSimulator {
     #[allow(clippy::too_many_arguments)]
     fn record_run(
         &self,
+        telemetry: &TelemetryHandle,
         workload: &Workload,
         completion: &[Option<SimTime>],
         latencies: &[f64],
@@ -527,7 +606,7 @@ impl FogSimulator {
         tier_utilization: &[TierUtilization],
         boundary_bytes: &HashMap<(Tier, Tier), u64>,
     ) {
-        let t = &self.telemetry;
+        let t = telemetry;
         t.counter_add(
             METRIC_JOBS,
             "jobs completed by the fog simulator",
@@ -571,6 +650,85 @@ impl FogSimulator {
     }
 }
 
+/// Builder for configured simulation runs — the redesigned run API.
+///
+/// Obtained from [`FogSimulator::runner`]. A single [`SimRunner::run`] stays
+/// serial (the discrete-event engine is inherently sequential); placement
+/// *sweeps* fan out across the `scpar` worker pool, one placement per task.
+///
+/// Every sweep run records into its own private recorder, so the shared
+/// handle is never written from worker threads: per-placement reports and
+/// Prometheus snapshots are byte-identical for any thread count.
+#[derive(Debug)]
+pub struct SimRunner<'a> {
+    sim: &'a FogSimulator,
+    workload: &'a Workload,
+    placement: Placement,
+    telemetry: Option<TelemetryHandle>,
+    par: ScparConfig,
+}
+
+impl SimRunner<'_> {
+    /// Sets the placement policy (defaults to [`Placement::AllCloud`]).
+    pub fn placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Routes this run's signals to `telemetry` instead of the simulator's
+    /// own handle (which is left untouched).
+    pub fn telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Caps the worker pool used by [`SimRunner::sweep`] at `threads`.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.par = ScparConfig::with_threads(threads);
+        self
+    }
+
+    /// Supplies a full parallelism config for sweeps.
+    pub fn par_config(mut self, par: ScparConfig) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Runs the configured workload/placement once, serially.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload is empty or the topology has no edge tier.
+    pub fn run(self) -> SimReport {
+        let telemetry = self.telemetry.as_ref().unwrap_or(&self.sim.telemetry);
+        self.sim.run_with(self.workload, self.placement, telemetry)
+    }
+
+    /// Runs the workload under each placement, fanning the runs out across
+    /// the worker pool. Reports come back in `placements` order regardless
+    /// of thread count; telemetry handles are not written to.
+    pub fn sweep(&self, placements: &[Placement]) -> Vec<SimReport> {
+        scpar::par_map(&self.par, placements, |p| {
+            self.sim
+                .run_with(self.workload, *p, &TelemetryHandle::disabled())
+        })
+    }
+
+    /// Like [`SimRunner::sweep`], but each run records into a fresh private
+    /// recorder whose Prometheus rendering is returned alongside the report.
+    ///
+    /// Because recorders are per-run and reports are combined in submission
+    /// order, the returned snapshots are byte-identical for any thread
+    /// count — the property checked by the determinism suite.
+    pub fn sweep_recorded(&self, placements: &[Placement]) -> Vec<(SimReport, String)> {
+        scpar::par_map(&self.par, placements, |p| {
+            let recorder = Telemetry::shared();
+            let report = self.sim.run_with(self.workload, *p, &recorder.handle());
+            (report, prometheus_text(recorder.registry()))
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -581,6 +739,10 @@ mod tests {
 
     fn workload(n: usize, esc: f64) -> Workload {
         Workload::with_escalation(n, 100_000, 5.0, esc, 7)
+    }
+
+    fn run(s: &FogSimulator, w: &Workload, p: Placement) -> SimReport {
+        s.runner(w).placement(p).run()
     }
 
     #[test]
@@ -596,7 +758,7 @@ mod tests {
                 feature_bytes: 20_000,
             },
         ] {
-            let r = s.run(&w, placement);
+            let r = run(&s, &w, placement);
             assert_eq!(r.jobs, 40, "{placement:?}");
             assert!(r.mean_latency_s > 0.0);
             assert!(r.makespan_s >= r.max_latency_s * 0.5);
@@ -607,8 +769,8 @@ mod tests {
     fn all_edge_ships_fewest_bytes() {
         let s = sim();
         let w = workload(40, 0.3);
-        let edge = s.run(&w, Placement::AllEdge);
-        let cloud = s.run(&w, Placement::AllCloud);
+        let edge = run(&s, &w, Placement::AllEdge);
+        let cloud = run(&s, &w, Placement::AllCloud);
         assert!(edge.total_upstream_bytes() < cloud.total_upstream_bytes() / 10);
     }
 
@@ -618,8 +780,8 @@ mod tests {
         // edge take far longer than shipping raw data to the server.
         let s = sim();
         let w = workload(20, 0.3);
-        let edge = s.run(&w, Placement::AllEdge);
-        let server = s.run(&w, Placement::ServerOnly);
+        let edge = run(&s, &w, Placement::AllEdge);
+        let server = run(&s, &w, Placement::ServerOnly);
         assert!(
             edge.mean_latency_s > server.mean_latency_s,
             "edge {} vs server {}",
@@ -635,8 +797,8 @@ mod tests {
             local_fraction: 0.3,
             feature_bytes: 20_000,
         };
-        let low = s.run(&workload(100, 0.1), policy);
-        let high = s.run(&workload(100, 0.9), policy);
+        let low = run(&s, &workload(100, 0.1), policy);
+        let high = run(&s, &workload(100, 0.9), policy);
         assert!(
             high.fog_to_server_bytes > low.fog_to_server_bytes * 3,
             "low {} vs high {}",
@@ -649,21 +811,22 @@ mod tests {
     fn early_exit_beats_all_cloud_on_upstream_bytes() {
         let s = sim();
         let w = workload(60, 0.3);
-        let ee = s.run(
+        let ee = run(
+            &s,
             &w,
             Placement::EarlyExit {
                 local_fraction: 0.3,
                 feature_bytes: 20_000,
             },
         );
-        let cloud = s.run(&w, Placement::AllCloud);
+        let cloud = run(&s, &w, Placement::AllCloud);
         assert!(ee.total_upstream_bytes() < cloud.total_upstream_bytes());
     }
 
     #[test]
     fn latency_percentiles_ordered() {
         let s = sim();
-        let r = s.run(&workload(80, 0.3), Placement::ServerOnly);
+        let r = run(&s, &workload(80, 0.3), Placement::ServerOnly);
         assert!(r.p50_latency_s <= r.p95_latency_s);
         assert!(r.p95_latency_s <= r.max_latency_s);
         assert!(r.mean_latency_s <= r.max_latency_s);
@@ -672,7 +835,8 @@ mod tests {
     #[test]
     fn utilization_in_bounds() {
         let s = sim();
-        let r = s.run(
+        let r = run(
+            &s,
             &workload(60, 0.5),
             Placement::EarlyExit {
                 local_fraction: 0.3,
@@ -689,7 +853,7 @@ mod tests {
     #[test]
     fn server_only_leaves_edges_idle() {
         let s = sim();
-        let r = s.run(&workload(40, 0.3), Placement::ServerOnly);
+        let r = run(&s, &workload(40, 0.3), Placement::ServerOnly);
         assert_eq!(r.utilization_of(Tier::Edge), 0.0);
         assert!(r.utilization_of(Tier::Server) > 0.0);
     }
@@ -700,8 +864,8 @@ mod tests {
         // Same jobs, 100x the arrival rate: queueing must raise p95.
         let slow = Workload::with_escalation(60, 100_000, 0.5, 0.3, 9);
         let fast = Workload::with_escalation(60, 100_000, 50.0, 0.3, 9);
-        let r_slow = s.run(&slow, Placement::AllEdge);
-        let r_fast = s.run(&fast, Placement::AllEdge);
+        let r_slow = run(&s, &slow, Placement::AllEdge);
+        let r_fast = run(&s, &fast, Placement::AllEdge);
         assert!(
             r_fast.p95_latency_s > r_slow.p95_latency_s,
             "fast {} vs slow {}",
@@ -714,10 +878,72 @@ mod tests {
     fn deterministic_runs() {
         let s = sim();
         let w = workload(30, 0.3);
-        let a = s.run(&w, Placement::AllCloud);
-        let b = s.run(&w, Placement::AllCloud);
+        let a = run(&s, &w, Placement::AllCloud);
+        let b = run(&s, &w, Placement::AllCloud);
         assert_eq!(a.mean_latency_s, b.mean_latency_s);
         assert_eq!(a.total_upstream_bytes(), b.total_upstream_bytes());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_run_matches_runner() {
+        let s = sim();
+        let w = workload(25, 0.3);
+        let old = s.run(&w, Placement::ServerOnly);
+        let new = s.runner(&w).placement(Placement::ServerOnly).run();
+        assert_eq!(old.mean_latency_s, new.mean_latency_s);
+        assert_eq!(old.total_upstream_bytes(), new.total_upstream_bytes());
+    }
+
+    #[test]
+    fn runner_telemetry_override_leaves_sim_handle_untouched() {
+        let shared = Telemetry::shared();
+        let s = sim().with_telemetry(shared.handle());
+        let private = Telemetry::shared();
+        let w = workload(10, 0.3);
+        let r = s
+            .runner(&w)
+            .placement(Placement::AllCloud)
+            .telemetry(private.handle())
+            .run();
+        assert_eq!(r.jobs, 10);
+        assert!(shared.registry().get(METRIC_JOBS).is_none());
+        assert!(private.registry().get(METRIC_JOBS).is_some());
+    }
+
+    const SWEEP: [Placement; 4] = [
+        Placement::AllEdge,
+        Placement::ServerOnly,
+        Placement::AllCloud,
+        Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        },
+    ];
+
+    #[test]
+    fn sweep_matches_individual_runs_in_order() {
+        let s = sim();
+        let w = workload(30, 0.3);
+        let swept = s.runner(&w).threads(4).sweep(&SWEEP);
+        assert_eq!(swept.len(), SWEEP.len());
+        for (p, r) in SWEEP.iter().zip(&swept) {
+            let solo = run(&s, &w, *p);
+            assert_eq!(solo.mean_latency_s, r.mean_latency_s, "{p:?}");
+            assert_eq!(solo.total_upstream_bytes(), r.total_upstream_bytes());
+        }
+    }
+
+    #[test]
+    fn sweep_recorded_snapshots_are_thread_count_independent() {
+        let s = sim();
+        let w = workload(20, 0.3);
+        let serial = s.runner(&w).threads(1).sweep_recorded(&SWEEP);
+        let parallel = s.runner(&w).threads(4).sweep_recorded(&SWEEP);
+        for ((ra, ta), (rb, tb)) in serial.iter().zip(&parallel) {
+            assert_eq!(ra.mean_latency_s, rb.mean_latency_s);
+            assert_eq!(ta, tb, "prometheus snapshots must be byte-identical");
+        }
     }
 }
 
@@ -729,11 +955,16 @@ mod fog_assisted_tests {
         FogSimulator::new(Topology::four_tier(4, 2, 1))
     }
 
+    fn run(s: &FogSimulator, w: &Workload, p: Placement) -> SimReport {
+        s.runner(w).placement(p).run()
+    }
+
     #[test]
     fn fog_assisted_completes_and_uses_fog_tier() {
         let s = sim();
         let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 70);
-        let r = s.run(
+        let r = run(
+            &s,
             &w,
             Placement::FogAssisted {
                 local_fraction: 0.3,
@@ -751,14 +982,16 @@ mod fog_assisted_tests {
         // there beats the edge even after the extra raw-frame hop.
         let s = sim();
         let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 71);
-        let edge = s.run(
+        let edge = run(
+            &s,
             &w,
             Placement::EarlyExit {
                 local_fraction: 0.3,
                 feature_bytes: 20_000,
             },
         );
-        let fog = s.run(
+        let fog = run(
+            &s,
             &w,
             Placement::FogAssisted {
                 local_fraction: 0.3,
@@ -777,7 +1010,8 @@ mod fog_assisted_tests {
     fn fog_assisted_ships_raw_on_first_hop_only() {
         let s = sim();
         let w = Workload::with_escalation(30, 100_000, 5.0, 0.0, 72); // no escalation
-        let r = s.run(
+        let r = run(
+            &s,
             &w,
             Placement::FogAssisted {
                 local_fraction: 0.3,

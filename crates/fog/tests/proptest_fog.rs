@@ -30,7 +30,7 @@ proptest! {
     ) {
         let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
         let w = Workload::with_escalation(jobs, 50_000, rate, esc, seed);
-        let r = sim.run(&w, placement);
+        let r = sim.runner(&w).placement(placement).run();
         prop_assert_eq!(r.jobs, jobs);
         prop_assert!(r.mean_latency_s > 0.0);
         prop_assert!(r.p50_latency_s <= r.p95_latency_s + 1e-12);
@@ -51,11 +51,8 @@ proptest! {
     ) {
         let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
         let w = Workload::with_escalation(jobs, 100_000, 10.0, esc, seed);
-        let cloud = sim.run(&w, Placement::AllCloud);
-        let early = sim.run(
-            &w,
-            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
-        );
+        let cloud = sim.runner(&w).placement(Placement::AllCloud).run();
+        let early = sim.runner(&w).placement(Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 }).run();
         prop_assert!(early.total_upstream_bytes() <= cloud.total_upstream_bytes());
     }
 
@@ -64,7 +61,7 @@ proptest! {
     fn all_edge_bytes_are_annotations_only(jobs in 1usize..60, seed in any::<u64>()) {
         let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
         let w = Workload::with_escalation(jobs, 100_000, 10.0, 0.5, seed);
-        let r = sim.run(&w, Placement::AllEdge);
+        let r = sim.runner(&w).placement(Placement::AllEdge).run();
         // 256 bytes per job per boundary, 3 boundaries.
         prop_assert_eq!(r.total_upstream_bytes(), jobs as u64 * 256 * 3);
     }
@@ -79,8 +76,8 @@ proptest! {
     ) {
         let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
         let w = Workload::with_escalation(jobs, 80_000, 15.0, esc, seed);
-        let a = sim.run(&w, placement);
-        let b = sim.run(&w, placement);
+        let a = sim.runner(&w).placement(placement).run();
+        let b = sim.runner(&w).placement(placement).run();
         prop_assert_eq!(a.mean_latency_s, b.mean_latency_s);
         prop_assert_eq!(a.total_upstream_bytes(), b.total_upstream_bytes());
         prop_assert_eq!(a.makespan_s, b.makespan_s);
@@ -96,10 +93,7 @@ proptest! {
         let escalated = w.jobs().iter().filter(|j| j.escalates).count() as u64;
         let local = jobs as u64 - escalated;
         let feature_bytes = 12_345u64;
-        let r = sim.run(
-            &w,
-            Placement::EarlyExit { local_fraction: 0.2, feature_bytes },
-        );
+        let r = sim.runner(&w).placement(Placement::EarlyExit { local_fraction: 0.2, feature_bytes }).run();
         prop_assert_eq!(
             r.fog_to_server_bytes,
             escalated * feature_bytes + local * 256
@@ -111,11 +105,11 @@ proptest! {
     fn placement_utilization_profile(jobs in 5usize..40, seed in any::<u64>()) {
         let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
         let w = Workload::with_escalation(jobs, 50_000, 10.0, 0.5, seed);
-        let edge = sim.run(&w, Placement::AllEdge);
+        let edge = sim.runner(&w).placement(Placement::AllEdge).run();
         prop_assert!(edge.utilization_of(Tier::Edge) > 0.0);
         prop_assert_eq!(edge.utilization_of(Tier::Server), 0.0);
         prop_assert_eq!(edge.utilization_of(Tier::Cloud), 0.0);
-        let cloud = sim.run(&w, Placement::AllCloud);
+        let cloud = sim.runner(&w).placement(Placement::AllCloud).run();
         prop_assert_eq!(cloud.utilization_of(Tier::Edge), 0.0);
         prop_assert!(cloud.utilization_of(Tier::Cloud) > 0.0);
     }

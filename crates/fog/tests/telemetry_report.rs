@@ -8,13 +8,13 @@ fn run_with_telemetry(seed: u64) -> (SimReport, std::sync::Arc<Telemetry>) {
     let telemetry = Telemetry::shared();
     let sim = FogSimulator::new(Topology::four_tier(4, 2, 1)).with_telemetry(telemetry.handle());
     let w = Workload::with_escalation(50, 100_000, 5.0, 0.3, seed);
-    let report = sim.run(
-        &w,
-        Placement::EarlyExit {
+    let report = sim
+        .runner(&w)
+        .placement(Placement::EarlyExit {
             local_fraction: 0.3,
             feature_bytes: 20_000,
-        },
-    );
+        })
+        .run();
     (report, telemetry)
 }
 
@@ -77,7 +77,7 @@ fn different_seeds_give_different_snapshots() {
 fn disabled_telemetry_records_nothing() {
     let sim = FogSimulator::new(Topology::four_tier(2, 1, 1));
     let w = Workload::with_escalation(10, 50_000, 5.0, 0.2, 3);
-    let report = sim.run(&w, Placement::ServerOnly);
+    let report = sim.runner(&w).placement(Placement::ServerOnly).run();
     assert_eq!(report.jobs, 10);
     let telemetry = Telemetry::shared();
     assert!(SimReport::from_registry(telemetry.registry()).is_none());

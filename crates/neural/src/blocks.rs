@@ -195,6 +195,31 @@ impl ResidualBlock {
         }
     }
 
+    fn shortcut_infer(&self, input: &Tensor) -> Tensor {
+        match self.shortcut {
+            Shortcut::Identity => input.clone(),
+            Shortcut::Conv => self
+                .shortcut_conv
+                .as_ref()
+                .expect("set in constructor")
+                .infer(input),
+            Shortcut::MaxPool => {
+                let pooled = match self.shortcut_pool.as_ref() {
+                    Some(pool) => pool.infer(input),
+                    None => input.clone(),
+                };
+                if self.out_channels == self.in_channels {
+                    pooled
+                } else {
+                    let s = pooled.shape();
+                    let zeros =
+                        Tensor::zeros(vec![s[0], self.out_channels - self.in_channels, s[2], s[3]]);
+                    concat_channels(&[pooled, zeros])
+                }
+            }
+        }
+    }
+
     fn shortcut_backward(&mut self, grad: &Tensor) -> Tensor {
         match self.shortcut {
             Shortcut::Identity => grad.clone(),
@@ -236,6 +261,21 @@ impl Layer for ResidualBlock {
         let sum = main.add(&short).expect("shapes checked");
         self.out_mask = Some(sum.data().iter().map(|&v| v > 0.0).collect());
         sum.map(|v| v.max(0.0))
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let main = self.conv1.infer(input);
+        let main = self.relu1.infer(&main);
+        let main = self.conv2.infer(&main);
+        let short = self.shortcut_infer(input);
+        assert_eq!(
+            main.shape(),
+            short.shape(),
+            "main and shortcut paths must produce identical shapes"
+        );
+        main.add(&short)
+            .expect("shapes checked")
+            .map(|v| v.max(0.0))
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -345,6 +385,23 @@ impl Layer for InceptionBlock {
         let y4 = {
             let p = self.b4pool.forward(input, train);
             self.relus[3].forward(&self.b4conv.forward(&p, train), train)
+        };
+        concat_channels(&[y1, y2, y3, y4])
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let y1 = self.relus[0].infer(&self.b1.infer(input));
+        let y2 = {
+            let r = self.b2a.infer(input);
+            self.relus[1].infer(&self.b2b.infer(&r))
+        };
+        let y3 = {
+            let r = self.b3a.infer(input);
+            self.relus[2].infer(&self.b3b.infer(&r))
+        };
+        let y4 = {
+            let p = self.b4pool.infer(input);
+            self.relus[3].infer(&self.b4conv.infer(&p))
         };
         concat_channels(&[y1, y2, y3, y4])
     }

@@ -9,6 +9,7 @@
 //! shape for any backbone, with both the confidence policy of Fig. 5 and the
 //! entropy policy of Fig. 7.
 
+use scpar::ScparConfig;
 use sctelemetry::TelemetryHandle;
 
 use crate::layers::{entropy_rows, softmax_rows, Layer};
@@ -169,9 +170,25 @@ impl EarlyExitNet {
 
     /// Runs split inference on a batch, deciding per sample whether the local
     /// exit suffices or the feature map must go upstream.
+    ///
+    /// Equivalent to [`EarlyExitNet::infer_with`] on a single thread; kept
+    /// on `&mut self` for backwards compatibility.
     pub fn infer(&mut self, input: &Tensor) -> Vec<ExitDecision> {
-        let features = self.front.predict(input);
-        let local_probs = softmax_rows(&self.exit_head.predict(&features));
+        self.infer_with(input, &ScparConfig::serial())
+    }
+
+    /// Runs split inference with batch chunks fanned out on the `scpar`
+    /// worker pool.
+    ///
+    /// Both backbone passes go through [`Sequential::predict_with`], whose
+    /// fixed row-chunking makes every per-sample probability — and therefore
+    /// every exit decision — bit-identical to the serial path. Telemetry is
+    /// aggregated once over the whole batch (counts and the exact take-rate
+    /// observation), so recorded snapshots are also byte-identical for any
+    /// thread count.
+    pub fn infer_with(&self, input: &Tensor, cfg: &ScparConfig) -> Vec<ExitDecision> {
+        let features = self.front.predict_with(input, cfg);
+        let local_probs = softmax_rows(&self.exit_head.predict_with(&features, cfg));
         let entropies = entropy_rows(&local_probs);
         let n = input.shape()[0];
         let per_sample_bytes = features.len() / n * std::mem::size_of::<f32>();
@@ -198,8 +215,8 @@ impl EarlyExitNet {
         if !escalate.is_empty() {
             let sub = select_batch(&features, &escalate);
             let server_logits = {
-                let deep = self.rest.predict(&sub);
-                self.final_head.predict(&deep)
+                let deep = self.rest.predict_with(&sub, cfg);
+                self.final_head.predict_with(&deep, cfg)
             };
             let server_probs = softmax_rows(&server_logits);
             let server_classes = server_probs.argmax_rows();

@@ -185,10 +185,10 @@ impl Conv2d {
             conv_out_dim(w, self.kernel, self.stride, self.pad),
         )
     }
-}
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// The pure forward computation shared by `forward` (which stores the
+    /// cache) and `infer` (which discards it).
+    fn forward_impl(&self, input: &Tensor) -> (Tensor, ConvCache) {
         let shape = input.shape().to_vec();
         assert_eq!(shape.len(), 4, "Conv2d expects [n, c, h, w], got {shape:?}");
         assert_eq!(shape[1], self.in_channels, "channel mismatch");
@@ -208,12 +208,6 @@ impl Layer for Conv2d {
             .matmul(&self.weight.value)
             .expect("im2col width equals weight height")
             .add_row_broadcast(&self.bias.value);
-        self.cache = Some(ConvCache {
-            cols,
-            input_shape: shape,
-            oh,
-            ow,
-        });
         // Rearrange [n*oh*ow, f] to [n, f, oh, ow].
         let f = self.out_channels;
         let mut out = vec![0.0f32; n * f * oh * ow];
@@ -228,7 +222,26 @@ impl Layer for Conv2d {
                 }
             }
         }
-        Tensor::from_vec(vec![n, f, oh, ow], out).expect("size computed above")
+        let out = Tensor::from_vec(vec![n, f, oh, ow], out).expect("size computed above");
+        let cache = ConvCache {
+            cols,
+            input_shape: shape,
+            oh,
+            ow,
+        };
+        (out, cache)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (out, cache) = self.forward_impl(input);
+        self.cache = Some(cache);
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward_impl(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -312,10 +325,9 @@ impl MaxPool2d {
             cache: None,
         }
     }
-}
 
-impl Layer for MaxPool2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// The pure forward computation shared by `forward` and `infer`.
+    fn forward_impl(&self, input: &Tensor) -> (Tensor, (Vec<usize>, Vec<usize>)) {
         let shape = input.shape().to_vec();
         assert_eq!(shape.len(), 4, "MaxPool2d expects [n, c, h, w]");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
@@ -346,8 +358,20 @@ impl Layer for MaxPool2d {
                 }
             }
         }
-        self.cache = Some((shape, arg));
-        Tensor::from_vec(vec![n, c, oh, ow], out).expect("size computed above")
+        let out = Tensor::from_vec(vec![n, c, oh, ow], out).expect("size computed above");
+        (out, (shape, arg))
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (out, cache) = self.forward_impl(input);
+        self.cache = Some(cache);
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward_impl(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -387,10 +411,9 @@ impl AvgPool2d {
             input_shape: None,
         }
     }
-}
 
-impl Layer for AvgPool2d {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// The pure forward computation shared by `forward` and `infer`.
+    fn forward_impl(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         let shape = input.shape().to_vec();
         assert_eq!(shape.len(), 4, "AvgPool2d expects [n, c, h, w]");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
@@ -418,8 +441,20 @@ impl Layer for AvgPool2d {
                 }
             }
         }
+        let out = Tensor::from_vec(vec![n, c, oh, ow], out).expect("size computed above");
+        (out, shape)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (out, shape) = self.forward_impl(input);
         self.input_shape = Some(shape);
-        Tensor::from_vec(vec![n, c, oh, ow], out).expect("size computed above")
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward_impl(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -467,10 +502,9 @@ impl GlobalAvgPool {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl Layer for GlobalAvgPool {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// The pure forward computation shared by `forward` and `infer`.
+    fn forward_impl(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
         let shape = input.shape().to_vec();
         assert_eq!(shape.len(), 4, "GlobalAvgPool expects [n, c, h, w]");
         let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
@@ -482,8 +516,20 @@ impl Layer for GlobalAvgPool {
                 out[b * c + ch] = input.data()[start..start + h * w].iter().sum::<f32>() / area;
             }
         }
+        let out = Tensor::from_vec(vec![n, c], out).expect("size computed above");
+        (out, shape)
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (out, shape) = self.forward_impl(input);
         self.input_shape = Some(shape);
-        Tensor::from_vec(vec![n, c], out).expect("size computed above")
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward_impl(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

@@ -63,6 +63,13 @@ impl Layer for Dense {
             .add_row_broadcast(&self.bias.value)
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input
+            .matmul(&self.weight.value)
+            .expect("dense input width must equal in_features")
+            .add_row_broadcast(&self.bias.value)
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let input = self.cached_input.as_ref().expect("backward before forward");
         let dw = input
@@ -108,6 +115,10 @@ impl Layer for Relu {
         input.map(|x| x.max(0.0))
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| x.max(0.0))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward before forward");
         let data = grad_out
@@ -144,6 +155,10 @@ impl Layer for Sigmoid {
         out
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let out = self.output.as_ref().expect("backward before forward");
         let deriv = out.map(|y| y * (1.0 - y));
@@ -173,6 +188,10 @@ impl Layer for Tanh {
         let out = input.map(|x| x.tanh());
         self.output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.map(|x| x.tanh())
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -208,6 +227,10 @@ impl Layer for Softmax {
         let out = softmax_rows(input);
         self.output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        softmax_rows(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -250,6 +273,16 @@ impl Layer for Flatten {
         let batch = shape[0];
         let features: usize = shape[1..].iter().product();
         self.input_shape = Some(shape);
+        input
+            .reshape(vec![batch, features])
+            .expect("same element count")
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert!(!shape.is_empty(), "flatten needs a batched input");
+        let batch = shape[0];
+        let features: usize = shape[1..].iter().product();
         input
             .reshape(vec![batch, features])
             .expect("same element count")
@@ -319,6 +352,10 @@ impl Layer for Dropout {
         Tensor::from_vec(input.shape().to_vec(), data).expect("same length")
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.clone()
+    }
+
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         match &self.mask {
             None => grad_out.clone(),
@@ -371,6 +408,25 @@ impl BatchNorm1d {
             cache: None,
         }
     }
+
+    /// Inference-mode normalization with the running statistics; shared by
+    /// `forward(_, false)` and `infer` so both produce identical bits.
+    fn infer_out(&self, input: &Tensor) -> Tensor {
+        let (n, d) = (input.rows(), input.cols());
+        let mut out = Tensor::zeros(vec![n, d]);
+        for i in 0..n {
+            for j in 0..d {
+                let xn = (input.at(i, j) - self.running_mean[j])
+                    / (self.running_var[j] + self.eps).sqrt();
+                out.set(
+                    i,
+                    j,
+                    self.gamma.value.at(0, j) * xn + self.beta.value.at(0, j),
+                );
+            }
+        }
+        out
+    }
 }
 
 impl Layer for BatchNorm1d {
@@ -417,20 +473,14 @@ impl Layer for BatchNorm1d {
                 std_inv,
             });
         } else {
-            for i in 0..n {
-                for j in 0..d {
-                    let xn = (input.at(i, j) - self.running_mean[j])
-                        / (self.running_var[j] + self.eps).sqrt();
-                    out.set(
-                        i,
-                        j,
-                        self.gamma.value.at(0, j) * xn + self.beta.value.at(0, j),
-                    );
-                }
-            }
+            out = self.infer_out(input);
             self.cache = None;
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.infer_out(input)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

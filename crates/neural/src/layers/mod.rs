@@ -38,12 +38,23 @@ impl Param {
 /// needs, and `backward` must be called with the gradient of the loss with
 /// respect to the layer's most recent output. Trainable layers expose their
 /// parameters through [`Layer::params_mut`], which optimizers consume.
+/// [`Layer::infer`] is the pure counterpart of `forward`: it computes the
+/// same inference-mode output without touching any cached state, which is
+/// what lets `scpar` run batch chunks through one shared network
+/// concurrently (the trait is `Sync` for exactly that reason).
 ///
 /// The trait is object-safe; networks are `Vec<Box<dyn Layer>>`.
-pub trait Layer: std::fmt::Debug + Send {
+pub trait Layer: std::fmt::Debug + Send + Sync {
     /// Computes the layer output for `input`. `train` enables training-only
     /// behaviour (dropout masks, batch-norm statistics updates).
     fn forward(&mut self, input: &Tensor, train: bool) -> Tensor;
+
+    /// Inference-mode forward pass without mutation: numerically identical
+    /// to `forward(input, false)` but caches nothing, so a shared `&self`
+    /// can serve many batch chunks in parallel. Row-independent layers must
+    /// produce bit-identical outputs for any row subset, which is what makes
+    /// chunked batch inference byte-stable across thread counts.
+    fn infer(&self, input: &Tensor) -> Tensor;
 
     /// Propagates `grad_out` (dL/d-output) backwards, accumulating parameter
     /// gradients and returning dL/d-input.

@@ -3,6 +3,35 @@
 //! These routines are deliberately simple — the matrices involved are modality
 //! feature covariances (tens of rows), where cubic algorithms are instant.
 
+/// Blocked ikj kernel over a row panel of `a` (`rows × k`) times `b`
+/// (`k × n`), accumulating into `out` (`rows × n`).
+///
+/// The inner dimension is walked in ascending `KC`-sized blocks, so each
+/// output element accumulates its terms in exactly the same order as the
+/// naive ascending-`k` loop — blocking changes cache behaviour, never bits.
+fn matmul_panel(a: &[f64], b: &[f64], k: usize, n: usize, out: &mut [f64]) {
+    const KC: usize = 64;
+    let rows = a.len().checked_div(k).unwrap_or(0);
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KC).min(k);
+            for (p, &av) in a_row[kb..ke].iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(kb + p) * n..(kb + p + 1) * n];
+                for (o, &bv) in o_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
+                }
+            }
+            kb = ke;
+        }
+    }
+}
+
 /// A small dense row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Mat {
@@ -50,26 +79,57 @@ impl Mat {
         self.cols
     }
 
+    /// Rows per panel in [`Mat::matmul_with`]. Fixed by the input shape
+    /// alone — never the thread count — so parallel products are
+    /// bit-identical to serial ones.
+    pub const PANEL_ROWS: usize = 32;
+
     /// Matrix product.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
+        self.matmul_with(other, &scpar::ScparConfig::serial())
+    }
+
+    /// Tiled matrix product with row panels fanned out on the `scpar` pool.
+    ///
+    /// Output rows are partitioned into fixed [`Mat::PANEL_ROWS`]-row panels
+    /// and each panel runs the blocked ikj kernel ([`matmul_panel`]), which
+    /// visits the inner dimension in the same ascending order as the serial
+    /// product — so the result is bit-identical for any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with(&self, other: &Mat, cfg: &scpar::ScparConfig) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Mat::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self[(i, k)];
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    out[(i, j)] += a * other[(k, j)];
-                }
-            }
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        if !cfg.is_parallel() || m <= Self::PANEL_ROWS || k == 0 {
+            let mut data = vec![0.0; m * n];
+            matmul_panel(&self.data, &other.data, k, n, &mut data);
+            return Mat {
+                rows: m,
+                cols: n,
+                data,
+            };
         }
-        out
+        let chunk_elems = Self::PANEL_ROWS * k;
+        let panels = scpar::par_map_chunks(cfg, &self.data, chunk_elems, |_ci, a_panel| {
+            let mut out = vec![0.0; (a_panel.len() / k) * n];
+            matmul_panel(a_panel, &other.data, k, n, &mut out);
+            out
+        });
+        let mut data = Vec::with_capacity(m * n);
+        for panel in panels {
+            data.extend_from_slice(&panel);
+        }
+        Mat {
+            rows: m,
+            cols: n,
+            data,
+        }
     }
 
     /// Transpose.

@@ -1,5 +1,6 @@
 //! Sequential networks and the training loop.
 
+use scpar::ScparConfig;
 use sctelemetry::TelemetryHandle;
 
 use crate::layers::{softmax_rows, Layer, Param};
@@ -10,6 +11,11 @@ use crate::tensor::Tensor;
 /// Prefix of the per-layer forward-time histograms: layer `i` with name `n`
 /// observes into `scneural_net_forward_<i>_<n>_seconds` (wall clock).
 pub const METRIC_FORWARD_PREFIX: &str = "scneural_net_forward_";
+
+/// Rows per chunk in [`Sequential::predict_with`]. Fixed (never derived from
+/// the thread count) so chunk boundaries — and therefore outputs — are
+/// identical for any [`ScparConfig`].
+pub const BATCH_CHUNK_ROWS: usize = 32;
 
 /// A feed-forward stack of layers executed in order.
 ///
@@ -89,6 +95,55 @@ impl Sequential {
     /// Runs inference (no dropout, batch-norm in inference mode).
     pub fn predict(&mut self, input: &Tensor) -> Tensor {
         self.forward(input, false)
+    }
+
+    /// Parallel batch inference on the `scpar` worker pool.
+    ///
+    /// The `[batch, ...]` input is split into fixed chunks of
+    /// [`BATCH_CHUNK_ROWS`] rows; each chunk runs through the immutable
+    /// [`Layer::infer`] path concurrently and the outputs are stitched back
+    /// together in chunk order. Every layer in this crate computes rows
+    /// independently in inference mode, so the result is bit-identical to
+    /// `predict` for any thread count.
+    ///
+    /// Unlike `predict`, this path records no per-layer forward-time
+    /// histograms: wall-clock timings are inherently nondeterministic and
+    /// would break the byte-identical-telemetry contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has no dimensions.
+    pub fn predict_with(&self, input: &Tensor, cfg: &ScparConfig) -> Tensor {
+        let shape = input.shape();
+        assert!(!shape.is_empty(), "predict_with needs a batched input");
+        let n = shape[0];
+        if !cfg.is_parallel() || n <= BATCH_CHUNK_ROWS || input.is_empty() {
+            return self.infer(input);
+        }
+        let row_elems = input.len() / n;
+        let rest: Vec<usize> = shape[1..].to_vec();
+        let chunk_elems = BATCH_CHUNK_ROWS * row_elems;
+        let parts = scpar::par_map_chunks(cfg, input.data(), chunk_elems, |_ci, part| {
+            let rows = part.len() / row_elems;
+            let mut sub_shape = vec![rows];
+            sub_shape.extend_from_slice(&rest);
+            let sub = Tensor::from_vec(sub_shape, part.to_vec()).expect("chunk is whole rows");
+            self.infer(&sub)
+        });
+        let out_rest: Vec<usize> = parts[0].shape()[1..].to_vec();
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for p in &parts {
+            data.extend_from_slice(p.data());
+        }
+        let mut out_shape = vec![n];
+        out_shape.extend_from_slice(&out_rest);
+        Tensor::from_vec(out_shape, data).expect("chunks cover the batch")
+    }
+
+    /// Parallel batch inference returning row-wise probabilities; see
+    /// [`Sequential::predict_with`].
+    pub fn predict_proba_with(&self, input: &Tensor, cfg: &ScparConfig) -> Tensor {
+        softmax_rows(&self.predict_with(input, cfg))
     }
 
     /// Runs inference and converts logits to row-wise probabilities.
@@ -185,6 +240,14 @@ impl Layer for Sequential {
             for layer in &mut self.layers {
                 x = layer.forward(&x, train);
             }
+        }
+        x
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
         }
         x
     }

@@ -94,14 +94,10 @@ impl Lstm {
         }
         Tensor::from_vec(vec![n, d], data).expect("size computed above")
     }
-}
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-impl Layer for Lstm {
-    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+    /// The pure forward recurrence shared by `forward` (which stores the
+    /// BPTT cache) and `infer` (which discards it).
+    fn forward_impl(&self, input: &Tensor) -> (Tensor, LstmCache) {
         let shape = input.shape();
         assert_eq!(
             shape.len(),
@@ -157,15 +153,32 @@ impl Layer for Lstm {
             hs.push(h_t);
             cs.push(c_t);
         }
-        self.cache = Some(LstmCache {
+        let cache = LstmCache {
             xs,
             hs,
             cs,
             gates,
             n,
             t: t_len,
-        });
-        Tensor::from_vec(vec![n, t_len, h], out).expect("size computed above")
+        };
+        let out = Tensor::from_vec(vec![n, t_len, h], out).expect("size computed above");
+        (out, cache)
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Lstm {
+    fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
+        let (out, cache) = self.forward_impl(input);
+        self.cache = Some(cache);
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.forward_impl(input).0
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -284,6 +297,18 @@ impl Layer for LastStep {
             out.extend_from_slice(&input.data()[start..start + d]);
         }
         self.input_shape = Some(shape);
+        Tensor::from_vec(vec![n, d], out).expect("size computed above")
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let shape = input.shape();
+        assert_eq!(shape.len(), 3, "LastStep expects [batch, time, features]");
+        let (n, t, d) = (shape[0], shape[1], shape[2]);
+        let mut out = Vec::with_capacity(n * d);
+        for b in 0..n {
+            let start = (b * t + (t - 1)) * d;
+            out.extend_from_slice(&input.data()[start..start + d]);
+        }
         Tensor::from_vec(vec![n, d], out).expect("size computed above")
     }
 

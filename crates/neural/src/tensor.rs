@@ -74,6 +74,11 @@ pub struct Tensor {
 }
 
 impl Tensor {
+    /// Output rows per panel in [`Tensor::matmul_with`]. Fixed by the input
+    /// shape alone so parallel products are bit-identical for any thread
+    /// count.
+    pub const MATMUL_PANEL_ROWS: usize = 32;
+
     /// Creates a tensor from a shape and backing data.
     ///
     /// # Errors
@@ -258,6 +263,63 @@ impl Tensor {
         Ok(Tensor {
             shape: vec![m, n],
             data: out,
+        })
+    }
+
+    /// Matrix multiplication with row panels fanned out on the `scpar` pool.
+    ///
+    /// The output rows are partitioned into fixed panels of
+    /// [`Tensor::MATMUL_PANEL_ROWS`] rows (never a function of the thread
+    /// count); each panel runs the same ikj kernel as [`Tensor::matmul`], so
+    /// every output row is computed by an identical instruction sequence and
+    /// the result is bit-identical to the serial product for any
+    /// `scpar::ScparConfig`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] under the same conditions as
+    /// [`Tensor::matmul`].
+    pub fn matmul_with(
+        &self,
+        other: &Tensor,
+        cfg: &scpar::ScparConfig,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
+            return Err(TensorError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
+        if !cfg.is_parallel() || m <= Self::MATMUL_PANEL_ROWS || k == 0 {
+            return self.matmul(other);
+        }
+        let chunk_elems = Self::MATMUL_PANEL_ROWS * k;
+        let panels = scpar::par_map_chunks(cfg, &self.data, chunk_elems, |_ci, a_panel| {
+            let rows = a_panel.len() / k;
+            let mut out = vec![0.0f32; rows * n];
+            for i in 0..rows {
+                let a_row = &a_panel[i * k..(i + 1) * k];
+                let o_row = &mut out[i * n..(i + 1) * n];
+                for (p, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[p * n..(p + 1) * n];
+                    for (o, &b) in o_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+            out
+        });
+        let mut data = Vec::with_capacity(m * n);
+        for panel in panels {
+            data.extend_from_slice(&panel);
+        }
+        Ok(Tensor {
+            shape: vec![m, n],
+            data,
         })
     }
 

@@ -6,6 +6,9 @@
 //! falling back to a scan otherwise.
 
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::NosqlError;
 
 /// A JSON-like document value.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +65,33 @@ impl Doc {
         match self {
             Doc::Str(s) => Some(s),
             _ => None,
+        }
+    }
+
+    /// Checks that every number in the tree is finite (orderable), returning
+    /// the dotted path of the first offender.
+    fn check_finite(&self, path: &mut Vec<String>) -> Result<(), NosqlError> {
+        match self {
+            Doc::F64(v) if !v.is_finite() => Err(NosqlError::NonFiniteNumber {
+                path: path.join("."),
+            }),
+            Doc::Array(items) => {
+                for (i, item) in items.iter().enumerate() {
+                    path.push(i.to_string());
+                    item.check_finite(path)?;
+                    path.pop();
+                }
+                Ok(())
+            }
+            Doc::Object(map) => {
+                for (k, v) in map {
+                    path.push(k.clone());
+                    v.check_finite(path)?;
+                    path.pop();
+                }
+                Ok(())
+            }
+            _ => Ok(()),
         }
     }
 
@@ -136,6 +166,38 @@ pub enum Filter {
 }
 
 impl Filter {
+    /// Checks the filter is answerable: range bounds must be finite and
+    /// ordered, geo centers finite with a non-negative radius. Composite
+    /// filters validate every arm.
+    pub fn validate(&self) -> Result<(), NosqlError> {
+        match self {
+            Filter::Range(path, lo, hi) => {
+                if !lo.is_finite() || !hi.is_finite() || lo > hi {
+                    return Err(NosqlError::InvalidRange {
+                        path: path.clone(),
+                        lo: *lo,
+                        hi: *hi,
+                    });
+                }
+                Ok(())
+            }
+            Filter::Near {
+                path,
+                lat,
+                lon,
+                radius_m,
+            } => {
+                if !lat.is_finite() || !lon.is_finite() || !radius_m.is_finite() || *radius_m < 0.0
+                {
+                    return Err(NosqlError::InvalidGeo { path: path.clone() });
+                }
+                Ok(())
+            }
+            Filter::And(fs) | Filter::Or(fs) => fs.iter().try_for_each(Filter::validate),
+            Filter::Eq(..) | Filter::Exists(..) => Ok(()),
+        }
+    }
+
     /// Whether `doc` satisfies this filter.
     pub fn matches(&self, doc: &Doc) -> bool {
         match self {
@@ -189,8 +251,8 @@ struct FieldIndex {
 /// tweets.insert(Doc::object([
 ///     ("user", Doc::Str("amber_watch".into())),
 ///     ("text", Doc::Str("silver sedan heading east".into())),
-/// ]));
-/// let hits = tweets.find(&Filter::Eq("user".into(), Doc::Str("amber_watch".into())));
+/// ])).unwrap();
+/// let hits = tweets.find(&Filter::Eq("user".into(), Doc::Str("amber_watch".into()))).unwrap();
 /// assert_eq!(hits.len(), 1);
 /// ```
 #[derive(Debug, Default)]
@@ -199,8 +261,10 @@ pub struct Collection {
     docs: BTreeMap<DocId, Doc>,
     indexes: HashMap<String, FieldIndex>,
     next_id: u64,
-    scans: std::cell::Cell<u64>,
-    index_hits: std::cell::Cell<u64>,
+    // Atomics (not `Cell`) so `&Collection` queries can run from the
+    // `scpar` worker pool.
+    scans: AtomicU64,
+    index_hits: AtomicU64,
 }
 
 impl Collection {
@@ -245,7 +309,14 @@ impl Collection {
     }
 
     /// Inserts a document, returning its id.
-    pub fn insert(&mut self, doc: Doc) -> DocId {
+    ///
+    /// # Errors
+    ///
+    /// Rejects documents carrying non-finite numbers
+    /// ([`NosqlError::NonFiniteNumber`]) — they have no total order, so they
+    /// can never be indexed or range-queried.
+    pub fn insert(&mut self, doc: Doc) -> Result<DocId, NosqlError> {
+        doc.check_finite(&mut Vec::new())?;
         let id = DocId(self.next_id);
         self.next_id += 1;
         for (path, index) in &mut self.indexes {
@@ -254,7 +325,7 @@ impl Collection {
             }
         }
         self.docs.insert(id, doc);
-        id
+        Ok(id)
     }
 
     /// Fetches a document by id.
@@ -265,9 +336,15 @@ impl Collection {
     /// Replaces a document in place, keeping its id and updating indexes.
     /// Returns the previous document, or `None` (no insert) if the id is
     /// unknown.
-    pub fn update(&mut self, id: DocId, doc: Doc) -> Option<Doc> {
+    ///
+    /// # Errors
+    ///
+    /// Rejects documents carrying non-finite numbers, like
+    /// [`Collection::insert`]; the stored document is untouched.
+    pub fn update(&mut self, id: DocId, doc: Doc) -> Result<Option<Doc>, NosqlError> {
+        doc.check_finite(&mut Vec::new())?;
         if !self.docs.contains_key(&id) {
-            return None;
+            return Ok(None);
         }
         let old = self.remove(id).expect("checked above");
         for (path, index) in &mut self.indexes {
@@ -276,17 +353,22 @@ impl Collection {
             }
         }
         self.docs.insert(id, doc);
-        Some(old)
+        Ok(Some(old))
     }
 
     /// Removes every document matching `filter`, returning how many were
     /// deleted (a retention sweep's primitive).
-    pub fn remove_where(&mut self, filter: &Filter) -> usize {
-        let ids: Vec<DocId> = self.find(filter).into_iter().map(|(id, _)| id).collect();
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter validation failures from [`Collection::find`]; no
+    /// document is removed on error.
+    pub fn remove_where(&mut self, filter: &Filter) -> Result<usize, NosqlError> {
+        let ids: Vec<DocId> = self.find(filter)?.into_iter().map(|(id, _)| id).collect();
         for id in &ids {
             self.remove(*id);
         }
-        ids.len()
+        Ok(ids.len())
     }
 
     /// Removes a document by id, returning it.
@@ -306,11 +388,17 @@ impl Collection {
     ///
     /// Uses an index when the filter (or the first arm of an `And`) is an
     /// indexed `Eq`/`Range`; otherwise scans.
-    pub fn find(&self, filter: &Filter) -> Vec<(DocId, &Doc)> {
+    ///
+    /// # Errors
+    ///
+    /// Rejects malformed filters ([`Filter::validate`]) — an inverted range
+    /// on an indexed field previously aborted inside the B-tree.
+    pub fn find(&self, filter: &Filter) -> Result<Vec<(DocId, &Doc)>, NosqlError> {
+        filter.validate()?;
         let candidates = self.candidates(filter);
-        match candidates {
+        Ok(match candidates {
             Some(ids) => {
-                self.index_hits.set(self.index_hits.get() + 1);
+                self.index_hits.fetch_add(1, Ordering::Relaxed);
                 let mut hits: Vec<(DocId, &Doc)> = ids
                     .into_iter()
                     .filter_map(|id| self.docs.get(&id).map(|d| (id, d)))
@@ -321,25 +409,32 @@ impl Collection {
                 hits
             }
             None => {
-                self.scans.set(self.scans.get() + 1);
+                self.scans.fetch_add(1, Ordering::Relaxed);
                 self.docs
                     .iter()
                     .filter(|(_, d)| filter.matches(d))
                     .map(|(&id, d)| (id, d))
                     .collect()
             }
-        }
+        })
     }
 
     /// Count of matching documents.
-    pub fn count(&self, filter: &Filter) -> usize {
-        self.find(filter).len()
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter validation failures from [`Collection::find`].
+    pub fn count(&self, filter: &Filter) -> Result<usize, NosqlError> {
+        Ok(self.find(filter)?.len())
     }
 
     /// `(full_scans, index_assisted)` query counters — used by E9-style
     /// experiments to verify indexes are actually exercised.
     pub fn query_stats(&self) -> (u64, u64) {
-        (self.scans.get(), self.index_hits.get())
+        (
+            self.scans.load(Ordering::Relaxed),
+            self.index_hits.load(Ordering::Relaxed),
+        )
     }
 
     /// Candidate ids from an index, or `None` if no index applies.
@@ -395,17 +490,17 @@ mod tests {
 
     fn seeded() -> Collection {
         let mut c = Collection::new("incidents");
-        c.insert(incident("robbery", 1, 30.45, -91.18));
-        c.insert(incident("assault", 2, 30.46, -91.17));
-        c.insert(incident("robbery", 2, 30.50, -91.10));
-        c.insert(incident("homicide", 3, 29.95, -90.07));
+        c.insert(incident("robbery", 1, 30.45, -91.18)).unwrap();
+        c.insert(incident("assault", 2, 30.46, -91.17)).unwrap();
+        c.insert(incident("robbery", 2, 30.50, -91.10)).unwrap();
+        c.insert(incident("homicide", 3, 29.95, -90.07)).unwrap();
         c
     }
 
     #[test]
     fn insert_get_remove() {
         let mut c = Collection::new("t");
-        let id = c.insert(Doc::object([("a", Doc::I64(1))]));
+        let id = c.insert(Doc::object([("a", Doc::I64(1))])).unwrap();
         assert!(c.get(id).is_some());
         assert_eq!(c.len(), 1);
         let doc = c.remove(id).unwrap();
@@ -424,7 +519,9 @@ mod tests {
     #[test]
     fn eq_filter_scan() {
         let c = seeded();
-        let hits = c.find(&Filter::Eq("kind".into(), Doc::Str("robbery".into())));
+        let hits = c
+            .find(&Filter::Eq("kind".into(), Doc::Str("robbery".into())))
+            .unwrap();
         assert_eq!(hits.len(), 2);
     }
 
@@ -432,7 +529,9 @@ mod tests {
     fn eq_filter_uses_index() {
         let mut c = seeded();
         c.create_index("kind");
-        let hits = c.find(&Filter::Eq("kind".into(), Doc::Str("robbery".into())));
+        let hits = c
+            .find(&Filter::Eq("kind".into(), Doc::Str("robbery".into())))
+            .unwrap();
         assert_eq!(hits.len(), 2);
         let (scans, indexed) = c.query_stats();
         assert_eq!(scans, 0);
@@ -443,7 +542,7 @@ mod tests {
     fn index_covers_preexisting_docs() {
         let mut c = seeded();
         c.create_index("district");
-        let hits = c.find(&Filter::Eq("district".into(), Doc::I64(2)));
+        let hits = c.find(&Filter::Eq("district".into(), Doc::I64(2))).unwrap();
         assert_eq!(hits.len(), 2);
     }
 
@@ -451,7 +550,7 @@ mod tests {
     fn range_filter_with_index() {
         let mut c = seeded();
         c.create_index("district");
-        let hits = c.find(&Filter::Range("district".into(), 2.0, 3.0));
+        let hits = c.find(&Filter::Range("district".into(), 2.0, 3.0)).unwrap();
         assert_eq!(hits.len(), 3);
         assert_eq!(c.query_stats().1, 1);
     }
@@ -459,12 +558,12 @@ mod tests {
     #[test]
     fn range_mixes_int_and_float() {
         let mut c = Collection::new("t");
-        c.insert(Doc::object([("x", Doc::I64(5))]));
-        c.insert(Doc::object([("x", Doc::F64(5.5))]));
-        c.insert(Doc::object([("x", Doc::F64(-1.0))]));
+        c.insert(Doc::object([("x", Doc::I64(5))])).unwrap();
+        c.insert(Doc::object([("x", Doc::F64(5.5))])).unwrap();
+        c.insert(Doc::object([("x", Doc::F64(-1.0))])).unwrap();
         c.create_index("x");
-        assert_eq!(c.count(&Filter::Range("x".into(), 0.0, 10.0)), 2);
-        assert_eq!(c.count(&Filter::Range("x".into(), -2.0, 0.0)), 1);
+        assert_eq!(c.count(&Filter::Range("x".into(), 0.0, 10.0)).unwrap(), 2);
+        assert_eq!(c.count(&Filter::Range("x".into(), -2.0, 0.0)).unwrap(), 1);
     }
 
     #[test]
@@ -474,12 +573,12 @@ mod tests {
             Filter::Eq("kind".into(), Doc::Str("robbery".into())),
             Filter::Eq("district".into(), Doc::I64(2)),
         ]);
-        assert_eq!(c.count(&f), 1);
+        assert_eq!(c.count(&f).unwrap(), 1);
         let f = Filter::Or(vec![
             Filter::Eq("district".into(), Doc::I64(1)),
             Filter::Eq("district".into(), Doc::I64(3)),
         ]);
-        assert_eq!(c.count(&f), 2);
+        assert_eq!(c.count(&f).unwrap(), 2);
     }
 
     #[test]
@@ -490,7 +589,7 @@ mod tests {
             Filter::Eq("kind".into(), Doc::Str("robbery".into())),
             Filter::Range("geo.lat".into(), 30.48, 31.0),
         ]);
-        let hits = c.find(&f);
+        let hits = c.find(&f).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(c.query_stats(), (0, 1));
     }
@@ -505,7 +604,7 @@ mod tests {
             lon: -91.175,
             radius_m: 2000.0,
         };
-        assert_eq!(c.count(&f), 2);
+        assert_eq!(c.count(&f).unwrap(), 2);
         // New Orleans incident is ~120 km away.
         let f = Filter::Near {
             path: "geo".into(),
@@ -513,27 +612,80 @@ mod tests {
             lon: -90.07,
             radius_m: 1000.0,
         };
-        assert_eq!(c.count(&f), 1);
+        assert_eq!(c.count(&f).unwrap(), 1);
     }
 
     #[test]
     fn exists_filter() {
         let mut c = seeded();
-        c.insert(Doc::object([("kind", Doc::Str("pothole".into()))])); // no geo
-        assert_eq!(c.count(&Filter::Exists("geo".into())), 4);
-        assert_eq!(c.count(&Filter::Exists("nope".into())), 0);
+        c.insert(Doc::object([("kind", Doc::Str("pothole".into()))]))
+            .unwrap(); // no geo
+        assert_eq!(c.count(&Filter::Exists("geo".into())).unwrap(), 4);
+        assert_eq!(c.count(&Filter::Exists("nope".into())).unwrap(), 0);
     }
 
     #[test]
     fn remove_updates_index() {
         let mut c = seeded();
         c.create_index("kind");
-        let id = c.find(&Filter::Eq("kind".into(), Doc::Str("homicide".into())))[0].0;
+        let id = c
+            .find(&Filter::Eq("kind".into(), Doc::Str("homicide".into())))
+            .unwrap()[0]
+            .0;
         c.remove(id);
         assert_eq!(
-            c.count(&Filter::Eq("kind".into(), Doc::Str("homicide".into()))),
+            c.count(&Filter::Eq("kind".into(), Doc::Str("homicide".into())))
+                .unwrap(),
             0
         );
+    }
+
+    #[test]
+    fn insert_rejects_non_finite_numbers() {
+        let mut c = Collection::new("t");
+        let err = c
+            .insert(Doc::object([(
+                "geo",
+                Doc::object([("lat", Doc::F64(f64::NAN))]),
+            )]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            NosqlError::NonFiniteNumber {
+                path: "geo.lat".into()
+            }
+        );
+        assert!(c.is_empty(), "rejected insert must not store anything");
+    }
+
+    #[test]
+    fn find_rejects_inverted_range_instead_of_panicking() {
+        let mut c = seeded();
+        c.create_index("district");
+        let err = c
+            .find(&Filter::Range("district".into(), 3.0, 1.0))
+            .unwrap_err();
+        assert!(matches!(err, NosqlError::InvalidRange { .. }));
+        // Composite filters validate every arm.
+        let nested = Filter::And(vec![
+            Filter::Exists("kind".into()),
+            Filter::Range("district".into(), f64::NAN, 1.0),
+        ]);
+        assert!(c.find(&nested).is_err());
+    }
+
+    #[test]
+    fn find_rejects_bad_geo() {
+        let c = seeded();
+        let err = c
+            .find(&Filter::Near {
+                path: "geo".into(),
+                lat: 30.0,
+                lon: -91.0,
+                radius_m: -5.0,
+            })
+            .unwrap_err();
+        assert_eq!(err, NosqlError::InvalidGeo { path: "geo".into() });
     }
 
     #[test]
@@ -542,8 +694,18 @@ mod tests {
         with_idx.create_index("district");
         let without_idx = seeded();
         let f = Filter::Range("district".into(), 1.0, 2.0);
-        let a: Vec<DocId> = with_idx.find(&f).into_iter().map(|(id, _)| id).collect();
-        let b: Vec<DocId> = without_idx.find(&f).into_iter().map(|(id, _)| id).collect();
+        let a: Vec<DocId> = with_idx
+            .find(&f)
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        let b: Vec<DocId> = without_idx
+            .find(&f)
+            .unwrap()
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
         assert_eq!(a, b);
     }
 }
@@ -560,18 +722,26 @@ mod update_tests {
     fn update_replaces_and_reindexes() {
         let mut c = Collection::new("t");
         c.create_index("kind");
-        let id = c.insert(doc("a", 1));
-        let old = c.update(id, doc("b", 2)).unwrap();
+        let id = c.insert(doc("a", 1)).unwrap();
+        let old = c.update(id, doc("b", 2)).unwrap().unwrap();
         assert_eq!(old.path("kind").and_then(Doc::as_str), Some("a"));
-        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("a".into()))), 0);
-        assert_eq!(c.count(&Filter::Eq("kind".into(), Doc::Str("b".into()))), 1);
+        assert_eq!(
+            c.count(&Filter::Eq("kind".into(), Doc::Str("a".into())))
+                .unwrap(),
+            0
+        );
+        assert_eq!(
+            c.count(&Filter::Eq("kind".into(), Doc::Str("b".into())))
+                .unwrap(),
+            1
+        );
         assert_eq!(c.len(), 1, "same id, no growth");
     }
 
     #[test]
     fn update_unknown_id_is_noop() {
         let mut c = Collection::new("t");
-        assert!(c.update(DocId(99), doc("a", 1)).is_none());
+        assert!(c.update(DocId(99), doc("a", 1)).unwrap().is_none());
         assert!(c.is_empty());
     }
 
@@ -580,17 +750,22 @@ mod update_tests {
         let mut c = Collection::new("t");
         c.create_index("kind");
         for i in 0..10 {
-            c.insert(doc(if i % 2 == 0 { "keep" } else { "purge" }, i));
+            c.insert(doc(if i % 2 == 0 { "keep" } else { "purge" }, i))
+                .unwrap();
         }
-        let removed = c.remove_where(&Filter::Eq("kind".into(), Doc::Str("purge".into())));
+        let removed = c
+            .remove_where(&Filter::Eq("kind".into(), Doc::Str("purge".into())))
+            .unwrap();
         assert_eq!(removed, 5);
         assert_eq!(c.len(), 5);
         assert_eq!(
-            c.count(&Filter::Eq("kind".into(), Doc::Str("purge".into()))),
+            c.count(&Filter::Eq("kind".into(), Doc::Str("purge".into())))
+                .unwrap(),
             0
         );
         assert_eq!(
-            c.count(&Filter::Eq("kind".into(), Doc::Str("keep".into()))),
+            c.count(&Filter::Eq("kind".into(), Doc::Str("keep".into())))
+                .unwrap(),
             5
         );
     }
@@ -599,9 +774,11 @@ mod update_tests {
     fn remove_where_range() {
         let mut c = Collection::new("t");
         for i in 0..10 {
-            c.insert(doc("x", i));
+            c.insert(doc("x", i)).unwrap();
         }
-        let removed = c.remove_where(&Filter::Range("v".into(), 0.0, 4.0));
+        let removed = c
+            .remove_where(&Filter::Range("v".into(), 0.0, 4.0))
+            .unwrap();
         assert_eq!(removed, 5);
         assert_eq!(c.len(), 5);
     }

@@ -1,0 +1,53 @@
+//! Error type shared by the document and wide-column stores.
+
+/// An invalid request rejected by a NoSQL store.
+///
+/// The stores are in-memory and never fail on I/O; every error is a request
+/// the engine cannot represent — previously these either panicked (an
+/// inverted range on an indexed field aborted inside the B-tree) or silently
+/// corrupted index order (non-finite floats have no total order).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NosqlError {
+    /// A document carries a non-finite number (`NaN`/`±inf`) at `path`;
+    /// such values cannot live in ordered indexes.
+    NonFiniteNumber {
+        /// Dotted path of the offending field.
+        path: String,
+    },
+    /// A range filter whose bounds are inverted or non-finite.
+    InvalidRange {
+        /// Dotted path the filter targets.
+        path: String,
+        /// Lower bound supplied.
+        lo: f64,
+        /// Upper bound supplied.
+        hi: f64,
+    },
+    /// A geo filter with a non-finite center or negative/non-finite radius.
+    InvalidGeo {
+        /// Dotted path the filter targets.
+        path: String,
+    },
+    /// A wide-column write with an empty row key (rows sort
+    /// lexicographically; the empty key is reserved as the scan origin).
+    EmptyRowKey,
+}
+
+impl std::fmt::Display for NosqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NosqlError::NonFiniteNumber { path } => {
+                write!(f, "non-finite number at {path:?} cannot be indexed")
+            }
+            NosqlError::InvalidRange { path, lo, hi } => {
+                write!(f, "invalid range [{lo}, {hi}] on field {path:?}")
+            }
+            NosqlError::InvalidGeo { path } => {
+                write!(f, "invalid geo query on field {path:?}")
+            }
+            NosqlError::EmptyRowKey => write!(f, "row key must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for NosqlError {}

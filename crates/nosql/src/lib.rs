@@ -17,15 +17,22 @@
 //! Experiment E9 benchmarks the random-vs-batch access contrast the paper
 //! draws between HBase and HDFS.
 //!
+//! Mutating and querying APIs return `Result<_, `[`NosqlError`]`>`: invalid
+//! requests (inverted ranges, non-finite numbers, empty row keys) are
+//! rejected as values instead of panicking inside the engine.
+//!
 //! # Examples
 //!
 //! ```
 //! use scnosql::wide_column::Table;
 //!
 //! let mut t = Table::new("incidents", 1024);
-//! t.put("row-1", "info", "type", b"robbery".to_vec());
+//! t.put("row-1", "info", "type", b"robbery".to_vec()).unwrap();
 //! assert_eq!(t.get("row-1", "info", "type").as_deref(), Some(&b"robbery"[..]));
 //! ```
 
 pub mod document;
+mod error;
 pub mod wide_column;
+
+pub use error::NosqlError;

@@ -9,6 +9,8 @@
 use std::collections::BTreeMap;
 use std::ops::Bound;
 
+use crate::NosqlError;
+
 /// A fully qualified cell coordinate: row, column family, qualifier.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CellKey {
@@ -94,9 +96,9 @@ pub struct TableStats {
 /// use scnosql::wide_column::Table;
 ///
 /// let mut crimes = Table::new("crimes", 4096);
-/// crimes.put("2026-06-01#0042", "info", "offense", b"ROBBERY".to_vec());
-/// crimes.put("2026-06-01#0042", "info", "district", b"4".to_vec());
-/// crimes.put("2026-06-02#0001", "info", "offense", b"ASSAULT".to_vec());
+/// crimes.put("2026-06-01#0042", "info", "offense", b"ROBBERY".to_vec()).unwrap();
+/// crimes.put("2026-06-01#0042", "info", "district", b"4".to_vec()).unwrap();
+/// crimes.put("2026-06-02#0001", "info", "offense", b"ASSAULT".to_vec()).unwrap();
 ///
 /// // Efficient random read:
 /// assert!(crimes.get("2026-06-01#0042", "info", "offense").is_some());
@@ -156,13 +158,36 @@ impl Table {
     }
 
     /// Writes a cell.
-    pub fn put(&mut self, row: &str, family: &str, qualifier: &str, value: Vec<u8>) {
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty row keys ([`NosqlError::EmptyRowKey`]): rows sort
+    /// lexicographically and the empty key is reserved as the scan origin.
+    pub fn put(
+        &mut self,
+        row: &str,
+        family: &str,
+        qualifier: &str,
+        value: Vec<u8>,
+    ) -> Result<(), NosqlError> {
+        if row.is_empty() {
+            return Err(NosqlError::EmptyRowKey);
+        }
         self.log_and_apply(CellKey::new(row, family, qualifier), Some(value));
+        Ok(())
     }
 
     /// Deletes a cell (writes a tombstone).
-    pub fn delete(&mut self, row: &str, family: &str, qualifier: &str) {
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty row keys, like [`Table::put`].
+    pub fn delete(&mut self, row: &str, family: &str, qualifier: &str) -> Result<(), NosqlError> {
+        if row.is_empty() {
+            return Err(NosqlError::EmptyRowKey);
+        }
         self.log_and_apply(CellKey::new(row, family, qualifier), None);
+        Ok(())
     }
 
     /// Random point read of the newest version of a cell.
@@ -308,7 +333,7 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let mut t = Table::new("t", 100);
-        t.put("r1", "f", "q", v("hello"));
+        t.put("r1", "f", "q", v("hello")).unwrap();
         assert_eq!(t.get("r1", "f", "q"), Some(v("hello")));
         assert_eq!(t.get("r1", "f", "other"), None);
     }
@@ -316,25 +341,25 @@ mod tests {
     #[test]
     fn overwrite_returns_newest() {
         let mut t = Table::new("t", 100);
-        t.put("r", "f", "q", v("old"));
-        t.put("r", "f", "q", v("new"));
+        t.put("r", "f", "q", v("old")).unwrap();
+        t.put("r", "f", "q", v("new")).unwrap();
         assert_eq!(t.get("r", "f", "q"), Some(v("new")));
     }
 
     #[test]
     fn delete_hides_value() {
         let mut t = Table::new("t", 100);
-        t.put("r", "f", "q", v("x"));
-        t.delete("r", "f", "q");
+        t.put("r", "f", "q", v("x")).unwrap();
+        t.delete("r", "f", "q").unwrap();
         assert_eq!(t.get("r", "f", "q"), None);
     }
 
     #[test]
     fn newest_wins_across_flush_boundary() {
         let mut t = Table::new("t", 100);
-        t.put("r", "f", "q", v("old"));
+        t.put("r", "f", "q", v("old")).unwrap();
         t.flush();
-        t.put("r", "f", "q", v("new"));
+        t.put("r", "f", "q", v("new")).unwrap();
         assert_eq!(t.get("r", "f", "q"), Some(v("new")));
         t.flush();
         assert_eq!(t.get("r", "f", "q"), Some(v("new")));
@@ -343,9 +368,9 @@ mod tests {
     #[test]
     fn delete_works_across_flush() {
         let mut t = Table::new("t", 100);
-        t.put("r", "f", "q", v("x"));
+        t.put("r", "f", "q", v("x")).unwrap();
         t.flush();
-        t.delete("r", "f", "q");
+        t.delete("r", "f", "q").unwrap();
         assert_eq!(t.get("r", "f", "q"), None);
         t.flush();
         assert_eq!(t.get("r", "f", "q"), None);
@@ -355,7 +380,7 @@ mod tests {
     fn auto_flush_on_budget() {
         let mut t = Table::new("t", 3);
         for i in 0..7 {
-            t.put(&format!("r{i}"), "f", "q", v("x"));
+            t.put(&format!("r{i}"), "f", "q", v("x")).unwrap();
         }
         let s = t.stats();
         assert!(s.flushes >= 2, "{s:?}");
@@ -370,7 +395,7 @@ mod tests {
     fn scan_is_ordered_and_bounded() {
         let mut t = Table::new("t", 4);
         for key in ["c", "a", "e", "b", "d"] {
-            t.put(key, "f", "q", v(key));
+            t.put(key, "f", "q", v(key)).unwrap();
         }
         let hits: Vec<String> = t.scan_rows("b", "e").map(|(k, _)| k.row).collect();
         assert_eq!(hits, vec!["b", "c", "d"]);
@@ -379,11 +404,11 @@ mod tests {
     #[test]
     fn scan_sees_newest_across_runs() {
         let mut t = Table::new("t", 2); // force frequent flushes
-        t.put("a", "f", "q", v("1"));
-        t.put("b", "f", "q", v("1"));
-        t.put("a", "f", "q", v("2"));
-        t.put("c", "f", "q", v("1"));
-        t.delete("b", "f", "q");
+        t.put("a", "f", "q", v("1")).unwrap();
+        t.put("b", "f", "q", v("1")).unwrap();
+        t.put("a", "f", "q", v("2")).unwrap();
+        t.put("c", "f", "q", v("1")).unwrap();
+        t.delete("b", "f", "q").unwrap();
         t.flush();
         let rows: Vec<(String, Vec<u8>)> = t.scan_rows("a", "z").map(|(k, v)| (k.row, v)).collect();
         assert_eq!(rows, vec![("a".into(), v("2")), ("c".into(), v("1"))]);
@@ -392,10 +417,10 @@ mod tests {
     #[test]
     fn get_row_collects_columns() {
         let mut t = Table::new("t", 100);
-        t.put("r1", "info", "offense", v("ROBBERY"));
-        t.put("r1", "info", "district", v("4"));
-        t.put("r1", "geo", "lat", v("30.45"));
-        t.put("r2", "info", "offense", v("OTHER"));
+        t.put("r1", "info", "offense", v("ROBBERY")).unwrap();
+        t.put("r1", "info", "district", v("4")).unwrap();
+        t.put("r1", "geo", "lat", v("30.45")).unwrap();
+        t.put("r2", "info", "offense", v("OTHER")).unwrap();
         let row = t.get_row("r1");
         assert_eq!(row.len(), 3);
         assert!(row.iter().all(|(k, _)| k.row == "r1"));
@@ -405,9 +430,10 @@ mod tests {
     fn compaction_preserves_view_and_drops_garbage() {
         let mut t = Table::new("t", 2);
         for i in 0..10 {
-            t.put(&format!("r{}", i % 3), "f", "q", v(&format!("v{i}")));
+            t.put(&format!("r{}", i % 3), "f", "q", v(&format!("v{i}")))
+                .unwrap();
         }
-        t.delete("r0", "f", "q");
+        t.delete("r0", "f", "q").unwrap();
         t.flush();
         let before: Vec<_> = t.scan_rows("", "\u{10FFFF}").collect();
         t.compact();
@@ -421,10 +447,10 @@ mod tests {
     #[test]
     fn wal_replay_recovers_memtable() {
         let mut t = Table::new("t", 100);
-        t.put("a", "f", "q", v("1"));
+        t.put("a", "f", "q", v("1")).unwrap();
         t.flush(); // "a" durable, wal cleared
-        t.put("b", "f", "q", v("2"));
-        t.put("a", "f", "q", v("3"));
+        t.put("b", "f", "q", v("2")).unwrap();
+        t.put("a", "f", "q", v("3")).unwrap();
         assert_eq!(t.wal().len(), 2);
         // Crash: memtable lost, recover from runs + wal.
         let recovered = t.recover_from();
@@ -435,7 +461,7 @@ mod tests {
     #[test]
     fn stats_track_counts() {
         let mut t = Table::new("t", 10);
-        t.put("a", "f", "q", v("1"));
+        t.put("a", "f", "q", v("1")).unwrap();
         let s = t.stats();
         assert_eq!(s.memtable_cells, 1);
         assert_eq!(s.wal_entries, 1);
@@ -446,5 +472,13 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_budget_panics() {
         let _ = Table::new("t", 0);
+    }
+
+    #[test]
+    fn empty_row_key_is_rejected() {
+        let mut t = Table::new("t", 100);
+        assert_eq!(t.put("", "f", "q", v("x")), Err(NosqlError::EmptyRowKey));
+        assert_eq!(t.delete("", "f", "q"), Err(NosqlError::EmptyRowKey));
+        assert_eq!(t.stats().wal_entries, 0, "rejected writes are not logged");
     }
 }

@@ -39,12 +39,12 @@ proptest! {
             match op {
                 Op::Put(k, v) => {
                     let key = format!("k{k:03}");
-                    table.put(&key, "f", "q", v.clone());
+                    table.put(&key, "f", "q", v.clone()).unwrap();
                     model.insert(key, v);
                 }
                 Op::Delete(k) => {
                     let key = format!("k{k:03}");
-                    table.delete(&key, "f", "q");
+                    table.delete(&key, "f", "q").unwrap();
                     model.remove(&key);
                 }
                 Op::Flush => table.flush(),
@@ -76,14 +76,14 @@ proptest! {
         let mut plain = Collection::new("b");
         for (x, y) in &values {
             let doc = Doc::object([("x", Doc::I64(*x)), ("y", Doc::I64(*y))]);
-            indexed.insert(doc.clone());
-            plain.insert(doc);
+            indexed.insert(doc.clone()).unwrap();
+            plain.insert(doc).unwrap();
         }
         let eq = Filter::Eq("x".into(), Doc::I64(query_val));
-        prop_assert_eq!(indexed.count(&eq), plain.count(&eq));
+        prop_assert_eq!(indexed.count(&eq).unwrap(), plain.count(&eq).unwrap());
 
         let rf = Filter::Range("x".into(), range.0 as f64, range.1 as f64);
-        prop_assert_eq!(indexed.count(&rf), plain.count(&rf));
+        prop_assert_eq!(indexed.count(&rf).unwrap(), plain.count(&rf).unwrap());
     }
 
     /// WAL recovery loses nothing: state after crash+replay equals state
@@ -96,7 +96,7 @@ proptest! {
         let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
         for (k, v) in kvs {
             let key = format!("k{k}");
-            table.put(&key, "f", "q", vec![v]);
+            table.put(&key, "f", "q", vec![v]).unwrap();
             model.insert(key, vec![v]);
         }
         let recovered = table.recover_from();

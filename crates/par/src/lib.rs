@@ -1,0 +1,382 @@
+//! # scpar — deterministic parallel runtime for the smart-city stack
+//!
+//! The paper's four-tier fog model exists because one machine cannot keep up
+//! with city-scale load; this crate is the shared-memory half of that
+//! argument. It provides a fixed-size worker pool (plain `std::thread` scoped
+//! threads fed over `crossbeam` channels) with one non-negotiable contract:
+//!
+//! > **Determinism.** For a given input and seed, every thread count — 1, 2,
+//! > 8, 64 — produces byte-identical outputs and byte-identical telemetry
+//! > snapshots.
+//!
+//! Two rules make that hold:
+//!
+//! 1. **Chunk boundaries are a function of the input only.** Callers pass an
+//!    explicit chunk size; `scpar` never derives chunking from the thread
+//!    count, so the set of partial results is the same no matter how many
+//!    workers raced over the queue.
+//! 2. **Results are combined in submission order.** [`par_map_chunks`]
+//!    returns chunk results indexed by chunk, and [`par_reduce`] folds the
+//!    partials left-to-right in chunk order. Floating-point accumulation is
+//!    non-associative, so this ordering — not just "all results present" —
+//!    is what makes `f32`/`f64` reductions bit-stable across thread counts.
+//!
+//! The pool size comes from [`ScparConfig`]: explicit via
+//! [`ScparConfig::with_threads`], or ambient via [`ScparConfig::from_env`]
+//! which honours the `SCPAR_THREADS` environment variable and falls back to
+//! [`std::thread::available_parallelism`].
+//!
+//! # Examples
+//!
+//! ```
+//! use scpar::{par_reduce, ScparConfig};
+//!
+//! let xs: Vec<f64> = (0..10_000).map(|i| 1.0 / (1.0 + i as f64)).collect();
+//! let serial = par_reduce(
+//!     &ScparConfig::serial(),
+//!     &xs,
+//!     256,
+//!     |_ci, chunk| chunk.iter().sum::<f64>(),
+//!     |a, b| a + b,
+//! );
+//! let parallel = par_reduce(
+//!     &ScparConfig::with_threads(8),
+//!     &xs,
+//!     256,
+//!     |_ci, chunk| chunk.iter().sum::<f64>(),
+//!     |a, b| a + b,
+//! );
+//! assert_eq!(serial, parallel); // bit-identical, not merely close
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use crossbeam::channel;
+
+/// Environment variable that overrides the default worker count used by
+/// [`ScparConfig::from_env`].
+pub const THREADS_ENV: &str = "SCPAR_THREADS";
+
+/// Worker-pool configuration threaded through the stack's run APIs.
+///
+/// The thread count only controls *how fast* work finishes, never *what* the
+/// result is — see the crate docs for the determinism contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScparConfig {
+    threads: usize,
+}
+
+impl ScparConfig {
+    /// A single-threaded configuration: every combinator runs inline on the
+    /// calling thread.
+    pub fn serial() -> Self {
+        ScparConfig { threads: 1 }
+    }
+
+    /// A configuration with exactly `threads` workers (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Self {
+        ScparConfig {
+            threads: threads.max(1),
+        }
+    }
+
+    /// Reads the ambient configuration: `SCPAR_THREADS` if set to a positive
+    /// integer, otherwise [`std::thread::available_parallelism`].
+    pub fn from_env() -> Self {
+        let from_var = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_var.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        ScparConfig { threads }
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether parallel combinators will actually spawn workers.
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+}
+
+impl Default for ScparConfig {
+    /// Equivalent to [`ScparConfig::from_env`].
+    fn default() -> Self {
+        ScparConfig::from_env()
+    }
+}
+
+pub use crossbeam::thread::{Scope, ScopedJoinHandle};
+
+/// Runs `f` inside a scope in which borrowed threads can be spawned,
+/// propagating any worker panic to the caller.
+///
+/// This is a thin convenience over `crossbeam::thread::scope` that unwraps
+/// the `Result`, matching how every call site in this workspace uses it.
+pub fn scope<'env, F, R>(f: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    match crossbeam::thread::scope(f) {
+        Ok(r) => r,
+        Err(panic) => std::panic::resume_unwind(panic),
+    }
+}
+
+/// Number of chunks of size `chunk` needed to cover `len` items.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn chunk_count(len: usize, chunk: usize) -> usize {
+    assert!(chunk > 0, "chunk size must be positive");
+    len.div_ceil(chunk)
+}
+
+/// Maps fixed-size chunks of `items` through `f` on the worker pool,
+/// returning one result per chunk **in chunk order**.
+///
+/// `f` receives `(chunk_index, chunk_slice)`; chunk `ci` covers
+/// `items[ci * chunk .. min((ci + 1) * chunk, len)]`. Because the chunk
+/// boundaries depend only on `items.len()` and `chunk`, and the returned
+/// `Vec` is ordered by chunk index, the output is identical for any thread
+/// count — including the inline serial path taken when `cfg` has one thread
+/// or there is at most one chunk.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, or propagates the panic if `f` panics on any
+/// worker.
+pub fn par_map_chunks<T, R, F>(cfg: &ScparConfig, items: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    let n_chunks = chunk_count(items.len(), chunk);
+    let workers = cfg.threads.min(n_chunks);
+    if workers <= 1 {
+        return (0..n_chunks)
+            .map(|ci| {
+                let start = ci * chunk;
+                let end = (start + chunk).min(items.len());
+                f(ci, &items[start..end])
+            })
+            .collect();
+    }
+
+    // Fixed-size pool: `workers` scoped threads drain a shared job queue of
+    // chunk indices and send `(chunk_index, result)` back; the caller
+    // reassembles by index, so arrival order is irrelevant.
+    let (job_tx, job_rx) = channel::unbounded::<usize>();
+    for ci in 0..n_chunks {
+        job_tx.send(ci).expect("receiver alive");
+    }
+    drop(job_tx);
+    let (res_tx, res_rx) = channel::unbounded::<(usize, R)>();
+
+    let mut slots: Vec<Option<R>> = scope(|s| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let res_tx = res_tx.clone();
+            let f = &f;
+            s.spawn(move |_| {
+                while let Ok(ci) = job_rx.recv() {
+                    let start = ci * chunk;
+                    let end = (start + chunk).min(items.len());
+                    let r = f(ci, &items[start..end]);
+                    if res_tx.send((ci, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(res_tx);
+        let mut slots: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+        // Ends when every worker dropped its sender (finished or panicked);
+        // a worker panic leaves a hole here and then propagates via `scope`.
+        while let Ok((ci, r)) = res_rx.recv() {
+            slots[ci] = Some(r);
+        }
+        slots
+    });
+
+    slots
+        .iter_mut()
+        .map(|s| s.take().expect("worker panics propagate before this"))
+        .collect()
+}
+
+/// Maps every item of `items` through `f` on the worker pool, preserving
+/// item order.
+///
+/// Unlike [`par_map_chunks`], the internal chunking here is free to consider
+/// the worker count, because the output is per-*item*: chunk boundaries
+/// cannot be observed in the result, so determinism holds regardless.
+pub fn par_map<T, R, F>(cfg: &ScparConfig, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if items.is_empty() {
+        return Vec::new();
+    }
+    // Aim for a few chunks per worker so stragglers rebalance.
+    let chunk = items.len().div_ceil(cfg.threads * 4).max(1);
+    let chunked = par_map_chunks(cfg, items, chunk, |_ci, part| {
+        part.iter().map(&f).collect::<Vec<R>>()
+    });
+    chunked.into_iter().flatten().collect()
+}
+
+/// Deterministic parallel reduction: maps each fixed-size chunk through
+/// `map`, then folds the per-chunk partials **left-to-right in chunk order**
+/// with `fold`.
+///
+/// The ordered fold is the load-bearing part: floating-point addition is not
+/// associative, so folding partials in a thread-dependent order would make
+/// the result depend on scheduling. Here it never does — `par_reduce` with 8
+/// threads returns the same bits as with 1.
+///
+/// Returns `None` when `items` is empty.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn par_reduce<T, A, F, G>(
+    cfg: &ScparConfig,
+    items: &[T],
+    chunk: usize,
+    map: F,
+    fold: G,
+) -> Option<A>
+where
+    T: Sync,
+    A: Send,
+    F: Fn(usize, &[T]) -> A + Sync,
+    G: FnMut(A, A) -> A,
+{
+    if items.is_empty() {
+        return None;
+    }
+    let mut parts = par_map_chunks(cfg, items, chunk, map).into_iter();
+    let first = parts.next().expect("non-empty input yields a chunk");
+    Some(parts.fold(first, {
+        let mut fold = fold;
+        move |acc, x| fold(acc, x)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_clamps_and_reports() {
+        assert_eq!(ScparConfig::with_threads(0).threads(), 1);
+        assert_eq!(ScparConfig::with_threads(6).threads(), 6);
+        assert!(!ScparConfig::serial().is_parallel());
+        assert!(ScparConfig::with_threads(2).is_parallel());
+    }
+
+    #[test]
+    fn chunk_count_covers_all() {
+        assert_eq!(chunk_count(0, 4), 0);
+        assert_eq!(chunk_count(7, 4), 2);
+        assert_eq!(chunk_count(8, 4), 2);
+        assert_eq!(chunk_count(9, 4), 3);
+    }
+
+    #[test]
+    fn map_chunks_results_in_chunk_order() {
+        let items: Vec<u32> = (0..103).collect();
+        for threads in [1, 2, 4, 8] {
+            let cfg = ScparConfig::with_threads(threads);
+            let got = par_map_chunks(&cfg, &items, 10, |ci, part| (ci, part.to_vec()));
+            assert_eq!(got.len(), 11);
+            for (i, (ci, part)) in got.iter().enumerate() {
+                assert_eq!(*ci, i);
+                assert_eq!(part[0], (i * 10) as u32);
+            }
+            assert_eq!(got[10].1.len(), 3, "tail chunk is short");
+        }
+    }
+
+    #[test]
+    fn map_preserves_item_order() {
+        let items: Vec<i64> = (0..1000).collect();
+        let cfg = ScparConfig::with_threads(4);
+        let got = par_map(&cfg, &items, |&x| x * 2);
+        let want: Vec<i64> = items.iter().map(|&x| x * 2).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn reduce_is_bitwise_thread_independent() {
+        // Sums of reciprocals: any reordering of the fold changes the bits.
+        let xs: Vec<f64> = (0..9999).map(|i| 1.0 / (1.0 + i as f64)).collect();
+        let run = |threads| {
+            par_reduce(
+                &ScparConfig::with_threads(threads),
+                &xs,
+                128,
+                |_ci, c| c.iter().sum::<f64>(),
+                |a, b| a + b,
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial.to_bits(), run(threads).to_bits());
+        }
+    }
+
+    #[test]
+    fn reduce_empty_is_none() {
+        let none = par_reduce(
+            &ScparConfig::serial(),
+            &[] as &[f64],
+            8,
+            |_ci, c| c.iter().sum::<f64>(),
+            |a, b| a + b,
+        );
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3];
+        let sum = scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u64>());
+            h.join().unwrap()
+        });
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..64).collect();
+        let cfg = ScparConfig::with_threads(4);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map_chunks(&cfg, &items, 4, |ci, _part| {
+                assert!(ci != 7, "deliberate test panic");
+                ci
+            })
+        }));
+        assert!(caught.is_err());
+    }
+
+    #[test]
+    fn from_env_default_is_positive() {
+        assert!(ScparConfig::from_env().threads() >= 1);
+    }
+}

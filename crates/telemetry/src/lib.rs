@@ -38,6 +38,7 @@
 
 pub mod export;
 pub mod metrics;
+pub mod report;
 pub mod stats;
 pub mod trace;
 
@@ -46,6 +47,7 @@ pub use metrics::{
     Counter, Gauge, Histogram, HistogramMode, HistogramSnapshot, Metric, MetricEntry,
     MetricsRegistry,
 };
+pub use report::Report;
 pub use stats::{mean, percentile, percentile_sorted, SampleSummary};
 pub use trace::{
     EventRecord, NoopRecorder, Recorder, SpanRecord, Telemetry, TelemetryHandle, TraceRecord,

@@ -1,0 +1,73 @@
+//! A shared, layer-agnostic view over end-of-run reports.
+//!
+//! Every layer of the stack produces its own report struct — the fog
+//! simulator's `SimReport`, the data pipeline's `PipelineReport`, the DFS
+//! cluster's `ClusterStats` — and every consumer (dashboards, benches,
+//! experiment scripts) wants the same two things from all of them: a flat
+//! list of named numbers and a JSON document. [`Report`] is that contract.
+//!
+//! Implementations must keep [`Report::kv`] **deterministic**: a fixed key
+//! set in a fixed order for a given run, so that downstream dashboards and
+//! golden-file tests are byte-stable.
+//!
+//! # Examples
+//!
+//! ```
+//! use sctelemetry::Report;
+//!
+//! struct Demo {
+//!     jobs: usize,
+//! }
+//!
+//! impl Report for Demo {
+//!     fn kv(&self) -> Vec<(String, f64)> {
+//!         vec![("jobs".to_string(), self.jobs as f64)]
+//!     }
+//! }
+//!
+//! let d = Demo { jobs: 7 };
+//! assert_eq!(d.to_json()["jobs"], 7.0);
+//! ```
+
+use serde_json::{json, Map, Value};
+
+/// A flat, name-ordered numeric summary of one run, renderable as JSON.
+///
+/// The default [`to_json`](Report::to_json) builds a JSON object straight
+/// from [`kv`](Report::kv); override it only when a report has structure
+/// that a flat map cannot express.
+pub trait Report {
+    /// Named numeric facts about the run, in a stable order.
+    fn kv(&self) -> Vec<(String, f64)>;
+
+    /// JSON object view of the report (by default, the [`kv`](Report::kv)
+    /// pairs as one flat object).
+    fn to_json(&self) -> Value {
+        let mut map = Map::new();
+        for (k, v) in self.kv() {
+            map.insert(k, json!(v));
+        }
+        Value::Object(map)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed;
+
+    impl Report for Fixed {
+        fn kv(&self) -> Vec<(String, f64)> {
+            vec![("alpha".to_string(), 1.5), ("beta".to_string(), -2.0)]
+        }
+    }
+
+    #[test]
+    fn default_json_mirrors_kv() {
+        let json = Fixed.to_json();
+        assert_eq!(json["alpha"], 1.5);
+        assert_eq!(json["beta"], -2.0);
+        assert_eq!(json.as_object().unwrap().len(), 2);
+    }
+}

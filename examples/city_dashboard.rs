@@ -14,8 +14,8 @@ use std::fs;
 
 use smartcity::core::infrastructure::Cyberinfrastructure;
 use smartcity::core::pipeline::CityDataPipeline;
-use smartcity::core::viz::{svg_bar_chart, svg_line_chart, Series};
-use smartcity::telemetry::{prometheus_text, Telemetry};
+use smartcity::core::viz::{dashboard_with_reports, svg_bar_chart, svg_line_chart, Series};
+use smartcity::telemetry::{prometheus_text, Report, Telemetry};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::path::Path::new("target/dashboard");
@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut infra = Cyberinfrastructure::builder().seed(77).build();
     let pipeline = CityDataPipeline::new(77, 800, 160);
     let (topic, store, annotations) = infra.pipeline_stores();
-    let report = pipeline.run_recorded(topic, store, annotations, &telemetry);
+    let report = pipeline
+        .runner(topic, store, annotations)
+        .recorder(&telemetry)
+        .run()
+        .expect("generated pipeline data is always valid");
     println!(
         "pipeline: {} events stored, {} hotspots",
         report.stored,
@@ -81,7 +85,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|&esc| {
                 let w = Workload::with_escalation(200, 100_000, 20.0, esc, 78);
-                (esc, sim.run(&w, placement).mean_latency_s)
+                (
+                    esc,
+                    sim.runner(&w).placement(placement).run().mean_latency_s,
+                )
             })
             .collect();
         latency_series.push(Series {
@@ -94,7 +101,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         svg_line_chart("Mean latency vs escalation rate", &latency_series, 640, 360),
     )?;
 
-    // 5. Prometheus scrape snapshot of the whole pipeline run.
+    // 5. Cross-layer report panel: the pipeline report, a fog run, and the
+    //    DFS cluster all render through the shared `Report` trait.
+    let w = smartcity::fog::Workload::with_escalation(200, 100_000, 20.0, 0.3, 78);
+    let fog_report = sim
+        .runner(&w)
+        .placement(Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        })
+        .run();
+    let dfs_stats = infra.dfs().stats();
+    let layers = dashboard_with_reports(
+        &[("layers", 3.0)],
+        &[],
+        &[
+            ("pipeline", &report as &dyn Report),
+            ("fog", &fog_report as &dyn Report),
+            ("dfs", &dfs_stats as &dyn Report),
+        ],
+    );
+    fs::write(
+        out_dir.join("layers.json"),
+        serde_json::to_string_pretty(&layers)?,
+    )?;
+
+    // 6. Prometheus scrape snapshot of the whole pipeline run.
     let prom = prometheus_text(telemetry.registry());
     fs::write(out_dir.join("metrics.prom"), &prom)?;
     println!("\npipeline telemetry (Prometheus text format):");
@@ -108,6 +140,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "dashboard.json",
         "coverage.svg",
         "fog_latency.svg",
+        "layers.json",
         "metrics.prom",
     ] {
         let size = fs::metadata(out_dir.join(f))?.len();

@@ -43,7 +43,7 @@ fn main() {
             },
         ),
     ] {
-        let r = sim.run(&workload, placement);
+        let r = sim.runner(&workload).placement(placement).run();
         println!(
             "{:<34} {:>10.3} {:>10.3} {:>12.2} {:>10.2}",
             name,
@@ -58,13 +58,13 @@ fn main() {
     println!("{:>6} {:>10} {:>14}", "esc", "mean s", "fog→srv MB");
     for esc in [0.0, 0.2, 0.4, 0.6, 0.8, 1.0] {
         let w = Workload::with_escalation(300, 100_000, 20.0, esc, 52);
-        let r = sim.run(
-            &w,
-            Placement::EarlyExit {
+        let r = sim
+            .runner(&w)
+            .placement(Placement::EarlyExit {
                 local_fraction: 0.3,
                 feature_bytes: 20_000,
-            },
-        );
+            })
+            .run();
         println!(
             "{esc:>6.1} {:>10.3} {:>14.2}",
             r.mean_latency_s,

@@ -33,7 +33,10 @@ fn main() {
     //    topic, document store, and annotation table.
     let pipeline = CityDataPipeline::new(42, 400, 80);
     let (topic, store, annotations) = infra.pipeline_stores();
-    let report = pipeline.run(topic, store, annotations);
+    let report = pipeline
+        .runner(topic, store, annotations)
+        .run()
+        .expect("generated pipeline data is always valid");
     println!(
         "pipeline: ingested={} stored={} annotated={} hotspots={}",
         report.ingested,

@@ -1,10 +1,19 @@
 //! Offline stand-in for `crossbeam`.
 //!
-//! Only `crossbeam::thread::scope` is provided, implemented on top of
-//! `std::thread::scope` (stable since Rust 1.63, which made the crossbeam
-//! version largely redundant). The API mirrors crossbeam's: spawn closures
-//! receive a `&Scope` argument and `scope` returns a `Result` that is `Err`
-//! when any spawned thread panicked.
+//! Two pieces are provided, implementing exactly the API surface this
+//! workspace uses:
+//!
+//! - `crossbeam::thread::scope`, on top of `std::thread::scope` (stable since
+//!   Rust 1.63, which made the crossbeam version largely redundant). The API
+//!   mirrors crossbeam's: spawn closures receive a `&Scope` argument and
+//!   `scope` returns a `Result` that is `Err` when any spawned thread
+//!   panicked.
+//! - `crossbeam::channel::unbounded`, a multi-producer multi-consumer FIFO
+//!   channel on top of `std::sync::mpsc` with the receiver shared behind a
+//!   mutex. Fairness differs from the real crossbeam (lock order decides
+//!   which consumer wakes), but senders/receivers are cloneable and
+//!   disconnect semantics match: `recv` errors once all senders are gone and
+//!   the queue is drained.
 
 pub mod thread {
     use std::any::Any;
@@ -58,6 +67,124 @@ pub mod thread {
     }
 }
 
+pub mod channel {
+    //! Multi-producer multi-consumer unbounded FIFO channels.
+
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// The sending half of an unbounded channel. Cloneable.
+    pub struct Sender<T> {
+        inner: mpsc::Sender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    /// The receiving half of an unbounded channel. Cloneable: clones share
+    /// one queue, so each message is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone; the
+    /// unsent message is handed back.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    impl<T> Sender<T> {
+        /// Queues a message, failing only when every receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .recv()
+                .map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner
+                .lock()
+                .expect("channel receiver poisoned")
+                .try_recv()
+                .map_err(|e| match e {
+                    mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                    mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+                })
+        }
+
+        /// A blocking iterator that ends when the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -78,5 +205,53 @@ mod tests {
             s.spawn(|_| panic!("boom")).join().map(|_: ()| ()).is_err()
         });
         assert!(r.unwrap());
+    }
+
+    #[test]
+    fn channel_roundtrip_fifo() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..5 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let got: Vec<i32> = rx.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn channel_multi_consumer_partitions_messages() {
+        let (tx, rx) = super::channel::unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let (a, b) = super::thread::scope(|s| {
+            let rx2 = rx.clone();
+            let h1 = s.spawn(move |_| rx.iter().count());
+            let h2 = s.spawn(move |_| rx2.iter().count());
+            (h1.join().unwrap(), h2.join().unwrap())
+        })
+        .unwrap();
+        assert_eq!(a + b, 100, "each message delivered to exactly one side");
+    }
+
+    #[test]
+    fn channel_recv_errors_after_disconnect() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert!(rx.recv().is_err());
+        assert_eq!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn channel_send_fails_without_receivers() {
+        let (tx, rx) = super::channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
     }
 }

@@ -19,6 +19,8 @@
 //!   social-network narrowing, visualization export), [`social`].
 //! - **Observability** — [`telemetry`] (metrics registry, sim-time-aware
 //!   tracing, JSON / Prometheus exporters used by every layer above).
+//! - **Runtime** — [`par`] (deterministic worker pool: any thread count
+//!   produces byte-identical results; set via `SCPAR_THREADS`).
 //!
 //! # Quickstart
 //!
@@ -38,6 +40,7 @@ pub use scfog as fog;
 pub use scgeo as geo;
 pub use scneural as neural;
 pub use scnosql as nosql;
+pub use scpar as par;
 pub use scsocial as social;
 pub use scstream as stream;
 pub use sctelemetry as telemetry;

@@ -46,13 +46,13 @@ fn trained_offload_fraction_drives_fog_costs() {
     let mut last_bytes = 0u64;
     for &(_, _, offload) in &rows {
         let workload = Workload::with_escalation(100, 100_000, 10.0, offload, 4);
-        let report = sim.run(
-            &workload,
-            Placement::EarlyExit {
+        let report = sim
+            .runner(&workload)
+            .placement(Placement::EarlyExit {
                 local_fraction: 0.3,
                 feature_bytes: 6 * 8 * 8 * 4,
-            },
-        );
+            })
+            .run();
         assert!(
             report.fog_to_server_bytes >= last_bytes,
             "upstream bytes track offload"
@@ -65,15 +65,15 @@ fn trained_offload_fraction_drives_fog_costs() {
 fn early_exit_dominates_extremes_in_fog_costs() {
     let sim = FogSimulator::new(Topology::four_tier(4, 2, 1));
     let workload = Workload::with_escalation(150, 100_000, 10.0, 0.3, 5);
-    let early = sim.run(
-        &workload,
-        Placement::EarlyExit {
+    let early = sim
+        .runner(&workload)
+        .placement(Placement::EarlyExit {
             local_fraction: 0.3,
             feature_bytes: 20_000,
-        },
-    );
-    let all_edge = sim.run(&workload, Placement::AllEdge);
-    let all_cloud = sim.run(&workload, Placement::AllCloud);
+        })
+        .run();
+    let all_edge = sim.runner(&workload).placement(Placement::AllEdge).run();
+    let all_cloud = sim.runner(&workload).placement(Placement::AllCloud).run();
 
     // The paper's design goal: far less upstream traffic than cloud
     // processing, far lower latency than running everything on the edge.

@@ -32,7 +32,10 @@ fn four_layer_flow_end_to_end() {
     // Software layer: pipeline run into the infrastructure's own stores.
     let pipeline = CityDataPipeline::new(100, 300, 60);
     let (topic, store, annotations) = infra.pipeline_stores();
-    let report = pipeline.run(topic, store, annotations);
+    let report = pipeline
+        .runner(topic, store, annotations)
+        .run()
+        .expect("generated pipeline data is always valid");
     assert_eq!(report.ingested, 360);
     assert_eq!(report.stored, 360);
     assert_eq!(report.hotspots.len(), 3);
@@ -70,7 +73,10 @@ fn pipeline_is_deterministic_across_runs() {
         let mut infra = Cyberinfrastructure::builder().seed(seed).build();
         let pipeline = CityDataPipeline::new(seed, 150, 30);
         let (topic, store, annotations) = infra.pipeline_stores();
-        pipeline.run(topic, store, annotations)
+        pipeline
+            .runner(topic, store, annotations)
+            .run()
+            .expect("generated pipeline data is always valid")
     };
     let a = run(7);
     let b = run(7);

@@ -1,0 +1,119 @@
+//! Property tests for the scpar determinism contract (E15).
+//!
+//! The parallel runtime promises that the thread count is a pure throughput
+//! knob: for a given seed, running on 1, 2, or 8 workers must produce
+//! **byte-identical** numeric results *and* byte-identical telemetry
+//! exports. These tests exercise that promise across the three layers the
+//! runtime is wired into — dense linear algebra, batched neural inference,
+//! and fog placement sweeps.
+
+use proptest::prelude::*;
+use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
+use smartcity::neural::layers::{Dense, Relu};
+use smartcity::neural::linalg::Mat;
+use smartcity::neural::net::Sequential;
+use smartcity::neural::tensor::Tensor;
+use smartcity::par::ScparConfig;
+
+/// Deterministic pseudo-random fill: a splitmix64 stream mapped to [-1, 1].
+fn fill(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            (z as f64 / u64::MAX as f64) * 2.0 - 1.0
+        })
+        .collect()
+}
+
+const THREAD_COUNTS: [usize; 2] = [2, 8];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Blocked matmul: panel boundaries are a function of the shape only,
+    /// so any worker count reassembles the exact same f64 bit patterns.
+    #[test]
+    fn matmul_is_thread_count_independent(
+        m in 1usize..70,
+        k in 1usize..40,
+        n in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let a = Mat::from_vec(m, k, fill(seed, m * k));
+        let b = Mat::from_vec(k, n, fill(seed ^ 0xabcd, k * n));
+        let serial = a.matmul_with(&b, &ScparConfig::serial());
+        for threads in THREAD_COUNTS {
+            let par = a.matmul_with(&b, &ScparConfig::with_threads(threads));
+            let same = (0..m).all(|i| {
+                (0..n).all(|j| serial[(i, j)].to_bits() == par[(i, j)].to_bits())
+            });
+            prop_assert!(same, "{threads}-thread matmul diverged");
+        }
+    }
+
+    /// Batched inference: row chunks are fixed at `BATCH_CHUNK_ROWS`, so
+    /// logits are bit-identical for every worker count.
+    #[test]
+    fn batch_inference_is_thread_count_independent(
+        rows in 1usize..90,
+        seed in any::<u64>(),
+    ) {
+        let net = Sequential::new()
+            .with(Dense::new(6, 12, seed))
+            .with(Relu::new())
+            .with(Dense::new(12, 3, seed ^ 1));
+        let data: Vec<f32> = fill(seed ^ 2, rows * 6).iter().map(|v| *v as f32).collect();
+        let input = Tensor::from_vec(vec![rows, 6], data).unwrap();
+        let serial = net.predict_with(&input, &ScparConfig::serial());
+        for threads in THREAD_COUNTS {
+            let par = net.predict_with(&input, &ScparConfig::with_threads(threads));
+            let same = serial
+                .data()
+                .iter()
+                .zip(par.data().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "{threads}-thread inference diverged");
+        }
+    }
+
+    /// Fog placement sweeps: each run gets a private recorder, results are
+    /// combined in submission order, so both the reports *and* the
+    /// Prometheus snapshots are byte-identical for every worker count.
+    #[test]
+    fn fog_sweep_is_thread_count_independent(
+        jobs in 1usize..60,
+        esc in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let sim = FogSimulator::new(Topology::four_tier(3, 2, 1));
+        let w = Workload::with_escalation(jobs, 100_000, 10.0, esc, seed);
+        let placements = [
+            Placement::AllCloud,
+            Placement::AllEdge,
+            Placement::EarlyExit { local_fraction: 0.3, feature_bytes: 20_000 },
+            Placement::ServerOnly,
+        ];
+        let serial: Vec<(String, String)> = sim
+            .runner(&w)
+            .threads(1)
+            .sweep_recorded(&placements)
+            .into_iter()
+            .map(|(r, snap)| (format!("{r:?}"), snap))
+            .collect();
+        for threads in THREAD_COUNTS {
+            let par: Vec<(String, String)> = sim
+                .runner(&w)
+                .threads(threads)
+                .sweep_recorded(&placements)
+                .into_iter()
+                .map(|(r, snap)| (format!("{r:?}"), snap))
+                .collect();
+            prop_assert_eq!(&serial, &par, "{}-thread sweep diverged", threads);
+        }
+    }
+}

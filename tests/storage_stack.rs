@@ -16,7 +16,9 @@ impl Sink for TableSink {
     fn deliver(&mut self, events: &[Event]) -> Result<(), String> {
         for e in events {
             let key = e.key().ok_or("event missing key")?;
-            self.table.put(key, "raw", "payload", e.payload().to_vec());
+            self.table
+                .put(key, "raw", "payload", e.payload().to_vec())
+                .unwrap();
         }
         Ok(())
     }
@@ -46,7 +48,9 @@ fn wide_column_random_access_vs_dfs_batch() {
     let mut batch = Vec::new();
     for i in 0..n {
         let value = format!("incident-{i}");
-        table.put(&format!("row-{i:05}"), "f", "v", value.clone().into_bytes());
+        table
+            .put(&format!("row-{i:05}"), "f", "v", value.clone().into_bytes())
+            .unwrap();
         batch.extend_from_slice(value.as_bytes());
         batch.push(b'\n');
     }
@@ -85,7 +89,9 @@ fn lsm_flush_plus_dfs_archival() {
     // cold archive copy in the DFS.
     let mut table = Table::new("annotations", 16);
     for i in 0..100 {
-        table.put(&format!("video-{i:03}"), "meta", "label", vec![i as u8]);
+        table
+            .put(&format!("video-{i:03}"), "meta", "label", vec![i as u8])
+            .unwrap();
     }
     table.flush();
     let stats = table.stats();
