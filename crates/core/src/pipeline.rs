@@ -132,6 +132,22 @@ impl CityDataPipeline {
     /// Defaults: telemetry disabled, no dashboard panel, and the ambient
     /// [`ScparConfig`] (`SCPAR_THREADS` / available parallelism) for the
     /// fanned-out stages.
+    ///
+    /// ```
+    /// # use smartcity_core::pipeline::CityDataPipeline;
+    /// # use scnosql::document::Collection;
+    /// # use scnosql::wide_column::Table;
+    /// # use scstream::Topic;
+    /// let mut topic = Topic::new("raw", 4);
+    /// let mut store = Collection::new("incidents");
+    /// store.create_index("kind");
+    /// let mut annotations = Table::new("annotations", 1024);
+    /// let report = CityDataPipeline::new(42, 120, 30)
+    ///     .runner(&mut topic, &mut store, &mut annotations)
+    ///     .run()
+    ///     .expect("generated pipeline data is always valid");
+    /// assert_eq!(report.ingested, 150);
+    /// ```
     pub fn runner<'a>(
         &'a self,
         topic: &'a mut Topic,

@@ -1,8 +1,9 @@
 //! The cluster facade: client API, placement, failures, re-replication.
 
 use bytes::Bytes;
+use scfault::{FaultEvent, FaultKind, FaultPlan};
 use sctelemetry::{Report, TelemetryHandle};
-use simclock::{SeededRng, SimTime, VirtualClock};
+use simclock::{SeededRng, SimDuration, SimTime, VirtualClock};
 
 use crate::block::{Block, BlockId};
 use crate::datanode::{DataNode, NodeId};
@@ -17,6 +18,11 @@ pub const METRIC_WRITE_BYTES: &str = "scdfs_block_write_bytes_total";
 pub const METRIC_BLOCK_READS: &str = "scdfs_block_reads_total";
 /// Metric name of the replicas-created-by-repair counter.
 pub const METRIC_REPLICATIONS: &str = "scdfs_replication_replicas_total";
+/// Metric name of the corrupt-replicas-dropped-by-scrub counter.
+pub const METRIC_SCRUBBED: &str = "scdfs_scrub_corrupt_replicas_total";
+/// Metric name of the repair-MTTR histogram (seconds from first
+/// under-replication to full replication, one sample per outage episode).
+pub const METRIC_MTTR: &str = "scdfs_repair_mttr_seconds";
 
 /// Aggregate cluster statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +53,55 @@ impl Report for ClusterStats {
             ("under_replicated".to_string(), self.under_replicated as f64),
             ("lost".to_string(), self.lost as f64),
             ("used_bytes".to_string(), self.used_bytes as f64),
+        ]
+    }
+}
+
+/// What happened across a [`DfsCluster::run_fault_plan`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairReport {
+    /// Fault events that took effect on this cluster.
+    pub faults_applied: usize,
+    /// Replicas created by re-replication over the run.
+    pub replicas_repaired: usize,
+    /// Corrupt replicas detected and dropped by the scrubber.
+    pub corrupt_replicas_dropped: usize,
+    /// Completed outage episodes (degraded → fully replicated again).
+    pub repairs: usize,
+    /// Mean time-to-repair across completed episodes, in sim-seconds.
+    pub mttr_mean_s: f64,
+    /// Worst time-to-repair across completed episodes, in sim-seconds.
+    pub mttr_max_s: f64,
+    /// Whether the cluster was still degraded when the horizon ran out.
+    pub unrepaired_at_end: bool,
+    /// Cluster statistics at the end of the run.
+    pub final_stats: ClusterStats,
+}
+
+impl Report for RepairReport {
+    fn kv(&self) -> Vec<(String, f64)> {
+        vec![
+            ("faults_applied".to_string(), self.faults_applied as f64),
+            (
+                "replicas_repaired".to_string(),
+                self.replicas_repaired as f64,
+            ),
+            (
+                "corrupt_replicas_dropped".to_string(),
+                self.corrupt_replicas_dropped as f64,
+            ),
+            ("repairs".to_string(), self.repairs as f64),
+            ("mttr_mean_s".to_string(), self.mttr_mean_s),
+            ("mttr_max_s".to_string(), self.mttr_max_s),
+            (
+                "unrepaired_at_end".to_string(),
+                if self.unrepaired_at_end { 1.0 } else { 0.0 },
+            ),
+            (
+                "under_replicated".to_string(),
+                self.final_stats.under_replicated as f64,
+            ),
+            ("lost".to_string(), self.final_stats.lost as f64),
         ]
     }
 }
@@ -385,6 +440,144 @@ impl DfsCluster {
         created
     }
 
+    /// Checksum-scans every replica on alive datanodes and drops the corrupt
+    /// ones (from both the datanode and the namenode's location map), leaving
+    /// the block under-replicated so [`DfsCluster::re_replicate`] can heal it
+    /// from a healthy copy — HDFS's background block scanner. Returns the
+    /// number of replicas dropped.
+    pub fn scrub(&mut self) -> usize {
+        let mut bad: Vec<(NodeId, BlockId)> = Vec::new();
+        for dn in &self.datanodes {
+            if !dn.is_alive() {
+                continue;
+            }
+            for b in dn.block_report() {
+                if matches!(dn.read(b), Err(DfsError::CorruptBlock(..))) {
+                    bad.push((dn.id(), b));
+                }
+            }
+        }
+        for &(n, b) in &bad {
+            self.datanodes[n.0 as usize].remove(b);
+            self.namenode.remove_location(b, n);
+        }
+        if !bad.is_empty() {
+            self.telemetry.counter_add(
+                METRIC_SCRUBBED,
+                "corrupt replicas dropped by the checksum scrubber",
+                bad.len() as u64,
+            );
+            self.telemetry.event(
+                "scdfs",
+                "scrub",
+                self.clock.now(),
+                &format!("{} corrupt replicas dropped", bad.len()),
+            );
+        }
+        bad.len()
+    }
+
+    /// Applies one fault event to the cluster: crashes kill datanodes,
+    /// restarts revive them, and corruptions flip bits in stored replicas.
+    /// Link and message faults don't apply to this layer and are ignored, as
+    /// are events naming nodes or blocks the cluster doesn't have. Returns
+    /// whether the event took effect (and was recorded to telemetry).
+    pub fn apply_fault(&mut self, event: &FaultEvent) -> bool {
+        let applied = match event.kind {
+            FaultKind::NodeCrash { node } => self.kill_node(node).is_ok(),
+            FaultKind::NodeRestart { node } => self.restore_node(node).is_ok(),
+            FaultKind::BlockCorrupt { node, block } => self
+                .datanodes
+                .get_mut(node as usize)
+                .is_some_and(|dn| dn.corrupt_block(BlockId(block))),
+            _ => false,
+        };
+        if applied {
+            scfault::record_injection(&self.telemetry, event);
+        }
+        applied
+    }
+
+    /// Runs the cluster under a [`FaultPlan`] for `horizon` of sim-time,
+    /// ticking every `repair_interval`: due fault events are applied, then
+    /// each tick scrubs corrupt replicas and re-replicates under-replicated
+    /// blocks — the namenode's repair loop. Every outage episode (first
+    /// moment the cluster has under-replicated or lost blocks, until it is
+    /// back to full replication) contributes one MTTR sample to the
+    /// [`METRIC_MTTR`] histogram and to the report.
+    pub fn run_fault_plan(
+        &mut self,
+        plan: &FaultPlan,
+        repair_interval: SimDuration,
+        horizon: SimDuration,
+    ) -> RepairReport {
+        let end = self.clock.now() + horizon;
+        let mut idx = 0;
+        let mut degraded_since: Option<SimTime> = None;
+        let mut mttrs: Vec<f64> = Vec::new();
+        let mut faults_applied = 0;
+        let mut replicas_repaired = 0;
+        let mut corrupt_dropped = 0;
+        while self.clock.now() < end {
+            let now = self.tick(repair_interval);
+            let events = plan.events();
+            let mut first_applied_at = None;
+            while idx < events.len() && events[idx].at <= now {
+                if self.apply_fault(&events[idx]) {
+                    faults_applied += 1;
+                    first_applied_at.get_or_insert(events[idx].at);
+                }
+                idx += 1;
+            }
+            if degraded_since.is_none() {
+                let s = self.stats();
+                if s.under_replicated > 0 || s.lost > 0 {
+                    // The outage began when the fault landed, not when this
+                    // tick noticed it — MTTR includes the detection delay.
+                    degraded_since = Some(first_applied_at.unwrap_or(now));
+                }
+            }
+            corrupt_dropped += self.scrub();
+            replicas_repaired += self.re_replicate();
+            if let Some(since) = degraded_since {
+                let s = self.stats();
+                if s.under_replicated == 0 && s.lost == 0 {
+                    let mttr = now.saturating_since(since).as_secs_f64();
+                    self.telemetry.observe_exact(
+                        METRIC_MTTR,
+                        "seconds from first under-replication to full replication",
+                        mttr,
+                    );
+                    self.telemetry.event(
+                        "scdfs",
+                        "repair/recovered",
+                        now,
+                        &format!("full replication restored after {mttr:.3} s"),
+                    );
+                    mttrs.push(mttr);
+                    degraded_since = None;
+                }
+            }
+        }
+        let repairs = mttrs.len();
+        let mttr_mean_s = if repairs > 0 {
+            mttrs.iter().sum::<f64>() / repairs as f64
+        } else {
+            0.0
+        };
+        let mttr_max_s = mttrs.iter().cloned().fold(0.0, f64::max);
+        RepairReport {
+            faults_applied,
+            replicas_repaired,
+            corrupt_replicas_dropped: corrupt_dropped,
+            repairs,
+            mttr_mean_s,
+            mttr_max_s,
+            unrepaired_at_end: degraded_since.is_some(),
+            final_stats: self.stats(),
+        }
+    }
+
     /// Computes aggregate statistics (the namenode web-UI numbers).
     pub fn stats(&self) -> ClusterStats {
         let mut under = 0;
@@ -610,6 +803,116 @@ mod tests {
         assert!(counter(METRIC_BLOCK_READS) >= 4);
         assert_eq!(counter(METRIC_REPLICATIONS), created as u64);
         assert!(t.trace_len() >= 2, "kill + re_replicate events recorded");
+    }
+
+    #[test]
+    fn scrub_drops_corrupt_replicas_and_repair_heals() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut dfs = DfsCluster::new(4, 2, 512, 21)
+            .unwrap()
+            .with_telemetry(t.handle());
+        let data = payload(400, 9);
+        dfs.create("/f", &data).unwrap();
+        let b = dfs.namenode().file("/f").unwrap().blocks[0];
+        let first = dfs.namenode().locations(b)[0];
+        dfs.datanodes[first.0 as usize].corrupt_block(b);
+        assert_eq!(dfs.scrub(), 1);
+        assert_eq!(dfs.stats().under_replicated, 1, "corrupt replica dropped");
+        assert_eq!(dfs.re_replicate(), 1);
+        assert_eq!(dfs.stats().under_replicated, 0);
+        assert_eq!(dfs.read("/f").unwrap(), data);
+        let reg = t.registry();
+        assert_eq!(
+            reg.get(METRIC_SCRUBBED)
+                .unwrap()
+                .as_counter()
+                .unwrap()
+                .get(),
+            1
+        );
+    }
+
+    #[test]
+    fn apply_fault_maps_kinds_onto_cluster_ops() {
+        let mut dfs = DfsCluster::new(3, 2, 512, 22).unwrap();
+        dfs.create("/f", &payload(100, 1)).unwrap();
+        let b = dfs.namenode().file("/f").unwrap().blocks[0];
+        let holder = dfs.namenode().locations(b)[0];
+        use simclock::SimTime;
+        let at = SimTime::from_secs(1);
+        assert!(dfs.apply_fault(&FaultEvent {
+            at,
+            kind: FaultKind::NodeCrash { node: 0 }
+        }));
+        assert!(!dfs.datanode(NodeId(0)).unwrap().is_alive());
+        assert!(dfs.apply_fault(&FaultEvent {
+            at,
+            kind: FaultKind::NodeRestart { node: 0 }
+        }));
+        assert!(dfs.datanode(NodeId(0)).unwrap().is_alive());
+        assert!(dfs.apply_fault(&FaultEvent {
+            at,
+            kind: FaultKind::BlockCorrupt {
+                node: holder.0,
+                block: b.0
+            }
+        }));
+        assert_eq!(dfs.scrub(), 1);
+        // Out-of-range node and non-DFS kinds are ignored.
+        assert!(!dfs.apply_fault(&FaultEvent {
+            at,
+            kind: FaultKind::NodeCrash { node: 99 }
+        }));
+        assert!(!dfs.apply_fault(&FaultEvent {
+            at,
+            kind: FaultKind::MessageDrop { seq: 0 }
+        }));
+    }
+
+    #[test]
+    fn fault_plan_run_measures_mttr() {
+        let t = sctelemetry::Telemetry::shared();
+        let mut dfs = DfsCluster::new(6, 3, 512, 23)
+            .unwrap()
+            .with_telemetry(t.handle());
+        dfs.create("/f", &payload(4000, 2)).unwrap();
+        use simclock::SimTime;
+        let plan = FaultPlan::empty()
+            .with_event(SimTime::from_secs(5), FaultKind::NodeCrash { node: 0 })
+            .with_event(SimTime::from_secs(7), FaultKind::NodeCrash { node: 1 });
+        let report =
+            dfs.run_fault_plan(&plan, SimDuration::from_secs(1), SimDuration::from_secs(30));
+        assert_eq!(report.faults_applied, 2);
+        assert!(report.replicas_repaired > 0);
+        assert_eq!(report.repairs, 2, "each crash healed within one tick");
+        assert!(report.mttr_mean_s > 0.0 || report.mttr_max_s == 0.0);
+        assert!(!report.unrepaired_at_end);
+        assert_eq!(report.final_stats.under_replicated, 0);
+        assert_eq!(report.final_stats.lost, 0);
+        let reg = t.registry();
+        let entry = reg.get(METRIC_MTTR).unwrap();
+        assert_eq!(entry.as_histogram().unwrap().snapshot().count, 2);
+    }
+
+    #[test]
+    fn fault_plan_run_is_deterministic() {
+        let run = || {
+            let mut dfs = DfsCluster::new(8, 3, 256, 24).unwrap();
+            dfs.create("/f", &payload(3000, 5)).unwrap();
+            let plan = FaultPlan::generate(
+                &scfault::FaultSpec {
+                    crashes: 3.0,
+                    corruptions: 2.0,
+                    blocks: 12,
+                    ..scfault::FaultSpec::new(SimDuration::from_secs(60), 8)
+                },
+                77,
+            );
+            let report =
+                dfs.run_fault_plan(&plan, SimDuration::from_secs(1), SimDuration::from_secs(90));
+            format!("{report:?}")
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

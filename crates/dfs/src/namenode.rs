@@ -1,6 +1,6 @@
 //! The namenode: namespace tree and block→replica map.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::block::BlockId;
 use crate::datanode::NodeId;
@@ -23,7 +23,9 @@ pub struct FileMeta {
 #[derive(Debug, Clone, Default)]
 pub struct NameNode {
     namespace: BTreeMap<String, FileMeta>,
-    locations: HashMap<BlockId, Vec<NodeId>>,
+    // BTreeMap, not HashMap: the re-replication scan iterates this map, and
+    // repair placement must not depend on per-process hash order.
+    locations: BTreeMap<BlockId, Vec<NodeId>>,
     next_block: u64,
 }
 

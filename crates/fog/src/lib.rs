@@ -38,11 +38,21 @@
 //! Placement sweeps fan out across the [`scpar`] worker pool
 //! (`SimRunner::sweep`); each individual run stays serial and
 //! deterministic, so sweep results are identical for any thread count.
+//!
+//! Runs can execute under an [`scfault::FaultPlan`]
+//! ([`SimRunner::faults`]): nodes crash and restart mid-sim, links
+//! partition and spike, and the report grows `jobs_rerouted` /
+//! `jobs_lost` / `jobs_degraded` / `recovery_time_s` columns describing
+//! how the tiers routed around the damage.
 
 mod sim;
 mod topology;
 mod workload;
 
-pub use sim::{FogSimulator, SimReport, SimRunner, TierUtilization};
+pub use sim::{
+    FogSimulator, SimReport, SimRunner, TierUtilization, METRIC_FAULT_RECOVERY,
+    METRIC_FAULT_REQUEUES, METRIC_FAULT_RETRIES, METRIC_JOBS_DEGRADED, METRIC_JOBS_LOST,
+    METRIC_JOBS_REROUTED,
+};
 pub use topology::{FogNodeId, Link, NodeSpec, Tier, Topology};
 pub use workload::{Job, Placement, Workload};

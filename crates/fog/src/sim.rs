@@ -2,11 +2,12 @@
 
 use std::collections::HashMap;
 
+use scfault::{FaultPlan, LatencySpikes, OutageWindows, RetryPolicy, FOREVER};
 use scpar::ScparConfig;
 use sctelemetry::{
     prometheus_text, MetricsRegistry, Report, SampleSummary, Telemetry, TelemetryHandle,
 };
-use simclock::{EventQueue, SimDuration, SimTime};
+use simclock::{EventQueue, SeededRng, SimDuration, SimTime};
 
 use crate::topology::{FogNodeId, Tier, Topology};
 use crate::workload::{Job, Placement, Workload};
@@ -17,6 +18,18 @@ pub const METRIC_JOB_LATENCY: &str = "scfog_sim_job_latency_seconds";
 pub const METRIC_JOBS: &str = "scfog_sim_jobs_total";
 /// Metric name of the exact makespan record (single observation per run).
 pub const METRIC_MAKESPAN: &str = "scfog_sim_makespan_seconds";
+/// Counter: jobs whose compute moved to a healthy sibling after a crash.
+pub const METRIC_JOBS_REROUTED: &str = "scfog_fault_jobs_rerouted_total";
+/// Counter: jobs abandoned because no node could ever run them.
+pub const METRIC_JOBS_LOST: &str = "scfog_fault_jobs_lost_total";
+/// Counter: escalating jobs that fell back to the edge exit under partition.
+pub const METRIC_JOBS_DEGRADED: &str = "scfog_fault_jobs_degraded_total";
+/// Counter: transfer retry probes issued while an uplink was partitioned.
+pub const METRIC_FAULT_RETRIES: &str = "scfog_fault_retries_total";
+/// Counter: steps re-queued to wait for a crashed node's restart.
+pub const METRIC_FAULT_REQUEUES: &str = "scfog_fault_requeues_total";
+/// Exact histogram: per-job sim-time stalled on faults (max = recovery time).
+pub const METRIC_FAULT_RECOVERY: &str = "scfog_fault_recovery_seconds";
 
 fn link_bytes_metric(from: Tier, to: Tier) -> String {
     format!("scfog_link_{}_to_{}_bytes_total", from.name(), to.name())
@@ -79,6 +92,15 @@ pub struct SimReport {
     pub tier_utilization: Vec<TierUtilization>,
     /// Completion time of the last job (makespan).
     pub makespan_s: f64,
+    /// Jobs whose compute re-routed to a healthy sibling after a node crash.
+    pub jobs_rerouted: usize,
+    /// Jobs lost outright (their node never recovered and no sibling was up).
+    pub jobs_lost: usize,
+    /// Escalating jobs that degraded to the edge-exit answer under partition.
+    pub jobs_degraded: usize,
+    /// Longest fault-induced stall suffered by any job, in seconds — how long
+    /// the system took to route around the worst injected failure.
+    pub recovery_time_s: f64,
 }
 
 impl SimReport {
@@ -149,6 +171,13 @@ impl SimReport {
             server_to_cloud_bytes: counter(&link_bytes_metric(Tier::Server, Tier::Cloud)),
             tier_utilization,
             makespan_s: makespan,
+            jobs_rerouted: counter(METRIC_JOBS_REROUTED) as usize,
+            jobs_lost: counter(METRIC_JOBS_LOST) as usize,
+            jobs_degraded: counter(METRIC_JOBS_DEGRADED) as usize,
+            recovery_time_s: registry
+                .get(METRIC_FAULT_RECOVERY)
+                .and_then(|e| e.as_histogram().map(|h| h.snapshot().max))
+                .unwrap_or(0.0),
         })
     }
 }
@@ -175,6 +204,10 @@ impl Report for SimReport {
                 self.server_to_cloud_bytes as f64,
             ),
             ("makespan_s".to_string(), self.makespan_s),
+            ("jobs_rerouted".to_string(), self.jobs_rerouted as f64),
+            ("jobs_lost".to_string(), self.jobs_lost as f64),
+            ("jobs_degraded".to_string(), self.jobs_degraded as f64),
+            ("recovery_time_s".to_string(), self.recovery_time_s),
         ];
         for u in &self.tier_utilization {
             kv.push((
@@ -423,6 +456,8 @@ impl FogSimulator {
             placement: Placement::AllCloud,
             telemetry: None,
             par: ScparConfig::from_env(),
+            faults: None,
+            retry: default_retry(),
         }
     }
 
@@ -439,6 +474,22 @@ impl FogSimulator {
         self.run_with(workload, placement, &self.telemetry)
     }
 
+    /// The annotation-only store-and-forward chain from `from` to the cloud —
+    /// what remains of a job's plan after it degrades to the edge-exit answer.
+    fn annotation_chain(&self, from: FogNodeId, ann: u64) -> Vec<Step> {
+        let mut steps = Vec::new();
+        let mut cur = from;
+        while let Some((parent, _)) = self.topology.parent(cur) {
+            steps.push(Step::Transfer {
+                from: cur,
+                to: parent,
+                bytes: ann,
+            });
+            cur = parent;
+        }
+        steps
+    }
+
     /// The engine: one serial discrete-event run recording into `telemetry`.
     fn run_with(
         &self,
@@ -446,16 +497,60 @@ impl FogSimulator {
         placement: Placement,
         telemetry: &TelemetryHandle,
     ) -> SimReport {
+        self.run_faulted(workload, placement, telemetry, None, default_retry())
+    }
+
+    /// The engine under a fault plan. Fault semantics (documented in
+    /// DESIGN.md "Fault model"):
+    ///
+    /// - **Node crash** (crash-stop, step-atomic): a compute step cannot
+    ///   *start* on a down node. It re-routes to the lowest-id healthy
+    ///   sibling in the same tier (paying one uplink-latency re-dispatch
+    ///   penalty; byte flows stay on the planned path), or re-queues until
+    ///   the restart, or — if the node never restarts and no sibling is up —
+    ///   the job is lost.
+    /// - **Link partition**: a transfer probes the uplink on the job's
+    ///   deterministic retry schedule. If the schedule finds the link healed
+    ///   the transfer proceeds; if it exhausts, an escalating early-exit job
+    ///   *degrades* (accepts the edge-exit answer, queueing only annotations
+    ///   upstream once the partition heals), anything else store-and-forwards
+    ///   at heal time.
+    /// - **Latency spike**: the link's propagation latency is multiplied for
+    ///   the window's duration.
+    ///
+    /// All fault-induced waiting is accounted per job; the max is the run's
+    /// `recovery_time_s`.
+    fn run_faulted(
+        &self,
+        workload: &Workload,
+        placement: Placement,
+        telemetry: &TelemetryHandle,
+        faults: Option<&FaultPlan>,
+        retry: RetryPolicy,
+    ) -> SimReport {
         assert!(!workload.is_empty(), "empty workload");
         let edges = self.topology.nodes_in_tier(Tier::Edge);
         assert!(!edges.is_empty(), "topology has no edge nodes");
 
         // Build plans.
-        let plans: Vec<Vec<Step>> = workload
+        let mut plans: Vec<Vec<Step>> = workload
             .jobs()
             .iter()
             .map(|j| self.plan(j, placement, edges[j.edge_index % edges.len()]))
             .collect();
+
+        // Precomputed fault views: the hot loop never scans the schedule.
+        let node_outages = faults.map(OutageWindows::node_crashes).unwrap_or_default();
+        let link_outages = faults
+            .map(OutageWindows::link_partitions)
+            .unwrap_or_default();
+        let spikes = faults.map(LatencySpikes::from_plan).unwrap_or_default();
+        let fault_seed = faults.map(FaultPlan::seed).unwrap_or(0);
+        let feature_bytes = match placement {
+            Placement::EarlyExit { feature_bytes, .. }
+            | Placement::FogAssisted { feature_bytes, .. } => Some(feature_bytes),
+            _ => None,
+        };
 
         let mut queue: EventQueue<(usize, usize)> = EventQueue::new();
         for (ji, job) in workload.jobs().iter().enumerate() {
@@ -466,6 +561,12 @@ impl FogSimulator {
         let mut busy_total: HashMap<Resource, f64> = HashMap::new();
         let mut boundary_bytes: HashMap<(Tier, Tier), u64> = HashMap::new();
         let mut completion: Vec<Option<SimTime>> = vec![None; plans.len()];
+        let mut stall: Vec<f64> = vec![0.0; plans.len()];
+        let mut rerouted: Vec<bool> = vec![false; plans.len()];
+        let mut degraded: Vec<bool> = vec![false; plans.len()];
+        let mut lost: Vec<bool> = vec![false; plans.len()];
+        let mut fault_retries: u64 = 0;
+        let mut fault_requeues: u64 = 0;
 
         // Per-tier metric names, formatted once (the event loop is hot).
         let recording = telemetry.is_enabled();
@@ -476,43 +577,113 @@ impl FogSimulator {
         let tier_idx = |t: Tier| Tier::ALL.iter().position(|&x| x == t).expect("known tier");
 
         while let Some((now, (ji, si))) = queue.pop() {
-            let step = &plans[ji][si];
+            // `ready` is when the step may start once faults are dealt with.
+            let mut ready = now;
+            let step = plans[ji][si].clone();
             let (resource, duration) = match step {
                 Step::Compute { node, ops } => {
-                    let flops = self.topology.spec(*node).flops;
+                    if let Some(until) = node_outages.down_until(node.0, now) {
+                        let tier = self.topology.tier(node);
+                        let sibling = self
+                            .topology
+                            .nodes_in_tier(tier)
+                            .iter()
+                            .copied()
+                            .find(|n| *n != node && !node_outages.is_down(n.0, now));
+                        if let Some(alt) = sibling {
+                            // Re-route: compute moves to the sibling after one
+                            // re-dispatch hop; byte flows keep the planned path.
+                            let penalty = self
+                                .topology
+                                .parent(node)
+                                .map(|(_, l)| l.latency)
+                                .unwrap_or(SimDuration::from_millis(1));
+                            rerouted[ji] = true;
+                            stall[ji] += penalty.as_secs_f64();
+                            plans[ji][si] = Step::Compute { node: alt, ops };
+                            queue.schedule(now + penalty, (ji, si));
+                        } else if until < FOREVER {
+                            // No healthy sibling: re-queue for the restart.
+                            fault_requeues += 1;
+                            stall[ji] += (until - now).as_secs_f64();
+                            queue.schedule(until, (ji, si));
+                        } else {
+                            lost[ji] = true;
+                        }
+                        continue;
+                    }
+                    let flops = self.topology.spec(node).flops;
                     (
-                        Resource::Node(*node),
+                        Resource::Node(node),
                         SimDuration::from_secs_f64(ops / flops),
                     )
                 }
                 Step::Transfer { from, to, bytes } => {
+                    let mut bytes = bytes;
+                    if link_outages.is_down(from.0, ready) {
+                        // Probe along the job-step-deterministic backoff
+                        // schedule until the partition heals or we give up.
+                        let mut rng = SeededRng::new(
+                            fault_seed
+                                ^ (ji as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                                ^ (si as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+                        );
+                        let mut attempt = 1;
+                        while attempt < retry.max_attempts && link_outages.is_down(from.0, ready) {
+                            ready += retry.delay(attempt, &mut rng);
+                            fault_retries += 1;
+                            attempt += 1;
+                        }
+                        if let Some(heal) = link_outages.down_until(from.0, ready) {
+                            // Retries exhausted while still partitioned.
+                            if heal == FOREVER {
+                                lost[ji] = true;
+                                continue;
+                            }
+                            if feature_bytes == Some(bytes) {
+                                // Escalation can't reach the server: degrade
+                                // to the edge-exit answer; only annotations go
+                                // upstream, queued until the link heals.
+                                degraded[ji] = true;
+                                let ann = workload.jobs()[ji].annotation_bytes;
+                                plans[ji].truncate(si);
+                                let chain = self.annotation_chain(from, ann);
+                                plans[ji].extend(chain);
+                                bytes = ann;
+                            }
+                            // Store-and-forward: the payload moves at heal time.
+                            ready = heal;
+                        }
+                        stall[ji] += ready.saturating_since(now).as_secs_f64();
+                    }
                     let (_, link) = self
                         .topology
-                        .parent(*from)
-                        .filter(|(p, _)| p == to)
+                        .parent(from)
+                        .filter(|(p, _)| *p == to)
                         .expect("transfers follow uplinks");
                     let tx = if link.bandwidth_bps.is_finite() {
-                        *bytes as f64 / link.bandwidth_bps
+                        bytes as f64 / link.bandwidth_bps
                     } else {
                         0.0
                     };
                     *boundary_bytes
-                        .entry((self.topology.tier(*from), self.topology.tier(*to)))
+                        .entry((self.topology.tier(from), self.topology.tier(to)))
                         .or_default() += bytes;
+                    let latency = link.latency.mul_f64(spikes.factor_at(from.0, ready));
                     (
-                        Resource::LinkRes(*from, *to),
-                        link.latency + SimDuration::from_secs_f64(tx),
+                        Resource::LinkRes(from, to),
+                        latency + SimDuration::from_secs_f64(tx),
                     )
                 }
             };
             let free_at = busy_until.get(&resource).copied().unwrap_or(SimTime::ZERO);
-            let start = free_at.max(now);
+            let start = free_at.max(ready);
             let finish = start + duration;
             busy_until.insert(resource, finish);
             *busy_total.entry(resource).or_default() += duration.as_secs_f64();
 
             if recording {
-                let tier = match step {
+                let tier = match &plans[ji][si] {
                     Step::Compute { node, .. } => self.topology.tier(*node),
                     Step::Transfer { from, .. } => self.topology.tier(*from),
                 };
@@ -530,18 +701,24 @@ impl FogSimulator {
             }
         }
 
-        // Latencies, summarized by the workspace-wide nearest-rank helper.
+        // Latencies over completed jobs only, summarized by the
+        // workspace-wide nearest-rank helper. Lost jobs have no latency.
         let latencies: Vec<f64> = workload
             .jobs()
             .iter()
             .zip(&completion)
-            .map(|(j, c)| (c.expect("job completed") - j.arrival).as_secs_f64())
+            .filter_map(|(j, c)| c.map(|c| (c - j.arrival).as_secs_f64()))
             .collect();
-        let stats = SampleSummary::from_sample(&latencies).expect("non-empty workload");
+        let stats = SampleSummary::from_sample(&latencies);
         let makespan = completion
             .iter()
-            .map(|c| c.expect("job completed").as_secs_f64())
+            .flatten()
+            .map(|c| c.as_secs_f64())
             .fold(0.0f64, f64::max);
+        let jobs_rerouted = rerouted.iter().filter(|&&r| r).count();
+        let jobs_lost = lost.iter().filter(|&&l| l).count();
+        let jobs_degraded = degraded.iter().filter(|&&d| d).count();
+        let recovery_time_s = stall.iter().copied().fold(0.0f64, f64::max);
 
         // Tier utilization.
         let tier_utilization: Vec<TierUtilization> = Tier::ALL
@@ -574,15 +751,23 @@ impl FogSimulator {
                 &tier_utilization,
                 &boundary_bytes,
             );
+            let fault_tallies = FaultTallies {
+                jobs_rerouted,
+                jobs_lost,
+                jobs_degraded,
+                fault_retries,
+                fault_requeues,
+            };
+            record_faults(telemetry, faults, &fault_tallies, &stall);
         }
 
         SimReport {
-            jobs: stats.count,
-            mean_latency_s: stats.mean(),
-            p50_latency_s: stats.p50,
-            p95_latency_s: stats.p95,
-            p99_latency_s: stats.p99,
-            max_latency_s: stats.max,
+            jobs: latencies.len(),
+            mean_latency_s: stats.as_ref().map_or(0.0, SampleSummary::mean),
+            p50_latency_s: stats.as_ref().map_or(0.0, |s| s.p50),
+            p95_latency_s: stats.as_ref().map_or(0.0, |s| s.p95),
+            p99_latency_s: stats.as_ref().map_or(0.0, |s| s.p99),
+            max_latency_s: stats.as_ref().map_or(0.0, |s| s.max),
             edge_to_fog_bytes: *boundary_bytes.get(&(Tier::Edge, Tier::Fog)).unwrap_or(&0),
             fog_to_server_bytes: *boundary_bytes.get(&(Tier::Fog, Tier::Server)).unwrap_or(&0),
             server_to_cloud_bytes: *boundary_bytes
@@ -590,6 +775,10 @@ impl FogSimulator {
                 .unwrap_or(&0),
             tier_utilization,
             makespan_s: makespan,
+            jobs_rerouted,
+            jobs_lost,
+            jobs_degraded,
+            recovery_time_s,
         }
     }
 
@@ -617,12 +806,10 @@ impl FogSimulator {
         }
         t.observe_exact(METRIC_MAKESPAN, "completion time of the last job", makespan);
         for (ji, (job, done)) in workload.jobs().iter().zip(completion).enumerate() {
-            t.span(
-                "scfog",
-                &format!("job/{ji}"),
-                job.arrival,
-                done.expect("job completed"),
-            );
+            // Lost jobs never complete, so they have no span.
+            if let Some(done) = done {
+                t.span("scfog", &format!("job/{ji}"), job.arrival, *done);
+            }
         }
         for u in tier_utilization {
             t.observe_exact(
@@ -650,6 +837,86 @@ impl FogSimulator {
     }
 }
 
+/// The transfer-retry policy runs use unless [`SimRunner::retry`] overrides
+/// it: four attempts from 50 ms, doubling, ±10 % seeded jitter.
+fn default_retry() -> RetryPolicy {
+    RetryPolicy::new(4, SimDuration::from_millis(50))
+}
+
+/// Per-run fault recovery tallies, bundled for telemetry recording.
+struct FaultTallies {
+    jobs_rerouted: usize,
+    jobs_lost: usize,
+    jobs_degraded: usize,
+    fault_retries: u64,
+    fault_requeues: u64,
+}
+
+/// Emits fault-injection events and recovery aggregates so that
+/// [`SimReport::from_registry`] reconstructs the fault columns too.
+fn record_faults(
+    t: &TelemetryHandle,
+    faults: Option<&FaultPlan>,
+    tallies: &FaultTallies,
+    stall: &[f64],
+) {
+    if let Some(plan) = faults {
+        for e in plan.events() {
+            // The fog layer applies node and link faults; message/block
+            // faults belong to the stream and DFS layers.
+            if matches!(
+                e.kind,
+                scfault::FaultKind::NodeCrash { .. }
+                    | scfault::FaultKind::NodeRestart { .. }
+                    | scfault::FaultKind::LinkPartition { .. }
+                    | scfault::FaultKind::LinkLatencySpike { .. }
+            ) {
+                scfault::record_injection(t, e);
+            }
+        }
+        let outages = OutageWindows::node_crashes(plan);
+        for node in outages.targets() {
+            for &(s, e) in outages.windows_for(node) {
+                if e < FOREVER {
+                    t.span("scfault", &format!("outage/node/{node}"), s, e);
+                }
+            }
+        }
+    }
+    t.counter_add(
+        METRIC_JOBS_REROUTED,
+        "jobs re-routed to a healthy sibling",
+        tallies.jobs_rerouted as u64,
+    );
+    t.counter_add(
+        METRIC_JOBS_LOST,
+        "jobs lost to unrecoverable crashes",
+        tallies.jobs_lost as u64,
+    );
+    t.counter_add(
+        METRIC_JOBS_DEGRADED,
+        "jobs degraded to the edge-exit answer",
+        tallies.jobs_degraded as u64,
+    );
+    t.counter_add(
+        METRIC_FAULT_RETRIES,
+        "transfer retry probes under partition",
+        tallies.fault_retries,
+    );
+    t.counter_add(
+        METRIC_FAULT_REQUEUES,
+        "steps re-queued for a node restart",
+        tallies.fault_requeues,
+    );
+    for &s in stall.iter().filter(|&&s| s > 0.0) {
+        t.observe_exact(
+            METRIC_FAULT_RECOVERY,
+            "per-job sim-time stalled on injected faults",
+            s,
+        );
+    }
+}
+
 /// Builder for configured simulation runs — the redesigned run API.
 ///
 /// Obtained from [`FogSimulator::runner`]. A single [`SimRunner::run`] stays
@@ -666,12 +933,51 @@ pub struct SimRunner<'a> {
     placement: Placement,
     telemetry: Option<TelemetryHandle>,
     par: ScparConfig,
+    faults: Option<&'a FaultPlan>,
+    retry: RetryPolicy,
 }
 
-impl SimRunner<'_> {
+impl<'a> SimRunner<'a> {
     /// Sets the placement policy (defaults to [`Placement::AllCloud`]).
     pub fn placement(mut self, placement: Placement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Injects `plan`'s faults into the run (and into every sweep run):
+    /// node crashes gate compute steps, link partitions gate transfers, and
+    /// latency spikes stretch link propagation. See the DESIGN.md
+    /// "Fault model" section for the exact semantics.
+    ///
+    /// ```
+    /// # use scfog::{FogSimulator, Placement, Topology, Workload};
+    /// use scfault::{FaultKind, FaultPlan};
+    /// use simclock::{SimDuration, SimTime};
+    ///
+    /// let sim = FogSimulator::new(Topology::four_tier(4, 2, 2));
+    /// let w = Workload::uniform(30, 100_000, 5.0, 42);
+    /// // Crash the first analysis server one second in; restart it at t=5 s.
+    /// let server = sim.topology().nodes_in_tier(scfog::Tier::Server)[0];
+    /// let plan = FaultPlan::empty()
+    ///     .with_event(SimTime::from_secs(1), FaultKind::NodeCrash { node: server.0 })
+    ///     .with_event(SimTime::from_secs(5), FaultKind::NodeRestart { node: server.0 });
+    /// let report = sim
+    ///     .runner(&w)
+    ///     .placement(Placement::ServerOnly)
+    ///     .faults(&plan)
+    ///     .run();
+    /// assert_eq!(report.jobs + report.jobs_lost, 30);
+    /// assert!(report.recovery_time_s >= 0.0);
+    /// ```
+    pub fn faults(mut self, plan: &'a FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
+    /// Replaces the transfer-retry policy used under link partitions
+    /// (defaults to four attempts from 50 ms with seeded jitter).
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -701,7 +1007,13 @@ impl SimRunner<'_> {
     /// Panics if the workload is empty or the topology has no edge tier.
     pub fn run(self) -> SimReport {
         let telemetry = self.telemetry.as_ref().unwrap_or(&self.sim.telemetry);
-        self.sim.run_with(self.workload, self.placement, telemetry)
+        self.sim.run_faulted(
+            self.workload,
+            self.placement,
+            telemetry,
+            self.faults,
+            self.retry,
+        )
     }
 
     /// Runs the workload under each placement, fanning the runs out across
@@ -709,8 +1021,13 @@ impl SimRunner<'_> {
     /// of thread count; telemetry handles are not written to.
     pub fn sweep(&self, placements: &[Placement]) -> Vec<SimReport> {
         scpar::par_map(&self.par, placements, |p| {
-            self.sim
-                .run_with(self.workload, *p, &TelemetryHandle::disabled())
+            self.sim.run_faulted(
+                self.workload,
+                *p,
+                &TelemetryHandle::disabled(),
+                self.faults,
+                self.retry,
+            )
         })
     }
 
@@ -723,7 +1040,13 @@ impl SimRunner<'_> {
     pub fn sweep_recorded(&self, placements: &[Placement]) -> Vec<(SimReport, String)> {
         scpar::par_map(&self.par, placements, |p| {
             let recorder = Telemetry::shared();
-            let report = self.sim.run_with(self.workload, *p, &recorder.handle());
+            let report = self.sim.run_faulted(
+                self.workload,
+                *p,
+                &recorder.handle(),
+                self.faults,
+                self.retry,
+            );
             (report, prometheus_text(recorder.registry()))
         })
     }
@@ -1020,5 +1343,222 @@ mod fog_assisted_tests {
         );
         assert_eq!(r.edge_to_fog_bytes, 30 * 100_000, "raw frames to the fog");
         assert_eq!(r.fog_to_server_bytes, 30 * 256, "only annotations upstream");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use super::*;
+    use scfault::{FaultKind, FaultSpec};
+
+    fn crash_window(node: FogNodeId, from: SimTime, to: SimTime) -> FaultPlan {
+        FaultPlan::empty()
+            .with_event(from, FaultKind::NodeCrash { node: node.0 })
+            .with_event(to, FaultKind::NodeRestart { node: node.0 })
+    }
+
+    #[test]
+    fn empty_plan_matches_plain_run() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 1));
+        let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 7);
+        let plain = s.runner(&w).placement(Placement::ServerOnly).run();
+        let empty = FaultPlan::empty();
+        let faulted = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&empty)
+            .run();
+        assert_eq!(plain.mean_latency_s, faulted.mean_latency_s);
+        assert_eq!(faulted.jobs_rerouted, 0);
+        assert_eq!(faulted.jobs_lost, 0);
+        assert_eq!(faulted.recovery_time_s, 0.0);
+    }
+
+    #[test]
+    fn server_crash_reroutes_to_sibling() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 2));
+        let w = Workload::uniform(40, 100_000, 5.0, 11);
+        let victim = s.topology().nodes_in_tier(Tier::Server)[0];
+        let plan = crash_window(victim, SimTime::ZERO, SimTime::from_secs(3600));
+        let r = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .run();
+        assert_eq!(r.jobs, 40, "re-routing loses nothing");
+        assert_eq!(r.jobs_lost, 0);
+        assert!(r.jobs_rerouted > 0, "victim's jobs moved to the sibling");
+        assert!(r.recovery_time_s > 0.0);
+    }
+
+    #[test]
+    fn crash_without_sibling_requeues_until_restart() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 1));
+        let w = Workload::uniform(20, 100_000, 5.0, 12);
+        let server = s.topology().nodes_in_tier(Tier::Server)[0];
+        let plan = crash_window(server, SimTime::ZERO, SimTime::from_secs(30));
+        let baseline = s.runner(&w).placement(Placement::ServerOnly).run();
+        let r = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .run();
+        assert_eq!(r.jobs, 20, "jobs wait out the outage");
+        assert_eq!(r.jobs_lost, 0);
+        assert_eq!(r.jobs_rerouted, 0, "no sibling server exists");
+        assert!(
+            r.max_latency_s > baseline.max_latency_s,
+            "waiting for the restart costs latency"
+        );
+        assert!(r.recovery_time_s > 0.0 && r.recovery_time_s <= 30.0);
+    }
+
+    #[test]
+    fn permanent_cloud_crash_loses_jobs() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 1));
+        let w = Workload::uniform(15, 100_000, 5.0, 13);
+        let cloud = s.topology().nodes_in_tier(Tier::Cloud)[0];
+        let plan =
+            FaultPlan::empty().with_event(SimTime::ZERO, FaultKind::NodeCrash { node: cloud.0 });
+        let r = s
+            .runner(&w)
+            .placement(Placement::AllCloud)
+            .faults(&plan)
+            .run();
+        assert_eq!(r.jobs, 0, "the only cloud never comes back");
+        assert_eq!(r.jobs_lost, 15);
+        assert_eq!(r.mean_latency_s, 0.0, "no completed jobs, no latency");
+    }
+
+    #[test]
+    fn partition_store_and_forwards() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 1));
+        let w = Workload::uniform(20, 100_000, 5.0, 14);
+        let edge = s.topology().nodes_in_tier(Tier::Edge)[0];
+        let plan = FaultPlan::empty().with_event(
+            SimTime::ZERO,
+            FaultKind::LinkPartition {
+                node: edge.0,
+                duration: SimDuration::from_secs(20),
+            },
+        );
+        let r = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .run();
+        assert_eq!(r.jobs, 20);
+        assert_eq!(r.jobs_lost, 0, "partitions heal; payloads are queued");
+        assert!(r.recovery_time_s > 0.0);
+    }
+
+    #[test]
+    fn partitioned_escalation_degrades_to_edge_exit() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 1));
+        // Every job escalates, so every job needs the fog->server hop.
+        let w = Workload::with_escalation(20, 100_000, 5.0, 1.0, 15);
+        let placement = Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        };
+        let fogs = s.topology().nodes_in_tier(Tier::Fog);
+        let mut plan = FaultPlan::empty();
+        for f in &fogs {
+            plan = plan.with_event(
+                SimTime::ZERO,
+                FaultKind::LinkPartition {
+                    node: f.0,
+                    duration: SimDuration::from_secs(3600),
+                },
+            );
+        }
+        let healthy = s.runner(&w).placement(placement).run();
+        let r = s.runner(&w).placement(placement).faults(&plan).run();
+        assert_eq!(r.jobs, 20, "degraded jobs still complete");
+        assert_eq!(r.jobs_degraded, 20, "every escalation fell back");
+        assert!(
+            r.fog_to_server_bytes < healthy.fog_to_server_bytes,
+            "features never cross the partition: {} vs {}",
+            r.fog_to_server_bytes,
+            healthy.fog_to_server_bytes
+        );
+    }
+
+    #[test]
+    fn latency_spike_stretches_transfers() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 1));
+        let w = Workload::uniform(20, 100_000, 5.0, 16);
+        let mut plan = FaultPlan::empty();
+        for e in &s.topology().nodes_in_tier(Tier::Edge) {
+            plan = plan.with_event(
+                SimTime::ZERO,
+                FaultKind::LinkLatencySpike {
+                    node: e.0,
+                    factor: 50.0,
+                    duration: SimDuration::from_secs(3600),
+                },
+            );
+        }
+        let healthy = s.runner(&w).placement(Placement::ServerOnly).run();
+        let spiked = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .run();
+        assert!(
+            spiked.mean_latency_s > healthy.mean_latency_s,
+            "spiked {} vs healthy {}",
+            spiked.mean_latency_s,
+            healthy.mean_latency_s
+        );
+        assert_eq!(spiked.jobs_lost, 0);
+    }
+
+    #[test]
+    fn fault_metrics_roundtrip_through_registry() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 2));
+        let w = Workload::uniform(30, 100_000, 5.0, 17);
+        let victim = s.topology().nodes_in_tier(Tier::Server)[0];
+        let plan = crash_window(victim, SimTime::ZERO, SimTime::from_secs(3600));
+        let rec = Telemetry::shared();
+        let r = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .telemetry(rec.handle())
+            .run();
+        let rebuilt = SimReport::from_registry(rec.registry()).expect("metrics recorded");
+        assert_eq!(rebuilt.jobs_rerouted, r.jobs_rerouted);
+        assert_eq!(rebuilt.jobs_lost, r.jobs_lost);
+        assert_eq!(rebuilt.jobs_degraded, r.jobs_degraded);
+        assert_eq!(rebuilt.recovery_time_s, r.recovery_time_s);
+        let injected = rec
+            .registry()
+            .get(scfault::METRIC_INJECTED)
+            .and_then(|e| e.as_counter().map(|c| c.get()))
+            .unwrap_or(0);
+        assert_eq!(injected, 2, "crash + restart recorded as injections");
+    }
+
+    #[test]
+    fn generated_plan_runs_are_deterministic() {
+        let s = FogSimulator::new(Topology::four_tier(4, 2, 2));
+        let w = Workload::with_escalation(40, 100_000, 5.0, 0.3, 18);
+        let spec =
+            FaultSpec::new(SimDuration::from_secs(30), s.topology().len() as u32).intensity(2.0);
+        let plan = FaultPlan::generate(&spec, 99);
+        let a = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .run();
+        let b = s
+            .runner(&w)
+            .placement(Placement::ServerOnly)
+            .faults(&plan)
+            .run();
+        assert_eq!(a.mean_latency_s, b.mean_latency_s);
+        assert_eq!(a.jobs_rerouted, b.jobs_rerouted);
+        assert_eq!(a.recovery_time_s, b.recovery_time_s);
     }
 }

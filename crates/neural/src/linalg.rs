@@ -96,7 +96,7 @@ impl Mat {
     /// Tiled matrix product with row panels fanned out on the `scpar` pool.
     ///
     /// Output rows are partitioned into fixed [`Mat::PANEL_ROWS`]-row panels
-    /// and each panel runs the blocked ikj kernel ([`matmul_panel`]), which
+    /// and each panel runs the blocked ikj kernel (`matmul_panel`), which
     /// visits the inner dimension in the same ascending order as the serial
     /// product — so the result is bit-identical for any thread count.
     ///

@@ -1,0 +1,518 @@
+//! Broker unavailability and producer resilience.
+//!
+//! The paper's ingestion layer assumes Flume/Kafka keep accepting traffic;
+//! this module models what happens when they don't. A [`Broker`] fronts a
+//! [`Topic`] with outage windows and message faults derived from a
+//! [`scfault::FaultPlan`]: while the broker node is crashed or partitioned,
+//! publishes are rejected; individual messages can be dropped in flight or
+//! have their acknowledgement lost after being stored. A
+//! [`ResilientProducer`] retries through all of that under a seeded
+//! [`RetryPolicy`], giving **at-least-once** delivery: nothing the producer
+//! sends is lost (unless attempts run out mid-outage), but ack loss makes it
+//! resend stored events, so duplicates appear and are accounted — exactly
+//! the accounting [`audit_delivery`] performs from sequence headers.
+
+use scfault::{FaultPlan, MessageFaults, OutageWindows, RetryPolicy};
+use sctelemetry::TelemetryHandle;
+use simclock::{SeededRng, SimTime};
+
+use crate::event::Event;
+use crate::topic::{Offset, PartitionId, Topic};
+
+/// Metric name of the publishes-rejected-while-down counter.
+pub const METRIC_BROKER_REJECTED: &str = "scstream_broker_rejected_total";
+/// Metric name of the messages-dropped-in-flight counter.
+pub const METRIC_BROKER_DROPPED: &str = "scstream_broker_dropped_total";
+/// Metric name of the producer-retries counter.
+pub const METRIC_PRODUCER_RETRIES: &str = "scstream_producer_retries_total";
+/// Metric name of the duplicate-events counter (resends after a lost ack).
+pub const METRIC_PRODUCER_DUPLICATES: &str = "scstream_producer_duplicates_total";
+/// Metric name of the producer-gave-up counter (attempts exhausted).
+pub const METRIC_PRODUCER_LOST: &str = "scstream_producer_lost_total";
+
+/// Event header carrying the producer id, written by [`ResilientProducer`].
+pub const HEADER_PRODUCER: &str = "producer";
+/// Event header carrying the producer-side sequence number.
+pub const HEADER_SEQ: &str = "seq";
+
+/// Why a publish failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PublishError {
+    /// The broker is inside an outage window; healthy again at `until`
+    /// (`scfault::FOREVER` for an unmatched crash).
+    Unavailable {
+        /// Sim-time at which the broker comes back.
+        until: SimTime,
+    },
+    /// The message was dropped in flight and never stored.
+    Dropped,
+    /// The message **was** stored at the given location, but the
+    /// acknowledgement was lost — the producer can't tell this from
+    /// [`PublishError::Dropped`], so it resends and creates a duplicate.
+    AckLost {
+        /// Partition the unacknowledged copy landed in.
+        partition: PartitionId,
+        /// Offset of the unacknowledged copy.
+        offset: Offset,
+    },
+}
+
+/// A topic fronted by fault injection: outage windows (node crashes and
+/// link partitions of the broker's node in the plan) reject publishes, and
+/// message faults drop or un-ack individual sends by sequence number.
+///
+/// The broker consumes the plan's views once at construction; publishing is
+/// then a pure function of (plan, publish order), keeping runs
+/// deterministic.
+#[derive(Debug)]
+pub struct Broker {
+    topic: Topic,
+    node: u32,
+    crashes: OutageWindows,
+    partitions: OutageWindows,
+    faults: MessageFaults,
+    seq: u64,
+    telemetry: TelemetryHandle,
+}
+
+impl Broker {
+    /// Wraps `topic` as broker node `node` under `plan`.
+    pub fn new(topic: Topic, node: u32, plan: &FaultPlan) -> Self {
+        Broker {
+            topic,
+            node,
+            crashes: OutageWindows::node_crashes(plan),
+            partitions: OutageWindows::link_partitions(plan),
+            faults: MessageFaults::from_plan(plan),
+            seq: 0,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches telemetry: rejections and drops count into the
+    /// `scstream_broker_*` metrics.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The broker's node id in the fault plan.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// If the broker is down at `at`, when it next comes back.
+    pub fn down_until(&self, at: SimTime) -> Option<SimTime> {
+        match (
+            self.crashes.down_until(self.node, at),
+            self.partitions.down_until(self.node, at),
+        ) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Attempts to store `event` at sim-time `now`.
+    ///
+    /// # Errors
+    ///
+    /// [`PublishError::Unavailable`] during an outage window,
+    /// [`PublishError::Dropped`] when the message faults drop this send, and
+    /// [`PublishError::AckLost`] when it is stored but unacknowledged.
+    pub fn try_publish(
+        &mut self,
+        event: Event,
+        now: SimTime,
+    ) -> Result<(PartitionId, Offset), PublishError> {
+        let seq = self.seq;
+        self.seq += 1;
+        if let Some(until) = self.down_until(now) {
+            self.telemetry
+                .counter_inc(METRIC_BROKER_REJECTED, "publishes rejected while down");
+            return Err(PublishError::Unavailable { until });
+        }
+        if self.faults.is_dropped(seq) {
+            self.telemetry
+                .counter_inc(METRIC_BROKER_DROPPED, "messages dropped in flight");
+            return Err(PublishError::Dropped);
+        }
+        let (partition, offset) = self.topic.publish(event);
+        if self.faults.is_ack_lost(seq) {
+            return Err(PublishError::AckLost { partition, offset });
+        }
+        Ok((partition, offset))
+    }
+
+    /// The fronted topic.
+    pub fn topic(&self) -> &Topic {
+        &self.topic
+    }
+
+    /// Mutable access to the fronted topic (e.g. to attach consumers).
+    pub fn topic_mut(&mut self) -> &mut Topic {
+        &mut self.topic
+    }
+
+    /// Unwraps the broker back into its topic.
+    pub fn into_topic(self) -> Topic {
+        self.topic
+    }
+}
+
+/// What became of one producer-side send.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendOutcome {
+    /// Stored and acknowledged after `attempts` tries, at sim-time `at`.
+    Delivered {
+        /// Attempts made, including the first.
+        attempts: u32,
+        /// Sim-time of the acknowledged attempt.
+        at: SimTime,
+    },
+    /// Attempts ran out. The event may still be in the log if an earlier
+    /// attempt was stored with its ack lost — [`audit_delivery`] counts the
+    /// truth.
+    GaveUp {
+        /// Attempts made.
+        attempts: u32,
+    },
+}
+
+/// A producer that retries through broker faults with seeded backoff.
+///
+/// Each send is stamped with [`HEADER_PRODUCER`] / [`HEADER_SEQ`] headers so
+/// [`audit_delivery`] can separate unique deliveries from duplicates. The
+/// backoff RNG is seeded per producer, so a run's retry timings are a pure
+/// function of `(plan, producer seed)`.
+#[derive(Debug)]
+pub struct ResilientProducer {
+    id: String,
+    retry: RetryPolicy,
+    rng: SeededRng,
+    next_seq: u64,
+    retries: u64,
+    duplicates: u64,
+    gave_up: u64,
+    telemetry: TelemetryHandle,
+}
+
+impl ResilientProducer {
+    /// Creates producer `id` retrying under `retry`, jittered from `seed`.
+    pub fn new(id: impl Into<String>, retry: RetryPolicy, seed: u64) -> Self {
+        ResilientProducer {
+            id: id.into(),
+            retry,
+            rng: SeededRng::new(seed ^ 0x9B0D_CE55),
+            next_seq: 0,
+            retries: 0,
+            duplicates: 0,
+            gave_up: 0,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches telemetry: retries, duplicates, and give-ups count into the
+    /// `scstream_producer_*` metrics.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The producer id written into [`HEADER_PRODUCER`].
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// Sequence numbers handed out so far (== events sent).
+    pub fn sent(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Retries performed across all sends.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Duplicates created by resending after a lost ack.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Sends abandoned after exhausting attempts.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// Sends `event` through `broker` starting at sim-time `now`, retrying
+    /// with backoff on unavailability, drops, and lost acks.
+    pub fn send(&mut self, broker: &mut Broker, event: Event, now: SimTime) -> SendOutcome {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let stamped = event
+            .header(HEADER_PRODUCER, self.id.clone())
+            .header(HEADER_SEQ, seq.to_string());
+        let mut at = now;
+        let mut stored_unacked = false;
+        for attempt in 0..self.retry.max_attempts {
+            if attempt > 0 {
+                at += self.retry.delay(attempt, &mut self.rng);
+                self.retries += 1;
+                self.telemetry
+                    .counter_inc(METRIC_PRODUCER_RETRIES, "producer publish retries");
+            }
+            match broker.try_publish(stamped.clone().at(at), at) {
+                Ok(_) => {
+                    if stored_unacked {
+                        self.duplicates += 1;
+                        self.telemetry.counter_inc(
+                            METRIC_PRODUCER_DUPLICATES,
+                            "duplicate events from resends after lost acks",
+                        );
+                    }
+                    return SendOutcome::Delivered {
+                        attempts: attempt + 1,
+                        at,
+                    };
+                }
+                Err(PublishError::AckLost { .. }) => stored_unacked = true,
+                Err(PublishError::Unavailable { .. } | PublishError::Dropped) => {}
+            }
+        }
+        self.gave_up += 1;
+        self.telemetry.counter_inc(
+            METRIC_PRODUCER_LOST,
+            "sends abandoned after exhausting attempts",
+        );
+        SendOutcome::GaveUp {
+            attempts: self.retry.max_attempts,
+        }
+    }
+}
+
+/// Ground truth of what reached the log, from sequence headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryAudit {
+    /// Distinct `(producer, seq)` pairs present in the topic.
+    pub delivered: usize,
+    /// Extra copies beyond the first per pair (duplicates from lost acks).
+    pub duplicates: usize,
+    /// Expected sends that never landed in any form.
+    pub lost: usize,
+}
+
+/// Audits `topic` against the expected send counts per producer id
+/// (`(id, sends)`), counting unique deliveries, duplicates, and losses from
+/// the [`HEADER_PRODUCER`] / [`HEADER_SEQ`] headers. Events without those
+/// headers are ignored.
+pub fn audit_delivery(topic: &Topic, expected: &[(&str, u64)]) -> DeliveryAudit {
+    let mut seen = std::collections::BTreeMap::<(String, u64), usize>::new();
+    for p in 0..topic.partition_count() {
+        for e in topic.read(PartitionId(p), Offset(0), usize::MAX) {
+            if let (Some(prod), Some(seq)) = (
+                e.header_value(HEADER_PRODUCER),
+                e.header_value(HEADER_SEQ).and_then(|s| s.parse().ok()),
+            ) {
+                *seen.entry((prod.to_string(), seq)).or_insert(0) += 1;
+            }
+        }
+    }
+    let delivered = seen.len();
+    let duplicates = seen.values().map(|c| c - 1).sum();
+    let expected_total: u64 = expected.iter().map(|(_, n)| n).sum();
+    let lost = expected
+        .iter()
+        .map(|(id, n)| {
+            (0..*n)
+                .filter(|s| !seen.contains_key(&(id.to_string(), *s)))
+                .count()
+        })
+        .sum::<usize>()
+        .min(expected_total as usize);
+    DeliveryAudit {
+        delivered,
+        duplicates,
+        lost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consumer::{ConsumerGroup, ConsumerId};
+    use scfault::{FaultKind, FOREVER};
+    use simclock::SimDuration;
+
+    fn retry() -> RetryPolicy {
+        RetryPolicy::new(5, SimDuration::from_millis(100)).with_jitter(0.0)
+    }
+
+    fn outage_plan(node: u32, from_s: u64, dur_s: u64) -> FaultPlan {
+        FaultPlan::empty().with_event(
+            SimTime::from_secs(from_s),
+            FaultKind::LinkPartition {
+                node,
+                duration: SimDuration::from_secs(dur_s),
+            },
+        )
+    }
+
+    #[test]
+    fn healthy_broker_delivers_first_try() {
+        let mut broker = Broker::new(Topic::new("t", 2), 0, &FaultPlan::empty());
+        let mut producer = ResilientProducer::new("p0", retry(), 1);
+        let out = producer.send(&mut broker, Event::new(b"x".to_vec()), SimTime::ZERO);
+        assert_eq!(
+            out,
+            SendOutcome::Delivered {
+                attempts: 1,
+                at: SimTime::ZERO
+            }
+        );
+        assert_eq!(broker.topic().total_events(), 1);
+    }
+
+    #[test]
+    fn outage_window_rejects_then_heals() {
+        let plan = outage_plan(0, 0, 1);
+        let mut broker = Broker::new(Topic::new("t", 1), 0, &plan);
+        assert_eq!(
+            broker.down_until(SimTime::ZERO),
+            Some(SimTime::from_secs(1))
+        );
+        let err = broker
+            .try_publish(Event::new(b"x".to_vec()), SimTime::ZERO)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            PublishError::Unavailable {
+                until: SimTime::from_secs(1)
+            }
+        );
+        assert!(broker
+            .try_publish(Event::new(b"x".to_vec()), SimTime::from_secs(1))
+            .is_ok());
+    }
+
+    #[test]
+    fn producer_retries_through_outage() {
+        // 100 ms + 200 ms + 400 ms of backoff crosses a 500 ms outage.
+        let plan = outage_plan(7, 0, 1);
+        let mut broker = Broker::new(Topic::new("t", 1), 7, &plan);
+        let mut producer = ResilientProducer::new("p0", retry(), 2);
+        let out = producer.send(&mut broker, Event::new(b"x".to_vec()), SimTime::ZERO);
+        match out {
+            SendOutcome::Delivered { attempts, at } => {
+                assert!(attempts > 1, "needed retries");
+                assert!(at >= SimTime::from_secs(1), "delivered after the window");
+            }
+            other => panic!("expected delivery, got {other:?}"),
+        }
+        assert_eq!(producer.retries(), 4, "0.1+0.2+0.4+0.8 s of backoff");
+    }
+
+    #[test]
+    fn permanent_crash_exhausts_attempts() {
+        let plan = FaultPlan::empty().with_event(SimTime::ZERO, FaultKind::NodeCrash { node: 3 });
+        let mut broker = Broker::new(Topic::new("t", 1), 3, &plan);
+        assert_eq!(broker.down_until(SimTime::from_secs(999)), Some(FOREVER));
+        let mut producer = ResilientProducer::new("p0", retry(), 3);
+        let out = producer.send(&mut broker, Event::new(b"x".to_vec()), SimTime::ZERO);
+        assert_eq!(out, SendOutcome::GaveUp { attempts: 5 });
+        assert_eq!(producer.gave_up(), 1);
+        assert_eq!(broker.topic().total_events(), 0);
+    }
+
+    #[test]
+    fn dropped_message_is_resent_without_duplicate() {
+        let plan = FaultPlan::empty().with_event(SimTime::ZERO, FaultKind::MessageDrop { seq: 0 });
+        let mut broker = Broker::new(Topic::new("t", 1), 0, &plan);
+        let mut producer = ResilientProducer::new("p0", retry(), 4);
+        let out = producer.send(&mut broker, Event::new(b"x".to_vec()), SimTime::ZERO);
+        assert!(matches!(out, SendOutcome::Delivered { attempts: 2, .. }));
+        assert_eq!(broker.topic().total_events(), 1);
+        assert_eq!(producer.duplicates(), 0);
+    }
+
+    #[test]
+    fn lost_ack_creates_an_accounted_duplicate() {
+        let plan =
+            FaultPlan::empty().with_event(SimTime::ZERO, FaultKind::MessageDuplicate { seq: 0 });
+        let mut broker = Broker::new(Topic::new("t", 1), 0, &plan);
+        let mut producer = ResilientProducer::new("p0", retry(), 5);
+        let out = producer.send(&mut broker, Event::new(b"x".to_vec()), SimTime::ZERO);
+        assert!(matches!(out, SendOutcome::Delivered { attempts: 2, .. }));
+        assert_eq!(broker.topic().total_events(), 2, "stored twice");
+        assert_eq!(producer.duplicates(), 1);
+        let audit = audit_delivery(broker.topic(), &[("p0", 1)]);
+        assert_eq!(
+            audit,
+            DeliveryAudit {
+                delivered: 1,
+                duplicates: 1,
+                lost: 0
+            }
+        );
+    }
+
+    #[test]
+    fn consumers_resume_from_committed_offsets_with_zero_loss() {
+        // Outage mid-stream; producers retry through it; a consumer crashes
+        // after a partial commit and a replacement resumes with no loss.
+        let plan = outage_plan(0, 10, 2).with_event(
+            SimTime::from_secs(5),
+            FaultKind::MessageDuplicate { seq: 3 },
+        );
+        let mut broker = Broker::new(Topic::new("annotations", 2), 0, &plan);
+        // Enough backoff budget (0.1 + 0.2 + … + 6.4 s) to cross the 2 s
+        // outage from any send time inside it.
+        let deep_retry = RetryPolicy::new(8, SimDuration::from_millis(100)).with_jitter(0.0);
+        let mut producer = ResilientProducer::new("cam-1", deep_retry, 6);
+        for i in 0..40u64 {
+            let at = SimTime::from_millis(9_500 + i * 50); // straddles the outage
+            let out = producer.send(
+                &mut broker,
+                Event::with_key(format!("k{}", i % 5), vec![i as u8]),
+                at,
+            );
+            assert!(
+                matches!(out, SendOutcome::Delivered { .. }),
+                "send {i} delivered"
+            );
+        }
+        let audit = audit_delivery(broker.topic(), &[("cam-1", 40)]);
+        assert_eq!(audit.lost, 0, "at-least-once: nothing lost");
+        assert_eq!(audit.delivered, 40);
+        assert_eq!(audit.duplicates as u64, producer.duplicates());
+
+        // Consume with a crash-and-resume in the middle.
+        let topic = broker.topic();
+        let mut group = ConsumerGroup::new("sink", 2);
+        group.join(ConsumerId(0));
+        let first = group.poll(ConsumerId(0), topic, 7);
+        let mut consumed = first.len();
+        // Only part of the first poll gets committed before the crash.
+        for (pid, off, _) in first.iter().take(3) {
+            group.commit(*pid, *off);
+        }
+        // Crash: consumer 0 leaves; its uncommitted in-flight work is
+        // redelivered to the replacement.
+        group.leave(ConsumerId(0));
+        group.join(ConsumerId(1));
+        loop {
+            let polled = group.poll(ConsumerId(1), topic, 64);
+            if polled.is_empty() {
+                break;
+            }
+            consumed += polled.len();
+            for (pid, off, _) in &polled {
+                group.commit(*pid, *off);
+            }
+        }
+        assert!(
+            consumed >= topic.total_events(),
+            "at-least-once consumption: {consumed} of {}",
+            topic.total_events()
+        );
+        assert_eq!(group.lag(topic), 0, "everything committed");
+    }
+}

@@ -14,6 +14,10 @@
 //!   rebalancing — giving at-least-once delivery under consumer crashes.
 //! - [`Pipeline`]: wires a [`Source`] through a channel to a [`Sink`] with
 //!   ack-after-delivery semantics.
+//! - [`Broker`] + [`ResilientProducer`]: fault injection from an
+//!   [`scfault::FaultPlan`] — outage windows reject publishes, messages drop
+//!   or lose their acks, and producers retry with seeded backoff for
+//!   at-least-once delivery whose duplicates [`audit_delivery`] accounts.
 //!
 //! # Examples
 //!
@@ -25,6 +29,7 @@
 //! assert_eq!(topic.total_events(), 1);
 //! ```
 
+mod broker;
 mod channel;
 mod consumer;
 mod event;
@@ -32,6 +37,11 @@ mod pipeline;
 mod topic;
 pub mod windows;
 
+pub use broker::{
+    audit_delivery, Broker, DeliveryAudit, PublishError, ResilientProducer, SendOutcome,
+    HEADER_PRODUCER, HEADER_SEQ, METRIC_BROKER_DROPPED, METRIC_BROKER_REJECTED,
+    METRIC_PRODUCER_DUPLICATES, METRIC_PRODUCER_LOST, METRIC_PRODUCER_RETRIES,
+};
 pub use channel::{ChannelError, MemoryChannel};
 pub use consumer::{ConsumerGroup, ConsumerId, METRIC_COMMITS, METRIC_LAG};
 pub use event::Event;

@@ -20,7 +20,9 @@
 //! - **Observability** — [`telemetry`] (metrics registry, sim-time-aware
 //!   tracing, JSON / Prometheus exporters used by every layer above).
 //! - **Runtime** — [`par`] (deterministic worker pool: any thread count
-//!   produces byte-identical results; set via `SCPAR_THREADS`).
+//!   produces byte-identical results; set via `SCPAR_THREADS`),
+//!   [`fault`] (seed-driven fault injection plus retry / timeout /
+//!   circuit-breaker policies wired into the fog, DFS, and stream layers).
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub use sccompute as compute;
 pub use scdata as data;
 pub use scdfs as dfs;
 pub use scdrl as drl;
+pub use scfault as fault;
 pub use scfog as fog;
 pub use scgeo as geo;
 pub use scneural as neural;
