@@ -1,0 +1,231 @@
+//! Deterministic dashboard artifact builder.
+//!
+//! One function, [`build_dashboard_artifacts`], produces every file the
+//! `city_dashboard` example writes — incident GeoJSON, dashboard JSON,
+//! SVG charts, the cross-layer report panel, and a Prometheus metrics
+//! snapshot — as in-memory strings, as a pure function of `(seed,
+//! records, waze)`.
+//!
+//! Factoring the builder out of the example buys two things:
+//!
+//! - the example shrinks to "build, write to disk, print sizes", and
+//! - the golden-master suite (`tests/golden_dashboard.rs`) can assert the
+//!   seed-42 artifacts **byte-for-byte** against checked-in snapshots,
+//!   turning any accidental nondeterminism — map-iteration ordering,
+//!   float formatting drift, thread-count leakage — into a test failure
+//!   with a diff.
+//!
+//! The builder runs the full stack: the mining pipeline with a telemetry
+//! recorder, fog placement sweeps, and a serving-tier workload replayed
+//! through [`scserve`] (shard routing, caches, micro-batched inference,
+//! admission control) whose `scserve_*` metrics land in the same
+//! registry. `SCPAR_THREADS` only changes the worker count, never a byte
+//! of output — the CI matrix runs the golden test at 1 and 8 threads
+//! against the same snapshots.
+
+use scfog::{FogSimulator, Placement, Topology, Workload};
+use scneural::layers::{Dense, Relu};
+use scneural::net::Sequential;
+use scpar::ScparConfig;
+use scserve::{ServeConfig, Server, WorkloadConfig, WorkloadGen};
+use sctelemetry::{prometheus_text, Report, Telemetry};
+
+use crate::infrastructure::Cyberinfrastructure;
+use crate::pipeline::CityDataPipeline;
+use crate::viz::{dashboard_with_reports, svg_bar_chart, svg_line_chart, Series};
+
+/// Everything the city dashboard ships, as strings keyed by file name.
+#[derive(Debug, Clone)]
+pub struct DashboardArtifacts {
+    /// `incidents.geojson` — the incident map layer.
+    pub incidents_geojson: String,
+    /// `dashboard.json` — the KPI dashboard document.
+    pub dashboard_json: String,
+    /// `coverage.svg` — cameras-per-city bar chart.
+    pub coverage_svg: String,
+    /// `fog_latency.svg` — latency-vs-escalation line chart.
+    pub fog_latency_svg: String,
+    /// `layers.json` — cross-layer report panel (pipeline, fog, DFS,
+    /// serving).
+    pub layers_json: String,
+    /// `metrics.prom` — Prometheus text snapshot of the whole run.
+    pub metrics_prom: String,
+    /// Events persisted by the pipeline (for log lines).
+    pub stored: usize,
+    /// Crime hot-spots found (for log lines).
+    pub hotspots: usize,
+}
+
+impl DashboardArtifacts {
+    /// `(file name, contents)` pairs in write order.
+    pub fn files(&self) -> Vec<(&'static str, &str)> {
+        vec![
+            ("incidents.geojson", self.incidents_geojson.as_str()),
+            ("dashboard.json", self.dashboard_json.as_str()),
+            ("coverage.svg", self.coverage_svg.as_str()),
+            ("fog_latency.svg", self.fog_latency_svg.as_str()),
+            ("layers.json", self.layers_json.as_str()),
+            ("metrics.prom", self.metrics_prom.as_str()),
+        ]
+    }
+}
+
+/// Builds every dashboard artifact for `(seed, records, waze)`.
+/// Deterministic: the same inputs yield byte-identical strings on every
+/// run, platform, and `SCPAR_THREADS` setting.
+///
+/// # Panics
+///
+/// Panics only if generated pipeline data fails validation, which would
+/// be a bug in the generators, or on JSON serialization failure.
+pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> DashboardArtifacts {
+    // 1. Mining pipeline with a telemetry recorder: stage spans, counters,
+    //    and the storage consumer group's metrics in one registry.
+    let telemetry = Telemetry::shared();
+    let mut infra = Cyberinfrastructure::builder().seed(seed).build();
+    let pipeline = CityDataPipeline::new(seed, records, waze);
+    let (topic, store, annotations) = infra.pipeline_stores();
+    let report = pipeline
+        .runner(topic, store, annotations)
+        .recorder(&telemetry)
+        .run()
+        .expect("generated pipeline data is always valid");
+
+    let incidents_geojson =
+        serde_json::to_string_pretty(&report.geojson).expect("geojson serializes");
+    let dashboard_json =
+        serde_json::to_string_pretty(&report.dashboard).expect("dashboard serializes");
+
+    // 2. Camera coverage bar chart (the Fig. 2 companion).
+    let coverage = infra.cameras().coverage_report();
+    let bars: Vec<(String, f64)> = coverage
+        .iter()
+        .map(|c| (c.city.clone(), c.cameras as f64))
+        .collect();
+    let coverage_svg = svg_bar_chart("DOTD cameras per city", &bars, 640, 360);
+
+    // 3. Fog placement latency chart (the Fig. 3 companion).
+    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
+    let mut latency_series = Vec::new();
+    for (name, placement) in [
+        (
+            "early-exit",
+            Placement::EarlyExit {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        ),
+        (
+            "fog-assisted",
+            Placement::FogAssisted {
+                local_fraction: 0.3,
+                feature_bytes: 20_000,
+            },
+        ),
+    ] {
+        let points: Vec<(f64, f64)> = [0.0, 0.25, 0.5, 0.75, 1.0]
+            .iter()
+            .map(|&esc| {
+                let w = Workload::with_escalation(200, 100_000, 20.0, esc, seed.wrapping_add(1));
+                (
+                    esc,
+                    sim.runner(&w).placement(placement).run().mean_latency_s,
+                )
+            })
+            .collect();
+        latency_series.push(Series {
+            name: name.into(),
+            points,
+        });
+    }
+    let fog_latency_svg =
+        svg_line_chart("Mean latency vs escalation rate", &latency_series, 640, 360);
+
+    // 4. Serving tier: replay a dashboard-style read/write/inference mix
+    //    through scserve so its caches, batches, and admission metrics
+    //    join the registry.
+    let model = Sequential::new()
+        .with(Dense::new(8, 16, seed.wrapping_add(2)))
+        .with(Relu::new())
+        .with(Dense::new(16, 4, seed.wrapping_add(3)));
+    let mut server = Server::new(ServeConfig::default())
+        .with_model(model)
+        .with_par(ScparConfig::from_env())
+        .with_telemetry(telemetry.handle());
+    let serving_report = WorkloadGen::new(WorkloadConfig {
+        seed,
+        requests: 600,
+        ..WorkloadConfig::default()
+    })
+    .run(&mut server);
+
+    // 5. Cross-layer report panel: pipeline, fog, DFS, and serving all
+    //    render through the shared `Report` trait.
+    let w = Workload::with_escalation(200, 100_000, 20.0, 0.3, seed.wrapping_add(1));
+    let fog_report = sim
+        .runner(&w)
+        .placement(Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        })
+        .run();
+    let dfs_stats = infra.dfs().stats();
+    let layers = dashboard_with_reports(
+        &[("layers", 4.0)],
+        &[],
+        &[
+            ("pipeline", &report as &dyn Report),
+            ("fog", &fog_report as &dyn Report),
+            ("dfs", &dfs_stats as &dyn Report),
+            ("serving", &serving_report as &dyn Report),
+        ],
+    );
+    let layers_json = serde_json::to_string_pretty(&layers).expect("layers serialize");
+
+    // 6. Prometheus scrape snapshot of the whole run.
+    let metrics_prom = prometheus_text(telemetry.registry());
+
+    DashboardArtifacts {
+        incidents_geojson,
+        dashboard_json,
+        coverage_svg,
+        fog_latency_svg,
+        layers_json,
+        metrics_prom,
+        stored: report.stored,
+        hotspots: report.hotspots.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn artifacts_are_reproducible() {
+        let a = build_dashboard_artifacts(5, 120, 30);
+        let b = build_dashboard_artifacts(5, 120, 30);
+        assert_eq!(a.dashboard_json, b.dashboard_json);
+        assert_eq!(a.metrics_prom, b.metrics_prom);
+        assert_eq!(a.layers_json, b.layers_json);
+        assert_eq!(a.incidents_geojson, b.incidents_geojson);
+    }
+
+    #[test]
+    fn artifacts_depend_on_seed() {
+        let a = build_dashboard_artifacts(5, 120, 30);
+        let b = build_dashboard_artifacts(6, 120, 30);
+        assert_ne!(a.dashboard_json, b.dashboard_json);
+    }
+
+    #[test]
+    fn serving_metrics_reach_the_registry() {
+        let a = build_dashboard_artifacts(5, 120, 30);
+        assert!(
+            a.metrics_prom.contains("scserve_requests_total"),
+            "serving metrics must land in the shared registry"
+        );
+        assert!(a.metrics_prom.contains("scserve_cache_hit_total"));
+        assert!(a.layers_json.contains("\"serving\""));
+    }
+}

@@ -19,8 +19,11 @@
 //! - [`apps::opioid`]: §V — the planned opioid-factor analysis, built on the
 //!   MLlib substrate.
 //! - [`viz`]: GeoJSON / JSON / SVG exporters (the D3 feed).
+//! - [`artifacts`]: the deterministic dashboard artifact builder shared by
+//!   the `city_dashboard` example and the golden-master suite.
 
 pub mod apps;
+pub mod artifacts;
 pub mod infrastructure;
 pub mod pipeline;
 pub mod retention;

@@ -1,0 +1,246 @@
+//! Admission control: token-bucket rate limiting and a bounded service
+//! queue with deterministic fluid drain.
+//!
+//! The ROADMAP's "millions of users" target means the serving tier must
+//! fail *predictably* under overload: beyond saturation, extra demand is
+//! shed at the door with a cheap degraded answer, while admitted requests
+//! keep a bounded queue wait. Two gates implement that:
+//!
+//! 1. [`TokenBucket`] — a classic leaky/token bucket over sim-time.
+//!    Refill is a pure function of elapsed sim-time, so identical request
+//!    traces admit identical request subsets on every run.
+//! 2. [`ServiceQueue`] — a fluid-model bounded queue: depth drains at
+//!    `service_rate` requests per sim-second, an arrival that would push
+//!    the depth past `capacity` is shed, and an admitted arrival's queue
+//!    wait is `depth / service_rate`. The model is deliberately simple —
+//!    deterministic M/D/1-style waits without an event scheduler — and
+//!    yields the textbook overload knee: waits grow toward
+//!    `capacity / service_rate` and then the *shed fraction*, not the
+//!    latency, absorbs the excess (experiment E17).
+
+use simclock::{SimDuration, SimTime};
+
+/// A sim-time token bucket.
+///
+/// # Examples
+///
+/// ```
+/// use scserve::TokenBucket;
+/// use simclock::SimTime;
+///
+/// let mut tb = TokenBucket::new(10.0, 2.0); // 10 tokens/s, burst of 2
+/// assert!(tb.try_acquire(SimTime::ZERO));
+/// assert!(tb.try_acquire(SimTime::ZERO));
+/// assert!(!tb.try_acquire(SimTime::ZERO), "burst exhausted");
+/// assert!(tb.try_acquire(SimTime::from_millis(100)), "refilled 1 token");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_per_s: f64,
+    burst: f64,
+    tokens: f64,
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A full bucket refilling at `rate_per_s` with capacity `burst`
+    /// (both clamped to be positive and finite).
+    pub fn new(rate_per_s: f64, burst: f64) -> Self {
+        let rate_per_s = if rate_per_s.is_finite() && rate_per_s > 0.0 {
+            rate_per_s
+        } else {
+            1.0
+        };
+        let burst = if burst.is_finite() && burst >= 1.0 {
+            burst
+        } else {
+            1.0
+        };
+        TokenBucket {
+            rate_per_s,
+            burst,
+            tokens: burst,
+            last: SimTime::ZERO,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + dt * self.rate_per_s).min(self.burst);
+        self.last = now;
+    }
+
+    /// Takes one token if available. Calls must be non-decreasing in
+    /// `now`; an out-of-order call refills nothing (never panics).
+    pub fn try_acquire(&mut self, now: SimTime) -> bool {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tokens currently available (after refilling to `now`).
+    pub fn available(&mut self, now: SimTime) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Outcome of offering one request to a [`ServiceQueue`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Admission {
+    /// Admitted; the request waits this long before service starts.
+    Admitted {
+        /// Queue wait ahead of this request.
+        wait: SimDuration,
+    },
+    /// Rejected: the queue was full.
+    Shed,
+}
+
+/// A bounded queue drained as a fluid at a fixed service rate.
+#[derive(Debug, Clone)]
+pub struct ServiceQueue {
+    service_rate: f64,
+    capacity: usize,
+    depth: f64,
+    last: SimTime,
+    admitted: u64,
+    shed: u64,
+}
+
+impl ServiceQueue {
+    /// An empty queue serving `service_rate` requests per sim-second,
+    /// holding at most `capacity` queued requests.
+    pub fn new(service_rate: f64, capacity: usize) -> Self {
+        let service_rate = if service_rate.is_finite() && service_rate > 0.0 {
+            service_rate
+        } else {
+            1.0
+        };
+        ServiceQueue {
+            service_rate,
+            capacity: capacity.max(1),
+            depth: 0.0,
+            last: SimTime::ZERO,
+            admitted: 0,
+            shed: 0,
+        }
+    }
+
+    fn drain(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        self.depth = (self.depth - dt * self.service_rate).max(0.0);
+        self.last = now;
+    }
+
+    /// Offers one request at `now`: drains elapsed work, then either
+    /// admits (returning the queue wait ahead of the request) or sheds.
+    pub fn offer(&mut self, now: SimTime) -> Admission {
+        self.drain(now);
+        if self.depth + 1.0 > self.capacity as f64 {
+            self.shed += 1;
+            return Admission::Shed;
+        }
+        let wait = SimDuration::from_secs_f64(self.depth / self.service_rate);
+        self.depth += 1.0;
+        self.admitted += 1;
+        Admission::Admitted { wait }
+    }
+
+    /// Current queued depth (after draining to `now`).
+    pub fn depth(&mut self, now: SimTime) -> f64 {
+        self.drain(now);
+        self.depth
+    }
+
+    /// One request's service time, `1 / service_rate`.
+    pub fn service_time(&self) -> SimDuration {
+        SimDuration::from_secs_f64(1.0 / self.service_rate)
+    }
+
+    /// The longest possible queue wait, `capacity / service_rate` — the
+    /// bound that keeps admitted p99 finite under any overload.
+    pub fn max_wait(&self) -> SimDuration {
+        SimDuration::from_secs_f64(self.capacity as f64 / self.service_rate)
+    }
+
+    /// `(admitted, shed)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.admitted, self.shed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_enforces_rate() {
+        let mut tb = TokenBucket::new(100.0, 10.0);
+        let mut admitted = 0;
+        // 1000 arrivals over one second at 1 ms spacing: burst 10 + 100
+        // refilled ⇒ about 110 admitted.
+        for i in 0..1000u64 {
+            if tb.try_acquire(SimTime::from_millis(i)) {
+                admitted += 1;
+            }
+        }
+        assert!((100..=120).contains(&admitted), "admitted {admitted}");
+    }
+
+    #[test]
+    fn bucket_caps_at_burst() {
+        let mut tb = TokenBucket::new(1000.0, 5.0);
+        assert!(tb.available(SimTime::from_secs(100)) <= 5.0);
+    }
+
+    #[test]
+    fn queue_sheds_beyond_capacity() {
+        let mut q = ServiceQueue::new(10.0, 5);
+        let mut sheds = 0;
+        // 20 simultaneous arrivals into a 5-deep queue: 5 admitted.
+        for _ in 0..20 {
+            if q.offer(SimTime::ZERO) == Admission::Shed {
+                sheds += 1;
+            }
+        }
+        assert_eq!(sheds, 15);
+        assert_eq!(q.stats(), (5, 15));
+    }
+
+    #[test]
+    fn queue_wait_grows_with_depth_and_is_bounded() {
+        let mut q = ServiceQueue::new(10.0, 50);
+        let mut last_wait = SimDuration::ZERO;
+        for _ in 0..50 {
+            match q.offer(SimTime::ZERO) {
+                Admission::Admitted { wait } => {
+                    assert!(wait >= last_wait, "waits are monotone in depth");
+                    assert!(wait <= q.max_wait());
+                    last_wait = wait;
+                }
+                Admission::Shed => panic!("capacity not yet reached"),
+            }
+        }
+        assert_eq!(q.offer(SimTime::ZERO), Admission::Shed);
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let mut q = ServiceQueue::new(10.0, 5);
+        for _ in 0..5 {
+            q.offer(SimTime::ZERO);
+        }
+        assert_eq!(q.offer(SimTime::ZERO), Admission::Shed);
+        // 300 ms drains 3 requests at 10/s.
+        assert!(matches!(
+            q.offer(SimTime::from_millis(300)),
+            Admission::Admitted { .. }
+        ));
+        assert!((q.depth(SimTime::from_millis(300)) - 3.0).abs() < 1e-9);
+    }
+}

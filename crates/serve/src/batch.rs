@@ -1,0 +1,362 @@
+//! Micro-batching with request coalescing for inference serving.
+//!
+//! City dashboards and camera feeds issue many small inference requests;
+//! running them one row at a time wastes the batched kernels `scneural`
+//! already has. [`MicroBatcher`] coalesces pending requests and flushes
+//! them as one `Sequential::predict_with` call when either knob fires:
+//!
+//! - **max batch**: `max_batch` *distinct* rows are pending, or
+//! - **max delay**: the oldest pending request has waited `max_delay` of
+//!   sim-time.
+//!
+//! Identical pending rows are *coalesced*: the row is computed once and
+//! its output fanned out to every waiting request, so a thundering herd
+//! on one hot camera frame costs one model evaluation.
+//!
+//! **Determinism argument.** Every layer in `scneural` computes inference
+//! rows independently (`predict_with` is built on that), so the logits
+//! for a row do not depend on which batch it rode in — batch sizes 1, 7,
+//! and 32 give bit-identical outputs per row, as `tests/
+//! serving_equivalence.rs` proves. Batch composition itself is a function
+//! of the request arrival sequence only (never of thread count or wall
+//! time), so telemetry is reproducible too.
+
+use scneural::net::Sequential;
+use scneural::tensor::Tensor;
+use scpar::ScparConfig;
+use simclock::{SimDuration, SimTime};
+
+use crate::shard::hash_bytes;
+
+/// Batching knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many distinct rows are pending (at least 1).
+    pub max_batch: usize,
+    /// Flush once the oldest pending request has waited this long.
+    pub max_delay: SimDuration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_batch: 32,
+            max_delay: SimDuration::from_millis(5),
+        }
+    }
+}
+
+/// Ticket for a submitted inference request, redeemed at flush time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ReqId(pub u64);
+
+/// Stable fingerprint of an input row: the FNV/splitmix hash of its f32
+/// bit patterns. Used both for coalescing and as the inference-cache key.
+pub fn row_fingerprint(row: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(row.len() * 4 + 8);
+    bytes.extend_from_slice(&(row.len() as u64).to_le_bytes());
+    for v in row {
+        bytes.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    hash_bytes(&bytes)
+}
+
+/// One flushed batch: per-request outputs plus what the batch looked like.
+#[derive(Debug, Clone)]
+pub struct FlushedBatch {
+    /// `(request, output row)` pairs in submission order.
+    pub outputs: Vec<(ReqId, Vec<f32>)>,
+    /// `(row fingerprint, output row)` pairs for the distinct rows that
+    /// were actually evaluated — what the inference cache should absorb.
+    pub distinct: Vec<(u64, Vec<f32>)>,
+    /// Number of distinct rows evaluated (the model-side batch size).
+    pub batch_size: usize,
+    /// Requests served by this flush (≥ `batch_size` when coalescing won).
+    pub requests: usize,
+    /// When the flush happened.
+    pub at: SimTime,
+}
+
+/// Coalescing micro-batcher over a shared immutable model.
+///
+/// # Examples
+///
+/// ```
+/// use scserve::{BatchConfig, MicroBatcher};
+/// use scneural::layers::{Dense, Relu};
+/// use scneural::net::Sequential;
+/// use scpar::ScparConfig;
+/// use simclock::{SimDuration, SimTime};
+///
+/// let net = Sequential::new().with(Dense::new(4, 2, 1)).with(Relu::new());
+/// let mut b = MicroBatcher::new(BatchConfig { max_batch: 2, max_delay: SimDuration::from_millis(5) });
+/// b.submit(vec![0.1, 0.2, 0.3, 0.4], SimTime::ZERO);
+/// assert!(b.flush_due(&net, &ScparConfig::serial(), SimTime::ZERO).is_none(), "below both knobs");
+/// b.submit(vec![0.4, 0.3, 0.2, 0.1], SimTime::ZERO);
+/// let batch = b.flush_due(&net, &ScparConfig::serial(), SimTime::ZERO).unwrap();
+/// assert_eq!(batch.batch_size, 2);
+/// ```
+#[derive(Debug)]
+pub struct MicroBatcher {
+    cfg: BatchConfig,
+    /// Distinct pending rows in first-submission order.
+    rows: Vec<(u64, Vec<f32>)>,
+    /// Waiters per distinct row, submission order preserved.
+    waiters: Vec<(u64, Vec<(ReqId, SimTime)>)>,
+    oldest: Option<SimTime>,
+    next_req: u64,
+    flushes: u64,
+    coalesced: u64,
+}
+
+impl MicroBatcher {
+    /// An empty batcher with the given knobs.
+    pub fn new(cfg: BatchConfig) -> Self {
+        MicroBatcher {
+            cfg: BatchConfig {
+                max_batch: cfg.max_batch.max(1),
+                ..cfg
+            },
+            rows: Vec::new(),
+            waiters: Vec::new(),
+            oldest: None,
+            next_req: 0,
+            flushes: 0,
+            coalesced: 0,
+        }
+    }
+
+    /// Number of distinct rows pending.
+    pub fn pending_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of requests waiting (≥ [`pending_rows`](Self::pending_rows)).
+    pub fn pending_requests(&self) -> usize {
+        self.waiters.iter().map(|(_, w)| w.len()).sum()
+    }
+
+    /// `(flushes, coalesced_requests)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.flushes, self.coalesced)
+    }
+
+    /// Queues a row for the next batch, coalescing onto an identical
+    /// pending row if one exists. Returns the request's ticket.
+    pub fn submit(&mut self, row: Vec<f32>, now: SimTime) -> ReqId {
+        let id = ReqId(self.next_req);
+        self.next_req += 1;
+        let fp = row_fingerprint(&row);
+        match self.waiters.iter_mut().find(|(f, _)| *f == fp) {
+            Some((_, w)) => {
+                w.push((id, now));
+                self.coalesced += 1;
+            }
+            None => {
+                self.rows.push((fp, row));
+                self.waiters.push((fp, vec![(id, now)]));
+            }
+        }
+        self.oldest.get_or_insert(now);
+        id
+    }
+
+    /// Whether a flush is due at `now` (either knob fired).
+    pub fn due(&self, now: SimTime) -> bool {
+        if self.rows.len() >= self.cfg.max_batch {
+            return true;
+        }
+        match self.oldest {
+            Some(t) => now.saturating_since(t) >= self.cfg.max_delay,
+            None => false,
+        }
+    }
+
+    /// When the delay knob will fire for the current pending set, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.oldest.map(|t| t + self.cfg.max_delay)
+    }
+
+    /// Flushes if due; see [`flush_now`](Self::flush_now).
+    pub fn flush_due(
+        &mut self,
+        model: &Sequential,
+        par: &ScparConfig,
+        now: SimTime,
+    ) -> Option<FlushedBatch> {
+        if self.due(now) {
+            self.flush_now(model, par, now)
+        } else {
+            None
+        }
+    }
+
+    /// Evaluates every pending distinct row as one batched
+    /// `predict_with` call and fans outputs back out to all waiters.
+    /// Returns `None` when nothing is pending.
+    pub fn flush_now(
+        &mut self,
+        model: &Sequential,
+        par: &ScparConfig,
+        now: SimTime,
+    ) -> Option<FlushedBatch> {
+        if self.rows.is_empty() {
+            return None;
+        }
+        let rows = std::mem::take(&mut self.rows);
+        let waiters = std::mem::take(&mut self.waiters);
+        self.oldest = None;
+        self.flushes += 1;
+
+        let dim = rows[0].1.len();
+        debug_assert!(rows.iter().all(|(_, r)| r.len() == dim));
+        let mut data = Vec::with_capacity(rows.len() * dim);
+        for (_, r) in &rows {
+            data.extend_from_slice(r);
+        }
+        let input =
+            Tensor::from_vec(vec![rows.len(), dim], data).expect("rows share one dimension");
+        let out = model.predict_with(&input, par);
+        let out_dim = out.len() / rows.len();
+
+        let distinct: Vec<(u64, Vec<f32>)> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, (fp, _))| (*fp, out.data()[i * out_dim..(i + 1) * out_dim].to_vec()))
+            .collect();
+        let mut outputs: Vec<(ReqId, Vec<f32>)> = Vec::new();
+        for (fp, list) in &waiters {
+            let row = &distinct
+                .iter()
+                .find(|(f, _)| f == fp)
+                .expect("every waiter has a pending row")
+                .1;
+            for (id, _) in list {
+                outputs.push((*id, row.clone()));
+            }
+        }
+        outputs.sort_by_key(|(id, _)| *id);
+        Some(FlushedBatch {
+            batch_size: rows.len(),
+            requests: outputs.len(),
+            outputs,
+            distinct,
+            at: now,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scneural::layers::{Dense, Relu};
+
+    fn net() -> Sequential {
+        Sequential::new()
+            .with(Dense::new(3, 8, 11))
+            .with(Relu::new())
+            .with(Dense::new(8, 2, 12))
+    }
+
+    fn row(seed: u64) -> Vec<f32> {
+        (0..3)
+            .map(|i| ((seed * 31 + i) % 17) as f32 / 17.0)
+            .collect()
+    }
+
+    #[test]
+    fn max_batch_triggers_flush() {
+        let net = net();
+        let mut b = MicroBatcher::new(BatchConfig {
+            max_batch: 3,
+            max_delay: SimDuration::from_secs(1),
+        });
+        b.submit(row(1), SimTime::ZERO);
+        b.submit(row(2), SimTime::ZERO);
+        assert!(!b.due(SimTime::ZERO));
+        b.submit(row(3), SimTime::ZERO);
+        let batch = b
+            .flush_due(&net, &ScparConfig::serial(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(batch.batch_size, 3);
+        assert_eq!(batch.requests, 3);
+        assert_eq!(b.pending_rows(), 0);
+    }
+
+    #[test]
+    fn max_delay_triggers_flush() {
+        let net = net();
+        let mut b = MicroBatcher::new(BatchConfig {
+            max_batch: 100,
+            max_delay: SimDuration::from_millis(5),
+        });
+        b.submit(row(1), SimTime::from_millis(10));
+        assert!(!b.due(SimTime::from_millis(14)));
+        assert!(b.due(SimTime::from_millis(15)));
+        assert_eq!(b.next_deadline(), Some(SimTime::from_millis(15)));
+        let batch = b
+            .flush_due(&net, &ScparConfig::serial(), SimTime::from_millis(15))
+            .unwrap();
+        assert_eq!(batch.batch_size, 1);
+    }
+
+    #[test]
+    fn identical_rows_coalesce() {
+        let net = net();
+        let mut b = MicroBatcher::new(BatchConfig {
+            max_batch: 2,
+            max_delay: SimDuration::from_secs(1),
+        });
+        let a = b.submit(row(1), SimTime::ZERO);
+        let dup = b.submit(row(1), SimTime::ZERO);
+        assert_eq!(b.pending_rows(), 1, "identical row coalesces");
+        b.submit(row(2), SimTime::ZERO);
+        let batch = b
+            .flush_due(&net, &ScparConfig::serial(), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(batch.batch_size, 2, "two distinct rows evaluated");
+        assert_eq!(batch.requests, 3, "three requests served");
+        assert_eq!(b.stats().1, 1, "one request coalesced");
+        let out_a = &batch.outputs.iter().find(|(id, _)| *id == a).unwrap().1;
+        let out_dup = &batch.outputs.iter().find(|(id, _)| *id == dup).unwrap().1;
+        assert_eq!(out_a, out_dup);
+    }
+
+    #[test]
+    fn batched_equals_single_row() {
+        let net = net();
+        let par = ScparConfig::serial();
+        let rows: Vec<Vec<f32>> = (0..7).map(row).collect();
+        let mut b = MicroBatcher::new(BatchConfig {
+            max_batch: 7,
+            max_delay: SimDuration::from_secs(1),
+        });
+        let ids: Vec<ReqId> = rows
+            .iter()
+            .map(|r| b.submit(r.clone(), SimTime::ZERO))
+            .collect();
+        let batch = b.flush_now(&net, &par, SimTime::ZERO).unwrap();
+        for (id, r) in ids.iter().zip(&rows) {
+            let single = net.predict_with(
+                &Tensor::from_vec(vec![1, r.len()], r.clone()).unwrap(),
+                &par,
+            );
+            let batched = &batch.outputs.iter().find(|(i, _)| i == id).unwrap().1;
+            let same = single
+                .data()
+                .iter()
+                .zip(batched.iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            assert!(same, "batched row diverged from single-row inference");
+        }
+    }
+
+    #[test]
+    fn empty_flush_is_none() {
+        let net = net();
+        let mut b = MicroBatcher::new(BatchConfig::default());
+        assert!(b
+            .flush_now(&net, &ScparConfig::serial(), SimTime::ZERO)
+            .is_none());
+    }
+}

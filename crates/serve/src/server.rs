@@ -1,0 +1,1114 @@
+//! The serving front end: one object tying together shard routing,
+//! caches, micro-batching, and admission control.
+//!
+//! A [`Server`] owns a set of replicated document shards (scnosql
+//! [`Collection`]s placed by the consistent-hash [`ShardMap`]), an
+//! optional inference model, and the serving machinery around them:
+//!
+//! ```text
+//! request ──► token bucket ──► cache ──► bounded queue ──► shards/model
+//!                 │ shed         │ hit        │ shed            │
+//!                 ▼              ▼            ▼                 ▼
+//!               Shed          Cached        Shed/stale     Fresh (cached
+//!                                                           on the way out)
+//! ```
+//!
+//! **Cache coherence rule.** Every write bumps the server's generation;
+//! query-cache entries are stamped with the generation at fill time and a
+//! hit is honoured only if the stamp is current *and* the entry is within
+//! TTL. A cached answer therefore can never reflect a state older than
+//! the latest acknowledged write — the equivalence suite drives
+//! write/read interleavings to hold this to "bit-identical with the
+//! direct call".
+//!
+//! **Degradation ladder.** When a shard is down (per an injected
+//! [`scfault::FaultPlan`]), reads reroute to the next live replica; when
+//! every replica of a key is down, the server serves the last cached
+//! answer *ignoring TTL* (`Stale`) or, with nothing cached, an explicitly
+//! `Degraded` partial answer. The [`scfault::CircuitBreaker`] sits in
+//! front of the fan-out so a persistently dark backend stops being probed
+//! on every request.
+
+use std::collections::BTreeMap;
+
+use scfault::{CircuitBreaker, FaultPlan, OutageWindows};
+use scneural::net::Sequential;
+use scnosql::document::{Collection, Doc, DocId, Filter};
+use scnosql::NosqlError;
+use scpar::ScparConfig;
+use sctelemetry::TelemetryHandle;
+use simclock::{SimDuration, SimTime};
+
+use crate::admission::{Admission, ServiceQueue, TokenBucket};
+use crate::batch::{row_fingerprint, BatchConfig, MicroBatcher, ReqId};
+use crate::cache::{CacheConfig, InferenceCache, QueryCache};
+use crate::shard::{hash_bytes, ShardMap};
+
+/// Sim-time cost charged for an answer served straight from memory
+/// (cache hit, stale serve): no queueing, no backend work.
+pub const CACHE_HIT_COST: SimDuration = SimDuration::from_micros(50);
+
+/// Rows returned by a query: `(key, document)` pairs in key order.
+pub type Rows = Vec<(String, Doc)>;
+
+/// All serving knobs in one place.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard nodes at startup (ids `0..shards`).
+    pub shards: u32,
+    /// Replicas per key (clamped to the live shard count).
+    pub replicas: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: u32,
+    /// Query-result cache policy.
+    pub query_cache: CacheConfig,
+    /// Inference-output cache policy.
+    pub infer_cache: CacheConfig,
+    /// Micro-batching knobs.
+    pub batch: BatchConfig,
+    /// Token-bucket refill rate, requests per sim-second.
+    pub rate_per_s: f64,
+    /// Token-bucket burst capacity.
+    pub burst: f64,
+    /// Backend service rate, requests per sim-second.
+    pub service_rate: f64,
+    /// Bounded-queue capacity; beyond it requests are shed.
+    pub queue_capacity: usize,
+    /// Consecutive backend failures before the circuit breaker opens.
+    pub breaker_failures: u32,
+    /// Sim-time an open breaker waits before a half-open probe.
+    pub breaker_reset: SimDuration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            replicas: 2,
+            vnodes: 64,
+            query_cache: CacheConfig::default(),
+            infer_cache: CacheConfig::default(),
+            batch: BatchConfig::default(),
+            rate_per_s: 100_000.0,
+            burst: 1_000.0,
+            service_rate: 10_000.0,
+            queue_capacity: 1_000,
+            breaker_failures: 5,
+            breaker_reset: SimDuration::from_secs(1),
+        }
+    }
+}
+
+/// How an answer was produced.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome<T> {
+    /// Computed by the backend just now (and cached on the way out).
+    Fresh(T),
+    /// Served from a valid (unexpired, current-generation) cache entry.
+    Cached(T),
+    /// Served from an expired or superseded cache entry because the
+    /// authoritative shards were unreachable.
+    Stale(T),
+    /// Computed, but with one or more keys unreachable — a partial,
+    /// degraded answer.
+    Degraded(T),
+    /// Rejected by admission control; no answer.
+    Shed,
+}
+
+impl<T> Outcome<T> {
+    /// The carried answer, if any.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            Outcome::Fresh(v) | Outcome::Cached(v) | Outcome::Stale(v) | Outcome::Degraded(v) => {
+                Some(v)
+            }
+            Outcome::Shed => None,
+        }
+    }
+
+    /// Whether the request was shed.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Outcome::Shed)
+    }
+}
+
+/// A served query: the outcome plus the sim-time latency it cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served<T> {
+    /// What was answered and how.
+    pub outcome: Outcome<T>,
+    /// End-to-end sim-time latency (0 for shed requests).
+    pub latency: SimDuration,
+}
+
+/// Outcome of submitting one inference request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferSubmit {
+    /// Served immediately from the inference cache.
+    Cached {
+        /// Output row.
+        output: Vec<f32>,
+        /// Latency charged ([`CACHE_HIT_COST`]).
+        latency: SimDuration,
+    },
+    /// Served from an expired cache entry (degraded answer under
+    /// overload or outage).
+    Stale {
+        /// Output row (from the expired entry).
+        output: Vec<f32>,
+        /// Latency charged ([`CACHE_HIT_COST`]).
+        latency: SimDuration,
+    },
+    /// Queued for the next micro-batch; redeem the ticket from
+    /// [`Server::tick`] completions.
+    Pending(ReqId),
+    /// Rejected by admission control with nothing cached to fall back on.
+    Shed,
+}
+
+/// One inference completion delivered by [`Server::tick`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferCompletion {
+    /// Ticket returned at submit time.
+    pub req: ReqId,
+    /// Output row.
+    pub output: Vec<f32>,
+    /// End-to-end sim-time latency: queue wait + batch residency.
+    pub latency: SimDuration,
+}
+
+/// Counter snapshot for one server.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServeStats {
+    /// Requests seen (queries + gets + inference submissions).
+    pub requests: u64,
+    /// Answers served from a valid cache entry.
+    pub cache_hits: u64,
+    /// Cache lookups that missed.
+    pub cache_misses: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Reads redirected from a down primary to a live replica.
+    pub reroutes: u64,
+    /// Answers served stale (TTL or generation ignored) during outages.
+    pub stale_served: u64,
+    /// Partial (degraded) answers.
+    pub degraded: u64,
+    /// Acknowledged writes.
+    pub writes: u64,
+    /// Micro-batches flushed.
+    pub batches: u64,
+    /// Distinct rows across all flushed micro-batches.
+    pub batched_rows: u64,
+    /// Inference requests coalesced onto an identical pending row.
+    pub coalesced: u64,
+    /// Documents moved by shard add/remove rebalancing.
+    pub rebalance_moves: u64,
+}
+
+impl ServeStats {
+    /// Cache hits over cache lookups (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Shed requests over all requests (0 when none).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.requests as f64
+        }
+    }
+
+    /// Mean distinct rows per flushed micro-batch (0 when none flushed).
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_rows as f64 / self.batches as f64
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    collection: Collection,
+    /// Per-shard `DocId` → serving key, for mapping fan-out hits back.
+    keys: BTreeMap<DocId, String>,
+}
+
+/// The sharded, cached, batched serving front end. See the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use scserve::{Outcome, ServeConfig, Server};
+/// use scnosql::document::{Doc, Filter};
+/// use simclock::SimTime;
+///
+/// let mut s = Server::new(ServeConfig::default());
+/// s.put("cam-1", Doc::object([("kind", Doc::Str("camera".into()))]), SimTime::ZERO).unwrap();
+/// let q = Filter::Eq("kind".into(), Doc::Str("camera".into()));
+/// let first = s.query(&q, SimTime::from_millis(1)).unwrap();
+/// assert!(matches!(first.outcome, Outcome::Fresh(_)));
+/// let second = s.query(&q, SimTime::from_millis(2)).unwrap();
+/// assert!(matches!(second.outcome, Outcome::Cached(_)));
+/// ```
+#[derive(Debug)]
+pub struct Server {
+    cfg: ServeConfig,
+    map: ShardMap,
+    shards: BTreeMap<u32, Shard>,
+    /// key → `(shard, doc id)` replica placements, ring order.
+    directory: BTreeMap<String, Vec<(u32, DocId)>>,
+    model: Option<Sequential>,
+    par: ScparConfig,
+    query_cache: QueryCache<Rows>,
+    infer_cache: InferenceCache,
+    batcher: MicroBatcher,
+    bucket: TokenBucket,
+    queue: ServiceQueue,
+    breaker: CircuitBreaker,
+    telemetry: TelemetryHandle,
+    outages: Option<OutageWindows>,
+    generation: u64,
+    /// Pending inference bookkeeping: request → (submitted, queue wait).
+    waiting: BTreeMap<u64, (SimTime, SimDuration)>,
+    stats: ServeStats,
+}
+
+impl Server {
+    /// A server with `cfg.shards` empty shards and no model.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let map = ShardMap::with_nodes(cfg.shards, cfg.vnodes);
+        let shards = (0..cfg.shards).map(|n| (n, Shard::default())).collect();
+        Server {
+            map,
+            shards,
+            directory: BTreeMap::new(),
+            model: None,
+            par: ScparConfig::serial(),
+            query_cache: QueryCache::new(cfg.query_cache),
+            infer_cache: InferenceCache::new(cfg.infer_cache),
+            batcher: MicroBatcher::new(cfg.batch),
+            bucket: TokenBucket::new(cfg.rate_per_s, cfg.burst),
+            queue: ServiceQueue::new(cfg.service_rate, cfg.queue_capacity),
+            breaker: CircuitBreaker::new(cfg.breaker_failures, cfg.breaker_reset),
+            telemetry: TelemetryHandle::disabled(),
+            outages: None,
+            generation: 0,
+            waiting: BTreeMap::new(),
+            stats: ServeStats::default(),
+            cfg,
+        }
+    }
+
+    /// Attaches the inference model served by [`Server::infer`]. Swapping
+    /// models clears the inference cache — outputs of the old model must
+    /// not answer for the new one.
+    pub fn with_model(mut self, model: Sequential) -> Self {
+        self.infer_cache.clear();
+        self.model = Some(model);
+        self
+    }
+
+    /// Sets the worker-pool configuration used for batched inference.
+    pub fn with_par(mut self, par: ScparConfig) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Attaches a telemetry handle; all `scserve_*` metrics flow to it.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Subjects the shard fleet to `plan`'s node-crash windows: shard `n`
+    /// is considered down while fault node `n` is crashed.
+    pub fn with_fault_plan(mut self, plan: &FaultPlan) -> Self {
+        self.outages = Some(OutageWindows::node_crashes(plan));
+        self
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// The routing map (read-only view).
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Whether an inference model is attached.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Keys currently stored.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    fn shard_down(&self, shard: u32, now: SimTime) -> bool {
+        self.outages.as_ref().is_some_and(|w| w.is_down(shard, now))
+    }
+
+    fn effective_replicas(&self) -> usize {
+        self.cfg.replicas.clamp(1, self.map.len().max(1))
+    }
+
+    // ------------------------------------------------------------------
+    // Write path
+    // ------------------------------------------------------------------
+
+    /// Inserts or replaces the document stored under `key` on every
+    /// replica shard, then invalidates the query cache (generation bump)
+    /// before acknowledging.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NosqlError`] for invalid documents; nothing is stored
+    /// and no invalidation happens on error.
+    pub fn put(&mut self, key: &str, doc: Doc, _now: SimTime) -> Result<(), NosqlError> {
+        // Replica writes apply the same doc, so a validation failure hits
+        // the first replica before anything is stored — no partial writes.
+        if let Some(existing) = self.directory.get(key).cloned() {
+            // Replace: update in place on each replica.
+            for (node, id) in &existing {
+                let shard = self.shards.get_mut(node).expect("directory is consistent");
+                shard.collection.update(*id, doc.clone())?;
+            }
+        } else {
+            let nodes = self
+                .map
+                .route_replicas(key.as_bytes(), self.effective_replicas());
+            let mut placements = Vec::with_capacity(nodes.len());
+            for node in nodes {
+                let shard = self.shards.get_mut(&node).expect("ring nodes have shards");
+                let id = shard.collection.insert(doc.clone())?;
+                shard.keys.insert(id, key.to_string());
+                placements.push((node, id));
+            }
+            self.directory.insert(key.to_string(), placements);
+        }
+        self.generation += 1;
+        self.stats.writes += 1;
+        self.telemetry
+            .counter_inc("scserve_writes_total", "acknowledged serving-tier writes");
+        Ok(())
+    }
+
+    /// Removes `key` from every replica; returns whether it existed.
+    /// Like [`Server::put`], this invalidates the query cache.
+    pub fn remove_key(&mut self, key: &str, _now: SimTime) -> bool {
+        let Some(placements) = self.directory.remove(key) else {
+            return false;
+        };
+        for (node, id) in placements {
+            if let Some(shard) = self.shards.get_mut(&node) {
+                shard.collection.remove(id);
+                shard.keys.remove(&id);
+            }
+        }
+        self.generation += 1;
+        self.stats.writes += 1;
+        self.telemetry
+            .counter_inc("scserve_writes_total", "acknowledged serving-tier writes");
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Admission
+    // ------------------------------------------------------------------
+
+    fn shed(&mut self) {
+        self.stats.shed += 1;
+        self.telemetry.counter_inc(
+            "scserve_shed_total",
+            "requests rejected by admission control",
+        );
+    }
+
+    /// Rate-limit gate shared by every read path.
+    fn rate_gate(&mut self, now: SimTime) -> bool {
+        self.stats.requests += 1;
+        self.telemetry
+            .counter_inc("scserve_requests_total", "serving requests received");
+        self.bucket.try_acquire(now)
+    }
+
+    /// Queue gate for cache misses; records the wait histogram.
+    fn queue_gate(&mut self, now: SimTime) -> Option<SimDuration> {
+        match self.queue.offer(now) {
+            Admission::Admitted { wait } => {
+                self.telemetry.observe(
+                    "scserve_queue_wait_seconds",
+                    "queue wait ahead of admitted backend requests",
+                    wait.as_secs_f64(),
+                );
+                Some(wait)
+            }
+            Admission::Shed => None,
+        }
+    }
+
+    fn note_hit(&mut self) {
+        self.stats.cache_hits += 1;
+        self.telemetry
+            .counter_inc("scserve_cache_hit_total", "answers served from cache");
+    }
+
+    fn note_miss(&mut self) {
+        self.stats.cache_misses += 1;
+        self.telemetry
+            .counter_inc("scserve_cache_miss_total", "cache lookups that missed");
+    }
+
+    fn note_stale(&mut self) {
+        self.stats.stale_served += 1;
+        self.telemetry.counter_inc(
+            "scserve_stale_served_total",
+            "degraded answers served from expired cache entries",
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Read path
+    // ------------------------------------------------------------------
+
+    /// Point lookup by serving key.
+    ///
+    /// Walks the key's replicas in ring order, skipping shards that are
+    /// down under the injected fault plan (counting a reroute when the
+    /// primary is skipped). With every replica down, falls back to the
+    /// stale cache, then to a degraded empty answer.
+    ///
+    /// # Errors
+    ///
+    /// This path performs no filter evaluation and cannot fail; the
+    /// `Result` mirrors [`Server::query`] for a uniform calling shape.
+    pub fn get(&mut self, key: &str, now: SimTime) -> Result<Served<Option<Doc>>, NosqlError> {
+        if !self.rate_gate(now) {
+            self.shed();
+            return Ok(Served {
+                outcome: Outcome::Shed,
+                latency: SimDuration::ZERO,
+            });
+        }
+        let fp = hash_bytes(format!("get:{key}").as_bytes());
+        if let Some((gen, rows)) = self.query_cache.get(&fp, now) {
+            if gen == self.generation {
+                self.note_hit();
+                return Ok(Served {
+                    outcome: Outcome::Cached(rows.first().map(|(_, d)| d.clone())),
+                    latency: CACHE_HIT_COST,
+                });
+            }
+        }
+        self.note_miss();
+        let Some(wait) = self.queue_gate(now) else {
+            self.shed();
+            return Ok(self.stale_get(fp));
+        };
+        if !self.breaker.allow(now) {
+            return Ok(self.stale_get(fp));
+        }
+        let placements = self.directory.get(key).cloned().unwrap_or_default();
+        let mut chosen: Option<(u32, DocId)> = None;
+        for (i, (node, id)) in placements.iter().enumerate() {
+            if !self.shard_down(*node, now) {
+                if i > 0 {
+                    self.stats.reroutes += 1;
+                    self.telemetry.counter_inc(
+                        "scserve_reroute_total",
+                        "reads redirected from a down primary to a live replica",
+                    );
+                }
+                chosen = Some((*node, *id));
+                break;
+            }
+        }
+        match chosen {
+            Some((node, id)) => {
+                self.breaker.record_success();
+                let doc = self.shards[&node].collection.get(id).cloned();
+                let rows: Rows = doc.iter().map(|d| (key.to_string(), d.clone())).collect();
+                self.query_cache.insert(fp, (self.generation, rows), now);
+                Ok(Served {
+                    outcome: Outcome::Fresh(doc),
+                    latency: wait + self.queue.service_time(),
+                })
+            }
+            None if placements.is_empty() => {
+                // Key simply does not exist; an authoritative miss.
+                self.breaker.record_success();
+                self.query_cache
+                    .insert(fp, (self.generation, Vec::new()), now);
+                Ok(Served {
+                    outcome: Outcome::Fresh(None),
+                    latency: wait + self.queue.service_time(),
+                })
+            }
+            None => {
+                self.breaker.record_failure(now);
+                Ok(self.stale_get(fp))
+            }
+        }
+    }
+
+    fn stale_get(&mut self, fp: u64) -> Served<Option<Doc>> {
+        match self.query_cache.peek_ignore_ttl(&fp) {
+            Some((_, rows)) => {
+                self.note_stale();
+                Served {
+                    outcome: Outcome::Stale(rows.first().map(|(_, d)| d.clone())),
+                    latency: CACHE_HIT_COST,
+                }
+            }
+            None => {
+                self.stats.degraded += 1;
+                self.telemetry.counter_inc(
+                    "scserve_degraded_total",
+                    "partial or empty degraded answers",
+                );
+                Served {
+                    outcome: Outcome::Degraded(None),
+                    latency: CACHE_HIT_COST,
+                }
+            }
+        }
+    }
+
+    /// Filter query fanned out across the shard fleet.
+    ///
+    /// Results are `(key, document)` pairs in key order, each key
+    /// answered by its first *live* replica (deduplicating the copies).
+    /// Complete answers are cached under the current generation; answers
+    /// with unreachable keys are `Degraded` (or `Stale` when a prior
+    /// cached answer exists) and are never cached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filter validation failures ([`NosqlError`]) from the
+    /// underlying collections.
+    pub fn query(&mut self, filter: &Filter, now: SimTime) -> Result<Served<Rows>, NosqlError> {
+        if !self.rate_gate(now) {
+            self.shed();
+            return Ok(Served {
+                outcome: Outcome::Shed,
+                latency: SimDuration::ZERO,
+            });
+        }
+        let fp = hash_bytes(format!("query:{filter:?}").as_bytes());
+        if let Some((gen, rows)) = self.query_cache.get(&fp, now) {
+            if gen == self.generation {
+                self.note_hit();
+                return Ok(Served {
+                    outcome: Outcome::Cached(rows),
+                    latency: CACHE_HIT_COST,
+                });
+            }
+        }
+        self.note_miss();
+        let Some(wait) = self.queue_gate(now) else {
+            self.shed();
+            return Ok(self.stale_query(fp));
+        };
+        if !self.breaker.allow(now) {
+            return Ok(self.stale_query(fp));
+        }
+
+        // Canonical owner per key: its first live replica. Keys with no
+        // live replica make the answer degraded.
+        let mut owner: BTreeMap<&str, u32> = BTreeMap::new();
+        let mut unreachable = 0usize;
+        let mut rerouted = 0u64;
+        for (key, placements) in &self.directory {
+            match placements
+                .iter()
+                .enumerate()
+                .find(|(_, (node, _))| !self.shard_down(*node, now))
+            {
+                Some((i, (node, _))) => {
+                    if i > 0 {
+                        rerouted += 1;
+                    }
+                    owner.insert(key.as_str(), *node);
+                }
+                None => unreachable += 1,
+            }
+        }
+        if rerouted > 0 {
+            self.stats.reroutes += rerouted;
+            self.telemetry.counter_add(
+                "scserve_reroute_total",
+                "reads redirected from a down primary to a live replica",
+                rerouted,
+            );
+        }
+
+        let mut rows: Rows = Vec::new();
+        for (&node, shard) in &self.shards {
+            if self.shard_down(node, now) {
+                continue;
+            }
+            for (id, doc) in shard.collection.find(filter)? {
+                let key = shard.keys.get(&id).expect("every doc has a serving key");
+                if owner.get(key.as_str()) == Some(&node) {
+                    rows.push((key.clone(), doc.clone()));
+                }
+            }
+        }
+        rows.sort_by(|(a, _), (b, _)| a.cmp(b));
+
+        if unreachable > 0 {
+            self.breaker.record_failure(now);
+            self.stats.degraded += 1;
+            self.telemetry.counter_inc(
+                "scserve_degraded_total",
+                "partial or empty degraded answers",
+            );
+            // Prefer a complete-but-stale cached answer over a fresh
+            // partial one.
+            if let Some((_, cached)) = self.query_cache.peek_ignore_ttl(&fp) {
+                self.note_stale();
+                return Ok(Served {
+                    outcome: Outcome::Stale(cached),
+                    latency: CACHE_HIT_COST,
+                });
+            }
+            return Ok(Served {
+                outcome: Outcome::Degraded(rows),
+                latency: wait + self.queue.service_time(),
+            });
+        }
+        self.breaker.record_success();
+        self.query_cache
+            .insert(fp, (self.generation, rows.clone()), now);
+        Ok(Served {
+            outcome: Outcome::Fresh(rows),
+            latency: wait + self.queue.service_time(),
+        })
+    }
+
+    fn stale_query(&mut self, fp: u64) -> Served<Rows> {
+        match self.query_cache.peek_ignore_ttl(&fp) {
+            Some((_, rows)) => {
+                self.note_stale();
+                Served {
+                    outcome: Outcome::Stale(rows),
+                    latency: CACHE_HIT_COST,
+                }
+            }
+            None => Served {
+                outcome: Outcome::Shed,
+                latency: SimDuration::ZERO,
+            },
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Inference path
+    // ------------------------------------------------------------------
+
+    /// Submits one feature row for inference.
+    ///
+    /// Cache hit → answered immediately; miss → coalesced into the
+    /// pending micro-batch (redeem the ticket from [`Server::tick`]).
+    /// Admission failures fall back to an expired cache entry when one
+    /// exists (the degraded answer), else shed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no model was attached via [`Server::with_model`].
+    pub fn infer(&mut self, row: Vec<f32>, now: SimTime) -> InferSubmit {
+        assert!(self.model.is_some(), "Server::infer requires a model");
+        let fp = row_fingerprint(&row);
+        if !self.rate_gate(now) {
+            self.shed();
+            return self.stale_infer(fp);
+        }
+        if let Some(output) = self.infer_cache.get(&fp, now) {
+            self.note_hit();
+            return InferSubmit::Cached {
+                output,
+                latency: CACHE_HIT_COST,
+            };
+        }
+        self.note_miss();
+        let Some(wait) = self.queue_gate(now) else {
+            self.shed();
+            return self.stale_infer(fp);
+        };
+        let req = self.batcher.submit(row, now);
+        self.waiting.insert(req.0, (now, wait));
+        InferSubmit::Pending(req)
+    }
+
+    fn stale_infer(&mut self, fp: u64) -> InferSubmit {
+        match self.infer_cache.peek_ignore_ttl(&fp) {
+            Some(output) => {
+                self.note_stale();
+                InferSubmit::Stale {
+                    output,
+                    latency: CACHE_HIT_COST,
+                }
+            }
+            None => InferSubmit::Shed,
+        }
+    }
+
+    /// Advances the batcher to `now`: flushes if either batching knob
+    /// fired and returns the completions. Call this whenever sim-time
+    /// advances past [`Server::next_deadline`].
+    pub fn tick(&mut self, now: SimTime) -> Vec<InferCompletion> {
+        if !self.batcher.due(now) {
+            return Vec::new();
+        }
+        self.flush(now)
+    }
+
+    /// Force-flushes any pending micro-batch (end-of-run drain).
+    pub fn drain(&mut self, now: SimTime) -> Vec<InferCompletion> {
+        self.flush(now)
+    }
+
+    /// The sim-time at which the pending batch's delay knob fires.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.batcher.next_deadline()
+    }
+
+    fn flush(&mut self, now: SimTime) -> Vec<InferCompletion> {
+        let Some(model) = self.model.as_ref() else {
+            return Vec::new(); // nothing can be pending without a model
+        };
+        let Some(batch) = self.batcher.flush_now(model, &self.par, now) else {
+            return Vec::new();
+        };
+        self.stats.batches += 1;
+        self.stats.batched_rows += batch.batch_size as u64;
+        let (_, coalesced) = self.batcher.stats();
+        self.stats.coalesced = coalesced;
+        self.telemetry
+            .counter_inc("scserve_batches_total", "micro-batches flushed");
+        self.telemetry.observe_exact(
+            "scserve_batch_size",
+            "distinct rows per flushed micro-batch",
+            batch.batch_size as f64,
+        );
+        for (fp, out) in &batch.distinct {
+            self.infer_cache.insert(*fp, out.clone(), now);
+        }
+        batch
+            .outputs
+            .into_iter()
+            .map(|(req, output)| {
+                let (submitted, wait) = self
+                    .waiting
+                    .remove(&req.0)
+                    .expect("every batched request was registered");
+                InferCompletion {
+                    req,
+                    output,
+                    latency: now.saturating_since(submitted) + wait + self.queue.service_time(),
+                }
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Rebalancing
+    // ------------------------------------------------------------------
+
+    /// Adds a shard node and rebalances: only keys whose replica set
+    /// changed move, per the consistent-hash minimal-movement property.
+    /// Returns the number of document copies moved.
+    pub fn add_shard(&mut self, node: u32) -> usize {
+        if self.map.contains(node) {
+            return 0;
+        }
+        self.map.add_node(node);
+        self.shards.entry(node).or_default();
+        self.rebalance()
+    }
+
+    /// Removes a shard node, migrating its document copies to the new
+    /// replica owners first. Returns the number of copies moved.
+    pub fn remove_shard(&mut self, node: u32) -> usize {
+        if !self.map.contains(node) {
+            return 0;
+        }
+        self.map.remove_node(node);
+        let moves = self.rebalance();
+        let drained = self.shards.remove(&node);
+        debug_assert!(
+            drained.is_none_or(|s| s.collection.is_empty()),
+            "rebalance must empty a removed shard"
+        );
+        moves
+    }
+
+    fn rebalance(&mut self) -> usize {
+        let replicas = self.effective_replicas();
+        let keys: Vec<String> = self.directory.keys().cloned().collect();
+        let mut moves = 0usize;
+        for key in keys {
+            let old = self.directory.get(&key).cloned().expect("key listed");
+            let new_nodes = self.map.route_replicas(key.as_bytes(), replicas);
+            let old_nodes: Vec<u32> = old.iter().map(|(n, _)| *n).collect();
+            if old_nodes == new_nodes {
+                continue;
+            }
+            let doc = old
+                .iter()
+                .find_map(|(n, id)| self.shards.get(n).and_then(|s| s.collection.get(*id)))
+                .cloned()
+                .expect("at least one replica still holds the doc");
+            let mut placements = Vec::with_capacity(new_nodes.len());
+            for node in &new_nodes {
+                match old.iter().find(|(n, _)| n == node) {
+                    Some(&(n, id)) => placements.push((n, id)),
+                    None => {
+                        let shard = self.shards.get_mut(node).expect("ring nodes have shards");
+                        let id = shard
+                            .collection
+                            .insert(doc.clone())
+                            .expect("stored docs are always valid");
+                        shard.keys.insert(id, key.clone());
+                        placements.push((*node, id));
+                        moves += 1;
+                    }
+                }
+            }
+            for (node, id) in &old {
+                if !new_nodes.contains(node) {
+                    if let Some(shard) = self.shards.get_mut(node) {
+                        shard.collection.remove(*id);
+                        shard.keys.remove(id);
+                        moves += 1;
+                    }
+                }
+            }
+            self.directory.insert(key, placements);
+        }
+        self.stats.rebalance_moves += moves as u64;
+        self.telemetry.counter_add(
+            "scserve_rebalance_moves_total",
+            "document copies moved by shard add/remove rebalancing",
+            moves as u64,
+        );
+        moves
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfault::{FaultKind, FaultPlan};
+    use scneural::layers::{Dense, Relu};
+
+    fn doc(kind: &str, v: i64) -> Doc {
+        Doc::object([("kind", Doc::Str(kind.into())), ("v", Doc::I64(v))])
+    }
+
+    fn seeded_server(cfg: ServeConfig) -> Server {
+        let mut s = Server::new(cfg);
+        for i in 0..20 {
+            let kind = if i % 2 == 0 { "even" } else { "odd" };
+            s.put(&format!("k-{i:03}"), doc(kind, i), SimTime::ZERO)
+                .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn put_get_round_trips() {
+        let mut s = seeded_server(ServeConfig::default());
+        let got = s.get("k-003", SimTime::from_millis(1)).unwrap();
+        assert!(matches!(&got.outcome, Outcome::Fresh(Some(d)) if d == &doc("odd", 3)));
+        let missing = s.get("nope", SimTime::from_millis(2)).unwrap();
+        assert!(matches!(missing.outcome, Outcome::Fresh(None)));
+    }
+
+    #[test]
+    fn query_caches_and_write_invalidates() {
+        let mut s = seeded_server(ServeConfig::default());
+        let f = Filter::Eq("kind".into(), Doc::Str("even".into()));
+        let first = s.query(&f, SimTime::from_millis(1)).unwrap();
+        let Outcome::Fresh(rows) = &first.outcome else {
+            panic!("cold query must be fresh")
+        };
+        assert_eq!(rows.len(), 10);
+        let second = s.query(&f, SimTime::from_millis(2)).unwrap();
+        assert!(matches!(second.outcome, Outcome::Cached(_)));
+        assert!(second.latency < first.latency);
+
+        s.put("k-100", doc("even", 100), SimTime::from_millis(3))
+            .unwrap();
+        let third = s.query(&f, SimTime::from_millis(4)).unwrap();
+        let Outcome::Fresh(rows) = &third.outcome else {
+            panic!("a write must invalidate the cached answer")
+        };
+        assert_eq!(rows.len(), 11);
+    }
+
+    #[test]
+    fn replicas_land_on_distinct_shards() {
+        let s = seeded_server(ServeConfig::default());
+        for placements in s.directory.values() {
+            assert_eq!(placements.len(), 2);
+            assert_ne!(placements[0].0, placements[1].0);
+        }
+    }
+
+    #[test]
+    fn outage_reroutes_then_serves_stale() {
+        let cfg = ServeConfig {
+            replicas: 1, // single replica so a crash makes keys unreachable
+            ..ServeConfig::default()
+        };
+        let mut s = seeded_server(cfg);
+        let f = Filter::Eq("kind".into(), Doc::Str("odd".into()));
+        // Warm the cache while everything is healthy.
+        let warm = s.query(&f, SimTime::from_millis(1)).unwrap();
+        assert!(matches!(warm.outcome, Outcome::Fresh(_)));
+
+        // Crash shard 0 from t=1s to t=5s.
+        let plan = FaultPlan::empty()
+            .with_event(SimTime::from_secs(1), FaultKind::NodeCrash { node: 0 })
+            .with_event(SimTime::from_secs(5), FaultKind::NodeRestart { node: 0 });
+        s = s.with_fault_plan(&plan);
+
+        // Cached answer still serves (generation unchanged).
+        let hit = s.query(&f, SimTime::from_secs(2)).unwrap();
+        assert!(matches!(hit.outcome, Outcome::Cached(_)));
+
+        // A write invalidates; the re-query must now degrade to the stale
+        // answer because shard 0's keys are unreachable.
+        s.put("k-999", doc("odd", 999), SimTime::from_secs(2))
+            .unwrap();
+        let stale = s.query(&f, SimTime::from_secs(3)).unwrap();
+        assert!(
+            matches!(stale.outcome, Outcome::Stale(_)),
+            "expected stale fallback, got {:?}",
+            stale.outcome
+        );
+        assert!(s.stats().stale_served >= 1);
+
+        // After restart the fresh (complete) answer returns.
+        let fresh = s.query(&f, SimTime::from_secs(6)).unwrap();
+        let Outcome::Fresh(rows) = &fresh.outcome else {
+            panic!("restored shard must serve fresh")
+        };
+        assert_eq!(rows.len(), 11);
+    }
+
+    #[test]
+    fn outage_with_replicas_reroutes_without_degrading() {
+        let mut s = seeded_server(ServeConfig::default()); // 2 replicas
+        let plan = FaultPlan::empty()
+            .with_event(SimTime::from_secs(1), FaultKind::NodeCrash { node: 0 })
+            .with_event(SimTime::from_secs(9), FaultKind::NodeRestart { node: 0 });
+        s = s.with_fault_plan(&plan);
+        let f = Filter::Eq("kind".into(), Doc::Str("even".into()));
+        let served = s.query(&f, SimTime::from_secs(2)).unwrap();
+        let Outcome::Fresh(rows) = &served.outcome else {
+            panic!(
+                "replicated keys survive a single crash: {:?}",
+                served.outcome
+            )
+        };
+        assert_eq!(rows.len(), 10);
+        assert!(s.stats().reroutes > 0, "shard-0 primaries must reroute");
+    }
+
+    #[test]
+    fn rate_limit_sheds() {
+        let cfg = ServeConfig {
+            rate_per_s: 10.0,
+            burst: 2.0,
+            ..ServeConfig::default()
+        };
+        let mut s = seeded_server(cfg);
+        let mut sheds = 0;
+        for _ in 0..10 {
+            let served = s.get("k-001", SimTime::from_millis(1)).unwrap();
+            if served.outcome.is_shed() || matches!(served.outcome, Outcome::Stale(_)) {
+                sheds += 1;
+            }
+        }
+        assert!(sheds >= 7, "burst of 2 admits few of 10 simultaneous gets");
+        assert!(s.stats().shed >= 7);
+        assert!(s.stats().shed_fraction() > 0.5);
+    }
+
+    #[test]
+    fn inference_caches_and_batches() {
+        let model = Sequential::new()
+            .with(Dense::new(4, 8, 5))
+            .with(Relu::new())
+            .with(Dense::new(8, 2, 6));
+        let mut s = Server::new(ServeConfig {
+            batch: BatchConfig {
+                max_batch: 2,
+                max_delay: SimDuration::from_millis(5),
+            },
+            ..ServeConfig::default()
+        })
+        .with_model(model);
+
+        let row = vec![0.1f32, 0.2, 0.3, 0.4];
+        let sub = s.infer(row.clone(), SimTime::ZERO);
+        let InferSubmit::Pending(req) = sub else {
+            panic!("cold inference must queue")
+        };
+        assert!(s.tick(SimTime::from_millis(1)).is_empty(), "not due yet");
+        let done = s.tick(SimTime::from_millis(5));
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].req, req);
+        assert!(done[0].latency >= SimDuration::from_millis(5));
+
+        // Identical row now hits the inference cache.
+        let hit = s.infer(row, SimTime::from_millis(6));
+        assert!(matches!(hit, InferSubmit::Cached { .. }));
+        assert_eq!(s.stats().batches, 1);
+    }
+
+    #[test]
+    fn add_remove_shard_preserves_data_and_moves_little() {
+        let mut s = seeded_server(ServeConfig::default());
+        let f = Filter::Exists("kind".into());
+        let before = s.query(&f, SimTime::from_millis(1)).unwrap();
+        let before_rows = before.outcome.value().unwrap().clone();
+        assert_eq!(before_rows.len(), 20);
+
+        let moved_in = s.add_shard(10);
+        // 20 keys × 2 replicas = 40 copies; a 1-of-5 node picks up ~1/5.
+        assert!(
+            moved_in < 40,
+            "adding one node must not reshuffle everything"
+        );
+        let after_add = s.query(&f, SimTime::from_millis(2)).unwrap();
+        assert_eq!(after_add.outcome.value().unwrap(), &before_rows);
+
+        let moved_out = s.remove_shard(10);
+        assert_eq!(moved_in, moved_out, "the node drains exactly what it took");
+        let after_remove = s.query(&f, SimTime::from_millis(3)).unwrap();
+        assert_eq!(after_remove.outcome.value().unwrap(), &before_rows);
+        assert!(!s.shards.contains_key(&10));
+    }
+}

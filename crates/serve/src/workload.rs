@@ -1,0 +1,541 @@
+//! Seed-deterministic workload generation for the serving tier.
+//!
+//! [`WorkloadGen`] drives a [`Server`] with a mixed read/write/inference
+//! request stream over sim-time and distils the run into a
+//! [`ServingReport`] (experiment E17). Two arrival models:
+//!
+//! - **Open loop** — Poisson arrivals at a fixed rate, independent of how
+//!   the server copes. This is the honest overload model: when the server
+//!   saturates, demand does not politely slow down, so latency and shed
+//!   fraction show the true knee.
+//! - **Closed loop** — a fixed client pool; each client issues its next
+//!   request only after the previous answer plus a think time. Throughput
+//!   self-limits, which is the right model for interactive dashboards.
+//!
+//! Everything — inter-arrival gaps, key popularity, op mix — is drawn
+//! from a [`SeededRng`], so a `(config, seed)` pair replays the same
+//! request trace on every run and thread count.
+
+use scnosql::document::{Doc, Filter};
+use sctelemetry::{percentile_sorted, Report};
+use simclock::{SeededRng, SimDuration, SimTime};
+use std::collections::BTreeMap;
+
+use crate::server::{InferSubmit, Server};
+
+/// How requests arrive.
+#[derive(Debug, Clone)]
+pub enum ArrivalMode {
+    /// Poisson arrivals at `rate_per_s`, regardless of server state.
+    OpenLoop {
+        /// Mean arrival rate, requests per sim-second.
+        rate_per_s: f64,
+    },
+    /// `clients` issue one request at a time, `think` after each answer.
+    ClosedLoop {
+        /// Concurrent client count.
+        clients: usize,
+        /// Think time between a client's answer and its next request.
+        think: SimDuration,
+    },
+}
+
+/// Workload shape knobs.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// RNG seed; same seed, same request trace.
+    pub seed: u64,
+    /// Requests to issue.
+    pub requests: usize,
+    /// Distinct serving keys (seeded with one document each).
+    pub keyspace: usize,
+    /// Popularity skew: key rank drawn as `keyspace · u^(1+skew)`.
+    /// 0 is uniform; larger concentrates traffic on few keys.
+    pub skew: f64,
+    /// Fraction of requests that are writes (cache-invalidating puts).
+    pub write_fraction: f64,
+    /// Fraction of requests that are inference submissions.
+    pub infer_fraction: f64,
+    /// Feature-row width for inference requests.
+    pub feature_dim: usize,
+    /// Distinct feature rows in circulation (drives inference cache
+    /// hits and micro-batch coalescing).
+    pub row_pool: usize,
+    /// Arrival model.
+    pub mode: ArrivalMode,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 0,
+            requests: 2_000,
+            keyspace: 200,
+            skew: 1.0,
+            write_fraction: 0.05,
+            infer_fraction: 0.3,
+            feature_dim: 8,
+            row_pool: 32,
+            mode: ArrivalMode::OpenLoop {
+                rate_per_s: 1_000.0,
+            },
+        }
+    }
+}
+
+/// Outcome summary of one workload run; implements
+/// [`sctelemetry::Report`] so it can ride the dashboard JSON path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingReport {
+    /// Requests issued.
+    pub requests: u64,
+    /// Requests answered (fresh, cached, stale, or degraded).
+    pub completed: u64,
+    /// Requests rejected by admission control. A stale cache entry may
+    /// still have produced a degraded answer for some of these;
+    /// `requests - completed` of them got nothing at all.
+    pub shed: u64,
+    /// Serving-cache hit rate over the run.
+    pub hit_rate: f64,
+    /// Median answered-request latency, sim-milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile answered-request latency, sim-milliseconds.
+    pub p99_ms: f64,
+    /// Mean distinct rows per flushed micro-batch.
+    pub mean_batch: f64,
+    /// `shed / requests`.
+    pub shed_fraction: f64,
+    /// Reads rerouted off a down primary.
+    pub reroutes: u64,
+    /// Answers served stale during outages or overload.
+    pub stale_served: u64,
+    /// Partial degraded answers.
+    pub degraded: u64,
+}
+
+impl Report for ServingReport {
+    fn kv(&self) -> Vec<(String, f64)> {
+        vec![
+            ("requests".into(), self.requests as f64),
+            ("completed".into(), self.completed as f64),
+            ("shed".into(), self.shed as f64),
+            ("hit_rate".into(), self.hit_rate),
+            ("p50_ms".into(), self.p50_ms),
+            ("p99_ms".into(), self.p99_ms),
+            ("mean_batch".into(), self.mean_batch),
+            ("shed_fraction".into(), self.shed_fraction),
+            ("reroutes".into(), self.reroutes as f64),
+            ("stale_served".into(), self.stale_served as f64),
+            ("degraded".into(), self.degraded as f64),
+        ]
+    }
+}
+
+/// The four document kinds the workload writes and queries over.
+const KINDS: [&str; 4] = ["traffic", "air", "camera", "event"];
+
+/// Deterministic request generator; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use scserve::{Server, ServeConfig, WorkloadConfig, WorkloadGen};
+///
+/// let mut server = Server::new(ServeConfig::default());
+/// let cfg = WorkloadConfig { requests: 200, infer_fraction: 0.0, ..WorkloadConfig::default() };
+/// let report = WorkloadGen::new(cfg).run(&mut server);
+/// assert_eq!(report.requests, 200);
+/// assert!(report.hit_rate > 0.0, "skewed keys must produce cache hits");
+/// ```
+#[derive(Debug)]
+pub struct WorkloadGen {
+    cfg: WorkloadConfig,
+    rng: SeededRng,
+}
+
+impl WorkloadGen {
+    /// A generator for `cfg`, seeded from `cfg.seed`.
+    pub fn new(cfg: WorkloadConfig) -> Self {
+        let rng = SeededRng::new(cfg.seed ^ 0x5c5e_42e1);
+        WorkloadGen { cfg, rng }
+    }
+
+    /// Zipf-ish rank in `0..n`: `n · u^(1+skew)` concentrates low ranks.
+    fn rank(&mut self, n: usize) -> usize {
+        let u = self.rng.next_f64();
+        ((n as f64 * u.powf(1.0 + self.cfg.skew)) as usize).min(n - 1)
+    }
+
+    fn key(&mut self) -> String {
+        let r = self.rank(self.cfg.keyspace.max(1));
+        format!("k-{r:05}")
+    }
+
+    fn filter(&mut self) -> Filter {
+        let kind = KINDS[self.rank(KINDS.len())];
+        Filter::Eq("kind".into(), Doc::Str(kind.into()))
+    }
+
+    fn doc(&mut self, serial: i64) -> Doc {
+        let kind = KINDS[self.rng.next_bounded(KINDS.len() as u64) as usize];
+        Doc::object([
+            ("kind", Doc::Str(kind.into())),
+            ("v", Doc::I64(serial)),
+            ("reading", Doc::F64(self.rng.next_f64() * 100.0)),
+        ])
+    }
+
+    /// Runs the workload against `server` and summarizes it.
+    ///
+    /// The server is first seeded with one document per key at `t = 0`.
+    /// Inference requests are only issued when a model is attached
+    /// (otherwise their share of the mix falls to point gets).
+    ///
+    /// # Panics
+    ///
+    /// Panics only on internal arithmetic bugs; the generated documents
+    /// and filters are valid by construction.
+    pub fn run(&mut self, server: &mut Server) -> ServingReport {
+        // Seed the keyspace.
+        for r in 0..self.cfg.keyspace {
+            let doc = self.doc(r as i64);
+            server
+                .put(&format!("k-{r:05}"), doc, SimTime::ZERO)
+                .expect("generated docs are valid");
+        }
+        // Pre-draw the circulating feature rows.
+        let mut row_rng = self.rng.fork();
+        let rows: Vec<Vec<f32>> = (0..self.cfg.row_pool.max(1))
+            .map(|_| {
+                (0..self.cfg.feature_dim.max(1))
+                    .map(|_| row_rng.next_f64() as f32)
+                    .collect()
+            })
+            .collect();
+        let infer_enabled = server.has_model() && self.cfg.infer_fraction > 0.0;
+
+        let base_stats = server.stats();
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(self.cfg.requests);
+        let mut completed = 0u64;
+        let mut unanswered = 0u64;
+        // Pending inference ticket → closed-loop client (or NO_CLIENT).
+        let mut pending: BTreeMap<u64, usize> = BTreeMap::new();
+        const NO_CLIENT: usize = usize::MAX;
+
+        match self.cfg.mode.clone() {
+            ArrivalMode::OpenLoop { rate_per_s } => {
+                let rate = if rate_per_s.is_finite() && rate_per_s > 0.0 {
+                    rate_per_s
+                } else {
+                    1.0
+                };
+                let mut now = SimTime::ZERO;
+                let mut serial = self.cfg.keyspace as i64;
+                for _ in 0..self.cfg.requests {
+                    // Exponential inter-arrival gap.
+                    let u = self.rng.next_f64();
+                    let gap = -(1.0 - u).max(f64::MIN_POSITIVE).ln() / rate;
+                    now += SimDuration::from_secs_f64(gap);
+                    // Flush any batch whose delay knob fired before `now`.
+                    while let Some(deadline) = server.next_deadline() {
+                        if deadline > now {
+                            break;
+                        }
+                        for c in server.tick(deadline) {
+                            pending.remove(&c.req.0);
+                            completed += 1;
+                            latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                        }
+                    }
+                    self.issue(
+                        server,
+                        now,
+                        &rows,
+                        infer_enabled,
+                        &mut serial,
+                        NO_CLIENT,
+                        &mut pending,
+                        &mut completed,
+                        &mut unanswered,
+                        &mut latencies_ms,
+                    );
+                }
+                for c in server.drain(now) {
+                    pending.remove(&c.req.0);
+                    completed += 1;
+                    latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                }
+            }
+            ArrivalMode::ClosedLoop { clients, think } => {
+                let clients = clients.max(1);
+                // `Some(t)` = ready at t; `None` = blocked on inference.
+                let mut ready: Vec<Option<SimTime>> = vec![Some(SimTime::ZERO); clients];
+                let mut now = SimTime::ZERO;
+                let mut serial = self.cfg.keyspace as i64;
+                let mut issued = 0usize;
+                while issued < self.cfg.requests {
+                    let next = ready
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(c, r)| r.map(|t| (t, c)))
+                        .min();
+                    let deadline = server.next_deadline();
+                    // Flush first when the batch deadline precedes the
+                    // next client, or when every client is blocked on it.
+                    let flush_at = match (deadline, next) {
+                        (Some(d), Some((t, _))) if d <= t => Some(d),
+                        (Some(d), None) => Some(d),
+                        _ => None,
+                    };
+                    if let Some(d) = flush_at {
+                        now = if d > now { d } else { now };
+                        for c in server.tick(now) {
+                            let client = pending.remove(&c.req.0).unwrap_or(NO_CLIENT);
+                            if client != NO_CLIENT {
+                                ready[client] = Some(now + think);
+                            }
+                            completed += 1;
+                            latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                        }
+                        continue;
+                    }
+                    let (t, client) = next.expect("either a ready client or a pending batch");
+                    now = if t > now { t } else { now };
+                    let was_pending = pending.len();
+                    self.issue(
+                        server,
+                        now,
+                        &rows,
+                        infer_enabled,
+                        &mut serial,
+                        client,
+                        &mut pending,
+                        &mut completed,
+                        &mut unanswered,
+                        &mut latencies_ms,
+                    );
+                    issued += 1;
+                    if pending.len() > was_pending {
+                        ready[client] = None; // blocked until the batch flushes
+                    } else {
+                        ready[client] = Some(now + think);
+                    }
+                }
+                for c in server.drain(now) {
+                    pending.remove(&c.req.0);
+                    completed += 1;
+                    latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                }
+            }
+        }
+
+        latencies_ms.sort_by(f64::total_cmp);
+        let stats = server.stats();
+        let requests = self.cfg.requests as u64;
+        // Admission-control rejections, whether or not a stale fallback
+        // still answered; `unanswered` (tracked above) is their subset
+        // with no answer at all and equals `requests - completed`.
+        let shed = stats.shed - base_stats.shed;
+        debug_assert_eq!(completed + unanswered, requests);
+        debug_assert!(unanswered <= shed);
+        ServingReport {
+            requests,
+            completed,
+            shed,
+            hit_rate: stats.hit_rate(),
+            p50_ms: percentile_sorted(&latencies_ms, 0.50).unwrap_or(0.0),
+            p99_ms: percentile_sorted(&latencies_ms, 0.99).unwrap_or(0.0),
+            mean_batch: stats.mean_batch(),
+            shed_fraction: if requests == 0 {
+                0.0
+            } else {
+                shed as f64 / requests as f64
+            },
+            reroutes: stats.reroutes - base_stats.reroutes,
+            stale_served: stats.stale_served - base_stats.stale_served,
+            degraded: stats.degraded - base_stats.degraded,
+        }
+    }
+
+    /// Issues one request at `now`; writes/gets/queries resolve
+    /// immediately, inference may leave a pending ticket.
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        server: &mut Server,
+        now: SimTime,
+        rows: &[Vec<f32>],
+        infer_enabled: bool,
+        serial: &mut i64,
+        client: usize,
+        pending: &mut BTreeMap<u64, usize>,
+        completed: &mut u64,
+        unanswered: &mut u64,
+        latencies_ms: &mut Vec<f64>,
+    ) {
+        let roll = self.rng.next_f64();
+        if roll < self.cfg.write_fraction {
+            let key = self.key();
+            let doc = self.doc(*serial);
+            *serial += 1;
+            server
+                .put(&key, doc, now)
+                .expect("generated docs are valid");
+            *completed += 1;
+            // Writes are acknowledged synchronously; charge one cache-hit
+            // cost so they participate in the latency sample.
+            latencies_ms.push(crate::server::CACHE_HIT_COST.as_secs_f64() * 1e3);
+            return;
+        }
+        if infer_enabled && roll < self.cfg.write_fraction + self.cfg.infer_fraction {
+            let row = rows[self.rank(rows.len())].clone();
+            match server.infer(row, now) {
+                InferSubmit::Cached { latency, .. } | InferSubmit::Stale { latency, .. } => {
+                    *completed += 1;
+                    latencies_ms.push(latency.as_secs_f64() * 1e3);
+                }
+                InferSubmit::Pending(req) => {
+                    pending.insert(req.0, client);
+                }
+                InferSubmit::Shed => *unanswered += 1,
+            }
+            return;
+        }
+        let (is_shed, latency) = if self.rng.next_f64() < 0.5 {
+            let key = self.key();
+            let served = server.get(&key, now).expect("gets cannot fail");
+            (served.outcome.is_shed(), served.latency)
+        } else {
+            let filter = self.filter();
+            let served = server
+                .query(&filter, now)
+                .expect("workload filters are valid");
+            (served.outcome.is_shed(), served.latency)
+        };
+        if is_shed {
+            *unanswered += 1;
+        } else {
+            *completed += 1;
+            latencies_ms.push(latency.as_secs_f64() * 1e3);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServeConfig;
+    use scneural::layers::{Dense, Relu};
+    use scneural::net::Sequential;
+    use scpar::ScparConfig;
+
+    fn model(dim: usize) -> Sequential {
+        Sequential::new()
+            .with(Dense::new(dim, 16, 11))
+            .with(Relu::new())
+            .with(Dense::new(16, 4, 12))
+    }
+
+    #[test]
+    fn open_loop_accounts_for_every_request() {
+        let mut server = Server::new(ServeConfig::default()).with_model(model(8));
+        let cfg = WorkloadConfig {
+            requests: 500,
+            ..WorkloadConfig::default()
+        };
+        let report = WorkloadGen::new(cfg).run(&mut server);
+        assert_eq!(report.requests, 500);
+        assert!(report.completed <= 500);
+        assert!(
+            500 - report.completed <= report.shed,
+            "every unanswered request must stem from an admission shed"
+        );
+        assert!(report.hit_rate > 0.0);
+        assert!(report.p99_ms >= report.p50_ms);
+    }
+
+    #[test]
+    fn closed_loop_accounts_for_every_request() {
+        let mut server = Server::new(ServeConfig::default()).with_model(model(8));
+        let cfg = WorkloadConfig {
+            requests: 400,
+            mode: ArrivalMode::ClosedLoop {
+                clients: 8,
+                think: SimDuration::from_millis(2),
+            },
+            ..WorkloadConfig::default()
+        };
+        let report = WorkloadGen::new(cfg).run(&mut server);
+        assert_eq!(report.requests, 400);
+        assert!(report.completed <= 400);
+        assert!(400 - report.completed <= report.shed);
+    }
+
+    #[test]
+    fn same_seed_same_report_any_thread_count() {
+        let mk = |threads: usize| {
+            let par = if threads <= 1 {
+                ScparConfig::serial()
+            } else {
+                ScparConfig::with_threads(threads)
+            };
+            let mut server = Server::new(ServeConfig::default())
+                .with_model(model(8))
+                .with_par(par);
+            WorkloadGen::new(WorkloadConfig {
+                requests: 600,
+                seed: 7,
+                ..WorkloadConfig::default()
+            })
+            .run(&mut server)
+        };
+        let serial = mk(1);
+        assert_eq!(serial, mk(2));
+        assert_eq!(serial, mk(8));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let run = |seed: u64| {
+            let mut server = Server::new(ServeConfig::default());
+            WorkloadGen::new(WorkloadConfig {
+                seed,
+                infer_fraction: 0.0,
+                requests: 300,
+                ..WorkloadConfig::default()
+            })
+            .run(&mut server)
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn overload_sheds_instead_of_blowing_latency() {
+        let cfg = ServeConfig {
+            rate_per_s: 100.0,
+            burst: 10.0,
+            service_rate: 100.0,
+            queue_capacity: 20,
+            ..ServeConfig::default()
+        };
+        let mut server = Server::new(cfg.clone());
+        let report = WorkloadGen::new(WorkloadConfig {
+            requests: 2_000,
+            infer_fraction: 0.0,
+            mode: ArrivalMode::OpenLoop {
+                rate_per_s: 2_000.0,
+            },
+            ..WorkloadConfig::default()
+        })
+        .run(&mut server);
+        assert!(report.shed_fraction > 0.3, "overload must shed");
+        let bound_ms =
+            (cfg.queue_capacity as f64 / cfg.service_rate) * 1e3 + (1.0 / cfg.service_rate) * 1e3;
+        assert!(
+            report.p99_ms <= bound_ms + 1e-6,
+            "p99 {} must respect the queue bound {}",
+            report.p99_ms,
+            bound_ms
+        );
+    }
+}

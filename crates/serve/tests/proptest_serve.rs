@@ -1,0 +1,195 @@
+//! Property tests for the serving-layer invariants.
+//!
+//! Three families, matching the scserve design claims:
+//!
+//! - **Routing** — every key routes to exactly one live shard, replicas
+//!   are distinct, and routing is a pure function of the node set.
+//! - **Minimal movement** — removing one of `N` nodes remaps about
+//!   `keys / N` keys; survivors' keys never move.
+//! - **Cache freshness** — under arbitrary insert / read / invalidate /
+//!   advance interleavings, a cache read never returns a value that is
+//!   wrong for its key or older than the TTL.
+
+use proptest::prelude::*;
+use scserve::{CacheConfig, LruTtlCache, ShardMap};
+use simclock::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every key routes to exactly one node, and that node is a live ring
+    /// member. Replica lists lead with the home node and never repeat.
+    #[test]
+    fn every_key_routes_to_exactly_one_live_shard(
+        nodes in 1u32..12,
+        vnodes in 1u32..96,
+        replicas in 1usize..5,
+        keys in proptest::collection::vec(any::<u64>(), 1..200),
+    ) {
+        let map = ShardMap::with_nodes(nodes, vnodes);
+        for key in &keys {
+            let bytes = key.to_le_bytes();
+            let home = map.route(&bytes).expect("non-empty ring always routes");
+            prop_assert!(map.contains(home), "routed to a dead node");
+            // Routing is a function: ask twice, same answer.
+            prop_assert_eq!(map.route(&bytes), Some(home));
+            let reps = map.route_replicas(&bytes, replicas);
+            prop_assert_eq!(reps.len(), replicas.min(nodes as usize));
+            prop_assert_eq!(reps[0], home, "replica list must lead with home");
+            let mut uniq = reps.clone();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), reps.len(), "replicas must be distinct");
+        }
+    }
+
+    /// Removing one of `N` nodes only moves the keys the node owned —
+    /// about `keys / N` — and never touches a survivor's keys. The bound
+    /// allows consistent hashing's placement variance on top of ⌈keys/N⌉.
+    #[test]
+    fn removal_remaps_at_most_its_share_plus_slack(
+        nodes in 2u32..10,
+        victim_ix in 0u32..10,
+        nkeys in 100usize..600,
+    ) {
+        let mut map = ShardMap::with_nodes(nodes, 128);
+        let victim = victim_ix % nodes;
+        let keys: Vec<Vec<u8>> = (0..nkeys)
+            .map(|i| format!("key-{i}").into_bytes())
+            .collect();
+        let before: Vec<u32> = keys.iter().map(|k| map.route(k).unwrap()).collect();
+        map.remove_node(victim);
+        let mut moved = 0usize;
+        for (key, &was) in keys.iter().zip(&before) {
+            let now = map.route(key).unwrap();
+            if was == victim {
+                prop_assert_ne!(now, victim, "keys must leave the removed node");
+                moved += 1;
+            } else {
+                prop_assert_eq!(now, was, "a survivor's key moved");
+            }
+        }
+        let fair_share = nkeys.div_ceil(nodes as usize);
+        let slack = fair_share + 16; // ring-variance allowance (128 vnodes)
+        prop_assert!(
+            moved <= fair_share + slack,
+            "removing 1 of {} nodes moved {} of {} keys (fair share {})",
+            nodes, moved, nkeys, fair_share
+        );
+    }
+
+    /// Adding a node then removing it restores the exact prior routing.
+    #[test]
+    fn add_remove_is_a_routing_no_op(
+        nodes in 1u32..8,
+        newcomer in 100u32..200,
+        keys in proptest::collection::vec(any::<u64>(), 1..150),
+    ) {
+        let mut map = ShardMap::with_nodes(nodes, 64);
+        let before: Vec<_> = keys.iter().map(|k| map.route(&k.to_le_bytes())).collect();
+        map.add_node(newcomer);
+        map.remove_node(newcomer);
+        let after: Vec<_> = keys.iter().map(|k| map.route(&k.to_le_bytes())).collect();
+        prop_assert_eq!(before, after);
+    }
+}
+
+/// One step of the cache interleaving driver.
+#[derive(Debug, Clone)]
+enum CacheOp {
+    /// Insert key → versioned value.
+    Insert(u8),
+    /// Read a key and check freshness.
+    Read(u8),
+    /// Explicitly invalidate a key.
+    Invalidate(u8),
+    /// Advance sim-time by this many milliseconds.
+    Advance(u16),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        any::<u8>().prop_map(CacheOp::Insert),
+        any::<u8>().prop_map(CacheOp::Read),
+        any::<u8>().prop_map(CacheOp::Invalidate),
+        (0u16..500).prop_map(CacheOp::Advance),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under arbitrary insert/read/invalidate/advance interleavings a
+    /// read never observes (a) a value other than the key's latest
+    /// insert, (b) a value older than the TTL, or (c) an invalidated
+    /// value. Eviction may cause misses, never wrong hits.
+    #[test]
+    fn no_stale_read_under_arbitrary_interleavings(
+        capacity in 1usize..64,
+        ttl_ms in 1u64..2_000,
+        seed in any::<u64>(),
+        ops in proptest::collection::vec(cache_op(), 1..200),
+    ) {
+        let ttl = SimDuration::from_millis(ttl_ms);
+        let mut cache: LruTtlCache<u8, u64> = LruTtlCache::new(CacheConfig {
+            capacity,
+            ttl,
+            seed,
+            ..CacheConfig::default()
+        });
+        // Ground truth: key → (latest version, insert time).
+        let mut model: std::collections::BTreeMap<u8, (u64, SimTime)> = Default::default();
+        let mut now = SimTime::ZERO;
+        let mut version = 0u64;
+
+        for op in ops {
+            match op {
+                CacheOp::Insert(k) => {
+                    version += 1;
+                    cache.insert(k, version, now);
+                    model.insert(k, (version, now));
+                }
+                CacheOp::Read(k) => {
+                    if let Some(v) = cache.get(&k, now) {
+                        let (want, at) = model
+                            .get(&k)
+                            .copied()
+                            .expect("hit for a never-inserted key");
+                        prop_assert_eq!(v, want, "hit returned a superseded value");
+                        prop_assert!(
+                            now.saturating_since(at) < ttl,
+                            "hit at {:?} for a value inserted at {:?} breaches ttl {:?}",
+                            now, at, ttl
+                        );
+                    }
+                }
+                CacheOp::Invalidate(k) => {
+                    cache.invalidate(&k);
+                    model.remove(&k);
+                    prop_assert_eq!(cache.get(&k, now), None, "read-after-invalidate");
+                }
+                CacheOp::Advance(ms) => {
+                    now += SimDuration::from_millis(ms as u64);
+                }
+            }
+        }
+    }
+
+    /// With capacity for every key, a read immediately after an insert
+    /// always hits (eviction can only be the reason for a miss).
+    #[test]
+    fn uncontended_cache_never_misses(
+        keys in proptest::collection::vec(any::<u8>(), 1..100),
+    ) {
+        let mut cache: LruTtlCache<u8, u64> = LruTtlCache::new(CacheConfig {
+            capacity: 256,
+            ttl: SimDuration::from_secs(60),
+            ..CacheConfig::default()
+        });
+        let now = SimTime::ZERO;
+        for (i, k) in keys.into_iter().enumerate() {
+            cache.insert(k, i as u64, now);
+            prop_assert_eq!(cache.get(&k, now), Some(i as u64));
+        }
+    }
+}

@@ -1,9 +1,13 @@
 //! City dashboard export (paper §II-C3).
 //!
-//! Runs the mining pipeline with telemetry attached and writes the actual
-//! artifacts a D3 web frontend would consume — GeoJSON incident layer,
-//! dashboard JSON (including the telemetry panel), a Prometheus metrics
-//! snapshot, and rendered SVG charts — into `target/dashboard/`.
+//! Builds the artifacts a D3 web frontend would consume — GeoJSON
+//! incident layer, dashboard JSON, the cross-layer report panel (now
+//! including the scserve serving tier), rendered SVG charts, and a
+//! Prometheus metrics snapshot — and writes them into `target/dashboard/`.
+//!
+//! The heavy lifting lives in `smartcity::core::artifacts`, a pure
+//! function of the seed; the golden-master suite pins the seed-42 output
+//! byte-for-byte, while this example ships the seed-77 city.
 //!
 //! ```sh
 //! cargo run --release --example city_dashboard
@@ -12,139 +16,35 @@
 
 use std::fs;
 
-use smartcity::core::infrastructure::Cyberinfrastructure;
-use smartcity::core::pipeline::CityDataPipeline;
-use smartcity::core::viz::{dashboard_with_reports, svg_bar_chart, svg_line_chart, Series};
-use smartcity::telemetry::{prometheus_text, Report, Telemetry};
+use smartcity::core::artifacts::build_dashboard_artifacts;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out_dir = std::path::Path::new("target/dashboard");
     fs::create_dir_all(out_dir)?;
 
-    // Run the pipeline with a recorder attached: stage spans, counters, and
-    // the storage consumer group's metrics all land in one registry.
-    let telemetry = Telemetry::shared();
-    let mut infra = Cyberinfrastructure::builder().seed(77).build();
-    let pipeline = CityDataPipeline::new(77, 800, 160);
-    let (topic, store, annotations) = infra.pipeline_stores();
-    let report = pipeline
-        .runner(topic, store, annotations)
-        .recorder(&telemetry)
-        .run()
-        .expect("generated pipeline data is always valid");
+    let artifacts = build_dashboard_artifacts(77, 800, 160);
     println!(
         "pipeline: {} events stored, {} hotspots",
-        report.stored,
-        report.hotspots.len()
+        artifacts.stored, artifacts.hotspots
     );
 
-    // 1. Incident map layer.
-    fs::write(
-        out_dir.join("incidents.geojson"),
-        serde_json::to_string_pretty(&report.geojson)?,
-    )?;
-
-    // 2. KPI dashboard document.
-    fs::write(
-        out_dir.join("dashboard.json"),
-        serde_json::to_string_pretty(&report.dashboard)?,
-    )?;
-
-    // 3. Camera coverage bar chart (the Fig. 2 companion).
-    let coverage = infra.cameras().coverage_report();
-    let bars: Vec<(String, f64)> = coverage
-        .iter()
-        .map(|c| (c.city.clone(), c.cameras as f64))
-        .collect();
-    fs::write(
-        out_dir.join("coverage.svg"),
-        svg_bar_chart("DOTD cameras per city", &bars, 640, 360),
-    )?;
-
-    // 4. Fog placement latency chart (the Fig. 3 companion).
-    use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
-    let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
-    let mut latency_series = Vec::new();
-    for (name, placement) in [
-        (
-            "early-exit",
-            Placement::EarlyExit {
-                local_fraction: 0.3,
-                feature_bytes: 20_000,
-            },
-        ),
-        (
-            "fog-assisted",
-            Placement::FogAssisted {
-                local_fraction: 0.3,
-                feature_bytes: 20_000,
-            },
-        ),
-    ] {
-        let points: Vec<(f64, f64)> = [0.0, 0.25, 0.5, 0.75, 1.0]
-            .iter()
-            .map(|&esc| {
-                let w = Workload::with_escalation(200, 100_000, 20.0, esc, 78);
-                (
-                    esc,
-                    sim.runner(&w).placement(placement).run().mean_latency_s,
-                )
-            })
-            .collect();
-        latency_series.push(Series {
-            name: name.into(),
-            points,
-        });
-    }
-    fs::write(
-        out_dir.join("fog_latency.svg"),
-        svg_line_chart("Mean latency vs escalation rate", &latency_series, 640, 360),
-    )?;
-
-    // 5. Cross-layer report panel: the pipeline report, a fog run, and the
-    //    DFS cluster all render through the shared `Report` trait.
-    let w = smartcity::fog::Workload::with_escalation(200, 100_000, 20.0, 0.3, 78);
-    let fog_report = sim
-        .runner(&w)
-        .placement(Placement::EarlyExit {
-            local_fraction: 0.3,
-            feature_bytes: 20_000,
-        })
-        .run();
-    let dfs_stats = infra.dfs().stats();
-    let layers = dashboard_with_reports(
-        &[("layers", 3.0)],
-        &[],
-        &[
-            ("pipeline", &report as &dyn Report),
-            ("fog", &fog_report as &dyn Report),
-            ("dfs", &dfs_stats as &dyn Report),
-        ],
-    );
-    fs::write(
-        out_dir.join("layers.json"),
-        serde_json::to_string_pretty(&layers)?,
-    )?;
-
-    // 6. Prometheus scrape snapshot of the whole pipeline run.
-    let prom = prometheus_text(telemetry.registry());
-    fs::write(out_dir.join("metrics.prom"), &prom)?;
     println!("\npipeline telemetry (Prometheus text format):");
-    for line in prom.lines().filter(|l| !l.starts_with('#')).take(8) {
+    for line in artifacts
+        .metrics_prom
+        .lines()
+        .filter(|l| !l.starts_with('#'))
+        .take(8)
+    {
         println!("  {line}");
     }
-    println!("  ... ({} lines total)", prom.lines().count());
+    println!(
+        "  ... ({} lines total)",
+        artifacts.metrics_prom.lines().count()
+    );
 
-    for f in [
-        "incidents.geojson",
-        "dashboard.json",
-        "coverage.svg",
-        "fog_latency.svg",
-        "layers.json",
-        "metrics.prom",
-    ] {
-        let size = fs::metadata(out_dir.join(f))?.len();
-        println!("wrote target/dashboard/{f} ({size} bytes)");
+    for (name, contents) in artifacts.files() {
+        fs::write(out_dir.join(name), contents)?;
+        println!("wrote target/dashboard/{name} ({} bytes)", contents.len());
     }
     Ok(())
 }

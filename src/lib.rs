@@ -23,6 +23,9 @@
 //!   produces byte-identical results; set via `SCPAR_THREADS`),
 //!   [`fault`] (seed-driven fault injection plus retry / timeout /
 //!   circuit-breaker policies wired into the fog, DFS, and stream layers).
+//! - **Serving** — [`serve`] (consistent-hash sharding, LRU+TTL query and
+//!   inference caches, micro-batched inference, admission control with
+//!   load shedding; the tier between the stack and its many consumers).
 //!
 //! # Quickstart
 //!
@@ -44,6 +47,7 @@ pub use scgeo as geo;
 pub use scneural as neural;
 pub use scnosql as nosql;
 pub use scpar as par;
+pub use scserve as serve;
 pub use scsocial as social;
 pub use scstream as stream;
 pub use sctelemetry as telemetry;

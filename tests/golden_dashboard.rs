@@ -1,0 +1,80 @@
+//! Golden-master pin of the dashboard artifacts (seed 42).
+//!
+//! `smartcity::core::artifacts::build_dashboard_artifacts` promises byte
+//! determinism: same seed, same bytes, on every platform and
+//! `SCPAR_THREADS` setting. This suite holds it to that with checked-in
+//! snapshots of the two artifacts where every layer's output converges —
+//! the KPI dashboard JSON and the Prometheus metrics export (pipeline,
+//! storage, and `scserve_*` serving metrics alike).
+//!
+//! Any intentional change to pipeline output, metric names, float
+//! formatting, or serving behaviour shows up here as a reviewable diff.
+//! Regenerate with:
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test --test golden_dashboard
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use smartcity::core::artifacts::build_dashboard_artifacts;
+
+const SEED: u64 = 42;
+const RECORDS: usize = 400;
+const WAZE: usize = 80;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-compares `got` against the checked-in snapshot, with a
+/// line-resolution report on mismatch. `GOLDEN_UPDATE=1` rewrites the
+/// snapshot instead.
+fn assert_matches_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path:?} ({e}); run GOLDEN_UPDATE=1 cargo test")
+    });
+    if got == want {
+        return;
+    }
+    let line = got
+        .lines()
+        .zip(want.lines())
+        .position(|(g, w)| g != w)
+        .map(|i| i + 1)
+        .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+    let g = got.lines().nth(line - 1).unwrap_or("<eof>");
+    let w = want.lines().nth(line - 1).unwrap_or("<eof>");
+    panic!(
+        "{name} diverged from its golden snapshot at line {line}:\n  got:  {g}\n  want: {w}\n\
+         ({} vs {} bytes total; GOLDEN_UPDATE=1 regenerates if intentional)",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn dashboard_json_matches_golden_snapshot() {
+    let artifacts = build_dashboard_artifacts(SEED, RECORDS, WAZE);
+    assert_matches_golden("dashboard_seed42.json", &artifacts.dashboard_json);
+}
+
+#[test]
+fn metrics_prom_matches_golden_snapshot() {
+    let artifacts = build_dashboard_artifacts(SEED, RECORDS, WAZE);
+    // Sanity first: the snapshot must actually cover the serving tier, so
+    // a regression that silently drops scserve metrics cannot re-pin an
+    // emptier export.
+    assert!(artifacts.metrics_prom.contains("scserve_requests_total"));
+    assert!(artifacts.metrics_prom.contains("scserve_batch_size"));
+    assert_matches_golden("metrics_seed42.prom", &artifacts.metrics_prom);
+}
