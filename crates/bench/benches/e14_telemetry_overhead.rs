@@ -4,12 +4,43 @@
 //! that down against both a true no-telemetry baseline and the enabled
 //! recorder, at the single-metric level and for a whole fog-simulator run.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use criterion::{criterion_group, criterion_main, Criterion};
 use scbench::{f3, header, table};
 use scfog::{FogSimulator, Placement, Topology, Workload};
-use sctelemetry::{Telemetry, TelemetryHandle};
+use sctelemetry::{SpanContext, Telemetry, TelemetryHandle, TraceId};
+use simclock::SimTime;
 
 const OPS: usize = 10_000;
+
+/// Counts heap allocations so the disabled-tracing path can be pinned to
+/// exactly zero (not just "fast").
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many heap allocations it performed.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    f();
+    ALLOCATIONS.load(Ordering::Relaxed) - before
+}
 
 fn time_ns(mut f: impl FnMut()) -> f64 {
     // One warm-up pass, then a timed pass.
@@ -92,6 +123,58 @@ fn regenerate_figure() {
         "\nfog run (400 jobs): baseline {base_us} us, recorded {rec_us} us, {} spans, {} metrics",
         recorder.trace_len(),
         recorder.registry().len(),
+    );
+
+    // Disabled tracing is a no-op in the strictest sense: the whole span
+    // API — guards, child contexts, events, raw spans — performs zero
+    // heap allocations when no recorder is attached. This is what lets
+    // the causal-tracing instrumentation (PR 5) stay unconditionally
+    // compiled into scserve/scfog/smartcity-core hot paths.
+    let off = TelemetryHandle::disabled();
+    let ctx = SpanContext::root(TraceId::derive(14, 1, 0));
+    let disabled_trace_ns = time_ns(|| {
+        for i in 0..OPS {
+            let mut g = off.span_guard(
+                "e14",
+                "request",
+                SimTime::from_micros(std::hint::black_box(i as u64)),
+                ctx,
+            );
+            let child = g.child_ctx();
+            off.span_in(
+                "e14",
+                "child",
+                SimTime::from_micros(i as u64),
+                SimTime::from_micros(i as u64 + 1),
+                child,
+            );
+            off.event("e14", "tick", SimTime::from_micros(i as u64), "detail");
+            g.finish(SimTime::from_micros(i as u64 + 2));
+        }
+    });
+    let allocs = allocations_in(|| {
+        for i in 0..OPS {
+            let mut g = off.span_guard("e14", "request", SimTime::from_micros(i as u64), ctx);
+            let child = g.child_ctx();
+            off.span_in(
+                "e14",
+                "child",
+                SimTime::from_micros(i as u64),
+                SimTime::from_micros(i as u64 + 1),
+                child,
+            );
+            off.event("e14", "tick", SimTime::from_micros(i as u64), "detail");
+            g.finish(SimTime::from_micros(i as u64 + 2));
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "disabled tracing must not allocate ({allocs} allocations in {OPS} guard+span+event rounds)"
+    );
+    println!(
+        "disabled tracing (guard + child span + event per round): {} ns/round, {allocs} heap \
+         allocations in {OPS} rounds",
+        f3(disabled_trace_ns),
     );
 }
 

@@ -26,9 +26,11 @@
 use scfog::{FogSimulator, Placement, Topology, Workload};
 use scneural::layers::{Dense, Relu};
 use scneural::net::Sequential;
+use scobserve::{chrome_trace, evaluate, folded_stacks, SloRule, TraceAnalysis, TraceForest};
 use scpar::ScparConfig;
 use scserve::{ServeConfig, Server, WorkloadConfig, WorkloadGen};
 use sctelemetry::{prometheus_text, Report, Telemetry};
+use serde_json::{json, Value};
 
 use crate::infrastructure::Cyberinfrastructure;
 use crate::pipeline::CityDataPipeline;
@@ -46,14 +48,21 @@ pub struct DashboardArtifacts {
     /// `fog_latency.svg` — latency-vs-escalation line chart.
     pub fog_latency_svg: String,
     /// `layers.json` — cross-layer report panel (pipeline, fog, DFS,
-    /// serving).
+    /// serving), plus the `critical_path` and `alerts` observability
+    /// panels.
     pub layers_json: String,
     /// `metrics.prom` — Prometheus text snapshot of the whole run.
     pub metrics_prom: String,
+    /// `trace.json` — Chrome-trace events for the p50/p99/max exemplar
+    /// requests, their critical paths, a folded-stack flamegraph, and the
+    /// SLO alert report.
+    pub trace_json: String,
     /// Events persisted by the pipeline (for log lines).
     pub stored: usize,
     /// Crime hot-spots found (for log lines).
     pub hotspots: usize,
+    /// SLO alerts fired by the baseline run (expected: 0; for log lines).
+    pub alerts: usize,
 }
 
 impl DashboardArtifacts {
@@ -66,6 +75,7 @@ impl DashboardArtifacts {
             ("fog_latency.svg", self.fog_latency_svg.as_str()),
             ("layers.json", self.layers_json.as_str()),
             ("metrics.prom", self.metrics_prom.as_str()),
+            ("trace.json", self.trace_json.as_str()),
         ]
     }
 }
@@ -151,7 +161,8 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
     let mut server = Server::new(ServeConfig::default())
         .with_model(model)
         .with_par(ScparConfig::from_env())
-        .with_telemetry(telemetry.handle());
+        .with_telemetry(telemetry.handle())
+        .with_trace_seed(seed);
     let serving_report = WorkloadGen::new(WorkloadConfig {
         seed,
         requests: 600,
@@ -168,9 +179,74 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
             local_fraction: 0.3,
             feature_bytes: 20_000,
         })
+        .telemetry(telemetry.handle())
+        .trace_seed(seed)
         .run();
     let dfs_stats = infra.dfs().stats();
-    let layers = dashboard_with_reports(
+
+    // 6. Observability: assemble the causal span forest recorded by the
+    //    pipeline, fog, and serving runs, extract exemplar critical paths
+    //    for the serving requests, and evaluate the baseline SLO rules
+    //    (which a healthy run must pass alert-free).
+    let analysis = TraceAnalysis::new(&telemetry);
+    let exemplars = analysis.exemplar_paths("request/");
+    let critical_path_panel: Vec<Value> = exemplars
+        .iter()
+        .map(|(ex, path)| {
+            json!({
+                "label": ex.label,
+                "trace": ex.trace.as_hex(),
+                "latency_s": ex.value,
+                "path": path.as_ref().map(|p| p.render()),
+                "total_us": path.as_ref().map(|p| p.total().as_micros()),
+            })
+        })
+        .collect();
+    let rules = baseline_slo_rules();
+    let streams = vec![
+        analysis.availability("request/"),
+        analysis.latency("request/", SERVE_LATENCY_BOUND_S),
+        analysis.availability("job/"),
+    ];
+    let alert_report = evaluate(&rules, &streams);
+    telemetry.handle().gauge_set(
+        "smartcity_observe_alerts",
+        "SLO alerts fired by the dashboard baseline run",
+        alert_report.len() as i64,
+    );
+
+    // The trace artifact carries only the exemplar traces (p50/p99/max),
+    // keeping the golden snapshot reviewable.
+    let exemplar_ids: std::collections::BTreeSet<_> =
+        exemplars.iter().map(|(ex, _)| ex.trace).collect();
+    let sub_forest = TraceForest {
+        traces: analysis
+            .forest
+            .traces
+            .iter()
+            .filter(|t| exemplar_ids.contains(&t.trace))
+            .cloned()
+            .collect(),
+        unattributed: Vec::new(),
+    };
+    let mut trace_doc = chrome_trace(&sub_forest);
+    if let Value::Object(obj) = &mut trace_doc {
+        obj.insert(
+            "critical_path".to_string(),
+            Value::Array(critical_path_panel.clone()),
+        );
+        obj.insert("alerts".to_string(), alert_report.to_json_full());
+        obj.insert(
+            "flamegraph".to_string(),
+            Value::String(folded_stacks(&sub_forest)),
+        );
+    }
+    let trace_json = serde_json::to_string_pretty(&trace_doc).expect("trace doc serializes");
+
+    // 7. Cross-layer report panel: pipeline, fog, DFS, and serving all
+    //    render through the shared `Report` trait, joined by the
+    //    observability panels.
+    let mut layers = dashboard_with_reports(
         &[("layers", 4.0)],
         &[],
         &[
@@ -180,9 +256,16 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
             ("serving", &serving_report as &dyn Report),
         ],
     );
+    if let Value::Object(obj) = &mut layers {
+        obj.insert(
+            "critical_path".to_string(),
+            Value::Array(critical_path_panel),
+        );
+        obj.insert("alerts".to_string(), alert_report.to_json_full());
+    }
     let layers_json = serde_json::to_string_pretty(&layers).expect("layers serialize");
 
-    // 6. Prometheus scrape snapshot of the whole run.
+    // 8. Prometheus scrape snapshot of the whole run.
     let metrics_prom = prometheus_text(telemetry.registry());
 
     DashboardArtifacts {
@@ -192,9 +275,25 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
         fog_latency_svg,
         layers_json,
         metrics_prom,
+        trace_json,
         stored: report.stored,
         hotspots: report.hotspots.len(),
+        alerts: alert_report.len(),
     }
+}
+
+/// Latency bound (seconds) the baseline serving SLO holds requests to.
+pub const SERVE_LATENCY_BOUND_S: f64 = 0.05;
+
+/// The SLO rules the dashboard baseline is evaluated against: serving
+/// availability and latency, plus fog job loss. A quiet seed-42 run fires
+/// zero alerts; fault/overload sweeps (bench E18) must trip them.
+pub fn baseline_slo_rules() -> Vec<SloRule> {
+    vec![
+        SloRule::availability("serve_availability", 0.99),
+        SloRule::latency("serve_latency", 0.99, SERVE_LATENCY_BOUND_S),
+        SloRule::loss("fog_jobs", 0.99),
+    ]
 }
 
 #[cfg(test)]
@@ -216,6 +315,25 @@ mod tests {
         let a = build_dashboard_artifacts(5, 120, 30);
         let b = build_dashboard_artifacts(6, 120, 30);
         assert_ne!(a.dashboard_json, b.dashboard_json);
+    }
+
+    #[test]
+    fn baseline_run_is_alert_free_with_exemplar_paths() {
+        let a = build_dashboard_artifacts(5, 120, 30);
+        assert_eq!(a.alerts, 0, "a healthy baseline must not page anyone");
+        let trace: Value = serde_json::from_str(&a.trace_json).unwrap();
+        let cp = trace["critical_path"].as_array().unwrap();
+        eprintln!("critical_path panel: {cp:#?}");
+        let labels: Vec<_> = cp.iter().map(|e| e["label"].as_str().unwrap()).collect();
+        assert_eq!(labels, ["p50", "p99", "max"]);
+        for e in cp {
+            assert!(e["path"].as_str().is_some(), "exemplar has a critical path");
+            assert!(e["trace"].as_str().unwrap().len() == 16);
+        }
+        assert!(!trace["traceEvents"].as_array().unwrap().is_empty());
+        assert!(trace["flamegraph"].as_str().unwrap().contains("scserve"));
+        let layers: Value = serde_json::from_str(&a.layers_json).unwrap();
+        assert!(layers["alerts"]["compliance"].as_array().unwrap().len() == 3);
     }
 
     #[test]

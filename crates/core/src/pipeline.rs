@@ -16,7 +16,7 @@ use scnosql::wide_column::Table;
 use scnosql::NosqlError;
 use scpar::ScparConfig;
 use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
-use sctelemetry::{Report, Telemetry, TelemetryHandle};
+use sctelemetry::{Report, SpanContext, Telemetry, TelemetryHandle, TraceId, STREAM_PIPELINE};
 use serde_json::Value;
 use simclock::SimTime;
 
@@ -216,16 +216,23 @@ impl CityDataPipeline {
         telemetry: &TelemetryHandle,
         par: &ScparConfig,
     ) -> Result<PipelineReport, NosqlError> {
+        // One causal trace per run: a `pipeline/run` root whose children are
+        // the five stage spans, with ids derived from the seed so identical
+        // seeds name identical traces at any thread count.
+        let root_ctx = SpanContext::root(TraceId::derive(self.seed, STREAM_PIPELINE, 0));
         let mut sim_cursor: u64 = 0;
-        let stage_span = |name: &str, items: usize, cursor: &mut u64| {
+        let mut stage_seq: u64 = 0;
+        let mut stage_span = |name: &str, items: usize, cursor: &mut u64| {
             let start = *cursor;
             *cursor += items as u64 + 1;
-            telemetry.span(
+            telemetry.span_in(
                 "smartcity",
                 name,
                 SimTime::from_micros(start),
                 SimTime::from_micros(*cursor),
+                root_ctx.child(stage_seq),
             );
+            stage_seq += 1;
         };
 
         // 1. Collection: raw sources → topic. Event construction (JSON
@@ -380,6 +387,13 @@ impl CityDataPipeline {
             }],
         );
         stage_span("pipeline/visualize", features.len(), &mut sim_cursor);
+        telemetry.span_in(
+            "smartcity",
+            "pipeline/run",
+            SimTime::ZERO,
+            SimTime::from_micros(sim_cursor),
+            root_ctx,
+        );
 
         Ok(PipelineReport {
             ingested,
@@ -556,7 +570,9 @@ mod tests {
         let rows = report.dashboard["telemetry"]["metrics"].as_array().unwrap();
         assert!(rows.len() >= 5, "panel covers the pipeline metrics");
 
-        // Five ordered stage spans with a deterministic sim-time clock.
+        // A `pipeline/run` root plus five ordered stage spans with a
+        // deterministic sim-time clock (trace order is (at, target, name),
+        // so the t=0 root sorts between `ingest` and `store`).
         let trace = t.trace();
         let spans: Vec<_> = trace
             .iter()
@@ -569,12 +585,31 @@ mod tests {
             spans,
             vec![
                 "pipeline/ingest",
+                "pipeline/run",
                 "pipeline/store",
                 "pipeline/mine",
                 "pipeline/annotate",
                 "pipeline/visualize"
             ]
         );
+        // The run root's trace id is seed-derived and every stage span is
+        // its direct child.
+        let root = trace
+            .iter()
+            .find_map(|r| match r {
+                sctelemetry::TraceRecord::Span(s) if s.name == "pipeline/run" => s.ctx,
+                _ => None,
+            })
+            .expect("root span carries a context");
+        assert_eq!(root.trace, TraceId::derive(11, STREAM_PIPELINE, 0));
+        for r in &trace {
+            if let sctelemetry::TraceRecord::Span(s) = r {
+                if s.name != "pipeline/run" {
+                    let ctx = s.ctx.expect("stage spans carry contexts");
+                    assert_eq!(ctx.parent, Some(root.span));
+                }
+            }
+        }
     }
 
     #[test]

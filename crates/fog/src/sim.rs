@@ -5,7 +5,8 @@ use std::collections::HashMap;
 use scfault::{FaultPlan, LatencySpikes, OutageWindows, RetryPolicy, FOREVER};
 use scpar::ScparConfig;
 use sctelemetry::{
-    prometheus_text, MetricsRegistry, Report, SampleSummary, Telemetry, TelemetryHandle,
+    prometheus_text, MetricsRegistry, Report, SampleSummary, SpanContext, Telemetry,
+    TelemetryHandle, TraceId, STREAM_FOG,
 };
 use simclock::{EventQueue, SeededRng, SimDuration, SimTime};
 
@@ -458,6 +459,7 @@ impl FogSimulator {
             par: ScparConfig::from_env(),
             faults: None,
             retry: default_retry(),
+            trace_seed: 0,
         }
     }
 
@@ -497,7 +499,7 @@ impl FogSimulator {
         placement: Placement,
         telemetry: &TelemetryHandle,
     ) -> SimReport {
-        self.run_faulted(workload, placement, telemetry, None, default_retry())
+        self.run_faulted(workload, placement, telemetry, None, default_retry(), 0)
     }
 
     /// The engine under a fault plan. Fault semantics (documented in
@@ -520,6 +522,7 @@ impl FogSimulator {
     ///
     /// All fault-induced waiting is accounted per job; the max is the run's
     /// `recovery_time_s`.
+    #[allow(clippy::too_many_arguments)]
     fn run_faulted(
         &self,
         workload: &Workload,
@@ -527,6 +530,7 @@ impl FogSimulator {
         telemetry: &TelemetryHandle,
         faults: Option<&FaultPlan>,
         retry: RetryPolicy,
+        trace_seed: u64,
     ) -> SimReport {
         assert!(!workload.is_empty(), "empty workload");
         let edges = self.topology.nodes_in_tier(Tier::Edge);
@@ -570,6 +574,12 @@ impl FogSimulator {
 
         // Per-tier metric names, formatted once (the event loop is hot).
         let recording = telemetry.is_enabled();
+        // One causal trace per job, rooted at a seed-derived id; step
+        // spans become children in execution order.
+        let job_ctx: Vec<SpanContext> = (0..plans.len())
+            .map(|ji| SpanContext::root(TraceId::derive(trace_seed, STREAM_FOG, ji as u64)))
+            .collect();
+        let mut job_children: Vec<u64> = vec![0; plans.len()];
         let queue_wait_names: Vec<String> = Tier::ALL
             .iter()
             .map(|t| format!("scfog_sim_queue_wait_{}_seconds", t.name()))
@@ -602,13 +612,56 @@ impl FogSimulator {
                             stall[ji] += penalty.as_secs_f64();
                             plans[ji][si] = Step::Compute { node: alt, ops };
                             queue.schedule(now + penalty, (ji, si));
+                            if recording {
+                                telemetry.event(
+                                    "scfog",
+                                    "reroute",
+                                    now,
+                                    &format!(
+                                        "trace={} node={} alt={}",
+                                        job_ctx[ji].trace.as_hex(),
+                                        node.0,
+                                        alt.0
+                                    ),
+                                );
+                            }
                         } else if until < FOREVER {
                             // No healthy sibling: re-queue for the restart.
                             fault_requeues += 1;
                             stall[ji] += (until - now).as_secs_f64();
                             queue.schedule(until, (ji, si));
+                            if recording {
+                                telemetry.event(
+                                    "scfog",
+                                    "requeue",
+                                    now,
+                                    &format!(
+                                        "trace={} node={}",
+                                        job_ctx[ji].trace.as_hex(),
+                                        node.0
+                                    ),
+                                );
+                            }
                         } else {
                             lost[ji] = true;
+                            if recording {
+                                // Lost jobs still close their trace: a root
+                                // span ending at the loss point plus a
+                                // trace-tagged loss marker for SLO streams.
+                                telemetry.span_in(
+                                    "scfog",
+                                    &format!("job/{ji}"),
+                                    workload.jobs()[ji].arrival,
+                                    now,
+                                    job_ctx[ji],
+                                );
+                                telemetry.event(
+                                    "scfog",
+                                    "job/lost",
+                                    now,
+                                    &format!("trace={}", job_ctx[ji].trace.as_hex()),
+                                );
+                            }
                         }
                         continue;
                     }
@@ -638,6 +691,21 @@ impl FogSimulator {
                             // Retries exhausted while still partitioned.
                             if heal == FOREVER {
                                 lost[ji] = true;
+                                if recording {
+                                    telemetry.span_in(
+                                        "scfog",
+                                        &format!("job/{ji}"),
+                                        workload.jobs()[ji].arrival,
+                                        now,
+                                        job_ctx[ji],
+                                    );
+                                    telemetry.event(
+                                        "scfog",
+                                        "job/lost",
+                                        now,
+                                        &format!("trace={}", job_ctx[ji].trace.as_hex()),
+                                    );
+                                }
                                 continue;
                             }
                             if feature_bytes == Some(bytes) {
@@ -650,6 +718,18 @@ impl FogSimulator {
                                 let chain = self.annotation_chain(from, ann);
                                 plans[ji].extend(chain);
                                 bytes = ann;
+                                if recording {
+                                    telemetry.event(
+                                        "scfog",
+                                        "degraded",
+                                        now,
+                                        &format!(
+                                            "trace={} node={}",
+                                            job_ctx[ji].trace.as_hex(),
+                                            from.0
+                                        ),
+                                    );
+                                }
                             }
                             // Store-and-forward: the payload moves at heal time.
                             ready = heal;
@@ -683,15 +763,31 @@ impl FogSimulator {
             *busy_total.entry(resource).or_default() += duration.as_secs_f64();
 
             if recording {
-                let tier = match &plans[ji][si] {
-                    Step::Compute { node, .. } => self.topology.tier(*node),
-                    Step::Transfer { from, .. } => self.topology.tier(*from),
+                let (tier, step_name) = match &plans[ji][si] {
+                    Step::Compute { node, .. } => {
+                        let tier = self.topology.tier(*node);
+                        (tier, format!("compute/{}", tier.name()))
+                    }
+                    Step::Transfer { from, to, .. } => (
+                        self.topology.tier(*from),
+                        format!(
+                            "xfer/{}-{}",
+                            self.topology.tier(*from).name(),
+                            self.topology.tier(*to).name()
+                        ),
+                    ),
                 };
                 telemetry.observe(
                     &queue_wait_names[tier_idx(tier)],
                     "time each step waited for its node or link, by tier",
                     start.saturating_since(now).as_secs_f64(),
                 );
+                // Child span of the job trace: covers resource wait plus
+                // service, so consecutive children tile the job span and
+                // fault stalls surface as parent self-time.
+                let ctx = job_ctx[ji].child(job_children[ji]);
+                job_children[ji] += 1;
+                telemetry.span_in("scfog", &step_name, now, finish, ctx);
             }
 
             if si + 1 < plans[ji].len() {
@@ -750,6 +846,7 @@ impl FogSimulator {
                 makespan,
                 &tier_utilization,
                 &boundary_bytes,
+                &job_ctx,
             );
             let fault_tallies = FaultTallies {
                 jobs_rerouted,
@@ -794,6 +891,7 @@ impl FogSimulator {
         makespan: f64,
         tier_utilization: &[TierUtilization],
         boundary_bytes: &HashMap<(Tier, Tier), u64>,
+        job_ctx: &[SpanContext],
     ) {
         let t = telemetry;
         t.counter_add(
@@ -806,9 +904,16 @@ impl FogSimulator {
         }
         t.observe_exact(METRIC_MAKESPAN, "completion time of the last job", makespan);
         for (ji, (job, done)) in workload.jobs().iter().zip(completion).enumerate() {
-            // Lost jobs never complete, so they have no span.
+            // Lost jobs recorded their root at the loss point; completed
+            // jobs close their trace here.
             if let Some(done) = done {
-                t.span("scfog", &format!("job/{ji}"), job.arrival, *done);
+                t.span_in(
+                    "scfog",
+                    &format!("job/{ji}"),
+                    job.arrival,
+                    *done,
+                    job_ctx[ji],
+                );
             }
         }
         for u in tier_utilization {
@@ -935,6 +1040,7 @@ pub struct SimRunner<'a> {
     par: ScparConfig,
     faults: Option<&'a FaultPlan>,
     retry: RetryPolicy,
+    trace_seed: u64,
 }
 
 impl<'a> SimRunner<'a> {
@@ -988,6 +1094,14 @@ impl<'a> SimRunner<'a> {
         self
     }
 
+    /// Sets the seed from which job trace ids are derived
+    /// (`TraceId::derive(seed, STREAM_FOG, job_index)`), namespacing this
+    /// run's traces in a shared recorder. Defaults to 0.
+    pub fn trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
+        self
+    }
+
     /// Caps the worker pool used by [`SimRunner::sweep`] at `threads`.
     pub fn threads(mut self, threads: usize) -> Self {
         self.par = ScparConfig::with_threads(threads);
@@ -1013,6 +1127,7 @@ impl<'a> SimRunner<'a> {
             telemetry,
             self.faults,
             self.retry,
+            self.trace_seed,
         )
     }
 
@@ -1027,6 +1142,7 @@ impl<'a> SimRunner<'a> {
                 &TelemetryHandle::disabled(),
                 self.faults,
                 self.retry,
+                self.trace_seed,
             )
         })
     }
@@ -1046,6 +1162,7 @@ impl<'a> SimRunner<'a> {
                 &recorder.handle(),
                 self.faults,
                 self.retry,
+                self.trace_seed,
             );
             (report, prometheus_text(recorder.registry()))
         })

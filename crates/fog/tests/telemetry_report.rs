@@ -86,10 +86,22 @@ fn disabled_telemetry_records_nothing() {
 #[test]
 fn spans_cover_every_job() {
     let (report, telemetry) = run_with_telemetry(11);
-    let spans = telemetry
-        .trace()
+    let trace = telemetry.trace();
+    let spans: Vec<_> = trace
         .iter()
-        .filter(|r| matches!(r, sctelemetry::TraceRecord::Span(_)))
+        .filter_map(|r| match r {
+            sctelemetry::TraceRecord::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    // One root span per job, plus at least one compute/transfer child each.
+    let roots = spans.iter().filter(|s| s.name.starts_with("job/")).count();
+    assert_eq!(roots, report.jobs);
+    let steps = spans
+        .iter()
+        .filter(|s| s.name.starts_with("compute/") || s.name.starts_with("xfer/"))
         .count();
-    assert_eq!(spans, report.jobs);
+    assert!(steps >= report.jobs);
+    // Every span carries a trace context — no uncorrelated spans.
+    assert!(spans.iter().all(|s| s.ctx.is_some()));
 }

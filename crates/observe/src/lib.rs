@@ -1,0 +1,181 @@
+//! # scobserve — trace analytics and deterministic alerting
+//!
+//! `sctelemetry` records what happened; this crate explains it. Three
+//! pieces, all byte-deterministic for a given seed:
+//!
+//! - **Span trees** ([`TraceForest`]): flat span records carrying
+//!   [`sctelemetry::SpanContext`] are reassembled into per-request causal
+//!   trees, with orphan detection (a span whose parent was never
+//!   recorded) — the smart-city serving, fog, and pipeline layers must
+//!   produce complete trees for every request.
+//! - **Trace analytics**: per-request [`critical_path`] extraction whose
+//!   segment durations partition the request latency exactly,
+//!   p50/p99/max [`exemplars`] naming the actual traces behind the
+//!   percentiles, and exporters — Chrome `trace_event` JSON
+//!   ([`chrome_trace`]) and folded-stack flamegraph text
+//!   ([`folded_stacks`]).
+//! - **SLO engine** ([`evaluate`]): declarative [`SloRule`]s
+//!   (availability, latency-bound, loss) over windowed sample streams,
+//!   with Google-SRE multi-window burn-rate alerts and optional EWMA
+//!   z-score anomaly detection, producing a stable [`AlertReport`] —
+//!   fault and overload sweeps must trip it, quiet baselines must not.
+//!
+//! Trace ids are derived, never random: `TraceId::derive(seed, stream,
+//! index)` with the per-subsystem stream salts below, so traces from
+//! different layers sharing one recorder can never collide and the same
+//! seed names the same traces at any thread count.
+//!
+//! # Examples
+//!
+//! ```
+//! use sctelemetry::{SpanContext, Telemetry, TraceId};
+//! use scobserve::{critical_path, TraceForest, STREAM_SERVE};
+//! use simclock::SimTime;
+//!
+//! let t = Telemetry::shared();
+//! let h = t.handle();
+//! let root = SpanContext::root(TraceId::derive(42, STREAM_SERVE, 0));
+//! let mut g = h.span_guard("scserve", "request/get", SimTime::ZERO, root);
+//! g.child_span("admission/queue", SimTime::ZERO, SimTime::from_micros(80));
+//! g.child_span("backend/shard-0", SimTime::from_micros(80), SimTime::from_micros(580));
+//! g.finish(SimTime::from_micros(580));
+//!
+//! let forest = TraceForest::from_telemetry(&t);
+//! let tree = &forest.traces[0];
+//! assert!(tree.is_complete());
+//! let path = critical_path(tree).unwrap();
+//! assert_eq!(path.total().as_micros(), 580);
+//! ```
+
+pub mod export;
+pub mod path;
+pub mod slo;
+pub mod tree;
+
+pub use export::{chrome_trace, folded_stacks};
+pub use path::{
+    critical_path, exemplar_paths, exemplars, CriticalPath, Exemplar, PathSegment, SegmentKind,
+};
+pub use slo::{
+    availability_stream, evaluate, latency_stream, Alert, AlertKind, AlertReport, SloKind, SloRule,
+    SloSample,
+};
+pub use tree::{SpanNode, TraceForest, TraceTree};
+
+pub use sctelemetry::{STREAM_FOG, STREAM_PIPELINE, STREAM_SERVE};
+
+use sctelemetry::{Telemetry, TraceId};
+use simclock::SimTime;
+
+/// One-stop analysis over a recorder: forest assembly plus the derived
+/// artifacts the dashboard and benches consume.
+#[derive(Debug)]
+pub struct TraceAnalysis {
+    /// The assembled forest.
+    pub forest: TraceForest,
+    /// Shed/lost markers harvested from trace events whose detail carries
+    /// a `trace=<hex>` tag, as `(trace id, event time)`.
+    pub bad_marks: Vec<(TraceId, SimTime)>,
+}
+
+impl TraceAnalysis {
+    /// Assembles the forest and harvests `trace=<hex>`-tagged events
+    /// (shed requests, lost jobs) from `telemetry`'s trace buffer.
+    pub fn new(telemetry: &Telemetry) -> TraceAnalysis {
+        let records = telemetry.trace();
+        let forest = TraceForest::from_records(&records);
+        let mut bad_marks = Vec::new();
+        for r in &records {
+            let sctelemetry::TraceRecord::Event(e) = r else {
+                continue;
+            };
+            if let Some(hex) = e
+                .detail
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("trace="))
+            {
+                if let Ok(id) = u64::from_str_radix(hex, 16) {
+                    bad_marks.push((TraceId(id), e.at));
+                }
+            }
+        }
+        TraceAnalysis { forest, bad_marks }
+    }
+
+    /// Complete-tree check over the whole forest: every trace has exactly
+    /// one root and no orphan spans.
+    pub fn all_complete(&self) -> bool {
+        self.forest.traces.iter().all(|t| t.is_complete())
+    }
+
+    /// Exemplar critical paths for roots named under `prefix` (see
+    /// [`exemplar_paths`]).
+    pub fn exemplar_paths(&self, prefix: &str) -> Vec<(Exemplar, Option<CriticalPath>)> {
+        exemplar_paths(&self.forest, prefix)
+    }
+
+    /// Availability samples for roots under `prefix`, using the harvested
+    /// bad marks as shed/lost events (see [`availability_stream`]).
+    pub fn availability(&self, prefix: &str) -> Vec<SloSample> {
+        availability_stream(&self.forest, prefix, &self.bad_marks)
+    }
+
+    /// Latency samples for roots under `prefix` against `bound_s` (see
+    /// [`latency_stream`]).
+    pub fn latency(&self, prefix: &str, bound_s: f64) -> Vec<SloSample> {
+        latency_stream(&self.forest, prefix, bound_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sctelemetry::SpanContext;
+
+    #[test]
+    fn stream_salts_are_distinct() {
+        let ids = [STREAM_SERVE, STREAM_FOG, STREAM_PIPELINE];
+        for (i, a) in ids.iter().enumerate() {
+            for b in &ids[i + 1..] {
+                assert_ne!(TraceId::derive(42, *a, 0), TraceId::derive(42, *b, 0));
+            }
+        }
+    }
+
+    #[test]
+    fn analysis_harvests_bad_marks_and_checks_completeness() {
+        let t = Telemetry::shared();
+        let h = t.handle();
+        let ok = SpanContext::root(TraceId::derive(42, STREAM_SERVE, 0));
+        let shed = TraceId::derive(42, STREAM_SERVE, 1);
+        h.span_in(
+            "scserve",
+            "request/get",
+            SimTime::ZERO,
+            SimTime::from_micros(100),
+            ok,
+        );
+        h.span_in(
+            "scserve",
+            "request/shed",
+            SimTime::from_micros(50),
+            SimTime::from_micros(50),
+            SpanContext::root(shed),
+        );
+        h.event(
+            "scserve",
+            "request/shed",
+            SimTime::from_micros(50),
+            &format!("trace={}", shed.as_hex()),
+        );
+
+        let a = TraceAnalysis::new(&t);
+        assert!(a.all_complete());
+        assert_eq!(a.bad_marks, vec![(shed, SimTime::from_micros(50))]);
+        let avail = a.availability("request/");
+        assert_eq!(avail.len(), 2);
+        assert_eq!(avail.iter().filter(|s| s.good).count(), 1);
+        let lat = a.latency("request/", 1.0);
+        assert_eq!(lat.len(), 2);
+    }
+}

@@ -36,7 +36,7 @@ use scneural::net::Sequential;
 use scnosql::document::{Collection, Doc, DocId, Filter};
 use scnosql::NosqlError;
 use scpar::ScparConfig;
-use sctelemetry::TelemetryHandle;
+use sctelemetry::{SpanContext, SpanGuard, TelemetryHandle, TraceId, STREAM_SERVE};
 use simclock::{SimDuration, SimTime};
 
 use crate::admission::{Admission, ServiceQueue, TokenBucket};
@@ -279,8 +279,13 @@ pub struct Server {
     telemetry: TelemetryHandle,
     outages: Option<OutageWindows>,
     generation: u64,
-    /// Pending inference bookkeeping: request → (submitted, queue wait).
-    waiting: BTreeMap<u64, (SimTime, SimDuration)>,
+    /// Pending inference bookkeeping: request → (submitted, queue wait,
+    /// causal context).
+    waiting: BTreeMap<u64, (SimTime, SimDuration, SpanContext)>,
+    /// Seed for deterministic trace-id derivation.
+    trace_seed: u64,
+    /// Monotone request sequence number feeding trace-id derivation.
+    req_seq: u64,
     stats: ServeStats,
 }
 
@@ -305,6 +310,8 @@ impl Server {
             outages: None,
             generation: 0,
             waiting: BTreeMap::new(),
+            trace_seed: 0,
+            req_seq: 0,
             stats: ServeStats::default(),
             cfg,
         }
@@ -328,6 +335,14 @@ impl Server {
     /// Attaches a telemetry handle; all `scserve_*` metrics flow to it.
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Sets the seed from which request trace ids are derived
+    /// (`TraceId::derive(seed, STREAM_SERVE, request_index)`); the same
+    /// seed names the same traces at any thread count.
+    pub fn with_trace_seed(mut self, seed: u64) -> Self {
+        self.trace_seed = seed;
         self
     }
 
@@ -383,7 +398,7 @@ impl Server {
     ///
     /// Propagates [`NosqlError`] for invalid documents; nothing is stored
     /// and no invalidation happens on error.
-    pub fn put(&mut self, key: &str, doc: Doc, _now: SimTime) -> Result<(), NosqlError> {
+    pub fn put(&mut self, key: &str, doc: Doc, now: SimTime) -> Result<(), NosqlError> {
         // Replica writes apply the same doc, so a validation failure hits
         // the first replica before anything is stored — no partial writes.
         if let Some(existing) = self.directory.get(key).cloned() {
@@ -409,12 +424,14 @@ impl Server {
         self.stats.writes += 1;
         self.telemetry
             .counter_inc("scserve_writes_total", "acknowledged serving-tier writes");
+        let ctx = self.next_ctx();
+        self.trace_request("request/put", now, now + CACHE_HIT_COST, ctx, |_| {});
         Ok(())
     }
 
     /// Removes `key` from every replica; returns whether it existed.
     /// Like [`Server::put`], this invalidates the query cache.
-    pub fn remove_key(&mut self, key: &str, _now: SimTime) -> bool {
+    pub fn remove_key(&mut self, key: &str, now: SimTime) -> bool {
         let Some(placements) = self.directory.remove(key) else {
             return false;
         };
@@ -428,6 +445,8 @@ impl Server {
         self.stats.writes += 1;
         self.telemetry
             .counter_inc("scserve_writes_total", "acknowledged serving-tier writes");
+        let ctx = self.next_ctx();
+        self.trace_request("request/put", now, now + CACHE_HIT_COST, ctx, |_| {});
         true
     }
 
@@ -487,6 +506,58 @@ impl Server {
     }
 
     // ------------------------------------------------------------------
+    // Causal tracing
+    // ------------------------------------------------------------------
+
+    /// Derives the root context of the next request trace. Pure
+    /// arithmetic on the `(seed, sequence)` pair, so it costs the same
+    /// (a few ns, no allocation) whether or not telemetry is attached.
+    fn next_ctx(&mut self) -> SpanContext {
+        let ctx = SpanContext::root(TraceId::derive(self.trace_seed, STREAM_SERVE, self.req_seq));
+        self.req_seq += 1;
+        ctx
+    }
+
+    /// Records a complete request span tree rooted at `ctx`. The
+    /// `children` closure runs only when telemetry is enabled, so child
+    /// names (which may format shard ids) are never materialized on the
+    /// disabled path.
+    fn trace_request<F>(
+        &self,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        ctx: SpanContext,
+        children: F,
+    ) where
+        F: FnOnce(&mut SpanGuard<'_>),
+    {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let mut guard = self.telemetry.span_guard("scserve", name, start, ctx);
+        children(&mut guard);
+        guard.finish(end);
+    }
+
+    /// Marks `ctx`'s request as shed with no answer: a zero-length root
+    /// span (the trace stays complete) plus a `request/shed` event whose
+    /// detail carries the trace id for SLO availability accounting.
+    fn trace_shed(&self, now: SimTime, ctx: SpanContext) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        self.telemetry
+            .span_in("scserve", "request/shed", now, now, ctx);
+        self.telemetry.event(
+            "scserve",
+            "request/shed",
+            now,
+            &format!("trace={}", ctx.trace.as_hex()),
+        );
+    }
+
+    // ------------------------------------------------------------------
     // Read path
     // ------------------------------------------------------------------
 
@@ -502,8 +573,10 @@ impl Server {
     /// This path performs no filter evaluation and cannot fail; the
     /// `Result` mirrors [`Server::query`] for a uniform calling shape.
     pub fn get(&mut self, key: &str, now: SimTime) -> Result<Served<Option<Doc>>, NosqlError> {
+        let ctx = self.next_ctx();
         if !self.rate_gate(now) {
             self.shed();
+            self.trace_shed(now, ctx);
             return Ok(Served {
                 outcome: Outcome::Shed,
                 latency: SimDuration::ZERO,
@@ -513,6 +586,9 @@ impl Server {
         if let Some((gen, rows)) = self.query_cache.get(&fp, now) {
             if gen == self.generation {
                 self.note_hit();
+                self.trace_request("request/get", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("cache/hit", now, now + CACHE_HIT_COST);
+                });
                 return Ok(Served {
                     outcome: Outcome::Cached(rows.first().map(|(_, d)| d.clone())),
                     latency: CACHE_HIT_COST,
@@ -522,10 +598,10 @@ impl Server {
         self.note_miss();
         let Some(wait) = self.queue_gate(now) else {
             self.shed();
-            return Ok(self.stale_get(fp));
+            return Ok(self.stale_get(fp, now, ctx));
         };
         if !self.breaker.allow(now) {
-            return Ok(self.stale_get(fp));
+            return Ok(self.stale_get(fp, now, ctx));
         }
         let placements = self.directory.get(key).cloned().unwrap_or_default();
         let mut chosen: Option<(u32, DocId)> = None;
@@ -548,9 +624,14 @@ impl Server {
                 let doc = self.shards[&node].collection.get(id).cloned();
                 let rows: Rows = doc.iter().map(|d| (key.to_string(), d.clone())).collect();
                 self.query_cache.insert(fp, (self.generation, rows), now);
+                let latency = wait + self.queue.service_time();
+                self.trace_request("request/get", now, now + latency, ctx, |g| {
+                    g.child_span("admission/queue", now, now + wait);
+                    g.child_span(&format!("backend/shard-{node}"), now + wait, now + latency);
+                });
                 Ok(Served {
                     outcome: Outcome::Fresh(doc),
-                    latency: wait + self.queue.service_time(),
+                    latency,
                 })
             }
             None if placements.is_empty() => {
@@ -558,22 +639,30 @@ impl Server {
                 self.breaker.record_success();
                 self.query_cache
                     .insert(fp, (self.generation, Vec::new()), now);
+                let latency = wait + self.queue.service_time();
+                self.trace_request("request/get", now, now + latency, ctx, |g| {
+                    g.child_span("admission/queue", now, now + wait);
+                    g.child_span("backend/lookup", now + wait, now + latency);
+                });
                 Ok(Served {
                     outcome: Outcome::Fresh(None),
-                    latency: wait + self.queue.service_time(),
+                    latency,
                 })
             }
             None => {
                 self.breaker.record_failure(now);
-                Ok(self.stale_get(fp))
+                Ok(self.stale_get(fp, now, ctx))
             }
         }
     }
 
-    fn stale_get(&mut self, fp: u64) -> Served<Option<Doc>> {
+    fn stale_get(&mut self, fp: u64, now: SimTime, ctx: SpanContext) -> Served<Option<Doc>> {
         match self.query_cache.peek_ignore_ttl(&fp) {
             Some((_, rows)) => {
                 self.note_stale();
+                self.trace_request("request/get", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("cache/stale", now, now + CACHE_HIT_COST);
+                });
                 Served {
                     outcome: Outcome::Stale(rows.first().map(|(_, d)| d.clone())),
                     latency: CACHE_HIT_COST,
@@ -585,6 +674,9 @@ impl Server {
                     "scserve_degraded_total",
                     "partial or empty degraded answers",
                 );
+                self.trace_request("request/get", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("degraded", now, now + CACHE_HIT_COST);
+                });
                 Served {
                     outcome: Outcome::Degraded(None),
                     latency: CACHE_HIT_COST,
@@ -606,8 +698,10 @@ impl Server {
     /// Propagates filter validation failures ([`NosqlError`]) from the
     /// underlying collections.
     pub fn query(&mut self, filter: &Filter, now: SimTime) -> Result<Served<Rows>, NosqlError> {
+        let ctx = self.next_ctx();
         if !self.rate_gate(now) {
             self.shed();
+            self.trace_shed(now, ctx);
             return Ok(Served {
                 outcome: Outcome::Shed,
                 latency: SimDuration::ZERO,
@@ -617,6 +711,9 @@ impl Server {
         if let Some((gen, rows)) = self.query_cache.get(&fp, now) {
             if gen == self.generation {
                 self.note_hit();
+                self.trace_request("request/query", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("cache/hit", now, now + CACHE_HIT_COST);
+                });
                 return Ok(Served {
                     outcome: Outcome::Cached(rows),
                     latency: CACHE_HIT_COST,
@@ -626,10 +723,10 @@ impl Server {
         self.note_miss();
         let Some(wait) = self.queue_gate(now) else {
             self.shed();
-            return Ok(self.stale_query(fp));
+            return Ok(self.stale_query(fp, now, ctx));
         };
         if !self.breaker.allow(now) {
-            return Ok(self.stale_query(fp));
+            return Ok(self.stale_query(fp, now, ctx));
         }
 
         // Canonical owner per key: its first live replica. Keys with no
@@ -686,38 +783,57 @@ impl Server {
             // partial one.
             if let Some((_, cached)) = self.query_cache.peek_ignore_ttl(&fp) {
                 self.note_stale();
+                self.trace_request("request/query", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("cache/stale", now, now + CACHE_HIT_COST);
+                });
                 return Ok(Served {
                     outcome: Outcome::Stale(cached),
                     latency: CACHE_HIT_COST,
                 });
             }
+            let latency = wait + self.queue.service_time();
+            self.trace_request("request/query", now, now + latency, ctx, |g| {
+                g.child_span("admission/queue", now, now + wait);
+                g.child_span("backend/query", now + wait, now + latency);
+            });
             return Ok(Served {
                 outcome: Outcome::Degraded(rows),
-                latency: wait + self.queue.service_time(),
+                latency,
             });
         }
         self.breaker.record_success();
         self.query_cache
             .insert(fp, (self.generation, rows.clone()), now);
+        let latency = wait + self.queue.service_time();
+        self.trace_request("request/query", now, now + latency, ctx, |g| {
+            g.child_span("admission/queue", now, now + wait);
+            g.child_span("backend/query", now + wait, now + latency);
+        });
         Ok(Served {
             outcome: Outcome::Fresh(rows),
-            latency: wait + self.queue.service_time(),
+            latency,
         })
     }
 
-    fn stale_query(&mut self, fp: u64) -> Served<Rows> {
+    fn stale_query(&mut self, fp: u64, now: SimTime, ctx: SpanContext) -> Served<Rows> {
         match self.query_cache.peek_ignore_ttl(&fp) {
             Some((_, rows)) => {
                 self.note_stale();
+                self.trace_request("request/query", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("cache/stale", now, now + CACHE_HIT_COST);
+                });
                 Served {
                     outcome: Outcome::Stale(rows),
                     latency: CACHE_HIT_COST,
                 }
             }
-            None => Served {
-                outcome: Outcome::Shed,
-                latency: SimDuration::ZERO,
-            },
+            None => {
+                self.trace_shed(now, ctx);
+                Served {
+                    outcome: Outcome::Shed,
+                    latency: SimDuration::ZERO,
+                }
+            }
         }
     }
 
@@ -737,13 +853,17 @@ impl Server {
     /// Panics if no model was attached via [`Server::with_model`].
     pub fn infer(&mut self, row: Vec<f32>, now: SimTime) -> InferSubmit {
         assert!(self.model.is_some(), "Server::infer requires a model");
+        let ctx = self.next_ctx();
         let fp = row_fingerprint(&row);
         if !self.rate_gate(now) {
             self.shed();
-            return self.stale_infer(fp);
+            return self.stale_infer(fp, now, ctx);
         }
         if let Some(output) = self.infer_cache.get(&fp, now) {
             self.note_hit();
+            self.trace_request("request/infer", now, now + CACHE_HIT_COST, ctx, |g| {
+                g.child_span("cache/hit", now, now + CACHE_HIT_COST);
+            });
             return InferSubmit::Cached {
                 output,
                 latency: CACHE_HIT_COST,
@@ -752,23 +872,29 @@ impl Server {
         self.note_miss();
         let Some(wait) = self.queue_gate(now) else {
             self.shed();
-            return self.stale_infer(fp);
+            return self.stale_infer(fp, now, ctx);
         };
         let req = self.batcher.submit(row, now);
-        self.waiting.insert(req.0, (now, wait));
+        self.waiting.insert(req.0, (now, wait, ctx));
         InferSubmit::Pending(req)
     }
 
-    fn stale_infer(&mut self, fp: u64) -> InferSubmit {
+    fn stale_infer(&mut self, fp: u64, now: SimTime, ctx: SpanContext) -> InferSubmit {
         match self.infer_cache.peek_ignore_ttl(&fp) {
             Some(output) => {
                 self.note_stale();
+                self.trace_request("request/infer", now, now + CACHE_HIT_COST, ctx, |g| {
+                    g.child_span("cache/stale", now, now + CACHE_HIT_COST);
+                });
                 InferSubmit::Stale {
                     output,
                     latency: CACHE_HIT_COST,
                 }
             }
-            None => InferSubmit::Shed,
+            None => {
+                self.trace_shed(now, ctx);
+                InferSubmit::Shed
+            }
         }
     }
 
@@ -813,21 +939,57 @@ impl Server {
         for (fp, out) in &batch.distinct {
             self.infer_cache.insert(*fp, out.clone(), now);
         }
-        batch
-            .outputs
-            .into_iter()
-            .map(|(req, output)| {
-                let (submitted, wait) = self
-                    .waiting
-                    .remove(&req.0)
-                    .expect("every batched request was registered");
-                InferCompletion {
-                    req,
-                    output,
-                    latency: now.saturating_since(submitted) + wait + self.queue.service_time(),
+        let layer_names = self
+            .model
+            .as_ref()
+            .map(|m| m.layer_names())
+            .unwrap_or_default();
+        let mut completions = Vec::with_capacity(batch.outputs.len());
+        for (req, output) in batch.outputs {
+            let (submitted, wait, ctx) = self
+                .waiting
+                .remove(&req.0)
+                .expect("every batched request was registered");
+            let service = self.queue.service_time();
+            let latency = now.saturating_since(submitted) + wait + service;
+            if self.telemetry.is_enabled() {
+                // request/infer = batch wait + queue wait + per-layer
+                // forward; children partition [submitted, submitted+latency].
+                let mut g = self
+                    .telemetry
+                    .span_guard("scserve", "request/infer", submitted, ctx);
+                g.child_span("batch/wait", submitted, now);
+                g.child_span("admission/queue", now, now + wait);
+                let fwd_ctx = g.child_ctx();
+                let fwd_start = now + wait;
+                let fwd_end = fwd_start + service;
+                let mut fg =
+                    self.telemetry
+                        .span_guard("scserve", "model/forward", fwd_start, fwd_ctx);
+                let layers = layer_names.len() as u64;
+                // Equal per-layer slices; the last absorbs rounding.
+                if let Some(micros) = service.as_micros().checked_div(layers) {
+                    let slice = SimDuration::from_micros(micros);
+                    for (i, name) in layer_names.iter().enumerate() {
+                        let s = fwd_start + SimDuration::from_micros(slice.as_micros() * i as u64);
+                        let e = if i as u64 == layers - 1 {
+                            fwd_end
+                        } else {
+                            s + slice
+                        };
+                        fg.child_span(&format!("layer/{i}-{name}"), s, e);
+                    }
                 }
-            })
-            .collect()
+                fg.finish(fwd_end);
+                g.finish(fwd_end);
+            }
+            completions.push(InferCompletion {
+                req,
+                output,
+                latency,
+            });
+        }
+        completions
     }
 
     // ------------------------------------------------------------------
@@ -1086,6 +1248,103 @@ mod tests {
         let hit = s.infer(row, SimTime::from_millis(6));
         assert!(matches!(hit, InferSubmit::Cached { .. }));
         assert_eq!(s.stats().batches, 1);
+    }
+
+    #[test]
+    fn request_paths_record_complete_span_trees() {
+        use sctelemetry::{Telemetry, TraceRecord};
+
+        let telemetry = Telemetry::shared();
+        let model = Sequential::new()
+            .with(Dense::new(4, 8, 5))
+            .with(Relu::new())
+            .with(Dense::new(8, 2, 6));
+        let mut s = Server::new(ServeConfig::default())
+            .with_model(model)
+            .with_telemetry(telemetry.handle())
+            .with_trace_seed(42);
+        s.put("k-1", doc("even", 1), SimTime::ZERO).unwrap();
+        s.get("k-1", SimTime::from_millis(1)).unwrap(); // fresh
+        s.get("k-1", SimTime::from_millis(2)).unwrap(); // cached
+        let sub = s.infer(vec![0.1, 0.2, 0.3, 0.4], SimTime::from_millis(3));
+        assert!(matches!(sub, InferSubmit::Pending(_)));
+        s.drain(SimTime::from_millis(4));
+
+        let records = telemetry.trace();
+        let spans: Vec<_> = records
+            .iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span(sp) => Some(sp),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            spans.iter().all(|sp| sp.ctx.is_some()),
+            "no context-less spans"
+        );
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|sp| sp.ctx.unwrap().parent.is_none())
+            .collect();
+        assert_eq!(roots.len(), 4, "put + 2 gets + infer, got {roots:#?}");
+        // Distinct, deterministic trace ids.
+        let ids: std::collections::BTreeSet<u64> =
+            roots.iter().map(|sp| sp.ctx.unwrap().trace.0).collect();
+        assert_eq!(ids.len(), 4);
+        assert!(ids.contains(&TraceId::derive(42, STREAM_SERVE, 0).0));
+        // The infer root carries per-layer forward grandchildren.
+        let layer_spans = spans
+            .iter()
+            .filter(|sp| sp.name.starts_with("layer/"))
+            .count();
+        assert_eq!(layer_spans, 3, "Dense, Relu, Dense");
+        // Fresh-get children partition the recorded latency exactly.
+        let fresh_root = roots
+            .iter()
+            .find(|sp| sp.name == "request/get" && sp.start == SimTime::from_millis(1))
+            .unwrap();
+        let child_total: u64 = spans
+            .iter()
+            .filter(|sp| sp.ctx.unwrap().parent == Some(fresh_root.ctx.unwrap().span))
+            .map(|sp| sp.end.saturating_since(sp.start).as_micros())
+            .sum();
+        assert_eq!(
+            child_total,
+            fresh_root
+                .end
+                .saturating_since(fresh_root.start)
+                .as_micros()
+        );
+    }
+
+    #[test]
+    fn rate_limit_shed_marks_trace() {
+        use sctelemetry::{Telemetry, TraceRecord};
+
+        let telemetry = Telemetry::shared();
+        let cfg = ServeConfig {
+            rate_per_s: 10.0,
+            burst: 1.0,
+            ..ServeConfig::default()
+        };
+        let mut s = Server::new(cfg)
+            .with_telemetry(telemetry.handle())
+            .with_trace_seed(7);
+        s.put("k", doc("even", 0), SimTime::ZERO).unwrap();
+        for _ in 0..5 {
+            s.get("k", SimTime::from_millis(1)).unwrap();
+        }
+        let records = telemetry.trace();
+        let shed_events = records
+            .iter()
+            .filter(|r| matches!(r, TraceRecord::Event(e) if e.name == "request/shed"))
+            .count();
+        assert!(shed_events >= 3, "tight bucket must shed most requests");
+        // Every shed event's detail names a recorded zero-length root.
+        for r in &records {
+            let TraceRecord::Event(e) = r else { continue };
+            assert!(e.detail.starts_with("trace="), "detail: {}", e.detail);
+        }
     }
 
     #[test]

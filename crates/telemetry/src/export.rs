@@ -181,20 +181,45 @@ pub fn prometheus_text(registry: &MetricsRegistry) -> String {
     out
 }
 
-/// JSON dump of the recorded trace, ordered by sim time. Timestamps are
-/// integer microseconds of simulated time, so the dump is deterministic.
+/// JSON dump of the recorded trace, sorted deterministically by
+/// `(start, target, name)` with span ids as the final tie-break — never by
+/// recording order, which may vary under concurrency. Timestamps are
+/// integer microseconds of simulated time; spans carrying a causal
+/// [`crate::SpanContext`] export `trace`/`span`/`parent` ids as fixed-width
+/// hex strings (JSON numbers would lose `u64` precision past 2^53).
 pub fn trace_json(telemetry: &Telemetry) -> Value {
-    let records: Vec<Value> = telemetry
-        .trace()
+    let span_key = |r: &TraceRecord| match r {
+        TraceRecord::Span(s) => s.ctx.map(|c| c.span.0).unwrap_or(0),
+        TraceRecord::Event(_) => u64::MAX,
+    };
+    let mut trace = telemetry.trace();
+    trace.sort_by(|a, b| {
+        a.at()
+            .cmp(&b.at())
+            .then_with(|| a.target().cmp(b.target()))
+            .then_with(|| a.name().cmp(b.name()))
+            .then_with(|| span_key(a).cmp(&span_key(b)))
+    });
+    let records: Vec<Value> = trace
         .iter()
         .map(|r| match r {
-            TraceRecord::Span(s) => json!({
-                "kind": "span",
-                "target": s.target.clone(),
-                "name": s.name.clone(),
-                "start_us": s.start.as_micros(),
-                "end_us": s.end.as_micros(),
-            }),
+            TraceRecord::Span(s) => {
+                let mut m = Map::new();
+                m.insert("kind".to_string(), json!("span"));
+                m.insert("target".to_string(), json!(s.target.clone()));
+                m.insert("name".to_string(), json!(s.name.clone()));
+                m.insert("start_us".to_string(), json!(s.start.as_micros()));
+                m.insert("end_us".to_string(), json!(s.end.as_micros()));
+                if let Some(ctx) = s.ctx {
+                    m.insert("trace".to_string(), json!(ctx.trace.as_hex()));
+                    m.insert("span".to_string(), json!(ctx.span.as_hex()));
+                    m.insert(
+                        "parent".to_string(),
+                        ctx.parent.map(|p| json!(p.as_hex())).unwrap_or(Value::Null),
+                    );
+                }
+                Value::Object(m)
+            }
             TraceRecord::Event(e) => json!({
                 "kind": "event",
                 "target": e.target.clone(),
@@ -274,6 +299,36 @@ mod tests {
         assert_eq!(trace[0].get("kind").and_then(|k| k.as_str()), Some("span"));
         assert_eq!(trace[0].get("start_us").and_then(|k| k.as_u64()), Some(0));
         assert_eq!(trace[1].get("at_us").and_then(|k| k.as_u64()), Some(5000));
+    }
+
+    #[test]
+    fn trace_json_exports_causal_ids_and_sorts_ties() {
+        use crate::trace::{SpanContext, TraceId};
+        let t = Telemetry::shared();
+        let h = t.handle();
+        let root = SpanContext::root(TraceId::derive(42, 1, 0));
+        // Record children before the root: the export must still order by
+        // (start, target, name), not recording order.
+        h.span_in(
+            "z",
+            "child",
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+            root.child(0),
+        );
+        h.span_in("a", "root", SimTime::ZERO, SimTime::from_millis(2), root);
+        let v = trace_json(&t);
+        let trace = v.get("trace").and_then(|t| t.as_array()).unwrap();
+        assert_eq!(trace[0].get("target").and_then(|t| t.as_str()), Some("a"));
+        assert_eq!(
+            trace[0].get("trace").and_then(|t| t.as_str()),
+            Some(root.trace.as_hex().as_str())
+        );
+        assert_eq!(trace[0].get("parent"), Some(&Value::Null));
+        assert_eq!(
+            trace[1].get("parent").and_then(|p| p.as_str()),
+            Some(root.span.as_hex().as_str())
+        );
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub use metrics::{
 pub use report::Report;
 pub use stats::{mean, percentile, percentile_sorted, SampleSummary};
 pub use trace::{
-    EventRecord, NoopRecorder, Recorder, SpanRecord, Telemetry, TelemetryHandle, TraceRecord,
-    WallTimer,
+    EventRecord, NoopRecorder, Recorder, SpanContext, SpanGuard, SpanId, SpanRecord, Telemetry,
+    TelemetryHandle, TraceId, TraceRecord, WallTimer, STREAM_FOG, STREAM_PIPELINE, STREAM_SERVE,
 };

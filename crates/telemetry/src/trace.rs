@@ -13,6 +13,99 @@ use std::time::Instant;
 
 use simclock::SimTime;
 
+/// `splitmix64` finalizer: the id-derivation mixer. Bijective over `u64`,
+/// so distinct inputs can never collide, and pure arithmetic, so deriving
+/// ids costs nothing even with telemetry disabled.
+#[inline]
+const fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Trace-id stream salt for scserve request traces (see
+/// [`TraceId::derive`]).
+pub const STREAM_SERVE: u64 = 1;
+/// Trace-id stream salt for scfog job traces.
+pub const STREAM_FOG: u64 = 2;
+/// Trace-id stream salt for smartcity-core pipeline runs.
+pub const STREAM_PIPELINE: u64 = 3;
+
+/// Identifier of one causal trace: one request, job, or pipeline run.
+///
+/// Derived deterministically from `(seed, stream, index)` — never random —
+/// so the same seed names the same traces on every run and thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// Derives the id of the `index`-th trace of `stream` under `seed`.
+    ///
+    /// `stream` namespaces independent trace sources sharing one recorder
+    /// (e.g. serving requests vs. fog jobs) so their indices cannot
+    /// collide.
+    pub const fn derive(seed: u64, stream: u64, index: u64) -> TraceId {
+        TraceId(mix64(
+            mix64(seed ^ stream.wrapping_mul(0xD1B5_4A32_D192_ED03)) ^ index,
+        ))
+    }
+
+    /// Fixed-width lowercase hex rendering (the export format).
+    pub fn as_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Identifier of one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Fixed-width lowercase hex rendering (the export format).
+    pub fn as_hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// Propagated causal context: which trace a span belongs to, its own id,
+/// and its parent span (if any). `Copy`, arithmetic-only derivation — the
+/// context can flow through request paths with zero allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext {
+    /// The trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id.
+    pub span: SpanId,
+    /// The parent span, or `None` for a trace root.
+    pub parent: Option<SpanId>,
+}
+
+impl SpanContext {
+    /// The root context of `trace`.
+    pub const fn root(trace: TraceId) -> SpanContext {
+        SpanContext {
+            trace,
+            span: SpanId(mix64(trace.0 ^ 0xA0B4_28DB)),
+            parent: None,
+        }
+    }
+
+    /// The context of this span's `seq`-th child. Deterministic: child ids
+    /// depend only on the trace, the parent span, and the sequence number.
+    pub const fn child(&self, seq: u64) -> SpanContext {
+        SpanContext {
+            trace: self.trace,
+            span: SpanId(mix64(
+                self.trace.0
+                    ^ self.span.0
+                    ^ seq.wrapping_add(1).wrapping_mul(0x5851_F42D_4C95_7F2D),
+            )),
+            parent: Some(self.span),
+        }
+    }
+}
+
 /// A completed span: a named interval of simulated time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRecord {
@@ -24,6 +117,9 @@ pub struct SpanRecord {
     pub start: SimTime,
     /// When it finished, in simulated time.
     pub end: SimTime,
+    /// Causal context, when the producer propagates one. Context-less
+    /// spans remain valid (system-level annotations outside any trace).
+    pub ctx: Option<SpanContext>,
 }
 
 impl SpanRecord {
@@ -61,6 +157,22 @@ impl TraceRecord {
         match self {
             TraceRecord::Span(s) => s.start,
             TraceRecord::Event(e) => e.at,
+        }
+    }
+
+    /// The producing subsystem.
+    pub fn target(&self) -> &str {
+        match self {
+            TraceRecord::Span(s) => &s.target,
+            TraceRecord::Event(e) => &e.target,
+        }
+    }
+
+    /// The operation or event name.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceRecord::Span(s) => &s.name,
+            TraceRecord::Event(e) => &e.name,
         }
     }
 }
@@ -183,7 +295,7 @@ impl TelemetryHandle {
         }
     }
 
-    /// Records a completed sim-time span.
+    /// Records a completed sim-time span with no causal context.
     #[inline]
     pub fn span(&self, target: &str, name: &str, start: SimTime, end: SimTime) {
         if let Some(r) = &self.inner {
@@ -192,7 +304,55 @@ impl TelemetryHandle {
                 name: name.to_string(),
                 start,
                 end,
+                ctx: None,
             });
+        }
+    }
+
+    /// Records a completed sim-time span carrying causal context `ctx`.
+    /// Disabled handles skip everything — no strings are materialized.
+    #[inline]
+    pub fn span_in(
+        &self,
+        target: &str,
+        name: &str,
+        start: SimTime,
+        end: SimTime,
+        ctx: SpanContext,
+    ) {
+        if let Some(r) = &self.inner {
+            r.record_span(SpanRecord {
+                target: target.to_string(),
+                name: name.to_string(),
+                start,
+                end,
+                ctx: Some(ctx),
+            });
+        }
+    }
+
+    /// Opens a span under `ctx`: returns a guard that derives child
+    /// contexts ([`SpanGuard::child_ctx`]), records child spans
+    /// ([`SpanGuard::child_span`]), and records the span itself on
+    /// [`SpanGuard::finish`].
+    ///
+    /// The guard is `Copy`-field-only (borrowed names, arithmetic-derived
+    /// ids): with telemetry disabled, propagating context through it is a
+    /// complete no-op — no allocation, no locking.
+    pub fn span_guard<'a>(
+        &'a self,
+        target: &'a str,
+        name: &'a str,
+        start: SimTime,
+        ctx: SpanContext,
+    ) -> SpanGuard<'a> {
+        SpanGuard {
+            handle: self,
+            target,
+            name,
+            start,
+            ctx,
+            children: 0,
         }
     }
 
@@ -242,6 +402,59 @@ impl Drop for WallTimer<'_> {
     }
 }
 
+/// In-flight span with causal context, returned by
+/// [`TelemetryHandle::span_guard`].
+///
+/// The guard tracks a child sequence counter so that every child context
+/// it hands out is distinct and deterministic (child ids depend only on
+/// the parent context and the sequence number, never on timing). Nothing
+/// is recorded until [`SpanGuard::finish`]; child spans record as they are
+/// declared. All derivation is pure arithmetic on `Copy` data, so a guard
+/// over a disabled handle allocates nothing.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    handle: &'a TelemetryHandle,
+    target: &'a str,
+    name: &'a str,
+    start: SimTime,
+    ctx: SpanContext,
+    children: u64,
+}
+
+impl SpanGuard<'_> {
+    /// This span's context (for propagation into callees).
+    pub fn context(&self) -> SpanContext {
+        self.ctx
+    }
+
+    /// Derives the next child context without recording anything — for
+    /// children whose spans are recorded elsewhere (e.g. async completions).
+    pub fn child_ctx(&mut self) -> SpanContext {
+        let ctx = self.ctx.child(self.children);
+        self.children += 1;
+        ctx
+    }
+
+    /// Records a completed child span `[start, end]` under this span and
+    /// returns its context.
+    pub fn child_span(&mut self, name: &str, start: SimTime, end: SimTime) -> SpanContext {
+        let ctx = self.child_ctx();
+        self.handle.span_in(self.target, name, start, end, ctx);
+        ctx
+    }
+
+    /// Records an event at `at` on this span's target.
+    pub fn event(&self, name: &str, at: SimTime, detail: &str) {
+        self.handle.event(self.target, name, at, detail);
+    }
+
+    /// Records the span itself, ending at `end`.
+    pub fn finish(self, end: SimTime) {
+        self.handle
+            .span_in(self.target, self.name, self.start, end, self.ctx);
+    }
+}
+
 /// The standard full recorder: a [`crate::MetricsRegistry`] plus an ordered
 /// trace buffer. Construct once per run, hand out [`TelemetryHandle`]s, and
 /// export at the end.
@@ -272,10 +485,17 @@ impl Telemetry {
         &self.registry
     }
 
-    /// Copy of the trace, ordered by sim time (stable for equal times).
+    /// Copy of the trace, ordered by `(sim time, target, name)` — a total
+    /// enough key that recording order (which may vary under concurrency)
+    /// never leaks into exports. The sort is stable for full ties.
     pub fn trace(&self) -> Vec<TraceRecord> {
         let mut t = self.trace.lock().unwrap_or_else(|e| e.into_inner()).clone();
-        t.sort_by_key(|r| r.at());
+        t.sort_by(|a, b| {
+            a.at()
+                .cmp(&b.at())
+                .then_with(|| a.target().cmp(b.target()))
+                .then_with(|| a.name().cmp(b.name()))
+        });
         t
     }
 
@@ -399,6 +619,74 @@ mod tests {
         let trace = t.trace();
         assert_eq!(trace[0].at(), SimTime::from_secs(1));
         assert_eq!(trace[1].at(), SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn trace_ids_are_deterministic_and_stream_scoped() {
+        assert_eq!(TraceId::derive(42, 1, 7), TraceId::derive(42, 1, 7));
+        assert_ne!(TraceId::derive(42, 1, 7), TraceId::derive(42, 2, 7));
+        assert_ne!(TraceId::derive(42, 1, 7), TraceId::derive(43, 1, 7));
+        assert_eq!(TraceId(0xabc).as_hex(), "0000000000000abc");
+    }
+
+    #[test]
+    fn child_contexts_are_distinct_and_parented() {
+        let root = SpanContext::root(TraceId::derive(1, 1, 0));
+        assert!(root.parent.is_none());
+        let a = root.child(0);
+        let b = root.child(1);
+        assert_eq!(a.parent, Some(root.span));
+        assert_eq!(a.trace, root.trace);
+        assert_ne!(a.span, b.span);
+        assert_ne!(a.span, root.span);
+        // Grandchildren diverge from children even at the same seq.
+        assert_ne!(a.child(0).span, b.child(0).span);
+    }
+
+    #[test]
+    fn span_guard_records_root_and_children() {
+        let t = Telemetry::shared();
+        let h = t.handle();
+        let root = SpanContext::root(TraceId::derive(9, 1, 0));
+        let mut g = h.span_guard("tgt", "request", SimTime::ZERO, root);
+        let c0 = g.child_span("queue", SimTime::ZERO, SimTime::from_millis(1));
+        let c1 = g.child_ctx();
+        h.span_in(
+            "tgt",
+            "backend",
+            SimTime::from_millis(1),
+            SimTime::from_millis(3),
+            c1,
+        );
+        g.finish(SimTime::from_millis(3));
+
+        let spans: Vec<SpanRecord> = t
+            .trace()
+            .into_iter()
+            .filter_map(|r| match r {
+                TraceRecord::Span(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(spans.len(), 3);
+        for s in &spans {
+            assert_eq!(s.ctx.unwrap().trace, root.trace);
+        }
+        assert_eq!(c0.parent, Some(root.span));
+        assert_eq!(c1.parent, Some(root.span));
+        assert_ne!(c0.span, c1.span);
+        let root_span = spans.iter().find(|s| s.name == "request").unwrap();
+        assert_eq!(root_span.ctx.unwrap().parent, None);
+    }
+
+    #[test]
+    fn disabled_span_guard_is_inert() {
+        let h = TelemetryHandle::disabled();
+        let root = SpanContext::root(TraceId::derive(3, 1, 0));
+        let mut g = h.span_guard("tgt", "request", SimTime::ZERO, root);
+        let child = g.child_span("c", SimTime::ZERO, SimTime::from_millis(1));
+        assert_eq!(child.parent, Some(root.span));
+        g.finish(SimTime::from_millis(1));
     }
 
     #[test]

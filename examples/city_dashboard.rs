@@ -2,8 +2,10 @@
 //!
 //! Builds the artifacts a D3 web frontend would consume — GeoJSON
 //! incident layer, dashboard JSON, the cross-layer report panel (now
-//! including the scserve serving tier), rendered SVG charts, and a
-//! Prometheus metrics snapshot — and writes them into `target/dashboard/`.
+//! including the scserve serving tier plus `critical_path` and `alerts`
+//! observability panels), rendered SVG charts, a Prometheus metrics
+//! snapshot, and a `trace.json` with the exemplar request traces and the
+//! SLO alert report — and writes them into `target/dashboard/`.
 //!
 //! The heavy lifting lives in `smartcity::core::artifacts`, a pure
 //! function of the seed; the golden-master suite pins the seed-42 output
@@ -24,8 +26,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let artifacts = build_dashboard_artifacts(77, 800, 160);
     println!(
-        "pipeline: {} events stored, {} hotspots",
-        artifacts.stored, artifacts.hotspots
+        "pipeline: {} events stored, {} hotspots, {} SLO alerts",
+        artifacts.stored, artifacts.hotspots, artifacts.alerts
     );
 
     println!("\npipeline telemetry (Prometheus text format):");

@@ -18,7 +18,10 @@
 //! - **Application layer** — [`core`] (vehicle detection, action recognition,
 //!   social-network narrowing, visualization export), [`social`].
 //! - **Observability** — [`telemetry`] (metrics registry, sim-time-aware
-//!   tracing, JSON / Prometheus exporters used by every layer above).
+//!   tracing, JSON / Prometheus exporters used by every layer above),
+//!   [`observe`] (causal span trees, critical-path extraction with
+//!   p50/p99/max exemplars, Chrome-trace / flamegraph exporters, and a
+//!   deterministic multi-window burn-rate SLO alerting engine).
 //! - **Runtime** — [`par`] (deterministic worker pool: any thread count
 //!   produces byte-identical results; set via `SCPAR_THREADS`),
 //!   [`fault`] (seed-driven fault injection plus retry / timeout /
@@ -46,6 +49,7 @@ pub use scfog as fog;
 pub use scgeo as geo;
 pub use scneural as neural;
 pub use scnosql as nosql;
+pub use scobserve as observe;
 pub use scpar as par;
 pub use scserve as serve;
 pub use scsocial as social;

@@ -78,3 +78,22 @@ fn metrics_prom_matches_golden_snapshot() {
     assert!(artifacts.metrics_prom.contains("scserve_batch_size"));
     assert_matches_golden("metrics_seed42.prom", &artifacts.metrics_prom);
 }
+
+#[test]
+fn trace_json_matches_golden_snapshot() {
+    let artifacts = build_dashboard_artifacts(SEED, RECORDS, WAZE);
+    // Sanity first: the artifact must carry exemplar Chrome-trace events,
+    // all three critical-path exemplars, and an alert-free baseline, so a
+    // regression cannot re-pin an empty trace document.
+    let doc: serde_json::Value = serde_json::from_str(&artifacts.trace_json).unwrap();
+    assert!(!doc["traceEvents"].as_array().unwrap().is_empty());
+    let labels: Vec<_> = doc["critical_path"]
+        .as_array()
+        .unwrap()
+        .iter()
+        .map(|e| e["label"].as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(labels, ["p50", "p99", "max"]);
+    assert_eq!(doc["alerts"]["alerts"].as_array().unwrap().len(), 0);
+    assert_matches_golden("trace_seed42.json", &artifacts.trace_json);
+}

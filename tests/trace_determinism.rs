@@ -1,0 +1,164 @@
+//! Determinism of the observability layer (E18).
+//!
+//! Traces are derived, never sampled: identical seeds must produce
+//! byte-identical span trees, critical paths, flamegraph text, and SLO
+//! alert reports at any `SCPAR_THREADS` setting. This suite replays an
+//! E17-style serving workload and a faulted fog run at 1, 2, and 8
+//! worker threads and byte-compares every derived artifact, then checks
+//! the structural invariants the ISSUE pins: complete span trees (no
+//! orphans), critical-path segments summing exactly to the recorded
+//! request latency, and a p99 exemplar naming a real trace.
+
+use smartcity::fault::{FaultPlan, FaultSpec};
+use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
+use smartcity::neural::layers::{Dense, Relu};
+use smartcity::neural::net::Sequential;
+use smartcity::observe::{
+    chrome_trace, critical_path, evaluate, folded_stacks, SloRule, TraceAnalysis,
+};
+use smartcity::par::ScparConfig;
+use smartcity::serve::{ServeConfig, Server, WorkloadConfig, WorkloadGen};
+use smartcity::telemetry::Telemetry;
+
+const SEED: u64 = 42;
+
+/// Runs the serving workload and a faulted fog sweep into one recorder
+/// with `threads` workers, returning the recorder.
+fn record_stack(threads: usize) -> std::sync::Arc<Telemetry> {
+    let telemetry = Telemetry::shared();
+
+    let model = Sequential::new()
+        .with(Dense::new(8, 16, SEED.wrapping_add(2)))
+        .with(Relu::new())
+        .with(Dense::new(16, 4, SEED.wrapping_add(3)));
+    let mut server = Server::new(ServeConfig::default())
+        .with_model(model)
+        .with_par(ScparConfig::with_threads(threads))
+        .with_telemetry(telemetry.handle())
+        .with_trace_seed(SEED);
+    WorkloadGen::new(WorkloadConfig {
+        seed: SEED,
+        requests: 400,
+        ..WorkloadConfig::default()
+    })
+    .run(&mut server);
+
+    let sim = FogSimulator::new(Topology::four_tier(4, 2, 1));
+    let w = Workload::with_escalation(120, 100_000, 10.0, 0.3, SEED);
+    let faults = FaultPlan::generate(
+        &FaultSpec::new(simclock::SimDuration::from_secs(12), 4),
+        SEED,
+    );
+    sim.runner(&w)
+        .placement(Placement::EarlyExit {
+            local_fraction: 0.3,
+            feature_bytes: 20_000,
+        })
+        .faults(&faults)
+        .telemetry(telemetry.handle())
+        .trace_seed(SEED)
+        .run();
+
+    telemetry
+}
+
+/// Every derived artifact as one comparable bundle of strings.
+fn derived_artifacts(t: &Telemetry) -> (String, String, String, String) {
+    let analysis = TraceAnalysis::new(t);
+    let chrome = serde_json::to_string(&chrome_trace(&analysis.forest)).unwrap();
+    let folded = folded_stacks(&analysis.forest);
+    let paths: String = analysis
+        .forest
+        .traces
+        .iter()
+        .filter_map(critical_path)
+        .map(|p| format!("{}\n", p.render()))
+        .collect();
+    let rules = [
+        SloRule::availability("serve_availability", 0.99),
+        SloRule::latency("serve_latency", 0.99, 0.05),
+        SloRule::loss("fog_jobs", 0.99),
+    ];
+    let streams = vec![
+        analysis.availability("request/"),
+        analysis.latency("request/", 0.05),
+        analysis.availability("job/"),
+    ];
+    let report = evaluate(&rules, &streams);
+    let alerts = serde_json::to_string(&report.to_json_full()).unwrap();
+    (chrome, folded, paths, alerts)
+}
+
+#[test]
+fn derived_artifacts_are_thread_count_independent() {
+    let (chrome1, folded1, paths1, alerts1) = derived_artifacts(&record_stack(1));
+    for threads in [2, 8] {
+        let (chrome, folded, paths, alerts) = derived_artifacts(&record_stack(threads));
+        assert_eq!(chrome1, chrome, "{threads}-thread Chrome trace diverged");
+        assert_eq!(folded1, folded, "{threads}-thread flamegraph diverged");
+        assert_eq!(paths1, paths, "{threads}-thread critical paths diverged");
+        assert_eq!(alerts1, alerts, "{threads}-thread alert report diverged");
+    }
+}
+
+#[test]
+fn every_request_resolves_to_a_complete_span_tree() {
+    let t = record_stack(1);
+    let analysis = TraceAnalysis::new(&t);
+    assert!(!analysis.forest.traces.is_empty());
+    // Only infrastructure spans (fault outage windows) may sit outside a
+    // trace; every request- or job-scoped span must carry causal context.
+    for s in &analysis.forest.unattributed {
+        assert_eq!(
+            s.target, "scfault",
+            "span {}/{} lacks causal context",
+            s.target, s.name
+        );
+    }
+    for tree in &analysis.forest.traces {
+        assert!(
+            tree.is_complete(),
+            "trace {} has orphan spans or multiple roots",
+            tree.trace.as_hex()
+        );
+        assert!(tree.orphans.is_empty());
+    }
+}
+
+#[test]
+fn critical_path_durations_sum_to_recorded_latency() {
+    let t = record_stack(1);
+    let analysis = TraceAnalysis::new(&t);
+    let mut checked = 0;
+    for tree in &analysis.forest.traces {
+        let root = tree.root().expect("complete trees have a single root");
+        let path = critical_path(tree).expect("complete trees have a path");
+        assert_eq!(
+            path.total().as_micros(),
+            root.record
+                .end
+                .saturating_since(root.record.start)
+                .as_micros(),
+            "trace {} critical path does not partition the root interval",
+            tree.trace.as_hex()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 400, "expected a path per request and fog job");
+}
+
+#[test]
+fn p99_exemplar_names_a_real_trace() {
+    let t = record_stack(1);
+    let analysis = TraceAnalysis::new(&t);
+    let exemplars = analysis.exemplar_paths("request/");
+    let p99 = exemplars
+        .iter()
+        .find(|(ex, _)| ex.label == "p99")
+        .expect("p99 exemplar reported");
+    assert!(
+        analysis.forest.get(p99.0.trace).is_some(),
+        "p99 exemplar trace id resolves to a recorded trace"
+    );
+    assert!(p99.1.is_some(), "p99 exemplar has a critical path");
+}
