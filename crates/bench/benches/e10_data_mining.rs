@@ -3,7 +3,7 @@
 //! k-means latency vs partition count.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use sccompute::dataflow::Dataset;
 use sccompute::mllib::kmeans;
 use scdata::city::{OpenCityGenerator, OpenRecordKind};
@@ -30,8 +30,11 @@ fn regenerate_figure() {
         "§II-C3",
         "Distributed k-means crime hot-spot mining + visualization export",
     );
-    let points = crime_points(4000, 31);
+    let quick = scbench::quick("e10");
+    let points = crime_points(if quick { 1_500 } else { 4_000 }, 31);
     println!("crime/911 points: {}", points.len());
+    let mut json = BenchJson::new("e10", quick);
+    json.det_u("crime_points", points.len() as u64);
 
     // Partition scaling (the 'distributed' knob).
     let mut rows = Vec::new();
@@ -41,6 +44,12 @@ fn regenerate_figure() {
         let model = kmeans(&ds, 3, 25, 32);
         let secs = start.elapsed().as_secs_f64();
         let stats = ds.stats();
+        if parts == 4 {
+            json.det_f("inertia_p4", model.inertia)
+                .det_u("iterations_p4", model.iterations as u64)
+                .det_u("shuffled_records_p4", stats.shuffled_records as u64);
+        }
+        json.measured(&format!("kmeans_p{parts}_ms"), secs * 1e3);
         rows.push(vec![
             parts.to_string(),
             f3(secs * 1e3),
@@ -109,6 +118,11 @@ fn regenerate_figure() {
         dash.to_string().len(),
         svg.len()
     );
+    json.det_u(
+        "geojson_features",
+        geo["features"].as_array().unwrap().len() as u64,
+    );
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 //! curves and greedy-evaluation table; measures action-selection latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f1, header, table};
+use scbench::{f1, header, table, BenchJson};
 use scdrl::{
     run_episode, Agent, CameraControlEnv, DqnAgent, DqnConfig, Environment, RandomAgent,
     TabularQAgent,
@@ -53,9 +53,12 @@ fn regenerate_figure() -> DqnAgent {
     let mut tabular = TabularQAgent::new(na, 4, 42);
     let mut random = RandomAgent::new(na, 43);
 
+    let quick = scbench::quick("e11");
+    let blocks = if quick { 2 } else { 5 };
+    let wall = std::time::Instant::now();
     println!("training curves (mean return per 20-episode block):");
     let mut rows = Vec::new();
-    for block in 0..5 {
+    for block in 0..blocks {
         let dqn_mean: f64 = (0..20)
             .map(|_| run_episode(&mut env_dqn, &mut dqn, true))
             .sum::<f64>()
@@ -100,6 +103,13 @@ fn regenerate_figure() -> DqnAgent {
             vec!["random".into(), f1(rnd_eval)],
         ],
     );
+    let mut json = BenchJson::new("e11", quick);
+    json.det_f("dqn_eval_return", dqn_eval)
+        .det_f("double_dqn_eval_return", ddqn_eval)
+        .det_f("tabular_eval_return", tab_eval)
+        .det_f("random_eval_return", rnd_eval)
+        .measured("training_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
     dqn
 }
 

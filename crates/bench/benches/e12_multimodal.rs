@@ -5,7 +5,7 @@
 //! correlation recovery. Measures fusion inference latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scneural::autoencoder::{Autoencoder, FusionAutoencoder};
 use scneural::cca::Cca;
 use scneural::optim::Adam;
@@ -82,8 +82,10 @@ fn regenerate_figure() -> (FusionAutoencoder, Tensor, Tensor) {
         "§III-C",
         "Multi-modal fusion (AE) + CCA on synthetic gunshot audio/video",
     );
+    let quick = scbench::quick("e12");
     let noise = 0.22; // high per-modality noise: fusion should win
-    let (audio, video, labels) = gunshot_data(240, noise, 50);
+    let (audio, video, labels) = gunshot_data(if quick { 160 } else { 240 }, noise, 50);
+    let wall = std::time::Instant::now();
 
     // Single-modality AEs vs fused AE.
     let mut ae_audio = Autoencoder::new(6, &[5], 2, 51);
@@ -92,7 +94,7 @@ fn regenerate_figure() -> (FusionAutoencoder, Tensor, Tensor) {
     let mut opt_a = Adam::new(0.01);
     let mut opt_v = Adam::new(0.01);
     let mut opt_f = Adam::new(0.01);
-    for _ in 0..250 {
+    for _ in 0..if quick { 100 } else { 250 } {
         ae_audio.train_step(&audio, &mut opt_a);
         ae_video.train_step(&video, &mut opt_v);
         fused.train_step(&audio, &video, &mut opt_f);
@@ -118,10 +120,17 @@ fn regenerate_figure() -> (FusionAutoencoder, Tensor, Tensor) {
 
     // CCA correlation recovery across noise levels.
     println!("\nCCA top canonical correlation vs modality noise:");
+    let mut json = BenchJson::new("e12", quick);
+    json.det_f("accuracy_audio_only", acc_audio)
+        .det_f("accuracy_video_only", acc_video)
+        .det_f("accuracy_fused", acc_fused);
     let mut rows = Vec::new();
     for &nz in &[0.05, 0.15, 0.3, 0.5] {
-        let (a, v, _) = gunshot_data(300, nz, 54);
+        let (a, v, _) = gunshot_data(if quick { 200 } else { 300 }, nz, 54);
         let cca = Cca::fit(&a, &v, 2, 1e-5).unwrap();
+        if (nz - 0.15).abs() < 1e-9 {
+            json.det_f("cca_rho1_noise_0_15", cca.correlations()[0]);
+        }
         rows.push(vec![
             f3(nz),
             f3(cca.correlations()[0]),
@@ -129,6 +138,8 @@ fn regenerate_figure() -> (FusionAutoencoder, Tensor, Tensor) {
         ]);
     }
     table(&["noise", "rho_1", "rho_2"], &rows);
+    json.measured("training_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
     (fused, audio, video)
 }
 

@@ -4,7 +4,7 @@
 //! throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use sccompute::yarn::{AppId, Policy, Resource, ResourceManager};
 use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
 
@@ -22,6 +22,8 @@ fn regenerate_figure() {
         "§II-B1 / §II-C2",
         "(a) YARN policies: allocation split between an early flood app and a late app",
     );
+    let mut json = BenchJson::new("e13", scbench::quick("e13"));
+    let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     for (name, policy) in [
         ("fifo", Policy::Fifo),
@@ -42,6 +44,12 @@ fn regenerate_figure() {
         rm.schedule();
         let u1 = rm.app_usage(AppId(1)).memory_mb / 1024;
         let u2 = rm.app_usage(AppId(2)).memory_mb / 1024;
+        let slug = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>();
+        json.det_u(&format!("{slug}_app1_containers"), u1)
+            .det_u(&format!("{slug}_app2_containers"), u2);
         rows.push(vec![
             name.to_string(),
             u1.to_string(),
@@ -99,6 +107,11 @@ fn regenerate_figure() {
     );
     assert_eq!(group.lag(&topic), 0, "everything eventually delivered");
     assert!(redelivered >= 600, "uncommitted work redelivered");
+    json.det_u("committed_pre_crash", committed_before)
+        .det_u("redelivered_post_crash", redelivered as u64)
+        .det_u("final_lag", group.lag(&topic))
+        .measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -8,12 +8,16 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scfog::{FogSimulator, Placement, Topology, Workload};
 use sctelemetry::{SpanContext, Telemetry, TelemetryHandle, TraceId};
 use simclock::SimTime;
 
 const OPS: usize = 10_000;
+
+fn quick() -> bool {
+    scbench::quick("e14")
+}
 
 /// Counts heap allocations so the disabled-tracing path can be pinned to
 /// exactly zero (not just "fast").
@@ -60,6 +64,7 @@ fn regenerate_figure() {
     let disabled = TelemetryHandle::disabled();
     let telemetry = Telemetry::shared();
     let enabled = telemetry.handle();
+    let mut json = BenchJson::new("e14", quick());
 
     let rows = vec![
         vec![
@@ -98,10 +103,13 @@ fn regenerate_figure() {
         ],
     ];
     table(&["op", "disabled_ns_per_op", "enabled_ns_per_op"], &rows);
+    json.measured("counter_add_disabled_ns", rows[0][1].parse().unwrap_or(0.0))
+        .measured("counter_add_enabled_ns", rows[0][2].parse().unwrap_or(0.0));
 
     // Whole-subsystem view: a fog run with no recorder attached vs one
     // recording every job, span, and tier metric.
-    let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 14);
+    let fog_jobs = if quick() { 150 } else { 400 };
+    let workload = Workload::with_escalation(fog_jobs, 100_000, 20.0, 0.3, 14);
     let baseline_sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
     let placement = Placement::EarlyExit {
         local_fraction: 0.3,
@@ -120,10 +128,15 @@ fn regenerate_figure() {
     assert_eq!(r.jobs, rr.jobs, "telemetry must not change results");
 
     println!(
-        "\nfog run (400 jobs): baseline {base_us} us, recorded {rec_us} us, {} spans, {} metrics",
+        "\nfog run ({fog_jobs} jobs): baseline {base_us} us, recorded {rec_us} us, {} spans, {} metrics",
         recorder.trace_len(),
         recorder.registry().len(),
     );
+    json.det_u("fog_jobs", rr.jobs as u64)
+        .det_u("fog_spans", recorder.trace_len() as u64)
+        .det_u("fog_metrics", recorder.registry().len() as u64)
+        .measured("fog_baseline_ms", base_us as f64 / 1e3)
+        .measured("fog_recorded_ms", rec_us as f64 / 1e3);
 
     // Disabled tracing is a no-op in the strictest sense: the whole span
     // API — guards, child contexts, events, raw spans — performs zero
@@ -176,6 +189,9 @@ fn regenerate_figure() {
          allocations in {OPS} rounds",
         f3(disabled_trace_ns),
     );
+    json.det_u("disabled_trace_allocations", allocs)
+        .measured("disabled_trace_ns", disabled_trace_ns);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -10,7 +10,7 @@
 //! to shrink problem sizes for CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scfog::{FogSimulator, Placement, Topology, Workload};
 use scneural::layers::{Dense, Relu};
 use scneural::linalg::Mat;
@@ -19,13 +19,14 @@ use scneural::tensor::Tensor;
 use scnosql::document::Collection;
 use scnosql::wide_column::Table;
 use scpar::ScparConfig;
+use scprof::Profiler;
 use scstream::Topic;
 use smartcity_core::pipeline::CityDataPipeline;
 
 const THREADS: [usize; 4] = [1, 2, 4, 8];
 
 fn quick() -> bool {
-    std::env::var_os("E15_QUICK").is_some()
+    scbench::quick("e15")
 }
 
 fn time_ms(mut f: impl FnMut()) -> f64 {
@@ -172,6 +173,71 @@ fn regenerate_figure() {
         "\nhost parallelism: {} (speedups require multi-core hosts; outputs are identical regardless)",
         std::thread::available_parallelism().map_or(1, |n| n.get()),
     );
+
+    let mut json = BenchJson::new("e15", quick());
+    let labels = ["matmul", "batch_inference", "fog_sweep", "e1_pipeline"];
+    for (label, (_, times)) in labels.iter().zip(&kernels) {
+        json.measured(&format!("{label}_t1_ms"), times[0])
+            .measured(&format!("{label}_t4_ms"), times[2]);
+    }
+    profile_section(&mut json, mat_n, inf_rows);
+    json.write();
+}
+
+/// Measured per-kernel GFLOP/s: run the two neural kernels under a
+/// [`Profiler`], then rate the deterministic FLOP counts against the
+/// measured wall-clock window. FLOP totals are exact and thread-invariant;
+/// only the rates carry timer noise.
+fn profile_section(json: &mut BenchJson, mat_n: usize, inf_rows: usize) {
+    let profiler = Profiler::shared();
+    let handle = profiler.handle();
+    let cfg = ScparConfig::with_threads(4);
+
+    let data_a: Vec<f32> = splitmix_f64(25, mat_n * mat_n)
+        .iter()
+        .map(|v| *v as f32)
+        .collect();
+    let data_b: Vec<f32> = splitmix_f64(26, mat_n * mat_n)
+        .iter()
+        .map(|v| *v as f32)
+        .collect();
+    let a = Tensor::from_vec(vec![mat_n, mat_n], data_a).expect("shape matches data");
+    let b = Tensor::from_vec(vec![mat_n, mat_n], data_b).expect("shape matches data");
+
+    let net = Sequential::new()
+        .with(Dense::new(64, 128, 15))
+        .with(Relu::new())
+        .with(Dense::new(128, 64, 16))
+        .with(Relu::new())
+        .with(Dense::new(64, 8, 17))
+        .with_telemetry(handle.clone());
+    let inf_data: Vec<f32> = splitmix_f64(27, inf_rows * 64)
+        .iter()
+        .map(|v| *v as f32)
+        .collect();
+    let input = Tensor::from_vec(vec![inf_rows, 64], inf_data).expect("shape matches data");
+
+    let start = std::time::Instant::now();
+    std::hint::black_box(a.matmul_rec(&b, &cfg, &handle).expect("square matmul"));
+    std::hint::black_box(net.predict_with(&input, &cfg));
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let report = profiler.report().with_elapsed(elapsed_s);
+    println!("\nmeasured per-kernel GFLOP/s over a {elapsed_s:.4}s window:");
+    println!("{}", report.render_table(10));
+
+    let matmul_flops = report
+        .kernels
+        .iter()
+        .find(|k| k.name == scneural::tensor::KERNEL_MATMUL)
+        .map_or(0, |k| k.work.flops);
+    json.det_u("matmul_flops", matmul_flops)
+        .det_u(
+            "matmul_flops_closed_form",
+            2 * (mat_n as u64) * (mat_n as u64) * (mat_n as u64),
+        )
+        .measured("profile_window_s", elapsed_s);
+    json.profile(&report, elapsed_s);
 }
 
 fn bench(c: &mut Criterion) {

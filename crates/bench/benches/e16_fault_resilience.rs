@@ -21,7 +21,7 @@
 //! runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f1, f3, header, table};
+use scbench::{f1, f3, header, table, BenchJson};
 use scdfs::DfsCluster;
 use scfault::{FaultPlan, FaultSpec, RetryPolicy};
 use scfog::{FogSimulator, Placement, SimReport, Topology, Workload};
@@ -32,7 +32,7 @@ use smartcity_core::apps::vehicle::VehicleClassifier;
 const INTENSITIES: [f64; 4] = [0.0, 0.5, 1.0, 2.0];
 
 fn quick() -> bool {
-    std::env::var_os("E16_QUICK").is_some()
+    scbench::quick("e16")
 }
 
 /// Fog run under the plan: 23 nodes (1 cloud + 2 servers + 4 fogs + 16
@@ -134,6 +134,8 @@ fn regenerate_figure() {
     };
     let (acc_policy, acc_edge) = accuracy_pair();
 
+    let mut json = BenchJson::new("e16", quick());
+    let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     for &x in &INTENSITIES {
         let fog = fog_run(x, jobs);
@@ -148,6 +150,16 @@ fn regenerate_figure() {
         // Degraded jobs answer with the edge exit; the rest keep the
         // trained policy's accuracy.
         let eff_acc = acc_policy * (1.0 - take_rate) + acc_edge * take_rate;
+        let tag = format!("i{}", (x * 10.0) as u32);
+        json.det_u(&format!("{tag}_fog_lost"), fog.jobs_lost as u64)
+            .det_u(&format!("{tag}_fog_degraded"), fog.jobs_degraded as u64)
+            .det_u(&format!("{tag}_delivered"), audit.delivered as u64)
+            .det_u(&format!("{tag}_stream_lost"), audit.lost as u64)
+            .det_u(
+                &format!("{tag}_under_repl"),
+                dfs.final_stats.under_replicated as u64,
+            )
+            .det_f(&format!("{tag}_eff_accuracy"), eff_acc);
         rows.push(vec![
             f1(x),
             f3(fog.p99_latency_s * 1e3),
@@ -190,6 +202,10 @@ fn regenerate_figure() {
         f3(acc_policy),
         f3(acc_edge),
     );
+    json.det_f("policy_accuracy", acc_policy)
+        .det_f("edge_exit_accuracy", acc_edge)
+        .measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -20,7 +20,7 @@
 //! run and thread count. Set `E17_QUICK=1` for CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f1, f3, header, table};
+use scbench::{f1, f3, header, table, BenchJson};
 use scneural::layers::{Dense, Relu};
 use scneural::net::Sequential;
 use scserve::{ArrivalMode, ServeConfig, Server, ServingReport, WorkloadConfig, WorkloadGen};
@@ -30,7 +30,7 @@ const SERVICE_RATE: f64 = 2_000.0;
 const QUEUE_CAPACITY: usize = 64;
 
 fn quick() -> bool {
-    std::env::var_os("E17_QUICK").is_some()
+    scbench::quick("e17")
 }
 
 fn model() -> Sequential {
@@ -74,6 +74,8 @@ fn regenerate_figure() {
     let requests = if quick() { 1_200 } else { 5_000 };
     let p99_bound_ms = (QUEUE_CAPACITY as f64 / SERVICE_RATE + 1.0 / SERVICE_RATE) * 1e3;
 
+    let mut json = BenchJson::new("e17", quick());
+    let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     let mut knee: Option<f64> = None;
     for &rate in &RATES {
@@ -81,6 +83,11 @@ fn regenerate_figure() {
         if r.shed_fraction > 0.01 && knee.is_none() {
             knee = Some(rate);
         }
+        let tag = format!("r{}", rate as u64);
+        json.det_f(&format!("{tag}_p99_sim_ms"), r.p99_ms)
+            .det_f(&format!("{tag}_hit_rate"), r.hit_rate)
+            .det_f(&format!("{tag}_shed_fraction"), r.shed_fraction)
+            .det_u(&format!("{tag}_completed"), r.completed);
         rows.push(vec![
             f1(rate),
             f3(r.p50_ms),
@@ -119,6 +126,9 @@ fn regenerate_figure() {
             f1(SERVICE_RATE),
         ),
     }
+    json.det_f("knee_rate_per_s_det", knee.unwrap_or(0.0))
+        .measured("sweep_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

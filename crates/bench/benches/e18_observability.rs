@@ -14,7 +14,7 @@
 //! Set `E18_QUICK=1` for CI smoke runs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scfault::{FaultPlan, FaultSpec};
 use scfog::{FogSimulator, Placement, Topology, Workload};
 use scneural::layers::{Dense, Relu};
@@ -29,7 +29,7 @@ const SERVICE_RATE: f64 = 2_000.0;
 const LATENCY_BOUND_S: f64 = 0.05;
 
 fn quick() -> bool {
-    std::env::var_os("E18_QUICK").is_some()
+    scbench::quick("e18")
 }
 
 fn model() -> Sequential {
@@ -118,6 +118,8 @@ fn regenerate_figure() {
     );
     let requests = if quick() { 1_000 } else { 4_000 };
     let jobs = if quick() { 60 } else { 120 };
+    let mut json = BenchJson::new("e18", quick());
+    let wall = std::time::Instant::now();
 
     let clean = record_stack(SERVICE_RATE * 0.5, false, requests, jobs);
     let degraded = record_stack(SERVICE_RATE * 4.0, true, requests, jobs);
@@ -204,6 +206,13 @@ fn regenerate_figure() {
         "fault+overload run failed to fire a burn-rate alert:\n{}",
         degraded_report.render()
     );
+    json.det_u("clean_traces", clean_analysis.forest.len() as u64)
+        .det_u("clean_alerts", clean_report.len() as u64)
+        .det_u("degraded_traces", degraded_analysis.forest.len() as u64)
+        .det_u("degraded_alerts", degraded_report.len() as u64)
+        .det_u("chrome_trace_events", events as u64)
+        .measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 //! whole-pipeline throughput.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scnosql::document::Collection;
 use scnosql::wide_column::Table;
 use scstream::Topic;
@@ -16,8 +16,15 @@ fn regenerate_figure() {
         "Fig. 1 + Fig. 4",
         "Per-stage pipeline accounting at increasing ingest volumes",
     );
+    let quick = scbench::quick("e1");
+    let sizes: &[usize] = if quick {
+        &[200, 500]
+    } else {
+        &[200, 500, 1000, 2000]
+    };
+    let mut json = BenchJson::new("e1", quick);
     let mut rows = Vec::new();
-    for &records in &[200usize, 500, 1000, 2000] {
+    for &records in sizes {
         let pipeline = CityDataPipeline::new(1, records, records / 5);
         let mut topic = Topic::new("raw", 4);
         let mut store = Collection::new("incidents");
@@ -29,6 +36,11 @@ fn regenerate_figure() {
             .run()
             .expect("generated pipeline data is always valid");
         let secs = start.elapsed().as_secs_f64();
+        json.det_u(&format!("ingested_{records}"), report.ingested as u64)
+            .det_u(&format!("stored_{records}"), report.stored as u64)
+            .det_u(&format!("annotated_{records}"), report.annotated as u64)
+            .det_u(&format!("hotspots_{records}"), report.hotspots.len() as u64)
+            .measured(&format!("run_{records}_ms"), secs * 1e3);
         rows.push(vec![
             records.to_string(),
             report.ingested.to_string(),
@@ -39,6 +51,7 @@ fn regenerate_figure() {
             f3(report.ingested as f64 / secs / 1000.0),
         ]);
     }
+    json.write();
     table(
         &[
             "city_records",

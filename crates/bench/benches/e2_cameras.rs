@@ -3,9 +3,10 @@
 //! Fig. 2 map and measures spatial-query latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f1, header, table};
+use scbench::{f1, header, table, BenchJson};
 use scgeo::cameras::CameraNetwork;
 use scgeo::GeoPoint;
+use std::time::Instant;
 
 fn regenerate_figure() {
     header(
@@ -28,6 +29,20 @@ fn regenerate_figure() {
         .collect();
     table(&["city", "cameras", "corridor_km", "mean_spacing_m"], &rows);
     println!("TOTAL cameras: {} (paper claims >200)", net.len());
+
+    let mut json = BenchJson::new("e2", scbench::quick("e2"));
+    json.det_u("total_cameras", net.len() as u64)
+        .det_u("cities", net.coverage_report().len() as u64);
+    let downtown = GeoPoint::new(30.4515, -91.1871);
+    let start = Instant::now();
+    for _ in 0..200 {
+        std::hint::black_box(net.nearest(downtown, 5));
+    }
+    json.measured(
+        "nearest_200_queries_ms",
+        start.elapsed().as_secs_f64() * 1e3,
+    );
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -3,8 +3,9 @@
 //! escalation-rate series, then measures simulator throughput.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scfog::{FogSimulator, Placement, Tier, Topology, Workload};
+use std::time::Instant;
 
 fn regenerate_figure() {
     header(
@@ -12,8 +13,12 @@ fn regenerate_figure() {
         "Fig. 3 / §II-B1",
         "Computation placement across the four tiers: latency vs upstream bytes",
     );
+    let quick = scbench::quick("e3");
+    let jobs = if quick { 150 } else { 400 };
     let sim = FogSimulator::new(Topology::four_tier(8, 4, 2));
-    let workload = Workload::with_escalation(400, 100_000, 20.0, 0.3, 3);
+    let workload = Workload::with_escalation(jobs, 100_000, 20.0, 0.3, 3);
+    let mut json = BenchJson::new("e3", quick);
+    let wall = Instant::now();
     let mut rows = Vec::new();
     for (name, placement) in [
         ("all-edge", Placement::AllEdge),
@@ -35,6 +40,8 @@ fn regenerate_figure() {
         ),
     ] {
         let r = sim.runner(&workload).placement(placement).run();
+        json.det_f(&format!("{name}_mean_latency"), r.mean_latency_s)
+            .det_u(&format!("{name}_upstream_bytes"), r.total_upstream_bytes());
         rows.push(vec![
             name.to_string(),
             f3(r.mean_latency_s),
@@ -61,9 +68,10 @@ fn regenerate_figure() {
     );
 
     println!("\nEarly-exit escalation-rate series (Fig. 3's adaptive division):");
+    let series_jobs = if quick { 100 } else { 300 };
     let mut rows = Vec::new();
     for esc in [0.0, 0.25, 0.5, 0.75, 1.0] {
-        let w = Workload::with_escalation(300, 100_000, 20.0, esc, 4);
+        let w = Workload::with_escalation(series_jobs, 100_000, 20.0, esc, 4);
         let r = sim
             .runner(&w)
             .placement(Placement::EarlyExit {
@@ -78,6 +86,8 @@ fn regenerate_figure() {
         ]);
     }
     table(&["escalation", "mean_s", "fog_to_server_MB"], &rows);
+    json.measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

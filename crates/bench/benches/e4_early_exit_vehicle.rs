@@ -4,19 +4,20 @@
 //! escalated inference latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scdata::vehicles::VehicleCatalog;
 use scdata::video::FrameGenerator;
 use scfog::{FogSimulator, Placement, Topology, Workload};
 use smartcity_core::apps::vehicle::VehicleClassifier;
 
 fn trained_classifier() -> (VehicleClassifier, Vec<scdata::video::Frame>, Vec<usize>) {
+    let quick = scbench::quick("e4");
     let classes = 6;
     let catalog = VehicleCatalog::generate(classes, 4);
     let mut gen = FrameGenerator::new(catalog.clone(), 16, 16, 5).noise(0.02);
-    let (frames, labels) = gen.dataset(classes, 15);
+    let (frames, labels) = gen.dataset(classes, if quick { 8 } else { 15 });
     let mut clf = VehicleClassifier::new(classes, 16, 0.5, 6);
-    clf.train(&frames, &labels, 50, 0.01);
+    clf.train(&frames, &labels, if quick { 25 } else { 50 }, 0.01);
     // Held-out evaluation set at a harder noise level: the tiny local head
     // degrades more than the full server model, so the accuracy column
     // rises with the threshold (Fig. 5's quality/efficiency trade-off).
@@ -36,10 +37,16 @@ fn regenerate_figure(
         "Confidence-threshold sweep: offload fraction, accuracy, implied fog latency",
     );
     let sim = FogSimulator::new(Topology::four_tier(8, 2, 1));
+    let mut json = BenchJson::new("e4", scbench::quick("e4"));
+    let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     for &threshold in &[0.0f32, 0.3, 0.5, 0.7, 0.9, 0.99, 1.01] {
         clf.set_threshold(threshold);
         let (acc, offload) = clf.evaluate(frames, labels);
+        if (threshold - 0.5).abs() < 1e-6 {
+            json.det_f("offload_at_0_5", offload)
+                .det_f("accuracy_at_0_5", acc);
+        }
         let w = Workload::with_escalation(200, 100_000, 20.0, offload, 7);
         let fog = sim
             .runner(&w)
@@ -71,6 +78,13 @@ fn regenerate_figure(
         clf.network_mut().local_param_count(),
         clf.network_mut().server_param_count()
     );
+    json.det_u("local_params", clf.network_mut().local_param_count() as u64)
+        .det_u(
+            "server_params",
+            clf.network_mut().server_param_count() as u64,
+        )
+        .measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

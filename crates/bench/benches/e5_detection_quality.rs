@@ -5,7 +5,7 @@
 //! detection latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scdata::vehicles::VehicleCatalog;
 use scdata::video::FrameGenerator;
 use scneural::metrics::ConfusionMatrix;
@@ -18,15 +18,22 @@ fn regenerate_figure() -> SceneDetector {
         "Detection & classification quality on synthetic labelled scenes",
     );
     let full = std::env::var("SMARTCITY_FULL").is_ok();
+    let quick = scbench::quick("e5");
     let classes = if full { 400 } else { 8 };
-    let per_class = if full { 80 } else { 15 };
+    let per_class = if full {
+        80
+    } else if quick {
+        8
+    } else {
+        15
+    };
     println!("catalog: {classes} classes x {per_class} crops (paper: 400 classes, 32,000 images)");
     let catalog = VehicleCatalog::generate(classes, 8);
     let train_classes = classes.min(8); // train a tractable classifier head
     let mut gen = FrameGenerator::new(catalog.clone(), 16, 16, 9).noise(0.02);
     let (frames, labels) = gen.dataset(train_classes, per_class);
     let mut clf = VehicleClassifier::new(train_classes, 16, 0.8, 10);
-    clf.train(&frames, &labels, 50, 0.01);
+    clf.train(&frames, &labels, if quick { 25 } else { 50 }, 0.01);
 
     // Crop-level confusion metrics.
     let decisions = clf.classify(&frames);
@@ -55,7 +62,8 @@ fn regenerate_figure() -> SceneDetector {
     let mut detector = SceneDetector::new(clf, 0.15);
     let mut localized = 0;
     let mut total = 0;
-    for _ in 0..20 {
+    let wall = std::time::Instant::now();
+    for _ in 0..if quick { 8 } else { 20 } {
         let (scene, truths) = scene_gen.scene(2);
         let detections = detector.detect(&scene);
         total += truths.len();
@@ -64,7 +72,15 @@ fn regenerate_figure() -> SceneDetector {
             .filter(|t| detections.iter().any(|d| d.bbox.iou(&t.bbox) > 0.1))
             .count();
     }
+    let scenes_ms = wall.elapsed().as_secs_f64() * 1e3;
     println!("scene localization recall: {localized}/{total}");
+    let mut json = BenchJson::new("e5", quick);
+    json.det_f("crop_accuracy", cm.accuracy())
+        .det_f("macro_f1", cm.macro_f1())
+        .det_u("localized", localized as u64)
+        .det_u("scene_objects", total as u64)
+        .measured("scene_detection_ms", scenes_ms);
+    json.write();
     detector
 }
 

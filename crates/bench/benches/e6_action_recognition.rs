@@ -3,7 +3,7 @@
 //! server. Measures device-path and full-path clip inference.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scdata::actions::ClipGenerator;
 use smartcity_core::apps::actions::ActionRecognizer;
 
@@ -13,17 +13,25 @@ fn regenerate_figure() -> (ActionRecognizer, Vec<scdata::actions::Clip>, Vec<usi
         "Fig. 7 / §IV-A2",
         "Entropy-threshold sweep over the two-exit CNN+LSTM recognizer",
     );
+    let quick = scbench::quick("e6");
     let mut gen = ClipGenerator::new(16, 16, 8, 13);
     let (clips, labels) = gen.dataset(6);
     let mut rec = ActionRecognizer::new(16, 8, 6, 0.6, 14);
-    rec.train(&clips, &labels, 45);
+    rec.train(&clips, &labels, if quick { 20 } else { 45 });
 
+    let mut json = BenchJson::new("e6", quick);
+    let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     for &threshold in &[f32::INFINITY, 1.6, 1.45, 1.3, 1.15, 1.0, -1.0] {
         rec.set_entropy_threshold(threshold);
         let (acc, offload) = rec.evaluate(&clips, &labels);
         let recs = rec.recognize(&clips);
         let bytes: usize = recs.iter().map(|r| r.feature_bytes).sum();
+        if (threshold - 1.3).abs() < 1e-6 {
+            json.det_f("accuracy_at_1_3", acc)
+                .det_f("offload_at_1_3", offload)
+                .det_u("feature_bytes_at_1_3", bytes as u64);
+        }
         rows.push(vec![
             if threshold.is_infinite() {
                 "inf".into()
@@ -47,6 +55,9 @@ fn regenerate_figure() -> (ActionRecognizer, Vec<scdata::actions::Clip>, Vec<usi
         &rows,
     );
     println!("device-side params: {}", rec.local_param_count());
+    json.det_u("local_params", rec.local_param_count() as u64)
+        .measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
     (rec, clips, labels)
 }
 

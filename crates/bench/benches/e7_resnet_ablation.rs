@@ -3,7 +3,7 @@
 //! convergence/accuracy comparison and measures per-variant forward latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f3, header, table};
+use scbench::{f3, header, table, BenchJson};
 use scneural::blocks::{InceptionBlock, ResidualBlock, Shortcut};
 use scneural::layers::{Dense, Flatten, Layer};
 use scneural::loss::SoftmaxCrossEntropy;
@@ -63,7 +63,11 @@ fn regenerate_figure() {
         "Fig. 8 / §III-A",
         "CNN-block ablation: ResNet shortcuts (conv = paper, identity, max-pool) + inception variant",
     );
-    let (x, y) = blob_dataset(48, 15);
+    let quick = scbench::quick("e7");
+    let (x, y) = blob_dataset(if quick { 32 } else { 48 }, 15);
+    let epochs = if quick { 25 } else { 60 };
+    let mut json = BenchJson::new("e7", quick);
+    let wall = std::time::Instant::now();
     let mut rows = Vec::new();
     for (name, net_builder) in [
         ("resnet conv (paper)", net_with(Shortcut::Conv, 16)),
@@ -74,8 +78,14 @@ fn regenerate_figure() {
         let mut net = net_builder;
         let mut loss = SoftmaxCrossEntropy::new();
         let mut opt = Adam::new(0.01);
-        let losses = net.fit(&x, &y, &mut loss, &mut opt, 60);
+        let losses = net.fit(&x, &y, &mut loss, &mut opt, epochs);
         let acc = net.accuracy(&x, &y);
+        let slug = name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+            .collect::<String>();
+        json.det_u(&format!("params_{slug}"), net.param_count() as u64)
+            .det_f(&format!("accuracy_{slug}"), acc);
         // Epochs to reach loss < 0.5 (convergence speed proxy).
         let converge = losses
             .iter()
@@ -101,6 +111,8 @@ fn regenerate_figure() {
         ],
         &rows,
     );
+    json.measured("figure_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -3,7 +3,7 @@
 //! reduction factor. Measures graph expansion and narrowing latency.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f1, header, table};
+use scbench::{f1, header, table, BenchJson};
 use scdata::tweets::TweetGenerator;
 use scgeo::GeoPoint;
 use scsocial::narrowing::{person_handle, Incident, Narrower, NarrowingConfig};
@@ -64,9 +64,25 @@ fn regenerate_figure() {
         ],
     );
 
+    let quick = scbench::quick("e8");
+    let mut json = BenchJson::new("e8", quick);
+    json.det_u("gangs", network.gang_count() as u64)
+        .det_u("members", network.member_count() as u64)
+        .det_f("mean_first_degree", stats.mean_first_degree)
+        .det_f("mean_second_degree", stats.mean_second_degree);
+
     println!("\nNarrowing across incidents (3 guilty associates each):");
+    let incidents = if quick { 3 } else { 5 };
+    let wall = std::time::Instant::now();
+    let mut poi_total = 0u64;
     let mut rows = Vec::new();
-    for (i, &seed_person) in network.members().iter().step_by(200).take(5).enumerate() {
+    for (i, &seed_person) in network
+        .members()
+        .iter()
+        .step_by(200)
+        .take(incidents)
+        .enumerate()
+    {
         let incident = Incident {
             location: GeoPoint::new(30.4515, -91.1871),
             time: SimTime::from_secs(40_000),
@@ -75,6 +91,7 @@ fn regenerate_figure() {
         let tweets = corpus(&network, &incident, 3);
         let narrower = Narrower::new(&network, &tweets, NarrowingConfig::default());
         let report = narrower.narrow(&incident);
+        poi_total += report.persons_of_interest.len() as u64;
         rows.push(vec![
             format!("incident-{i}"),
             report.first_degree.to_string(),
@@ -84,6 +101,9 @@ fn regenerate_figure() {
         ]);
     }
     table(&["case", "first_deg", "field", "poi", "reduction_x"], &rows);
+    json.det_u("persons_of_interest_total", poi_total)
+        .measured("narrowing_wall_ms", wall.elapsed().as_secs_f64() * 1e3);
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

@@ -4,18 +4,24 @@
 //! failures with re-replication.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use scbench::{f1, header, table};
+use scbench::{f1, header, table, BenchJson};
 use scdfs::DfsCluster;
 use scnosql::wide_column::Table;
 use std::time::Instant;
 
-const N: usize = 2_000;
+fn n() -> usize {
+    if scbench::quick("e9") {
+        500
+    } else {
+        2_000
+    }
+}
 
 fn seeded_stores() -> (Table, DfsCluster) {
     let mut table = Table::new("incidents", 256);
     let mut dfs = DfsCluster::new(5, 3, 8 * 1024, 30).unwrap();
     let mut batch = Vec::new();
-    for i in 0..N {
+    for i in 0..n() {
         let record = format!("incident-{i:06},ROBBERY,district-4");
         table
             .put(
@@ -42,7 +48,7 @@ fn regenerate_figure() {
 
     // (a) 100 random point reads.
     let keys: Vec<String> = (0..100)
-        .map(|i| format!("row-{:06}", (i * 97) % N))
+        .map(|i| format!("row-{:06}", (i * 97) % n()))
         .collect();
     let start = Instant::now();
     for k in &keys {
@@ -97,6 +103,14 @@ fn regenerate_figure() {
         blob.len()
     );
 
+    let mut json = BenchJson::new("e9", scbench::quick("e9"));
+    json.det_u("rows_scanned", scanned as u64)
+        .det_u("dfs_file_bytes", blob.len() as u64)
+        .measured("random_reads_wide_column_ms", wc_time * 1e3)
+        .measured("random_reads_dfs_ms", dfs_time * 1e3)
+        .measured("batch_scan_wide_column_ms", scan_time * 1e3)
+        .measured("batch_read_dfs_ms", batch_time * 1e3);
+
     // (b) Availability under progressive failures.
     println!("\nDFS availability (replication=3) under failures:");
     let mut rows = Vec::new();
@@ -108,6 +122,12 @@ fn regenerate_figure() {
         let readable_before = dfs.read("/incidents/all.dat").is_ok();
         let created = dfs.re_replicate();
         let stats = dfs.stats();
+        json.det_u(
+            &format!("kills{kills}_readable"),
+            u64::from(readable_before),
+        )
+        .det_u(&format!("kills{kills}_re_replicated"), created as u64)
+        .det_u(&format!("kills{kills}_lost"), stats.lost as u64);
         rows.push(vec![
             kills.to_string(),
             readable_before.to_string(),
@@ -126,6 +146,7 @@ fn regenerate_figure() {
         ],
         &rows,
     );
+    json.write();
 }
 
 fn bench(c: &mut Criterion) {

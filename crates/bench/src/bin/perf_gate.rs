@@ -1,0 +1,92 @@
+//! perf_gate — compares fresh `BENCH_<name>.json` runs against a committed
+//! baseline directory and exits nonzero on regression.
+//!
+//! ```text
+//! perf_gate --baseline tests/golden/bench_baseline --fresh target/bench-json \
+//!           [--tolerance 0.5] [--skip-measured]
+//! ```
+//!
+//! * Deterministic fields must match the baseline exactly.
+//! * Measured fields are held to a direction-aware relative band
+//!   (`_ms`/`_s` lower-is-better, `_per_s` higher-is-better); the default
+//!   tolerance of 0.5 allows a time metric up to 1.5x the baseline.
+//! * `SCPROF_TEST_SLOWDOWN=<f>` scales time-like fresh metrics at load
+//!   time — gating a directory against itself with a 2x slowdown must
+//!   fail, which is the CI self-test that proves the gate has teeth.
+//!
+//! Exit codes: 0 = pass, 1 = regression, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: perf_gate --baseline <dir> --fresh <dir> [--tolerance <frac>] [--skip-measured]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut baseline: Option<PathBuf> = None;
+    let mut fresh: Option<PathBuf> = None;
+    let mut tolerance = 0.5_f64;
+    let mut skip_measured = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--baseline" => match args.next() {
+                Some(v) => baseline = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--fresh" => match args.next() {
+                Some(v) => fresh = Some(PathBuf::from(v)),
+                None => return usage(),
+            },
+            "--tolerance" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) if v.is_finite() && v >= 0.0 => tolerance = v,
+                _ => return usage(),
+            },
+            "--skip-measured" => skip_measured = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+    let (Some(baseline), Some(fresh)) = (baseline, fresh) else {
+        return usage();
+    };
+
+    let slowdown = scbench::test_slowdown();
+    if slowdown != 1.0 {
+        println!("perf-gate: applying injected slowdown x{slowdown} to fresh time metrics");
+    }
+
+    match scbench::gate::compare_dirs(&baseline, &fresh, tolerance, skip_measured, slowdown) {
+        Err(e) => {
+            eprintln!("perf-gate: error: {e}");
+            ExitCode::from(2)
+        }
+        Ok(cmp) => {
+            println!(
+                "perf-gate: checked {} deterministic and {} measured metrics (tolerance {tolerance}, skip_measured={skip_measured})",
+                cmp.checked_deterministic, cmp.checked_measured
+            );
+            if cmp.regressions.is_empty() {
+                println!("perf-gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                for r in &cmp.regressions {
+                    println!(
+                        "perf-gate: REGRESSION {}::{} — {}",
+                        r.bench, r.metric, r.detail
+                    );
+                }
+                println!("perf-gate: FAIL ({} regressions)", cmp.regressions.len());
+                ExitCode::from(1)
+            }
+        }
+    }
+}

@@ -11,7 +11,7 @@ use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sctelemetry::TelemetryHandle;
+use sctelemetry::{TelemetryHandle, WorkDelta};
 
 /// Metric name of the per-stage wall-clock histogram (narrow and wide).
 pub const METRIC_STAGE_SECONDS: &str = "sccompute_dataflow_stage_seconds";
@@ -21,6 +21,9 @@ pub const METRIC_NARROW_STAGES: &str = "sccompute_dataflow_narrow_stages_total";
 pub const METRIC_SHUFFLE_STAGES: &str = "sccompute_dataflow_shuffle_stages_total";
 /// Metric name of the shuffled-records counter.
 pub const METRIC_SHUFFLED_RECORDS: &str = "sccompute_dataflow_shuffled_records_total";
+
+/// Prefix of per-stage work-accounting kernels (`compute/dataflow/<kind>`).
+pub const KERNEL_DATAFLOW_PREFIX: &str = "compute/dataflow/";
 
 /// Execution counters shared along a lineage of datasets.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +119,17 @@ impl<T: Send + Sync + Clone> Dataset<T> {
             .counter_inc(METRIC_NARROW_STAGES, "narrow (partition-local) stages run");
     }
 
+    /// Attributes one stage's element throughput to the
+    /// `compute/dataflow/<kind>` kernel. Stage and element counts are a
+    /// function of the lineage alone, never the thread count, so these
+    /// deltas are deterministic.
+    fn record_stage_work(&self, kind: &str, items: u64) {
+        if self.telemetry.is_enabled() {
+            let kernel = format!("{KERNEL_DATAFLOW_PREFIX}{kind}");
+            self.telemetry.work(&kernel, WorkDelta::items(items));
+        }
+    }
+
     fn record_shuffle(&self, moved: u64) {
         let mut stats = self.stats.0.lock();
         stats.shuffle_stages += 1;
@@ -174,6 +188,7 @@ impl<T: Send + Sync + Clone> Dataset<T> {
         F: Fn(&T) -> U + Send + Sync,
     {
         self.record_narrow_stage();
+        self.record_stage_work("map", self.count() as u64);
         let _timer = self
             .telemetry
             .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
@@ -187,6 +202,7 @@ impl<T: Send + Sync + Clone> Dataset<T> {
         F: Fn(&T) -> bool + Send + Sync,
     {
         self.record_narrow_stage();
+        self.record_stage_work("filter", self.count() as u64);
         let _timer = self
             .telemetry
             .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
@@ -201,6 +217,7 @@ impl<T: Send + Sync + Clone> Dataset<T> {
         F: Fn(&T) -> Vec<U> + Send + Sync,
     {
         self.record_narrow_stage();
+        self.record_stage_work("flat_map", self.count() as u64);
         let _timer = self
             .telemetry
             .wall_timer(METRIC_STAGE_SECONDS, "wall-clock time per stage");
@@ -251,6 +268,7 @@ impl<T: Send + Sync + Clone> Dataset<T> {
             }
         }
         self.record_shuffle(moved);
+        self.record_stage_work("repartition", moved);
         self.with_lineage(buckets)
     }
 }
@@ -297,6 +315,7 @@ where
             }
         }
         self.record_shuffle(moved);
+        self.record_stage_work("reduce_by_key", self.count() as u64 + moved);
         // Reduce-side merge.
         let reduced: Vec<Vec<(K, V)>> = buckets
             .into_iter()
@@ -351,6 +370,7 @@ where
             }
         }
         self.record_shuffle(moved);
+        self.record_stage_work("join", moved);
         let joined: Vec<Vec<(K, (V, W))>> = left
             .into_iter()
             .zip(right)
@@ -504,6 +524,30 @@ mod tests {
     #[should_panic(expected = "at least one partition")]
     fn zero_partitions_panics() {
         let _: Dataset<i32> = Dataset::from_vec(vec![], 0);
+    }
+
+    #[test]
+    fn stage_work_attributed_per_kind() {
+        #[derive(Default)]
+        struct WorkSink(Mutex<std::collections::BTreeMap<String, WorkDelta>>);
+        impl sctelemetry::Recorder for WorkSink {
+            fn record_work(&self, kernel: &str, work: WorkDelta) {
+                *self.0.lock().entry(kernel.to_string()).or_default() += work;
+            }
+        }
+        let sink = Arc::new(WorkSink::default());
+        let ds = Dataset::from_vec((0..40).collect::<Vec<i32>>(), 4)
+            .with_telemetry(TelemetryHandle::new(sink.clone()));
+        let _ = ds
+            .map(|x| (*x % 4, 1u64))
+            .reduce_by_key(|a, b| a + b)
+            .collect();
+        let work = sink.0.lock();
+        assert_eq!(work["compute/dataflow/map"].items, 40);
+        // reduce_by_key processes its 40 inputs plus the shuffled records.
+        let moved = ds.stats().shuffled_records;
+        assert!(moved > 0);
+        assert_eq!(work["compute/dataflow/reduce_by_key"].items, 40 + moved);
     }
 
     #[test]

@@ -6,9 +6,15 @@
 //! `reduce_by_key` shuffle.
 
 use scpar::ScparConfig;
+use sctelemetry::{ActivityScope, TelemetryHandle, WorkDelta};
 use simclock::SeededRng;
 
 use crate::dataflow::Dataset;
+
+/// Work-accounting kernel of the k-means assignment step (distances).
+pub const KERNEL_KMEANS_ASSIGN: &str = "compute/kmeans/assign";
+/// Work-accounting kernel of the k-means centroid-update step.
+pub const KERNEL_KMEANS_UPDATE: &str = "compute/kmeans/update";
 
 /// Result of a k-means run.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,6 +157,38 @@ pub fn kmeans_par(
     seed: u64,
     cfg: &ScparConfig,
 ) -> KMeansModel {
+    kmeans_par_with(
+        points,
+        k,
+        max_iters,
+        seed,
+        cfg,
+        &TelemetryHandle::disabled(),
+    )
+}
+
+/// [`kmeans_par`] with per-step work accounting.
+///
+/// Records the assignment step (all point-centroid distances, plus the
+/// final inertia pass) under [`KERNEL_KMEANS_ASSIGN`] and the centroid
+/// update (partial-sum accumulation, fold, and division) under
+/// [`KERNEL_KMEANS_UPDATE`], one delta per iteration. Iteration counts and
+/// the closed-form work formulas depend only on the input, so the
+/// recorded totals are identical at any thread count.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points, or if points have
+/// inconsistent dimensionality.
+pub fn kmeans_par_with(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    cfg: &ScparConfig,
+    telemetry: &TelemetryHandle,
+) -> KMeansModel {
+    let _activity = ActivityScope::enter("compute/kmeans");
     assert!(k > 0 && k <= points.len(), "k out of range");
     let dim = points[0].len();
     assert!(
@@ -172,9 +210,28 @@ pub fn kmeans_par(
         centroids.push(points[idx].clone());
     }
 
+    let n = points.len() as u64;
+    let chunks = points.len().div_ceil(KMEANS_CHUNK_POINTS) as u64;
+    let (kd, dimd) = (k as u64, dim as u64);
     let mut iterations = 0;
     for _ in 0..max_iters {
         iterations += 1;
+        if telemetry.is_enabled() {
+            // One delta per iteration, closed-form in (n, k, dim, chunks):
+            // distances are 3 flops per dimension per point-centroid pair;
+            // the update accumulates every point into its centroid sum,
+            // folds the fixed chunk partials, and divides.
+            telemetry.work(
+                KERNEL_KMEANS_ASSIGN,
+                WorkDelta::flops(3 * n * kd * dimd)
+                    .with_bytes(8 * dimd * (n + kd))
+                    .with_items(n),
+            );
+            telemetry.work(
+                KERNEL_KMEANS_UPDATE,
+                WorkDelta::flops(n * dimd + chunks * kd * dimd + kd * dimd).with_items(kd),
+            );
+        }
         let current = &centroids;
         let partials = scpar::par_map_chunks(cfg, points, KMEANS_CHUNK_POINTS, |_ci, chunk| {
             let mut sums = vec![vec![0.0f64; dim]; k];
@@ -217,6 +274,15 @@ pub fn kmeans_par(
         }
     }
 
+    if telemetry.is_enabled() {
+        // Final inertia pass is one more full assignment sweep.
+        telemetry.work(
+            KERNEL_KMEANS_ASSIGN,
+            WorkDelta::flops(3 * n * kd * dimd)
+                .with_bytes(8 * dimd * (n + kd))
+                .with_items(n),
+        );
+    }
     let inertia = scpar::par_map_chunks(cfg, points, KMEANS_CHUNK_POINTS, |_ci, chunk| {
         chunk.iter().map(|p| nearest(p, &centroids).1).sum::<f64>()
     })
@@ -494,6 +560,9 @@ pub fn train_test_split<T: Clone>(data: &[T], test_fraction: f64, seed: u64) -> 
 
 #[cfg(test)]
 mod tests {
+    use std::collections::BTreeMap;
+    use std::sync::{Arc, Mutex};
+
     use super::*;
 
     fn blobs(n_per: usize, centers: &[(f64, f64)], seed: u64) -> Vec<Vec<f64>> {
@@ -654,5 +723,49 @@ mod tests {
     fn kmeans_rejects_bad_k() {
         let ds = Dataset::from_vec(vec![vec![0.0]], 1);
         let _ = kmeans(&ds, 2, 5, 0);
+    }
+
+    #[derive(Default)]
+    struct WorkSink(Mutex<BTreeMap<String, WorkDelta>>);
+
+    impl sctelemetry::Recorder for WorkSink {
+        fn record_work(&self, kernel: &str, work: WorkDelta) {
+            *self
+                .0
+                .lock()
+                .unwrap()
+                .entry(kernel.to_string())
+                .or_default() += work;
+        }
+    }
+
+    #[test]
+    fn kmeans_par_with_records_thread_invariant_work() {
+        let pts = blobs(100, &[(0.0, 0.0), (6.0, 6.0)], 21);
+        let collect = |threads: Option<usize>| {
+            let sink = Arc::new(WorkSink::default());
+            let handle = TelemetryHandle::new(sink.clone());
+            let cfg = match threads {
+                None => ScparConfig::serial(),
+                Some(t) => ScparConfig::with_threads(t),
+            };
+            let model = kmeans_par_with(&pts, 2, 30, 22, &cfg, &handle);
+            let work = sink.0.lock().unwrap().clone();
+            (model, work)
+        };
+        let (serial_model, serial_work) = collect(None);
+        assert!(serial_work.contains_key(KERNEL_KMEANS_ASSIGN));
+        assert!(serial_work.contains_key(KERNEL_KMEANS_UPDATE));
+        // Assignment covers every point each iteration plus the inertia pass.
+        let assign = &serial_work[KERNEL_KMEANS_ASSIGN];
+        assert_eq!(
+            assign.items,
+            (serial_model.iterations as u64 + 1) * pts.len() as u64
+        );
+        for threads in [2, 8] {
+            let (model, work) = collect(Some(threads));
+            assert_eq!(model, serial_model);
+            assert_eq!(work, serial_work, "{threads} threads");
+        }
     }
 }

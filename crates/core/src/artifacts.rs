@@ -28,13 +28,14 @@ use scneural::layers::{Dense, Relu};
 use scneural::net::Sequential;
 use scobserve::{chrome_trace, evaluate, folded_stacks, SloRule, TraceAnalysis, TraceForest};
 use scpar::ScparConfig;
+use scprof::{CostDimension, Profiler};
 use scserve::{ServeConfig, Server, WorkloadConfig, WorkloadGen};
 use sctelemetry::{prometheus_text, Report, Telemetry};
 use serde_json::{json, Value};
 
 use crate::infrastructure::Cyberinfrastructure;
 use crate::pipeline::CityDataPipeline;
-use crate::viz::{dashboard_with_reports, svg_bar_chart, svg_line_chart, Series};
+use crate::viz::{dashboard_with_reports, svg_bar_chart, svg_line_chart, telemetry_panel, Series};
 
 /// Everything the city dashboard ships, as strings keyed by file name.
 #[derive(Debug, Clone)]
@@ -90,16 +91,25 @@ impl DashboardArtifacts {
 /// be a bug in the generators, or on JSON serialization failure.
 pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> DashboardArtifacts {
     // 1. Mining pipeline with a telemetry recorder: stage spans, counters,
-    //    and the storage consumer group's metrics in one registry.
+    //    and the storage consumer group's metrics in one registry. The
+    //    recorder is wrapped in a work-accounting profiler, so per-kernel
+    //    flops/bytes/items from every layer land in the profile panel.
     let telemetry = Telemetry::shared();
+    let profiler = Profiler::shared_wrapping(telemetry.clone());
     let mut infra = Cyberinfrastructure::builder().seed(seed).build();
     let pipeline = CityDataPipeline::new(seed, records, waze);
     let (topic, store, annotations) = infra.pipeline_stores();
-    let report = pipeline
+    let mut report = pipeline
         .runner(topic, store, annotations)
-        .recorder(&telemetry)
+        .telemetry(profiler.handle())
         .run()
         .expect("generated pipeline data is always valid");
+    if let Value::Object(dash) = &mut report.dashboard {
+        dash.insert(
+            "telemetry".to_string(),
+            telemetry_panel(telemetry.registry()),
+        );
+    }
 
     let incidents_geojson =
         serde_json::to_string_pretty(&report.geojson).expect("geojson serializes");
@@ -161,7 +171,7 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
     let mut server = Server::new(ServeConfig::default())
         .with_model(model)
         .with_par(ScparConfig::from_env())
-        .with_telemetry(telemetry.handle())
+        .with_telemetry(profiler.handle())
         .with_trace_seed(seed);
     let serving_report = WorkloadGen::new(WorkloadConfig {
         seed,
@@ -179,7 +189,7 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
             local_fraction: 0.3,
             feature_bytes: 20_000,
         })
-        .telemetry(telemetry.handle())
+        .telemetry(profiler.handle())
         .trace_seed(seed)
         .run();
     let dfs_stats = infra.dfs().stats();
@@ -229,6 +239,32 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
             .collect(),
         unattributed: Vec::new(),
     };
+    // Deterministic per-kernel profile: the integer work core is exact at
+    // any thread count, and rates use the pipeline's *simulated* elapsed
+    // time (1 µs per item plus 1 µs per stage), so the panel is golden-safe.
+    let prof_report = profiler.report();
+    let pipeline_sim_us: u64 = prof_report
+        .kernels
+        .iter()
+        .filter(|k| k.name.starts_with("pipeline/"))
+        .map(|k| k.work.items + 1)
+        .sum();
+    let sim_elapsed_s = pipeline_sim_us as f64 * 1e-6;
+    let profile_panel: Vec<Value> = prof_report
+        .top_by_cost(10)
+        .iter()
+        .map(|k| {
+            json!({
+                "kernel": k.name,
+                "flops": k.work.flops,
+                "bytes": k.work.bytes,
+                "items": k.work.items,
+                "pct_cost": format!("{:.2}", prof_report.pct_cost(k)),
+                "gflops_per_s": format!("{:.6}", k.gflops_per_s(sim_elapsed_s)),
+            })
+        })
+        .collect();
+
     let mut trace_doc = chrome_trace(&sub_forest);
     if let Value::Object(obj) = &mut trace_doc {
         obj.insert(
@@ -239,6 +275,10 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
         obj.insert(
             "flamegraph".to_string(),
             Value::String(folded_stacks(&sub_forest)),
+        );
+        obj.insert(
+            "work_flamegraph".to_string(),
+            Value::String(prof_report.folded(CostDimension::Flops)),
         );
     }
     let trace_json = serde_json::to_string_pretty(&trace_doc).expect("trace doc serializes");
@@ -262,10 +302,15 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
             Value::Array(critical_path_panel),
         );
         obj.insert("alerts".to_string(), alert_report.to_json_full());
+        obj.insert("profile".to_string(), Value::Array(profile_panel));
     }
     let layers_json = serde_json::to_string_pretty(&layers).expect("layers serialize");
 
-    // 8. Prometheus scrape snapshot of the whole run.
+    // 8. Prometheus scrape snapshot of the whole run, including the
+    //    `smartcity_prof_*` work-counter family.
+    profiler
+        .publish_metrics(telemetry.registry())
+        .expect("prof metric family has no name collisions");
     let metrics_prom = prometheus_text(telemetry.registry());
 
     DashboardArtifacts {
@@ -334,6 +379,27 @@ mod tests {
         assert!(trace["flamegraph"].as_str().unwrap().contains("scserve"));
         let layers: Value = serde_json::from_str(&a.layers_json).unwrap();
         assert!(layers["alerts"]["compliance"].as_array().unwrap().len() == 3);
+    }
+
+    #[test]
+    fn profile_panel_ranks_kernels_with_rates() {
+        let a = build_dashboard_artifacts(5, 120, 30);
+        let layers: Value = serde_json::from_str(&a.layers_json).unwrap();
+        let panel = layers["profile"].as_array().unwrap();
+        assert!(!panel.is_empty() && panel.len() <= 10);
+        let kernels: Vec<_> = panel
+            .iter()
+            .map(|e| e["kernel"].as_str().unwrap())
+            .collect();
+        assert!(kernels.iter().any(|k| k.starts_with("compute/kmeans/")));
+        assert!(kernels.iter().any(|k| k.starts_with("fog/")));
+        for e in panel {
+            assert!(e["gflops_per_s"].as_str().is_some());
+        }
+        assert!(a.metrics_prom.contains("smartcity_prof_kernel_flops_total"));
+        let trace: Value = serde_json::from_str(&a.trace_json).unwrap();
+        let folded = trace["work_flamegraph"].as_str().unwrap();
+        assert!(folded.contains("compute;kmeans;assign "));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! different deep learning model\[s\] for inference and the result of inference
 //! will be sent to the web server to be visualized on our website."
 
-use sccompute::mllib::kmeans_par;
+use sccompute::mllib::kmeans_par_with;
 use scdata::city::{OpenCityGenerator, OpenRecord, OpenRecordKind};
 use scdata::waze::{WazeGenerator, WazeReport};
 use scgeo::corridor::Corridor;
@@ -16,7 +16,9 @@ use scnosql::wide_column::Table;
 use scnosql::NosqlError;
 use scpar::ScparConfig;
 use scstream::{ConsumerGroup, ConsumerId, Event, Topic};
-use sctelemetry::{Report, SpanContext, Telemetry, TelemetryHandle, TraceId, STREAM_PIPELINE};
+use sctelemetry::{
+    Report, SpanContext, Telemetry, TelemetryHandle, TraceId, WorkDelta, STREAM_PIPELINE,
+};
 use serde_json::Value;
 use simclock::SimTime;
 
@@ -232,6 +234,9 @@ impl CityDataPipeline {
                 SimTime::from_micros(*cursor),
                 root_ctx.child(stage_seq),
             );
+            // One batch-aggregated work delta per stage; the span name
+            // doubles as the kernel name (`pipeline/<stage>`).
+            telemetry.work(name, WorkDelta::items(items as u64));
             stage_seq += 1;
         };
 
@@ -303,7 +308,7 @@ impl CityDataPipeline {
             .collect();
         let mined_items = crime_points.len();
         let hotspots: Vec<GeoPoint> = if crime_points.len() >= 3 {
-            let model = kmeans_par(&crime_points, 3, 25, self.seed, par);
+            let model = kmeans_par_with(&crime_points, 3, 25, self.seed, par, telemetry);
             model
                 .centroids
                 .iter()

@@ -6,7 +6,7 @@ use scfault::{FaultPlan, LatencySpikes, OutageWindows, RetryPolicy, FOREVER};
 use scpar::ScparConfig;
 use sctelemetry::{
     prometheus_text, MetricsRegistry, Report, SampleSummary, SpanContext, Telemetry,
-    TelemetryHandle, TraceId, STREAM_FOG,
+    TelemetryHandle, TraceId, WorkDelta, STREAM_FOG,
 };
 use simclock::{EventQueue, SeededRng, SimDuration, SimTime};
 
@@ -763,19 +763,29 @@ impl FogSimulator {
             *busy_total.entry(resource).or_default() += duration.as_secs_f64();
 
             if recording {
+                // Per-tier work attribution: the event loop is serial, so
+                // deltas accumulate in one deterministic order regardless
+                // of `SCPAR_THREADS`.
                 let (tier, step_name) = match &plans[ji][si] {
-                    Step::Compute { node, .. } => {
+                    Step::Compute { node, ops } => {
                         let tier = self.topology.tier(*node);
+                        telemetry.work(
+                            &format!("fog/{}/compute", tier.name()),
+                            WorkDelta::flops(*ops as u64).with_items(1),
+                        );
                         (tier, format!("compute/{}", tier.name()))
                     }
-                    Step::Transfer { from, to, .. } => (
-                        self.topology.tier(*from),
-                        format!(
-                            "xfer/{}-{}",
-                            self.topology.tier(*from).name(),
-                            self.topology.tier(*to).name()
-                        ),
-                    ),
+                    Step::Transfer { from, to, bytes } => {
+                        let tier = self.topology.tier(*from);
+                        telemetry.work(
+                            &format!("fog/{}/transfer", tier.name()),
+                            WorkDelta::bytes(*bytes).with_items(1),
+                        );
+                        (
+                            tier,
+                            format!("xfer/{}-{}", tier.name(), self.topology.tier(*to).name()),
+                        )
+                    }
                 };
                 telemetry.observe(
                     &queue_wait_names[tier_idx(tier)],

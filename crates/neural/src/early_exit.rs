@@ -27,6 +27,11 @@ pub const METRIC_OFFLOAD_BYTES: &str = "scneural_early_exit_offload_bytes_total"
 /// Metric name of the per-batch local take-rate histogram (exact).
 pub const METRIC_TAKE_RATE: &str = "scneural_early_exit_take_rate_ratio";
 
+/// Work-accounting kernel of the locally-answered branch.
+pub const KERNEL_LOCAL_BRANCH: &str = "neural/early_exit/local";
+/// Work-accounting kernel of the server-escalated branch.
+pub const KERNEL_OFFLOAD_BRANCH: &str = "neural/early_exit/offload";
+
 /// When to accept the local exit.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum ExitPolicy {
@@ -234,6 +239,24 @@ impl EarlyExitNet {
         if self.telemetry.is_enabled() && n > 0 {
             let offloaded = escalate.len();
             let local = n - offloaded;
+            // Branch work: every sample pays the local part (front + exit
+            // head, two flops per parameter per sample); escalated samples
+            // additionally pay the server part and ship their feature map.
+            // Decisions are bit-identical across thread counts, so these
+            // deltas are too.
+            self.telemetry.work(
+                KERNEL_LOCAL_BRANCH,
+                sctelemetry::WorkDelta::flops(2 * self.local_param_count() as u64 * n as u64)
+                    .with_items(n as u64),
+            );
+            self.telemetry.work(
+                KERNEL_OFFLOAD_BRANCH,
+                sctelemetry::WorkDelta::flops(
+                    2 * self.server_param_count() as u64 * offloaded as u64,
+                )
+                .with_bytes((offloaded * per_sample_bytes) as u64)
+                .with_items(offloaded as u64),
+            );
             self.telemetry.counter_add(
                 METRIC_LOCAL_EXITS,
                 "samples answered at the local exit head",

@@ -1,6 +1,7 @@
 //! Convolutional and pooling layers over `[batch, channels, height, width]`
 //! tensors, implemented via im2col.
 
+use sctelemetry::WorkDelta;
 use simclock::SeededRng;
 
 use crate::init;
@@ -301,6 +302,19 @@ impl Layer for Conv2d {
     fn name(&self) -> &'static str {
         "Conv2d"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Each output element is a fan-in-sized multiply-add reduction
+        // (fan-in = c·k²) plus a bias add. The im2col lowering writes and
+        // re-reads a fan-in-sized patch row per output pixel.
+        let rows = input.shape().first().copied().unwrap_or(0) as u64;
+        let fan_in = (self.in_channels * self.kernel * self.kernel) as u64;
+        let out_elems = output.len() as u64;
+        let col_elems = out_elems / (self.out_channels as u64).max(1) * fan_in;
+        WorkDelta::flops(out_elems * (2 * fan_in + 1))
+            .with_bytes(4 * (input.len() as u64 + 2 * col_elems + out_elems))
+            .with_items(rows)
+    }
 }
 
 /// 2-D max pooling with a square window.
@@ -386,6 +400,14 @@ impl Layer for MaxPool2d {
 
     fn name(&self) -> &'static str {
         "MaxPool2d"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // One comparison per window element per output pixel.
+        let rows = input.shape().first().copied().unwrap_or(0) as u64;
+        WorkDelta::flops(output.len() as u64 * (self.size * self.size) as u64)
+            .with_bytes(4 * (input.len() + output.len()) as u64)
+            .with_items(rows)
     }
 }
 
@@ -489,6 +511,14 @@ impl Layer for AvgPool2d {
     fn name(&self) -> &'static str {
         "AvgPool2d"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Window-sized sum plus one divide per output pixel.
+        let rows = input.shape().first().copied().unwrap_or(0) as u64;
+        WorkDelta::flops(output.len() as u64 * ((self.size * self.size) as u64 + 1))
+            .with_bytes(4 * (input.len() + output.len()) as u64)
+            .with_items(rows)
+    }
 }
 
 /// Global average pooling: `[n, c, h, w]` → `[n, c]`.
@@ -552,6 +582,14 @@ impl Layer for GlobalAvgPool {
 
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Every input element enters one running sum; one divide per output.
+        let rows = input.shape().first().copied().unwrap_or(0) as u64;
+        WorkDelta::flops((input.len() + output.len()) as u64)
+            .with_bytes(4 * (input.len() + output.len()) as u64)
+            .with_items(rows)
     }
 }
 

@@ -2,9 +2,17 @@
 
 use simclock::SeededRng;
 
+use sctelemetry::WorkDelta;
+
 use crate::init;
 use crate::layers::{softmax_rows, Layer, Param};
 use crate::tensor::Tensor;
+
+/// Bytes moved by a layer that streams its input once and writes its
+/// output once (`f32` elements). Row-linear by construction.
+fn stream_bytes(input: &Tensor, output: &Tensor) -> u64 {
+    4 * (input.len() + output.len()) as u64
+}
 
 /// A fully connected (affine) layer: `y = x W + b`.
 ///
@@ -94,6 +102,15 @@ impl Layer for Dense {
     fn name(&self) -> &'static str {
         "Dense"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Per row: a k×n multiply-add matmul row (2kn) plus the bias add (n).
+        let rows = input.rows() as u64;
+        let (k, n) = (self.in_features() as u64, self.out_features() as u64);
+        WorkDelta::flops(rows * (2 * k + 1) * n)
+            .with_bytes(stream_bytes(input, output))
+            .with_items(rows)
+    }
 }
 
 /// Rectified linear activation.
@@ -133,6 +150,13 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "Relu"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // One max per element.
+        WorkDelta::flops(input.len() as u64)
+            .with_bytes(stream_bytes(input, output))
+            .with_items(input.shape().first().copied().unwrap_or(0) as u64)
+    }
 }
 
 /// Logistic sigmoid activation.
@@ -168,6 +192,13 @@ impl Layer for Sigmoid {
     fn name(&self) -> &'static str {
         "Sigmoid"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // exp, add, divide, negate: four ops per element.
+        WorkDelta::flops(4 * input.len() as u64)
+            .with_bytes(stream_bytes(input, output))
+            .with_items(input.shape().first().copied().unwrap_or(0) as u64)
+    }
 }
 
 /// Hyperbolic tangent activation.
@@ -202,6 +233,13 @@ impl Layer for Tanh {
 
     fn name(&self) -> &'static str {
         "Tanh"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Counted like sigmoid: four ops per element.
+        WorkDelta::flops(4 * input.len() as u64)
+            .with_bytes(stream_bytes(input, output))
+            .with_items(input.shape().first().copied().unwrap_or(0) as u64)
     }
 }
 
@@ -250,6 +288,13 @@ impl Layer for Softmax {
     fn name(&self) -> &'static str {
         "Softmax"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Per element: max scan, subtract+exp, sum, divide.
+        WorkDelta::flops(4 * input.len() as u64)
+            .with_bytes(stream_bytes(input, output))
+            .with_items(input.rows() as u64)
+    }
 }
 
 /// Flattens `[batch, ...]` input to `[batch, features]`, remembering the
@@ -295,6 +340,12 @@ impl Layer for Flatten {
 
     fn name(&self) -> &'static str {
         "Flatten"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Pure reshape: data moves, nothing is computed.
+        WorkDelta::bytes(stream_bytes(input, output))
+            .with_items(input.shape().first().copied().unwrap_or(0) as u64)
     }
 }
 
@@ -373,6 +424,12 @@ impl Layer for Dropout {
 
     fn name(&self) -> &'static str {
         "Dropout"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Inference-mode dropout is the identity: a copy, no arithmetic.
+        WorkDelta::bytes(stream_bytes(input, output))
+            .with_items(input.shape().first().copied().unwrap_or(0) as u64)
     }
 }
 
@@ -522,6 +579,13 @@ impl Layer for BatchNorm1d {
 
     fn name(&self) -> &'static str {
         "BatchNorm1d"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Per element: subtract mean, sqrt(var+eps), divide, scale, shift.
+        WorkDelta::flops(5 * input.len() as u64)
+            .with_bytes(stream_bytes(input, output))
+            .with_items(input.rows() as u64)
     }
 }
 

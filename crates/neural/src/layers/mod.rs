@@ -6,6 +6,8 @@ mod dense;
 pub use conv::{AvgPool2d, Conv2d, GlobalAvgPool, MaxPool2d};
 pub use dense::{BatchNorm1d, Dense, Dropout, Flatten, Relu, Sigmoid, Softmax, Tanh};
 
+use sctelemetry::WorkDelta;
+
 use crate::tensor::Tensor;
 
 /// A trainable parameter: a value tensor and its accumulated gradient.
@@ -76,6 +78,29 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
 
     /// A short human-readable layer name for summaries.
     fn name(&self) -> &'static str;
+
+    /// Exact work model of one inference pass mapping `input` to `output`
+    /// (the profiling cost attributed to kernel `neural/layer/<name>` by
+    /// [`crate::net::Sequential`]).
+    ///
+    /// **Contract: the delta must be strictly linear in the batch row
+    /// count, with no per-call constant term.** Chunked parallel inference
+    /// ([`crate::net::Sequential::predict_with`]) runs `infer` once per
+    /// fixed-size row chunk, so only row-linear models make the summed
+    /// work independent of how the batch was split — which is what keeps
+    /// `ProfileReport`s byte-identical across `SCPAR_THREADS`.
+    ///
+    /// The default charges two FLOPs per trainable parameter per row (one
+    /// multiply-add each) plus one FLOP per output element, and counts the
+    /// input/output streams as bytes moved. Layers with cheaper or more
+    /// expensive structure override it with their exact formula.
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        let rows = input.shape().first().copied().unwrap_or(0) as u64;
+        let params: u64 = self.params().iter().map(|p| p.value.len() as u64).sum();
+        WorkDelta::flops(rows * 2 * params + output.len() as u64)
+            .with_bytes(4 * (input.len() + output.len()) as u64)
+            .with_items(rows)
+    }
 }
 
 /// Row-wise numerically stable softmax (helper shared by the loss and the

@@ -12,6 +12,11 @@ use crate::tensor::Tensor;
 /// observes into `scneural_net_forward_<i>_<n>_seconds` (wall clock).
 pub const METRIC_FORWARD_PREFIX: &str = "scneural_net_forward_";
 
+/// Prefix of per-layer work-accounting kernels: a layer named `n` is
+/// attributed as kernel `neural/layer/<n>` (see
+/// [`crate::layers::Layer::infer_work`]).
+pub const KERNEL_LAYER_PREFIX: &str = "neural/layer/";
+
 /// Rows per chunk in [`Sequential::predict_with`]. Fixed (never derived from
 /// the thread count) so chunk boundaries — and therefore outputs — are
 /// identical for any [`ScparConfig`].
@@ -229,12 +234,17 @@ impl Layer for Sequential {
                     layer.name().to_ascii_lowercase()
                 );
                 let start = std::time::Instant::now();
-                x = layer.forward(&x, train);
+                let y = layer.forward(&x, train);
                 self.telemetry.observe(
                     &metric,
                     "wall-clock forward time of one layer",
                     start.elapsed().as_secs_f64(),
                 );
+                self.telemetry.work(
+                    &format!("{}{}", KERNEL_LAYER_PREFIX, layer.name()),
+                    layer.infer_work(&x, &y),
+                );
+                x = y;
             }
         } else {
             for layer in &mut self.layers {
@@ -246,8 +256,20 @@ impl Layer for Sequential {
 
     fn infer(&self, input: &Tensor) -> Tensor {
         let mut x = input.clone();
-        for layer in &self.layers {
-            x = layer.infer(&x);
+        if self.telemetry.is_enabled() {
+            let _activity = sctelemetry::ActivityScope::enter("neural/infer");
+            for layer in &self.layers {
+                let y = layer.infer(&x);
+                self.telemetry.work(
+                    &format!("{}{}", KERNEL_LAYER_PREFIX, layer.name()),
+                    layer.infer_work(&x, &y),
+                );
+                x = y;
+            }
+        } else {
+            for layer in &self.layers {
+                x = layer.infer(&x);
+            }
         }
         x
     }

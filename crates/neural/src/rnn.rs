@@ -7,6 +7,7 @@
 //! finishing with [`LastStep`] + dense layers yields the Fig. 7 classifier
 //! head.
 
+use sctelemetry::WorkDelta;
 use simclock::SeededRng;
 
 use crate::init;
@@ -271,6 +272,23 @@ impl Layer for Lstm {
     fn name(&self) -> &'static str {
         "Lstm"
     }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // Per row per timestep: the four gate matmuls against wx and wh
+        // (2·4h·(in+h) multiply-adds → 8h(in+h) flops), bias adds (4h),
+        // gate activations (≈4 ops × 4h), and the cell/hidden updates
+        // (c = f·c + i·g, h = o·tanh(c) ≈ 9 ops per hidden unit).
+        let shape = input.shape();
+        let (rows, t) = (
+            shape.first().copied().unwrap_or(0) as u64,
+            shape.get(1).copied().unwrap_or(0) as u64,
+        );
+        let (h, inp) = (self.hidden as u64, self.input_size as u64);
+        let per_row_step = 8 * h * (inp + h) + 4 * h + 16 * h + 9 * h;
+        WorkDelta::flops(rows * t * per_row_step)
+            .with_bytes(4 * (input.len() + output.len()) as u64)
+            .with_items(rows)
+    }
 }
 
 /// Extracts the last timestep: `[batch, time, features]` → `[batch, features]`.
@@ -327,6 +345,13 @@ impl Layer for LastStep {
 
     fn name(&self) -> &'static str {
         "LastStep"
+    }
+
+    fn infer_work(&self, input: &Tensor, output: &Tensor) -> WorkDelta {
+        // A slice copy of the final timestep: reads and writes only the
+        // selected rows, no arithmetic.
+        let rows = input.shape().first().copied().unwrap_or(0) as u64;
+        WorkDelta::bytes(8 * output.len() as u64).with_items(rows)
     }
 }
 

@@ -2,6 +2,9 @@
 
 use std::fmt;
 
+/// Work-accounting kernel name of [`Tensor::matmul_rec`].
+pub const KERNEL_MATMUL: &str = "neural/matmul";
+
 /// Errors produced by tensor construction and shape operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TensorError {
@@ -321,6 +324,59 @@ impl Tensor {
             shape: vec![m, n],
             data,
         })
+    }
+
+    /// Like [`Tensor::matmul_with`], attributing work to kernel
+    /// [`KERNEL_MATMUL`] at per-panel granularity.
+    ///
+    /// Panel boundaries are fixed by [`Tensor::MATMUL_PANEL_ROWS`] and the
+    /// input shape alone — the serial path records the *same* sequence of
+    /// per-panel deltas the parallel path does — so both the work totals
+    /// and the number of recorded deltas are identical for any
+    /// `scpar::ScparConfig` and thread count. FLOPs are the nominal
+    /// closed-form count (`2·rows·k·n` per panel, summing exactly to
+    /// `2·m·n·k`), charged regardless of the zero-skip fast path, so the
+    /// profile describes the algorithm, not the sparsity of one input.
+    /// The cache model charges one miss per `b` row per panel and a hit
+    /// for each reuse by the panel's remaining rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] under the same conditions as
+    /// [`Tensor::matmul`].
+    pub fn matmul_rec(
+        &self,
+        other: &Tensor,
+        cfg: &scpar::ScparConfig,
+        telemetry: &sctelemetry::TelemetryHandle,
+    ) -> Result<Tensor, TensorError> {
+        let _activity = sctelemetry::ActivityScope::enter(KERNEL_MATMUL);
+        let out = self.matmul_with(other, cfg)?;
+        if telemetry.is_enabled() {
+            let (m, k, n) = (
+                self.shape[0] as u64,
+                self.shape[1] as u64,
+                other.shape[1] as u64,
+            );
+            let panel = Self::MATMUL_PANEL_ROWS as u64;
+            let mut row = 0u64;
+            while row < m {
+                let rows = (m - row).min(panel);
+                telemetry.work(KERNEL_MATMUL, Self::panel_work(rows, k, n));
+                row += rows;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Work of one `rows × k` panel times a `k × n` matrix: nominal
+    /// multiply-add FLOPs, streamed bytes (panel in, `b` once, panel out),
+    /// and the panel-reuse cache model.
+    fn panel_work(rows: u64, k: u64, n: u64) -> sctelemetry::WorkDelta {
+        sctelemetry::WorkDelta::flops(2 * rows * k * n)
+            .with_bytes(4 * (rows * k + k * n + rows * n))
+            .with_cache(rows.saturating_sub(1) * k, k)
+            .with_items(rows)
     }
 
     /// Transpose of a 2-D tensor.

@@ -1,0 +1,153 @@
+//! Wall-clock activity sampling — the explicitly **nondeterministic**
+//! profiling view.
+//!
+//! A [`Sampler`] wakes at a fixed wall-clock period, snapshots the
+//! sctelemetry activity board (which kernel label each worker thread is
+//! inside right now), and tallies one sample per busy thread into a
+//! self-time histogram. Sample counts depend on machine speed and
+//! scheduling; nothing derived from them may enter goldens or the
+//! deterministic sections of `BENCH_*.json`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use sctelemetry::{activity_snapshot, set_activity_enabled};
+
+/// Tallied activity samples: kernel label → number of times a worker was
+/// observed inside it. Nondeterministic by construction.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SelfTimeHistogram {
+    /// Samples per kernel label, sorted by label.
+    pub samples: BTreeMap<String, u64>,
+    /// Total samples across all labels.
+    pub total: u64,
+}
+
+impl SelfTimeHistogram {
+    /// Approximate self-time share of `label` in `[0, 1]`.
+    pub fn share(&self, label: &str) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            *self.samples.get(label).unwrap_or(&0) as f64 / self.total as f64
+        }
+    }
+
+    /// Plain-text rendering, labels by descending sample count. Marked
+    /// nondeterministic in the header so it is never mistaken for
+    /// golden-able output.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# wall-clock self-time samples (NONDETERMINISTIC)\n");
+        let mut rows: Vec<(&String, &u64)> = self.samples.iter().collect();
+        rows.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        for (label, n) in rows {
+            out.push_str(&format!(
+                "{label:<40} {n:>8} ({:>5.1}%)\n",
+                self.share(label) * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Background sampler over the sctelemetry activity board.
+///
+/// Starting a sampler enables the process-global activity board;
+/// [`Sampler::stop`] disables it again. Run at most one sampler at a
+/// time (benches do; tests of deterministic paths should not sample at
+/// all).
+#[derive(Debug)]
+pub struct Sampler {
+    stop: Arc<AtomicBool>,
+    counts: Arc<Mutex<SelfTimeHistogram>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl Sampler {
+    /// Starts sampling every `period` of wall-clock time.
+    pub fn start(period: Duration) -> Sampler {
+        set_activity_enabled(true);
+        let stop = Arc::new(AtomicBool::new(false));
+        let counts = Arc::new(Mutex::new(SelfTimeHistogram::default()));
+        let (stop2, counts2) = (stop.clone(), counts.clone());
+        let thread = std::thread::Builder::new()
+            .name("scprof-sampler".to_string())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let snap = activity_snapshot();
+                    if !snap.is_empty() {
+                        let mut h = counts2.lock().unwrap_or_else(|e| e.into_inner());
+                        for (_, label) in snap {
+                            *h.samples.entry(label).or_insert(0) += 1;
+                            h.total += 1;
+                        }
+                    }
+                    std::thread::sleep(period);
+                }
+            })
+            .expect("spawn scprof sampler thread");
+        Sampler {
+            stop,
+            counts,
+            thread: Some(thread),
+        }
+    }
+
+    /// Stops sampling, disables the activity board, and returns the tally.
+    pub fn stop(mut self) -> SelfTimeHistogram {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+        set_activity_enabled(false);
+        self.counts
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+}
+
+impl Drop for Sampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sctelemetry::ActivityScope;
+
+    #[test]
+    fn sampler_observes_active_kernels() {
+        let sampler = Sampler::start(Duration::from_millis(1));
+        {
+            let _scope = ActivityScope::enter("test/busy_kernel");
+            // Busy-wait long enough for several sampling periods.
+            let t0 = std::time::Instant::now();
+            while t0.elapsed() < Duration::from_millis(40) {
+                std::hint::spin_loop();
+            }
+        }
+        let hist = sampler.stop();
+        assert!(hist.total > 0, "sampler collected nothing");
+        assert!(hist.samples.contains_key("test/busy_kernel"));
+        assert!(hist.share("test/busy_kernel") > 0.0);
+        let rendered = hist.render();
+        assert!(rendered.contains("NONDETERMINISTIC"));
+        assert!(rendered.contains("test/busy_kernel"));
+    }
+
+    #[test]
+    fn empty_histogram_is_harmless() {
+        let h = SelfTimeHistogram::default();
+        assert_eq!(h.share("x"), 0.0);
+        assert!(h.render().contains("NONDETERMINISTIC"));
+    }
+}

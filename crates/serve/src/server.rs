@@ -36,7 +36,7 @@ use scneural::net::Sequential;
 use scnosql::document::{Collection, Doc, DocId, Filter};
 use scnosql::NosqlError;
 use scpar::ScparConfig;
-use sctelemetry::{SpanContext, SpanGuard, TelemetryHandle, TraceId, STREAM_SERVE};
+use sctelemetry::{SpanContext, SpanGuard, TelemetryHandle, TraceId, WorkDelta, STREAM_SERVE};
 use simclock::{SimDuration, SimTime};
 
 use crate::admission::{Admission, ServiceQueue, TokenBucket};
@@ -47,6 +47,13 @@ use crate::shard::{hash_bytes, ShardMap};
 /// Sim-time cost charged for an answer served straight from memory
 /// (cache hit, stale serve): no queueing, no backend work.
 pub const CACHE_HIT_COST: SimDuration = SimDuration::from_micros(50);
+
+/// Work-accounting kernel of the micro-batcher (requests served per flush).
+pub const KERNEL_BATCHER: &str = "serve/batcher";
+/// Work-accounting kernel of admission control (rate gate decisions).
+pub const KERNEL_ADMISSION: &str = "serve/admission";
+/// Work-accounting kernel of the query cache (hits, misses, stale serves).
+pub const KERNEL_CACHE: &str = "serve/cache";
 
 /// Rows returned by a query: `(key, document)` pairs in key order.
 pub type Rows = Vec<(String, Doc)>;
@@ -467,6 +474,7 @@ impl Server {
         self.stats.requests += 1;
         self.telemetry
             .counter_inc("scserve_requests_total", "serving requests received");
+        self.telemetry.work(KERNEL_ADMISSION, WorkDelta::items(1));
         self.bucket.try_acquire(now)
     }
 
@@ -489,12 +497,16 @@ impl Server {
         self.stats.cache_hits += 1;
         self.telemetry
             .counter_inc("scserve_cache_hit_total", "answers served from cache");
+        self.telemetry
+            .work(KERNEL_CACHE, WorkDelta::items(1).with_cache(1, 0));
     }
 
     fn note_miss(&mut self) {
         self.stats.cache_misses += 1;
         self.telemetry
             .counter_inc("scserve_cache_miss_total", "cache lookups that missed");
+        self.telemetry
+            .work(KERNEL_CACHE, WorkDelta::items(1).with_cache(0, 1));
     }
 
     fn note_stale(&mut self) {
@@ -503,6 +515,8 @@ impl Server {
             "scserve_stale_served_total",
             "degraded answers served from expired cache entries",
         );
+        self.telemetry
+            .work(KERNEL_CACHE, WorkDelta::items(1).with_cache(1, 0));
     }
 
     // ------------------------------------------------------------------
@@ -936,6 +950,16 @@ impl Server {
             "distinct rows per flushed micro-batch",
             batch.batch_size as f64,
         );
+        if self.telemetry.is_enabled() {
+            // Batch composition is a function of the arrival sequence only,
+            // so this delta is deterministic. Model flops are attributed by
+            // the model's own handle, not double-counted here.
+            let out_bytes: u64 = batch.distinct.iter().map(|(_, o)| o.len() as u64 * 4).sum();
+            self.telemetry.work(
+                KERNEL_BATCHER,
+                WorkDelta::items(batch.requests as u64).with_bytes(out_bytes),
+            );
+        }
         for (fp, out) in &batch.distinct {
             self.infer_cache.insert(*fp, out.clone(), now);
         }

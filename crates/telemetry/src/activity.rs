@@ -1,0 +1,128 @@
+//! The worker-activity board: which kernel each thread is running *right
+//! now*, for wall-clock samplers.
+//!
+//! This is the **explicitly nondeterministic** half of profiling. The
+//! board is a process-global map from thread to current kernel label,
+//! updated by [`ActivityScope`] guards at kernel entry/exit and read by a
+//! sampler (see `scprof::Sampler`) at a fixed wall-clock period. Sample
+//! counts depend on scheduling and machine speed, so anything derived from
+//! the board must stay out of goldens.
+//!
+//! The board is disabled by default; every `ActivityScope` then costs one
+//! relaxed atomic load and nothing else, so kernels can be annotated
+//! unconditionally. Deterministic work accounting never reads this module
+//! — it flows through [`crate::WorkDelta`] instead.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_THREAD_KEY: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_KEY: u64 = NEXT_THREAD_KEY.fetch_add(1, Ordering::Relaxed);
+}
+
+fn board() -> &'static Mutex<BTreeMap<u64, Vec<String>>> {
+    static BOARD: OnceLock<Mutex<BTreeMap<u64, Vec<String>>>> = OnceLock::new();
+    BOARD.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// Turns the activity board on or off (process-global). Off clears it.
+pub fn set_activity_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::SeqCst);
+    if !enabled {
+        board().lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}
+
+/// Whether the board is currently collecting.
+pub fn activity_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Snapshot of `(thread key, innermost kernel label)` for every thread
+/// currently inside an [`ActivityScope`]. Keys are stable per thread for
+/// the life of the process but carry no cross-run meaning.
+pub fn activity_snapshot() -> Vec<(u64, String)> {
+    board()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .filter_map(|(k, stack)| stack.last().map(|l| (*k, l.clone())))
+        .collect()
+}
+
+/// RAII guard marking the current thread as running `label`. Scopes nest:
+/// the innermost label wins, and dropping restores the outer one.
+#[derive(Debug)]
+pub struct ActivityScope {
+    active: bool,
+}
+
+impl ActivityScope {
+    /// Enters kernel `label` on this thread. When the board is disabled
+    /// this is one atomic load — no allocation, no lock.
+    pub fn enter(label: &str) -> ActivityScope {
+        if !activity_enabled() {
+            return ActivityScope { active: false };
+        }
+        let key = THREAD_KEY.with(|k| *k);
+        board()
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .entry(key)
+            .or_default()
+            .push(label.to_string());
+        ActivityScope { active: true }
+    }
+}
+
+impl Drop for ActivityScope {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let key = THREAD_KEY.with(|k| *k);
+        let mut map = board().lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(stack) = map.get_mut(&key) {
+            stack.pop();
+            if stack.is_empty() {
+                map.remove(&key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_scope_is_inert() {
+        // Never enable the board in this test: it may run concurrently
+        // with others. A scope entered while disabled records nothing.
+        let s = ActivityScope::enter("neural/matmul");
+        drop(s);
+    }
+
+    #[test]
+    fn scopes_nest_and_clear() {
+        set_activity_enabled(true);
+        {
+            let _outer = ActivityScope::enter("pipeline/mine");
+            let snap = activity_snapshot();
+            assert!(snap.iter().any(|(_, l)| l == "pipeline/mine"));
+            {
+                let _inner = ActivityScope::enter("compute/kmeans/assign");
+                let snap = activity_snapshot();
+                assert!(snap.iter().any(|(_, l)| l == "compute/kmeans/assign"));
+            }
+            let snap = activity_snapshot();
+            assert!(snap.iter().any(|(_, l)| l == "pipeline/mine"));
+        }
+        set_activity_enabled(false);
+        assert!(activity_snapshot().is_empty());
+    }
+}

@@ -36,15 +36,18 @@
 //! assert!(text.contains("# TYPE demo_jobs_total counter"));
 //! ```
 
+pub mod activity;
 pub mod export;
 pub mod metrics;
 pub mod report;
 pub mod stats;
 pub mod trace;
+pub mod work;
 
+pub use activity::{activity_enabled, activity_snapshot, set_activity_enabled, ActivityScope};
 pub use export::{json_snapshot, prometheus_text, trace_json};
 pub use metrics::{
-    Counter, Gauge, Histogram, HistogramMode, HistogramSnapshot, Metric, MetricEntry,
+    Counter, Gauge, Histogram, HistogramMode, HistogramSnapshot, Metric, MetricEntry, MetricError,
     MetricsRegistry,
 };
 pub use report::Report;
@@ -53,3 +56,4 @@ pub use trace::{
     EventRecord, NoopRecorder, Recorder, SpanContext, SpanGuard, SpanId, SpanRecord, Telemetry,
     TelemetryHandle, TraceId, TraceRecord, WallTimer, STREAM_FOG, STREAM_PIPELINE, STREAM_SERVE,
 };
+pub use work::WorkDelta;

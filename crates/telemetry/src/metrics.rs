@@ -170,6 +170,29 @@ impl Histogram {
         self.mode
     }
 
+    /// Upper bounds of the finite buckets (empty in exact mode).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Short human description of the storage layout, used in
+    /// [`MetricError::HistogramLayoutMismatch`] messages.
+    fn layout(&self) -> String {
+        match self.mode {
+            HistogramMode::Exact => "exact".to_string(),
+            HistogramMode::Bucketed => format!(
+                "bucketed({} buckets, min bound {:e}, ratio {:.3})",
+                self.bounds.len(),
+                self.bounds.first().copied().unwrap_or(f64::NAN),
+                if self.bounds.len() >= 2 {
+                    self.bounds[1] / self.bounds[0]
+                } else {
+                    f64::NAN
+                },
+            ),
+        }
+    }
+
     /// Immutable summary of the current state.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let st = self.inner.lock().unwrap_or_else(|e| e.into_inner());
@@ -287,6 +310,64 @@ impl HistogramSnapshot {
     }
 }
 
+/// Why a metric registration was refused.
+///
+/// Historically the registry returned whichever instrument registered
+/// *first* under a name: a second crate asking for an exact histogram
+/// where a bucketed one already lived would silently feed its
+/// report-grade observations into log-scaled buckets (the kind checks
+/// only asserted "is a histogram", not "is the same layout"). The
+/// `try_*` registration methods surface both collisions as typed errors;
+/// the infallible methods panic with the same message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricError {
+    /// `name` is already registered as a different instrument kind.
+    KindMismatch {
+        /// The colliding metric name.
+        name: String,
+        /// Kind already in the registry (`"counter"`, `"gauge"`, `"histogram"`).
+        existing: &'static str,
+        /// Kind the caller asked for.
+        requested: &'static str,
+    },
+    /// `name` is a histogram, but with a different storage layout
+    /// (exact vs. bucketed, or different bucket bounds).
+    HistogramLayoutMismatch {
+        /// The colliding metric name.
+        name: String,
+        /// Layout already in the registry, e.g. `"bucketed(61 buckets, …)"`.
+        existing: String,
+        /// Layout the caller asked for.
+        requested: String,
+    },
+}
+
+impl std::fmt::Display for MetricError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricError::KindMismatch {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "metric {name:?} is already registered as a {existing}, not a {requested}"
+            ),
+            MetricError::HistogramLayoutMismatch {
+                name,
+                existing,
+                requested,
+            } => write!(
+                f,
+                "histogram {name:?} is already registered with layout {existing}, \
+                 which conflicts with requested layout {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricError {}
+
 /// One metric as stored in the registry.
 #[derive(Debug)]
 pub enum Metric {
@@ -341,46 +422,126 @@ impl MetricsRegistry {
             .clone()
     }
 
+    /// Checks that an already-registered entry matches the requested
+    /// `kind`, and — for histograms — the requested storage layout.
+    fn check_compatible(
+        name: &str,
+        e: &MetricEntry,
+        kind: &'static str,
+        want: Option<&Histogram>,
+    ) -> Result<(), MetricError> {
+        let existing = match &e.metric {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        };
+        if existing != kind {
+            return Err(MetricError::KindMismatch {
+                name: name.to_string(),
+                existing,
+                requested: kind,
+            });
+        }
+        if let (Some(want), Metric::Histogram(have)) = (want, &e.metric) {
+            if have.mode() != want.mode() || have.bounds() != want.bounds() {
+                return Err(MetricError::HistogramLayoutMismatch {
+                    name: name.to_string(),
+                    existing: have.layout(),
+                    requested: want.layout(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Returns the counter `name`, registering it on first use, or a
+    /// [`MetricError::KindMismatch`] if `name` exists as another kind.
+    pub fn try_counter(&self, name: &str, help: &str) -> Result<Arc<MetricEntry>, MetricError> {
+        let e = self.register_with(name, help, || Metric::Counter(Counter::default()));
+        Self::check_compatible(name, &e, "counter", None)?;
+        Ok(e)
+    }
+
+    /// Returns the gauge `name`, registering it on first use, or a
+    /// [`MetricError::KindMismatch`] if `name` exists as another kind.
+    pub fn try_gauge(&self, name: &str, help: &str) -> Result<Arc<MetricEntry>, MetricError> {
+        let e = self.register_with(name, help, || Metric::Gauge(Gauge::default()));
+        Self::check_compatible(name, &e, "gauge", None)?;
+        Ok(e)
+    }
+
+    /// Returns the default-layout bucketed histogram `name`, registering
+    /// it on first use. Errors if `name` exists as another kind *or* as a
+    /// histogram with a different storage layout (exact mode, or other
+    /// bucket bounds) — previously such collisions silently returned the
+    /// first-registered instrument.
+    pub fn try_histogram(&self, name: &str, help: &str) -> Result<Arc<MetricEntry>, MetricError> {
+        let want = Histogram::bucketed();
+        let e = self.register_with(name, help, || Metric::Histogram(Histogram::bucketed()));
+        Self::check_compatible(name, &e, "histogram", Some(&want))?;
+        Ok(e)
+    }
+
+    /// Returns the exact-mode histogram `name`, registering it on first
+    /// use. Errors on kind or layout collisions (see [`Self::try_histogram`]).
+    pub fn try_exact_histogram(
+        &self,
+        name: &str,
+        help: &str,
+    ) -> Result<Arc<MetricEntry>, MetricError> {
+        let want = Histogram::exact();
+        let e = self.register_with(name, help, || Metric::Histogram(Histogram::exact()));
+        Self::check_compatible(name, &e, "histogram", Some(&want))?;
+        Ok(e)
+    }
+
+    /// Returns the custom-scale bucketed histogram `name`, registering it
+    /// on first use. Errors on kind or layout collisions.
+    pub fn try_histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        min_bound: f64,
+        ratio: f64,
+        buckets: usize,
+    ) -> Result<Arc<MetricEntry>, MetricError> {
+        let want = Histogram::with_buckets(min_bound, ratio, buckets);
+        let e = self.register_with(name, help, || {
+            Metric::Histogram(Histogram::with_buckets(min_bound, ratio, buckets))
+        });
+        Self::check_compatible(name, &e, "histogram", Some(&want))?;
+        Ok(e)
+    }
+
     /// Returns the counter `name`, registering it on first use.
     ///
     /// Panics if `name` is already registered as a different kind.
     pub fn counter(&self, name: &str, help: &str) -> Arc<MetricEntry> {
-        let e = self.register_with(name, help, || Metric::Counter(Counter::default()));
-        assert!(
-            matches!(e.metric, Metric::Counter(_)),
-            "{name} is not a counter"
-        );
-        e
+        self.try_counter(name, help)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns the gauge `name`, registering it on first use.
+    ///
+    /// Panics if `name` is already registered as a different kind.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<MetricEntry> {
-        let e = self.register_with(name, help, || Metric::Gauge(Gauge::default()));
-        assert!(
-            matches!(e.metric, Metric::Gauge(_)),
-            "{name} is not a gauge"
-        );
-        e
+        self.try_gauge(name, help).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns the bucketed histogram `name`, registering it on first use.
+    ///
+    /// Panics on kind or storage-layout collisions (see [`Self::try_histogram`]).
     pub fn histogram(&self, name: &str, help: &str) -> Arc<MetricEntry> {
-        let e = self.register_with(name, help, || Metric::Histogram(Histogram::bucketed()));
-        assert!(
-            matches!(e.metric, Metric::Histogram(_)),
-            "{name} is not a histogram"
-        );
-        e
+        self.try_histogram(name, help)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Returns the exact-mode histogram `name`, registering it on first use.
+    ///
+    /// Panics on kind or storage-layout collisions (see [`Self::try_histogram`]).
     pub fn exact_histogram(&self, name: &str, help: &str) -> Arc<MetricEntry> {
-        let e = self.register_with(name, help, || Metric::Histogram(Histogram::exact()));
-        assert!(
-            matches!(e.metric, Metric::Histogram(_)),
-            "{name} is not a histogram"
-        );
-        e
+        self.try_exact_histogram(name, help)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Looks up a metric without registering.
@@ -525,5 +686,84 @@ mod tests {
         let reg = MetricsRegistry::new();
         reg.gauge("x", "x");
         reg.counter("x", "x");
+    }
+
+    #[test]
+    fn try_registration_reports_kind_mismatch() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a_total", "a");
+        let err = reg.try_gauge("a_total", "a").unwrap_err();
+        assert_eq!(
+            err,
+            MetricError::KindMismatch {
+                name: "a_total".to_string(),
+                existing: "counter",
+                requested: "gauge",
+            }
+        );
+    }
+
+    /// Regression test: registering the same name as a bucketed and then
+    /// an exact histogram used to silently return the first-registered
+    /// instrument — exact "report-grade" observations would land in
+    /// log-scaled buckets with no diagnostic. Now it is a typed error.
+    #[test]
+    fn histogram_mode_collision_is_a_typed_error() {
+        let reg = MetricsRegistry::new();
+        reg.histogram("lat_seconds", "lat");
+        let err = reg.try_exact_histogram("lat_seconds", "lat").unwrap_err();
+        match &err {
+            MetricError::HistogramLayoutMismatch {
+                name,
+                existing,
+                requested,
+            } => {
+                assert_eq!(name, "lat_seconds");
+                assert!(existing.starts_with("bucketed("), "{existing}");
+                assert_eq!(requested, "exact");
+            }
+            other => panic!("expected layout mismatch, got {other:?}"),
+        }
+        // And the reverse direction.
+        let reg = MetricsRegistry::new();
+        reg.exact_histogram("lat_seconds", "lat");
+        assert!(reg.try_histogram("lat_seconds", "lat").is_err());
+    }
+
+    #[test]
+    fn histogram_bucket_layout_collision_is_a_typed_error() {
+        let reg = MetricsRegistry::new();
+        reg.try_histogram_with("q_seconds", "q", 1e-3, 2.0, 10)
+            .unwrap();
+        // Same custom layout re-registers fine.
+        reg.try_histogram_with("q_seconds", "q", 1e-3, 2.0, 10)
+            .unwrap();
+        // Different bounds do not.
+        let err = reg
+            .try_histogram_with("q_seconds", "q", 1e-6, 1.6, 61)
+            .unwrap_err();
+        assert!(matches!(err, MetricError::HistogramLayoutMismatch { .. }));
+        // Nor does the default layout.
+        assert!(reg.try_histogram("q_seconds", "q").is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicts with requested layout")]
+    fn infallible_histogram_panics_on_layout_collision() {
+        let reg = MetricsRegistry::new();
+        reg.exact_histogram("lat_seconds", "lat");
+        reg.histogram("lat_seconds", "lat");
+    }
+
+    #[test]
+    fn matching_re_registration_is_fine() {
+        let reg = MetricsRegistry::new();
+        let a = reg.try_histogram("h_seconds", "h").unwrap();
+        let b = reg.try_histogram("h_seconds", "h").unwrap();
+        a.as_histogram().unwrap().observe(0.5);
+        assert_eq!(b.as_histogram().unwrap().snapshot().count, 1);
+        assert!(reg.try_exact_histogram("e_seconds", "e").is_ok());
+        assert!(reg.try_counter("c_total", "c").is_ok());
+        assert!(reg.try_gauge("g", "g").is_ok());
     }
 }

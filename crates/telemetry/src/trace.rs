@@ -13,6 +13,8 @@ use std::time::Instant;
 
 use simclock::SimTime;
 
+use crate::work::WorkDelta;
+
 /// `splitmix64` finalizer: the id-derivation mixer. Bijective over `u64`,
 /// so distinct inputs can never collide, and pure arithmetic, so deriving
 /// ids costs nothing even with telemetry disabled.
@@ -212,6 +214,17 @@ pub trait Recorder: Send + Sync {
     fn record_event(&self, event: EventRecord) {
         let _ = event;
     }
+
+    /// Attributes exact work (`flops`, `bytes`, …) to kernel `kernel`.
+    ///
+    /// Kernel names use `/` as a frame separator, e.g.
+    /// `"compute/kmeans/assign"`. Deltas are integers and accumulation is
+    /// addition, so totals are independent of thread count — see
+    /// [`WorkDelta`]. The standard [`Telemetry`] recorder ignores work;
+    /// attach a profiler (e.g. `scprof::Profiler`) to collect it.
+    fn record_work(&self, kernel: &str, work: WorkDelta) {
+        let _ = (kernel, work);
+    }
 }
 
 /// Recorder that drops everything (the disabled default).
@@ -366,6 +379,16 @@ impl TelemetryHandle {
                 at,
                 detail: detail.to_string(),
             });
+        }
+    }
+
+    /// Attributes `work` to kernel `kernel` (see [`Recorder::record_work`]).
+    /// Disabled handles skip everything; zero deltas are dropped at the
+    /// recorder's discretion, so callers need not special-case them.
+    #[inline]
+    pub fn work(&self, kernel: &str, work: WorkDelta) {
+        if let Some(r) = &self.inner {
+            r.record_work(kernel, work);
         }
     }
 

@@ -51,6 +51,7 @@ pub use scneural as neural;
 pub use scnosql as nosql;
 pub use scobserve as observe;
 pub use scpar as par;
+pub use scprof as prof;
 pub use scserve as serve;
 pub use scsocial as social;
 pub use scstream as stream;

@@ -1,0 +1,171 @@
+//! Determinism contract for the scprof work-accounting profiler (E15/scprof).
+//!
+//! The profiler's promise: for a given seed, the aggregated `ProfileReport`
+//! — and therefore the JSON export and the folded-stack flamegraph — is
+//! **byte-identical** at any worker count. Thread count changes how work is
+//! chunked (and so the hidden `calls` counters), never the summed work.
+//! These tests pin that promise across the full pipeline and at the matmul
+//! kernel level, where the recorded FLOPs must equal the closed form
+//! `2·m·n·k`.
+
+use proptest::prelude::*;
+use smartcity::compute::mllib::kmeans_par_with;
+use smartcity::core::infrastructure::Cyberinfrastructure;
+use smartcity::core::pipeline::CityDataPipeline;
+use smartcity::par::ScparConfig;
+use smartcity::prof::{CostDimension, Profiler};
+use smartcity::telemetry::WorkDelta;
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// Deterministic pseudo-random fill in [-1, 1] (splitmix64).
+fn fill(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            ((z as f64 / u64::MAX as f64) * 2.0 - 1.0) as f32
+        })
+        .collect()
+}
+
+/// Runs the full city pipeline under a fresh profiler at `threads` workers
+/// and returns the aggregated report.
+fn profiled_pipeline_report(threads: usize) -> smartcity::prof::ProfileReport {
+    let profiler = Profiler::shared();
+    let mut infra = Cyberinfrastructure::builder().seed(7).build();
+    let (topic, store, annotations) = infra.pipeline_stores();
+    CityDataPipeline::new(7, 400, 80)
+        .runner(topic, store, annotations)
+        .threads(threads)
+        .telemetry(profiler.handle())
+        .run()
+        .expect("generated pipeline data is always valid");
+    profiler.report()
+}
+
+#[test]
+fn pipeline_profile_json_and_folded_are_byte_identical_across_threads() {
+    let baseline = profiled_pipeline_report(1);
+    let base_json = baseline.to_json();
+    let base_folded_flops = baseline.folded(CostDimension::Flops);
+    let base_folded_items = baseline.folded(CostDimension::Items);
+    assert!(
+        !baseline.kernels.is_empty(),
+        "pipeline run must attribute work to kernels"
+    );
+    for threads in [2usize, 8] {
+        let report = profiled_pipeline_report(threads);
+        assert_eq!(
+            base_json,
+            report.to_json(),
+            "ProfileReport JSON diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_folded_flops,
+            report.folded(CostDimension::Flops),
+            "folded FLOP stacks diverged at {threads} threads"
+        );
+        assert_eq!(
+            base_folded_items,
+            report.folded(CostDimension::Items),
+            "folded item stacks diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn pipeline_stage_items_match_pipeline_report() {
+    let profiler = Profiler::shared();
+    let mut infra = Cyberinfrastructure::builder().seed(7).build();
+    let (topic, store, annotations) = infra.pipeline_stores();
+    let report = CityDataPipeline::new(7, 400, 80)
+        .runner(topic, store, annotations)
+        .telemetry(profiler.handle())
+        .run()
+        .expect("generated pipeline data is always valid");
+    let profile = profiler.report();
+    let items = |name: &str| {
+        profile
+            .kernel(name)
+            .unwrap_or_else(|| panic!("kernel {name} missing"))
+            .work
+            .items
+    };
+    assert_eq!(items("pipeline/ingest"), report.ingested as u64);
+    assert_eq!(items("pipeline/store"), report.stored as u64);
+    assert_eq!(items("pipeline/annotate"), report.annotated as u64);
+}
+
+#[test]
+fn kernel_self_costs_sum_exactly_to_total() {
+    let profile = profiled_pipeline_report(2);
+    let summed = profile
+        .kernels
+        .iter()
+        .fold(WorkDelta::default(), |acc, k| acc + k.work);
+    assert_eq!(
+        summed, profile.total,
+        "per-kernel work must sum exactly to the report total"
+    );
+    let total_calls: u64 = profile.kernels.iter().map(|k| k.calls).sum();
+    assert_eq!(total_calls, profile.total_calls);
+}
+
+#[test]
+fn kmeans_work_is_thread_invariant() {
+    let points: Vec<Vec<f64>> = (0..300)
+        .map(|i| vec![(i % 17) as f64, (i % 23) as f64])
+        .collect();
+    let reports: Vec<String> = THREAD_COUNTS
+        .iter()
+        .map(|&t| {
+            let profiler = Profiler::shared();
+            kmeans_par_with(
+                &points,
+                3,
+                20,
+                9,
+                &ScparConfig::with_threads(t),
+                &profiler.handle(),
+            );
+            profiler.report().to_json()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[0], reports[2]);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Recorded matmul FLOPs equal the closed form `2·m·n·k` at any
+    /// thread count, and the per-panel deltas sum identically.
+    #[test]
+    fn matmul_flops_match_closed_form(
+        m in 1usize..48,
+        k in 1usize..32,
+        n in 1usize..40,
+        seed in any::<u64>(),
+        thread_idx in 0usize..3,
+    ) {
+        let threads = THREAD_COUNTS[thread_idx];
+        use smartcity::neural::tensor::{Tensor, KERNEL_MATMUL};
+        let a = Tensor::from_vec(vec![m, k], fill(seed, m * k)).unwrap();
+        let b = Tensor::from_vec(vec![k, n], fill(seed ^ 0x5eed, k * n)).unwrap();
+        let profiler = Profiler::shared();
+        a.matmul_rec(&b, &ScparConfig::with_threads(threads), &profiler.handle())
+            .unwrap();
+        let report = profiler.report();
+        let kernel = report.kernel(KERNEL_MATMUL).expect("matmul kernel recorded");
+        prop_assert_eq!(
+            kernel.work.flops,
+            2 * (m as u64) * (n as u64) * (k as u64),
+            "matmul FLOPs must equal 2*m*n*k"
+        );
+    }
+}
