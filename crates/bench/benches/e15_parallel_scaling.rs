@@ -12,6 +12,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use scbench::{f3, header, table, BenchJson};
 use scfog::{FogSimulator, Placement, Topology, Workload};
+use scneural::exec::ExecCtx;
 use scneural::layers::{Dense, Relu};
 use scneural::linalg::Mat;
 use scneural::net::Sequential;
@@ -56,7 +57,8 @@ fn matmul_row(n: usize) -> Vec<f64> {
         .iter()
         .map(|&t| {
             time_ms(|| {
-                std::hint::black_box(a.matmul_with(&b, &ScparConfig::with_threads(t)));
+                let ctx = ExecCtx::serial().with_par(ScparConfig::with_threads(t));
+                std::hint::black_box(a.matmul_ctx(&b, &ctx));
             })
         })
         .collect()
@@ -78,7 +80,8 @@ fn inference_row(rows: usize) -> Vec<f64> {
         .iter()
         .map(|&t| {
             time_ms(|| {
-                std::hint::black_box(net.predict_with(&input, &ScparConfig::with_threads(t)));
+                let ctx = ExecCtx::serial().with_par(ScparConfig::with_threads(t));
+                std::hint::black_box(net.predict_ctx(&input, &ctx));
             })
         })
         .collect()
@@ -181,6 +184,7 @@ fn regenerate_figure() {
             .measured(&format!("{label}_t4_ms"), times[2]);
     }
     profile_section(&mut json, mat_n, inf_rows);
+    simd_section(&mut json, mat_n, inf_rows);
     json.write();
 }
 
@@ -217,9 +221,12 @@ fn profile_section(json: &mut BenchJson, mat_n: usize, inf_rows: usize) {
         .collect();
     let input = Tensor::from_vec(vec![inf_rows, 64], inf_data).expect("shape matches data");
 
+    let ctx = ExecCtx::serial()
+        .with_par(cfg)
+        .with_telemetry(handle.clone());
     let start = std::time::Instant::now();
-    std::hint::black_box(a.matmul_rec(&b, &cfg, &handle).expect("square matmul"));
-    std::hint::black_box(net.predict_with(&input, &cfg));
+    std::hint::black_box(a.matmul_ctx(&b, &ctx).expect("square matmul"));
+    std::hint::black_box(net.predict_ctx(&input, &ctx));
     let elapsed_s = start.elapsed().as_secs_f64();
 
     let report = profiler.report().with_elapsed(elapsed_s);
@@ -240,19 +247,85 @@ fn profile_section(json: &mut BenchJson, mat_n: usize, inf_rows: usize) {
     json.profile(&report, elapsed_s);
 }
 
+/// SIMD-vs-scalar: the same strict-profile f32 kernels pinned to
+/// `Isa::Scalar` and to the runtime-dispatched ISA. Outputs are
+/// bit-identical by contract (`crates/simd/tests/ulp.rs` proves it);
+/// only the wall time may differ, and on a scalar-only host both
+/// columns collapse to the same backend.
+fn simd_section(json: &mut BenchJson, mat_n: usize, inf_rows: usize) {
+    let native = scsimd::Isa::active();
+    println!(
+        "\nSIMD-vs-scalar (single thread, dispatched ISA = {}):",
+        native.name()
+    );
+
+    let to_f32 = |seed: u64, n: usize| -> Vec<f32> {
+        splitmix_f64(seed, n).iter().map(|v| *v as f32).collect()
+    };
+    let a = Tensor::from_vec(vec![mat_n, mat_n], to_f32(35, mat_n * mat_n))
+        .expect("shape matches data");
+    let b = Tensor::from_vec(vec![mat_n, mat_n], to_f32(36, mat_n * mat_n))
+        .expect("shape matches data");
+    let flops = 2.0 * (mat_n as f64).powi(3);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let isas = [("scalar", scsimd::Isa::Scalar), ("native", native)];
+    for (label, isa) in isas {
+        let ctx = ExecCtx::serial().with_isa(isa);
+        let ms = time_ms(|| {
+            std::hint::black_box(a.matmul_ctx(&b, &ctx).expect("square matmul"));
+        });
+        let gflops = flops / (ms * 1e6);
+        rows.push(vec![
+            format!("matmul_f32_{mat_n}x{mat_n}"),
+            label.into(),
+            isa.name().into(),
+            f3(ms),
+            f3(gflops),
+        ]);
+        json.measured(&format!("simd_matmul_{label}_gflops"), gflops);
+    }
+
+    let seed_buf = to_f32(37, inf_rows * 64);
+    type UnaryOp = fn(&mut [f32], scsimd::Isa);
+    let unary: [(&str, UnaryOp); 3] = [
+        ("exp", scsimd::exp_f32),
+        ("sigmoid", scsimd::sigmoid_f32),
+        ("tanh", scsimd::tanh_f32),
+    ];
+    for (kname, op) in unary {
+        for (label, isa) in isas {
+            let mut buf = seed_buf.clone();
+            let ms = time_ms(|| {
+                op(std::hint::black_box(&mut buf), isa);
+            });
+            let melems = buf.len() as f64 / (ms * 1e3);
+            rows.push(vec![
+                format!("{kname}_{}", buf.len()),
+                label.into(),
+                isa.name().into(),
+                f3(ms),
+                f3(melems),
+            ]);
+            json.measured(&format!("simd_{kname}_{label}_melems"), melems);
+        }
+    }
+    table(&["kernel", "pin", "isa", "ms", "gflops_or_melems"], &rows);
+}
+
 fn bench(c: &mut Criterion) {
     regenerate_figure();
 
     let n = if quick() { 192 } else { 512 };
     let a = Mat::from_vec(n, n, splitmix_f64(15, n * n));
     let b = Mat::from_vec(n, n, splitmix_f64(16, n * n));
-    let serial = ScparConfig::serial();
-    let four = ScparConfig::with_threads(4);
+    let serial = ExecCtx::serial();
+    let four = ExecCtx::serial().with_par(ScparConfig::with_threads(4));
     c.bench_function("e15/matmul_serial", |bch| {
-        bch.iter(|| a.matmul_with(std::hint::black_box(&b), &serial))
+        bch.iter(|| a.matmul_ctx(std::hint::black_box(&b), &serial))
     });
     c.bench_function("e15/matmul_4_threads", |bch| {
-        bch.iter(|| a.matmul_with(std::hint::black_box(&b), &four))
+        bch.iter(|| a.matmul_ctx(std::hint::black_box(&b), &four))
     });
 
     let (recs, waze) = if quick() { (300, 60) } else { (1000, 200) };

@@ -157,17 +157,46 @@ pub fn kmeans_par(
     seed: u64,
     cfg: &ScparConfig,
 ) -> KMeansModel {
-    kmeans_par_with(
+    kmeans_ctx(
         points,
         k,
         max_iters,
         seed,
-        cfg,
-        &TelemetryHandle::disabled(),
+        &scneural::exec::ExecCtx::serial().with_par(*cfg),
     )
 }
 
-/// [`kmeans_par`] with per-step work accounting.
+/// Deprecated alias for [`kmeans_ctx`].
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points, or if points have
+/// inconsistent dimensionality.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `kmeans_ctx(points, k, max_iters, seed, &ExecCtx)` instead"
+)]
+pub fn kmeans_par_with(
+    points: &[Vec<f64>],
+    k: usize,
+    max_iters: usize,
+    seed: u64,
+    cfg: &ScparConfig,
+    telemetry: &TelemetryHandle,
+) -> KMeansModel {
+    kmeans_ctx(
+        points,
+        k,
+        max_iters,
+        seed,
+        &scneural::exec::ExecCtx::serial()
+            .with_par(*cfg)
+            .with_telemetry(telemetry.clone()),
+    )
+}
+
+/// [`kmeans_par`] under an [`ExecCtx`](scneural::exec::ExecCtx), with
+/// per-step work accounting.
 ///
 /// Records the assignment step (all point-centroid distances, plus the
 /// final inertia pass) under [`KERNEL_KMEANS_ASSIGN`] and the centroid
@@ -180,14 +209,14 @@ pub fn kmeans_par(
 ///
 /// Panics if `k` is zero or exceeds the number of points, or if points have
 /// inconsistent dimensionality.
-pub fn kmeans_par_with(
+pub fn kmeans_ctx(
     points: &[Vec<f64>],
     k: usize,
     max_iters: usize,
     seed: u64,
-    cfg: &ScparConfig,
-    telemetry: &TelemetryHandle,
+    ctx: &scneural::exec::ExecCtx,
 ) -> KMeansModel {
+    let (cfg, telemetry) = (ctx.par(), ctx.telemetry());
     let _activity = ActivityScope::enter("compute/kmeans");
     assert!(k > 0 && k <= points.len(), "k out of range");
     let dim = points[0].len();
@@ -740,7 +769,7 @@ mod tests {
     }
 
     #[test]
-    fn kmeans_par_with_records_thread_invariant_work() {
+    fn kmeans_ctx_records_thread_invariant_work() {
         let pts = blobs(100, &[(0.0, 0.0), (6.0, 6.0)], 21);
         let collect = |threads: Option<usize>| {
             let sink = Arc::new(WorkSink::default());
@@ -749,7 +778,10 @@ mod tests {
                 None => ScparConfig::serial(),
                 Some(t) => ScparConfig::with_threads(t),
             };
-            let model = kmeans_par_with(&pts, 2, 30, 22, &cfg, &handle);
+            let ctx = scneural::exec::ExecCtx::serial()
+                .with_par(cfg)
+                .with_telemetry(handle);
+            let model = kmeans_ctx(&pts, 2, 30, 22, &ctx);
             let work = sink.0.lock().unwrap().clone();
             (model, work)
         };

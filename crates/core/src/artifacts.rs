@@ -27,7 +27,6 @@ use scfog::{FogSimulator, Placement, Topology, Workload};
 use scneural::layers::{Dense, Relu};
 use scneural::net::Sequential;
 use scobserve::{chrome_trace, evaluate, folded_stacks, SloRule, TraceAnalysis, TraceForest};
-use scpar::ScparConfig;
 use scprof::{CostDimension, Profiler};
 use scserve::{ServeConfig, Server, WorkloadConfig, WorkloadGen};
 use sctelemetry::{prometheus_text, Report, Telemetry};
@@ -170,7 +169,7 @@ pub fn build_dashboard_artifacts(seed: u64, records: usize, waze: usize) -> Dash
         .with(Dense::new(16, 4, seed.wrapping_add(3)));
     let mut server = Server::new(ServeConfig::default())
         .with_model(model)
-        .with_par(ScparConfig::from_env())
+        .with_ctx(scneural::exec::ExecCtx::from_env())
         .with_telemetry(profiler.handle())
         .with_trace_seed(seed);
     let serving_report = WorkloadGen::new(WorkloadConfig {

@@ -6,7 +6,7 @@
 //! different deep learning model\[s\] for inference and the result of inference
 //! will be sent to the web server to be visualized on our website."
 
-use sccompute::mllib::kmeans_par_with;
+use sccompute::mllib::kmeans_ctx;
 use scdata::city::{OpenCityGenerator, OpenRecord, OpenRecordKind};
 use scdata::waze::{WazeGenerator, WazeReport};
 use scgeo::corridor::Corridor;
@@ -167,45 +167,6 @@ impl CityDataPipeline {
         }
     }
 
-    /// Runs the full pipeline: generate raw data, publish to `topic`, drain
-    /// via a consumer group into `store`, run the analysis/mining stage, and
-    /// write annotations into `annotations`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `runner(topic, store, annotations).run()` instead"
-    )]
-    pub fn run(
-        &self,
-        topic: &mut Topic,
-        store: &mut Collection,
-        annotations: &mut Table,
-    ) -> PipelineReport {
-        self.runner(topic, store, annotations)
-            .run()
-            .expect("generated pipeline data is always valid")
-    }
-
-    /// [`CityDataPipeline::runner`] with a recorder attached: per-stage
-    /// counters and sim-time spans land in `telemetry`, and the returned
-    /// dashboard gains a `"telemetry"` panel (see [`telemetry_panel`]) built
-    /// from the recorder's registry.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `runner(topic, store, annotations).recorder(&telemetry).run()` instead"
-    )]
-    pub fn run_recorded(
-        &self,
-        topic: &mut Topic,
-        store: &mut Collection,
-        annotations: &mut Table,
-        telemetry: &std::sync::Arc<Telemetry>,
-    ) -> PipelineReport {
-        self.runner(topic, store, annotations)
-            .recorder(telemetry)
-            .run()
-            .expect("generated pipeline data is always valid")
-    }
-
     /// Pipeline body behind [`RunOptions::run`]. Stage spans use a simulated
     /// clock advancing one microsecond per item handled, so identical seeds
     /// yield identical traces; the fanned-out stages chunk independently of
@@ -308,7 +269,10 @@ impl CityDataPipeline {
             .collect();
         let mined_items = crime_points.len();
         let hotspots: Vec<GeoPoint> = if crime_points.len() >= 3 {
-            let model = kmeans_par_with(&crime_points, 3, 25, self.seed, par, telemetry);
+            let ctx = scneural::exec::ExecCtx::serial()
+                .with_par(*par)
+                .with_telemetry(telemetry.clone());
+            let model = kmeans_ctx(&crime_points, 3, 25, self.seed, &ctx);
             model
                 .centroids
                 .iter()
@@ -648,28 +612,6 @@ mod tests {
             assert_eq!(serial, par, "{threads}-thread report differs");
             assert_eq!(serial_snap, par_snap, "{threads}-thread snapshot differs");
         }
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_matches_runner() {
-        let mut topic = Topic::new("raw", 4);
-        let mut store = Collection::new("incidents");
-        store.create_index("kind");
-        let mut annotations = Table::new("annotations", 1024);
-        let old = CityDataPipeline::new(11, 120, 30).run(&mut topic, &mut store, &mut annotations);
-        let (new, _, _) = {
-            let mut topic = Topic::new("raw", 4);
-            let mut store = Collection::new("incidents");
-            store.create_index("kind");
-            let mut annotations = Table::new("annotations", 1024);
-            let report = CityDataPipeline::new(11, 120, 30)
-                .runner(&mut topic, &mut store, &mut annotations)
-                .run()
-                .unwrap();
-            (report, store, annotations)
-        };
-        assert_eq!(old, new);
     }
 
     #[test]

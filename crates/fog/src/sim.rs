@@ -463,19 +463,6 @@ impl FogSimulator {
         }
     }
 
-    /// Runs the workload to completion, returning aggregate metrics.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the workload is empty or the topology has no edge tier.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `runner(&workload).placement(p).run()` instead"
-    )]
-    pub fn run(&self, workload: &Workload, placement: Placement) -> SimReport {
-        self.run_with(workload, placement, &self.telemetry)
-    }
-
     /// The annotation-only store-and-forward chain from `from` to the cloud —
     /// what remains of a job's plan after it degrades to the edge-exit answer.
     fn annotation_chain(&self, from: FogNodeId, ann: u64) -> Vec<Step> {
@@ -490,16 +477,6 @@ impl FogSimulator {
             cur = parent;
         }
         steps
-    }
-
-    /// The engine: one serial discrete-event run recording into `telemetry`.
-    fn run_with(
-        &self,
-        workload: &Workload,
-        placement: Placement,
-        telemetry: &TelemetryHandle,
-    ) -> SimReport {
-        self.run_faulted(workload, placement, telemetry, None, default_retry(), 0)
     }
 
     /// The engine under a fault plan. Fault semantics (documented in
@@ -1332,17 +1309,6 @@ mod tests {
         let b = run(&s, &w, Placement::AllCloud);
         assert_eq!(a.mean_latency_s, b.mean_latency_s);
         assert_eq!(a.total_upstream_bytes(), b.total_upstream_bytes());
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_matches_runner() {
-        let s = sim();
-        let w = workload(25, 0.3);
-        let old = s.run(&w, Placement::ServerOnly);
-        let new = s.runner(&w).placement(Placement::ServerOnly).run();
-        assert_eq!(old.mean_latency_s, new.mean_latency_s);
-        assert_eq!(old.total_upstream_bytes(), new.total_upstream_bytes());
     }
 
     #[test]

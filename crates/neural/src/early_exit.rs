@@ -176,24 +176,30 @@ impl EarlyExitNet {
     /// Runs split inference on a batch, deciding per sample whether the local
     /// exit suffices or the feature map must go upstream.
     ///
-    /// Equivalent to [`EarlyExitNet::infer_with`] on a single thread; kept
+    /// Equivalent to [`EarlyExitNet::infer_ctx`] on a single thread; kept
     /// on `&mut self` for backwards compatibility.
     pub fn infer(&mut self, input: &Tensor) -> Vec<ExitDecision> {
-        self.infer_with(input, &ScparConfig::serial())
+        self.infer_ctx(input, &crate::exec::ExecCtx::serial())
     }
 
-    /// Runs split inference with batch chunks fanned out on the `scpar`
-    /// worker pool.
+    /// Deprecated alias for [`EarlyExitNet::infer_ctx`].
+    #[deprecated(since = "0.2.0", note = "use `infer_ctx(input, &ExecCtx)` instead")]
+    pub fn infer_with(&self, input: &Tensor, cfg: &ScparConfig) -> Vec<ExitDecision> {
+        self.infer_ctx(input, &crate::exec::ExecCtx::serial().with_par(*cfg))
+    }
+
+    /// Runs split inference under an [`ExecCtx`](crate::exec::ExecCtx),
+    /// with batch chunks fanned out on the `scpar` worker pool.
     ///
-    /// Both backbone passes go through [`Sequential::predict_with`], whose
+    /// Both backbone passes go through [`Sequential::predict_ctx`], whose
     /// fixed row-chunking makes every per-sample probability — and therefore
     /// every exit decision — bit-identical to the serial path. Telemetry is
     /// aggregated once over the whole batch (counts and the exact take-rate
     /// observation), so recorded snapshots are also byte-identical for any
     /// thread count.
-    pub fn infer_with(&self, input: &Tensor, cfg: &ScparConfig) -> Vec<ExitDecision> {
-        let features = self.front.predict_with(input, cfg);
-        let local_probs = softmax_rows(&self.exit_head.predict_with(&features, cfg));
+    pub fn infer_ctx(&self, input: &Tensor, ctx: &crate::exec::ExecCtx) -> Vec<ExitDecision> {
+        let features = self.front.predict_ctx(input, ctx);
+        let local_probs = softmax_rows(&self.exit_head.predict_ctx(&features, ctx));
         let entropies = entropy_rows(&local_probs);
         let n = input.shape()[0];
         let per_sample_bytes = features.len() / n * std::mem::size_of::<f32>();
@@ -220,8 +226,8 @@ impl EarlyExitNet {
         if !escalate.is_empty() {
             let sub = select_batch(&features, &escalate);
             let server_logits = {
-                let deep = self.rest.predict_with(&sub, cfg);
-                self.final_head.predict_with(&deep, cfg)
+                let deep = self.rest.predict_ctx(&sub, ctx);
+                self.final_head.predict_ctx(&deep, ctx)
             };
             let server_probs = softmax_rows(&server_logits);
             let server_classes = server_probs.argmax_rows();

@@ -1,0 +1,142 @@
+//! Execution context shared by every inference kernel.
+//!
+//! Before [`ExecCtx`], each kernel grew its own ad-hoc variants —
+//! `matmul` / `matmul_with` / `matmul_rec`, `predict` / `predict_with` —
+//! and call sites had to thread a `ScparConfig` here and a
+//! `TelemetryHandle` there. The context bundles all execution policy in
+//! one cheap, cloneable value:
+//!
+//! * **Parallelism** — the [`scpar::ScparConfig`] used for panel fan-out.
+//! * **Telemetry** — the [`sctelemetry::TelemetryHandle`] kernels record
+//!   work deltas to when enabled.
+//! * **ISA** — the [`scsimd::Isa`] backend for vectorized kernels.
+//!
+//! Each kernel now has exactly one context-taking entry point
+//! ([`crate::Tensor::matmul_ctx`], [`crate::linalg::Mat::matmul_ctx`],
+//! [`crate::Sequential::predict_ctx`], …); the old `_with` / `_rec`
+//! variants survive as thin deprecated shims.
+//!
+//! The determinism contract is unchanged: results are byte-identical for
+//! any thread count **and any ISA** (scsimd's strict profile), so every
+//! field of the context is a pure performance/observability knob.
+//!
+//! # Examples
+//!
+//! ```
+//! use scneural::exec::ExecCtx;
+//! use scneural::tensor::Tensor;
+//!
+//! let ctx = ExecCtx::from_env(); // SCPAR_THREADS + SCSIMD_FORCE
+//! let a = Tensor::eye(4);
+//! let b = Tensor::full(vec![4, 4], 2.0);
+//! let c = a.matmul_ctx(&b, &ctx)?;
+//! assert_eq!(c.data(), b.data());
+//! # Ok::<(), scneural::tensor::TensorError>(())
+//! ```
+
+/// Bundled execution policy for inference kernels: parallelism,
+/// telemetry, and SIMD backend.
+///
+/// The ISA field is advisory for layered entry points: layer-internal
+/// kernels (a `Dense` inside [`crate::Sequential::predict_ctx`], say)
+/// dispatch on the process-wide [`scsimd::Isa::active`], which honors
+/// `SCSIMD_FORCE`. Because the strict profile makes every backend
+/// bit-identical, the distinction is invisible in results — only in
+/// which instructions execute.
+#[derive(Debug, Clone)]
+pub struct ExecCtx {
+    par: scpar::ScparConfig,
+    telemetry: sctelemetry::TelemetryHandle,
+    isa: scsimd::Isa,
+}
+
+impl Default for ExecCtx {
+    /// Same as [`ExecCtx::serial`].
+    fn default() -> Self {
+        ExecCtx::serial()
+    }
+}
+
+impl ExecCtx {
+    /// Serial execution, disabled telemetry, process-default ISA — the
+    /// context equivalent of the plain `matmul` / `predict` methods.
+    pub fn serial() -> Self {
+        ExecCtx {
+            par: scpar::ScparConfig::serial(),
+            telemetry: sctelemetry::TelemetryHandle::disabled(),
+            isa: scsimd::Isa::active(),
+        }
+    }
+
+    /// Environment-driven context: `SCPAR_THREADS` for parallelism,
+    /// `SCSIMD_FORCE` for the ISA, telemetry disabled.
+    pub fn from_env() -> Self {
+        ExecCtx {
+            par: scpar::ScparConfig::from_env(),
+            telemetry: sctelemetry::TelemetryHandle::disabled(),
+            isa: scsimd::Isa::active(),
+        }
+    }
+
+    /// Replaces the parallelism config.
+    pub fn with_par(mut self, par: scpar::ScparConfig) -> Self {
+        self.par = par;
+        self
+    }
+
+    /// Replaces the telemetry handle.
+    pub fn with_telemetry(mut self, telemetry: sctelemetry::TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Replaces the SIMD backend (requests the host cannot run degrade
+    /// to scalar inside scsimd).
+    pub fn with_isa(mut self, isa: scsimd::Isa) -> Self {
+        self.isa = isa;
+        self
+    }
+
+    /// The parallelism config.
+    pub fn par(&self) -> &scpar::ScparConfig {
+        &self.par
+    }
+
+    /// The telemetry handle.
+    pub fn telemetry(&self) -> &sctelemetry::TelemetryHandle {
+        &self.telemetry
+    }
+
+    /// The SIMD backend.
+    pub fn isa(&self) -> scsimd::Isa {
+        self.isa
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_ctx_is_serial_and_silent() {
+        let ctx = ExecCtx::serial();
+        assert!(!ctx.par().is_parallel());
+        assert!(!ctx.telemetry().is_enabled());
+        assert!(ctx.isa().is_supported());
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let ctx = ExecCtx::serial()
+            .with_par(scpar::ScparConfig::with_threads(4))
+            .with_isa(scsimd::Isa::Scalar);
+        assert!(ctx.par().is_parallel());
+        assert_eq!(ctx.isa(), scsimd::Isa::Scalar);
+    }
+
+    #[test]
+    fn default_is_usable() {
+        let ctx = ExecCtx::default();
+        assert!(!ctx.telemetry().is_enabled());
+    }
+}

@@ -113,6 +113,14 @@ impl Layer for Dense {
     }
 }
 
+/// Applies an in-place scsimd slice kernel to a copy of `input`, on the
+/// process-wide ISA (bit-identical on every backend).
+fn vec_apply(input: &Tensor, op: fn(&mut [f32], scsimd::Isa)) -> Tensor {
+    let mut out = input.clone();
+    op(out.data_mut(), scsimd::Isa::active());
+    out
+}
+
 /// Rectified linear activation.
 #[derive(Debug, Default)]
 pub struct Relu {
@@ -129,11 +137,11 @@ impl Relu {
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
         self.mask = Some(input.data().iter().map(|&x| x > 0.0).collect());
-        input.map(|x| x.max(0.0))
+        vec_apply(input, scsimd::relu_f32)
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
-        input.map(|x| x.max(0.0))
+        vec_apply(input, scsimd::relu_f32)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -174,13 +182,13 @@ impl Sigmoid {
 
 impl Layer for Sigmoid {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let out = vec_apply(input, scsimd::sigmoid_f32);
         self.output = Some(out.clone());
         out
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
-        input.map(|x| 1.0 / (1.0 + (-x).exp()))
+        vec_apply(input, scsimd::sigmoid_f32)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
@@ -216,13 +224,13 @@ impl Tanh {
 
 impl Layer for Tanh {
     fn forward(&mut self, input: &Tensor, _train: bool) -> Tensor {
-        let out = input.map(|x| x.tanh());
+        let out = vec_apply(input, scsimd::tanh_f32);
         self.output = Some(out.clone());
         out
     }
 
     fn infer(&self, input: &Tensor) -> Tensor {
-        input.map(|x| x.tanh())
+        vec_apply(input, scsimd::tanh_f32)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {

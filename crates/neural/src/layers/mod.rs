@@ -85,7 +85,7 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
     ///
     /// **Contract: the delta must be strictly linear in the batch row
     /// count, with no per-call constant term.** Chunked parallel inference
-    /// ([`crate::net::Sequential::predict_with`]) runs `infer` once per
+    /// ([`crate::net::Sequential::predict_ctx`]) runs `infer` once per
     /// fixed-size row chunk, so only row-linear models make the summed
     /// work independent of how the batch was split — which is what keeps
     /// `ProfileReport`s byte-identical across `SCPAR_THREADS`.
@@ -104,27 +104,17 @@ pub trait Layer: std::fmt::Debug + Send + Sync {
 }
 
 /// Row-wise numerically stable softmax (helper shared by the loss and the
-/// early-exit confidence policies).
+/// early-exit confidence policies), vectorized via
+/// [`scsimd::softmax_rows_f32`] on the process-wide ISA. Bit-identical on
+/// every backend: the normalizing sum is element-ordered everywhere.
 ///
 /// # Panics
 ///
 /// Panics if `logits` is not 2-D.
 pub fn softmax_rows(logits: &Tensor) -> Tensor {
-    let (r, c) = (logits.rows(), logits.cols());
+    let c = logits.cols(); // asserts 2-D
     let mut out = logits.clone();
-    let data = out.data_mut();
-    for i in 0..r {
-        let row = &mut data[i * c..(i + 1) * c];
-        let max = row.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
-        let mut sum = 0.0;
-        for x in row.iter_mut() {
-            *x = (*x - max).exp();
-            sum += *x;
-        }
-        for x in row.iter_mut() {
-            *x /= sum;
-        }
-    }
+    scsimd::softmax_rows_f32(out.data_mut(), c, scsimd::Isa::active());
     out
 }
 

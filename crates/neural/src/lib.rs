@@ -49,6 +49,7 @@ pub mod autoencoder;
 pub mod blocks;
 pub mod cca;
 pub mod early_exit;
+pub mod exec;
 pub mod init;
 pub mod layers;
 pub mod linalg;
@@ -60,6 +61,7 @@ pub mod rnn;
 pub mod serialize;
 pub mod tensor;
 
+pub use exec::ExecCtx;
 pub use layers::{Layer, Param};
 pub use net::Sequential;
 pub use tensor::{Tensor, TensorError};

@@ -3,33 +3,18 @@
 //! These routines are deliberately simple — the matrices involved are modality
 //! feature covariances (tens of rows), where cubic algorithms are instant.
 
-/// Blocked ikj kernel over a row panel of `a` (`rows × k`) times `b`
-/// (`k × n`), accumulating into `out` (`rows × n`).
+/// Panel kernel over a row panel of `a` (`rows × k`) times `b` (`k × n`),
+/// accumulating into `out` (`rows × n`).
 ///
-/// The inner dimension is walked in ascending `KC`-sized blocks, so each
-/// output element accumulates its terms in exactly the same order as the
-/// naive ascending-`k` loop — blocking changes cache behaviour, never bits.
-fn matmul_panel(a: &[f64], b: &[f64], k: usize, n: usize, out: &mut [f64]) {
-    const KC: usize = 64;
-    let rows = a.len().checked_div(k).unwrap_or(0);
-    for i in 0..rows {
-        let a_row = &a[i * k..(i + 1) * k];
-        let o_row = &mut out[i * n..(i + 1) * n];
-        let mut kb = 0;
-        while kb < k {
-            let ke = (kb + KC).min(k);
-            for (p, &av) in a_row[kb..ke].iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[(kb + p) * n..(kb + p + 1) * n];
-                for (o, &bv) in o_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
-            kb = ke;
-        }
+/// Delegates to [`scsimd::matmul_panel_f64`], whose strict profile runs
+/// the ascending-`k` multiply-add sequence of the naive loop on every
+/// backend — vectorization changes cache and register behaviour, never
+/// bits.
+fn matmul_panel(a: &[f64], b: &[f64], k: usize, n: usize, out: &mut [f64], isa: scsimd::Isa) {
+    if k == 0 {
+        return;
     }
+    scsimd::matmul_panel_f64(a, b, k, n, out, isa);
 }
 
 /// A small dense row-major `f64` matrix.
@@ -79,36 +64,40 @@ impl Mat {
         self.cols
     }
 
-    /// Rows per panel in [`Mat::matmul_with`]. Fixed by the input shape
+    /// Rows per panel in [`Mat::matmul_ctx`]. Fixed by the input shape
     /// alone — never the thread count — so parallel products are
     /// bit-identical to serial ones.
     pub const PANEL_ROWS: usize = 32;
 
-    /// Matrix product.
+    /// Matrix product (serial, vectorized via the process-wide
+    /// [`scsimd::Isa::active`] backend).
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Mat) -> Mat {
-        self.matmul_with(other, &scpar::ScparConfig::serial())
+        self.matmul_ctx(other, &crate::exec::ExecCtx::serial())
     }
 
-    /// Tiled matrix product with row panels fanned out on the `scpar` pool.
+    /// Tiled matrix product under an [`ExecCtx`](crate::exec::ExecCtx):
+    /// row panels fanned out on the `scpar` pool, each computed by a
+    /// vectorized scsimd kernel.
     ///
-    /// Output rows are partitioned into fixed [`Mat::PANEL_ROWS`]-row panels
-    /// and each panel runs the blocked ikj kernel (`matmul_panel`), which
-    /// visits the inner dimension in the same ascending order as the serial
-    /// product — so the result is bit-identical for any thread count.
+    /// Output rows are partitioned into fixed [`Mat::PANEL_ROWS`]-row
+    /// panels, and the scsimd strict profile visits the inner dimension in
+    /// the same ascending order as the serial product on every backend —
+    /// so the result is bit-identical for any thread count and any ISA.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
-    pub fn matmul_with(&self, other: &Mat, cfg: &scpar::ScparConfig) -> Mat {
+    pub fn matmul_ctx(&self, other: &Mat, ctx: &crate::exec::ExecCtx) -> Mat {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
+        let (cfg, isa) = (ctx.par(), ctx.isa());
         if !cfg.is_parallel() || m <= Self::PANEL_ROWS || k == 0 {
             let mut data = vec![0.0; m * n];
-            matmul_panel(&self.data, &other.data, k, n, &mut data);
+            matmul_panel(&self.data, &other.data, k, n, &mut data, isa);
             return Mat {
                 rows: m,
                 cols: n,
@@ -118,7 +107,7 @@ impl Mat {
         let chunk_elems = Self::PANEL_ROWS * k;
         let panels = scpar::par_map_chunks(cfg, &self.data, chunk_elems, |_ci, a_panel| {
             let mut out = vec![0.0; (a_panel.len() / k) * n];
-            matmul_panel(a_panel, &other.data, k, n, &mut out);
+            matmul_panel(a_panel, &other.data, k, n, &mut out, isa);
             out
         });
         let mut data = Vec::with_capacity(m * n);
@@ -130,6 +119,16 @@ impl Mat {
             cols: n,
             data,
         }
+    }
+
+    /// Deprecated alias for [`Mat::matmul_ctx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    #[deprecated(since = "0.2.0", note = "use `matmul_ctx(other, &ExecCtx)` instead")]
+    pub fn matmul_with(&self, other: &Mat, cfg: &scpar::ScparConfig) -> Mat {
+        self.matmul_ctx(other, &crate::exec::ExecCtx::serial().with_par(*cfg))
     }
 
     /// Transpose.

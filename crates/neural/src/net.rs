@@ -17,7 +17,7 @@ pub const METRIC_FORWARD_PREFIX: &str = "scneural_net_forward_";
 /// [`crate::layers::Layer::infer_work`]).
 pub const KERNEL_LAYER_PREFIX: &str = "neural/layer/";
 
-/// Rows per chunk in [`Sequential::predict_with`]. Fixed (never derived from
+/// Rows per chunk in [`Sequential::predict_ctx`]. Fixed (never derived from
 /// the thread count) so chunk boundaries — and therefore outputs — are
 /// identical for any [`ScparConfig`].
 pub const BATCH_CHUNK_ROWS: usize = 32;
@@ -102,25 +102,33 @@ impl Sequential {
         self.forward(input, false)
     }
 
-    /// Parallel batch inference on the `scpar` worker pool.
+    /// Parallel batch inference under an [`ExecCtx`](crate::exec::ExecCtx),
+    /// fanned out on the `scpar` worker pool.
     ///
     /// The `[batch, ...]` input is split into fixed chunks of
     /// [`BATCH_CHUNK_ROWS`] rows; each chunk runs through the immutable
     /// [`Layer::infer`] path concurrently and the outputs are stitched back
     /// together in chunk order. Every layer in this crate computes rows
     /// independently in inference mode, so the result is bit-identical to
-    /// `predict` for any thread count.
+    /// `predict` for any thread count. Layer kernels vectorize through the
+    /// process-wide [`scsimd::Isa::active`] backend (the context's ISA is
+    /// advisory here), and the scsimd strict profile keeps outputs
+    /// bit-identical on every ISA too.
     ///
-    /// Unlike `predict`, this path records no per-layer forward-time
-    /// histograms: wall-clock timings are inherently nondeterministic and
-    /// would break the byte-identical-telemetry contract.
+    /// Per-layer work is recorded through the network's own attached
+    /// telemetry handle ([`Sequential::with_telemetry`]), not the context's
+    /// — a net carries its recorder the way it carries its weights. This
+    /// path records no per-layer forward-time histograms: wall-clock
+    /// timings are inherently nondeterministic and would break the
+    /// byte-identical-telemetry contract.
     ///
     /// # Panics
     ///
     /// Panics if the input has no dimensions.
-    pub fn predict_with(&self, input: &Tensor, cfg: &ScparConfig) -> Tensor {
+    pub fn predict_ctx(&self, input: &Tensor, ctx: &crate::exec::ExecCtx) -> Tensor {
+        let cfg = ctx.par();
         let shape = input.shape();
-        assert!(!shape.is_empty(), "predict_with needs a batched input");
+        assert!(!shape.is_empty(), "predict_ctx needs a batched input");
         let n = shape[0];
         if !cfg.is_parallel() || n <= BATCH_CHUNK_ROWS || input.is_empty() {
             return self.infer(input);
@@ -146,9 +154,28 @@ impl Sequential {
     }
 
     /// Parallel batch inference returning row-wise probabilities; see
-    /// [`Sequential::predict_with`].
+    /// [`Sequential::predict_ctx`].
+    pub fn predict_proba_ctx(&self, input: &Tensor, ctx: &crate::exec::ExecCtx) -> Tensor {
+        softmax_rows(&self.predict_ctx(input, ctx))
+    }
+
+    /// Deprecated alias for [`Sequential::predict_ctx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input has no dimensions.
+    #[deprecated(since = "0.2.0", note = "use `predict_ctx(input, &ExecCtx)` instead")]
+    pub fn predict_with(&self, input: &Tensor, cfg: &ScparConfig) -> Tensor {
+        self.predict_ctx(input, &crate::exec::ExecCtx::serial().with_par(*cfg))
+    }
+
+    /// Deprecated alias for [`Sequential::predict_proba_ctx`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `predict_proba_ctx(input, &ExecCtx)` instead"
+    )]
     pub fn predict_proba_with(&self, input: &Tensor, cfg: &ScparConfig) -> Tensor {
-        softmax_rows(&self.predict_with(input, cfg))
+        self.predict_proba_ctx(input, &crate::exec::ExecCtx::serial().with_par(*cfg))
     }
 
     /// Runs inference and converts logits to row-wise probabilities.

@@ -120,12 +120,26 @@ impl Lstm {
             let h_prev = hs.last().expect("seeded with h0").clone();
             let c_prev = cs.last().expect("seeded with c0").clone();
             // z = x Wx + h Wh + b : [n, 4h]
-            let z = x_t
+            let mut z = x_t
                 .matmul(&self.wx.value)
                 .expect("input width checked")
                 .add(&h_prev.matmul(&self.wh.value).expect("hidden width fixed"))
                 .expect("same shape")
                 .add_row_broadcast(&self.b.value);
+            // Activate the gate blocks in place with vectorized scsimd
+            // kernels: per row, columns [0, 2h) and [3h, 4h) are sigmoid
+            // gates (input, forget, output) and [2h, 3h) is the tanh
+            // candidate. Bit-identical to element-wise application.
+            {
+                let isa = scsimd::Isa::active();
+                let zd = z.data_mut();
+                for b in 0..n {
+                    let row = &mut zd[b * 4 * h..(b + 1) * 4 * h];
+                    scsimd::sigmoid_f32(&mut row[..2 * h], isa);
+                    scsimd::tanh_f32(&mut row[2 * h..3 * h], isa);
+                    scsimd::sigmoid_f32(&mut row[3 * h..], isa);
+                }
+            }
             let mut i_g = Tensor::zeros(vec![n, h]);
             let mut f_g = Tensor::zeros(vec![n, h]);
             let mut g_g = Tensor::zeros(vec![n, h]);
@@ -134,12 +148,12 @@ impl Lstm {
             let mut h_t = Tensor::zeros(vec![n, h]);
             for b in 0..n {
                 for j in 0..h {
-                    let i_v = sigmoid(z.at(b, j));
-                    let f_v = sigmoid(z.at(b, h + j));
-                    let g_v = z.at(b, 2 * h + j).tanh();
-                    let o_v = sigmoid(z.at(b, 3 * h + j));
+                    let i_v = z.at(b, j);
+                    let f_v = z.at(b, h + j);
+                    let g_v = z.at(b, 2 * h + j);
+                    let o_v = z.at(b, 3 * h + j);
                     let c_v = f_v * c_prev.at(b, j) + i_v * g_v;
-                    let h_v = o_v * c_v.tanh();
+                    let h_v = o_v * scsimd::scalar::tanh(c_v);
                     i_g.set(b, j, i_v);
                     f_g.set(b, j, f_v);
                     g_g.set(b, j, g_v);
@@ -165,10 +179,6 @@ impl Lstm {
         let out = Tensor::from_vec(vec![n, t_len, h], out).expect("size computed above");
         (out, cache)
     }
-}
-
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
 }
 
 impl Layer for Lstm {
@@ -212,7 +222,7 @@ impl Layer for Lstm {
             let mut dc = dc_next.clone();
             for b in 0..n {
                 for j in 0..h {
-                    let tanh_c = c_t.at(b, j).tanh();
+                    let tanh_c = scsimd::scalar::tanh(c_t.at(b, j));
                     let dh_v = dh.at(b, j);
                     let o_v = o_g.at(b, j);
                     // dc += dh * o * (1 - tanh(c)^2)

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-/// Work-accounting kernel name of [`Tensor::matmul_rec`].
+/// Work-accounting kernel name of [`Tensor::matmul_ctx`].
 pub const KERNEL_MATMUL: &str = "neural/matmul";
 
 /// Errors produced by tensor construction and shape operations.
@@ -77,7 +77,7 @@ pub struct Tensor {
 }
 
 impl Tensor {
-    /// Output rows per panel in [`Tensor::matmul_with`]. Fixed by the input
+    /// Output rows per panel in [`Tensor::matmul_ctx`]. Fixed by the input
     /// shape alone so parallel products are bit-identical for any thread
     /// count.
     pub const MATMUL_PANEL_ROWS: usize = 32;
@@ -234,58 +234,106 @@ impl Tensor {
         })
     }
 
-    /// Matrix multiplication of two 2-D tensors.
+    /// Matrix multiplication of two 2-D tensors (serial, vectorized via
+    /// the process-wide [`scsimd::Isa::active`] backend).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] unless `self` is `[m, k]` and
     /// `other` is `[k, n]`.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
-            return Err(TensorError::ShapeMismatch {
-                left: self.shape.clone(),
-                right: other.shape.clone(),
-            });
-        }
-        let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
-        let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams through `other` row-wise for cache locality.
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let o_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in o_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(Tensor {
-            shape: vec![m, n],
-            data: out,
-        })
+        self.matmul_impl(other, &scpar::ScparConfig::serial(), scsimd::Isa::active())
     }
 
-    /// Matrix multiplication with row panels fanned out on the `scpar` pool.
+    /// Matrix multiplication under an [`ExecCtx`](crate::exec::ExecCtx):
+    /// row panels fanned out on the `scpar` pool, each panel computed by a
+    /// vectorized scsimd kernel, with work attributed to [`KERNEL_MATMUL`]
+    /// when the context's telemetry is enabled.
     ///
     /// The output rows are partitioned into fixed panels of
     /// [`Tensor::MATMUL_PANEL_ROWS`] rows (never a function of the thread
-    /// count); each panel runs the same ikj kernel as [`Tensor::matmul`], so
-    /// every output row is computed by an identical instruction sequence and
-    /// the result is bit-identical to the serial product for any
-    /// `scpar::ScparConfig`.
+    /// count), and the scsimd strict profile pins the per-element IEEE-754
+    /// operation sequence (ascending-`k` multiply-adds with zero-skip) on
+    /// every backend — so the result is bit-identical to the serial scalar
+    /// product for any `scpar::ScparConfig` **and any ISA**.
+    ///
+    /// Work accounting matches the historical `matmul_rec`: per-panel
+    /// deltas whose boundaries depend only on the input shape, nominal
+    /// FLOPs (`2·rows·k·n` per panel) regardless of the zero-skip fast
+    /// path, one `b`-row miss per panel plus a hit for each reuse.
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::ShapeMismatch`] under the same conditions as
     /// [`Tensor::matmul`].
+    pub fn matmul_ctx(
+        &self,
+        other: &Tensor,
+        ctx: &crate::exec::ExecCtx,
+    ) -> Result<Tensor, TensorError> {
+        let _activity = sctelemetry::ActivityScope::enter(KERNEL_MATMUL);
+        let out = self.matmul_impl(other, ctx.par(), ctx.isa())?;
+        if ctx.telemetry().is_enabled() {
+            let (m, k, n) = (
+                self.shape[0] as u64,
+                self.shape[1] as u64,
+                other.shape[1] as u64,
+            );
+            let panel = Self::MATMUL_PANEL_ROWS as u64;
+            let mut row = 0u64;
+            while row < m {
+                let rows = (m - row).min(panel);
+                ctx.telemetry()
+                    .work(KERNEL_MATMUL, Self::panel_work(rows, k, n));
+                row += rows;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deprecated alias for [`Tensor::matmul_ctx`] with telemetry disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] under the same conditions as
+    /// [`Tensor::matmul`].
+    #[deprecated(since = "0.2.0", note = "use `matmul_ctx(other, &ExecCtx)` instead")]
     pub fn matmul_with(
         &self,
         other: &Tensor,
         cfg: &scpar::ScparConfig,
+    ) -> Result<Tensor, TensorError> {
+        self.matmul_ctx(other, &crate::exec::ExecCtx::serial().with_par(*cfg))
+    }
+
+    /// Deprecated alias for [`Tensor::matmul_ctx`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] under the same conditions as
+    /// [`Tensor::matmul`].
+    #[deprecated(since = "0.2.0", note = "use `matmul_ctx(other, &ExecCtx)` instead")]
+    pub fn matmul_rec(
+        &self,
+        other: &Tensor,
+        cfg: &scpar::ScparConfig,
+        telemetry: &sctelemetry::TelemetryHandle,
+    ) -> Result<Tensor, TensorError> {
+        self.matmul_ctx(
+            other,
+            &crate::exec::ExecCtx::serial()
+                .with_par(*cfg)
+                .with_telemetry(telemetry.clone()),
+        )
+    }
+
+    /// Shared implementation: shape checks, serial-vs-panel fan-out, and
+    /// the scsimd kernel dispatch. Bit-identical for every `cfg`/`isa`.
+    fn matmul_impl(
+        &self,
+        other: &Tensor,
+        cfg: &scpar::ScparConfig,
+        isa: scsimd::Isa,
     ) -> Result<Tensor, TensorError> {
         if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
             return Err(TensorError::ShapeMismatch {
@@ -295,25 +343,20 @@ impl Tensor {
         }
         let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
         if !cfg.is_parallel() || m <= Self::MATMUL_PANEL_ROWS || k == 0 {
-            return self.matmul(other);
+            let mut out = vec![0.0f32; m * n];
+            if k > 0 {
+                scsimd::matmul_panel_f32(&self.data, &other.data, k, n, &mut out, isa);
+            }
+            return Ok(Tensor {
+                shape: vec![m, n],
+                data: out,
+            });
         }
         let chunk_elems = Self::MATMUL_PANEL_ROWS * k;
         let panels = scpar::par_map_chunks(cfg, &self.data, chunk_elems, |_ci, a_panel| {
             let rows = a_panel.len() / k;
             let mut out = vec![0.0f32; rows * n];
-            for i in 0..rows {
-                let a_row = &a_panel[i * k..(i + 1) * k];
-                let o_row = &mut out[i * n..(i + 1) * n];
-                for (p, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[p * n..(p + 1) * n];
-                    for (o, &b) in o_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            scsimd::matmul_panel_f32(a_panel, &other.data, k, n, &mut out, isa);
             out
         });
         let mut data = Vec::with_capacity(m * n);
@@ -324,49 +367,6 @@ impl Tensor {
             shape: vec![m, n],
             data,
         })
-    }
-
-    /// Like [`Tensor::matmul_with`], attributing work to kernel
-    /// [`KERNEL_MATMUL`] at per-panel granularity.
-    ///
-    /// Panel boundaries are fixed by [`Tensor::MATMUL_PANEL_ROWS`] and the
-    /// input shape alone — the serial path records the *same* sequence of
-    /// per-panel deltas the parallel path does — so both the work totals
-    /// and the number of recorded deltas are identical for any
-    /// `scpar::ScparConfig` and thread count. FLOPs are the nominal
-    /// closed-form count (`2·rows·k·n` per panel, summing exactly to
-    /// `2·m·n·k`), charged regardless of the zero-skip fast path, so the
-    /// profile describes the algorithm, not the sparsity of one input.
-    /// The cache model charges one miss per `b` row per panel and a hit
-    /// for each reuse by the panel's remaining rows.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TensorError::ShapeMismatch`] under the same conditions as
-    /// [`Tensor::matmul`].
-    pub fn matmul_rec(
-        &self,
-        other: &Tensor,
-        cfg: &scpar::ScparConfig,
-        telemetry: &sctelemetry::TelemetryHandle,
-    ) -> Result<Tensor, TensorError> {
-        let _activity = sctelemetry::ActivityScope::enter(KERNEL_MATMUL);
-        let out = self.matmul_with(other, cfg)?;
-        if telemetry.is_enabled() {
-            let (m, k, n) = (
-                self.shape[0] as u64,
-                self.shape[1] as u64,
-                other.shape[1] as u64,
-            );
-            let panel = Self::MATMUL_PANEL_ROWS as u64;
-            let mut row = 0u64;
-            while row < m {
-                let rows = (m - row).min(panel);
-                telemetry.work(KERNEL_MATMUL, Self::panel_work(rows, k, n));
-                row += rows;
-            }
-        }
-        Ok(out)
     }
 
     /// Work of one `rows × k` panel times a `k × n` matrix: nominal

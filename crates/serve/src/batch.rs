@@ -3,7 +3,7 @@
 //! City dashboards and camera feeds issue many small inference requests;
 //! running them one row at a time wastes the batched kernels `scneural`
 //! already has. [`MicroBatcher`] coalesces pending requests and flushes
-//! them as one `Sequential::predict_with` call when either knob fires:
+//! them as one `Sequential::predict_ctx` call when either knob fires:
 //!
 //! - **max batch**: `max_batch` *distinct* rows are pending, or
 //! - **max delay**: the oldest pending request has waited `max_delay` of
@@ -14,16 +14,16 @@
 //! on one hot camera frame costs one model evaluation.
 //!
 //! **Determinism argument.** Every layer in `scneural` computes inference
-//! rows independently (`predict_with` is built on that), so the logits
+//! rows independently (`predict_ctx` is built on that), so the logits
 //! for a row do not depend on which batch it rode in — batch sizes 1, 7,
 //! and 32 give bit-identical outputs per row, as `tests/
 //! serving_equivalence.rs` proves. Batch composition itself is a function
 //! of the request arrival sequence only (never of thread count or wall
 //! time), so telemetry is reproducible too.
 
+use scneural::exec::ExecCtx;
 use scneural::net::Sequential;
 use scneural::tensor::Tensor;
-use scpar::ScparConfig;
 use simclock::{SimDuration, SimTime};
 
 use crate::shard::hash_bytes;
@@ -83,17 +83,18 @@ pub struct FlushedBatch {
 ///
 /// ```
 /// use scserve::{BatchConfig, MicroBatcher};
+/// use scneural::exec::ExecCtx;
 /// use scneural::layers::{Dense, Relu};
 /// use scneural::net::Sequential;
-/// use scpar::ScparConfig;
 /// use simclock::{SimDuration, SimTime};
 ///
 /// let net = Sequential::new().with(Dense::new(4, 2, 1)).with(Relu::new());
+/// let ctx = ExecCtx::serial();
 /// let mut b = MicroBatcher::new(BatchConfig { max_batch: 2, max_delay: SimDuration::from_millis(5) });
 /// b.submit(vec![0.1, 0.2, 0.3, 0.4], SimTime::ZERO);
-/// assert!(b.flush_due(&net, &ScparConfig::serial(), SimTime::ZERO).is_none(), "below both knobs");
+/// assert!(b.flush_due(&net, &ctx, SimTime::ZERO).is_none(), "below both knobs");
 /// b.submit(vec![0.4, 0.3, 0.2, 0.1], SimTime::ZERO);
-/// let batch = b.flush_due(&net, &ScparConfig::serial(), SimTime::ZERO).unwrap();
+/// let batch = b.flush_due(&net, &ctx, SimTime::ZERO).unwrap();
 /// assert_eq!(batch.batch_size, 2);
 /// ```
 #[derive(Debug)]
@@ -181,23 +182,23 @@ impl MicroBatcher {
     pub fn flush_due(
         &mut self,
         model: &Sequential,
-        par: &ScparConfig,
+        ctx: &ExecCtx,
         now: SimTime,
     ) -> Option<FlushedBatch> {
         if self.due(now) {
-            self.flush_now(model, par, now)
+            self.flush_now(model, ctx, now)
         } else {
             None
         }
     }
 
     /// Evaluates every pending distinct row as one batched
-    /// `predict_with` call and fans outputs back out to all waiters.
+    /// `predict_ctx` call and fans outputs back out to all waiters.
     /// Returns `None` when nothing is pending.
     pub fn flush_now(
         &mut self,
         model: &Sequential,
-        par: &ScparConfig,
+        ctx: &ExecCtx,
         now: SimTime,
     ) -> Option<FlushedBatch> {
         if self.rows.is_empty() {
@@ -216,7 +217,7 @@ impl MicroBatcher {
         }
         let input =
             Tensor::from_vec(vec![rows.len(), dim], data).expect("rows share one dimension");
-        let out = model.predict_with(&input, par);
+        let out = model.predict_ctx(&input, ctx);
         let out_dim = out.len() / rows.len();
 
         let distinct: Vec<(u64, Vec<f32>)> = rows
@@ -276,7 +277,7 @@ mod tests {
         assert!(!b.due(SimTime::ZERO));
         b.submit(row(3), SimTime::ZERO);
         let batch = b
-            .flush_due(&net, &ScparConfig::serial(), SimTime::ZERO)
+            .flush_due(&net, &ExecCtx::serial(), SimTime::ZERO)
             .unwrap();
         assert_eq!(batch.batch_size, 3);
         assert_eq!(batch.requests, 3);
@@ -295,7 +296,7 @@ mod tests {
         assert!(b.due(SimTime::from_millis(15)));
         assert_eq!(b.next_deadline(), Some(SimTime::from_millis(15)));
         let batch = b
-            .flush_due(&net, &ScparConfig::serial(), SimTime::from_millis(15))
+            .flush_due(&net, &ExecCtx::serial(), SimTime::from_millis(15))
             .unwrap();
         assert_eq!(batch.batch_size, 1);
     }
@@ -312,7 +313,7 @@ mod tests {
         assert_eq!(b.pending_rows(), 1, "identical row coalesces");
         b.submit(row(2), SimTime::ZERO);
         let batch = b
-            .flush_due(&net, &ScparConfig::serial(), SimTime::ZERO)
+            .flush_due(&net, &ExecCtx::serial(), SimTime::ZERO)
             .unwrap();
         assert_eq!(batch.batch_size, 2, "two distinct rows evaluated");
         assert_eq!(batch.requests, 3, "three requests served");
@@ -325,7 +326,7 @@ mod tests {
     #[test]
     fn batched_equals_single_row() {
         let net = net();
-        let par = ScparConfig::serial();
+        let ctx = ExecCtx::serial();
         let rows: Vec<Vec<f32>> = (0..7).map(row).collect();
         let mut b = MicroBatcher::new(BatchConfig {
             max_batch: 7,
@@ -335,11 +336,11 @@ mod tests {
             .iter()
             .map(|r| b.submit(r.clone(), SimTime::ZERO))
             .collect();
-        let batch = b.flush_now(&net, &par, SimTime::ZERO).unwrap();
+        let batch = b.flush_now(&net, &ctx, SimTime::ZERO).unwrap();
         for (id, r) in ids.iter().zip(&rows) {
-            let single = net.predict_with(
+            let single = net.predict_ctx(
                 &Tensor::from_vec(vec![1, r.len()], r.clone()).unwrap(),
-                &par,
+                &ctx,
             );
             let batched = &batch.outputs.iter().find(|(i, _)| i == id).unwrap().1;
             let same = single
@@ -356,7 +357,7 @@ mod tests {
         let net = net();
         let mut b = MicroBatcher::new(BatchConfig::default());
         assert!(b
-            .flush_now(&net, &ScparConfig::serial(), SimTime::ZERO)
+            .flush_now(&net, &ExecCtx::serial(), SimTime::ZERO)
             .is_none());
     }
 }

@@ -32,6 +32,7 @@
 use std::collections::BTreeMap;
 
 use scfault::{CircuitBreaker, FaultPlan, OutageWindows};
+use scneural::exec::ExecCtx;
 use scneural::net::Sequential;
 use scnosql::document::{Collection, Doc, DocId, Filter};
 use scnosql::NosqlError;
@@ -276,7 +277,7 @@ pub struct Server {
     /// key → `(shard, doc id)` replica placements, ring order.
     directory: BTreeMap<String, Vec<(u32, DocId)>>,
     model: Option<Sequential>,
-    par: ScparConfig,
+    ctx: ExecCtx,
     query_cache: QueryCache<Rows>,
     infer_cache: InferenceCache,
     batcher: MicroBatcher,
@@ -306,7 +307,7 @@ impl Server {
             shards,
             directory: BTreeMap::new(),
             model: None,
-            par: ScparConfig::serial(),
+            ctx: ExecCtx::serial(),
             query_cache: QueryCache::new(cfg.query_cache),
             infer_cache: InferenceCache::new(cfg.infer_cache),
             batcher: MicroBatcher::new(cfg.batch),
@@ -333,9 +334,17 @@ impl Server {
         self
     }
 
+    /// Sets the execution context used for batched inference (worker
+    /// pool, telemetry, and SIMD ISA selection).
+    pub fn with_ctx(mut self, ctx: ExecCtx) -> Self {
+        self.ctx = ctx;
+        self
+    }
+
     /// Sets the worker-pool configuration used for batched inference.
+    #[deprecated(since = "0.2.0", note = "use `with_ctx(ExecCtx)` instead")]
     pub fn with_par(mut self, par: ScparConfig) -> Self {
-        self.par = par;
+        self.ctx = self.ctx.with_par(par);
         self
     }
 
@@ -936,7 +945,7 @@ impl Server {
         let Some(model) = self.model.as_ref() else {
             return Vec::new(); // nothing can be pending without a model
         };
-        let Some(batch) = self.batcher.flush_now(model, &self.par, now) else {
+        let Some(batch) = self.batcher.flush_now(model, &self.ctx, now) else {
             return Vec::new();
         };
         self.stats.batches += 1;

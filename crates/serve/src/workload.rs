@@ -425,6 +425,7 @@ impl WorkloadGen {
 mod tests {
     use super::*;
     use crate::server::ServeConfig;
+    use scneural::exec::ExecCtx;
     use scneural::layers::{Dense, Relu};
     use scneural::net::Sequential;
     use scpar::ScparConfig;
@@ -481,7 +482,7 @@ mod tests {
             };
             let mut server = Server::new(ServeConfig::default())
                 .with_model(model(8))
-                .with_par(par);
+                .with_ctx(ExecCtx::serial().with_par(par));
             WorkloadGen::new(WorkloadConfig {
                 requests: 600,
                 seed: 7,

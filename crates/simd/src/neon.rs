@@ -1,0 +1,325 @@
+//! NEON kernels (aarch64, 128-bit registers: 4 × f32 / 2 × f64).
+//!
+//! Lane-wise mirrors of the [`crate::scalar`] reference, with the same
+//! no-FMA strict profile as the AVX2 backend. NEON `vmin`/`vmax`
+//! propagate NaN (unlike Rust's `min`/`max`, which return the other
+//! operand), so the exp clamp uses explicit compare + select to land on
+//! the scalar semantics bit-for-bit. NEON is baseline on aarch64, so
+//! these functions are safe to call unconditionally there.
+
+use core::arch::aarch64::*;
+
+use crate::scalar;
+
+/// `x.min(hi)` with Rust semantics (NaN → `hi`): `x < hi ? x : hi`.
+#[inline]
+fn min_rs(x: float32x4_t, hi: float32x4_t) -> float32x4_t {
+    unsafe { vbslq_f32(vcltq_f32(x, hi), x, hi) }
+}
+
+/// `x.max(lo)` with Rust semantics (NaN → `lo`): `x > lo ? x : lo`.
+#[inline]
+fn max_rs(x: float32x4_t, lo: float32x4_t) -> float32x4_t {
+    unsafe { vbslq_f32(vcgtq_f32(x, lo), x, lo) }
+}
+
+/// exp over one vector; the lane-wise mirror of [`scalar::exp`].
+#[inline]
+fn exp_v(x: float32x4_t) -> float32x4_t {
+    unsafe {
+        let x = max_rs(
+            min_rs(x, vdupq_n_f32(scalar::EXP_HI)),
+            vdupq_n_f32(scalar::EXP_LO),
+        );
+
+        // vcvtnq rounds to nearest even, matching `round_ties_even`.
+        let n_i = vcvtnq_s32_f32(vmulq_f32(x, vdupq_n_f32(std::f32::consts::LOG2_E)));
+        let n = vcvtq_f32_s32(n_i);
+
+        let r = vsubq_f32(x, vmulq_f32(n, vdupq_n_f32(0.693_359_375)));
+        let r = vsubq_f32(r, vmulq_f32(n, vdupq_n_f32(-2.121_944_4e-4)));
+
+        let mut p = vdupq_n_f32(1.987_569_2e-4);
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(1.398_2e-3));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(8.333_452e-3));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(4.166_579_6e-2));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(1.666_666_6e-1));
+        p = vaddq_f32(vmulq_f32(p, r), vdupq_n_f32(5.000_000_3e-1));
+        let e = vaddq_f32(
+            vaddq_f32(vmulq_f32(p, vmulq_f32(r, r)), r),
+            vdupq_n_f32(1.0),
+        );
+
+        let scale = vreinterpretq_f32_s32(vshlq_n_s32::<23>(vaddq_s32(n_i, vdupq_n_s32(127))));
+        vmulq_f32(e, scale)
+    }
+}
+
+/// sigmoid over one vector; mirror of [`scalar::sigmoid`].
+#[inline]
+fn sigmoid_v(x: float32x4_t) -> float32x4_t {
+    unsafe {
+        let neg = vreinterpretq_f32_u32(veorq_u32(
+            vreinterpretq_u32_f32(x),
+            vdupq_n_u32(0x8000_0000),
+        ));
+        let one = vdupq_n_f32(1.0);
+        vdivq_f32(one, vaddq_f32(one, exp_v(neg)))
+    }
+}
+
+/// tanh over one vector; mirror of [`scalar::tanh`], both paths blended.
+#[inline]
+fn tanh_v(x: float32x4_t) -> float32x4_t {
+    unsafe {
+        let bits = vreinterpretq_u32_f32(x);
+        let ax = vreinterpretq_f32_u32(vandq_u32(bits, vdupq_n_u32(0x7fff_ffff)));
+        let sign = vandq_u32(bits, vdupq_n_u32(0x8000_0000));
+
+        let s = vmulq_f32(ax, ax);
+        let mut p = vdupq_n_f32(-5.704_988_7e-3);
+        p = vaddq_f32(vmulq_f32(p, s), vdupq_n_f32(2.063_908_9e-2));
+        p = vaddq_f32(vmulq_f32(p, s), vdupq_n_f32(-5.373_971_6e-2));
+        p = vaddq_f32(vmulq_f32(p, s), vdupq_n_f32(1.333_144_2e-1));
+        p = vaddq_f32(vmulq_f32(p, s), vdupq_n_f32(-3.333_328_2e-1));
+        let small = vaddq_f32(vmulq_f32(vmulq_f32(p, s), ax), ax);
+
+        let one = vdupq_n_f32(1.0);
+        let e = exp_v(vaddq_f32(ax, ax));
+        let large = vsubq_f32(one, vdivq_f32(vdupq_n_f32(2.0), vaddq_f32(e, one)));
+
+        // ax < TANH_SMALL → small path; NaN compares false → large path.
+        let take_small = vcltq_f32(ax, vdupq_n_f32(scalar::TANH_SMALL));
+        let r = vbslq_f32(take_small, small, large);
+        vreinterpretq_f32_u32(vorrq_u32(vreinterpretq_u32_f32(r), sign))
+    }
+}
+
+macro_rules! map_slice {
+    ($xs:expr, $vec_fn:expr, $scalar_fn:expr) => {{
+        let xs: &mut [f32] = $xs;
+        let mut i = 0;
+        while i + 4 <= xs.len() {
+            unsafe {
+                let p = xs.as_mut_ptr().add(i);
+                vst1q_f32(p, $vec_fn(vld1q_f32(p)));
+            }
+            i += 4;
+        }
+        for x in &mut xs[i..] {
+            *x = $scalar_fn(*x);
+        }
+    }};
+}
+
+/// In-place exp; see [`crate::exp_f32`].
+pub fn exp_slice(xs: &mut [f32]) {
+    map_slice!(xs, exp_v, scalar::exp);
+}
+
+/// In-place sigmoid; see [`crate::sigmoid_f32`].
+pub fn sigmoid_slice(xs: &mut [f32]) {
+    map_slice!(xs, sigmoid_v, scalar::sigmoid);
+}
+
+/// In-place tanh; see [`crate::tanh_f32`].
+pub fn tanh_slice(xs: &mut [f32]) {
+    map_slice!(xs, tanh_v, scalar::tanh);
+}
+
+/// In-place relu (`x > 0 ? x : 0`); see [`crate::relu_f32`].
+pub fn relu_slice(xs: &mut [f32]) {
+    let mut i = 0;
+    while i + 4 <= xs.len() {
+        unsafe {
+            let p = xs.as_mut_ptr().add(i);
+            let x = vld1q_f32(p);
+            let zero = vdupq_n_f32(0.0);
+            // compare + select (not vmax): NaN and -0.0 map to +0.0,
+            // matching the scalar contract.
+            vst1q_f32(p, vbslq_f32(vcgtq_f32(x, zero), x, zero));
+        }
+        i += 4;
+    }
+    for x in &mut xs[i..] {
+        *x = if *x > 0.0 { *x } else { 0.0 };
+    }
+}
+
+/// Row-wise softmax; see [`crate::softmax_rows_f32`]. Element-ordered
+/// normalizing sum, like every other backend.
+pub fn softmax_rows(data: &mut [f32], cols: usize) {
+    for row in data.chunks_mut(cols) {
+        let mut j = 0;
+        let mut max = f32::NEG_INFINITY;
+        if cols >= 4 {
+            unsafe {
+                let mut vmax = vdupq_n_f32(f32::NEG_INFINITY);
+                while j + 4 <= cols {
+                    vmax = vmaxq_f32(vmax, vld1q_f32(row.as_ptr().add(j)));
+                    j += 4;
+                }
+                max = vmaxvq_f32(vmax);
+            }
+        }
+        for &x in &row[j..] {
+            max = max.max(x);
+        }
+
+        let mut j = 0;
+        unsafe {
+            let vmaxb = vdupq_n_f32(max);
+            while j + 4 <= cols {
+                let p = row.as_mut_ptr().add(j);
+                vst1q_f32(p, exp_v(vsubq_f32(vld1q_f32(p), vmaxb)));
+                j += 4;
+            }
+        }
+        for x in &mut row[j..] {
+            *x = scalar::exp(*x - max);
+        }
+
+        let mut sum = 0.0f32;
+        for &x in row.iter() {
+            sum += x;
+        }
+
+        let mut j = 0;
+        unsafe {
+            let vsum = vdupq_n_f32(sum);
+            while j + 4 <= cols {
+                let p = row.as_mut_ptr().add(j);
+                vst1q_f32(p, vdivq_f32(vld1q_f32(p), vsum));
+                j += 4;
+            }
+        }
+        for x in &mut row[j..] {
+            *x /= sum;
+        }
+    }
+}
+
+/// f32 matmul panel; bit-identical to [`scalar::matmul_panel_f32`].
+/// 16-column tiles (4 registers), ascending-`k`, zero-skip, no FMA.
+pub fn matmul_panel_f32(a: &[f32], b: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    let rows = a.len() / k;
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 16 <= n {
+            unsafe {
+                let op = o_row.as_mut_ptr().add(j);
+                let mut acc0 = vld1q_f32(op);
+                let mut acc1 = vld1q_f32(op.add(4));
+                let mut acc2 = vld1q_f32(op.add(8));
+                let mut acc3 = vld1q_f32(op.add(12));
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let va = vdupq_n_f32(av);
+                    let bp = b.as_ptr().add(p * n + j);
+                    acc0 = vaddq_f32(acc0, vmulq_f32(va, vld1q_f32(bp)));
+                    acc1 = vaddq_f32(acc1, vmulq_f32(va, vld1q_f32(bp.add(4))));
+                    acc2 = vaddq_f32(acc2, vmulq_f32(va, vld1q_f32(bp.add(8))));
+                    acc3 = vaddq_f32(acc3, vmulq_f32(va, vld1q_f32(bp.add(12))));
+                }
+                vst1q_f32(op, acc0);
+                vst1q_f32(op.add(4), acc1);
+                vst1q_f32(op.add(8), acc2);
+                vst1q_f32(op.add(12), acc3);
+            }
+            j += 16;
+        }
+        while j + 4 <= n {
+            unsafe {
+                let op = o_row.as_mut_ptr().add(j);
+                let mut acc = vld1q_f32(op);
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    acc = vaddq_f32(
+                        acc,
+                        vmulq_f32(vdupq_n_f32(av), vld1q_f32(b.as_ptr().add(p * n + j))),
+                    );
+                }
+                vst1q_f32(op, acc);
+            }
+            j += 4;
+        }
+        for jj in j..n {
+            let mut acc = o_row[jj];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * b[p * n + jj];
+            }
+            o_row[jj] = acc;
+        }
+    }
+}
+
+/// f64 matmul panel; bit-identical to [`scalar::matmul_panel_f64`].
+pub fn matmul_panel_f64(a: &[f64], b: &[f64], k: usize, n: usize, out: &mut [f64]) {
+    let rows = a.len() / k;
+    for i in 0..rows {
+        let a_row = &a[i * k..(i + 1) * k];
+        let o_row = &mut out[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + 8 <= n {
+            unsafe {
+                let op = o_row.as_mut_ptr().add(j);
+                let mut acc0 = vld1q_f64(op);
+                let mut acc1 = vld1q_f64(op.add(2));
+                let mut acc2 = vld1q_f64(op.add(4));
+                let mut acc3 = vld1q_f64(op.add(6));
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let va = vdupq_n_f64(av);
+                    let bp = b.as_ptr().add(p * n + j);
+                    acc0 = vaddq_f64(acc0, vmulq_f64(va, vld1q_f64(bp)));
+                    acc1 = vaddq_f64(acc1, vmulq_f64(va, vld1q_f64(bp.add(2))));
+                    acc2 = vaddq_f64(acc2, vmulq_f64(va, vld1q_f64(bp.add(4))));
+                    acc3 = vaddq_f64(acc3, vmulq_f64(va, vld1q_f64(bp.add(6))));
+                }
+                vst1q_f64(op, acc0);
+                vst1q_f64(op.add(2), acc1);
+                vst1q_f64(op.add(4), acc2);
+                vst1q_f64(op.add(6), acc3);
+            }
+            j += 8;
+        }
+        while j + 2 <= n {
+            unsafe {
+                let op = o_row.as_mut_ptr().add(j);
+                let mut acc = vld1q_f64(op);
+                for (p, &av) in a_row.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    acc = vaddq_f64(
+                        acc,
+                        vmulq_f64(vdupq_n_f64(av), vld1q_f64(b.as_ptr().add(p * n + j))),
+                    );
+                }
+                vst1q_f64(op, acc);
+            }
+            j += 2;
+        }
+        for jj in j..n {
+            let mut acc = o_row[jj];
+            for (p, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                acc += av * b[p * n + jj];
+            }
+            o_row[jj] = acc;
+        }
+    }
+}

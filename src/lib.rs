@@ -53,6 +53,7 @@ pub use scobserve as observe;
 pub use scpar as par;
 pub use scprof as prof;
 pub use scserve as serve;
+pub use scsimd as simd;
 pub use scsocial as social;
 pub use scstream as stream;
 pub use sctelemetry as telemetry;

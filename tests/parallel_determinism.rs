@@ -6,9 +6,15 @@
 //! exports. These tests exercise that promise across the three layers the
 //! runtime is wired into — dense linear algebra, batched neural inference,
 //! and fog placement sweeps.
+//!
+//! The same contract extends to the SIMD dispatch axis: `scsimd`'s strict
+//! profile promises that the vector backends replay the scalar reference's
+//! exact IEEE-754 operation sequence, so pinning `Isa::Scalar` versus the
+//! runtime-dispatched ISA must also be byte-identical.
 
 use proptest::prelude::*;
 use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
+use smartcity::neural::exec::ExecCtx;
 use smartcity::neural::layers::{Dense, Relu};
 use smartcity::neural::linalg::Mat;
 use smartcity::neural::net::Sequential;
@@ -46,9 +52,10 @@ proptest! {
     ) {
         let a = Mat::from_vec(m, k, fill(seed, m * k));
         let b = Mat::from_vec(k, n, fill(seed ^ 0xabcd, k * n));
-        let serial = a.matmul_with(&b, &ScparConfig::serial());
+        let serial = a.matmul_ctx(&b, &ExecCtx::serial());
         for threads in THREAD_COUNTS {
-            let par = a.matmul_with(&b, &ScparConfig::with_threads(threads));
+            let ctx = ExecCtx::serial().with_par(ScparConfig::with_threads(threads));
+            let par = a.matmul_ctx(&b, &ctx);
             let same = (0..m).all(|i| {
                 (0..n).all(|j| serial[(i, j)].to_bits() == par[(i, j)].to_bits())
             });
@@ -69,9 +76,10 @@ proptest! {
             .with(Dense::new(12, 3, seed ^ 1));
         let data: Vec<f32> = fill(seed ^ 2, rows * 6).iter().map(|v| *v as f32).collect();
         let input = Tensor::from_vec(vec![rows, 6], data).unwrap();
-        let serial = net.predict_with(&input, &ScparConfig::serial());
+        let serial = net.predict_ctx(&input, &ExecCtx::serial());
         for threads in THREAD_COUNTS {
-            let par = net.predict_with(&input, &ScparConfig::with_threads(threads));
+            let ctx = ExecCtx::serial().with_par(ScparConfig::with_threads(threads));
+            let par = net.predict_ctx(&input, &ctx);
             let same = serial
                 .data()
                 .iter()
@@ -115,5 +123,81 @@ proptest! {
                 .collect();
             prop_assert_eq!(&serial, &par, "{}-thread sweep diverged", threads);
         }
+    }
+
+    /// SIMD dispatch axis: the f32 inference kernels (matmul, activations,
+    /// softmax) pinned to the scalar backend versus the runtime-dispatched
+    /// ISA give byte-identical outputs — at every thread count. This is
+    /// the strict-profile contract the per-ISA golden policy rests on.
+    #[test]
+    fn inference_kernels_are_isa_independent(
+        rows in 1usize..60,
+        seed in any::<u64>(),
+    ) {
+        let scalar = smartcity::simd::Isa::Scalar;
+        let native = smartcity::simd::Isa::active();
+
+        let data: Vec<f32> = fill(seed, rows * 6).iter().map(|v| *v as f32).collect();
+        let w: Vec<f32> = fill(seed ^ 1, 6 * 12).iter().map(|v| *v as f32).collect();
+        let input = Tensor::from_vec(vec![rows, 6], data).unwrap();
+        let weight = Tensor::from_vec(vec![6, 12], w).unwrap();
+
+        let logits_s = input
+            .matmul_ctx(&weight, &ExecCtx::serial().with_isa(scalar))
+            .unwrap();
+        for threads in [1usize, 2, 8] {
+            let ctx = ExecCtx::serial()
+                .with_par(ScparConfig::with_threads(threads))
+                .with_isa(native);
+            let logits_n = input.matmul_ctx(&weight, &ctx).unwrap();
+            let same = logits_s
+                .data()
+                .iter()
+                .zip(logits_n.data().iter())
+                .all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "{threads}-thread SIMD f32 matmul diverged from scalar");
+        }
+
+        type UnaryOp = fn(&mut [f32], smartcity::simd::Isa);
+        let unary: [UnaryOp; 4] = [
+            smartcity::simd::exp_f32,
+            smartcity::simd::sigmoid_f32,
+            smartcity::simd::tanh_f32,
+            smartcity::simd::relu_f32,
+        ];
+        for op in unary {
+            let mut s = logits_s.data().to_vec();
+            let mut n = logits_s.data().to_vec();
+            op(&mut s, scalar);
+            op(&mut n, native);
+            let same = s.iter().zip(n.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+            prop_assert!(same, "SIMD activation diverged from scalar backend");
+        }
+
+        let mut sm_s = logits_s.data().to_vec();
+        let mut sm_n = logits_s.data().to_vec();
+        smartcity::simd::softmax_rows_f32(&mut sm_s, 12, scalar);
+        smartcity::simd::softmax_rows_f32(&mut sm_n, 12, native);
+        let same = sm_s.iter().zip(sm_n.iter()).all(|(x, y)| x.to_bits() == y.to_bits());
+        prop_assert!(same, "SIMD softmax diverged from scalar backend");
+    }
+
+    /// f64 matmul pinned to `Isa::Scalar` versus the dispatched ISA is
+    /// byte-identical: the vector panels replay the scalar op order.
+    #[test]
+    fn matmul_is_isa_independent(
+        m in 1usize..50,
+        k in 1usize..40,
+        n in 1usize..50,
+        seed in any::<u64>(),
+    ) {
+        let a = Mat::from_vec(m, k, fill(seed, m * k));
+        let b = Mat::from_vec(k, n, fill(seed ^ 0xabcd, k * n));
+        let scalar = a.matmul_ctx(&b, &ExecCtx::serial().with_isa(smartcity::simd::Isa::Scalar));
+        let native = a.matmul_ctx(&b, &ExecCtx::serial().with_isa(smartcity::simd::Isa::active()));
+        let same = (0..m).all(|i| {
+            (0..n).all(|j| scalar[(i, j)].to_bits() == native[(i, j)].to_bits())
+        });
+        prop_assert!(same, "SIMD matmul diverged from scalar backend");
     }
 }

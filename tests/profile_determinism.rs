@@ -9,9 +9,10 @@
 //! `2·m·n·k`.
 
 use proptest::prelude::*;
-use smartcity::compute::mllib::kmeans_par_with;
+use smartcity::compute::mllib::kmeans_ctx;
 use smartcity::core::infrastructure::Cyberinfrastructure;
 use smartcity::core::pipeline::CityDataPipeline;
+use smartcity::neural::exec::ExecCtx;
 use smartcity::par::ScparConfig;
 use smartcity::prof::{CostDimension, Profiler};
 use smartcity::telemetry::WorkDelta;
@@ -125,19 +126,45 @@ fn kmeans_work_is_thread_invariant() {
         .iter()
         .map(|&t| {
             let profiler = Profiler::shared();
-            kmeans_par_with(
-                &points,
-                3,
-                20,
-                9,
-                &ScparConfig::with_threads(t),
-                &profiler.handle(),
-            );
+            let ctx = ExecCtx::serial()
+                .with_par(ScparConfig::with_threads(t))
+                .with_telemetry(profiler.handle());
+            kmeans_ctx(&points, 3, 20, 9, &ctx);
             profiler.report().to_json()
         })
         .collect();
     assert_eq!(reports[0], reports[1]);
     assert_eq!(reports[0], reports[2]);
+}
+
+#[test]
+fn matmul_profile_is_isa_invariant() {
+    use smartcity::neural::tensor::Tensor;
+    let a = Tensor::from_vec(vec![40, 24], fill(3, 40 * 24)).unwrap();
+    let b = Tensor::from_vec(vec![24, 32], fill(4, 24 * 32)).unwrap();
+    let reports: Vec<(String, Vec<u32>)> =
+        [smartcity::simd::Isa::Scalar, smartcity::simd::Isa::active()]
+            .iter()
+            .map(|&isa| {
+                let profiler = Profiler::shared();
+                let ctx = ExecCtx::serial()
+                    .with_telemetry(profiler.handle())
+                    .with_isa(isa);
+                let out = a.matmul_ctx(&b, &ctx).unwrap();
+                (
+                    profiler.report().to_json(),
+                    out.data().iter().map(|v| v.to_bits()).collect(),
+                )
+            })
+            .collect();
+    assert_eq!(
+        reports[0].0, reports[1].0,
+        "work accounting must not depend on the SIMD backend"
+    );
+    assert_eq!(
+        reports[0].1, reports[1].1,
+        "scalar and SIMD matmul must agree bit-for-bit"
+    );
 }
 
 proptest! {
@@ -158,8 +185,10 @@ proptest! {
         let a = Tensor::from_vec(vec![m, k], fill(seed, m * k)).unwrap();
         let b = Tensor::from_vec(vec![k, n], fill(seed ^ 0x5eed, k * n)).unwrap();
         let profiler = Profiler::shared();
-        a.matmul_rec(&b, &ScparConfig::with_threads(threads), &profiler.handle())
-            .unwrap();
+        let ctx = ExecCtx::serial()
+            .with_par(ScparConfig::with_threads(threads))
+            .with_telemetry(profiler.handle());
+        a.matmul_ctx(&b, &ctx).unwrap();
         let report = profiler.report();
         let kernel = report.kernel(KERNEL_MATMUL).expect("matmul kernel recorded");
         prop_assert_eq!(

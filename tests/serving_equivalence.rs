@@ -8,12 +8,13 @@
 //! 1. `Server::query(f)` returns exactly `Collection::find(f)` — cold
 //!    cache, warm cache, after invalidating writes, and after TTL expiry.
 //! 2. Micro-batched inference is **bit-identical** to single-row
-//!    `Sequential::predict_with` at batch sizes 1 / 7 / 32 and worker
+//!    `Sequential::predict_ctx` at batch sizes 1 / 7 / 32 and worker
 //!    counts 1 / 2 / 8.
 //! 3. A randomized put/get/query/remove interleaving against a
 //!    flat reference model never observes a divergent answer.
 
 use proptest::prelude::*;
+use smartcity::neural::exec::ExecCtx;
 use smartcity::neural::layers::{Dense, Relu};
 use smartcity::neural::net::Sequential;
 use smartcity::neural::tensor::Tensor;
@@ -145,13 +146,13 @@ fn batched_inference_is_bit_identical_to_single_row() {
         })
         .collect();
     // Ground truth: one row at a time, serial.
-    let serial = ScparConfig::serial();
+    let serial = ExecCtx::serial();
     let reference = model();
     let expected: Vec<Vec<f32>> = rows
         .iter()
         .map(|r| {
             reference
-                .predict_with(&Tensor::from_vec(vec![1, DIM], r.clone()).unwrap(), &serial)
+                .predict_ctx(&Tensor::from_vec(vec![1, DIM], r.clone()).unwrap(), &serial)
                 .data()
                 .to_vec()
         })
@@ -172,7 +173,7 @@ fn batched_inference_is_bit_identical_to_single_row() {
                 ..ServeConfig::default()
             })
             .with_model(model())
-            .with_par(par);
+            .with_ctx(ExecCtx::serial().with_par(par));
 
             let mut outputs: Vec<Option<Vec<f32>>> = vec![None; rows.len()];
             let mut tickets = Vec::new();

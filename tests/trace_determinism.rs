@@ -11,6 +11,7 @@
 
 use smartcity::fault::{FaultPlan, FaultSpec};
 use smartcity::fog::{FogSimulator, Placement, Topology, Workload};
+use smartcity::neural::exec::ExecCtx;
 use smartcity::neural::layers::{Dense, Relu};
 use smartcity::neural::net::Sequential;
 use smartcity::observe::{
@@ -33,7 +34,7 @@ fn record_stack(threads: usize) -> std::sync::Arc<Telemetry> {
         .with(Dense::new(16, 4, SEED.wrapping_add(3)));
     let mut server = Server::new(ServeConfig::default())
         .with_model(model)
-        .with_par(ScparConfig::with_threads(threads))
+        .with_ctx(ExecCtx::serial().with_par(ScparConfig::with_threads(threads)))
         .with_telemetry(telemetry.handle())
         .with_trace_seed(SEED);
     WorkloadGen::new(WorkloadConfig {
