@@ -1,0 +1,286 @@
+//! Regenerates `tuning_table.json`: scores every candidate schedule for a
+//! fixed grid of problem shapes and writes the winners.
+//!
+//! Two scoring modes:
+//!
+//! * **cost-model** (default) — the seeded analytic [`sctune::CostModel`].
+//!   Fully reproducible: the same seed writes the same table on every
+//!   host, which is why the committed table is generated this way.
+//! * **measure** (`--measure`) — median-of-5 wall clock per candidate for
+//!   the compute kernels, on *this* host. Use it when retuning for new
+//!   hardware (see PERF.md); the output is honest but machine-specific,
+//!   so don't commit it from a noisy laptop. `micro_batch` always scores
+//!   by cost model: its wall time is dominated by the model flush, which
+//!   the candidate barely moves, so measurement is pure noise there.
+//!
+//! `--check <path>` instead verifies the committed table: parse, validate,
+//! re-serialize, and compare byte-for-byte (CI runs this).
+//!
+//! Usage:
+//!
+//! ```text
+//! tune_gen [--out tuning_table.json] [--seed 42] [--measure]
+//! tune_gen --check tuning_table.json
+//! ```
+
+use scneural::exec::ExecCtx;
+use scneural::layers::{Dense, Relu};
+use scneural::linalg::Mat;
+use scneural::net::Sequential;
+use scneural::tensor::Tensor;
+use scpar::ScparConfig;
+use sctune::{candidates, measure, CostModel, KernelId, TuneKey, Tuner, TuningTable};
+use std::path::Path;
+use std::process::ExitCode;
+
+/// Thread counts every thread-keyed shape is tuned for.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// The seed every committed table is generated with.
+const DEFAULT_SEED: u64 = 42;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out = String::from(sctune::DEFAULT_TABLE_PATH);
+    let mut seed = DEFAULT_SEED;
+    let mut measure_mode = false;
+    let mut check: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => match it.next() {
+                Some(v) => out = v.clone(),
+                None => return usage("--out needs a path"),
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--measure" => measure_mode = true,
+            "--check" => match it.next() {
+                Some(v) => check = Some(v.clone()),
+                None => return usage("--check needs a path"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        return check_table(Path::new(&path));
+    }
+
+    let mut table = TuningTable::empty();
+    table.generated_by = Some("tune_gen".into());
+    table.mode = Some(
+        if measure_mode {
+            "measure"
+        } else {
+            "cost-model"
+        }
+        .into(),
+    );
+    table.seed = if measure_mode { None } else { Some(seed) };
+    let model = CostModel::new(seed);
+    for key in shape_grid() {
+        let winner = if measure_mode {
+            measured_winner(&key).unwrap_or_else(|| model_winner(&model, &key))
+        } else {
+            model_winner(&model, &key)
+        };
+        println!(
+            "{:<44} {} = {winner}",
+            key.canonical(),
+            key.kernel().param()
+        );
+        table.insert(key, winner);
+    }
+
+    match table.save(Path::new(&out)) {
+        Ok(()) => {
+            println!("tune_gen: wrote {} entries to {out}", table.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("tune_gen: cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tune_gen: {msg}");
+    eprintln!("usage: tune_gen [--out PATH] [--seed N] [--measure] | --check PATH");
+    ExitCode::from(2)
+}
+
+/// Validates a committed table: it must parse cleanly and re-serialize to
+/// the exact bytes on disk (so hand edits stay canonical and diffs stay
+/// honest).
+fn check_table(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tune_gen: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let table = match TuningTable::from_json(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tune_gen: {} is invalid: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if table.to_json_string() != text {
+        eprintln!(
+            "tune_gen: {} is not in canonical form (run tune_gen to regenerate)",
+            path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "tune_gen: {} OK ({} entries, canonical round-trip)",
+        path.display(),
+        table.len()
+    );
+    ExitCode::SUCCESS
+}
+
+/// The fixed shape grid: every hot shape the benches and the serving path
+/// actually hit, so run-time lookups are exact rather than nearest-key.
+/// ISA is always `any` — the strict SIMD profile gives every backend the
+/// same task-count economics, and `any` keys serve all of them.
+fn shape_grid() -> Vec<TuneKey> {
+    let mut grid = Vec::new();
+    // f64 matmuls: E15's square products (quick and full sizes) plus the
+    // tall-skinny overhead-dominated shapes the tuned-vs-untuned section
+    // exercises.
+    for (m, k, n) in [
+        (192, 192, 192),
+        (512, 512, 512),
+        (2048, 16, 16),
+        (8192, 16, 16),
+    ] {
+        for t in THREADS {
+            grid.push(TuneKey::matmul_f64(m, k, n, t, "any"));
+        }
+    }
+    // f32 matmuls: E15's profile/SIMD sections run the same square sizes
+    // through `Tensor::matmul_ctx`.
+    for (m, k, n) in [(192, 192, 192), (512, 512, 512), (4096, 64, 8)] {
+        for t in THREADS {
+            grid.push(TuneKey::matmul_f32(m, k, n, t, "any"));
+        }
+    }
+    // Batched inference: E15's 64-feature net at quick and full batch
+    // sizes.
+    for (rows, elems) in [(256, 64), (2048, 64)] {
+        for t in THREADS {
+            grid.push(TuneKey::predict(rows, elems, t));
+        }
+    }
+    // k-means: the E10 data-mining clustering shapes.
+    for (points, dim, k) in [(2048, 4, 8), (10_000, 8, 16)] {
+        for t in THREADS {
+            grid.push(TuneKey::kmeans(points, dim, k, t));
+        }
+    }
+    // Micro-batching, keyed on model parameter count (thread-free): the
+    // E15/E17 serving net.
+    grid.push(TuneKey::micro_batch(serving_net().param_count()));
+    grid
+}
+
+/// The inference net E15 and E17 serve (64 features → 8 classes).
+fn serving_net() -> Sequential {
+    Sequential::new()
+        .with(Dense::new(64, 128, 15))
+        .with(Relu::new())
+        .with(Dense::new(128, 64, 16))
+        .with(Relu::new())
+        .with(Dense::new(64, 8, 17))
+}
+
+/// Lowest modelled cost wins; ties go to the smaller candidate so the
+/// output is independent of ladder order.
+fn model_winner(model: &CostModel, key: &TuneKey) -> usize {
+    candidates(key.kernel())
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            model
+                .score(key, a)
+                .total_cmp(&model.score(key, b))
+                .then(a.cmp(&b))
+        })
+        .expect("every kernel has a non-empty ladder")
+}
+
+/// Median-of-5 wall clock per candidate, smaller median wins (ties to the
+/// smaller candidate). Returns `None` for kernels measurement cannot
+/// meaningfully score (micro_batch).
+fn measured_winner(key: &TuneKey) -> Option<usize> {
+    let mut best: Option<(f64, usize)> = None;
+    for &cand in candidates(key.kernel()) {
+        let mut single = TuningTable::empty();
+        single.insert(key.clone(), cand);
+        let ctx = ExecCtx::serial()
+            .with_par(ScparConfig::with_threads(key.threads() as usize))
+            .with_tuner(Tuner::from_table(single));
+        let secs = match key.kernel() {
+            KernelId::MatmulF64 => {
+                let [m, k, n] = key.dims()[..] else {
+                    return None;
+                };
+                let a = Mat::from_vec(m as usize, k as usize, vec![1.0; (m * k) as usize]);
+                let b = Mat::from_vec(k as usize, n as usize, vec![1.0; (k * n) as usize]);
+                measure::median_of(measure::DEFAULT_SAMPLES, || {
+                    std::hint::black_box(a.matmul_ctx(&b, &ctx));
+                })
+            }
+            KernelId::MatmulF32 => {
+                let [m, k, n] = key.dims()[..] else {
+                    return None;
+                };
+                let a = Tensor::full(vec![m as usize, k as usize], 1.0);
+                let b = Tensor::full(vec![k as usize, n as usize], 1.0);
+                measure::median_of(measure::DEFAULT_SAMPLES, || {
+                    std::hint::black_box(a.matmul_ctx(&b, &ctx).expect("shapes agree"));
+                })
+            }
+            KernelId::Predict => {
+                let [rows, elems] = key.dims()[..] else {
+                    return None;
+                };
+                let net = serving_net();
+                let input = Tensor::full(vec![rows as usize, elems as usize], 0.5);
+                measure::median_of(measure::DEFAULT_SAMPLES, || {
+                    std::hint::black_box(net.predict_ctx(&input, &ctx));
+                })
+            }
+            KernelId::Kmeans => {
+                let [points, dim, k] = key.dims()[..] else {
+                    return None;
+                };
+                let pts: Vec<Vec<f64>> = (0..points)
+                    .map(|i| (0..dim).map(|d| ((i * 31 + d) % 97) as f64).collect())
+                    .collect();
+                measure::median_of(measure::DEFAULT_SAMPLES, || {
+                    std::hint::black_box(sccompute::mllib::kmeans_ctx(
+                        &pts, k as usize, 5, 7, &ctx,
+                    ));
+                })
+            }
+            KernelId::MicroBatch => return None,
+        };
+        let better = match best {
+            None => true,
+            Some((b, _)) => secs < b,
+        };
+        if better {
+            best = Some((secs, cand));
+        }
+    }
+    best.map(|(_, c)| c)
+}

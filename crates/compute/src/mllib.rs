@@ -205,6 +205,14 @@ pub fn kmeans_par_with(
 /// the closed-form work formulas depend only on the input, so the
 /// recorded totals are identical at any thread count.
 ///
+/// When the context carries an enabled `sctune::Tuner`, each scpar task
+/// covers the tuned number of [`KMEANS_CHUNK_POINTS`]-point accumulation
+/// *cells* (default one). Partial sums are always computed per cell and
+/// folded in global cell order, so the floating-point reduction tree — and
+/// therefore every centroid bit — is identical for any task granularity,
+/// any thread count, and tuning on or off. Work accounting likewise stays
+/// pinned to the nominal per-cell formulas.
+///
 /// # Panics
 ///
 /// Panics if `k` is zero or exceeds the number of points, or if points have
@@ -242,6 +250,13 @@ pub fn kmeans_ctx(
     let n = points.len() as u64;
     let chunks = points.len().div_ceil(KMEANS_CHUNK_POINTS) as u64;
     let (kd, dimd) = (k as u64, dim as u64);
+    // Tuned task granularity: whole accumulation cells per scpar task.
+    // Schedule-only — the per-cell fold below is what fixes the bits.
+    let cells_per_task = ctx
+        .tuner()
+        .kmeans_cells_per_task(points.len(), dim, k, cfg.threads(), 1)
+        .max(1);
+    let task_points = cells_per_task * KMEANS_CHUNK_POINTS;
     let mut iterations = 0;
     for _ in 0..max_iters {
         iterations += 1;
@@ -262,21 +277,28 @@ pub fn kmeans_ctx(
             );
         }
         let current = &centroids;
-        let partials = scpar::par_map_chunks(cfg, points, KMEANS_CHUNK_POINTS, |_ci, chunk| {
-            let mut sums = vec![vec![0.0f64; dim]; k];
-            let mut counts = vec![0u64; k];
-            for p in chunk {
-                let (c, _) = nearest(p, current);
-                for (a, b) in sums[c].iter_mut().zip(p) {
-                    *a += b;
-                }
-                counts[c] += 1;
-            }
-            (sums, counts)
+        // Each task accumulates per fixed-size cell; the fold walks cells
+        // in global order, so the reduction tree is independent of
+        // `cells_per_task` and of the thread count.
+        let partials = scpar::par_map_chunks(cfg, points, task_points, |_ci, task| {
+            task.chunks(KMEANS_CHUNK_POINTS)
+                .map(|cell| {
+                    let mut sums = vec![vec![0.0f64; dim]; k];
+                    let mut counts = vec![0u64; k];
+                    for p in cell {
+                        let (c, _) = nearest(p, current);
+                        for (a, b) in sums[c].iter_mut().zip(p) {
+                            *a += b;
+                        }
+                        counts[c] += 1;
+                    }
+                    (sums, counts)
+                })
+                .collect::<Vec<_>>()
         });
         let mut sums = vec![vec![0.0f64; dim]; k];
         let mut counts = vec![0u64; k];
-        for (ps, pc) in partials {
+        for (ps, pc) in partials.into_iter().flatten() {
             for (acc, part) in sums.iter_mut().zip(&ps) {
                 for (a, b) in acc.iter_mut().zip(part) {
                     *a += b;
@@ -312,10 +334,13 @@ pub fn kmeans_ctx(
                 .with_items(n),
         );
     }
-    let inertia = scpar::par_map_chunks(cfg, points, KMEANS_CHUNK_POINTS, |_ci, chunk| {
-        chunk.iter().map(|p| nearest(p, &centroids).1).sum::<f64>()
+    let inertia = scpar::par_map_chunks(cfg, points, task_points, |_ci, task| {
+        task.chunks(KMEANS_CHUNK_POINTS)
+            .map(|cell| cell.iter().map(|p| nearest(p, &centroids).1).sum::<f64>())
+            .collect::<Vec<f64>>()
     })
     .into_iter()
+    .flatten()
     .sum();
     KMeansModel {
         centroids,

@@ -83,10 +83,13 @@ impl Mat {
     /// row panels fanned out on the `scpar` pool, each computed by a
     /// vectorized scsimd kernel.
     ///
-    /// Output rows are partitioned into fixed [`Mat::PANEL_ROWS`]-row
-    /// panels, and the scsimd strict profile visits the inner dimension in
-    /// the same ascending order as the serial product on every backend —
-    /// so the result is bit-identical for any thread count and any ISA.
+    /// Output rows are partitioned into row panels — [`Mat::PANEL_ROWS`]
+    /// high by default, or the tuned `matmul_f64` height when the context
+    /// carries an enabled [`sctune::Tuner`] — and the scsimd strict
+    /// profile visits the inner dimension in the same ascending order as
+    /// the serial product on every backend. Panel height only moves task
+    /// boundaries between independent rows, so the result is bit-identical
+    /// for any thread count, any ISA, and any panel height.
     ///
     /// # Panics
     ///
@@ -95,7 +98,11 @@ impl Mat {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let (cfg, isa) = (ctx.par(), ctx.isa());
-        if !cfg.is_parallel() || m <= Self::PANEL_ROWS || k == 0 {
+        let panel_rows = ctx
+            .tuner()
+            .matmul_f64_panel_rows(m, k, n, cfg.threads(), isa.name(), Self::PANEL_ROWS)
+            .max(1);
+        if !cfg.is_parallel() || m <= panel_rows || k == 0 {
             let mut data = vec![0.0; m * n];
             matmul_panel(&self.data, &other.data, k, n, &mut data, isa);
             return Mat {
@@ -104,7 +111,7 @@ impl Mat {
                 data,
             };
         }
-        let chunk_elems = Self::PANEL_ROWS * k;
+        let chunk_elems = panel_rows * k;
         let panels = scpar::par_map_chunks(cfg, &self.data, chunk_elems, |_ci, a_panel| {
             let mut out = vec![0.0; (a_panel.len() / k) * n];
             matmul_panel(a_panel, &other.data, k, n, &mut out, isa);

@@ -105,12 +105,14 @@ impl Sequential {
     /// Parallel batch inference under an [`ExecCtx`](crate::exec::ExecCtx),
     /// fanned out on the `scpar` worker pool.
     ///
-    /// The `[batch, ...]` input is split into fixed chunks of
-    /// [`BATCH_CHUNK_ROWS`] rows; each chunk runs through the immutable
-    /// [`Layer::infer`] path concurrently and the outputs are stitched back
-    /// together in chunk order. Every layer in this crate computes rows
-    /// independently in inference mode, so the result is bit-identical to
-    /// `predict` for any thread count. Layer kernels vectorize through the
+    /// The `[batch, ...]` input is split into row chunks —
+    /// [`BATCH_CHUNK_ROWS`] rows by default, or the tuned `predict` chunk
+    /// height when the context carries an enabled [`sctune::Tuner`]; each
+    /// chunk runs through the immutable [`Layer::infer`] path concurrently
+    /// and the outputs are stitched back together in chunk order. Every
+    /// layer in this crate computes rows independently in inference mode,
+    /// so the result is bit-identical to `predict` for any thread count
+    /// and any chunk height. Layer kernels vectorize through the
     /// process-wide [`scsimd::Isa::active`] backend (the context's ISA is
     /// advisory here), and the scsimd strict profile keeps outputs
     /// bit-identical on every ISA too.
@@ -130,12 +132,19 @@ impl Sequential {
         let shape = input.shape();
         assert!(!shape.is_empty(), "predict_ctx needs a batched input");
         let n = shape[0];
-        if !cfg.is_parallel() || n <= BATCH_CHUNK_ROWS || input.is_empty() {
+        if !cfg.is_parallel() || input.is_empty() {
             return self.infer(input);
         }
         let row_elems = input.len() / n;
+        let chunk_rows = ctx
+            .tuner()
+            .predict_chunk_rows(n, row_elems, cfg.threads(), BATCH_CHUNK_ROWS)
+            .max(1);
+        if n <= chunk_rows {
+            return self.infer(input);
+        }
         let rest: Vec<usize> = shape[1..].to_vec();
-        let chunk_elems = BATCH_CHUNK_ROWS * row_elems;
+        let chunk_elems = chunk_rows * row_elems;
         let parts = scpar::par_map_chunks(cfg, input.data(), chunk_elems, |_ci, part| {
             let rows = part.len() / row_elems;
             let mut sub_shape = vec![rows];

@@ -242,7 +242,12 @@ impl Tensor {
     /// Returns [`TensorError::ShapeMismatch`] unless `self` is `[m, k]` and
     /// `other` is `[k, n]`.
     pub fn matmul(&self, other: &Tensor) -> Result<Tensor, TensorError> {
-        self.matmul_impl(other, &scpar::ScparConfig::serial(), scsimd::Isa::active())
+        self.matmul_impl(
+            other,
+            &scpar::ScparConfig::serial(),
+            scsimd::Isa::active(),
+            Self::MATMUL_PANEL_ROWS,
+        )
     }
 
     /// Matrix multiplication under an [`ExecCtx`](crate::exec::ExecCtx):
@@ -250,17 +255,25 @@ impl Tensor {
     /// vectorized scsimd kernel, with work attributed to [`KERNEL_MATMUL`]
     /// when the context's telemetry is enabled.
     ///
-    /// The output rows are partitioned into fixed panels of
-    /// [`Tensor::MATMUL_PANEL_ROWS`] rows (never a function of the thread
-    /// count), and the scsimd strict profile pins the per-element IEEE-754
-    /// operation sequence (ascending-`k` multiply-adds with zero-skip) on
-    /// every backend — so the result is bit-identical to the serial scalar
-    /// product for any `scpar::ScparConfig` **and any ISA**.
+    /// The output rows are partitioned into row panels — by default
+    /// [`Tensor::MATMUL_PANEL_ROWS`] tall, or the tuned `panel_rows` when
+    /// the context's [`sctune::Tuner`] has a table entry for this shape.
+    /// Either way the panel height is a function of the inputs and the
+    /// table alone (never of runtime state), and the scsimd strict profile
+    /// pins the per-element IEEE-754 operation sequence (ascending-`k`
+    /// multiply-adds with zero-skip) on every backend — so the result is
+    /// bit-identical to the serial scalar product for any
+    /// `scpar::ScparConfig`, any ISA, **and any table entry**: a panel
+    /// boundary never changes which multiply-adds a row performs, only
+    /// which scpar task performs them.
     ///
-    /// Work accounting matches the historical `matmul_rec`: per-panel
-    /// deltas whose boundaries depend only on the input shape, nominal
-    /// FLOPs (`2·rows·k·n` per panel) regardless of the zero-skip fast
-    /// path, one `b`-row miss per panel plus a hit for each reuse.
+    /// Work accounting matches the historical `matmul_rec` and stays
+    /// pinned to the *nominal* [`Tensor::MATMUL_PANEL_ROWS`] panels even
+    /// when execution runs tuned: per-panel deltas whose boundaries depend
+    /// only on the input shape, nominal FLOPs (`2·rows·k·n` per panel)
+    /// regardless of the zero-skip fast path, one `b`-row miss per panel
+    /// plus a hit for each reuse. Recorded telemetry is therefore
+    /// byte-identical whether tuning is on or off.
     ///
     /// # Errors
     ///
@@ -272,7 +285,19 @@ impl Tensor {
         ctx: &crate::exec::ExecCtx,
     ) -> Result<Tensor, TensorError> {
         let _activity = sctelemetry::ActivityScope::enter(KERNEL_MATMUL);
-        let out = self.matmul_impl(other, ctx.par(), ctx.isa())?;
+        let panel_rows = if self.shape.len() == 2 && other.shape.len() == 2 {
+            ctx.tuner().matmul_f32_panel_rows(
+                self.shape[0],
+                self.shape[1],
+                other.shape[1],
+                ctx.par().threads(),
+                ctx.isa().name(),
+                Self::MATMUL_PANEL_ROWS,
+            )
+        } else {
+            Self::MATMUL_PANEL_ROWS
+        };
+        let out = self.matmul_impl(other, ctx.par(), ctx.isa(), panel_rows)?;
         if ctx.telemetry().is_enabled() {
             let (m, k, n) = (
                 self.shape[0] as u64,
@@ -328,12 +353,16 @@ impl Tensor {
     }
 
     /// Shared implementation: shape checks, serial-vs-panel fan-out, and
-    /// the scsimd kernel dispatch. Bit-identical for every `cfg`/`isa`.
+    /// the scsimd kernel dispatch. `panel_rows` is the execution schedule
+    /// only (each output row is an independent ascending-`k` dot-product
+    /// sweep), so the result is bit-identical for every `cfg`/`isa` *and*
+    /// every positive `panel_rows`.
     fn matmul_impl(
         &self,
         other: &Tensor,
         cfg: &scpar::ScparConfig,
         isa: scsimd::Isa,
+        panel_rows: usize,
     ) -> Result<Tensor, TensorError> {
         if self.shape.len() != 2 || other.shape.len() != 2 || self.shape[1] != other.shape[0] {
             return Err(TensorError::ShapeMismatch {
@@ -341,8 +370,9 @@ impl Tensor {
                 right: other.shape.clone(),
             });
         }
+        let panel_rows = panel_rows.max(1);
         let (m, k, n) = (self.shape[0], self.shape[1], other.shape[1]);
-        if !cfg.is_parallel() || m <= Self::MATMUL_PANEL_ROWS || k == 0 {
+        if !cfg.is_parallel() || m <= panel_rows || k == 0 {
             let mut out = vec![0.0f32; m * n];
             if k > 0 {
                 scsimd::matmul_panel_f32(&self.data, &other.data, k, n, &mut out, isa);
@@ -352,7 +382,7 @@ impl Tensor {
                 data: out,
             });
         }
-        let chunk_elems = Self::MATMUL_PANEL_ROWS * k;
+        let chunk_elems = panel_rows * k;
         let panels = scpar::par_map_chunks(cfg, &self.data, chunk_elems, |_ci, a_panel| {
             let rows = a_panel.len() / k;
             let mut out = vec![0.0f32; rows * n];

@@ -327,18 +327,41 @@ impl Server {
 
     /// Attaches the inference model served by [`Server::infer`]. Swapping
     /// models clears the inference cache — outputs of the old model must
-    /// not answer for the new one.
+    /// not answer for the new one — and retunes the micro-batcher for the
+    /// new model's size.
     pub fn with_model(mut self, model: Sequential) -> Self {
         self.infer_cache.clear();
         self.model = Some(model);
+        self.retune_batcher();
         self
     }
 
     /// Sets the execution context used for batched inference (worker
-    /// pool, telemetry, and SIMD ISA selection).
+    /// pool, telemetry, SIMD ISA selection, and tuning). When the context
+    /// carries an enabled [`sctune::Tuner`], the micro-batcher's
+    /// `max_batch` is retuned for the attached model.
     pub fn with_ctx(mut self, ctx: ExecCtx) -> Self {
         self.ctx = ctx;
+        self.retune_batcher();
         self
+    }
+
+    /// Re-applies the tuned `micro_batch` decision (keyed on the model's
+    /// parameter count) to the batcher, falling back to the configured
+    /// `max_batch`. No-op unless the context's tuner is enabled and a
+    /// model is attached.
+    fn retune_batcher(&mut self) {
+        if !self.ctx.tuner().is_enabled() {
+            return;
+        }
+        let Some(model) = self.model.as_ref() else {
+            return;
+        };
+        let tuned = self
+            .ctx
+            .tuner()
+            .micro_batch_max_batch(model.param_count(), self.cfg.batch.max_batch);
+        self.batcher.set_max_batch(tuned);
     }
 
     /// Sets the worker-pool configuration used for batched inference.
@@ -1281,6 +1304,37 @@ mod tests {
         let hit = s.infer(row, SimTime::from_millis(6));
         assert!(matches!(hit, InferSubmit::Cached { .. }));
         assert_eq!(s.stats().batches, 1);
+    }
+
+    #[test]
+    fn tuned_ctx_retunes_micro_batch() {
+        let model = || {
+            Sequential::new()
+                .with(Dense::new(4, 8, 5))
+                .with(Relu::new())
+                .with(Dense::new(8, 2, 6))
+        };
+        let params = model().param_count();
+        let mut table = sctune::TuningTable::empty();
+        table.insert(sctune::TuneKey::micro_batch(params), 8);
+        let tuner = sctune::Tuner::from_table(table);
+
+        // Retunes whether the ctx or the model arrives last.
+        let s = Server::new(ServeConfig::default())
+            .with_ctx(ExecCtx::serial().with_tuner(tuner.clone()))
+            .with_model(model());
+        assert_eq!(s.batcher.config().max_batch, 8);
+        let s = Server::new(ServeConfig::default())
+            .with_model(model())
+            .with_ctx(ExecCtx::serial().with_tuner(tuner));
+        assert_eq!(s.batcher.config().max_batch, 8);
+
+        // Disabled tuner leaves the configured knob alone.
+        let s = Server::new(ServeConfig::default());
+        assert_eq!(
+            s.batcher.config().max_batch,
+            BatchConfig::default().max_batch
+        );
     }
 
     #[test]

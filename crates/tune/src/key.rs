@@ -1,0 +1,353 @@
+//! Tune keys: one canonical name per (kernel, problem shape) pair.
+
+use std::fmt;
+
+/// The tunable kernels and their schedule parameter.
+///
+/// | kernel | parameter | what it moves |
+/// |---|---|---|
+/// | `matmul_f32` | `panel_rows` | rows per scpar task in `Tensor::matmul_ctx` |
+/// | `matmul_f64` | `panel_rows` | rows per scpar task in `Mat::matmul_ctx` |
+/// | `predict` | `chunk_rows` | rows per scpar task in `Sequential::predict_ctx` |
+/// | `kmeans` | `cells_per_task` | 256-point accumulation cells per scpar task |
+/// | `micro_batch` | `max_batch` | distinct rows per `MicroBatcher` flush |
+///
+/// Every parameter is schedule-only: it regroups independent work without
+/// changing any per-element operation order, so any value is bit-safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum KernelId {
+    /// f32 row-panel matmul (`scneural::Tensor`).
+    MatmulF32,
+    /// f64 row-panel matmul (`scneural::linalg::Mat`).
+    MatmulF64,
+    /// Batched inference chunking (`Sequential::predict_ctx`).
+    Predict,
+    /// k-means accumulation-cell grouping (`sccompute::kmeans_ctx`).
+    Kmeans,
+    /// Micro-batcher flush size (`scserve::MicroBatcher`).
+    MicroBatch,
+}
+
+impl KernelId {
+    /// All kernels, in canonical-name order.
+    pub const ALL: [KernelId; 5] = [
+        KernelId::Kmeans,
+        KernelId::MatmulF32,
+        KernelId::MatmulF64,
+        KernelId::MicroBatch,
+        KernelId::Predict,
+    ];
+
+    /// Canonical kernel name (the first `/`-segment of a key).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::MatmulF32 => "matmul_f32",
+            KernelId::MatmulF64 => "matmul_f64",
+            KernelId::Predict => "predict",
+            KernelId::Kmeans => "kmeans",
+            KernelId::MicroBatch => "micro_batch",
+        }
+    }
+
+    /// Parses a canonical kernel name.
+    pub fn parse(name: &str) -> Option<KernelId> {
+        KernelId::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// Name of the kernel's single tunable parameter.
+    pub fn param(self) -> &'static str {
+        match self {
+            KernelId::MatmulF32 | KernelId::MatmulF64 => "panel_rows",
+            KernelId::Predict => "chunk_rows",
+            KernelId::Kmeans => "cells_per_task",
+            KernelId::MicroBatch => "max_batch",
+        }
+    }
+
+    /// One-letter prefixes of the key's dimension segments, in order.
+    fn dim_tags(self) -> &'static [char] {
+        match self {
+            KernelId::MatmulF32 | KernelId::MatmulF64 => &['m', 'k', 'n'],
+            KernelId::Predict => &['r', 'e'], // rows, elements per row
+            KernelId::Kmeans => &['p', 'd', 'k'], // points, dim, clusters
+            KernelId::MicroBatch => &['w'],   // model weight (parameter) count
+        }
+    }
+
+    /// Whether the key carries a thread-count segment. The micro-batcher
+    /// key does not: its batch size shapes flush composition (visible in
+    /// telemetry), so the choice must be identical at every thread count.
+    fn keyed_on_threads(self) -> bool {
+        !matches!(self, KernelId::MicroBatch)
+    }
+
+    /// Whether the key carries an ISA segment. Only the matmuls dispatch
+    /// on the context ISA; the other kernels chunk rows/cells identically
+    /// on every backend.
+    fn keyed_on_isa(self) -> bool {
+        matches!(self, KernelId::MatmulF32 | KernelId::MatmulF64)
+    }
+}
+
+/// Candidate ladder for a kernel's parameter — the bounded space the
+/// generator scores and the only values a sane table contains. (The
+/// loader accepts any positive value; bit-safety never depends on the
+/// ladder, only quality does.)
+pub fn candidates(kernel: KernelId) -> &'static [usize] {
+    match kernel {
+        KernelId::MatmulF32 | KernelId::MatmulF64 => &[8, 16, 32, 64, 128, 256],
+        KernelId::Predict => &[8, 16, 32, 64, 128, 256],
+        KernelId::Kmeans => &[1, 2, 4, 8, 16],
+        KernelId::MicroBatch => &[8, 16, 32, 64, 128],
+    }
+}
+
+/// One problem shape for one kernel: the unit the table is keyed on.
+///
+/// The canonical string form is what `tuning_table.json` stores, e.g.
+/// `matmul_f32/m512/k512/n512/t4/avx2` or `kmeans/p10000/d8/k16/t4`.
+/// An ISA segment of `any` matches every backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TuneKey {
+    kernel: KernelId,
+    dims: Vec<u64>,
+    threads: u64,
+    isa: String,
+}
+
+impl TuneKey {
+    /// Key for an f32 `[m,k] × [k,n]` matmul at a thread count and ISA.
+    pub fn matmul_f32(m: usize, k: usize, n: usize, threads: usize, isa: &str) -> TuneKey {
+        TuneKey {
+            kernel: KernelId::MatmulF32,
+            dims: vec![m as u64, k as u64, n as u64],
+            threads: threads.max(1) as u64,
+            isa: isa.to_string(),
+        }
+    }
+
+    /// Key for an f64 `[m,k] × [k,n]` matmul at a thread count and ISA.
+    pub fn matmul_f64(m: usize, k: usize, n: usize, threads: usize, isa: &str) -> TuneKey {
+        TuneKey {
+            kernel: KernelId::MatmulF64,
+            dims: vec![m as u64, k as u64, n as u64],
+            threads: threads.max(1) as u64,
+            isa: isa.to_string(),
+        }
+    }
+
+    /// Key for batched inference over `rows` rows of `row_elems` inputs.
+    pub fn predict(rows: usize, row_elems: usize, threads: usize) -> TuneKey {
+        TuneKey {
+            kernel: KernelId::Predict,
+            dims: vec![rows as u64, row_elems as u64],
+            threads: threads.max(1) as u64,
+            isa: "any".to_string(),
+        }
+    }
+
+    /// Key for k-means over `points` points of dimension `dim` with `k`
+    /// clusters.
+    pub fn kmeans(points: usize, dim: usize, k: usize, threads: usize) -> TuneKey {
+        TuneKey {
+            kernel: KernelId::Kmeans,
+            dims: vec![points as u64, dim as u64, k as u64],
+            threads: threads.max(1) as u64,
+            isa: "any".to_string(),
+        }
+    }
+
+    /// Key for the micro-batcher serving a model of `params` trainable
+    /// scalars. Deliberately thread-free: batch size shapes telemetry, so
+    /// it must not vary with `SCPAR_THREADS`.
+    pub fn micro_batch(params: usize) -> TuneKey {
+        TuneKey {
+            kernel: KernelId::MicroBatch,
+            dims: vec![params as u64],
+            threads: 1,
+            isa: "any".to_string(),
+        }
+    }
+
+    /// The kernel this key names.
+    pub fn kernel(&self) -> KernelId {
+        self.kernel
+    }
+
+    /// The shape dimensions, in the kernel's canonical order.
+    pub fn dims(&self) -> &[u64] {
+        &self.dims
+    }
+
+    /// The thread count (1 for thread-free kernels).
+    pub fn threads(&self) -> u64 {
+        self.threads
+    }
+
+    /// The ISA segment (`any` when the kernel is ISA-free).
+    pub fn isa(&self) -> &str {
+        &self.isa
+    }
+
+    /// The canonical string form used in `tuning_table.json`.
+    pub fn canonical(&self) -> String {
+        let mut s = self.kernel.name().to_string();
+        for (tag, d) in self.kernel.dim_tags().iter().zip(&self.dims) {
+            s.push('/');
+            s.push(*tag);
+            s.push_str(&d.to_string());
+        }
+        if self.kernel.keyed_on_threads() {
+            s.push_str(&format!("/t{}", self.threads));
+        }
+        if self.kernel.keyed_on_isa() {
+            s.push('/');
+            s.push_str(&self.isa);
+        }
+        s
+    }
+
+    /// Parses a canonical key string. Returns `None` on an unknown kernel
+    /// or malformed segments (the table loader maps that to a typed
+    /// [`crate::TuneError`]).
+    pub fn parse(s: &str) -> Option<TuneKey> {
+        let mut parts = s.split('/');
+        let kernel = KernelId::parse(parts.next()?)?;
+        let mut dims = Vec::with_capacity(kernel.dim_tags().len());
+        for tag in kernel.dim_tags() {
+            let seg = parts.next()?;
+            let rest = seg.strip_prefix(*tag)?;
+            dims.push(rest.parse::<u64>().ok()?);
+        }
+        let threads = if kernel.keyed_on_threads() {
+            let seg = parts.next()?;
+            let rest = seg.strip_prefix('t')?;
+            let t = rest.parse::<u64>().ok()?;
+            if t == 0 {
+                return None;
+            }
+            t
+        } else {
+            1
+        };
+        let isa = if kernel.keyed_on_isa() {
+            let seg = parts.next()?;
+            if seg.is_empty() {
+                return None;
+            }
+            seg.to_string()
+        } else {
+            "any".to_string()
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(TuneKey {
+            kernel,
+            dims,
+            threads,
+            isa,
+        })
+    }
+
+    /// Shape distance to another key of the **same kernel**: the sum of
+    /// per-dimension log2 gaps, plus a log2 thread gap, plus a penalty
+    /// when both keys pin a concrete ISA and they differ (`any` matches
+    /// everything for free). Smaller is closer; ties are broken by
+    /// canonical-string order in the table lookup, so nearest-key
+    /// fallback is fully deterministic.
+    pub fn distance(&self, other: &TuneKey) -> f64 {
+        debug_assert_eq!(self.kernel, other.kernel);
+        let lg = |v: u64| ((v + 1) as f64).log2();
+        let mut d: f64 = self
+            .dims
+            .iter()
+            .zip(&other.dims)
+            .map(|(&a, &b)| (lg(a) - lg(b)).abs())
+            .sum();
+        d += (lg(self.threads) - lg(other.threads)).abs();
+        if self.isa != "any" && other.isa != "any" && self.isa != other.isa {
+            d += 0.5;
+        }
+        d
+    }
+}
+
+impl fmt::Display for TuneKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_round_trips_every_kernel() {
+        let keys = [
+            TuneKey::matmul_f32(512, 64, 32, 4, "avx2"),
+            TuneKey::matmul_f64(8192, 16, 16, 2, "any"),
+            TuneKey::predict(2048, 64, 8),
+            TuneKey::kmeans(10_000, 8, 16, 4),
+            TuneKey::micro_batch(41_608),
+        ];
+        for key in keys {
+            let s = key.canonical();
+            let back = TuneKey::parse(&s).unwrap_or_else(|| panic!("parse {s}"));
+            assert_eq!(back, key, "{s}");
+        }
+    }
+
+    #[test]
+    fn canonical_forms_are_stable() {
+        assert_eq!(
+            TuneKey::matmul_f32(512, 64, 32, 4, "avx2").canonical(),
+            "matmul_f32/m512/k64/n32/t4/avx2"
+        );
+        assert_eq!(
+            TuneKey::predict(2048, 64, 8).canonical(),
+            "predict/r2048/e64/t8"
+        );
+        assert_eq!(
+            TuneKey::kmeans(10_000, 8, 16, 4).canonical(),
+            "kmeans/p10000/d8/k16/t4"
+        );
+        assert_eq!(TuneKey::micro_batch(100).canonical(), "micro_batch/w100");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_keys() {
+        for bad in [
+            "",
+            "conv2d/m1/k1/n1/t1/any",       // unknown kernel
+            "matmul_f32/m1/k1/n1",          // missing threads + isa
+            "matmul_f32/m1/k1/n1/t0/any",   // zero threads
+            "matmul_f32/x1/k1/n1/t1/any",   // wrong dim tag
+            "matmul_f32/m1/k1/n1/t1/any/z", // trailing segment
+            "predict/r8/e8/t2/any",         // isa on an isa-free kernel
+            "micro_batch/w8/t2",            // threads on a thread-free kernel
+            "kmeans/p8/d2/kx/t1",           // non-numeric dim
+        ] {
+            assert!(TuneKey::parse(bad).is_none(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn distance_prefers_closer_shapes_and_any_isa() {
+        let q = TuneKey::matmul_f32(4096, 16, 16, 2, "avx2");
+        let near = TuneKey::matmul_f32(2048, 16, 16, 2, "any");
+        let far = TuneKey::matmul_f32(64, 512, 512, 8, "any");
+        assert!(q.distance(&near) < q.distance(&far));
+        let other_isa = TuneKey::matmul_f32(2048, 16, 16, 2, "neon");
+        assert!(q.distance(&near) < q.distance(&other_isa));
+    }
+
+    #[test]
+    fn every_kernel_has_a_nonempty_ladder() {
+        for k in KernelId::ALL {
+            assert!(!candidates(k).is_empty());
+            assert!(candidates(k).iter().all(|&c| c >= 1));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Wall-clock measurement helpers for `tune_gen --measure`.
+//!
+//! Measurement is inherently host-specific and non-reproducible, so it
+//! never happens at kernel run time — only in the generator, whose output
+//! (the table) is then committed and reproducible. The estimator of
+//! choice is the median of N runs: robust to the occasional scheduler
+//! hiccup without the bias of taking the minimum.
+
+/// Default sample count for [`median_of`]-based scoring.
+pub const DEFAULT_SAMPLES: usize = 5;
+
+/// Runs `f` once as a warm-up, then `samples` timed times, and returns the
+/// median wall-clock seconds. `samples` is clamped to ≥ 1.
+///
+/// # Examples
+///
+/// ```
+/// let s = sctune::measure::median_of(3, || std::hint::black_box(2u64 + 2));
+/// assert!(s >= 0.0);
+/// ```
+pub fn median_of<R>(samples: usize, mut f: impl FnMut() -> R) -> f64 {
+    let samples = samples.max(1);
+    std::hint::black_box(f()); // warm-up: pools spawn, caches fill
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            std::hint::black_box(f());
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_order_insensitive_and_positive() {
+        let mut calls = 0u32;
+        let m = median_of(5, || {
+            calls += 1;
+            std::thread::yield_now();
+        });
+        assert_eq!(calls, 6, "warm-up plus five samples");
+        assert!(m >= 0.0);
+    }
+
+    #[test]
+    fn zero_samples_clamps_to_one() {
+        let m = median_of(0, || ());
+        assert!(m >= 0.0);
+    }
+}

@@ -1,0 +1,500 @@
+//! The committed tuning table: load, validate, save, and look up.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+use serde_json::{json, Map, Value};
+
+use crate::key::TuneKey;
+
+/// Schema version stamped into `tuning_table.json`.
+pub const TABLE_SCHEMA_VERSION: u64 = 1;
+
+/// Largest parameter value a table entry may carry. Generous — every
+/// ladder tops out far below it — but it keeps a corrupted entry from
+/// requesting a multi-gigabyte chunk.
+pub const MAX_PARAM_VALUE: u64 = 1 << 20;
+
+/// Typed loader/validation errors. The loader never panics: a malformed
+/// or unknown-kernel entry is reported with enough context to fix the
+/// table by hand.
+#[derive(Debug)]
+pub enum TuneError {
+    /// Reading the file failed (missing file included; callers that want
+    /// to tolerate absence check `io.kind() == NotFound`).
+    Io(std::io::Error),
+    /// The file is not valid JSON.
+    Parse(String),
+    /// The document shape is wrong (missing or non-object `entries`, unknown
+    /// top-level field, wrong `schema_version` type, …).
+    Malformed(String),
+    /// `schema_version` differs from [`TABLE_SCHEMA_VERSION`].
+    SchemaVersion {
+        /// The version the file declared.
+        found: u64,
+    },
+    /// An entry key names a kernel this build does not know.
+    UnknownKernel {
+        /// The offending key string.
+        key: String,
+    },
+    /// An entry key does not parse as a canonical [`TuneKey`].
+    BadKey {
+        /// The offending key string.
+        key: String,
+    },
+    /// An entry carries a parameter name other than its kernel's.
+    UnknownParam {
+        /// The entry's key string.
+        key: String,
+        /// The unexpected parameter name.
+        param: String,
+    },
+    /// A parameter value is not an integer in `1..=MAX_PARAM_VALUE`.
+    BadValue {
+        /// The entry's key string.
+        key: String,
+        /// The rejected value, rendered as JSON.
+        value: String,
+    },
+}
+
+impl fmt::Display for TuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuneError::Io(e) => write!(f, "tuning table I/O error: {e}"),
+            TuneError::Parse(msg) => write!(f, "tuning table is not valid JSON: {msg}"),
+            TuneError::Malformed(msg) => write!(f, "tuning table malformed: {msg}"),
+            TuneError::SchemaVersion { found } => write!(
+                f,
+                "tuning table schema_version {found} (this build expects {TABLE_SCHEMA_VERSION})"
+            ),
+            TuneError::UnknownKernel { key } => {
+                write!(f, "tuning table entry {key:?} names an unknown kernel")
+            }
+            TuneError::BadKey { key } => {
+                write!(f, "tuning table entry {key:?} is not a canonical tune key")
+            }
+            TuneError::UnknownParam { key, param } => write!(
+                f,
+                "tuning table entry {key:?} has unknown parameter {param:?}"
+            ),
+            TuneError::BadValue { key, value } => write!(
+                f,
+                "tuning table entry {key:?} has bad value {value} (want an integer in 1..={MAX_PARAM_VALUE})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<std::io::Error> for TuneError {
+    fn from(e: std::io::Error) -> Self {
+        TuneError::Io(e)
+    }
+}
+
+/// Result of a table lookup, before falling back to the built-in constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The exact canonical key is in the table.
+    Exact(usize),
+    /// No exact entry; the closest same-kernel entry donated its value.
+    Nearest {
+        /// The donated parameter value.
+        value: usize,
+        /// Canonical key of the donating entry.
+        donor: String,
+    },
+    /// The table has no entry for this kernel at all.
+    Miss,
+}
+
+/// A validated set of `(TuneKey, value)` winners plus provenance metadata.
+///
+/// The JSON form is deliberately boring — sorted keys, two-space indent,
+/// one value per entry — so diffs read like a changelog of scheduling
+/// decisions:
+///
+/// ```json
+/// {
+///   "entries": {
+///     "matmul_f64/m8192/k16/n16/t2/any": { "panel_rows": 256 }
+///   },
+///   "generated_by": "tune_gen",
+///   "mode": "cost-model",
+///   "schema_version": 1,
+///   "seed": 42
+/// }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TuningTable {
+    /// canonical key string → (parsed key, winning value).
+    entries: BTreeMap<String, (TuneKey, usize)>,
+    /// Tool that wrote the table (`tune_gen`), if recorded.
+    pub generated_by: Option<String>,
+    /// `cost-model` or `measure`, if recorded.
+    pub mode: Option<String>,
+    /// Cost-model seed, if recorded.
+    pub seed: Option<u64>,
+}
+
+impl TuningTable {
+    /// A table with no entries: every lookup misses, every kernel runs on
+    /// its built-in constant.
+    pub fn empty() -> TuningTable {
+        TuningTable::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts (or replaces) a winner.
+    pub fn insert(&mut self, key: TuneKey, value: usize) {
+        self.entries.insert(key.canonical(), (key, value));
+    }
+
+    /// Iterates `(canonical key, value)` in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.entries.iter().map(|(k, (_, v))| (k.as_str(), *v))
+    }
+
+    /// Exact → nearest lookup. Nearest considers same-kernel entries only,
+    /// ranked by [`TuneKey::distance`] with ties broken by canonical key
+    /// order — fully deterministic for a given table.
+    pub fn lookup(&self, key: &TuneKey) -> Lookup {
+        if let Some((_, v)) = self.entries.get(&key.canonical()) {
+            return Lookup::Exact(*v);
+        }
+        let mut best: Option<(f64, &str, usize)> = None;
+        for (canon, (entry_key, value)) in &self.entries {
+            if entry_key.kernel() != key.kernel() {
+                continue;
+            }
+            let d = key.distance(entry_key);
+            let better = match &best {
+                None => true,
+                // Strict `<` on equal distance keeps the lexicographically
+                // smallest canonical key (BTreeMap iterates in order).
+                Some((bd, _, _)) => d < *bd,
+            };
+            if better {
+                best = Some((d, canon.as_str(), *value));
+            }
+        }
+        match best {
+            Some((_, donor, value)) => Lookup::Nearest {
+                value,
+                donor: donor.to_string(),
+            },
+            None => Lookup::Miss,
+        }
+    }
+
+    /// Parses and validates a table from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TuneError`] on syntax errors, wrong document shape,
+    /// wrong schema version, unknown kernels, unknown parameter names, or
+    /// out-of-range values. Never panics.
+    pub fn from_json(text: &str) -> Result<TuningTable, TuneError> {
+        let doc: Value = serde_json::from_str(text).map_err(|e| TuneError::Parse(e.to_string()))?;
+        let doc = doc
+            .as_object()
+            .ok_or_else(|| TuneError::Malformed("top level is not an object".into()))?;
+        for field in doc.keys() {
+            if !matches!(
+                field.as_str(),
+                "entries" | "generated_by" | "mode" | "schema_version" | "seed"
+            ) {
+                return Err(TuneError::Malformed(format!(
+                    "unknown top-level field {field:?}"
+                )));
+            }
+        }
+        match doc.get("schema_version") {
+            None => return Err(TuneError::Malformed("missing schema_version".into())),
+            Some(v) => match v.as_u64() {
+                Some(TABLE_SCHEMA_VERSION) => {}
+                Some(found) => return Err(TuneError::SchemaVersion { found }),
+                None => {
+                    return Err(TuneError::Malformed(
+                        "schema_version is not an integer".into(),
+                    ))
+                }
+            },
+        }
+        let mut table = TuningTable {
+            generated_by: optional_string(doc, "generated_by")?,
+            mode: optional_string(doc, "mode")?,
+            seed: match doc.get("seed") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64()
+                        .ok_or_else(|| TuneError::Malformed("seed is not an integer".into()))?,
+                ),
+            },
+            ..TuningTable::default()
+        };
+        let entries = doc
+            .get("entries")
+            .ok_or_else(|| TuneError::Malformed("missing entries object".into()))?
+            .as_object()
+            .ok_or_else(|| TuneError::Malformed("entries is not an object".into()))?;
+        for (key_str, entry) in entries.iter() {
+            let key = parse_entry_key(key_str)?;
+            let obj = entry.as_object().ok_or_else(|| {
+                TuneError::Malformed(format!("entry {key_str:?} is not an object"))
+            })?;
+            let param = key.kernel().param();
+            if obj.len() != 1 {
+                return Err(TuneError::Malformed(format!(
+                    "entry {key_str:?} must have exactly the {param:?} parameter"
+                )));
+            }
+            let (name, raw) = obj.iter().next().expect("len checked");
+            if name != param {
+                return Err(TuneError::UnknownParam {
+                    key: key_str.clone(),
+                    param: name.clone(),
+                });
+            }
+            let value = raw
+                .as_u64()
+                .filter(|v| (1..=MAX_PARAM_VALUE).contains(v))
+                .ok_or_else(|| TuneError::BadValue {
+                    key: key_str.clone(),
+                    value: serde_json::to_string(raw).unwrap_or_default(),
+                })?;
+            table.entries.insert(key_str.clone(), (key, value as usize));
+        }
+        Ok(table)
+    }
+
+    /// Loads and validates a table file.
+    ///
+    /// # Errors
+    ///
+    /// [`TuneError::Io`] when the file cannot be read (including when it
+    /// does not exist — [`crate::Tuner::from_env`] is the layer that
+    /// tolerates absence), otherwise as [`TuningTable::from_json`].
+    pub fn load(path: &Path) -> Result<TuningTable, TuneError> {
+        let text = std::fs::read_to_string(path)?;
+        TuningTable::from_json(&text)
+    }
+
+    /// The canonical JSON text: sorted keys, two-space indent, trailing
+    /// newline. Loading a file and re-serializing it with this function
+    /// must reproduce the file byte-for-byte — CI checks exactly that.
+    pub fn to_json_string(&self) -> String {
+        let mut entries = Map::new();
+        for (canon, (key, value)) in &self.entries {
+            let mut obj = Map::new();
+            obj.insert(key.kernel().param().to_string(), json!(*value as u64));
+            entries.insert(canon.clone(), Value::Object(obj));
+        }
+        let mut doc = Map::new();
+        doc.insert("entries".into(), Value::Object(entries));
+        if let Some(g) = &self.generated_by {
+            doc.insert("generated_by".into(), json!(g));
+        }
+        if let Some(m) = &self.mode {
+            doc.insert("mode".into(), json!(m));
+        }
+        doc.insert("schema_version".into(), json!(TABLE_SCHEMA_VERSION));
+        if let Some(s) = self.seed {
+            doc.insert("seed".into(), json!(s));
+        }
+        serde_json::to_string_pretty(&Value::Object(doc)).unwrap_or_default() + "\n"
+    }
+
+    /// Writes [`TuningTable::to_json_string`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+fn optional_string(doc: &Map<String, Value>, field: &str) -> Result<Option<String>, TuneError> {
+    match doc.get(field) {
+        None => Ok(None),
+        Some(v) => v
+            .as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| TuneError::Malformed(format!("{field} is not a string"))),
+    }
+}
+
+/// Parses an entry key, distinguishing "unknown kernel" from "malformed".
+fn parse_entry_key(key_str: &str) -> Result<TuneKey, TuneError> {
+    match TuneKey::parse(key_str) {
+        Some(key) => Ok(key),
+        None => {
+            let kernel = key_str.split('/').next().unwrap_or("");
+            if crate::key::KernelId::parse(kernel).is_none() {
+                Err(TuneError::UnknownKernel {
+                    key: key_str.to_string(),
+                })
+            } else {
+                Err(TuneError::BadKey {
+                    key: key_str.to_string(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_table() -> TuningTable {
+        let mut t = TuningTable {
+            generated_by: Some("tune_gen".into()),
+            mode: Some("cost-model".into()),
+            seed: Some(42),
+            ..TuningTable::default()
+        };
+        t.insert(TuneKey::matmul_f64(8192, 16, 16, 2, "any"), 256);
+        t.insert(TuneKey::matmul_f64(512, 512, 512, 4, "any"), 128);
+        t.insert(TuneKey::predict(2048, 64, 8), 64);
+        t
+    }
+
+    #[test]
+    fn json_round_trips_byte_identically() {
+        let t = small_table();
+        let text = t.to_json_string();
+        let back = TuningTable::from_json(&text).expect("own output parses");
+        assert_eq!(back, t);
+        assert_eq!(back.to_json_string(), text, "round trip is byte-identical");
+    }
+
+    #[test]
+    fn exact_lookup_hits() {
+        let t = small_table();
+        assert_eq!(
+            t.lookup(&TuneKey::matmul_f64(8192, 16, 16, 2, "any")),
+            Lookup::Exact(256)
+        );
+    }
+
+    #[test]
+    fn nearest_lookup_picks_closest_same_kernel_entry() {
+        let t = small_table();
+        // Close to the tall-skinny entry, far from the square one.
+        match t.lookup(&TuneKey::matmul_f64(4096, 16, 16, 2, "avx2")) {
+            Lookup::Nearest { value, donor } => {
+                assert_eq!(value, 256);
+                assert_eq!(donor, "matmul_f64/m8192/k16/n16/t2/any");
+            }
+            other => panic!("expected nearest, got {other:?}"),
+        }
+        // Square shapes land on the square entry even across thread counts.
+        match t.lookup(&TuneKey::matmul_f64(512, 512, 512, 8, "any")) {
+            Lookup::Nearest { value, .. } => assert_eq!(value, 128),
+            other => panic!("expected nearest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lookup_misses_kernels_without_entries() {
+        let t = small_table();
+        assert_eq!(t.lookup(&TuneKey::micro_batch(100)), Lookup::Miss);
+        assert_eq!(
+            t.lookup(&TuneKey::matmul_f32(512, 512, 512, 4, "any")),
+            Lookup::Miss,
+            "f32 and f64 matmuls are distinct kernels"
+        );
+    }
+
+    #[test]
+    fn nearest_tie_breaks_on_canonical_order() {
+        let mut t = TuningTable::default();
+        // Two entries equidistant from the probe (threads 1 and 4 around
+        // a probe at 2): the lexicographically smaller key must win.
+        t.insert(TuneKey::predict(100, 8, 1), 16);
+        t.insert(TuneKey::predict(100, 8, 4), 128);
+        match t.lookup(&TuneKey::predict(100, 8, 2)) {
+            Lookup::Nearest { value, donor } => {
+                assert_eq!(donor, "predict/r100/e8/t1");
+                assert_eq!(value, 16);
+            }
+            other => panic!("expected nearest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loader_rejects_malformed_documents_with_typed_errors() {
+        type ErrCheck = fn(&TuneError) -> bool;
+        let cases: &[(&str, ErrCheck)] = &[
+            ("{", |e| matches!(e, TuneError::Parse(_))),
+            ("[1,2]", |e| matches!(e, TuneError::Malformed(_))),
+            (r#"{"entries": {}}"#, |e| {
+                matches!(e, TuneError::Malformed(_))
+            }),
+            (r#"{"entries": {}, "schema_version": 99}"#, |e| {
+                matches!(e, TuneError::SchemaVersion { found: 99 })
+            }),
+            (r#"{"entries": 3, "schema_version": 1}"#, |e| {
+                matches!(e, TuneError::Malformed(_))
+            }),
+            (r#"{"entries": {}, "schema_version": 1, "bogus": 1}"#, |e| {
+                matches!(e, TuneError::Malformed(_))
+            }),
+            (
+                r#"{"entries": {"conv2d/m1/k1/n1/t1/any": {"panel_rows": 8}}, "schema_version": 1}"#,
+                |e| matches!(e, TuneError::UnknownKernel { .. }),
+            ),
+            (
+                r#"{"entries": {"matmul_f32/m1/k1": {"panel_rows": 8}}, "schema_version": 1}"#,
+                |e| matches!(e, TuneError::BadKey { .. }),
+            ),
+            (
+                r#"{"entries": {"predict/r8/e8/t1": {"panel_rows": 8}}, "schema_version": 1}"#,
+                |e| matches!(e, TuneError::UnknownParam { .. }),
+            ),
+            (
+                r#"{"entries": {"predict/r8/e8/t1": {"chunk_rows": 0}}, "schema_version": 1}"#,
+                |e| matches!(e, TuneError::BadValue { .. }),
+            ),
+            (
+                r#"{"entries": {"predict/r8/e8/t1": {"chunk_rows": 9999999999}}, "schema_version": 1}"#,
+                |e| matches!(e, TuneError::BadValue { .. }),
+            ),
+            (
+                r#"{"entries": {"predict/r8/e8/t1": 32}, "schema_version": 1}"#,
+                |e| matches!(e, TuneError::Malformed(_)),
+            ),
+        ];
+        for (text, check) in cases {
+            match TuningTable::from_json(text) {
+                Ok(_) => panic!("accepted {text}"),
+                Err(e) => assert!(check(&e), "wrong error for {text}: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn load_surfaces_missing_file_as_io_not_found() {
+        let err = TuningTable::load(Path::new("/nonexistent/tuning_table.json"))
+            .expect_err("missing file");
+        match err {
+            TuneError::Io(e) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected Io, got {other:?}"),
+        }
+    }
+}

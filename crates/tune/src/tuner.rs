@@ -1,0 +1,319 @@
+//! The run-time handle kernels consult, plus the `SCTUNE` environment
+//! plumbing.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use crate::key::TuneKey;
+use crate::table::{Lookup, TuneError, TuningTable};
+
+/// Env var switching the tuner on: unset, empty, `0`, or `off` disable it;
+/// `1`, `on`, `table`, or `measure` enable table-driven scheduling.
+/// (`measure` additionally tells `tune_gen` to score by wall clock; at
+/// run time it behaves like `table`.)
+pub const MODE_ENV: &str = "SCTUNE";
+
+/// Env var overriding the table path (default [`DEFAULT_TABLE_PATH`]).
+pub const TABLE_ENV: &str = "SCTUNE_TABLE";
+
+/// Default table location, relative to the working directory.
+pub const DEFAULT_TABLE_PATH: &str = "tuning_table.json";
+
+/// How a decision's value was found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecisionSource {
+    /// Exact table hit.
+    Exact,
+    /// Donated by the nearest same-kernel entry (its canonical key).
+    Nearest(String),
+    /// No same-kernel entry; the built-in constant was used.
+    Default,
+}
+
+impl DecisionSource {
+    /// Short label for reports: `exact`, `nearest`, or `default`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DecisionSource::Exact => "exact",
+            DecisionSource::Nearest(_) => "nearest",
+            DecisionSource::Default => "default",
+        }
+    }
+}
+
+/// One recorded scheduling decision: which config actually ran for a key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Canonical tune key the kernel asked about.
+    pub key: String,
+    /// The kernel's parameter name.
+    pub param: &'static str,
+    /// The value the kernel ran with.
+    pub value: usize,
+    /// Where the value came from.
+    pub source: DecisionSource,
+}
+
+#[derive(Debug)]
+struct TunerInner {
+    table: TuningTable,
+    /// canonical key → decision, deduplicated; BTreeMap so
+    /// [`Tuner::decisions`] is sorted and thread-schedule-independent.
+    decisions: Mutex<std::collections::BTreeMap<String, Decision>>,
+}
+
+/// Cheap cloneable handle serving tuned schedule parameters.
+///
+/// A disabled tuner (the default everywhere) answers every query with the
+/// caller's built-in constant and records nothing — the pre-tuning
+/// behavior, bit for bit. An enabled tuner resolves exact → nearest →
+/// constant against its [`TuningTable`] and logs each distinct decision
+/// for the perf observatory ([`Tuner::decisions`]).
+///
+/// # Examples
+///
+/// ```
+/// use sctune::{TuneKey, Tuner, TuningTable};
+///
+/// let mut table = TuningTable::empty();
+/// table.insert(TuneKey::predict(2048, 64, 4), 128);
+/// let tuner = Tuner::from_table(table);
+/// assert_eq!(tuner.predict_chunk_rows(2048, 64, 4, 32), 128);
+///
+/// let off = Tuner::disabled();
+/// assert_eq!(off.predict_chunk_rows(2048, 64, 4, 32), 32);
+/// assert!(off.decisions().is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Tuner {
+    inner: Option<Arc<TunerInner>>,
+}
+
+impl Tuner {
+    /// The no-op tuner: every lookup returns the caller's default.
+    pub fn disabled() -> Tuner {
+        Tuner { inner: None }
+    }
+
+    /// A tuner serving (and recording decisions against) `table`.
+    pub fn from_table(table: TuningTable) -> Tuner {
+        Tuner {
+            inner: Some(Arc::new(TunerInner {
+                table,
+                decisions: Mutex::new(std::collections::BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// Environment-driven construction; see [`MODE_ENV`] / [`TABLE_ENV`].
+    ///
+    /// A missing table file yields an enabled tuner over an *empty* table
+    /// (every kernel on its constant) — committing a table is optional.
+    /// Any other load error is reported on stderr and disables the tuner
+    /// rather than panicking; use [`TuningTable::load`] directly for the
+    /// typed error.
+    pub fn from_env() -> Tuner {
+        let mode = std::env::var(MODE_ENV).ok();
+        if !mode_enabled(mode.as_deref()) {
+            return Tuner::disabled();
+        }
+        let path = std::env::var(TABLE_ENV)
+            .map(PathBuf::from)
+            .unwrap_or_else(|_| PathBuf::from(DEFAULT_TABLE_PATH));
+        Tuner::from_table_path(&path)
+    }
+
+    /// An enabled tuner over the table at `path`, with the same missing-file
+    /// and load-error policy as [`Tuner::from_env`].
+    pub fn from_table_path(path: &Path) -> Tuner {
+        match TuningTable::load(path) {
+            Ok(table) => Tuner::from_table(table),
+            Err(TuneError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                Tuner::from_table(TuningTable::empty())
+            }
+            Err(e) => {
+                eprintln!("sctune: ignoring {}: {e}", path.display());
+                Tuner::disabled()
+            }
+        }
+    }
+
+    /// Whether the tuner consults a table at all.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Every distinct decision made so far, sorted by canonical key.
+    pub fn decisions(&self) -> Vec<Decision> {
+        match &self.inner {
+            None => Vec::new(),
+            Some(inner) => inner
+                .decisions
+                .lock()
+                .map(|d| d.values().cloned().collect())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Core lookup: exact → nearest → `default`, with the decision
+    /// recorded once per canonical key. Values are clamped to ≥ 1.
+    fn pick(&self, key: &TuneKey, default: usize) -> usize {
+        let Some(inner) = &self.inner else {
+            return default;
+        };
+        let (value, source) = match inner.table.lookup(key) {
+            Lookup::Exact(v) => (v, DecisionSource::Exact),
+            Lookup::Nearest { value, donor } => (value, DecisionSource::Nearest(donor)),
+            Lookup::Miss => (default, DecisionSource::Default),
+        };
+        let value = value.max(1);
+        if let Ok(mut decisions) = inner.decisions.lock() {
+            let canon = key.canonical();
+            decisions.entry(canon.clone()).or_insert(Decision {
+                key: canon,
+                param: key.kernel().param(),
+                value,
+                source,
+            });
+        }
+        value
+    }
+
+    /// Tuned `panel_rows` for an f32 `[m,k] × [k,n]` matmul.
+    pub fn matmul_f32_panel_rows(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        threads: usize,
+        isa: &str,
+        default: usize,
+    ) -> usize {
+        self.pick(&TuneKey::matmul_f32(m, k, n, threads, isa), default)
+    }
+
+    /// Tuned `panel_rows` for an f64 `[m,k] × [k,n]` matmul.
+    pub fn matmul_f64_panel_rows(
+        &self,
+        m: usize,
+        k: usize,
+        n: usize,
+        threads: usize,
+        isa: &str,
+        default: usize,
+    ) -> usize {
+        self.pick(&TuneKey::matmul_f64(m, k, n, threads, isa), default)
+    }
+
+    /// Tuned `chunk_rows` for batched inference.
+    pub fn predict_chunk_rows(
+        &self,
+        rows: usize,
+        row_elems: usize,
+        threads: usize,
+        default: usize,
+    ) -> usize {
+        self.pick(&TuneKey::predict(rows, row_elems, threads), default)
+    }
+
+    /// Tuned `cells_per_task` for k-means (cells are fixed 256-point
+    /// accumulation units; the fold order never depends on this value).
+    pub fn kmeans_cells_per_task(
+        &self,
+        points: usize,
+        dim: usize,
+        k: usize,
+        threads: usize,
+        default: usize,
+    ) -> usize {
+        self.pick(&TuneKey::kmeans(points, dim, k, threads), default)
+    }
+
+    /// Tuned `max_batch` for a micro-batcher serving a `params`-parameter
+    /// model. Thread-free by design: the same batch size must be chosen
+    /// at every `SCPAR_THREADS` so flush composition (and telemetry) stay
+    /// byte-identical across thread counts.
+    pub fn micro_batch_max_batch(&self, params: usize, default: usize) -> usize {
+        self.pick(&TuneKey::micro_batch(params), default)
+    }
+}
+
+/// Whether an `SCTUNE` value enables the tuner. Pure, for testability:
+/// `None`, `""`, `"0"`, and `"off"` (any case) disable; `"1"`, `"on"`,
+/// `"table"`, and `"measure"` enable; anything else disables.
+pub fn mode_enabled(value: Option<&str>) -> bool {
+    match value.map(|v| v.trim().to_ascii_lowercase()) {
+        None => false,
+        Some(v) => matches!(v.as_str(), "1" | "on" | "table" | "measure"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> TuningTable {
+        let mut t = TuningTable::empty();
+        t.insert(TuneKey::matmul_f32(4096, 16, 16, 2, "any"), 256);
+        t.insert(TuneKey::kmeans(10_000, 8, 16, 4), 8);
+        t
+    }
+
+    #[test]
+    fn disabled_tuner_returns_defaults_and_records_nothing() {
+        let t = Tuner::disabled();
+        assert!(!t.is_enabled());
+        assert_eq!(t.matmul_f32_panel_rows(4096, 16, 16, 2, "avx2", 32), 32);
+        assert!(t.decisions().is_empty());
+    }
+
+    #[test]
+    fn enabled_tuner_resolves_and_records_each_source() {
+        let t = Tuner::from_table(table());
+        // Exact (isa "any" is an exact string match on the canonical key).
+        assert_eq!(t.matmul_f32_panel_rows(4096, 16, 16, 2, "any", 32), 256);
+        // Nearest: different shape, same kernel.
+        assert_eq!(t.matmul_f32_panel_rows(2048, 16, 16, 2, "any", 32), 256);
+        // Default: kernel with no entries.
+        assert_eq!(t.predict_chunk_rows(100, 8, 2, 32), 32);
+        let ds = t.decisions();
+        assert_eq!(ds.len(), 3);
+        let by_key: std::collections::BTreeMap<_, _> =
+            ds.iter().map(|d| (d.key.as_str(), d)).collect();
+        assert_eq!(
+            by_key["matmul_f32/m4096/k16/n16/t2/any"].source,
+            DecisionSource::Exact
+        );
+        assert!(matches!(
+            by_key["matmul_f32/m2048/k16/n16/t2/any"].source,
+            DecisionSource::Nearest(_)
+        ));
+        assert_eq!(by_key["predict/r100/e8/t2"].source, DecisionSource::Default);
+    }
+
+    #[test]
+    fn decisions_deduplicate_per_key() {
+        let t = Tuner::from_table(table());
+        for _ in 0..5 {
+            t.kmeans_cells_per_task(10_000, 8, 16, 4, 1);
+        }
+        assert_eq!(t.decisions().len(), 1);
+    }
+
+    #[test]
+    fn mode_parsing_matches_docs() {
+        for on in ["1", "on", "table", "measure", "ON", " table "] {
+            assert!(mode_enabled(Some(on)), "{on:?} should enable");
+        }
+        for off in [None, Some(""), Some("0"), Some("off"), Some("bogus")] {
+            assert!(!mode_enabled(off), "{off:?} should disable");
+        }
+    }
+
+    #[test]
+    fn from_table_path_tolerates_missing_file() {
+        let t = Tuner::from_table_path(Path::new("/nonexistent/tuning_table.json"));
+        assert!(t.is_enabled(), "missing file means empty table, not off");
+        assert_eq!(t.predict_chunk_rows(64, 8, 4, 32), 32);
+    }
+}
