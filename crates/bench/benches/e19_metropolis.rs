@@ -1,0 +1,184 @@
+//! E19: the Metropolis closed-loop macro-benchmark.
+//!
+//! The paper's headline claim is a cyberinfrastructure that carries an
+//! entire city — millions of residents — through its big-data and
+//! deep-learning layers. E19 rehearses the claim end to end on
+//! sim-time: a seeded population model (diurnal peaks, flash crowds)
+//! drives stream ingest, DFS archival, and the serving tier with its
+//! attached model, all under a shared fault schedule, while the
+//! burn-rate-fed autoscaler closes the loop — adding and removing
+//! shards, resizing the scpar pool, shedding at the admission door.
+//!
+//! The printed table is the day seen window by window; the headline
+//! numbers are demand, latency percentiles, shed fraction, scaling
+//! activity, ingest loss, and recovery time after the last fault. The
+//! scaling-decision log rides the `BENCH_metropolis.json` artifact as a
+//! deterministic field, so the perf gate pins the entire closed-loop
+//! trace, byte for byte, across the CI thread/ISA matrix.
+//!
+//! `SCMETRO_USERS` overrides the population (default one million).
+//! `SCBENCH_QUICK=1` shrinks windows and the executed sample — never
+//! the population — so CI still plans at full city scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use scbench::{f1, f3, header, table, BenchJson};
+use scmetro::{MetroConfig, MetroReport, MetroSim, PopulationConfig};
+use serde_json::json;
+
+fn quick() -> bool {
+    scbench::quick("e19")
+}
+
+fn users() -> u64 {
+    std::env::var("SCMETRO_USERS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&u| u > 0)
+        .unwrap_or(1_000_000)
+}
+
+fn config(quick: bool) -> MetroConfig {
+    MetroConfig {
+        population: PopulationConfig {
+            users: users(),
+            windows: if quick { 24 } else { 96 },
+            ..PopulationConfig::default()
+        },
+        sample_total: if quick { 4_000 } else { 20_000 },
+        ..MetroConfig::default()
+    }
+}
+
+fn run(quick: bool) -> MetroReport {
+    MetroSim::new(config(quick)).run()
+}
+
+fn regenerate_figure() {
+    header(
+        "E19",
+        "§V",
+        "Metropolis: a simulated city's day through the whole stack, autoscaling under faults",
+    );
+    let q = quick();
+    let sim = MetroSim::new(config(q));
+    let plan = sim.topology().clone();
+    let fault_count = sim.fault_plan().len();
+
+    let mut json = BenchJson::new("metropolis", q);
+    let wall = std::time::Instant::now();
+    let r = sim.run();
+    let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "\nstatic plan: {} partitions on {} brokers, {} DFS nodes, {} serving shards \
+         (mean {} rps, peak {} rps, {} scheduled faults)",
+        plan.partitions,
+        plan.brokers,
+        plan.dfs_nodes,
+        plan.initial_shards,
+        f1(r.mean_rps),
+        f1(r.peak_rps),
+        fault_count,
+    );
+
+    // Every 8th window keeps the table one screen tall at 96 windows.
+    let stride = (r.windows.len() / 12).max(1);
+    let rows: Vec<Vec<String>> = r
+        .windows
+        .iter()
+        .filter(|s| (s.window as usize).is_multiple_of(stride))
+        .map(|s| {
+            vec![
+                s.window.to_string(),
+                s.demand.to_string(),
+                s.sampled.to_string(),
+                f3(s.utilization),
+                f3(s.shed_fraction()),
+                s.shards.to_string(),
+                s.pool.to_string(),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "window",
+            "demand",
+            "sampled",
+            "util",
+            "shed_frac",
+            "shards",
+            "pool",
+        ],
+        &rows,
+    );
+    println!(
+        "\nday total: {} queries from {} users; answered {} / shed {} (p50 {} ms, p99 {} ms)\n\
+         loop: +{} shards / -{} shards, {} pool resizes, {} shed toggles; \
+         recovery {} s after the last outage\n\
+         ingest: {} delivered, {} duplicates, {} lost; \
+         archive: {} blocks, {} under-replicated, {} lost",
+        r.total_demand,
+        r.users,
+        r.answered,
+        r.unanswered,
+        f3(r.p50_ms),
+        f3(r.p99_ms),
+        r.shards_added,
+        r.shards_removed,
+        r.pool_resizes,
+        r.shed_actions,
+        f1(r.recovery_s),
+        r.delivered,
+        r.duplicates,
+        r.lost,
+        r.dfs.blocks,
+        r.dfs.under_replicated,
+        r.dfs.lost,
+    );
+
+    let log_lines: Vec<String> = r.decision_log().lines().map(str::to_string).collect();
+    println!("\nscaling decisions ({}):", log_lines.len());
+    for line in &log_lines {
+        println!("  {line}");
+    }
+
+    // Sim-time results are deterministic: the gate compares them exactly,
+    // decision log included.
+    json.det_u("users", r.users)
+        .det_u("daily_queries", r.daily_queries)
+        .det_u("total_demand", r.total_demand)
+        .det_u("sampled_requests", r.sampled_requests)
+        .det_f("peak_rps", r.peak_rps)
+        .det_f("mean_rps", r.mean_rps)
+        .det_f("p50_sim_ms", r.p50_ms)
+        .det_f("p99_sim_ms", r.p99_ms)
+        .det_u("answered", r.answered)
+        .det_u("unanswered", r.unanswered)
+        .det_f("shed_fraction", r.shed_fraction)
+        .det_u("shards_added", r.shards_added)
+        .det_u("shards_removed", r.shards_removed)
+        .det_u("pool_resizes", r.pool_resizes)
+        .det_u("shed_actions", r.shed_actions)
+        .det_u("final_shards", r.final_shards as u64)
+        .det_u("final_pool", r.final_pool as u64)
+        .det_f("recovery_s_sim", r.recovery_s)
+        .det_u("ingest_delivered", r.delivered as u64)
+        .det_u("ingest_duplicates", r.duplicates as u64)
+        .det_u("ingest_lost", r.lost as u64)
+        .det_u("dfs_blocks", r.dfs.blocks as u64)
+        .det_u("dfs_lost_blocks", r.dfs.lost as u64)
+        .det("decision_log", json!(log_lines));
+    json.measured("day_wall_ms", wall_ms);
+    json.write();
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate_figure();
+
+    c.bench_function("e19/metropolis_day", |b| {
+        b.iter(|| std::hint::black_box(run(true)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,727 @@
+//! The Metropolis macro-simulation: a full day of city demand through
+//! the whole stack, with the autoscaling loop closed.
+//!
+//! [`MetroSim`] wires every layer of the repo together on sim-time:
+//! a [`PopulationModel`]'s demand series drives a
+//! [`scstream::Broker`] (ingest), an [`scdfs::DfsCluster`] (archival), an
+//! [`scserve::Server`] with an attached [`scneural`] model (queries and
+//! inference), all under one shared [`scfault::FaultPlan`]. Each demand
+//! window's good/bad tallies and utilization feed the
+//! [`AutoscalePolicy`], whose actions are applied
+//! back to the live server through its runtime knobs — shards join and
+//! leave the hash ring, the scpar pool resizes through [`ExecCtx`], and
+//! admission control sheds at the door.
+//!
+//! # Sampled execution
+//!
+//! A million-user day is ~4 M queries; executing each one would make the
+//! benchmark minutes long. Instead the simulation *plans* at full
+//! population scale and *executes* a deterministic sample:
+//! `sample_total` requests are apportioned across windows exactly
+//! proportional to demand (largest-remainder, like the population model
+//! itself), and the server's service rate is expressed in the same
+//! sample units. Utilization — the autoscaler's main input — is computed
+//! from the full-population rates, so the scaling trace is the trace the
+//! full-scale system would produce.
+//!
+//! # Determinism
+//!
+//! The simulation never reads the environment. The pool size the policy
+//! controls is its own integer (applied via `ScparConfig::with_threads`,
+//! a pure perf knob), so the decision log, the report, and the exported
+//! Prometheus text are byte-identical at any `SCPAR_THREADS` or
+//! `SCSIMD_FORCE` setting.
+
+use std::collections::BTreeMap;
+
+use scdfs::{ClusterStats, DfsCluster};
+use scfault::{FaultPlan, FaultSpec, OutageWindows, RetryPolicy};
+use scneural::exec::ExecCtx;
+use scneural::layers::{Dense, Relu};
+use scneural::net::Sequential;
+use scnosql::document::{Doc, Filter};
+use scpar::ScparConfig;
+use scserve::{CacheConfig, InferSubmit, ServeConfig, Server};
+use scstream::{audit_delivery, Broker, Event, ResilientProducer, SendOutcome, Topic};
+use sctelemetry::{percentile_sorted, TelemetryHandle};
+use simclock::{SeededRng, SimDuration, SimTime};
+
+use crate::autoscale::{AutoscaleConfig, AutoscalePolicy, ScaleAction, ScaleDecision};
+use crate::population::{apportion, PopulationConfig, PopulationModel};
+use crate::topology::{SizingGuidelines, TopologyPlan};
+
+/// The four query kinds city residents issue (mirrors the serving
+/// workload generator so cache behavior matches E17).
+const KINDS: [&str; 4] = ["traffic", "air", "camera", "event"];
+
+/// Node id the ingest broker occupies in the shared fault plan.
+const BROKER_NODE: u32 = 0;
+
+/// First node id the autoscaler hands to joining shards; far above any
+/// statically planned fleet so ids never collide.
+const SCALE_NODE_BASE: u32 = 1_000;
+
+/// Everything a Metropolis run needs.
+#[derive(Debug, Clone)]
+pub struct MetroConfig {
+    /// Master seed; forks every stream the run draws from.
+    pub seed: u64,
+    /// The demand side.
+    pub population: PopulationConfig,
+    /// Static capacity-planning guidelines.
+    pub sizing: SizingGuidelines,
+    /// The closed loop.
+    pub autoscale: AutoscaleConfig,
+    /// Requests actually executed across the day (sampled execution).
+    pub sample_total: u64,
+    /// Distinct serving keys.
+    pub keyspace: usize,
+    /// Key-popularity skew (see [`scserve::WorkloadConfig`]).
+    pub skew: f64,
+    /// Fraction of requests that are writes.
+    pub write_fraction: f64,
+    /// Fraction of requests that are inference submissions.
+    pub infer_fraction: f64,
+    /// Feature-row width for inference.
+    pub feature_dim: usize,
+    /// Distinct circulating feature rows.
+    pub row_pool: usize,
+    /// Fault schedule; `None` generates one from `fault_intensity`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Intensity knob for the generated plan (ignored when a plan is
+    /// supplied).
+    pub fault_intensity: f64,
+}
+
+impl Default for MetroConfig {
+    fn default() -> Self {
+        MetroConfig {
+            seed: 42,
+            population: PopulationConfig::default(),
+            sizing: SizingGuidelines::default(),
+            autoscale: AutoscaleConfig::default(),
+            sample_total: 20_000,
+            keyspace: 200,
+            skew: 1.0,
+            write_fraction: 0.05,
+            infer_fraction: 0.2,
+            feature_dim: 8,
+            row_pool: 32,
+            fault_plan: None,
+            fault_intensity: 1.0,
+        }
+    }
+}
+
+/// One demand window's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowStats {
+    /// Window index.
+    pub window: u64,
+    /// Full-population demand (queries).
+    pub demand: u64,
+    /// Requests actually executed.
+    pub sampled: u64,
+    /// Answered requests (fresh, cached, stale, or degraded).
+    pub good: u64,
+    /// Requests that got nothing at all.
+    pub bad: u64,
+    /// Offered full-population load over current capacity.
+    pub utilization: f64,
+    /// Serving shards at the window's close.
+    pub shards: usize,
+    /// Pool workers at the window's close.
+    pub pool: usize,
+}
+
+impl WindowStats {
+    /// `bad / sampled` (0 for an empty window).
+    pub fn shed_fraction(&self) -> f64 {
+        if self.sampled == 0 {
+            0.0
+        } else {
+            self.bad as f64 / self.sampled as f64
+        }
+    }
+}
+
+/// The distilled outcome of one Metropolis day.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetroReport {
+    /// Simulated residents.
+    pub users: u64,
+    /// Daily diurnal-base queries (exact).
+    pub daily_queries: u64,
+    /// Full-population demand including flash crowds.
+    pub total_demand: u64,
+    /// Requests actually executed.
+    pub sampled_requests: u64,
+    /// Peak full-population demand rate, queries per sim-second.
+    pub peak_rps: f64,
+    /// Mean full-population demand rate.
+    pub mean_rps: f64,
+    /// Median answered latency, sim-milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile answered latency, sim-milliseconds.
+    pub p99_ms: f64,
+    /// Answered requests.
+    pub answered: u64,
+    /// Requests that got nothing.
+    pub unanswered: u64,
+    /// `unanswered / sampled_requests`.
+    pub shed_fraction: f64,
+    /// Shards the loop added / removed.
+    pub shards_added: u64,
+    /// Shards the loop removed.
+    pub shards_removed: u64,
+    /// Pool grow / shrink actions.
+    pub pool_resizes: u64,
+    /// Shed / restore actions at the admission door.
+    pub shed_actions: u64,
+    /// Fleet size at the day's close.
+    pub final_shards: usize,
+    /// Pool size at the day's close.
+    pub final_pool: usize,
+    /// Sim-seconds from the last serve-fleet outage's end to the first
+    /// subsequent window with zero shed (0 when the day had no outage).
+    pub recovery_s: f64,
+    /// Ingest events acknowledged end-to-end.
+    pub delivered: usize,
+    /// Duplicate ingest copies (lost acks).
+    pub duplicates: usize,
+    /// Ingest events lost outright.
+    pub lost: usize,
+    /// Archive-cluster state at the day's close.
+    pub dfs: ClusterStats,
+    /// Every scaling decision, in order.
+    pub decisions: Vec<ScaleDecision>,
+    /// Per-window outcomes.
+    pub windows: Vec<WindowStats>,
+}
+
+impl MetroReport {
+    /// The deterministic scaling-decision log, one line per decision.
+    pub fn decision_log(&self) -> String {
+        let mut out = String::new();
+        for d in &self.decisions {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The wired-up city; see the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use scmetro::{MetroConfig, MetroSim, PopulationConfig};
+///
+/// let cfg = MetroConfig {
+///     population: PopulationConfig { users: 50_000, windows: 24, ..PopulationConfig::default() },
+///     sample_total: 2_000,
+///     ..MetroConfig::default()
+/// };
+/// let report = MetroSim::new(cfg.clone()).run();
+/// assert_eq!(report.sampled_requests, 2_000);
+/// // Same seed, byte-identical scaling trace.
+/// assert_eq!(report.decision_log(), MetroSim::new(cfg).run().decision_log());
+/// ```
+#[derive(Debug)]
+pub struct MetroSim {
+    cfg: MetroConfig,
+    pop: PopulationModel,
+    plan: TopologyPlan,
+    faults: FaultPlan,
+    telemetry: TelemetryHandle,
+}
+
+impl MetroSim {
+    /// Plans the topology and fault schedule for `cfg`.
+    pub fn new(cfg: MetroConfig) -> Self {
+        let pop = PopulationModel::new(cfg.population.clone());
+        let plan = TopologyPlan::size(&pop, &cfg.sizing);
+        let faults = cfg.fault_plan.clone().unwrap_or_else(|| {
+            FaultPlan::generate(
+                &FaultSpec::new(cfg.population.day, plan.initial_shards as u32)
+                    .intensity(cfg.fault_intensity),
+                cfg.seed,
+            )
+        });
+        MetroSim {
+            cfg,
+            pop,
+            plan,
+            faults,
+            telemetry: TelemetryHandle::disabled(),
+        }
+    }
+
+    /// Attaches telemetry; serving and ingest metrics flow into it.
+    pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The demand model the run will execute.
+    pub fn population(&self) -> &PopulationModel {
+        &self.pop
+    }
+
+    /// The static deployment plan.
+    pub fn topology(&self) -> &TopologyPlan {
+        &self.plan
+    }
+
+    /// The fault schedule the run will suffer.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    fn model(dim: usize) -> Sequential {
+        Sequential::new()
+            .with(Dense::new(dim, 16, 1_901))
+            .with(Relu::new())
+            .with(Dense::new(16, 4, 1_902))
+    }
+
+    /// Full-population capacity at `shards` serving shards and `pool`
+    /// compute workers, queries per sim-second.
+    fn capacity_rps(&self, shards: usize, pool: usize) -> f64 {
+        let pool_factor = 1.0 + 0.25 * pool.saturating_sub(self.cfg.autoscale.min_pool) as f64;
+        self.plan.guidelines.per_shard_rps * shards as f64 * pool_factor
+    }
+
+    fn ctx_for_pool(pool: usize) -> ExecCtx {
+        let par = if pool <= 1 {
+            ScparConfig::serial()
+        } else {
+            ScparConfig::with_threads(pool)
+        };
+        ExecCtx::serial().with_par(par)
+    }
+
+    /// Runs the day and distils it into a [`MetroReport`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal arithmetic bugs only; every generated document,
+    /// filter, and DFS write is valid by construction.
+    pub fn run(self) -> MetroReport {
+        let cfg = &self.cfg;
+        let pop = &self.pop;
+        let windows = pop.windows();
+        let total_demand = pop.total().max(1);
+        let ratio = cfg.sample_total as f64 / total_demand as f64;
+
+        // Exact per-window sample counts, proportional to demand.
+        let weights: Vec<f64> = (0..windows).map(|w| pop.demand(w) as f64).collect();
+        let samples = apportion(cfg.sample_total, &weights);
+
+        // --- The plant. -------------------------------------------------
+        let mut policy = AutoscalePolicy::new(
+            cfg.autoscale.clone(),
+            self.plan.initial_shards,
+            cfg.autoscale.min_pool,
+            SCALE_NODE_BASE,
+        );
+        let mut shards = self.plan.initial_shards;
+        let mut pool = cfg.autoscale.min_pool;
+        let capacity_sample = |s: usize, p: usize| (self.capacity_rps(s, p) * ratio).max(1e-9);
+        let nominal_rate = |s: usize, p: usize| 4.0 * capacity_sample(s, p);
+
+        let mut server = Server::new(ServeConfig {
+            shards: shards as u32,
+            rate_per_s: nominal_rate(shards, pool),
+            burst: 64.0,
+            service_rate: capacity_sample(shards, pool),
+            queue_capacity: 64,
+            query_cache: CacheConfig {
+                ttl: SimDuration::from_secs(300),
+                ..CacheConfig::default()
+            },
+            ..ServeConfig::default()
+        })
+        .with_model(Self::model(cfg.feature_dim))
+        .with_ctx(Self::ctx_for_pool(pool))
+        .with_fault_plan(&self.faults)
+        .with_telemetry(self.telemetry.clone());
+
+        let mut broker = Broker::new(
+            Topic::new("metro/ingest", self.plan.partitions as u32),
+            BROKER_NODE,
+            &self.faults,
+        )
+        .with_telemetry(self.telemetry.clone());
+        let mut producer = ResilientProducer::new(
+            "metro",
+            RetryPolicy::new(4, SimDuration::from_millis(50)).with_jitter(0.0),
+            cfg.seed ^ 0x16E5_7001,
+        );
+
+        let mut dfs = DfsCluster::new(
+            self.plan.dfs_nodes,
+            self.plan.guidelines.dfs_replication,
+            self.plan.guidelines.dfs_block_size,
+            cfg.seed ^ 0xD5,
+        )
+        .expect("topology plan sizes a valid cluster");
+        dfs.create("/metro/day.log", b"metropolis\n")
+            .expect("fresh namespace");
+
+        // --- Seeded request streams. ------------------------------------
+        let mut rng = SeededRng::new(cfg.seed ^ 0x3E7_2070);
+        let mut row_rng = rng.fork();
+        let rows: Vec<Vec<f32>> = (0..cfg.row_pool.max(1))
+            .map(|_| {
+                (0..cfg.feature_dim.max(1))
+                    .map(|_| row_rng.next_f64() as f32)
+                    .collect()
+            })
+            .collect();
+        let rank = |rng: &mut SeededRng, n: usize| -> usize {
+            let u = rng.next_f64();
+            ((n as f64 * u.powf(1.0 + cfg.skew)) as usize).min(n - 1)
+        };
+        // Seed the keyspace at t = 0.
+        let mut serial = 0i64;
+        for r in 0..cfg.keyspace {
+            let kind = KINDS[rng.next_bounded(KINDS.len() as u64) as usize];
+            let doc = Doc::object([
+                ("kind", Doc::Str(kind.into())),
+                ("v", Doc::I64(serial)),
+                ("reading", Doc::F64(rng.next_f64() * 100.0)),
+            ]);
+            serial += 1;
+            server
+                .put(&format!("k-{r:05}"), doc, SimTime::ZERO)
+                .expect("generated docs are valid");
+        }
+
+        // --- The day. ----------------------------------------------------
+        let mut fault_cursor = 0usize;
+        let fault_events = self.faults.events();
+        let mut dfs_clock = SimTime::ZERO;
+        let mut sends = 0u64;
+        let mut delivered_sends = 0u64;
+
+        let mut latencies_ms: Vec<f64> = Vec::with_capacity(cfg.sample_total as usize);
+        let mut pending: BTreeMap<u64, ()> = BTreeMap::new();
+        let mut window_stats: Vec<WindowStats> = Vec::with_capacity(windows);
+        let mut shards_added = 0u64;
+        let mut shards_removed = 0u64;
+        let mut pool_resizes = 0u64;
+        let mut shed_actions = 0u64;
+
+        for (w, &sampled) in samples.iter().enumerate() {
+            let t0 = pop.window_start(w);
+            let t1 = pop.window_end(w);
+            let secs = pop.window_secs(w);
+
+            // Archive layer: suffer this window's faults, heal, append.
+            while fault_cursor < fault_events.len() && fault_events[fault_cursor].at < t1 {
+                dfs.apply_fault(&fault_events[fault_cursor]);
+                fault_cursor += 1;
+            }
+            dfs_clock = dfs.tick(t1.saturating_since(dfs_clock));
+            dfs.re_replicate();
+            let digest = vec![(w % 251) as u8; (sampled as usize).max(1)];
+            // Appends may fail mid-outage when too few nodes are alive;
+            // the archive is best-effort during faults, like HDFS.
+            let _ = dfs.append("/metro/day.log", &digest);
+
+            // Ingest layer: every sampled query is archived as an event.
+            let mut good = 0u64;
+            let mut bad = 0u64;
+            for i in 0..sampled {
+                let at = t0
+                    + SimDuration::from_micros(
+                        t1.saturating_since(t0).as_micros() * i / sampled.max(1),
+                    );
+                let key = format!("k-{:05}", rank(&mut rng, cfg.keyspace.max(1)));
+                sends += 1;
+                if let SendOutcome::Delivered { .. } =
+                    producer.send(&mut broker, Event::with_key(key.clone(), vec![w as u8]), at)
+                {
+                    delivered_sends += 1;
+                }
+
+                // Serving layer: flush due micro-batches, then issue.
+                while let Some(deadline) = server.next_deadline() {
+                    if deadline > at {
+                        break;
+                    }
+                    for c in server.tick(deadline) {
+                        pending.remove(&c.req.0);
+                        good += 1;
+                        latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                    }
+                }
+                let roll = rng.next_f64();
+                if roll < cfg.write_fraction {
+                    let kind = KINDS[rng.next_bounded(KINDS.len() as u64) as usize];
+                    let doc = Doc::object([
+                        ("kind", Doc::Str(kind.into())),
+                        ("v", Doc::I64(serial)),
+                        ("reading", Doc::F64(rng.next_f64() * 100.0)),
+                    ]);
+                    serial += 1;
+                    server.put(&key, doc, at).expect("generated docs are valid");
+                    good += 1;
+                    latencies_ms.push(scserve::CACHE_HIT_COST.as_secs_f64() * 1e3);
+                } else if roll < cfg.write_fraction + cfg.infer_fraction {
+                    let row = rows[rank(&mut rng, rows.len())].clone();
+                    match server.infer(row, at) {
+                        InferSubmit::Cached { latency, .. }
+                        | InferSubmit::Stale { latency, .. } => {
+                            good += 1;
+                            latencies_ms.push(latency.as_secs_f64() * 1e3);
+                        }
+                        InferSubmit::Pending(req) => {
+                            pending.insert(req.0, ());
+                        }
+                        InferSubmit::Shed => bad += 1,
+                    }
+                } else if rng.next_f64() < 0.5 {
+                    let served = server.get(&key, at).expect("gets cannot fail");
+                    if served.outcome.is_shed() {
+                        bad += 1;
+                    } else {
+                        good += 1;
+                        latencies_ms.push(served.latency.as_secs_f64() * 1e3);
+                    }
+                } else {
+                    let kind = KINDS[rank(&mut rng, KINDS.len())];
+                    let filter = Filter::Eq("kind".into(), Doc::Str(kind.into()));
+                    let served = server.query(&filter, at).expect("filters are valid");
+                    if served.outcome.is_shed() {
+                        bad += 1;
+                    } else {
+                        good += 1;
+                        latencies_ms.push(served.latency.as_secs_f64() * 1e3);
+                    }
+                }
+            }
+            // Close the window: flush the stragglers that are due.
+            while let Some(deadline) = server.next_deadline() {
+                if deadline > t1 {
+                    break;
+                }
+                for c in server.tick(deadline) {
+                    pending.remove(&c.req.0);
+                    good += 1;
+                    latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                }
+            }
+
+            // The loop closes here: evidence in, actions out.
+            let utilization = (pop.demand(w) as f64 / secs) / self.capacity_rps(shards, pool);
+            let actions = policy.observe(w as u64, t1, good as usize, bad as usize, utilization);
+            for action in actions {
+                match action {
+                    ScaleAction::AddShard { node } => {
+                        server.add_shard(node);
+                        shards += 1;
+                        shards_added += 1;
+                    }
+                    ScaleAction::RemoveShard { node } => {
+                        server.remove_shard(node);
+                        shards -= 1;
+                        shards_removed += 1;
+                    }
+                    ScaleAction::GrowPool { workers } | ScaleAction::ShrinkPool { workers } => {
+                        pool = workers;
+                        server.set_ctx(Self::ctx_for_pool(pool));
+                        pool_resizes += 1;
+                    }
+                    ScaleAction::Shed { keep_millis } => {
+                        let keep = keep_millis as f64 / 1_000.0;
+                        server.set_rate_limit(keep * capacity_sample(shards, pool), 8.0, t1);
+                        shed_actions += 1;
+                    }
+                    ScaleAction::Restore => {
+                        server.set_rate_limit(nominal_rate(shards, pool), 64.0, t1);
+                        shed_actions += 1;
+                    }
+                }
+            }
+            // Fleet or pool changes move the service rate; sync the queue.
+            server.set_service_rate(capacity_sample(shards, pool), t1);
+
+            window_stats.push(WindowStats {
+                window: w as u64,
+                demand: pop.demand(w),
+                sampled,
+                good,
+                bad,
+                utilization,
+                shards,
+                pool,
+            });
+        }
+        // Drain whatever inference is still in flight at the day's end.
+        let day_end = pop.window_end(windows - 1);
+        let mut tail_good = 0u64;
+        for c in server.drain(day_end) {
+            pending.remove(&c.req.0);
+            tail_good += 1;
+            latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+        }
+        if let Some(last) = window_stats.last_mut() {
+            last.good += tail_good;
+        }
+        debug_assert!(pending.is_empty(), "drain settles every ticket");
+
+        // --- Distil. ------------------------------------------------------
+        let answered: u64 = window_stats.iter().map(|s| s.good).sum();
+        let unanswered: u64 = window_stats.iter().map(|s| s.bad).sum();
+        latencies_ms.sort_by(f64::total_cmp);
+
+        // Recovery: last serve-fleet outage end → first clean window after.
+        let outages = OutageWindows::node_crashes(&self.faults);
+        let last_outage_end = (0..self.plan.initial_shards as u32)
+            .flat_map(|n| outages.windows_for(n).iter().map(|&(_, e)| e))
+            .max();
+        let recovery_s = last_outage_end
+            .map(|end| {
+                window_stats
+                    .iter()
+                    .find(|s| pop.window_end(s.window as usize) > end && s.bad == 0)
+                    .map(|s| {
+                        pop.window_end(s.window as usize)
+                            .saturating_since(end)
+                            .as_secs_f64()
+                    })
+                    .unwrap_or(f64::INFINITY)
+            })
+            .unwrap_or(0.0);
+
+        let audit = audit_delivery(broker.topic(), &[("metro", sends)]);
+        debug_assert!(audit.delivered >= delivered_sends as usize);
+
+        MetroReport {
+            users: cfg.population.users,
+            daily_queries: pop.base_total(),
+            total_demand: pop.total(),
+            sampled_requests: cfg.sample_total,
+            peak_rps: pop.peak_rps(),
+            mean_rps: pop.mean_rps(),
+            p50_ms: percentile_sorted(&latencies_ms, 0.50).unwrap_or(0.0),
+            p99_ms: percentile_sorted(&latencies_ms, 0.99).unwrap_or(0.0),
+            answered,
+            unanswered,
+            shed_fraction: unanswered as f64 / cfg.sample_total.max(1) as f64,
+            shards_added,
+            shards_removed,
+            pool_resizes,
+            shed_actions,
+            final_shards: shards,
+            final_pool: pool,
+            recovery_s,
+            delivered: audit.delivered,
+            duplicates: audit.duplicates,
+            lost: audit.lost,
+            dfs: dfs.stats(),
+            decisions: policy.decisions().to_vec(),
+            windows: window_stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scfault::FaultKind;
+
+    fn small() -> MetroConfig {
+        MetroConfig {
+            population: PopulationConfig {
+                users: 50_000,
+                windows: 24,
+                ..PopulationConfig::default()
+            },
+            sample_total: 2_000,
+            ..MetroConfig::default()
+        }
+    }
+
+    #[test]
+    fn accounts_for_every_sampled_request_modulo_pending() {
+        let r = MetroSim::new(small()).run();
+        assert_eq!(r.sampled_requests, 2_000);
+        assert_eq!(r.answered + r.unanswered, 2_000);
+        assert!(r.p99_ms >= r.p50_ms);
+    }
+
+    #[test]
+    fn same_seed_byte_identical_report() {
+        let a = MetroSim::new(small()).run();
+        let b = MetroSim::new(small()).run();
+        assert_eq!(a, b);
+        assert_eq!(a.decision_log(), b.decision_log());
+    }
+
+    #[test]
+    fn different_seed_different_trace() {
+        let a = MetroSim::new(small()).run();
+        let b = MetroSim::new(MetroConfig { seed: 7, ..small() }).run();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn peaks_force_the_loop_to_scale_up() {
+        // Slow shards make the diurnal peak tower over the mean-sized
+        // static plan, so the loop must grow the fleet.
+        let cfg = MetroConfig {
+            sizing: SizingGuidelines {
+                per_shard_rps: 1.0,
+                ..SizingGuidelines::default()
+            },
+            fault_plan: Some(FaultPlan::empty()),
+            ..small()
+        };
+        let initial = MetroSim::new(cfg.clone()).topology().initial_shards;
+        let r = MetroSim::new(cfg).run();
+        assert!(
+            r.shards_added > 0,
+            "mean-sized static plan must be outgrown at the diurnal peak:\n{}",
+            r.decision_log()
+        );
+        assert!(r.final_shards >= initial);
+    }
+
+    #[test]
+    fn recovery_is_finite_after_a_crash_and_restart() {
+        // Node 0 is both a serving shard and the ingest broker: a
+        // two-hour outage in the middle of the morning peak.
+        let plan = FaultPlan::empty()
+            .with_event(
+                SimTime::from_secs(6 * 3600),
+                FaultKind::NodeCrash { node: 0 },
+            )
+            .with_event(
+                SimTime::from_secs(8 * 3600),
+                FaultKind::NodeRestart { node: 0 },
+            );
+        let r = MetroSim::new(MetroConfig {
+            fault_plan: Some(plan),
+            ..small()
+        })
+        .run();
+        assert!(r.recovery_s.is_finite(), "the loop must recover");
+        assert!(r.recovery_s >= 0.0);
+    }
+
+    #[test]
+    fn ingest_is_audited_end_to_end() {
+        let r = MetroSim::new(MetroConfig {
+            fault_plan: Some(FaultPlan::empty()),
+            ..small()
+        })
+        .run();
+        assert_eq!(r.lost, 0, "no faults, no loss");
+        assert_eq!(r.delivered as u64, r.sampled_requests);
+        assert_eq!(r.duplicates, 0);
+    }
+}

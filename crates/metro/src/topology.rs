@@ -1,0 +1,153 @@
+//! Capacity planning: sizing the pipeline for a population.
+//!
+//! The source paper's cyberinfrastructure was sized by hand — so many
+//! Kafka partitions per broker, so many HBase region servers — from
+//! design guidelines and measured per-node throughput. [`TopologyPlan`]
+//! encodes that arithmetic: given a [`PopulationModel`]'s demand series
+//! and per-component [`SizingGuidelines`], it derives the broker count,
+//! partition count, DFS footprint, and the *initial* serving-shard fleet.
+//!
+//! The plan deliberately sizes the serving tier for the **mean** rate
+//! plus headroom, not the peak: the Metropolis benchmark's whole point
+//! is that the diurnal peaks and flash crowds *exceed* the static plan
+//! and must be absorbed by the closed-loop autoscaler
+//! ([`crate::AutoscalePolicy`]), not by over-provisioning.
+
+use crate::population::PopulationModel;
+
+/// Measured-throughput design guidelines, per component.
+#[derive(Debug, Clone)]
+pub struct SizingGuidelines {
+    /// Events per sim-second one stream partition sustains.
+    pub partition_capacity_eps: f64,
+    /// Partitions one broker hosts comfortably.
+    pub partitions_per_broker: usize,
+    /// DFS replication factor for the archived event log.
+    pub dfs_replication: usize,
+    /// DFS block size in bytes.
+    pub dfs_block_size: usize,
+    /// Mean serialized event size in bytes (sizes the daily archive).
+    pub bytes_per_event: u64,
+    /// Requests per sim-second one serving shard sustains.
+    pub per_shard_rps: f64,
+    /// Capacity margin over the mean rate the static plan provisions.
+    pub headroom: f64,
+}
+
+impl Default for SizingGuidelines {
+    fn default() -> Self {
+        SizingGuidelines {
+            partition_capacity_eps: 50.0,
+            partitions_per_broker: 8,
+            dfs_replication: 3,
+            dfs_block_size: 64 * 1024,
+            bytes_per_event: 256,
+            per_shard_rps: 15.0,
+            headroom: 1.2,
+        }
+    }
+}
+
+/// The derived static deployment plan.
+///
+/// # Examples
+///
+/// ```
+/// use scmetro::{PopulationConfig, PopulationModel, SizingGuidelines, TopologyPlan};
+///
+/// let pop = PopulationModel::new(PopulationConfig::default());
+/// let plan = TopologyPlan::size(&pop, &SizingGuidelines::default());
+/// assert!(plan.initial_shards >= 1);
+/// // Mean-plus-headroom sizing leaves the diurnal peak for the autoscaler.
+/// assert!(plan.peak_rps > plan.initial_shards as f64 * plan.guidelines.per_shard_rps);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyPlan {
+    /// Stream partitions needed to absorb the peak ingest rate.
+    pub partitions: usize,
+    /// Brokers hosting those partitions.
+    pub brokers: usize,
+    /// DFS data nodes (≥ replication, sized for the daily archive).
+    pub dfs_nodes: usize,
+    /// Serving shards the static plan provisions (mean × headroom).
+    pub initial_shards: usize,
+    /// Peak demand rate the plan was derived from, queries per second.
+    pub peak_rps: f64,
+    /// Mean demand rate, queries per second.
+    pub mean_rps: f64,
+    /// Bytes the day's events occupy on the DFS before replication.
+    pub archive_bytes: u64,
+    /// The guidelines the plan was derived from.
+    pub guidelines: SizingGuidelines,
+}
+
+impl TopologyPlan {
+    /// Derives a plan for `pop` under `g`.
+    pub fn size(pop: &PopulationModel, g: &SizingGuidelines) -> TopologyPlan {
+        let peak_rps = pop.peak_rps();
+        let mean_rps = pop.mean_rps();
+        let partitions = (peak_rps / g.partition_capacity_eps).ceil().max(1.0) as usize;
+        let brokers = partitions.div_ceil(g.partitions_per_broker.max(1));
+        let archive_bytes = pop.total() * g.bytes_per_event;
+        // One data node per ~64 MiB of replicated archive, floored at the
+        // replication factor so every block has distinct homes.
+        let replicated = archive_bytes.saturating_mul(g.dfs_replication as u64);
+        let dfs_nodes = (replicated.div_ceil(64 * 1024 * 1024) as usize).max(g.dfs_replication);
+        let initial_shards = ((mean_rps * g.headroom) / g.per_shard_rps).ceil().max(1.0) as usize;
+        TopologyPlan {
+            partitions,
+            brokers,
+            dfs_nodes,
+            initial_shards,
+            peak_rps,
+            mean_rps,
+            archive_bytes,
+            guidelines: g.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationConfig;
+
+    #[test]
+    fn plan_scales_with_population() {
+        let small = PopulationModel::new(PopulationConfig {
+            users: 100_000,
+            ..PopulationConfig::default()
+        });
+        let large = PopulationModel::new(PopulationConfig {
+            users: 10_000_000,
+            ..PopulationConfig::default()
+        });
+        let g = SizingGuidelines::default();
+        let sp = TopologyPlan::size(&small, &g);
+        let lp = TopologyPlan::size(&large, &g);
+        assert!(lp.partitions > sp.partitions);
+        assert!(lp.initial_shards > sp.initial_shards);
+        assert!(lp.archive_bytes > sp.archive_bytes);
+        assert!(lp.dfs_nodes >= g.dfs_replication);
+    }
+
+    #[test]
+    fn plan_underprovisions_the_peak_on_purpose() {
+        let pop = PopulationModel::new(PopulationConfig::default());
+        let g = SizingGuidelines::default();
+        let plan = TopologyPlan::size(&pop, &g);
+        let static_capacity = plan.initial_shards as f64 * g.per_shard_rps;
+        assert!(static_capacity >= plan.mean_rps, "mean is covered");
+        assert!(
+            static_capacity < plan.peak_rps,
+            "the peak must exceed the static plan so autoscaling has work to do"
+        );
+    }
+
+    #[test]
+    fn brokers_cover_partitions() {
+        let pop = PopulationModel::new(PopulationConfig::default());
+        let plan = TopologyPlan::size(&pop, &SizingGuidelines::default());
+        assert!(plan.brokers * plan.guidelines.partitions_per_broker >= plan.partitions);
+    }
+}

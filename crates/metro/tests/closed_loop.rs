@@ -1,0 +1,205 @@
+//! Closed-loop stability properties of the Metropolis autoscaler.
+//!
+//! Three behaviours separate a control loop from a flapping thermostat,
+//! and each is pinned here as a property over *arbitrary* telemetry
+//! streams, not hand-picked traces:
+//!
+//! 1. **No oscillation** — the loop never removes a shard within the
+//!    hysteresis window of adding it, for any input stream, and never
+//!    emits more than one action per evidence window.
+//! 2. **Shed monotonicity** — against a plant under constant overload,
+//!    the shed fraction is non-increasing once the first scale-up has
+//!    settled: added capacity is never given back while it is needed.
+//! 3. **Bounded recovery** — after a crash-and-restart fault in the
+//!    full [`MetroSim`], the day reaches a clean (zero-shed) window
+//!    within a bound derived from the hysteresis constants.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use scmetro::{
+    AutoscaleConfig, AutoscalePolicy, MetroConfig, MetroSim, PopulationConfig, ScaleAction,
+};
+use simclock::{SimDuration, SimTime};
+
+use scfault::{FaultKind, FaultPlan};
+
+fn at(w: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(60 * w)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For any stream of (good, bad, utilization) evidence, a removed
+    /// shard was added at least `cooldown` windows earlier, shard
+    /// membership stays consistent, and each window emits at most one
+    /// fleet action and one pool action.
+    #[test]
+    fn autoscaler_never_flaps_a_shard_inside_the_hysteresis_window(
+        cooldown in 1u64..6,
+        settle in 1u64..8,
+        obs in proptest::collection::vec(
+            (0usize..500, 0usize..500, 0.0f64..2.5),
+            1..160,
+        ),
+    ) {
+        let cfg = AutoscaleConfig {
+            cooldown,
+            settle,
+            ..AutoscaleConfig::default()
+        };
+        let mut policy = AutoscalePolicy::new(cfg, 4, 2, 100);
+        let mut born: BTreeMap<u32, u64> = BTreeMap::new();
+        let mut live: Vec<u32> = Vec::new();
+        for (w, (good, bad, util)) in obs.iter().enumerate() {
+            let w = w as u64;
+            let actions = policy.observe(w, at(w), *good, *bad, *util);
+            prop_assert!(actions.len() <= 1, "one action per window, got {actions:?}");
+            for action in actions {
+                match action {
+                    ScaleAction::AddShard { node } => {
+                        prop_assert!(!live.contains(&node), "shard id reuse");
+                        born.insert(node, w);
+                        live.push(node);
+                    }
+                    ScaleAction::RemoveShard { node } => {
+                        let b = born.get(&node).copied();
+                        prop_assert!(b.is_some(), "removed a shard the loop never added");
+                        prop_assert!(
+                            w - b.unwrap() >= cooldown,
+                            "shard {node} added at w{} removed at w{w} inside cooldown {cooldown}",
+                            b.unwrap(),
+                        );
+                        live.retain(|&n| n != node);
+                    }
+                    _ => {}
+                }
+            }
+            prop_assert!(policy.shards() >= 1, "fleet can never empty");
+        }
+    }
+
+    /// A plant under constant overload: demand is a fixed multiple of the
+    /// initial capacity, sheds whatever exceeds capacity, and feeds the
+    /// loop honest tallies. Once the first scale-up settles, the shed
+    /// fraction never increases again — capacity only accumulates.
+    #[test]
+    fn shed_fraction_is_monotone_after_a_scale_up_settles(
+        overload in 1.1f64..4.0,
+        per_shard in 5.0f64..50.0,
+    ) {
+        let cfg = AutoscaleConfig::default();
+        let (cooldown, settle) = (cfg.cooldown, cfg.settle);
+        let min_pool = cfg.min_pool;
+        let mut policy = AutoscalePolicy::new(cfg, 4, min_pool, 100);
+        let capacity = |shards: usize, pool: usize| {
+            per_shard * shards as f64 * (1.0 + 0.25 * (pool - min_pool) as f64)
+        };
+        let demand = overload * capacity(4, min_pool);
+
+        const TOTAL: usize = 1_000;
+        let mut shed_series: Vec<f64> = Vec::new();
+        let mut first_scale: Option<u64> = None;
+        for w in 0..60u64 {
+            let cap = capacity(policy.shards(), policy.pool());
+            let shed = ((demand - cap) / demand).max(0.0);
+            let bad = (shed * TOTAL as f64).round() as usize;
+            let actions = policy.observe(w, at(w), TOTAL - bad, bad, demand / cap);
+            if first_scale.is_none() && !actions.is_empty() {
+                first_scale = Some(w);
+            }
+            shed_series.push(shed);
+        }
+        if let Some(w0) = first_scale {
+            let settled = (w0 + cooldown.max(settle)) as usize;
+            for w in settled..shed_series.len() - 1 {
+                prop_assert!(
+                    shed_series[w + 1] <= shed_series[w] + 1e-12,
+                    "shed rose from {} to {} at window {} (overload {overload:.2}):\n{}",
+                    shed_series[w],
+                    shed_series[w + 1],
+                    w + 1,
+                    policy.decision_log(),
+                );
+            }
+        }
+    }
+}
+
+/// A serving-shard crash and restart mid-morning: the day must reach a
+/// clean window within `(cooldown + settle + 2)` windows of the outage
+/// ending — the loop's worst case of one hysteresis cycle plus slack.
+#[test]
+fn recovery_after_a_fault_window_is_bounded() {
+    let windows = 24usize;
+    let plan = FaultPlan::empty()
+        .with_event(
+            SimTime::from_secs(6 * 3600),
+            FaultKind::NodeCrash { node: 0 },
+        )
+        .with_event(
+            SimTime::from_secs(8 * 3600),
+            FaultKind::NodeRestart { node: 0 },
+        );
+    let cfg = MetroConfig {
+        population: PopulationConfig {
+            users: 50_000,
+            windows,
+            ..PopulationConfig::default()
+        },
+        sample_total: 2_000,
+        fault_plan: Some(plan),
+        ..MetroConfig::default()
+    };
+    let hysteresis = cfg.autoscale.cooldown + cfg.autoscale.settle;
+    let window_secs = cfg.population.day.as_secs_f64() / windows as f64;
+    let report = MetroSim::new(cfg).run();
+    assert!(
+        report.recovery_s.is_finite(),
+        "the loop must reach a clean window:\n{}",
+        report.decision_log()
+    );
+    let bound = (hysteresis + 2) as f64 * window_secs;
+    assert!(
+        report.recovery_s <= bound,
+        "recovery {}s exceeds the {}s hysteresis bound:\n{}",
+        report.recovery_s,
+        bound,
+        report.decision_log()
+    );
+}
+
+/// The same fault schedule with a harsher plant still recovers and the
+/// post-restart shed trend is downward: scale-ups are not given back
+/// while the backlog clears.
+#[test]
+fn post_outage_shed_trends_to_zero() {
+    let plan = FaultPlan::empty()
+        .with_event(
+            SimTime::from_secs(6 * 3600),
+            FaultKind::NodeCrash { node: 0 },
+        )
+        .with_event(
+            SimTime::from_secs(9 * 3600),
+            FaultKind::NodeRestart { node: 0 },
+        );
+    let cfg = MetroConfig {
+        population: PopulationConfig {
+            users: 50_000,
+            windows: 24,
+            ..PopulationConfig::default()
+        },
+        sample_total: 2_000,
+        fault_plan: Some(plan),
+        ..MetroConfig::default()
+    };
+    let report = MetroSim::new(cfg).run();
+    let last = report.windows.last().expect("day has windows");
+    assert_eq!(
+        last.bad,
+        0,
+        "day must end clean:\n{}",
+        report.decision_log()
+    );
+}

@@ -19,6 +19,9 @@
 //!   with Google-SRE multi-window burn-rate alerts and optional EWMA
 //!   z-score anomaly detection, producing a stable [`AlertReport`] —
 //!   fault and overload sweeps must trip it, quiet baselines must not.
+//!   For closed-loop consumers (the scmetro autoscaler), [`BurnMeter`]
+//!   exposes the same multi-window burn-rate semantics incrementally,
+//!   one short window at a time.
 //!
 //! Trace ids are derived, never random: `TraceId::derive(seed, stream,
 //! index)` with the per-subsystem stream salts below, so traces from
@@ -57,8 +60,8 @@ pub use path::{
     critical_path, exemplar_paths, exemplars, CriticalPath, Exemplar, PathSegment, SegmentKind,
 };
 pub use slo::{
-    availability_stream, evaluate, latency_stream, Alert, AlertKind, AlertReport, SloKind, SloRule,
-    SloSample,
+    availability_stream, evaluate, latency_stream, Alert, AlertKind, AlertReport, BurnMeter,
+    BurnSignal, SloKind, SloRule, SloSample,
 };
 pub use tree::{SpanNode, TraceForest, TraceTree};
 

@@ -401,6 +401,115 @@ fn evaluate_rule(rule: &SloRule, samples: &[SloSample], alerts: &mut Vec<Alert>)
     }
 }
 
+/// The burn-rate signal one [`BurnMeter`] window evaluation produces.
+///
+/// `fired` is the rising edge — true only on the first violating window
+/// of a continuous violation, exactly like the alerts [`evaluate`] emits
+/// — so a closed-loop consumer (an autoscaler, say) can key one action
+/// per incident while still reading the raw burn rates every window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurnSignal {
+    /// Short-window burn rate (bad fraction over error budget).
+    pub burn_short: f64,
+    /// Long-window burn rate over the trailing `long_factor` windows.
+    pub burn_long: f64,
+    /// Whether both windows currently exceed the rule threshold.
+    pub violating: bool,
+    /// Rising edge of `violating` (one per continuous violation).
+    pub fired: bool,
+}
+
+/// Incremental multi-window burn-rate evaluator for closed-loop control.
+///
+/// [`evaluate`] is the post-hoc batch engine: it wants every sample up
+/// front. A control loop (the scmetro autoscaler) instead observes one
+/// short window at a time and must decide *now*. `BurnMeter` is the
+/// same Google-SRE multi-window formulation — identical budget, burn,
+/// threshold, and rising-edge semantics, window for window — exposed as
+/// an `observe one window → read one signal` API. The equivalence is
+/// pinned by a test that replays a stream through both engines and
+/// asserts the firing edges coincide.
+///
+/// # Examples
+///
+/// ```
+/// use scobserve::{BurnMeter, SloRule};
+///
+/// let mut meter = BurnMeter::new(SloRule::availability("serve", 0.99));
+/// // 20 healthy windows build history, then a total outage.
+/// for _ in 0..20 {
+///     assert!(!meter.observe(100, 0).fired);
+/// }
+/// // The long window vetoes the first bad window (blip suppression)…
+/// assert!(!meter.observe(0, 100).violating);
+/// // …then a sustained outage fires exactly one rising edge.
+/// let sig = meter.observe(0, 100);
+/// assert!(sig.fired && sig.violating);
+/// assert!(meter.observe(0, 100).violating); // still violating…
+/// assert!(!meter.observe(0, 100).fired); // …but no new rising edge
+/// ```
+#[derive(Debug, Clone)]
+pub struct BurnMeter {
+    rule: SloRule,
+    /// Trailing `(good, total)` tallies, most recent last; capped at
+    /// `long_factor` windows.
+    trailing: std::collections::VecDeque<(usize, usize)>,
+    firing: bool,
+}
+
+impl BurnMeter {
+    /// A meter evaluating `rule` one short-window at a time.
+    pub fn new(rule: SloRule) -> Self {
+        BurnMeter {
+            trailing: std::collections::VecDeque::with_capacity(rule.long_factor.max(1) as usize),
+            rule,
+            firing: false,
+        }
+    }
+
+    /// The rule being evaluated.
+    pub fn rule(&self) -> &SloRule {
+        &self.rule
+    }
+
+    /// Feeds one short window's tallies (`good` events meeting the
+    /// objective, `bad` events missing it) and returns the burn signal
+    /// at this window's boundary.
+    pub fn observe(&mut self, good: usize, bad: usize) -> BurnSignal {
+        let total = good + bad;
+        if self.trailing.len() == self.rule.long_factor.max(1) as usize {
+            self.trailing.pop_front();
+        }
+        self.trailing.push_back((good, total));
+
+        let budget = (1.0 - self.rule.objective).max(1e-9);
+        let burn = |bad: usize, total: usize| {
+            if total == 0 {
+                0.0
+            } else {
+                (bad as f64 / total as f64) / budget
+            }
+        };
+        let burn_short = burn(total - good, total);
+        let (lg, lt) = self
+            .trailing
+            .iter()
+            .fold((0usize, 0usize), |(g, t), (wg, wt)| (g + wg, t + wt));
+        let burn_long = burn(lt - lg, lt);
+        let violating = total > 0
+            && burn_short >= self.rule.burn_threshold
+            && burn_long >= self.rule.burn_threshold;
+        let fired = violating && !self.firing;
+        self.firing = violating;
+        BurnSignal {
+            burn_short,
+            burn_long,
+            violating,
+            fired,
+        }
+    }
+}
+
 /// Builds availability samples from a forest's request roots plus shed
 /// events: answered requests are good; each `(trace, at)` shed marker is a
 /// bad sample.
@@ -536,6 +645,56 @@ mod tests {
             .collect();
         assert_eq!(anomalies.len(), 1, "{:?}", report.alerts);
         assert!(anomalies[0].at >= SimTime::from_secs(300));
+    }
+
+    /// Replays a windowed sample stream through the batch engine and the
+    /// incremental meter; the burn-rate firing edges must coincide.
+    #[test]
+    fn burn_meter_matches_batch_evaluate() {
+        // Traffic with two violation episodes and a quiet stretch.
+        let good_at = |at: u64| !((40..80).contains(&at) || (160..200).contains(&at));
+        let stream: Vec<SloSample> = (0..2400)
+            .map(|i| {
+                let at = i / 10;
+                s(at, good_at(at), 1.0)
+            })
+            .collect();
+        let rule = SloRule::availability("serve", 0.99);
+        let batch = evaluate(std::slice::from_ref(&rule), std::slice::from_ref(&stream));
+        let batch_edges: Vec<u64> = batch
+            .alerts
+            .iter()
+            .filter(|a| a.kind == AlertKind::BurnRate)
+            .map(|a| a.at.as_micros())
+            .collect();
+
+        // Window the same stream by the rule's short window and replay.
+        let w = rule.short_window.as_micros();
+        let last = stream.last().unwrap().at.as_micros();
+        let n_windows = (last / w + 1) as usize;
+        let mut meter = BurnMeter::new(rule);
+        let mut meter_edges = Vec::new();
+        for i in 0..n_windows {
+            let (lo, hi) = (i as u64 * w, (i as u64 + 1) * w);
+            let in_win = |t: SimTime| (lo..hi).contains(&t.as_micros());
+            let good = stream.iter().filter(|x| in_win(x.at) && x.good).count();
+            let bad = stream.iter().filter(|x| in_win(x.at) && !x.good).count();
+            if meter.observe(good, bad).fired {
+                meter_edges.push(hi);
+            }
+        }
+        assert_eq!(batch_edges, meter_edges);
+        assert_eq!(meter_edges.len(), 2, "two episodes, two rising edges");
+    }
+
+    #[test]
+    fn burn_meter_empty_windows_never_fire() {
+        let mut meter = BurnMeter::new(SloRule::availability("serve", 0.5));
+        for _ in 0..20 {
+            let sig = meter.observe(0, 0);
+            assert!(!sig.violating && !sig.fired);
+            assert_eq!(sig.burn_short, 0.0);
+        }
     }
 
     #[test]

@@ -87,6 +87,30 @@ impl TokenBucket {
         self.refill(now);
         self.tokens
     }
+
+    /// Reconfigures the bucket in place — the admission-control knob an
+    /// autoscaler turns to shed at the door. Tokens accrued so far refill
+    /// at the *old* rate up to `now`, then clamp to the new burst, so a
+    /// mid-run change never mints retroactive capacity.
+    pub fn set_rate(&mut self, rate_per_s: f64, burst: f64, now: SimTime) {
+        self.refill(now);
+        self.rate_per_s = if rate_per_s.is_finite() && rate_per_s > 0.0 {
+            rate_per_s
+        } else {
+            1.0
+        };
+        self.burst = if burst.is_finite() && burst >= 1.0 {
+            burst
+        } else {
+            1.0
+        };
+        self.tokens = self.tokens.min(self.burst);
+    }
+
+    /// The configured refill rate, tokens per sim-second.
+    pub fn rate_per_s(&self) -> f64 {
+        self.rate_per_s
+    }
 }
 
 /// Outcome of offering one request to a [`ServiceQueue`].
@@ -172,6 +196,30 @@ impl ServiceQueue {
     pub fn stats(&self) -> (u64, u64) {
         (self.admitted, self.shed)
     }
+
+    /// The configured drain rate, requests per sim-second.
+    pub fn rate(&self) -> f64 {
+        self.service_rate
+    }
+
+    /// The configured queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Reconfigures the drain rate in place — the capacity knob an
+    /// autoscaler turns when shards or pool workers are added or removed.
+    /// Work queued so far drains at the *old* rate up to `now`; the depth
+    /// carries over, so a scale-up speeds the backlog from `now` on
+    /// without rewriting history.
+    pub fn set_rate(&mut self, service_rate: f64, now: SimTime) {
+        self.drain(now);
+        self.service_rate = if service_rate.is_finite() && service_rate > 0.0 {
+            service_rate
+        } else {
+            1.0
+        };
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +275,37 @@ mod tests {
             }
         }
         assert_eq!(q.offer(SimTime::ZERO), Admission::Shed);
+    }
+
+    #[test]
+    fn bucket_set_rate_refills_at_old_rate_then_clamps() {
+        let mut tb = TokenBucket::new(10.0, 10.0);
+        for _ in 0..10 {
+            assert!(tb.try_acquire(SimTime::ZERO));
+        }
+        // 500 ms at the old 10/s rate accrues 5 tokens; the new burst of
+        // 2 clamps them — a mid-run tighten never mints capacity.
+        tb.set_rate(1000.0, 2.0, SimTime::from_millis(500));
+        assert!(tb.available(SimTime::from_millis(500)) <= 2.0);
+        assert_eq!(tb.rate_per_s(), 1000.0);
+        assert!(tb.try_acquire(SimTime::from_millis(500)));
+        assert!(tb.try_acquire(SimTime::from_millis(500)));
+        assert!(!tb.try_acquire(SimTime::from_millis(500)));
+    }
+
+    #[test]
+    fn queue_set_rate_carries_backlog_and_changes_drain() {
+        let mut q = ServiceQueue::new(10.0, 100);
+        for _ in 0..40 {
+            q.offer(SimTime::ZERO);
+        }
+        // 1 s at the old 10/s drains 10 of the 40; the backlog of 30
+        // carries over and drains at the new 100/s from here on.
+        q.set_rate(100.0, SimTime::from_secs(1));
+        assert!((q.depth(SimTime::from_secs(1)) - 30.0).abs() < 1e-9);
+        assert_eq!(q.rate(), 100.0);
+        assert!(q.depth(SimTime::from_millis(1_300)) < 1e-9);
+        assert_eq!(q.service_time(), SimDuration::from_millis(10));
     }
 
     #[test]

@@ -371,6 +371,44 @@ impl Server {
         self
     }
 
+    // ------------------------------------------------------------------
+    // Runtime reconfiguration (the autoscaler's knobs)
+    // ------------------------------------------------------------------
+
+    /// Replaces the execution context in place (mid-run pool resize).
+    /// Because scpar results are bit-identical at any worker count, this
+    /// only changes *how fast wall-clock work happens*, never an answer;
+    /// the micro-batcher is retuned exactly as in [`Server::with_ctx`].
+    pub fn set_ctx(&mut self, ctx: ExecCtx) {
+        self.ctx = ctx;
+        self.retune_batcher();
+    }
+
+    /// Reconfigures the token bucket in place — admission-control
+    /// shedding, tightened by an autoscaler that has run out of capacity
+    /// to add and restored once the burn subsides. Tokens accrued so far
+    /// refill at the old rate up to `now`.
+    pub fn set_rate_limit(&mut self, rate_per_s: f64, burst: f64, now: SimTime) {
+        self.bucket.set_rate(rate_per_s, burst, now);
+    }
+
+    /// Reconfigures the backend drain rate in place — the capacity knob
+    /// that follows shard adds/removes and pool resizes. Queued work
+    /// drains at the old rate up to `now`; the backlog carries over.
+    pub fn set_service_rate(&mut self, service_rate: f64, now: SimTime) {
+        self.queue.set_rate(service_rate, now);
+    }
+
+    /// The configured backend drain rate, requests per sim-second.
+    pub fn service_rate(&self) -> f64 {
+        self.queue.rate()
+    }
+
+    /// Shard node ids currently on the ring, ascending.
+    pub fn shard_ids(&self) -> Vec<u32> {
+        self.map.nodes().collect()
+    }
+
     /// Attaches a telemetry handle; all `scserve_*` metrics flow to it.
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;

@@ -9,9 +9,14 @@
 //! - **Cache freshness** — under arbitrary insert / read / invalidate /
 //!   advance interleavings, a cache read never returns a value that is
 //!   wrong for its key or older than the TTL.
+//! - **Scale-event coherence** — cache generation stamps survive shard
+//!   add/remove cycles: across arbitrary autoscale interleavings a
+//!   served answer never reflects a state older than the latest
+//!   acknowledged write and is never served beyond its TTL.
 
 use proptest::prelude::*;
-use scserve::{CacheConfig, LruTtlCache, ShardMap};
+use scnosql::document::Doc;
+use scserve::{CacheConfig, LruTtlCache, Outcome, ServeConfig, Server, ShardMap};
 use simclock::{SimDuration, SimTime};
 
 proptest! {
@@ -190,6 +195,134 @@ proptest! {
         for (i, k) in keys.into_iter().enumerate() {
             cache.insert(k, i as u64, now);
             prop_assert_eq!(cache.get(&k, now), Some(i as u64));
+        }
+    }
+}
+
+/// One step of the autoscale-cycle coherence driver.
+#[derive(Debug, Clone)]
+enum FleetOp {
+    /// Write a new version under this key (bumps the generation).
+    Put(u8),
+    /// Read a key and check the answer against the ground truth.
+    Get(u8),
+    /// Autoscale up: add the next shard node and rebalance.
+    AddShard,
+    /// Autoscale down: remove the most recently added node (never a
+    /// seed node, so the fleet never shrinks below its base size).
+    RemoveShard,
+    /// Turn the runtime knobs mid-run (service rate / rate limit), as
+    /// the scmetro autoscaler does, with values that keep admission
+    /// open so every answer stays checkable.
+    Retune(bool),
+    /// Advance sim-time by this many milliseconds (can cross the TTL).
+    Advance(u16),
+}
+
+fn fleet_op() -> impl Strategy<Value = FleetOp> {
+    prop_oneof![
+        (0u8..24).prop_map(FleetOp::Put),
+        (0u8..24).prop_map(FleetOp::Get),
+        (0u8..24).prop_map(FleetOp::Get),
+        Just(FleetOp::AddShard),
+        Just(FleetOp::RemoveShard),
+        any::<bool>().prop_map(FleetOp::Retune),
+        (1u16..5_000).prop_map(FleetOp::Advance),
+    ]
+}
+
+fn versioned(v: i64) -> Doc {
+    Doc::object([("v", Doc::I64(v))])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cache generation stamps survive autoscale add/remove cycles:
+    /// under arbitrary put/get/add-shard/remove-shard/retune/advance
+    /// interleavings of a healthy fleet, every served answer
+    ///
+    /// 1. equals the latest acknowledged write for its key (a cached
+    ///    entry whose generation a rebalance failed to invalidate or a
+    ///    write failed to supersede would violate this),
+    /// 2. is never served from the cache beyond its TTL (a `Cached`
+    ///    outcome at `now` implies a fill within `ttl`), and
+    /// 3. is never `Stale` or `Degraded` — with every shard live those
+    ///    ladder rungs are unreachable, scale events included.
+    #[test]
+    fn cache_generations_survive_autoscale_cycles(
+        ttl_ms in 50u64..10_000,
+        ops in proptest::collection::vec(fleet_op(), 1..120),
+    ) {
+        let ttl = SimDuration::from_millis(ttl_ms);
+        let base = ServeConfig::default();
+        let mut server = Server::new(ServeConfig {
+            query_cache: CacheConfig { ttl, ..CacheConfig::default() },
+            ..base.clone()
+        });
+        // Ground truth: key → latest acknowledged version, plus the
+        // fill time of the freshest backend answer per key (a `Cached`
+        // outcome must trace back to a fill within TTL).
+        let mut model: std::collections::BTreeMap<u8, i64> = Default::default();
+        let mut filled: std::collections::BTreeMap<u8, SimTime> = Default::default();
+        let mut now = SimTime::ZERO;
+        let mut version = 0i64;
+        let mut next_node = base.shards;
+        let mut added: Vec<u32> = Vec::new();
+
+        for op in ops {
+            match op {
+                FleetOp::Put(k) => {
+                    version += 1;
+                    server
+                        .put(&format!("key-{k:02}"), versioned(version), now)
+                        .unwrap();
+                    model.insert(k, version);
+                }
+                FleetOp::Get(k) => {
+                    let served = server.get(&format!("key-{k:02}"), now).unwrap();
+                    let want = model.get(&k).map(|v| versioned(*v));
+                    match served.outcome {
+                        Outcome::Fresh(doc) => {
+                            prop_assert_eq!(doc, want, "fresh answer lost a write");
+                            filled.insert(k, now);
+                        }
+                        Outcome::Cached(doc) => {
+                            prop_assert_eq!(doc, want, "cached answer is stale");
+                            let at = filled.get(&k).copied()
+                                .expect("a cached answer implies a prior fill");
+                            prop_assert!(
+                                now.saturating_since(at) < ttl,
+                                "cache hit at {:?} for an entry filled at {:?} breaches ttl {:?}",
+                                now, at, ttl
+                            );
+                        }
+                        other => prop_assert!(
+                            false,
+                            "healthy fleet must answer fresh or cached, got {:?}",
+                            other
+                        ),
+                    }
+                }
+                FleetOp::AddShard => {
+                    server.add_shard(next_node);
+                    added.push(next_node);
+                    next_node += 1;
+                }
+                FleetOp::RemoveShard => {
+                    if let Some(node) = added.pop() {
+                        server.remove_shard(node);
+                    }
+                }
+                FleetOp::Retune(up) => {
+                    let rate = if up { 2.0 * base.service_rate } else { base.service_rate };
+                    server.set_service_rate(rate, now);
+                    server.set_rate_limit(base.rate_per_s, base.burst, now);
+                }
+                FleetOp::Advance(ms) => {
+                    now += SimDuration::from_millis(ms as u64);
+                }
+            }
         }
     }
 }

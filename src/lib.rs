@@ -49,6 +49,7 @@ pub use scdrl as drl;
 pub use scfault as fault;
 pub use scfog as fog;
 pub use scgeo as geo;
+pub use scmetro as metro;
 pub use scneural as neural;
 pub use scnosql as nosql;
 pub use scobserve as observe;

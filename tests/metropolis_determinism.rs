@@ -1,0 +1,199 @@
+//! Determinism of the Metropolis closed loop (E19).
+//!
+//! The macro-benchmark's entire value rests on one promise: identical
+//! seeds produce byte-identical scaling traces — same decisions at the
+//! same windows, same report, same metrics export — at any
+//! `SCPAR_THREADS` setting and on any SIMD ISA. The loop applies its
+//! own pool size through `ExecCtx`, so thread count is a pure
+//! performance knob; this suite replays the day and byte-compares every
+//! derived artifact, then pins the seed-42 trace and Prometheus export
+//! as checked-in golden snapshots. The CI matrix runs this same suite
+//! at `SCPAR_THREADS` ∈ {1, 8} × `SCSIMD_FORCE` ∈ {scalar, native};
+//! each cell compares against the same committed bytes, which is the
+//! cross-thread, cross-ISA proof.
+//!
+//! Regenerate after an intentional behaviour change with:
+//!
+//! ```sh
+//! GOLDEN_UPDATE=1 cargo test --test metropolis_determinism
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use smartcity::metro::{MetroConfig, MetroReport, MetroSim, PopulationConfig};
+use smartcity::telemetry::{export::prometheus_text, Telemetry};
+
+/// The E19 quick-mode configuration: full-city plan, sampled execution.
+fn city(seed: u64) -> MetroConfig {
+    MetroConfig {
+        seed,
+        population: PopulationConfig {
+            users: 1_000_000,
+            windows: 24,
+            seed,
+            ..PopulationConfig::default()
+        },
+        sample_total: 4_000,
+        ..MetroConfig::default()
+    }
+}
+
+/// A small fast city for the seed-sweep property.
+fn town(seed: u64) -> MetroConfig {
+    MetroConfig {
+        seed,
+        population: PopulationConfig {
+            users: 50_000,
+            windows: 24,
+            seed,
+            ..PopulationConfig::default()
+        },
+        sample_total: 1_000,
+        ..MetroConfig::default()
+    }
+}
+
+/// Renders the report as the canonical trace text: headline, one line
+/// per window, then the decision log. Any behaviour drift lands here.
+fn render(r: &MetroReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "users={} daily={} demand={} sampled={} answered={} unanswered={}\n\
+         peak_rps={:.6} mean_rps={:.6} p50_ms={:.3} p99_ms={:.3} shed={:.6}\n\
+         loop: +{} -{} shards, {} pool resizes, {} shed toggles, final {}x{}, recovery {:.3}s\n\
+         ingest: {}/{}/{} (delivered/dup/lost)  dfs: {} blocks, {} lost\n",
+        r.users,
+        r.daily_queries,
+        r.total_demand,
+        r.sampled_requests,
+        r.answered,
+        r.unanswered,
+        r.peak_rps,
+        r.mean_rps,
+        r.p50_ms,
+        r.p99_ms,
+        r.shed_fraction,
+        r.shards_added,
+        r.shards_removed,
+        r.pool_resizes,
+        r.shed_actions,
+        r.final_shards,
+        r.final_pool,
+        r.recovery_s,
+        r.delivered,
+        r.duplicates,
+        r.lost,
+        r.dfs.blocks,
+        r.dfs.lost,
+    ));
+    for w in &r.windows {
+        out.push_str(&format!(
+            "w{:02} demand={} sampled={} good={} bad={} util={:.6} shards={} pool={}\n",
+            w.window, w.demand, w.sampled, w.good, w.bad, w.utilization, w.shards, w.pool
+        ));
+    }
+    out.push_str("decisions:\n");
+    out.push_str(&r.decision_log());
+    out
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Byte-compares `got` against the checked-in snapshot, with a
+/// line-resolution report on mismatch. `GOLDEN_UPDATE=1` rewrites the
+/// snapshot instead.
+fn assert_matches_golden(name: &str, got: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("GOLDEN_UPDATE").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, got).unwrap();
+        return;
+    }
+    let want = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden snapshot {path:?} ({e}); run GOLDEN_UPDATE=1 cargo test")
+    });
+    if got == want {
+        return;
+    }
+    let line = got
+        .lines()
+        .zip(want.lines())
+        .position(|(g, w)| g != w)
+        .map(|i| i + 1)
+        .unwrap_or_else(|| got.lines().count().min(want.lines().count()) + 1);
+    let g = got.lines().nth(line - 1).unwrap_or("<eof>");
+    let w = want.lines().nth(line - 1).unwrap_or("<eof>");
+    panic!(
+        "{name} diverged from its golden snapshot at line {line}:\n  got:  {g}\n  want: {w}\n\
+         ({} vs {} bytes total; GOLDEN_UPDATE=1 regenerates if intentional)",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn replaying_the_same_seed_is_byte_identical() {
+    let first = MetroSim::new(city(42)).run();
+    let second = MetroSim::new(city(42)).run();
+    assert_eq!(
+        first.decision_log(),
+        second.decision_log(),
+        "scaling-decision logs diverged between identical replays"
+    );
+    assert_eq!(render(&first), render(&second), "trace text diverged");
+    assert_eq!(first, second, "full reports diverged");
+}
+
+#[test]
+fn seed42_scaling_trace_matches_golden_snapshot() {
+    let report = MetroSim::new(city(42)).run();
+    assert_matches_golden("metropolis_trace_seed42.log", &render(&report));
+}
+
+#[test]
+fn seed42_prometheus_export_matches_golden_snapshot() {
+    let telemetry = Telemetry::shared();
+    MetroSim::new(city(42))
+        .with_telemetry(telemetry.handle())
+        .run();
+    let text = prometheus_text(telemetry.registry());
+    assert!(!text.is_empty(), "the day must emit metrics");
+    assert_matches_golden("metropolis_metrics_seed42.prom", &text);
+}
+
+#[test]
+fn telemetry_recording_does_not_perturb_the_loop() {
+    let silent = MetroSim::new(city(42)).run();
+    let telemetry = Telemetry::shared();
+    let observed = MetroSim::new(city(42))
+        .with_telemetry(telemetry.handle())
+        .run();
+    assert_eq!(
+        silent, observed,
+        "attaching telemetry changed the closed-loop outcome"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any seed: replay is byte-identical and the sample is fully
+    /// accounted for (answered + unanswered == executed).
+    #[test]
+    fn every_seed_replays_identically(seed in 0u64..10_000) {
+        let a = MetroSim::new(town(seed)).run();
+        let b = MetroSim::new(town(seed)).run();
+        prop_assert_eq!(render(&a), render(&b));
+        prop_assert_eq!(a.answered + a.unanswered, a.sampled_requests);
+        prop_assert_eq!(
+            a.sampled_requests,
+            a.windows.iter().map(|w| w.sampled).sum::<u64>()
+        );
+    }
+}
