@@ -10,8 +10,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use criterion::{criterion_group, criterion_main, Criterion};
 use scbench::{f3, header, table, BenchJson};
 use scfog::{FogSimulator, Placement, Topology, Workload};
-use sctelemetry::{SpanContext, Telemetry, TelemetryHandle, TraceId};
-use simclock::SimTime;
+use sctelemetry::{MetricsRegistry, SpanContext, Telemetry, TelemetryHandle, TraceId};
+use sctsdb::Scraper;
+use simclock::{SimDuration, SimTime};
 
 const OPS: usize = 10_000;
 
@@ -191,6 +192,66 @@ fn regenerate_figure() {
     );
     json.det_u("disabled_trace_allocations", allocs)
         .measured("disabled_trace_ns", disabled_trace_ns);
+
+    // sctsdb scrape cost: ns per full-registry scrape as the registry
+    // grows, with the steady state pinned to zero transient allocations —
+    // after `sync` binds the series and the first scrape warms the
+    // encoders, `scrape_at` only loads atomics and appends bits into
+    // preallocated buffers.
+    const ALLOC_ROUNDS: usize = 64;
+    let mut scrape_rows: Vec<Vec<String>> = Vec::new();
+    let mut steady_allocations = 0u64;
+    for size in [10usize, 100, 1000] {
+        let reg = MetricsRegistry::new();
+        for i in 0..size {
+            reg.counter(&format!("e14_scrape_{i:04}_total"), "scrape target")
+                .as_counter()
+                .unwrap()
+                .add(i as u64);
+        }
+        let rounds = (OPS / size).max(ALLOC_ROUNDS);
+        let mut sc = Scraper::new(reg, SimDuration::from_secs(1))
+            .with_sample_capacity(2 * rounds + ALLOC_ROUNDS + 2);
+        sc.sync();
+        let mut at = 0u64;
+        sc.scrape_at(SimTime::ZERO);
+        // One warm pass, then a timed pass.
+        for _ in 0..rounds {
+            at += 1;
+            sc.scrape_at(SimTime::from_micros(at));
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..rounds {
+            at += 1;
+            sc.scrape_at(SimTime::from_micros(at));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / rounds as f64;
+        let allocs = allocations_in(|| {
+            for _ in 0..ALLOC_ROUNDS {
+                at += 1;
+                sc.scrape_at(SimTime::from_micros(at));
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "steady-state scrape must not allocate ({allocs} allocations \
+             over {ALLOC_ROUNDS} scrapes of a {size}-metric registry)"
+        );
+        steady_allocations += allocs;
+        scrape_rows.push(vec![
+            size.to_string(),
+            sc.series_count().to_string(),
+            f3(ns),
+            allocs.to_string(),
+        ]);
+        json.measured(&format!("scrape_{size}_metrics_ns"), ns);
+    }
+    println!("\nsctsdb scrape cost (counters only, steady state):");
+    table(
+        &["registry_size", "series", "ns_per_scrape", "steady_allocs"],
+        &scrape_rows,
+    );
+    json.det_u("scrape_steady_allocations", steady_allocations);
     json.write();
 }
 

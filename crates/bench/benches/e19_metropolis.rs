@@ -16,6 +16,13 @@
 //! deterministic field, so the perf gate pins the entire closed-loop
 //! trace, byte for byte, across the CI thread/ISA matrix.
 //!
+//! The run also writes the sctsdb flight artifact
+//! (`flight_seed<seed>.tsdb.json`) next to the BENCH JSON: every
+//! trajectory series of the day — RPS, latency, shed fraction, fleet
+//! sizes, burn rates — as compressed time series, with its fingerprint
+//! pinned as a deterministic key so the gate detects any drift in the
+//! recorded day, not just in the distilled headline.
+//!
 //! `SCMETRO_USERS` overrides the population (default one million).
 //! `SCBENCH_QUICK=1` shrinks windows and the executed sample — never
 //! the population — so CI still plans at full city scale.
@@ -23,6 +30,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use scbench::{f1, f3, header, table, BenchJson};
 use scmetro::{MetroConfig, MetroReport, MetroSim, PopulationConfig};
+use sctelemetry::Telemetry;
+use sctsdb::{max_over_time, SeriesId};
 use serde_json::json;
 
 fn quick() -> bool {
@@ -65,8 +74,10 @@ fn regenerate_figure() {
     let fault_count = sim.fault_plan().len();
 
     let mut json = BenchJson::new("metropolis", q);
+    let telemetry = Telemetry::shared();
+    let seed = config(q).seed;
     let wall = std::time::Instant::now();
-    let r = sim.run();
+    let (r, flight) = sim.with_recorder(&telemetry).run_with_flight();
     let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
 
     println!(
@@ -168,8 +179,39 @@ fn regenerate_figure() {
         .det_u("dfs_blocks", r.dfs.blocks as u64)
         .det_u("dfs_lost_blocks", r.dfs.lost as u64)
         .det("decision_log", json!(log_lines));
+
+    // The flight artifact: the whole day as stored series, written next
+    // to the BENCH JSON and pinned by fingerprint.
+    let flight_name = format!("flight_seed{seed}.tsdb.json");
+    let db = &flight.tsdb;
+    let rps = db.samples(&SeriesId::new("metro:rps"));
+    let peak_window_rps = max_over_time(&rps, 0, u64::MAX).unwrap_or(0.0);
+    let fired = db.samples(&SeriesId::new("metro:burn_fired"));
+    json.det("flight_fingerprint", json!(flight.fingerprint()))
+        .det_u("flight_series", db.len() as u64)
+        .det_u("flight_samples", db.total_samples())
+        .det_u("flight_compressed_bytes", db.compressed_bytes() as u64)
+        .det_u("flight_raw_bytes", db.raw_bytes() as u64)
+        .det_f("flight_peak_window_rps", peak_window_rps)
+        .det_u(
+            "flight_burn_fired_windows",
+            fired.iter().filter(|&&(_, v)| v == 1.0).count() as u64,
+        );
     json.measured("day_wall_ms", wall_ms);
     json.write();
+    let dir = scbench::json_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let path = dir.join(&flight_name);
+        std::fs::write(&path, flight.render()).expect("flight artifact is writable");
+        println!(
+            "\nflight artifact: {} ({} series, {} samples, {} -> {} bytes)",
+            path.display(),
+            db.len(),
+            db.total_samples(),
+            db.raw_bytes(),
+            db.compressed_bytes(),
+        );
+    }
 }
 
 fn bench(c: &mut Criterion) {

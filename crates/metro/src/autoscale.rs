@@ -194,6 +194,8 @@ pub struct AutoscalePolicy {
     added: Vec<(u32, u64)>,
     next_node: u32,
     decisions: Vec<ScaleDecision>,
+    /// One burn signal per observed window, in window order.
+    signals: Vec<BurnSignal>,
 }
 
 impl AutoscalePolicy {
@@ -212,6 +214,7 @@ impl AutoscalePolicy {
             added: Vec::new(),
             next_node,
             decisions: Vec::new(),
+            signals: Vec::new(),
         }
     }
 
@@ -233,6 +236,14 @@ impl AutoscalePolicy {
     /// Every decision taken so far, in order.
     pub fn decisions(&self) -> &[ScaleDecision] {
         &self.decisions
+    }
+
+    /// Every burn signal observed so far, one per window in window order
+    /// — the closed-loop record a flight recorder stores and the
+    /// series-based batch evaluation (`scobserve::burn_over_series`) must
+    /// reproduce bit for bit.
+    pub fn signals(&self) -> &[BurnSignal] {
+        &self.signals
     }
 
     /// The deterministic decision log, one `Display` line per decision.
@@ -280,6 +291,7 @@ impl AutoscalePolicy {
         utilization: f64,
     ) -> Vec<ScaleAction> {
         let sig = self.meter.observe(good, bad);
+        self.signals.push(sig);
         let mut actions = Vec::new();
         let fleet_ok = Self::elapsed(window, self.last_fleet_change) >= self.cfg.cooldown;
         let pool_ok = Self::elapsed(window, self.last_pool_change) >= self.cfg.cooldown;

@@ -24,15 +24,34 @@
 //! from the full-population rates, so the scaling trace is the trace the
 //! full-scale system would produce.
 //!
+//! # The flight recorder
+//!
+//! The day's trajectory is not tallied by hand: every request outcome
+//! increments a cumulative counter recorded into an [`sctsdb::Tsdb`] at
+//! each window close (plus shard/pool/utilization/burn gauges and a raw
+//! answered-latency series), and *everything derived* — the per-window
+//! [`WindowStats`], the policy's good/bad inputs, the report's
+//! answered/unanswered/p50/p99 — is computed back out of that store with
+//! [`sctsdb::increase`]/[`sctsdb::quantile_over_time`] queries.
+//! Recording rules (`metro:rps`, `metro:shed_fraction`, `metro:p50_ms`,
+//! `metro:p99_ms`) materialise the headline trajectory at each close.
+//! [`MetroSim::run_with_flight`] returns the store as a
+//! [`FlightRecorder`]; E19 writes it next to its BENCH JSON as
+//! `flight_seed42.tsdb.json`. Attach a full [`sctelemetry::Telemetry`]
+//! with [`MetroSim::with_recorder`] and a [`sctsdb::Scraper`] also
+//! snapshots the whole metrics registry (serving, ingest, cache, pool
+//! counters) into the same flight at every window close.
+//!
 //! # Determinism
 //!
 //! The simulation never reads the environment. The pool size the policy
 //! controls is its own integer (applied via `ScparConfig::with_threads`,
-//! a pure perf knob), so the decision log, the report, and the exported
-//! Prometheus text are byte-identical at any `SCPAR_THREADS` or
-//! `SCSIMD_FORCE` setting.
+//! a pure perf knob), so the decision log, the report, the exported
+//! Prometheus text, and the flight-recorder artifact are byte-identical
+//! at any `SCPAR_THREADS` or `SCSIMD_FORCE` setting.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use scdfs::{ClusterStats, DfsCluster};
 use scfault::{FaultPlan, FaultSpec, OutageWindows, RetryPolicy};
@@ -43,7 +62,12 @@ use scnosql::document::{Doc, Filter};
 use scpar::ScparConfig;
 use scserve::{CacheConfig, InferSubmit, ServeConfig, Server};
 use scstream::{audit_delivery, Broker, Event, ResilientProducer, SendOutcome, Topic};
-use sctelemetry::{percentile_sorted, TelemetryHandle};
+use sctelemetry::{MetricsRegistry, Telemetry, TelemetryHandle};
+use sctsdb::{
+    increase, last_over_time, quantile_over_time, FlightRecorder, RecordingRule, RuleEngine,
+    RuleExpr, Scraper, Series, SeriesId, Tsdb,
+};
+use serde_json::json;
 use simclock::{SeededRng, SimDuration, SimTime};
 
 use crate::autoscale::{AutoscaleConfig, AutoscalePolicy, ScaleAction, ScaleDecision};
@@ -235,6 +259,7 @@ pub struct MetroSim {
     plan: TopologyPlan,
     faults: FaultPlan,
     telemetry: TelemetryHandle,
+    registry: Option<MetricsRegistry>,
 }
 
 impl MetroSim {
@@ -255,12 +280,22 @@ impl MetroSim {
             plan,
             faults,
             telemetry: TelemetryHandle::disabled(),
+            registry: None,
         }
     }
 
     /// Attaches telemetry; serving and ingest metrics flow into it.
     pub fn with_telemetry(mut self, telemetry: TelemetryHandle) -> Self {
         self.telemetry = telemetry;
+        self
+    }
+
+    /// Attaches a full recorder: telemetry flows into it *and* its
+    /// metrics registry is scraped into the flight recorder at every
+    /// window close (a [`Scraper`] in the loop).
+    pub fn with_recorder(mut self, recorder: &Arc<Telemetry>) -> Self {
+        self.telemetry = recorder.handle();
+        self.registry = Some(recorder.registry().clone());
         self
     }
 
@@ -309,6 +344,13 @@ impl MetroSim {
     /// Panics on internal arithmetic bugs only; every generated document,
     /// filter, and DFS write is valid by construction.
     pub fn run(self) -> MetroReport {
+        self.run_with_flight().0
+    }
+
+    /// Runs the day and returns the report plus the flight recorder
+    /// holding every trajectory series the report was derived from (see
+    /// the module docs).
+    pub fn run_with_flight(self) -> (MetroReport, FlightRecorder) {
         let cfg = &self.cfg;
         let pop = &self.pop;
         let windows = pop.windows();
@@ -406,13 +448,69 @@ impl MetroSim {
         let mut sends = 0u64;
         let mut delivered_sends = 0u64;
 
-        let mut latencies_ms: Vec<f64> = Vec::with_capacity(cfg.sample_total as usize);
         let mut pending: BTreeMap<u64, ()> = BTreeMap::new();
-        let mut window_stats: Vec<WindowStats> = Vec::with_capacity(windows);
         let mut shards_added = 0u64;
         let mut shards_removed = 0u64;
         let mut pool_resizes = 0u64;
         let mut shed_actions = 0u64;
+
+        // --- The flight recorder. ----------------------------------------
+        // Raw trajectory series; every derived number below comes back
+        // out of this store through the query layer.
+        let good_id = SeriesId::new("metro_good_total");
+        let bad_id = SeriesId::new("metro_bad_total");
+        let sampled_id = SeriesId::new("metro_sampled_total");
+        let demand_id = SeriesId::new("metro_demand_total");
+        let lat_id = SeriesId::new("metro_latency_ms");
+        let shards_id = SeriesId::new("metro_shards");
+        let pool_id = SeriesId::new("metro_pool");
+        let util_id = SeriesId::new("metro_utilization");
+        let burn_short_id = SeriesId::new("metro:burn_short");
+        let burn_long_id = SeriesId::new("metro:burn_long");
+        let burn_fired_id = SeriesId::new("metro:burn_fired");
+
+        let mut db = Tsdb::with_capacity_hint(windows + 2);
+        db.insert_series(Series::with_capacity(
+            lat_id.clone(),
+            cfg.sample_total as usize + 8,
+        ));
+        let (mut cum_good, mut cum_bad, mut cum_sampled, mut cum_demand) = (0u64, 0u64, 0u64, 0u64);
+        for id in [&good_id, &bad_id, &sampled_id, &demand_id] {
+            db.record(id, SimTime::ZERO, 0.0).expect("epoch baseline");
+        }
+        db.record(&shards_id, SimTime::ZERO, shards as f64)
+            .expect("epoch baseline");
+        db.record(&pool_id, SimTime::ZERO, pool as f64)
+            .expect("epoch baseline");
+
+        // Recording rules materialise the headline trajectory per window.
+        let rules = RuleEngine::new()
+            .with_rule(RecordingRule::new(
+                "metro:rps",
+                RuleExpr::Rate(demand_id.clone()),
+            ))
+            .with_rule(RecordingRule::new(
+                "metro:shed_fraction",
+                RuleExpr::Ratio(
+                    Box::new(RuleExpr::Increase(bad_id.clone())),
+                    Box::new(RuleExpr::Increase(sampled_id.clone())),
+                ),
+            ))
+            .with_rule(RecordingRule::new(
+                "metro:p50_ms",
+                RuleExpr::Quantile(lat_id.clone(), 0.50),
+            ))
+            .with_rule(RecordingRule::new(
+                "metro:p99_ms",
+                RuleExpr::Quantile(lat_id.clone(), 0.99),
+            ));
+
+        // With a full recorder attached, scrape its registry in the loop.
+        let mut scraper = self.registry.as_ref().map(|reg| {
+            Scraper::new(reg.clone(), SimDuration::from_secs_f64(pop.window_secs(0)))
+                .with_sample_capacity(windows + 2)
+                .with_label("job", "metro")
+        });
 
         for (w, &sampled) in samples.iter().enumerate() {
             let t0 = pop.window_start(w);
@@ -432,8 +530,6 @@ impl MetroSim {
             let _ = dfs.append("/metro/day.log", &digest);
 
             // Ingest layer: every sampled query is archived as an event.
-            let mut good = 0u64;
-            let mut bad = 0u64;
             for i in 0..sampled {
                 let at = t0
                     + SimDuration::from_micros(
@@ -441,6 +537,7 @@ impl MetroSim {
                     );
                 let key = format!("k-{:05}", rank(&mut rng, cfg.keyspace.max(1)));
                 sends += 1;
+                cum_sampled += 1;
                 if let SendOutcome::Delivered { .. } =
                     producer.send(&mut broker, Event::with_key(key.clone(), vec![w as u8]), at)
                 {
@@ -454,8 +551,9 @@ impl MetroSim {
                     }
                     for c in server.tick(deadline) {
                         pending.remove(&c.req.0);
-                        good += 1;
-                        latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                        cum_good += 1;
+                        db.record(&lat_id, deadline, c.latency.as_secs_f64() * 1e3)
+                            .expect("completions land in time order");
                     }
                 }
                 let roll = rng.next_f64();
@@ -468,38 +566,42 @@ impl MetroSim {
                     ]);
                     serial += 1;
                     server.put(&key, doc, at).expect("generated docs are valid");
-                    good += 1;
-                    latencies_ms.push(scserve::CACHE_HIT_COST.as_secs_f64() * 1e3);
+                    cum_good += 1;
+                    db.record(&lat_id, at, scserve::CACHE_HIT_COST.as_secs_f64() * 1e3)
+                        .expect("issue times are non-decreasing");
                 } else if roll < cfg.write_fraction + cfg.infer_fraction {
                     let row = rows[rank(&mut rng, rows.len())].clone();
                     match server.infer(row, at) {
                         InferSubmit::Cached { latency, .. }
                         | InferSubmit::Stale { latency, .. } => {
-                            good += 1;
-                            latencies_ms.push(latency.as_secs_f64() * 1e3);
+                            cum_good += 1;
+                            db.record(&lat_id, at, latency.as_secs_f64() * 1e3)
+                                .expect("issue times are non-decreasing");
                         }
                         InferSubmit::Pending(req) => {
                             pending.insert(req.0, ());
                         }
-                        InferSubmit::Shed => bad += 1,
+                        InferSubmit::Shed => cum_bad += 1,
                     }
                 } else if rng.next_f64() < 0.5 {
                     let served = server.get(&key, at).expect("gets cannot fail");
                     if served.outcome.is_shed() {
-                        bad += 1;
+                        cum_bad += 1;
                     } else {
-                        good += 1;
-                        latencies_ms.push(served.latency.as_secs_f64() * 1e3);
+                        cum_good += 1;
+                        db.record(&lat_id, at, served.latency.as_secs_f64() * 1e3)
+                            .expect("issue times are non-decreasing");
                     }
                 } else {
                     let kind = KINDS[rank(&mut rng, KINDS.len())];
                     let filter = Filter::Eq("kind".into(), Doc::Str(kind.into()));
                     let served = server.query(&filter, at).expect("filters are valid");
                     if served.outcome.is_shed() {
-                        bad += 1;
+                        cum_bad += 1;
                     } else {
-                        good += 1;
-                        latencies_ms.push(served.latency.as_secs_f64() * 1e3);
+                        cum_good += 1;
+                        db.record(&lat_id, at, served.latency.as_secs_f64() * 1e3)
+                            .expect("issue times are non-decreasing");
                     }
                 }
             }
@@ -510,14 +612,32 @@ impl MetroSim {
                 }
                 for c in server.tick(deadline) {
                     pending.remove(&c.req.0);
-                    good += 1;
-                    latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+                    cum_good += 1;
+                    db.record(&lat_id, deadline, c.latency.as_secs_f64() * 1e3)
+                        .expect("completions land in time order");
                 }
             }
 
-            // The loop closes here: evidence in, actions out.
+            // Snapshot the cumulative counters at the window close; the
+            // policy's inputs are read back out of the store.
+            cum_demand += pop.demand(w);
+            db.record(&good_id, t1, cum_good as f64)
+                .expect("window closes advance");
+            db.record(&bad_id, t1, cum_bad as f64)
+                .expect("window closes advance");
+            db.record(&sampled_id, t1, cum_sampled as f64)
+                .expect("window closes advance");
+            db.record(&demand_id, t1, cum_demand as f64)
+                .expect("window closes advance");
+
+            // The loop closes here: evidence in, actions out. The policy's
+            // good/bad inputs are window increases read back from the store,
+            // not side tallies — the store is the accounting system.
+            let w_good = increase(&db.samples(&good_id), t0.as_micros(), t1.as_micros()) as u64;
+            let w_bad = increase(&db.samples(&bad_id), t0.as_micros(), t1.as_micros()) as u64;
             let utilization = (pop.demand(w) as f64 / secs) / self.capacity_rps(shards, pool);
-            let actions = policy.observe(w as u64, t1, good as usize, bad as usize, utilization);
+            let actions =
+                policy.observe(w as u64, t1, w_good as usize, w_bad as usize, utilization);
             for action in actions {
                 match action {
                     ScaleAction::AddShard { node } => {
@@ -549,34 +669,78 @@ impl MetroSim {
             // Fleet or pool changes move the service rate; sync the queue.
             server.set_service_rate(capacity_sample(shards, pool), t1);
 
-            window_stats.push(WindowStats {
-                window: w as u64,
-                demand: pop.demand(w),
-                sampled,
-                good,
-                bad,
-                utilization,
-                shards,
-                pool,
-            });
+            // Post-action fleet gauges and the policy's own burn signals.
+            db.record(&util_id, t1, utilization)
+                .expect("window closes advance");
+            db.record(&shards_id, t1, shards as f64)
+                .expect("window closes advance");
+            db.record(&pool_id, t1, pool as f64)
+                .expect("window closes advance");
+            let sig = *policy
+                .signals()
+                .last()
+                .expect("observe emits one signal per window");
+            db.record(&burn_short_id, t1, sig.burn_short)
+                .expect("window closes advance");
+            db.record(&burn_long_id, t1, sig.burn_long)
+                .expect("window closes advance");
+            db.record(&burn_fired_id, t1, if sig.fired { 1.0 } else { 0.0 })
+                .expect("window closes advance");
+
+            // Recording rules distil the window into the `metro:*` series.
+            rules.eval_window(&mut db, t0, t1);
+            if let Some(sc) = scraper.as_mut() {
+                sc.sync();
+                sc.scrape_at(t1);
+            }
         }
-        // Drain whatever inference is still in flight at the day's end.
+        // Drain whatever inference is still in flight at the day's end. The
+        // tail lands one microsecond past the last window close so window
+        // queries over `(t0, t1]` never see it but full-day queries do.
         let day_end = pop.window_end(windows - 1);
-        let mut tail_good = 0u64;
+        let drain_at = SimTime::from_micros(day_end.as_micros() + 1);
         for c in server.drain(day_end) {
             pending.remove(&c.req.0);
-            tail_good += 1;
-            latencies_ms.push(c.latency.as_secs_f64() * 1e3);
+            cum_good += 1;
+            db.record(&lat_id, drain_at, c.latency.as_secs_f64() * 1e3)
+                .expect("drain lands after the last window");
         }
-        if let Some(last) = window_stats.last_mut() {
-            last.good += tail_good;
-        }
+        db.record(&good_id, drain_at, cum_good as f64)
+            .expect("drain lands after the last window");
         debug_assert!(pending.is_empty(), "drain settles every ticket");
 
-        // --- Distil. ------------------------------------------------------
-        let answered: u64 = window_stats.iter().map(|s| s.good).sum();
-        let unanswered: u64 = window_stats.iter().map(|s| s.bad).sum();
-        latencies_ms.sort_by(f64::total_cmp);
+        // --- Distil: everything below is queries over the store. ----------
+        let good_samples = db.samples(&good_id);
+        let bad_samples = db.samples(&bad_id);
+        let sampled_samples = db.samples(&sampled_id);
+        let demand_samples = db.samples(&demand_id);
+        let util_samples = db.samples(&util_id);
+        let shards_samples = db.samples(&shards_id);
+        let pool_samples = db.samples(&pool_id);
+        let lat_samples = db.samples(&lat_id);
+
+        let window_stats: Vec<WindowStats> = (0..windows)
+            .map(|w| {
+                let f = pop.window_start(w).as_micros();
+                let t = pop.window_end(w).as_micros();
+                WindowStats {
+                    window: w as u64,
+                    demand: increase(&demand_samples, f, t) as u64,
+                    sampled: increase(&sampled_samples, f, t) as u64,
+                    good: increase(&good_samples, f, t) as u64,
+                    bad: increase(&bad_samples, f, t) as u64,
+                    utilization: last_over_time(&util_samples, f, t).unwrap_or(0.0),
+                    shards: last_over_time(&shards_samples, f, t).unwrap_or(0.0) as usize,
+                    pool: last_over_time(&pool_samples, f, t).unwrap_or(0.0) as usize,
+                }
+            })
+            .collect();
+
+        let end_us = drain_at.as_micros();
+        let answered = increase(&good_samples, 0, end_us) as u64;
+        let unanswered = increase(&bad_samples, 0, end_us) as u64;
+        let p50_ms = quantile_over_time(&lat_samples, 0, end_us, 0.50).unwrap_or(0.0);
+        let p99_ms = quantile_over_time(&lat_samples, 0, end_us, 0.99).unwrap_or(0.0);
 
         // Recovery: last serve-fleet outage end → first clean window after.
         let outages = OutageWindows::node_crashes(&self.faults);
@@ -600,15 +764,26 @@ impl MetroSim {
         let audit = audit_delivery(broker.topic(), &[("metro", sends)]);
         debug_assert!(audit.delivered >= delivered_sends as usize);
 
-        MetroReport {
+        // Fold the scraped registry series into the flight artifact.
+        if let Some(sc) = scraper {
+            sc.export_into(&mut db);
+        }
+        let flight = FlightRecorder::new(db)
+            .with_meta("bench", json!("e19_metropolis"))
+            .with_meta("seed", json!(cfg.seed))
+            .with_meta("users", json!(cfg.population.users))
+            .with_meta("windows", json!(windows as u64))
+            .with_meta("sample_total", json!(cfg.sample_total));
+
+        let report = MetroReport {
             users: cfg.population.users,
             daily_queries: pop.base_total(),
             total_demand: pop.total(),
             sampled_requests: cfg.sample_total,
             peak_rps: pop.peak_rps(),
             mean_rps: pop.mean_rps(),
-            p50_ms: percentile_sorted(&latencies_ms, 0.50).unwrap_or(0.0),
-            p99_ms: percentile_sorted(&latencies_ms, 0.99).unwrap_or(0.0),
+            p50_ms,
+            p99_ms,
             answered,
             unanswered,
             shed_fraction: unanswered as f64 / cfg.sample_total.max(1) as f64,
@@ -625,7 +800,8 @@ impl MetroSim {
             dfs: dfs.stats(),
             decisions: policy.decisions().to_vec(),
             windows: window_stats,
-        }
+        };
+        (report, flight)
     }
 }
 

@@ -60,8 +60,8 @@ pub use path::{
     critical_path, exemplar_paths, exemplars, CriticalPath, Exemplar, PathSegment, SegmentKind,
 };
 pub use slo::{
-    availability_stream, evaluate, latency_stream, Alert, AlertKind, AlertReport, BurnMeter,
-    BurnSignal, SloKind, SloRule, SloSample,
+    availability_stream, burn_over_series, evaluate, latency_stream, Alert, AlertKind, AlertReport,
+    BurnMeter, BurnSignal, SloKind, SloRule, SloSample,
 };
 pub use tree::{SpanNode, TraceForest, TraceTree};
 

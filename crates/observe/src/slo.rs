@@ -510,6 +510,73 @@ impl BurnMeter {
     }
 }
 
+/// Evaluates a rule's multi-window burn rate over **stored series**: the
+/// batch counterpart of [`BurnMeter`], grounded in a [`sctsdb::Tsdb`]
+/// instead of a live tally stream.
+///
+/// `good` and `bad` name cumulative counter series (each should carry an
+/// explicit `0` sample at the epoch, the convention every producer in
+/// this stack follows). For each boundary `bᵢ` the window tallies are
+/// `increase(series, bᵢ₋₁, bᵢ]` — exact counter deltas, not
+/// extrapolations — fed through the same Google-SRE budget/burn/edge
+/// math as [`BurnMeter::observe`]. Because window counts are integers
+/// (exactly representable as `f64`), the resulting [`BurnSignal`]s are
+/// **bit-identical** to replaying the same tallies through a meter:
+/// store the day, and the post-hoc verdicts equal the closed-loop ones
+/// edge for edge. E19 pins exactly that equivalence.
+pub fn burn_over_series(
+    db: &sctsdb::Tsdb,
+    rule: &SloRule,
+    good: &sctsdb::SeriesId,
+    bad: &sctsdb::SeriesId,
+    boundaries: &[SimTime],
+) -> Vec<(SimTime, BurnSignal)> {
+    let good_samples = db.samples(good);
+    let bad_samples = db.samples(bad);
+    let budget = (1.0 - rule.objective).max(1e-9);
+    let burn = |bad: f64, total: f64| {
+        if total <= 0.0 {
+            0.0
+        } else {
+            (bad / total) / budget
+        }
+    };
+    let long_factor = rule.long_factor.max(1) as usize;
+    // Per-window `(good, total)` tallies, indexed like the boundaries.
+    let mut windows: Vec<(f64, f64)> = Vec::with_capacity(boundaries.len());
+    let mut out = Vec::with_capacity(boundaries.len());
+    let mut firing = false;
+    let mut prev_us = 0u64;
+    for &b in boundaries {
+        let to_us = b.as_micros();
+        let g = sctsdb::increase(&good_samples, prev_us, to_us);
+        let bd = sctsdb::increase(&bad_samples, prev_us, to_us);
+        prev_us = to_us;
+        let total = g + bd;
+        windows.push((g, total));
+        let long_from = windows.len().saturating_sub(long_factor);
+        let (lg, lt) = windows[long_from..]
+            .iter()
+            .fold((0.0, 0.0), |(sg, st), &(wg, wt)| (sg + wg, st + wt));
+        let burn_short = burn(total - g, total);
+        let burn_long = burn(lt - lg, lt);
+        let violating =
+            total > 0.0 && burn_short >= rule.burn_threshold && burn_long >= rule.burn_threshold;
+        let fired = violating && !firing;
+        firing = violating;
+        out.push((
+            b,
+            BurnSignal {
+                burn_short,
+                burn_long,
+                violating,
+                fired,
+            },
+        ));
+    }
+    out
+}
+
 /// Builds availability samples from a forest's request roots plus shed
 /// events: answered requests are good; each `(trace, at)` shed marker is a
 /// bad sample.
@@ -685,6 +752,54 @@ mod tests {
         }
         assert_eq!(batch_edges, meter_edges);
         assert_eq!(meter_edges.len(), 2, "two episodes, two rising edges");
+    }
+
+    /// Records two counter series into a store, evaluates the rule over
+    /// them, and replays the identical window tallies through a
+    /// [`BurnMeter`]: every signal must match bit for bit.
+    #[test]
+    fn burn_over_series_matches_meter_bitwise() {
+        use sctsdb::{SeriesId, Tsdb};
+
+        let rule = SloRule::availability("serve", 0.99).with_windows(SimDuration::from_secs(5), 4);
+        let good_id = SeriesId::new("good_total");
+        let bad_id = SeriesId::new("bad_total");
+        let mut db = Tsdb::new();
+        db.record(&good_id, SimTime::ZERO, 0.0).unwrap();
+        db.record(&bad_id, SimTime::ZERO, 0.0).unwrap();
+
+        // Two outage episodes over 60 windows, cumulative counters
+        // sampled at each window close.
+        let w = rule.short_window;
+        let mut tallies = Vec::new();
+        let (mut cg, mut cb) = (0u64, 0u64);
+        for i in 0..60u64 {
+            let outage = (10..14).contains(&i) || (40..48).contains(&i);
+            let (g, b) = if outage { (0, 50) } else { (50, i % 2) };
+            cg += g;
+            cb += b;
+            let close = SimTime::from_micros(w.as_micros() * (i + 1));
+            db.record(&good_id, close, cg as f64).unwrap();
+            db.record(&bad_id, close, cb as f64).unwrap();
+            tallies.push((close, g as usize, b as usize));
+        }
+
+        let boundaries: Vec<SimTime> = tallies.iter().map(|&(c, _, _)| c).collect();
+        let from_series = burn_over_series(&db, &rule, &good_id, &bad_id, &boundaries);
+
+        let mut meter = BurnMeter::new(rule);
+        assert_eq!(from_series.len(), tallies.len());
+        let mut edges = 0;
+        for ((at, sig), (close, g, b)) in from_series.iter().zip(&tallies) {
+            let want = meter.observe(*g, *b);
+            assert_eq!(at, close);
+            assert_eq!(sig.burn_short.to_bits(), want.burn_short.to_bits());
+            assert_eq!(sig.burn_long.to_bits(), want.burn_long.to_bits());
+            assert_eq!(sig.violating, want.violating);
+            assert_eq!(sig.fired, want.fired);
+            edges += sig.fired as usize;
+        }
+        assert_eq!(edges, 2, "two episodes, two rising edges");
     }
 
     #[test]

@@ -156,15 +156,39 @@ fn prom_histogram(out: &mut String, name: &str, snap: &HistogramSnapshot) {
     }
 }
 
+/// Unit of a metric, inferred from its name suffix (OpenMetrics
+/// convention, `_total` stripped first for counters). Returns `None`
+/// when the name carries no recognised unit.
+pub fn metric_unit(name: &str) -> Option<&'static str> {
+    let base = name.strip_suffix("_total").unwrap_or(name);
+    if base.ends_with("_seconds") {
+        Some("seconds")
+    } else if base.ends_with("_ms") || base.ends_with("_millis") {
+        Some("milliseconds")
+    } else if base.ends_with("_us") || base.ends_with("_micros") {
+        Some("microseconds")
+    } else if base.ends_with("_bytes") {
+        Some("bytes")
+    } else if base.ends_with("_ratio") || base.ends_with("_fraction") {
+        Some("ratio")
+    } else {
+        None
+    }
+}
+
 /// Prometheus text-exposition dump of the registry (`# HELP`/`# TYPE`
-/// preambles, `_bucket`/`_sum`/`_count` series for histograms, summaries
-/// with `quantile` labels for exact histograms). Deterministic: metrics are
-/// emitted in sorted-name order.
+/// preambles, `# UNIT` lines for metrics whose names carry a recognised
+/// unit suffix, `_bucket`/`_sum`/`_count` series for histograms,
+/// summaries with `quantile` labels for exact histograms).
+/// Deterministic: metrics are emitted in sorted-name order.
 pub fn prometheus_text(registry: &MetricsRegistry) -> String {
     let mut out = String::new();
     registry.for_each(|name, entry| {
         if !entry.help.is_empty() {
             let _ = writeln!(out, "# HELP {name} {}", entry.help);
+        }
+        if let Some(unit) = metric_unit(name) {
+            let _ = writeln!(out, "# UNIT {name} {unit}");
         }
         match &entry.metric {
             Metric::Counter(c) => {
@@ -267,6 +291,27 @@ mod tests {
         assert!(text.contains("x_latency_seconds_count 100"));
         assert!(text.contains("# TYPE x_report_seconds summary"));
         assert!(text.contains("x_report_seconds{quantile=\"0.5\"} 0.2"));
+    }
+
+    #[test]
+    fn unit_lines_follow_the_name_suffix() {
+        assert_eq!(metric_unit("x_latency_seconds"), Some("seconds"));
+        assert_eq!(metric_unit("x_elapsed_seconds_total"), Some("seconds"));
+        assert_eq!(metric_unit("x_p99_ms"), Some("milliseconds"));
+        assert_eq!(metric_unit("x_wait_us"), Some("microseconds"));
+        assert_eq!(metric_unit("x_heap_bytes"), Some("bytes"));
+        assert_eq!(metric_unit("x_shed_fraction"), Some("ratio"));
+        assert_eq!(metric_unit("x_jobs_total"), None);
+        assert_eq!(metric_unit("x_lag"), None);
+
+        let t = demo_telemetry();
+        let text = prometheus_text(t.registry());
+        assert!(text.contains("# UNIT x_latency_seconds seconds"));
+        assert!(text.contains("# UNIT x_report_seconds seconds"));
+        assert!(
+            !text.contains("# UNIT x_jobs_total"),
+            "unitless names must not get a UNIT line"
+        );
     }
 
     #[test]

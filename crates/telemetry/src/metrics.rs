@@ -210,6 +210,19 @@ impl Histogram {
         }
     }
 
+    /// Total observation count. Unlike [`Histogram::snapshot`] this takes
+    /// the lock and reads one field — no clone, no sort, no allocation —
+    /// so scrapers (sctsdb) can poll it on a cadence for free.
+    pub fn count(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).count
+    }
+
+    /// Sum of every observation; the allocation-free companion of
+    /// [`Histogram::count`] for scrape-path `_count`/`_sum` series.
+    pub fn sum(&self) -> f64 {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner()).sum
+    }
+
     /// Folds another histogram's observations into this one. Both must
     /// have the same mode and (for bucketed) the same bucket bounds.
     pub fn merge(&self, other: &Histogram) {

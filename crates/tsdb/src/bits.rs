@@ -1,0 +1,187 @@
+//! Bit-granular buffers for the compressed sample streams.
+//!
+//! [`BitWriter`] appends MSB-first into a `Vec<u8>`; with enough reserved
+//! capacity a push touches no allocator, which is what lets the scrape
+//! path promise zero transient allocations in steady state. [`BitReader`]
+//! walks the same layout back out.
+
+/// Append-only MSB-first bit buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    /// Total bits written (the last byte may be partially filled).
+    len_bits: usize,
+}
+
+impl BitWriter {
+    /// An empty writer with no reserved capacity.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// An empty writer with `bytes` of backing store reserved up front,
+    /// so pushes stay allocation-free until the reserve is exhausted.
+    pub fn with_capacity(bytes: usize) -> Self {
+        BitWriter {
+            buf: Vec::with_capacity(bytes),
+            len_bits: 0,
+        }
+    }
+
+    /// Reserves room for at least `bytes` more bytes.
+    pub fn reserve(&mut self, bytes: usize) {
+        self.buf.reserve(bytes);
+    }
+
+    /// Appends a single bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        let off = self.len_bits % 8;
+        if off == 0 {
+            self.buf.push(0);
+        }
+        if bit {
+            let last = self.buf.len() - 1;
+            self.buf[last] |= 0x80 >> off;
+        }
+        self.len_bits += 1;
+    }
+
+    /// Appends the low `n` bits of `value`, most significant first.
+    /// `n` must be ≤ 64.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, n: u32) {
+        debug_assert!(n <= 64, "at most 64 bits per push");
+        for i in (0..n).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len_bits
+    }
+
+    /// Bytes occupied (the last may be partial).
+    pub fn len_bytes(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Bytes the backing store could hold without reallocating.
+    pub fn capacity_bytes(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// The packed bytes (final byte zero-padded on the right).
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// A reader positioned at the start of this writer's bits.
+    pub fn reader(&self) -> BitReader<'_> {
+        BitReader {
+            buf: &self.buf,
+            pos: 0,
+            len_bits: self.len_bits,
+        }
+    }
+}
+
+/// Sequential reader over a [`BitWriter`]'s packed bytes.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    len_bits: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// A reader over `buf` holding `len_bits` valid bits.
+    pub fn new(buf: &'a [u8], len_bits: usize) -> Self {
+        debug_assert!(len_bits <= buf.len() * 8);
+        BitReader {
+            buf,
+            pos: 0,
+            len_bits,
+        }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.len_bits - self.pos
+    }
+
+    /// Reads one bit; `None` past the end.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.len_bits {
+            return None;
+        }
+        let byte = self.buf[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits MSB-first into the low bits of a `u64`; `None` if
+    /// fewer than `n` remain.
+    #[inline]
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        debug_assert!(n <= 64);
+        if self.remaining() < n as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_mixed_widths() {
+        let mut w = BitWriter::with_capacity(32);
+        w.push_bit(true);
+        w.push_bits(0b1011, 4);
+        w.push_bits(u64::MAX, 64);
+        w.push_bits(0, 7);
+        w.push_bits(0x1234_5678_9abc_def0, 61);
+        let mut r = w.reader();
+        assert_eq!(r.read_bit(), Some(true));
+        assert_eq!(r.read_bits(4), Some(0b1011));
+        assert_eq!(r.read_bits(64), Some(u64::MAX));
+        assert_eq!(r.read_bits(7), Some(0));
+        assert_eq!(
+            r.read_bits(61),
+            Some(0x1234_5678_9abc_def0 & ((1 << 61) - 1))
+        );
+        assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn reserve_keeps_pushes_allocation_free() {
+        let mut w = BitWriter::with_capacity(64);
+        let cap = w.capacity_bytes();
+        for i in 0..cap * 8 {
+            w.push_bit(i % 3 == 0);
+        }
+        assert_eq!(w.capacity_bytes(), cap, "no growth within the reserve");
+        assert_eq!(w.len_bytes(), cap);
+    }
+
+    #[test]
+    fn read_past_end_is_none_not_garbage() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b101, 3);
+        let mut r = w.reader();
+        assert_eq!(r.read_bits(3), Some(0b101));
+        assert_eq!(r.read_bits(1), None);
+        // The padded byte's remaining bits are not readable.
+        assert_eq!(r.remaining(), 0);
+    }
+}

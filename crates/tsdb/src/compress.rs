@@ -1,0 +1,284 @@
+//! Gorilla-style sample compression: delta-of-delta timestamps and
+//! XOR-compressed float values, bit-exact.
+//!
+//! The layout follows Facebook's Gorilla paper adapted to sim-time
+//! microseconds:
+//!
+//! - First sample: raw 64-bit timestamp, raw 64-bit IEEE value bits.
+//! - Timestamps: `dod = (tₙ − tₙ₋₁) − (tₙ₋₁ − tₙ₋₂)`, bucketed as
+//!   `0` (dod = 0), `10`+7 bits, `110`+9 bits, `1110`+12 bits,
+//!   `1111`+64 bits (zig-zag-free biased encodings).
+//! - Values: XOR against the previous value's bits; `0` when identical,
+//!   `10` + meaningful bits when the previous leading/trailing-zero
+//!   window still covers them, `11` + 5-bit leading count + 6-bit
+//!   length−1 + the bits otherwise.
+//!
+//! Unlike the paper we never quantise: values round-trip through
+//! `f64::to_bits`, so decompression is **bit-exact** (NaN payloads
+//! included) — the property the golden artifacts and proptests pin.
+
+use crate::bits::{BitReader, BitWriter};
+
+/// Streaming encoder for one series.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GorillaEncoder {
+    bits: BitWriter,
+    count: u64,
+    prev_t: u64,
+    prev_delta: i64,
+    prev_v_bits: u64,
+    prev_leading: u32,
+    prev_trailing: u32,
+    window_valid: bool,
+}
+
+/// Appending a sample older than its predecessor is refused: series are
+/// append-only in sim time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimeRegression {
+    /// Timestamp of the last accepted sample (µs).
+    pub last_us: u64,
+    /// The offending earlier timestamp (µs).
+    pub got_us: u64,
+}
+
+impl std::fmt::Display for TimeRegression {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sample at {}us precedes the series tail at {}us",
+            self.got_us, self.last_us
+        )
+    }
+}
+
+impl std::error::Error for TimeRegression {}
+
+impl GorillaEncoder {
+    /// An empty encoder with no reserved capacity.
+    pub fn new() -> Self {
+        GorillaEncoder::default()
+    }
+
+    /// Reserves buffer space for roughly `samples` more appends at the
+    /// worst-case encoded width (~18 bytes), so appends within the
+    /// reserve never touch the allocator.
+    pub fn reserve_samples(&mut self, samples: usize) {
+        self.bits.reserve(samples.saturating_mul(18));
+    }
+
+    /// Samples encoded so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether no sample has been encoded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Compressed size in bytes (last byte possibly partial).
+    pub fn compressed_bytes(&self) -> usize {
+        self.bits.len_bytes()
+    }
+
+    /// Timestamp of the most recent sample (0 when empty).
+    pub fn last_timestamp(&self) -> u64 {
+        self.prev_t
+    }
+
+    /// Appends `(t_us, v)`; timestamps must be non-decreasing.
+    pub fn push(&mut self, t_us: u64, v: f64) -> Result<(), TimeRegression> {
+        let v_bits = v.to_bits();
+        if self.count == 0 {
+            self.bits.push_bits(t_us, 64);
+            self.bits.push_bits(v_bits, 64);
+            self.prev_t = t_us;
+            self.prev_delta = 0;
+            self.prev_v_bits = v_bits;
+            self.count = 1;
+            return Ok(());
+        }
+        if t_us < self.prev_t {
+            return Err(TimeRegression {
+                last_us: self.prev_t,
+                got_us: t_us,
+            });
+        }
+        let delta = (t_us - self.prev_t) as i64;
+        let dod = delta - self.prev_delta;
+        match dod {
+            0 => self.bits.push_bit(false),
+            -63..=64 => {
+                self.bits.push_bits(0b10, 2);
+                self.bits.push_bits((dod + 63) as u64, 7);
+            }
+            -255..=256 => {
+                self.bits.push_bits(0b110, 3);
+                self.bits.push_bits((dod + 255) as u64, 9);
+            }
+            -2047..=2048 => {
+                self.bits.push_bits(0b1110, 4);
+                self.bits.push_bits((dod + 2047) as u64, 12);
+            }
+            _ => {
+                self.bits.push_bits(0b1111, 4);
+                self.bits.push_bits(dod as u64, 64);
+            }
+        }
+        self.prev_delta = delta;
+        self.prev_t = t_us;
+
+        let xor = v_bits ^ self.prev_v_bits;
+        if xor == 0 {
+            self.bits.push_bit(false);
+        } else {
+            self.bits.push_bit(true);
+            let leading = xor.leading_zeros().min(31);
+            let trailing = xor.trailing_zeros();
+            if self.window_valid && leading >= self.prev_leading && trailing >= self.prev_trailing {
+                // The previous meaningful-bit window still covers us.
+                self.bits.push_bit(false);
+                let sig = 64 - self.prev_leading - self.prev_trailing;
+                self.bits.push_bits(xor >> self.prev_trailing, sig);
+            } else {
+                self.bits.push_bit(true);
+                let sig = 64 - leading - trailing;
+                self.bits.push_bits(leading as u64, 5);
+                self.bits.push_bits((sig - 1) as u64, 6);
+                self.bits.push_bits(xor >> trailing, sig);
+                self.prev_leading = leading;
+                self.prev_trailing = trailing;
+                self.window_valid = true;
+            }
+        }
+        self.prev_v_bits = v_bits;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Decodes every sample back out (allocates the result vector).
+    pub fn decode_all(&self) -> Vec<(u64, f64)> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        if self.count == 0 {
+            return out;
+        }
+        let mut r = self.bits.reader();
+        let mut t = r.read_bits(64).expect("first timestamp present");
+        let mut v_bits = r.read_bits(64).expect("first value present");
+        out.push((t, f64::from_bits(v_bits)));
+        let mut delta = 0i64;
+        let mut leading = 0u32;
+        let mut trailing = 0u32;
+        for _ in 1..self.count {
+            let dod = Self::read_dod(&mut r);
+            delta += dod;
+            t = (t as i64 + delta) as u64;
+            if r.read_bit().expect("value control bit") {
+                if r.read_bit().expect("window control bit") {
+                    leading = r.read_bits(5).expect("leading count") as u32;
+                    let sig = r.read_bits(6).expect("length field") as u32 + 1;
+                    trailing = 64 - leading - sig;
+                    let bits = r.read_bits(sig).expect("meaningful bits");
+                    v_bits ^= bits << trailing;
+                } else {
+                    let sig = 64 - leading - trailing;
+                    let bits = r.read_bits(sig).expect("meaningful bits");
+                    v_bits ^= bits << trailing;
+                }
+            }
+            out.push((t, f64::from_bits(v_bits)));
+        }
+        out
+    }
+
+    fn read_dod(r: &mut BitReader<'_>) -> i64 {
+        if !r.read_bit().expect("dod control bit") {
+            return 0;
+        }
+        if !r.read_bit().expect("dod control bit") {
+            return r.read_bits(7).expect("7-bit dod") as i64 - 63;
+        }
+        if !r.read_bit().expect("dod control bit") {
+            return r.read_bits(9).expect("9-bit dod") as i64 - 255;
+        }
+        if !r.read_bit().expect("dod control bit") {
+            return r.read_bits(12).expect("12-bit dod") as i64 - 2047;
+        }
+        r.read_bits(64).expect("64-bit dod") as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(samples: &[(u64, f64)]) {
+        let mut enc = GorillaEncoder::new();
+        for &(t, v) in samples {
+            enc.push(t, v).expect("non-decreasing");
+        }
+        let got = enc.decode_all();
+        assert_eq!(got.len(), samples.len());
+        for (g, s) in got.iter().zip(samples) {
+            assert_eq!(g.0, s.0, "timestamp");
+            assert_eq!(g.1.to_bits(), s.1.to_bits(), "value bits");
+        }
+    }
+
+    #[test]
+    fn round_trips_regular_cadence() {
+        let samples: Vec<(u64, f64)> = (0..500)
+            .map(|i| (i * 1_000_000, (i as f64).sin() * 100.0))
+            .collect();
+        round_trip(&samples);
+    }
+
+    #[test]
+    fn round_trips_awkward_values() {
+        round_trip(&[
+            (0, 0.0),
+            (1, -0.0),
+            (1, f64::INFINITY),
+            (2, f64::NEG_INFINITY),
+            (100, f64::from_bits(0x7ff8_0000_dead_beef)), // NaN payload
+            (100, f64::MIN_POSITIVE),
+            (u64::MAX / 2, f64::MAX),
+        ]);
+    }
+
+    #[test]
+    fn constant_series_compress_tightly() {
+        let mut enc = GorillaEncoder::new();
+        for i in 0..1000u64 {
+            enc.push(i * 3_600_000_000, 7.5).unwrap();
+        }
+        // First sample is 16 bytes, the first delta 69 bits; every later
+        // sample costs 2 bits (dod = 0, value unchanged).
+        assert!(
+            enc.compressed_bytes() <= 16 + 9 + 1000 / 4,
+            "got {} bytes",
+            enc.compressed_bytes()
+        );
+        assert_eq!(enc.decode_all().len(), 1000);
+    }
+
+    #[test]
+    fn time_regression_is_refused() {
+        let mut enc = GorillaEncoder::new();
+        enc.push(100, 1.0).unwrap();
+        assert!(enc.push(99, 2.0).is_err());
+        assert!(enc.push(100, 2.0).is_ok(), "equal timestamps are allowed");
+    }
+
+    #[test]
+    fn reserve_bounds_allocation() {
+        let mut enc = GorillaEncoder::new();
+        enc.reserve_samples(100);
+        let cap = enc.bits.capacity_bytes();
+        for i in 0..100u64 {
+            enc.push(i * 1234, i as f64 * 0.1).unwrap();
+        }
+        assert_eq!(enc.bits.capacity_bytes(), cap, "stayed within the reserve");
+    }
+}

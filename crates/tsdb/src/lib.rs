@@ -1,0 +1,62 @@
+//! sctsdb: a deterministic in-memory time-series store for the
+//! smart-city stack.
+//!
+//! The observability crates capture end-of-run snapshots; operating a
+//! city-scale deployment needs *trajectories* — load, latency, shedding,
+//! and scaling over the day. sctsdb supplies the missing layer:
+//!
+//! - **Scrape** ([`Scraper`]): polls a [`sctelemetry::MetricsRegistry`]
+//!   on a fixed sim-time cadence into labeled [`Series`]. Counters and
+//!   gauges are one atomic load; histograms scrape their cumulative
+//!   `_count`/`_sum`. Steady-state scrapes do zero transient
+//!   allocations (asserted by a counting allocator in E14).
+//! - **Compress** ([`compress::GorillaEncoder`]): delta-of-delta
+//!   timestamps, XOR-compressed values — Gorilla-style, but **bit-exact**
+//!   (values round-trip through `f64::to_bits`, NaN payloads included)
+//!   and allocation-bounded via up-front reserves.
+//! - **Rollups** ([`rollup`]): aligned min/max/sum/count/last windows,
+//!   [`rollup::coarsen`] for ladder steps, and a
+//!   [`rollup::RetentionLadder`] that trades raw resolution for rollups
+//!   as data ages.
+//! - **Query** ([`query`]): `rate`/`increase` with exact counter
+//!   semantics, `*_over_time` range aggregations,
+//!   [`query::quantile_over_time`] bit-identical to
+//!   [`sctelemetry::percentile_sorted`], and `sum by (label)` via
+//!   [`Matcher`].
+//! - **Recording rules** ([`rules::RuleEngine`]): derived series
+//!   materialised at each window close, Prometheus-group style.
+//! - **Flight recorder** ([`FlightRecorder`]): the whole store plus run
+//!   metadata as one canonical JSON artifact with an FNV fingerprint —
+//!   what E19 commits as `flight_seed42.tsdb.json`.
+//!
+//! # Determinism
+//!
+//! Everything is keyed and iterated through `BTreeMap`s, windows align
+//! to `SimTime::ZERO`, float folds run in timestamp order, and nothing
+//! reads wall clocks or the environment — so for a given seed the
+//! artifact and its fingerprint are byte-identical at any
+//! `SCPAR_THREADS` or `SCSIMD_FORCE` setting.
+
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod compress;
+pub mod flight;
+pub mod query;
+pub mod rollup;
+pub mod rules;
+pub mod scrape;
+pub mod series;
+pub mod store;
+
+pub use compress::{GorillaEncoder, TimeRegression};
+pub use flight::{FlightRecorder, FLIGHT_SCHEMA};
+pub use query::{
+    avg_over_time, increase, last_over_time, max_over_time, min_over_time, quantile_over_time,
+    range_agg, rate, sum_by, value_at, Matcher, RangeAgg, SeriesAgg,
+};
+pub use rollup::{coarsen, downsample, RetentionLadder, RetentionLevel, WindowAgg};
+pub use rules::{GroupedRule, RecordingRule, RuleEngine, RuleExpr};
+pub use scrape::Scraper;
+pub use series::{Series, SeriesId};
+pub use store::Tsdb;

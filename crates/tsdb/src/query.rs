@@ -1,0 +1,310 @@
+//! The query layer: counter and gauge range functions, quantiles, and
+//! label-matcher aggregation.
+//!
+//! # Range conventions
+//!
+//! All ranges are `(from, to]` in microseconds, Prometheus-style: a
+//! sample stamped exactly at a window's close belongs to that window, so
+//! adjacent windows never double-count. Two deliberate refinements keep
+//! the math *exact* rather than extrapolated:
+//!
+//! - **Counters** ([`increase`], [`rate`]): the baseline is the last
+//!   sample at or before `from`; the increase is the sum of positive
+//!   deltas (a drop is a counter reset and contributes the new value).
+//!   No interpolation, ever — on boundary-aligned samples the result is
+//!   the exact integer difference.
+//! - **Values** ([`range_agg`], [`quantile_over_time`], …): samples with
+//!   `from < t ≤ to` — except that a range starting at the epoch also
+//!   includes `t = 0`, since no sample can precede `SimTime::ZERO`.
+//!
+//! [`quantile_over_time`] uses the same nearest-rank definition as
+//! [`sctelemetry::percentile_sorted`], so a quantile computed here is
+//! bit-identical to one computed from the raw sample vector.
+
+use std::collections::BTreeMap;
+
+use sctelemetry::percentile_sorted;
+
+use crate::series::SeriesId;
+use crate::store::Tsdb;
+
+/// Whether `t` falls in the value-range `(from, to]` (epoch included
+/// when `from == 0`).
+#[inline]
+fn in_range(t: u64, from_us: u64, to_us: u64) -> bool {
+    (t > from_us || (from_us == 0 && t == 0)) && t <= to_us
+}
+
+/// Last sample value at or before `t_us`.
+pub fn value_at(samples: &[(u64, f64)], t_us: u64) -> Option<f64> {
+    samples
+        .iter()
+        .take_while(|&&(t, _)| t <= t_us)
+        .last()
+        .map(|&(_, v)| v)
+}
+
+/// Counter increase over `(from, to]`: exact sum of positive deltas,
+/// with drops treated as counter resets.
+pub fn increase(samples: &[(u64, f64)], from_us: u64, to_us: u64) -> f64 {
+    let mut prev = value_at(samples, from_us);
+    let mut acc = 0.0;
+    for &(_, v) in samples.iter().filter(|&&(t, _)| t > from_us && t <= to_us) {
+        match prev {
+            Some(p) if v >= p => acc += v - p,
+            // Reset (or first sight of the counter): the new value is
+            // all increase.
+            _ => acc += v,
+        }
+        prev = Some(v);
+    }
+    acc
+}
+
+/// Per-second rate over `(from, to]`: [`increase`] divided by the range
+/// width in seconds (0 for an empty range).
+pub fn rate(samples: &[(u64, f64)], from_us: u64, to_us: u64) -> f64 {
+    let width_s = to_us.saturating_sub(from_us) as f64 / 1e6;
+    if width_s <= 0.0 {
+        return 0.0;
+    }
+    increase(samples, from_us, to_us) / width_s
+}
+
+/// Aggregations over the values in a range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeAgg {
+    /// Smallest value.
+    Min,
+    /// Largest value.
+    Max,
+    /// Sum in timestamp order (bit-stable).
+    Sum,
+    /// Sample count.
+    Count,
+    /// Mean (`sum / count`).
+    Avg,
+    /// Last value in the range.
+    Last,
+}
+
+/// Applies `agg` to the samples in `(from, to]`; `None` when the range
+/// holds no sample.
+pub fn range_agg(samples: &[(u64, f64)], from_us: u64, to_us: u64, agg: RangeAgg) -> Option<f64> {
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0;
+    let mut count = 0u64;
+    let mut last = 0.0;
+    for &(t, v) in samples {
+        if !in_range(t, from_us, to_us) {
+            continue;
+        }
+        min = min.min(v);
+        max = max.max(v);
+        sum += v;
+        count += 1;
+        last = v;
+    }
+    if count == 0 {
+        return None;
+    }
+    Some(match agg {
+        RangeAgg::Min => min,
+        RangeAgg::Max => max,
+        RangeAgg::Sum => sum,
+        RangeAgg::Count => count as f64,
+        RangeAgg::Avg => sum / count as f64,
+        RangeAgg::Last => last,
+    })
+}
+
+/// `avg_over_time` over `(from, to]`.
+pub fn avg_over_time(samples: &[(u64, f64)], from_us: u64, to_us: u64) -> Option<f64> {
+    range_agg(samples, from_us, to_us, RangeAgg::Avg)
+}
+
+/// `max_over_time` over `(from, to]`.
+pub fn max_over_time(samples: &[(u64, f64)], from_us: u64, to_us: u64) -> Option<f64> {
+    range_agg(samples, from_us, to_us, RangeAgg::Max)
+}
+
+/// `min_over_time` over `(from, to]`.
+pub fn min_over_time(samples: &[(u64, f64)], from_us: u64, to_us: u64) -> Option<f64> {
+    range_agg(samples, from_us, to_us, RangeAgg::Min)
+}
+
+/// `last_over_time` over `(from, to]`.
+pub fn last_over_time(samples: &[(u64, f64)], from_us: u64, to_us: u64) -> Option<f64> {
+    range_agg(samples, from_us, to_us, RangeAgg::Last)
+}
+
+/// Nearest-rank quantile of the values in `(from, to]`, identical to
+/// [`sctelemetry::percentile_sorted`] over the same values.
+pub fn quantile_over_time(samples: &[(u64, f64)], from_us: u64, to_us: u64, q: f64) -> Option<f64> {
+    let mut values: Vec<f64> = samples
+        .iter()
+        .filter(|&&(t, _)| in_range(t, from_us, to_us))
+        .map(|&(_, v)| v)
+        .collect();
+    values.sort_by(f64::total_cmp);
+    percentile_sorted(&values, q)
+}
+
+/// Selects series by exact name and label equalities.
+///
+/// # Examples
+///
+/// ```
+/// use sctsdb::{Matcher, SeriesId};
+///
+/// let m = Matcher::name("req_total").with_label("tier", "edge");
+/// assert!(m.matches(&SeriesId::new("req_total").with_label("tier", "edge").with_label("az", "1")));
+/// assert!(!m.matches(&SeriesId::new("req_total").with_label("tier", "cloud")));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matcher {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl Matcher {
+    /// Matches every series named `name`.
+    pub fn name(name: &str) -> Self {
+        Matcher {
+            name: name.to_string(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Additionally requires label `key` to equal `value`.
+    pub fn with_label(mut self, key: &str, value: &str) -> Self {
+        self.labels.push((key.to_string(), value.to_string()));
+        self
+    }
+
+    /// Whether `id` satisfies every condition.
+    pub fn matches(&self, id: &SeriesId) -> bool {
+        id.name() == self.name
+            && self
+                .labels
+                .iter()
+                .all(|(k, v)| id.label(k) == Some(v.as_str()))
+    }
+}
+
+/// `sum by (label) (agg(matched[range]))`: aggregates each matched
+/// series over `(from, to]` with `agg`, then sums the results grouped by
+/// the `by` label (series missing the label group under `""`). Counter
+/// semantics come from passing [`SeriesAgg::Increase`].
+pub fn sum_by(
+    tsdb: &Tsdb,
+    matcher: &Matcher,
+    by: &str,
+    from_us: u64,
+    to_us: u64,
+    agg: SeriesAgg,
+) -> BTreeMap<String, f64> {
+    let mut out: BTreeMap<String, f64> = BTreeMap::new();
+    for series in tsdb.iter().filter(|s| matcher.matches(s.id())) {
+        let samples = series.samples();
+        let v = match agg {
+            SeriesAgg::Increase => Some(increase(&samples, from_us, to_us)),
+            SeriesAgg::Rate => Some(rate(&samples, from_us, to_us)),
+            SeriesAgg::Range(r) => range_agg(&samples, from_us, to_us, r),
+        };
+        if let Some(v) = v {
+            let group = series.id().label(by).unwrap_or("").to_string();
+            *out.entry(group).or_insert(0.0) += v;
+        }
+    }
+    out
+}
+
+/// Per-series aggregation used by [`sum_by`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SeriesAgg {
+    /// Counter increase over the range.
+    Increase,
+    /// Counter per-second rate over the range.
+    Rate,
+    /// A value-range aggregation.
+    Range(RangeAgg),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simclock::SimTime;
+
+    fn counter() -> Vec<(u64, f64)> {
+        // Cumulative counter sampled each second, reset at t = 4 s.
+        vec![
+            (0, 0.0),
+            (1_000_000, 10.0),
+            (2_000_000, 25.0),
+            (3_000_000, 25.0),
+            (4_000_000, 5.0),
+            (5_000_000, 12.0),
+        ]
+    }
+
+    #[test]
+    fn increase_is_exact_on_boundaries() {
+        let c = counter();
+        assert_eq!(increase(&c, 0, 2_000_000), 25.0);
+        assert_eq!(increase(&c, 2_000_000, 3_000_000), 0.0);
+        // Reset: 25 → 5 counts 5 new units, then +7.
+        assert_eq!(increase(&c, 3_000_000, 5_000_000), 12.0);
+        assert_eq!(increase(&c, 0, 5_000_000), 37.0);
+    }
+
+    #[test]
+    fn rate_divides_by_range_seconds() {
+        let c = counter();
+        assert_eq!(rate(&c, 0, 2_000_000), 12.5);
+        assert_eq!(rate(&c, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn range_aggs_cover_min_max_sum_avg_last() {
+        let s = vec![(0, 4.0), (1_000_000, 2.0), (2_000_000, 6.0)];
+        assert_eq!(range_agg(&s, 0, 2_000_000, RangeAgg::Min), Some(2.0));
+        assert_eq!(max_over_time(&s, 0, 2_000_000), Some(6.0));
+        assert_eq!(range_agg(&s, 0, 2_000_000, RangeAgg::Sum), Some(12.0));
+        assert_eq!(avg_over_time(&s, 0, 2_000_000), Some(4.0));
+        assert_eq!(last_over_time(&s, 0, 2_000_000), Some(6.0));
+        assert_eq!(range_agg(&s, 0, 2_000_000, RangeAgg::Count), Some(3.0));
+        // (from, to]: the epoch sample is excluded for from > 0…
+        assert_eq!(range_agg(&s, 500_000, 1_000_000, RangeAgg::Sum), Some(2.0));
+        // …and an empty range is None, not 0.
+        assert_eq!(range_agg(&s, 2_000_000, 3_000_000, RangeAgg::Sum), None);
+    }
+
+    #[test]
+    fn quantile_matches_percentile_sorted() {
+        let s: Vec<(u64, f64)> = (0..100).map(|i| (i, (i as f64) * 0.5)).collect();
+        let mut values: Vec<f64> = s.iter().map(|&(_, v)| v).collect();
+        values.sort_by(f64::total_cmp);
+        assert_eq!(
+            quantile_over_time(&s, 0, 99, 0.99),
+            percentile_sorted(&values, 0.99)
+        );
+    }
+
+    #[test]
+    fn sum_by_groups_on_the_label() {
+        let mut db = Tsdb::new();
+        for (tier, n) in [("edge", 10.0), ("edge", 20.0), ("cloud", 5.0)] {
+            let id = SeriesId::new("req_total")
+                .with_label("tier", tier)
+                .with_label("u", &format!("{n}"));
+            db.record(&id, SimTime::ZERO, 0.0).unwrap();
+            db.record(&id, SimTime::from_secs(1), n).unwrap();
+        }
+        let m = Matcher::name("req_total");
+        let grouped = sum_by(&db, &m, "tier", 0, 1_000_000, SeriesAgg::Increase);
+        assert_eq!(grouped.get("edge"), Some(&30.0));
+        assert_eq!(grouped.get("cloud"), Some(&5.0));
+    }
+}

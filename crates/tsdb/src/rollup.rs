@@ -1,0 +1,248 @@
+//! Windowed rollups, downsampling, and the retention ladder.
+//!
+//! A [`WindowAgg`] is the five-number summary (`min`/`max`/`sum`/`count`/
+//! `last`) of one aligned window. [`downsample`] folds raw samples into
+//! them deterministically: windows are half-open `[k·w, (k+1)·w)` aligned
+//! to `SimTime::ZERO`, samples are folded in timestamp order, so the
+//! float sums are bit-identical on every run. A [`RetentionLadder`]
+//! trades raw resolution for rollups as data ages, Gorilla-style:
+//! each level keeps coarser windows for longer.
+
+use simclock::{SimDuration, SimTime};
+
+use crate::store::Tsdb;
+
+/// Five-number summary of one aligned window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowAgg {
+    /// Window start (inclusive), µs.
+    pub start_us: u64,
+    /// Window width, µs.
+    pub width_us: u64,
+    /// Smallest sample value.
+    pub min: f64,
+    /// Largest sample value.
+    pub max: f64,
+    /// Sum of sample values, folded in timestamp order.
+    pub sum: f64,
+    /// Sample count.
+    pub count: u64,
+    /// Last sample value in the window.
+    pub last: f64,
+}
+
+impl WindowAgg {
+    /// Window end (exclusive), µs.
+    pub fn end_us(&self) -> u64 {
+        self.start_us + self.width_us
+    }
+
+    /// `sum / count`.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn seed(start_us: u64, width_us: u64, v: f64) -> Self {
+        WindowAgg {
+            start_us,
+            width_us,
+            min: v,
+            max: v,
+            sum: v,
+            count: 1,
+            last: v,
+        }
+    }
+
+    fn fold(&mut self, v: f64) {
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.count += 1;
+        self.last = v;
+    }
+
+    /// Folds a finer-grained agg into this coarser one (ladder step).
+    fn absorb(&mut self, finer: &WindowAgg) {
+        self.min = self.min.min(finer.min);
+        self.max = self.max.max(finer.max);
+        self.sum += finer.sum;
+        self.count += finer.count;
+        self.last = finer.last;
+    }
+}
+
+/// Folds sorted `(t_us, v)` samples into aligned `width_us` windows.
+/// Empty windows produce no entry. Panics if `width_us` is zero.
+pub fn downsample(samples: &[(u64, f64)], width_us: u64) -> Vec<WindowAgg> {
+    assert!(width_us > 0, "window width must be positive");
+    let mut out: Vec<WindowAgg> = Vec::new();
+    for &(t, v) in samples {
+        let start = (t / width_us) * width_us;
+        match out.last_mut() {
+            Some(agg) if agg.start_us == start => agg.fold(v),
+            _ => out.push(WindowAgg::seed(start, width_us, v)),
+        }
+    }
+    out
+}
+
+/// Folds fine rollups into coarser aligned windows; `coarse_us` must be
+/// a multiple of the input width for the result to equal a direct
+/// [`downsample`] at `coarse_us` (pinned by proptest).
+pub fn coarsen(aggs: &[WindowAgg], coarse_us: u64) -> Vec<WindowAgg> {
+    assert!(coarse_us > 0, "window width must be positive");
+    let mut out: Vec<WindowAgg> = Vec::new();
+    for fine in aggs {
+        let start = (fine.start_us / coarse_us) * coarse_us;
+        match out.last_mut() {
+            Some(agg) if agg.start_us == start => agg.absorb(fine),
+            _ => {
+                let mut seeded = *fine;
+                seeded.start_us = start;
+                seeded.width_us = coarse_us;
+                out.push(seeded);
+            }
+        }
+    }
+    out
+}
+
+/// One rung of the retention ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetentionLevel {
+    /// Rollup window width at this level.
+    pub width: SimDuration,
+    /// How long this level's rollups are kept.
+    pub keep: SimDuration,
+}
+
+/// Raw-sample retention plus progressively coarser rollup levels.
+///
+/// [`RetentionLadder::compact`] is idempotent for a fixed `now`: samples
+/// older than `raw_keep` are folded into each level's rollups and then
+/// dropped from the raw stream; rollups older than a level's `keep` are
+/// dropped outright.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetentionLadder {
+    /// How long raw samples are kept.
+    pub raw_keep: SimDuration,
+    /// Coarsening levels, finest first; widths must be non-decreasing.
+    pub levels: Vec<RetentionLevel>,
+}
+
+impl RetentionLadder {
+    /// A ladder keeping raw samples `raw_keep` long, with no rollups.
+    pub fn raw_only(raw_keep: SimDuration) -> Self {
+        RetentionLadder {
+            raw_keep,
+            levels: Vec::new(),
+        }
+    }
+
+    /// Appends one coarsening level.
+    pub fn with_level(mut self, width: SimDuration, keep: SimDuration) -> Self {
+        self.levels.push(RetentionLevel { width, keep });
+        self
+    }
+
+    /// Applies retention to every series in `tsdb` as of `now`.
+    pub fn compact(&self, tsdb: &mut Tsdb, now: SimTime) {
+        let now_us = now.as_micros();
+        let raw_cut = now_us.saturating_sub(self.raw_keep.as_micros());
+        tsdb.compact_with(|samples, rollups| {
+            for level in &self.levels {
+                let width = level.width.as_micros().max(1);
+                // Only complete windows fully behind the raw horizon are
+                // folded, so a later compact never re-folds them.
+                let fold_cut = (raw_cut / width) * width;
+                let aged: Vec<(u64, f64)> = samples
+                    .iter()
+                    .copied()
+                    .filter(|&(t, _)| t < fold_cut)
+                    .collect();
+                let existing = rollups.entry(width).or_default();
+                let done_until = existing.last().map(|a| a.end_us()).unwrap_or(0);
+                for agg in downsample(&aged, width) {
+                    if agg.start_us >= done_until {
+                        existing.push(agg);
+                    }
+                }
+                let level_cut = now_us.saturating_sub(level.keep.as_micros());
+                existing.retain(|a| a.end_us() > level_cut);
+            }
+            // Raw samples are dropped only once *every* level has folded
+            // them — i.e. behind the smallest fold horizon — so a coarser
+            // level never loses data it has not absorbed yet.
+            let min_fold_cut = self
+                .levels
+                .iter()
+                .map(|l| {
+                    let w = l.width.as_micros().max(1);
+                    (raw_cut / w) * w
+                })
+                .min()
+                .unwrap_or(raw_cut);
+            samples.retain(|&(t, _)| t >= min_fold_cut);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::series::SeriesId;
+
+    fn ramp(n: u64, step_us: u64) -> Vec<(u64, f64)> {
+        (0..n).map(|i| (i * step_us, i as f64)).collect()
+    }
+
+    #[test]
+    fn downsample_summarises_aligned_windows() {
+        let aggs = downsample(&ramp(10, 1_000_000), 4_000_000);
+        assert_eq!(aggs.len(), 3);
+        assert_eq!(aggs[0].count, 4);
+        assert_eq!(aggs[0].min, 0.0);
+        assert_eq!(aggs[0].max, 3.0);
+        assert_eq!(aggs[0].sum, 6.0);
+        assert_eq!(aggs[0].last, 3.0);
+        assert_eq!(aggs[2].count, 2);
+        assert_eq!(aggs[2].start_us, 8_000_000);
+    }
+
+    #[test]
+    fn coarsen_matches_direct_downsample() {
+        let raw = ramp(100, 700_000);
+        let fine = downsample(&raw, 2_000_000);
+        assert_eq!(coarsen(&fine, 10_000_000), downsample(&raw, 10_000_000));
+    }
+
+    #[test]
+    fn ladder_folds_aged_raw_into_rollups_idempotently() {
+        let mut db = Tsdb::new();
+        let id = SeriesId::new("m");
+        for (t, v) in ramp(100, 1_000_000) {
+            db.record(&id, SimTime::from_micros(t), v).unwrap();
+        }
+        let ladder = RetentionLadder::raw_only(SimDuration::from_secs(20))
+            .with_level(SimDuration::from_secs(10), SimDuration::from_secs(3600));
+        let now = SimTime::from_micros(100_000_000);
+        ladder.compact(&mut db, now);
+        let after = db.get(&id).unwrap();
+        assert!(after.len() < 100, "aged raw samples were dropped");
+        let rollups = db.rollups(&id, SimDuration::from_secs(10)).unwrap();
+        assert_eq!(rollups[0].count, 10);
+        assert_eq!(rollups[0].sum, 45.0);
+        // Raw + rollups still cover every sample exactly once.
+        let covered: u64 = rollups.iter().map(|a| a.count).sum::<u64>() + after.len();
+        assert_eq!(covered, 100);
+        // Idempotent at the same `now`.
+        let snap = db.to_json().to_string();
+        ladder.compact(&mut db, now);
+        assert_eq!(db.to_json().to_string(), snap);
+    }
+}

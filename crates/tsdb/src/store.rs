@@ -1,0 +1,262 @@
+//! The store: a sorted map of compressed series plus their rollups.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
+use simclock::{SimDuration, SimTime};
+
+use crate::compress::TimeRegression;
+use crate::rollup::WindowAgg;
+use crate::series::{Series, SeriesId};
+
+/// Deterministic in-memory time-series store.
+///
+/// Series live in a `BTreeMap` keyed by [`SeriesId`], so iteration,
+/// export, and the artifact fingerprint are byte-stable. Appends are
+/// cheap (Gorilla-encoded, see [`crate::compress`]); reads decompress.
+///
+/// # Examples
+///
+/// ```
+/// use sctsdb::{SeriesId, Tsdb};
+/// use simclock::SimTime;
+///
+/// let mut db = Tsdb::new();
+/// let id = SeriesId::new("metro_rps");
+/// for w in 0..24u64 {
+///     db.record(&id, SimTime::from_secs(w * 3600), (w % 7) as f64).unwrap();
+/// }
+/// assert_eq!(db.total_samples(), 24);
+/// assert!(db.compressed_bytes() < db.raw_bytes());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Tsdb {
+    series: BTreeMap<SeriesId, Series>,
+    /// Rollups per series, keyed by window width (µs), maintained by
+    /// [`crate::rollup::RetentionLadder::compact`].
+    rollups: BTreeMap<SeriesId, BTreeMap<u64, Vec<WindowAgg>>>,
+    /// Samples reserved per new series (allocation-bounding hint).
+    capacity_hint: usize,
+}
+
+impl Tsdb {
+    /// An empty store.
+    pub fn new() -> Self {
+        Tsdb::default()
+    }
+
+    /// An empty store whose new series reserve room for `samples`
+    /// appends up front.
+    pub fn with_capacity_hint(samples: usize) -> Self {
+        Tsdb {
+            capacity_hint: samples,
+            ..Tsdb::default()
+        }
+    }
+
+    /// Appends `(at, v)` to `id`'s series, creating it on first use.
+    pub fn record(&mut self, id: &SeriesId, at: SimTime, v: f64) -> Result<(), TimeRegression> {
+        if let Some(s) = self.series.get_mut(id) {
+            return s.push(at.as_micros(), v);
+        }
+        let mut s = Series::with_capacity(id.clone(), self.capacity_hint);
+        let r = s.push(at.as_micros(), v);
+        self.series.insert(id.clone(), s);
+        r
+    }
+
+    /// [`Tsdb::record`] for a label-less series named `name`.
+    pub fn record_name(&mut self, name: &str, at: SimTime, v: f64) -> Result<(), TimeRegression> {
+        self.record(&SeriesId::new(name), at, v)
+    }
+
+    /// Inserts (or replaces) a fully-built series, e.g. one exported by
+    /// a [`crate::Scraper`].
+    pub fn insert_series(&mut self, series: Series) {
+        self.series.insert(series.id().clone(), series);
+    }
+
+    /// The series for `id`, if any.
+    pub fn get(&self, id: &SeriesId) -> Option<&Series> {
+        self.series.get(id)
+    }
+
+    /// The label-less series named `name`, if any.
+    pub fn get_name(&self, name: &str) -> Option<&Series> {
+        self.series.get(&SeriesId::new(name))
+    }
+
+    /// Decoded samples of `id`'s series (empty when absent).
+    pub fn samples(&self, id: &SeriesId) -> Vec<(u64, f64)> {
+        self.get(id).map(Series::samples).unwrap_or_default()
+    }
+
+    /// Decoded samples of the label-less series named `name`.
+    pub fn samples_name(&self, name: &str) -> Vec<(u64, f64)> {
+        self.samples(&SeriesId::new(name))
+    }
+
+    /// Every series in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = &Series> {
+        self.series.values()
+    }
+
+    /// Stored rollups for `id` at window width `width`, if any.
+    pub fn rollups(&self, id: &SeriesId, width: SimDuration) -> Option<&[WindowAgg]> {
+        self.rollups
+            .get(id)?
+            .get(&width.as_micros())
+            .map(Vec::as_slice)
+    }
+
+    /// Series count.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Whether the store holds no series.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Total samples across all series.
+    pub fn total_samples(&self) -> u64 {
+        self.series.values().map(Series::len).sum()
+    }
+
+    /// Total compressed payload bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.series.values().map(Series::compressed_bytes).sum()
+    }
+
+    /// Total uncompressed-equivalent bytes (16 per sample).
+    pub fn raw_bytes(&self) -> usize {
+        self.series.values().map(Series::raw_bytes).sum()
+    }
+
+    /// Runs `f` over every series' decoded samples and rollup map, then
+    /// re-encodes whatever `f` left behind. Retention compaction hook.
+    pub(crate) fn compact_with<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut Vec<(u64, f64)>, &mut BTreeMap<u64, Vec<WindowAgg>>),
+    {
+        for (id, series) in &mut self.series {
+            let mut samples = series.samples();
+            let rollups = self.rollups.entry(id.clone()).or_default();
+            f(&mut samples, rollups);
+            series.replace_samples(&samples);
+        }
+    }
+
+    /// Canonical JSON rendering: every series in sorted order with its
+    /// decoded timestamps and values, rollups, and store totals. This is
+    /// the flight-recorder payload — byte-stable for a given store.
+    pub fn to_json(&self) -> Value {
+        let series: Vec<Value> = self
+            .series
+            .values()
+            .map(|s| {
+                let samples = s.samples();
+                let t_us: Vec<Value> = samples.iter().map(|&(t, _)| json!(t)).collect();
+                let v: Vec<Value> = samples.iter().map(|&(_, v)| json!(v)).collect();
+                json!({
+                    "id": s.id().canonical(),
+                    "count": s.len(),
+                    "compressed_bytes": s.compressed_bytes(),
+                    "t_us": t_us,
+                    "v": v,
+                })
+            })
+            .collect();
+        let rollups: Vec<Value> = self
+            .rollups
+            .iter()
+            .flat_map(|(id, by_width)| {
+                by_width.iter().map(move |(width, aggs)| {
+                    let rows: Vec<Value> = aggs
+                        .iter()
+                        .map(|a| {
+                            json!({
+                                "start_us": a.start_us,
+                                "min": a.min,
+                                "max": a.max,
+                                "sum": a.sum,
+                                "count": a.count,
+                                "last": a.last,
+                            })
+                        })
+                        .collect();
+                    json!({
+                        "id": id.canonical(),
+                        "width_us": width,
+                        "windows": rows,
+                    })
+                })
+            })
+            .collect();
+        json!({
+            "series": series,
+            "rollups": rollups,
+            "totals": {
+                "series": self.len(),
+                "samples": self.total_samples(),
+                "raw_bytes": self.raw_bytes(),
+                "compressed_bytes": self.compressed_bytes(),
+            },
+        })
+    }
+
+    /// FNV-1a fingerprint of the canonical JSON, as a fixed-width hex
+    /// string. Two stores fingerprint equal iff their artifacts are
+    /// byte-identical.
+    pub fn fingerprint(&self) -> String {
+        let text = self.to_json().to_string();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in text.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_read_back() {
+        let mut db = Tsdb::new();
+        let id = SeriesId::new("c").with_label("tier", "edge");
+        db.record(&id, SimTime::from_secs(1), 10.0).unwrap();
+        db.record(&id, SimTime::from_secs(2), 11.0).unwrap();
+        db.record_name("g", SimTime::from_secs(1), -3.0).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.samples(&id), vec![(1_000_000, 10.0), (2_000_000, 11.0)]);
+        assert_eq!(db.samples_name("g"), vec![(1_000_000, -3.0)]);
+        assert!(db.samples_name("missing").is_empty());
+    }
+
+    #[test]
+    fn fingerprint_pins_content() {
+        let mut a = Tsdb::new();
+        let mut b = Tsdb::new();
+        for db in [&mut a, &mut b] {
+            db.record_name("x", SimTime::from_secs(5), 1.25).unwrap();
+        }
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.record_name("x", SimTime::from_secs(6), 1.25).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn json_is_sorted_and_self_describing() {
+        let mut db = Tsdb::new();
+        db.record_name("zz", SimTime::ZERO, 1.0).unwrap();
+        db.record_name("aa", SimTime::ZERO, 2.0).unwrap();
+        let v = db.to_json();
+        assert_eq!(v["series"][0]["id"], "aa");
+        assert_eq!(v["series"][1]["id"], "zz");
+        assert_eq!(v["totals"]["samples"], 2);
+    }
+}

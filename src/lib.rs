@@ -21,7 +21,12 @@
 //!   tracing, JSON / Prometheus exporters used by every layer above),
 //!   [`observe`] (causal span trees, critical-path extraction with
 //!   p50/p99/max exemplars, Chrome-trace / flamegraph exporters, and a
-//!   deterministic multi-window burn-rate SLO alerting engine).
+//!   deterministic multi-window burn-rate SLO alerting engine),
+//!   [`tsdb`] (deterministic in-memory time-series store: Gorilla-style
+//!   delta-of-delta + XOR compression, windowed rollups with a retention
+//!   ladder, PromQL-flavoured queries and recording rules, registry
+//!   scraping on a sim-time cadence, and the E19 flight-recorder
+//!   artifact).
 //! - **Runtime** — [`par`] (deterministic worker pool: any thread count
 //!   produces byte-identical results; set via `SCPAR_THREADS`),
 //!   [`fault`] (seed-driven fault injection plus retry / timeout /
@@ -60,6 +65,7 @@ pub use scsimd as simd;
 pub use scsocial as social;
 pub use scstream as stream;
 pub use sctelemetry as telemetry;
+pub use sctsdb as tsdb;
 pub use sctune as tune;
 pub use simclock;
 pub use smartcity_core as core;

@@ -23,7 +23,9 @@ use std::path::PathBuf;
 
 use proptest::prelude::*;
 use smartcity::metro::{MetroConfig, MetroReport, MetroSim, PopulationConfig};
+use smartcity::observe::burn_over_series;
 use smartcity::telemetry::{export::prometheus_text, Telemetry};
+use smartcity::tsdb::SeriesId;
 
 /// The E19 quick-mode configuration: full-city plan, sampled execution.
 fn city(seed: u64) -> MetroConfig {
@@ -165,6 +167,99 @@ fn seed42_prometheus_export_matches_golden_snapshot() {
     let text = prometheus_text(telemetry.registry());
     assert!(!text.is_empty(), "the day must emit metrics");
     assert_matches_golden("metropolis_metrics_seed42.prom", &text);
+}
+
+#[test]
+fn seed42_flight_artifact_matches_golden_snapshot() {
+    let telemetry = Telemetry::shared();
+    let (report, flight) = MetroSim::new(city(42))
+        .with_recorder(&telemetry)
+        .run_with_flight();
+    let silent = MetroSim::new(city(42)).run();
+    assert_eq!(report, silent, "attaching the recorder changed the outcome");
+    assert_matches_golden("flight_seed42.tsdb.json", &flight.render());
+}
+
+/// Replays `cfg`, checks the batch SLO burn engine over the stored
+/// series against the gauges the incremental `BurnMeter` recorded in
+/// the loop — bit for bit, edge for edge — and returns how many windows
+/// saw non-zero bad traffic and how often the alert fired.
+fn assert_burn_equivalence(cfg: MetroConfig) -> (usize, usize) {
+    let sim = MetroSim::new(cfg.clone());
+    let boundaries: Vec<_> = (0..sim.population().windows())
+        .map(|w| sim.population().window_end(w))
+        .collect();
+    let (report, flight) = sim.run_with_flight();
+    let db = &flight.tsdb;
+
+    let signals = burn_over_series(
+        db,
+        &cfg.autoscale.slo,
+        &SeriesId::new("metro_good_total"),
+        &SeriesId::new("metro_bad_total"),
+        &boundaries,
+    );
+    let short = db.samples(&SeriesId::new("metro:burn_short"));
+    let long = db.samples(&SeriesId::new("metro:burn_long"));
+    let fired = db.samples(&SeriesId::new("metro:burn_fired"));
+    assert_eq!(signals.len(), boundaries.len());
+    assert_eq!(short.len(), boundaries.len());
+    for (i, (at, sig)) in signals.iter().enumerate() {
+        assert_eq!(at.as_micros(), short[i].0, "window {i} close time");
+        assert_eq!(
+            sig.burn_short.to_bits(),
+            short[i].1.to_bits(),
+            "window {i} short burn"
+        );
+        assert_eq!(
+            sig.burn_long.to_bits(),
+            long[i].1.to_bits(),
+            "window {i} long burn"
+        );
+        assert_eq!(
+            if sig.fired { 1.0f64 } else { 0.0 }.to_bits(),
+            fired[i].1.to_bits(),
+            "window {i} fired edge"
+        );
+    }
+    let bad_windows = report.windows.iter().filter(|w| w.bad > 0).count();
+    let fires = fired.iter().filter(|&&(_, v)| v == 1.0).count();
+    (bad_windows, fires)
+}
+
+/// The SLO burn engine evaluated in batch over the stored series must
+/// reproduce the incremental `BurnMeter`'s verdicts edge for edge — the
+/// flight artifact is an audit trail for the autoscaler, not an
+/// approximation of it. The seed-42 city absorbs its faults without
+/// shedding (all-zero burn), so a capacity-capped variant exercises the
+/// non-trivial side: real sheds, real burn, a fired edge.
+#[test]
+fn series_burn_verdicts_match_the_recorded_meter_bitwise() {
+    let (_, city_fires) = assert_burn_equivalence(city(42));
+    assert_eq!(city_fires, 0, "seed-42 city absorbs its faults cleanly");
+
+    let mut cramped = town(42);
+    cramped.population.users = 200_000;
+    cramped.sample_total = 2_000;
+    cramped.autoscale.max_shards = cramped.autoscale.min_shards;
+    cramped.autoscale.max_pool = cramped.autoscale.min_pool;
+    cramped.fault_plan = Some(
+        smartcity::fault::FaultPlan::empty()
+            .with_event(
+                simclock::SimTime::from_secs(6 * 3600),
+                smartcity::fault::FaultKind::NodeCrash { node: 0 },
+            )
+            .with_event(
+                simclock::SimTime::from_secs(9 * 3600),
+                smartcity::fault::FaultKind::NodeRestart { node: 0 },
+            ),
+    );
+    let (bad_windows, fires) = assert_burn_equivalence(cramped);
+    assert!(
+        bad_windows > 0,
+        "the capacity-capped town must shed under peak load"
+    );
+    assert!(fires > 0, "shedding must trip the burn alert");
 }
 
 #[test]
